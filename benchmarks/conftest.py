@@ -1,0 +1,56 @@
+"""Shared infrastructure for the table/figure regeneration benches.
+
+Every bench regenerates one table or figure of the paper: it computes
+the rows with the library, prints them (visible with ``pytest -s``),
+writes them under ``benchmarks/results/``, asserts the qualitative
+shape the paper reports, and times the regeneration via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.platform import PrEspPlatform
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class TableWriter:
+    """Collects formatted rows and persists them per experiment."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.lines: list = []
+
+    def row(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def header(self, title: str) -> None:
+        self.row("=" * 78)
+        self.row(title)
+        self.row("=" * 78)
+
+    def flush(self) -> str:
+        text = "\n".join(self.lines) + "\n"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.experiment}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture
+def table_writer(request):
+    """A writer named after the requesting bench test (one output file
+    per printing test; modules with a single printing test keep their
+    module-named file)."""
+    name = request.node.name.replace("test_", "", 1)
+    return TableWriter(name)
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """One shared platform across benches."""
+    return PrEspPlatform()

@@ -1,0 +1,88 @@
+"""Ablation — bitstream compression vs reconfiguration latency.
+
+PR-ESP enables Vivado's compression "to reduce the memory access
+latency during reconfiguration" (Sec. VI). This bench builds SoC_Y
+with and without compression and measures the effect on partial
+bitstream sizes, per-swap reconfiguration latency, and whole-frame
+time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import wami_soc_y
+from repro.core.platform import PrEspPlatform
+
+
+def run_both():
+    config = wami_soc_y()
+    results = {}
+    for compressed in (True, False):
+        platform = PrEspPlatform(compress_bitstreams=compressed)
+        flow_result = platform.flow.build(config)
+        report = platform.deploy_wami(config, flow_result=flow_result, frames=4)
+        results[compressed] = (flow_result, report)
+    return results
+
+
+@pytest.fixture(scope="module")
+def both():
+    return run_both()
+
+
+def test_ablation_compression(benchmark, table_writer, both):
+    results = benchmark.pedantic(lambda: both, iterations=1, rounds=1)
+
+    table_writer.header("Ablation — bitstream compression (SoC_Y)")
+    table_writer.row(
+        f"{'mode':14s} {'total pbs':>10s} {'avg pbs':>9s} "
+        f"{'reconf/frame':>13s} {'ms/frame':>9s}"
+    )
+    for compressed in (True, False):
+        flow_result, report = results[compressed]
+        partials = flow_result.partial_bitstreams()
+        total_kib = sum(b.size_kib for b in partials)
+        reconf_ms = report.timeline.reconfiguration_time() / report.frames * 1000
+        table_writer.row(
+            f"{'compressed' if compressed else 'uncompressed':14s} "
+            f"{total_kib:>9.0f}K {total_kib / len(partials):>8.0f}K "
+            f"{reconf_ms:>11.1f}ms {report.seconds_per_frame * 1000:>9.1f}"
+        )
+    compressed_report = results[True][1]
+    raw_report = results[False][1]
+    speedup = raw_report.seconds_per_frame / compressed_report.seconds_per_frame
+    table_writer.row()
+    table_writer.row(f"frame-time speedup from compression: {speedup:.2f}x")
+    table_writer.flush()
+
+
+def test_ablation_compression_shrinks_bitstreams(benchmark, both):
+    def check():
+        packed = sum(b.size_bytes for b in both[True][0].partial_bitstreams())
+        raw = sum(b.size_bytes for b in both[False][0].partial_bitstreams())
+        assert packed < raw / 5  # ~7-12% ratios at typical occupancy
+
+    benchmark(check)
+
+
+def test_ablation_compression_cuts_reconfiguration_time(benchmark, both):
+    def check():
+        packed = both[True][1].timeline.reconfiguration_time()
+        raw = both[False][1].timeline.reconfiguration_time()
+        assert packed < raw / 5
+
+    benchmark(check)
+
+
+def test_ablation_compression_speeds_up_frames(benchmark, both):
+    """Uncompressed partials push multi-ms swaps to tens of ms; the
+    frame time must visibly improve with compression on."""
+
+    def check():
+        assert (
+            both[False][1].seconds_per_frame
+            > 1.2 * both[True][1].seconds_per_frame
+        )
+
+    benchmark(check)

@@ -1,0 +1,93 @@
+"""Ablation — semi-parallel grouping policy.
+
+The flow balances tiles across the τ instances with LPT. This bench
+compares LPT against a naive in-order split on every paper design and
+on random instances, reporting the makespan penalty of the naive
+policy (what "opportunistic grouping" buys).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.designs import characterization_socs, wami_parallelism_socs
+from repro.flow.grouping import balanced_groups, makespan
+from repro.vivado.runtime_model import CALIBRATED_MODEL
+
+
+def naive_groups(items, num_groups):
+    """Contiguous in-order split (what a flow without LPT would do)."""
+    groups = [[] for _ in range(num_groups)]
+    for index, item in enumerate(items):
+        groups[index % num_groups].append(item)
+    return [g for g in groups if g]
+
+
+def omega_of(groups):
+    """max Ω over groups under the calibrated context-P&R curve."""
+    return max(
+        CALIBRATED_MODEL.context_par_minutes(sum(group) / 1000.0)
+        for group in groups
+    )
+
+
+def compare_policies():
+    socs = {**characterization_socs(), **wami_parallelism_socs()}
+    rows = []
+    for name, config in sorted(socs.items()):
+        sizes = config.reconfigurable_luts()
+        if len(sizes) < 3:
+            continue
+        for tau in (2, 3):
+            if tau >= len(sizes):
+                continue
+            lpt = balanced_groups(sizes, tau, weight=float)
+            naive = naive_groups(sizes, tau)
+            rows.append((name, tau, omega_of(lpt), omega_of(naive)))
+    return rows
+
+
+def test_ablation_grouping(benchmark, table_writer):
+    rows = benchmark(compare_policies)
+
+    table_writer.header("Ablation — LPT vs naive semi-parallel grouping")
+    table_writer.row(
+        f"{'soc':8s} {'tau':>4s} {'omega LPT':>10s} {'omega naive':>12s} {'penalty':>8s}"
+    )
+    for name, tau, lpt_omega, naive_omega in rows:
+        penalty = 100.0 * (naive_omega - lpt_omega) / lpt_omega
+        table_writer.row(
+            f"{name:8s} {tau:>4d} {lpt_omega:>10.1f} {naive_omega:>12.1f} "
+            f"{penalty:>+7.1f}%"
+        )
+    table_writer.flush()
+
+    # LPT never loses to the naive split.
+    for _name, _tau, lpt_omega, naive_omega in rows:
+        assert lpt_omega <= naive_omega + 1e-9
+    # And it wins somewhere (the grouping is load-bearing).
+    assert any(naive > lpt + 0.5 for _n, _t, lpt, naive in rows)
+
+
+def test_ablation_grouping_random_instances(benchmark):
+    """On random tile mixes LPT's makespan advantage holds on average."""
+
+    def run():
+        rng = np.random.default_rng(2023)
+        penalties = []
+        for _ in range(200):
+            sizes = rng.integers(2_000, 45_000, size=rng.integers(3, 10)).tolist()
+            tau = 2
+            lpt = makespan(balanced_groups(sizes, tau, weight=float), float)
+            naive = makespan(naive_groups(sizes, tau), float)
+            penalties.append((naive - lpt) / lpt)
+        return penalties
+
+    penalties = benchmark(run)
+    # LPT is a 4/3-approximation, so a lucky naive split can beat it by
+    # at most 25%; on average LPT wins clearly.
+    assert min(penalties) >= -0.25 - 1e-9
+    assert sum(penalties) / len(penalties) > 0.02
+    worse = sum(1 for p in penalties if p < -1e-9)
+    assert worse / len(penalties) < 0.10  # naive rarely wins at all

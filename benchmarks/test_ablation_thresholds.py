@@ -1,0 +1,93 @@
+"""Ablation — sensitivity of the classifier thresholds.
+
+The paper never publishes numeric thresholds for "κ ≫ α_av" or
+"γ ≈ 1"; ours (ratio 2.5, band [0.8, 1.15]) were chosen so all eight
+published designs classify as printed. This bench sweeps both knobs
+and reports how many designs keep their published class, showing the
+chosen point sits on a plateau rather than a knife's edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classes import classify
+from repro.core.metrics import compute_metrics
+from repro.core.designs import characterization_socs, wami_parallelism_socs
+
+PUBLISHED_CLASSES = {
+    "soc_1": "1.1",
+    "soc_2": "1.2",
+    "soc_3": "1.3",
+    "soc_4": "2.1",
+    "soc_a": "1.2",
+    "soc_b": "1.1",
+    "soc_c": "1.3",
+    "soc_d": "2.1",
+}
+
+
+def agreement(metrics_by_name, ratio, band_low, band_high):
+    """How many designs classify as published under these thresholds."""
+    hits = 0
+    for name, metrics in metrics_by_name.items():
+        result = classify(
+            metrics, dominance_ratio=ratio, band_low=band_low, band_high=band_high
+        )
+        hits += result.design_class.value == PUBLISHED_CLASSES[name]
+    return hits
+
+
+def sweep():
+    socs = {**characterization_socs(), **wami_parallelism_socs()}
+    metrics_by_name = {name: compute_metrics(cfg) for name, cfg in socs.items()}
+    rows = []
+    for ratio in np.arange(1.5, 4.01, 0.25):
+        for band_low, band_high in ((0.85, 1.1), (0.8, 1.15), (0.7, 1.25)):
+            rows.append(
+                (
+                    float(ratio),
+                    band_low,
+                    band_high,
+                    agreement(metrics_by_name, float(ratio), band_low, band_high),
+                )
+            )
+    return rows, metrics_by_name
+
+
+def test_ablation_thresholds(benchmark, table_writer):
+    rows, metrics_by_name = benchmark(sweep)
+
+    table_writer.header("Ablation — classifier threshold sensitivity")
+    table_writer.row(
+        f"{'dominance':>10s} {'gamma band':>14s} {'designs matching (of 8)':>25s}"
+    )
+    for ratio, low, high, hits in rows:
+        marker = " <-- chosen" if (ratio, low, high) == (2.5, 0.8, 1.15) else ""
+        table_writer.row(
+            f"{ratio:>10.2f} {f'[{low}, {high}]':>14s} {hits:>25d}{marker}"
+        )
+    table_writer.flush()
+
+    # The chosen point achieves 8/8.
+    assert agreement(metrics_by_name, 2.5, 0.8, 1.15) == 8
+    # And it is a plateau: neighbouring ratios also reach 8/8.
+    assert agreement(metrics_by_name, 2.25, 0.8, 1.15) == 8
+    assert agreement(metrics_by_name, 2.5, 0.85, 1.1) == 8
+
+
+def test_ablation_extreme_thresholds_break_classification(benchmark):
+    """Far-off thresholds misclassify — the knob genuinely matters."""
+
+    def worst_cases():
+        socs = {**characterization_socs(), **wami_parallelism_socs()}
+        metrics_by_name = {name: compute_metrics(cfg) for name, cfg in socs.items()}
+        return (
+            agreement(metrics_by_name, 1.0, 0.8, 1.15),
+            agreement(metrics_by_name, 10.0, 0.8, 1.15),
+        )
+
+    low_ratio_hits, high_ratio_hits = benchmark(worst_cases)
+    assert low_ratio_hits < 8
+    assert high_ratio_hits < 8

@@ -1,0 +1,114 @@
+"""Figs. 1 and 2 — structural reproduction of the block diagrams.
+
+Fig. 1 is the flow block diagram: regenerated as the stage trace an
+actual ``DprFlow.build()`` emits. Fig. 2B is the reconfigurable-tile
+architecture: regenerated from the generated RTL hierarchy (socket,
+proxies, decoupler, reconfigurable wrapper with the common interface).
+Fig. 2A is the software stack: regenerated as the layer list the
+runtime package actually instantiates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import soc_2
+from repro.flow.blackbox import WRAPPER_PORTS
+from repro.flow.dpr_flow import DprFlow
+from repro.soc.rtl import generate_rtl
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    return DprFlow().build(soc_2())
+
+
+def test_fig1_flow_stages(benchmark, table_writer, flow_result):
+    result = benchmark.pedantic(lambda: flow_result, iterations=1, rounds=1)
+
+    table_writer.header("Fig. 1 — the PR-ESP FPGA flow (executed stage trace)")
+    for index, stage in enumerate(result.stages, start=1):
+        timing = (
+            f"{stage.wall_minutes:6.1f} min"
+            if stage.wall_minutes
+            else "      --  "
+        )
+        table_writer.row(f"  {index}. {stage.stage:20s} {timing}  {stage.detail}")
+    table_writer.flush()
+
+    names = [s.stage for s in result.stages]
+    # The paper's boxes: parse -> (synthesis of static + reconf tiles)
+    # -> pre-implementation (floorplan + parallelism choice) ->
+    # implementation -> bitstreams.
+    assert names.index("parse") < names.index("synthesis")
+    assert names.index("synthesis") < names.index("floorplan")
+    assert names.index("floorplan") < names.index("choose_parallelism")
+    assert names.index("choose_parallelism") < names.index("implementation")
+    assert names.index("implementation") < names.index("bitstreams")
+
+
+def test_fig2b_reconfigurable_tile_structure(benchmark, table_writer):
+    def build_tree():
+        config = soc_2()
+        rtl = generate_rtl(config)
+        tile = config.reconfigurable_tiles[0]
+        return tile, rtl.find(tile.name)
+
+    tile, node = benchmark(build_tree)
+
+    table_writer.header("Fig. 2B — reconfigurable tile structure (generated RTL)")
+
+    def render(module, depth=0):
+        marker = "  [RP]" if module.reconfigurable else ""
+        table_writer.row("  " + "  " * depth + module.name + marker)
+        for child in module.children:
+            render(child, depth + 1)
+
+    render(node)
+    table_writer.row("")
+    table_writer.row("reconfigurable wrapper interface (Sec. III):")
+    for name, direction, width in WRAPPER_PORTS:
+        table_writer.row(f"  {direction:3s} {name} [{width}]")
+    table_writer.flush()
+
+    # Structural assertions: socket with router/proxies/decoupler in the
+    # static part; a reconfigurable wrapper hosting the accelerator.
+    names = {m.name for m in node.walk()}
+    assert f"{tile.name}_socket" in names
+    assert f"{tile.name}_router" in names
+    assert f"{tile.name}_proxies" in names
+    assert f"{tile.name}_decoupler" in names
+    wrapper = node.find(f"{tile.name}_wrapper")
+    assert wrapper is not None and wrapper.reconfigurable
+    # Interface carries DMA + register + interrupt groups.
+    port_names = {name for name, _d, _w in WRAPPER_PORTS}
+    assert {"dma_read_ctrl", "apb_req", "acc_done_irq"} <= port_names
+
+
+def test_fig2a_software_stack(benchmark, table_writer):
+    """The modified software stack: user API over the kernel manager
+    over the device drivers over the hardware models."""
+
+    def layers():
+        from repro.runtime.api import DprUserApi
+        from repro.runtime.driver import DriverRegistry
+        from repro.runtime.manager import ReconfigurationManager
+        from repro.runtime.memory import BitstreamStore
+        from repro.runtime.prc import PrcDevice
+
+        return [
+            ("user space", "application threads (one per reconfigurable tile)"),
+            ("user space", f"DPR API ({DprUserApi.__name__}: esp_run/esp_load/esp_blank)"),
+            ("kernel", f"runtime manager ({ReconfigurationManager.__name__}: "
+                       "workqueue-equivalent FIFO, per-tile locks, driver swap)"),
+            ("kernel", f"driver registry ({DriverRegistry.__name__}) + "
+                       f"bitstream store ({BitstreamStore.__name__}, mmapped images)"),
+            ("hardware", f"PRC/ICAP ({PrcDevice.__name__}) + tile decouplers"),
+        ]
+
+    stack = benchmark(layers)
+    table_writer.header("Fig. 2A — the PR-ESP software stack (as instantiated)")
+    for layer, description in stack:
+        table_writer.row(f"  {layer:10s} {description}")
+    table_writer.flush()
+    assert len(stack) == 5

@@ -1,0 +1,82 @@
+"""Fig. 3 — WAMI dataflow with per-accelerator profiles.
+
+Reproduces the profiling methodology: each accelerator is placed alone
+in a 2x2 SoC (single reconfigurable tile, VC707), compiled through the
+flow, and annotated with its LUT count, execution time and partial
+bitstream size. Also prints the dataflow edges of the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wami.graph import WAMI_EDGES, WAMI_GRAPH, WamiStage
+from repro.wami.accelerators import WAMI_ACCELERATORS
+
+
+def profile_all(platform):
+    return {stage: platform.profile_wami(stage) for stage in WamiStage}
+
+
+@pytest.fixture(scope="module")
+def profiles(platform):
+    return profile_all(platform)
+
+
+def test_fig3_profiles(benchmark, table_writer, platform, profiles):
+    results = benchmark.pedantic(lambda: profiles, iterations=1, rounds=1)
+
+    table_writer.header("Fig. 3 — WAMI accelerators: dataflow and profiles")
+    table_writer.row("dataflow edges:")
+    for src, dst in WAMI_EDGES:
+        table_writer.row(f"  {src.value:>2d} {src.kernel_name:18s} -> "
+                         f"{dst.value:>2d} {dst.kernel_name}")
+    table_writer.row()
+    table_writer.row(
+        f"{'#':>2s} {'kernel':18s} {'LUTs':>7s} {'t_exec':>8s} "
+        f"{'t_sw':>8s} {'pbs':>7s} {'region':>8s}"
+    )
+    for stage in WamiStage:
+        profile = results[stage]
+        hw = WAMI_ACCELERATORS[stage]
+        table_writer.row(
+            f"{stage.value:>2d} {stage.kernel_name:18s} {profile.luts:>7d} "
+            f"{hw.exec_time_s * 1000:>6.1f}ms {hw.sw_time_s * 1000:>6.0f}ms "
+            f"{profile.partial_bitstream_kib:>6.0f}K {profile.region_kluts:>7.1f}k"
+        )
+    table_writer.flush()
+
+
+def test_fig3_twelve_profiled_accelerators(benchmark, profiles):
+    def check():
+        assert len(profiles) == 12
+        for stage, profile in profiles.items():
+            assert profile.luts > 0
+            assert profile.exec_time_s > 0
+            assert profile.partial_bitstream_kib > 0
+
+    benchmark(check)
+
+
+def test_fig3_lk_is_decomposed(benchmark):
+    """The paper decomposed Lucas-Kanade into multiple accelerators to
+    parallelize it: stages 3..11 are LK sub-kernels."""
+
+    def check():
+        lk_stages = [s for s in WamiStage if 3 <= s.value <= 11]
+        assert len(lk_stages) == 9
+        # Their subgraph allows 2-way parallelism.
+        assert WAMI_GRAPH.max_width() == 2
+
+    benchmark(check)
+
+
+def test_fig3_region_dominates_module(benchmark, profiles):
+    """Floorplanned regions include routability headroom, so the region
+    always exceeds the accelerator's own demand."""
+
+    def check():
+        for stage, profile in profiles.items():
+            assert profile.region_kluts * 1000 >= profile.luts
+
+    benchmark(check)

@@ -1,0 +1,103 @@
+"""Table I — the size-driven implementation-strategy matrix.
+
+Sweeps synthetic designs over every (κ vs α_av) x γ cell and prints
+the strategy the algorithm assigns, reproducing the published matrix
+(including the two impossible cells).
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import DesignClass, classify
+from repro.core.metrics import metrics_from_sizes
+from repro.core.strategy import ImplementationStrategy, choose_strategy
+
+DEVICE_LUTS = 302_400
+
+#: (row label, static LUTs, per-tile LUTs, tile count) per matrix cell.
+#: Chosen so κ/α_av and γ land squarely in each regime.
+CELLS = {
+    ("kappa>>alpha", "gamma<1"): (80_000, 4_000, 4),
+    ("kappa>>alpha", "gamma~1"): (80_000, 26_500, 3),
+    ("kappa>>alpha", "gamma>1"): (80_000, 30_000, 4),
+    ("kappa~alpha", "gamma~1"): (40_000, 40_000, 1),
+    ("kappa~alpha", "gamma>1"): (40_000, 35_000, 4),
+    ("kappa<<alpha", "gamma~1"): (30_000, 30_500, 1),
+    ("kappa<<alpha", "gamma>1"): (20_000, 45_000, 3),
+}
+
+#: The published Table I cell contents.
+PAPER_MATRIX = {
+    ("kappa~alpha", "gamma<1"): None,  # impossible
+    ("kappa~alpha", "gamma~1"): ImplementationStrategy.SERIAL,
+    ("kappa~alpha", "gamma>1"): ImplementationStrategy.FULLY_PARALLEL,
+    ("kappa>>alpha", "gamma<1"): ImplementationStrategy.SERIAL,
+    ("kappa>>alpha", "gamma~1"): ImplementationStrategy.SEMI_PARALLEL,
+    # 'semi/fully-parallel': either is accepted; PR-ESP tie-breaks.
+    ("kappa>>alpha", "gamma>1"): (
+        ImplementationStrategy.SEMI_PARALLEL,
+        ImplementationStrategy.FULLY_PARALLEL,
+    ),
+    ("kappa<<alpha", "gamma<1"): None,  # impossible
+    ("kappa<<alpha", "gamma~1"): ImplementationStrategy.SERIAL,
+    ("kappa<<alpha", "gamma>1"): ImplementationStrategy.FULLY_PARALLEL,
+}
+
+
+def build_matrix():
+    matrix = {}
+    for cell, (static, tile, count) in CELLS.items():
+        metrics = metrics_from_sizes(static, [tile] * count, DEVICE_LUTS)
+        decision = choose_strategy(metrics)
+        matrix[cell] = (metrics, decision)
+    return matrix
+
+
+def test_table1_strategy_matrix(benchmark, table_writer):
+    matrix = benchmark(build_matrix)
+
+    table_writer.header("Table I — size-driven implementation strategies")
+    table_writer.row(f"{'kappa regime':14s} {'gamma':9s} {'class':6s} "
+                     f"{'chosen strategy':18s} {'paper':>20s}")
+    for row_label in ("kappa~alpha", "kappa>>alpha", "kappa<<alpha"):
+        for col_label in ("gamma<1", "gamma~1", "gamma>1"):
+            cell = (row_label, col_label)
+            expected = PAPER_MATRIX[cell]
+            if cell not in CELLS:
+                table_writer.row(
+                    f"{row_label:14s} {col_label:9s} {'-':6s} {'(impossible)':18s} "
+                    f"{'-':>20s}"
+                )
+                assert expected is None
+                continue
+            metrics, decision = matrix[cell]
+            expected_text = (
+                "semi/fully-par"
+                if isinstance(expected, tuple)
+                else expected.value
+            )
+            table_writer.row(
+                f"{row_label:14s} {col_label:9s} "
+                f"{decision.design_class.value:6s} {decision.strategy.value:18s} "
+                f"{expected_text:>20s}"
+            )
+            if isinstance(expected, tuple):
+                assert decision.strategy in expected
+            else:
+                assert decision.strategy is expected
+    table_writer.flush()
+
+
+def test_table1_impossible_cells_are_arithmetically_impossible(benchmark):
+    """γ < 1 with κ <= α_av cannot be constructed (paper's footnote)."""
+
+    def probe():
+        found = []
+        for static in range(10_000, 100_000, 10_000):
+            for tile in range(10_000, 100_000, 10_000):
+                for count in (1, 2, 4, 8):
+                    metrics = metrics_from_sizes(static, [tile] * count, DEVICE_LUTS)
+                    if metrics.kappa <= metrics.alpha_av and metrics.gamma < 1.0:
+                        found.append(metrics)
+        return found
+
+    assert benchmark(probe) == []

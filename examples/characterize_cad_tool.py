@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Re-run the paper's Vivado characterization on a synthetic design space.
+
+Sec. IV of the paper spent "hundreds of hours" measuring four
+hand-built SoCs under every parallelism level to learn how compilation
+time scales. This example industrializes that loop with the
+characterization harness: generate designs across the class space,
+sweep τ on each, inspect the winners, and refit runtime curves from
+the collected observations.
+
+Run:  python examples/characterize_cad_tool.py
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import classify
+from repro.core.metrics import compute_metrics
+from repro.vivado.characterization import Characterizer, default_design_space
+from repro.vivado.runtime_model import JobKind
+
+
+def main() -> None:
+    designs = default_design_space()
+    characterizer = Characterizer()
+
+    print("design space:")
+    for config in designs:
+        metrics = compute_metrics(config)
+        cls = classify(metrics).design_class.value
+        print(
+            f"  {config.name:8s} N={metrics.num_rps} {metrics.summary():42s} "
+            f"class {cls}"
+        )
+
+    print("\nsweeping every parallelism level (simulated CAD runs)...\n")
+    run = characterizer.sweep(designs, max_tau=6)
+
+    print(f"{'design':8s} {'tau':>4s} {'strategy':>15s} {'t_static':>9s} "
+          f"{'max_omega':>10s} {'T_P&R':>7s}")
+    current = None
+    for point in run.points:
+        if point.design != current:
+            if current is not None:
+                print()
+            current = point.design
+        static_text = (
+            "-" if point.t_static_minutes is None else f"{point.t_static_minutes:.0f}"
+        )
+        omega_text = (
+            "-" if point.max_omega_minutes is None else f"{point.max_omega_minutes:.0f}"
+        )
+        print(
+            f"{point.design:8s} {point.tau:>4d} {point.strategy.value:>15s} "
+            f"{static_text:>9s} {omega_text:>10s} {point.total_minutes:>7.0f}"
+        )
+
+    print("\nfastest parallelism per design:")
+    for config in designs:
+        metrics = compute_metrics(config)
+        cls = classify(metrics).design_class.value
+        print(f"  {config.name:8s} class {cls}: best tau = {run.best_tau(config.name)}")
+
+    print("\nrefitting runtime curves from the sweep:")
+    refit = characterizer.refit(run)
+    for kind in (JobKind.STATIC_PAR, JobKind.CONTEXT_PAR, JobKind.SERIAL_DPR_PAR):
+        curve = refit.curves[kind]
+        print(f"  {kind.value:16s} t(L) = {curve.c:.2f} + {curve.a:.4f} * L^{curve.p:.3f}")
+    print("\n(the paper did this once, by hand, on real Vivado; the harness")
+    print(" makes it a repeatable experiment)")
+
+
+if __name__ == "__main__":
+    main()

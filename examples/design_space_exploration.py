@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Design-space exploration with the size-driven strategy model.
+
+Sweeps a family of SoCs — varying the number of reconfigurable tiles
+and the accelerator mix — and for each point reports the design class,
+the strategy PR-ESP picks, and the modelled compile time of all three
+strategies. This is the kind of what-if exploration the calibrated
+runtime model enables without any CAD runs.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import compute_metrics
+from repro.core.strategy import ImplementationStrategy, choose_strategy
+from repro.soc.config import SocConfig
+from repro.soc.esp_library import stock_accelerator
+from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+from repro.vivado.runtime_model import CALIBRATED_MODEL
+
+
+def soc_variant(name: str, accelerators) -> SocConfig:
+    """A 3x4 SoC hosting the given accelerator list, one per tile."""
+    tiles = [
+        Tile(kind=TileKind.CPU, name="cpu0"),
+        Tile(kind=TileKind.MEM, name="mem0"),
+        Tile(kind=TileKind.AUX, name="aux0"),
+    ]
+    for index, acc in enumerate(accelerators):
+        tiles.append(ReconfigurableTile(name=f"rt{index}", modes=[stock_accelerator(acc)]))
+    return SocConfig.assemble(name, board="vc707", rows=3, cols=4, tiles=tiles)
+
+
+#: The explored family: MAC farms, mixed mid-size, and heavy HLS mixes.
+VARIANTS = {
+    "mac_farm_4": ["mac"] * 4,
+    "mac_farm_8": ["mac"] * 8,
+    "sort_pair": ["sort", "sort"],
+    "mixed_small": ["mac", "sort", "mac", "sort"],
+    "mixed_heavy": ["conv2d", "fft", "sort"],
+    "hls_quad": ["conv2d", "gemm", "fft", "sort"],
+    "conv_farm": ["conv2d"] * 5,
+    "gemm_farm": ["gemm"] * 6,
+}
+
+
+def main() -> None:
+    model = CALIBRATED_MODEL
+    estimator = model.strategy_estimator(tau=2)
+
+    print(
+        f"{'variant':14s} {'N':>2s} {'kappa':>7s} {'gamma':>6s} {'class':>6s} "
+        f"{'chosen':>15s} {'serial':>7s} {'semi':>6s} {'fully':>6s}"
+    )
+    for name, accelerators in VARIANTS.items():
+        config = soc_variant(name, accelerators)
+        metrics = compute_metrics(config)
+        decision = choose_strategy(metrics, estimator=estimator)
+        times = {
+            strategy: model.estimate_par_total(metrics, strategy, tau=2)
+            for strategy in ImplementationStrategy
+        }
+        print(
+            f"{name:14s} {metrics.num_rps:>2d} {metrics.kappa * 100:>6.1f}% "
+            f"{metrics.gamma:>6.2f} {decision.design_class.value:>6s} "
+            f"{decision.strategy.value:>15s} "
+            f"{times[ImplementationStrategy.SERIAL]:>7.0f} "
+            f"{times[ImplementationStrategy.SEMI_PARALLEL]:>6.0f} "
+            f"{times[ImplementationStrategy.FULLY_PARALLEL]:>6.0f}"
+        )
+
+    print("\n(times are modelled minutes; the chosen strategy should track")
+    print(" the per-row minimum, with Table I deciding the near-ties)")
+
+
+if __name__ == "__main__":
+    main()

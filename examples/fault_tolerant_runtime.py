@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fault handling in the runtime reconfiguration manager.
+
+Partial reconfiguration moves configuration data across DDR, the NoC
+and the ICAP at runtime — a path where corruption is a real failure
+mode. This example injects CRC failures into the PRC and shows the
+manager's recovery ladder:
+
+1. a single failed transfer is retried transparently (the caller only
+   sees a longer reconfiguration);
+2. a persistent failure leaves the tile *dark but functional*: the
+   driver is unregistered, the decoupler re-enables the NoC queues so
+   the dead region cannot wedge the mesh, and the error propagates to
+   the calling thread;
+3. the tile remains usable: the next request for a different
+   accelerator reconfigures and runs normally.
+
+Run:  python examples/fault_tolerant_runtime.py
+"""
+
+from __future__ import annotations
+
+from repro.noc.mesh import Mesh
+from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+from repro.runtime.manager import ReconfigurationManager
+from repro.runtime.memory import BitstreamStore
+from repro.runtime.prc import PrcDevice
+from repro.runtime.stats import collect_stats
+from repro.sim.kernel import Simulator
+from repro.units import fmt_duration
+from repro.vivado.bitstream import Bitstream, BitstreamKind
+
+
+def build_stack():
+    sim = Simulator()
+    mesh = Mesh(3, 3, clock_hz=78e6)
+    prc = PrcDevice(sim, mesh, mem_position=(0, 1), aux_position=(0, 2))
+    store = BitstreamStore()
+    registry = DriverRegistry()
+    for mode in ("fft", "gemm"):
+        registry.install(AcceleratorDriver(accelerator=mode, exec_time_s=0.012))
+        store.load(
+            Bitstream(
+                name=f"rt0_{mode}.pbs",
+                kind=BitstreamKind.PARTIAL,
+                size_bytes=280_000,
+                compressed=True,
+                target_rp="rt0",
+                mode=mode,
+            ),
+            "rt0",
+        )
+    manager = ReconfigurationManager(sim, prc, store, registry)
+    manager.attach_tile("rt0")
+    return sim, prc, manager
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    print("scenario 1: one corrupted transfer -> transparent retry")
+    sim, prc, manager = build_stack()
+    prc.inject_failure("rt0", "fft", count=1)
+    proc = manager.invoke("rt0", "fft")
+    sim.run()
+    record = proc.value
+    print(f"  invocation succeeded after retry; reconfiguration took "
+          f"{fmt_duration(record.reconfig_s)} "
+          f"(~2x a clean transfer), failed_attempts={manager.failed_attempts}\n")
+
+    # ------------------------------------------------------------------
+    print("scenario 2: persistent corruption -> tile left dark, error raised")
+    sim, prc, manager = build_stack()
+    prc.inject_failure("rt0", "fft", count=2)
+    proc = manager.invoke("rt0", "fft")
+    sim.run()
+    print(f"  invocation failed: {proc.exception}")
+    state = manager.tile("rt0")
+    print(f"  tile state: loaded_mode={state.loaded_mode}, "
+          f"queues_enabled={state.decoupler.queues_enabled} "
+          f"(dark but cannot wedge the NoC)\n")
+
+    # ------------------------------------------------------------------
+    print("scenario 3: the tile recovers on the next request")
+    recovery = manager.invoke("rt0", "gemm")
+    sim.run()
+    print(f"  gemm ran fine: exec={fmt_duration(recovery.value.exec_time_s)}, "
+          f"loaded_mode={manager.tile('rt0').loaded_mode}")
+
+    print("\nmanager statistics after all three scenarios:")
+    for line in collect_stats(manager).summary_lines():
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

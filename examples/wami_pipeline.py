@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Run the WAMI-App functionally: real images through the real kernels.
+
+Generates a synthetic aerial sequence (drifting camera + bright
+movers), pushes it through the numeric pipeline of Fig. 3 — debayer,
+grayscale, Lucas-Kanade registration decomposed into its nine
+sub-kernels, GMM change detection — and reports registration accuracy
+and mover-detection hits against the generator's ground truth.
+
+Run:  python examples/wami_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wami.app import WamiApplication
+from repro.wami.data import synthetic_bayer_sequence
+from repro.wami.graph import WAMI_GRAPH
+
+
+def ascii_mask(mask: np.ndarray, step: int = 2) -> str:
+    """Tiny ASCII rendering of a boolean mask."""
+    rows = []
+    for r in range(0, mask.shape[0], step):
+        rows.append(
+            "".join("#" if mask[r, c] else "." for c in range(0, mask.shape[1], step))
+        )
+    return "\n".join(rows)
+
+
+def main() -> None:
+    print("WAMI dataflow (Fig. 3):")
+    for level_index, level in enumerate(WAMI_GRAPH.levels()):
+        names = ", ".join(f"{s.value}:{s.kernel_name}" for s in level)
+        print(f"  level {level_index}: {names}")
+    print()
+
+    frames, truth, movers = synthetic_bayer_sequence(
+        num_frames=5, size=64, drift_px_per_frame=0.9, num_movers=2, seed=42
+    )
+    print(f"generated {len(frames)} Bayer frames (64x64), "
+          f"{len(movers)} mover observations\n")
+
+    app = WamiApplication()
+    result = app.golden_run(frames, lk_iterations=40)
+
+    print("frame  est. tx     est. ty     true tx    foreground px")
+    for index in range(len(frames)):
+        est = result.params[index]
+        expected = truth[index]
+        print(
+            f"{index:>5d} {est[4]:>9.3f} {est[5]:>11.3f} {expected[4]:>10.3f} "
+            f"{int(result.masks[index].sum()):>14d}"
+        )
+
+    # Mover detection on the last frame.
+    last = len(frames) - 1
+    hits = 0
+    last_movers = [m for m in movers if m.frame_index == last]
+    for mover in last_movers:
+        r, c = int(mover.row), int(mover.col)
+        window = result.masks[last][max(0, r - 2) : r + 3, max(0, c - 2) : c + 3]
+        hits += bool(window.any())
+    print(f"\nmovers detected in final frame: {hits}/{len(last_movers)}")
+    print("\nchange-detection mask (final frame):")
+    print(ascii_mask(result.masks[last]))
+
+
+if __name__ == "__main__":
+    main()

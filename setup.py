@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept as an offline fallback: environments whose setuptools stack cannot
+run PEP 660 editable builds can use ``python setup.py develop``. All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""PR-ESP reproduction: design and programming of partially
+reconfigurable SoCs (DATE 2023) on fully simulated substrates.
+
+Public entry points:
+
+* :class:`repro.core.PrEspPlatform` — build SoCs through the automated
+  DPR flow, compare against the monolithic baseline, profile and deploy
+  the WAMI application;
+* :mod:`repro.core.designs` — the paper's evaluation SoCs;
+* :mod:`repro.soc` / :mod:`repro.fabric` / :mod:`repro.noc` /
+  :mod:`repro.vivado` / :mod:`repro.floorplan` / :mod:`repro.flow` /
+  :mod:`repro.runtime` / :mod:`repro.wami` / :mod:`repro.energy` — the
+  individual subsystems.
+"""
+
+from repro.core.platform import BuildResult, PrEspPlatform, WamiRunReport
+from repro.core.metrics import DesignMetrics, compute_metrics
+from repro.core.strategy import ImplementationStrategy, choose_strategy
+from repro.soc.config import SocConfig
+from repro.soc.tiles import CpuCore, ReconfigurableTile, Tile, TileKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrEspPlatform",
+    "BuildResult",
+    "WamiRunReport",
+    "DesignMetrics",
+    "compute_metrics",
+    "ImplementationStrategy",
+    "choose_strategy",
+    "SocConfig",
+    "Tile",
+    "TileKind",
+    "CpuCore",
+    "ReconfigurableTile",
+    "__version__",
+]

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The PR-ESP experience from a shell — the "single make target" plus the
+evaluation entry points:
+
+* ``designs``              list the paper's SoCs with metrics and class
+* ``build CONFIG``         run the DPR flow, print the full report
+* ``compare CONFIG``       PR-ESP vs the monolithic baseline (Table V row)
+* ``deploy CONFIG``        run WAMI on a built SoC (Fig. 4 methodology)
+* ``profile STAGE``        Fig. 3-style profile of one WAMI accelerator
+* ``model``                show the calibrated CAD-runtime curves
+
+``CONFIG`` is either a paper design name (soc_1..soc_4, soc_a..soc_d,
+soc_x/y/z) or a path to an ``.esp_config`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from repro.core.designs import (
+    characterization_socs,
+    wami_deployment_socs,
+    wami_parallelism_socs,
+)
+from repro.core.metrics import compute_metrics
+from repro.core.platform import PrEspPlatform
+from repro.core.strategy import ImplementationStrategy, choose_strategy
+from repro.errors import PrEspError
+from repro.flow.report import comparison_report, flow_report
+from repro.soc.config import SocConfig
+from repro.soc.esp_parser import load_esp_config
+from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind
+from repro.wami.graph import WamiStage
+
+
+def paper_designs() -> dict:
+    """All named designs of the evaluation."""
+    return {
+        **characterization_socs(),
+        **wami_parallelism_socs(),
+        **wami_deployment_socs(),
+    }
+
+
+def resolve_config(spec: str) -> SocConfig:
+    """A design name or an esp_config path."""
+    designs = paper_designs()
+    if spec in designs:
+        return designs[spec]
+    if os.path.exists(spec):
+        return load_esp_config(spec)
+    raise PrEspError(
+        f"{spec!r} is neither a known design ({', '.join(sorted(designs))}) "
+        "nor an existing esp_config file"
+    )
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_designs(_args) -> int:
+    print(f"{'name':8s} {'grid':>5s} {'tiles':>6s} {'metrics':40s} {'class':>6s} {'strategy':>15s}")
+    for name, config in paper_designs().items():
+        metrics = compute_metrics(config)
+        decision = choose_strategy(
+            metrics, estimator=CALIBRATED_MODEL.strategy_estimator()
+        )
+        print(
+            f"{name:8s} {config.rows}x{config.cols:<3d} "
+            f"{len(config.reconfigurable_tiles):>6d} {metrics.summary():40s} "
+            f"{decision.design_class.value:>6s} {decision.strategy.value:>15s}"
+        )
+    return 0
+
+
+def cmd_build(args) -> int:
+    config = resolve_config(args.config)
+    strategy = (
+        ImplementationStrategy(args.strategy) if args.strategy else None
+    )
+    platform = PrEspPlatform(compress_bitstreams=not args.no_compress)
+    result = platform.build(
+        config, strategy_override=strategy, with_baseline=args.baseline
+    )
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(result.flow.to_summary_dict(), indent=2))
+        return 0
+    print(flow_report(result.flow))
+    if result.baseline is not None:
+        print()
+        print(comparison_report(result.flow, result.baseline))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = resolve_config(args.config)
+    platform = PrEspPlatform()
+    presp, mono = platform.compare_with_monolithic(config)
+    print(comparison_report(presp, mono))
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    config = resolve_config(args.config)
+    platform = PrEspPlatform()
+    report = platform.deploy_wami(config, frames=args.frames)
+    print(f"{config.name}: {report.frames} frames")
+    print(f"  frame latency : {report.seconds_per_frame * 1000:.1f} ms")
+    print(f"  energy/frame  : {report.joules_per_frame:.3f} J")
+    print(f"  average power : {report.energy.average_power_w:.2f} W")
+    print(f"  reconfigs     : {report.reconfigurations}")
+    software = ", ".join(s.kernel_name for s in report.software_stages) or "none"
+    print(f"  software      : {software}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    try:
+        stage = WamiStage[args.stage.upper()]
+    except KeyError:
+        try:
+            stage = WamiStage.from_index(int(args.stage))
+        except (ValueError, PrEspError):
+            raise PrEspError(
+                f"unknown stage {args.stage!r}; use a name "
+                f"({', '.join(s.kernel_name for s in WamiStage)}) or index 1..12"
+            ) from None
+    platform = PrEspPlatform()
+    profile = platform.profile_wami(stage)
+    print(f"stage {stage.value}: {stage.kernel_name}")
+    print(f"  LUTs            : {profile.luts}")
+    print(f"  execution time  : {profile.exec_time_s * 1000:.1f} ms/frame")
+    print(f"  partial bits.   : {profile.partial_bitstream_kib:.0f} KB (compressed)")
+    print(f"  region          : {profile.region_kluts:.1f} kLUTs")
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.soc.validation import check_design
+
+    config = resolve_config(args.config)
+    findings = check_design(config)
+    if not findings:
+        print(f"{config.name}: no advisory findings")
+        return 0
+    for finding in findings:
+        print(f"[{finding.severity.value:7s}] {finding.rule}: {finding.message}")
+    return 0
+
+
+def cmd_model(_args) -> int:
+    print("calibrated CAD-runtime curves: t(L) = c + a * L^p  (minutes, kLUT)")
+    for kind in JobKind:
+        curve = CALIBRATED_MODEL.curves[kind]
+        print(
+            f"  {kind.value:16s} c={curve.c:8.3f}  a={curve.a:9.5f}  p={curve.p:6.3f}"
+        )
+    print(f"  serial reconfigurable-LUT weight: {CALIBRATED_MODEL.reconf_weight}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PR-ESP reproduction: partially reconfigurable SoC design flow",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the paper's SoC designs").set_defaults(
+        func=cmd_designs
+    )
+
+    build = sub.add_parser("build", help="run the PR-ESP flow on an SoC")
+    build.add_argument("config", help="design name or esp_config path")
+    build.add_argument(
+        "--strategy",
+        choices=[s.value for s in ImplementationStrategy],
+        help="force a P&R strategy instead of the size-driven choice",
+    )
+    build.add_argument("--baseline", action="store_true", help="also run the monolithic flow")
+    build.add_argument("--no-compress", action="store_true", help="disable bitstream compression")
+    build.add_argument("--json", action="store_true", help="emit a JSON summary instead of the report")
+    build.set_defaults(func=cmd_build)
+
+    compare = sub.add_parser("compare", help="PR-ESP vs the monolithic baseline")
+    compare.add_argument("config", help="design name or esp_config path")
+    compare.set_defaults(func=cmd_compare)
+
+    deploy = sub.add_parser("deploy", help="run WAMI on a built SoC")
+    deploy.add_argument("config", help="design name or esp_config path")
+    deploy.add_argument("--frames", type=int, default=4)
+    deploy.set_defaults(func=cmd_deploy)
+
+    profile = sub.add_parser("profile", help="Fig. 3-style accelerator profile")
+    profile.add_argument("stage", help="WAMI stage name or index (1..12)")
+    profile.set_defaults(func=cmd_profile)
+
+    check = sub.add_parser("check", help="advisory design-rule check")
+    check.add_argument("config", help="design name or esp_config path")
+    check.set_defaults(func=cmd_check)
+
+    sub.add_parser("model", help="show the calibrated runtime model").set_defaults(
+        func=cmd_model
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except PrEspError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: size-driven DPR flow orchestration.
+
+``metrics`` computes the κ/α_av/γ design-size metrics of Eq. 1;
+``classes`` implements the Group/Class taxonomy of Sec. IV;
+``strategy`` the Table-I decision algorithm; ``designs`` the eight
+evaluation SoCs plus the three WAMI deployment SoCs; and ``platform``
+the :class:`PrEspPlatform` facade whose ``build()`` is the paper's
+"single make target".
+"""
+
+from repro.core.metrics import DesignMetrics, compute_metrics
+from repro.core.classes import DesignClass, DesignGroup, GammaBand, classify
+from repro.core.strategy import (
+    ImplementationStrategy,
+    StrategyDecision,
+    choose_strategy,
+)
+from repro.core.designs import (
+    characterization_socs,
+    soc_1,
+    soc_2,
+    soc_3,
+    soc_4,
+    wami_parallelism_socs,
+    wami_soc_a,
+    wami_soc_b,
+    wami_soc_c,
+    wami_soc_d,
+    wami_deployment_socs,
+    wami_soc_x,
+    wami_soc_y,
+    wami_soc_z,
+    WAMI_TILE_ALLOCATION,
+)
+from repro.core.platform import BuildResult, PrEspPlatform
+
+__all__ = [
+    "DesignMetrics",
+    "compute_metrics",
+    "DesignGroup",
+    "DesignClass",
+    "GammaBand",
+    "classify",
+    "ImplementationStrategy",
+    "StrategyDecision",
+    "choose_strategy",
+    "characterization_socs",
+    "soc_1",
+    "soc_2",
+    "soc_3",
+    "soc_4",
+    "wami_parallelism_socs",
+    "wami_soc_a",
+    "wami_soc_b",
+    "wami_soc_c",
+    "wami_soc_d",
+    "wami_deployment_socs",
+    "wami_soc_x",
+    "wami_soc_y",
+    "wami_soc_z",
+    "WAMI_TILE_ALLOCATION",
+    "PrEspPlatform",
+    "BuildResult",
+]

@@ -1,0 +1,125 @@
+"""The Group/Class taxonomy of Sec. IV.
+
+Designs are grouped by how the static part compares to the *average*
+reconfigurable tile (κ vs α_av) and classified by how the *total*
+reconfigurable area compares to the static part (γ vs 1):
+
+* Group 1 (κ ≫ α_av): classes 1.1 (γ < 1), 1.2 (γ > 1), 1.3 (γ ≈ 1)
+* Group 2 (κ ≈ α_av or κ ≪ α_av): classes 2.1 (γ > 1), 2.2 (γ ≈ 1,
+  only possible with a single reconfigurable tile)
+
+γ < 1 inside Group 2 is arithmetically impossible (if the static part
+is no bigger than the average tile it cannot exceed the sum of tiles),
+which is why Table I leaves those cells empty.
+
+The paper does not publish numeric thresholds for "≫" and "≈". The
+values below were chosen so that every one of the eight published
+designs (SOC_1..4, SoC_A..D) lands in its published class; the
+threshold-sensitivity bench sweeps them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.metrics import DesignMetrics
+
+#: κ/α_av at or above this ratio counts as "κ ≫ α_av" (Group 1).
+KAPPA_DOMINANCE_RATIO = 2.5
+
+#: γ within [low, high] counts as "γ ≈ 1".
+GAMMA_BAND_LOW = 0.8
+GAMMA_BAND_HIGH = 1.15
+
+
+class DesignGroup(enum.Enum):
+    """κ-vs-α_av grouping."""
+
+    STATIC_DOMINANT = "group1"  # κ ≫ α_av
+    RECONF_DOMINANT = "group2"  # κ ≈ α_av or κ ≪ α_av
+
+
+class GammaBand(enum.Enum):
+    """Where γ falls relative to 1."""
+
+    BELOW = "gamma<1"
+    NEAR = "gamma~1"
+    ABOVE = "gamma>1"
+
+
+class DesignClass(enum.Enum):
+    """The five feasible classes of Sec. IV."""
+
+    CLASS_1_1 = "1.1"  # group 1, γ < 1
+    CLASS_1_2 = "1.2"  # group 1, γ > 1
+    CLASS_1_3 = "1.3"  # group 1, γ ≈ 1
+    CLASS_2_1 = "2.1"  # group 2, γ > 1
+    CLASS_2_2 = "2.2"  # group 2, γ ≈ 1 (single reconfigurable tile)
+
+    @property
+    def group(self) -> DesignGroup:
+        """Group this class belongs to."""
+        if self in (DesignClass.CLASS_1_1, DesignClass.CLASS_1_2, DesignClass.CLASS_1_3):
+            return DesignGroup.STATIC_DOMINANT
+        return DesignGroup.RECONF_DOMINANT
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Full classification outcome with the intermediate judgements."""
+
+    metrics: DesignMetrics
+    group: DesignGroup
+    gamma_band: GammaBand
+    design_class: DesignClass
+
+
+def gamma_band(
+    gamma: float,
+    low: float = GAMMA_BAND_LOW,
+    high: float = GAMMA_BAND_HIGH,
+) -> GammaBand:
+    """Band of γ relative to 1 under the configured tolerance."""
+    if gamma < low:
+        return GammaBand.BELOW
+    if gamma > high:
+        return GammaBand.ABOVE
+    return GammaBand.NEAR
+
+
+def classify(
+    metrics: DesignMetrics,
+    dominance_ratio: float = KAPPA_DOMINANCE_RATIO,
+    band_low: float = GAMMA_BAND_LOW,
+    band_high: float = GAMMA_BAND_HIGH,
+) -> Classification:
+    """Classify a design per Sec. IV.
+
+    Group-2 designs with γ < 1 cannot occur when the metrics are
+    internally consistent; if threshold settings produce that corner it
+    is resolved to class 2.1 (the conservative neighbour) so callers
+    always receive a class.
+    """
+    group = (
+        DesignGroup.STATIC_DOMINANT
+        if metrics.kappa >= dominance_ratio * metrics.alpha_av
+        else DesignGroup.RECONF_DOMINANT
+    )
+    band = gamma_band(metrics.gamma, band_low, band_high)
+
+    if group is DesignGroup.STATIC_DOMINANT:
+        table = {
+            GammaBand.BELOW: DesignClass.CLASS_1_1,
+            GammaBand.ABOVE: DesignClass.CLASS_1_2,
+            GammaBand.NEAR: DesignClass.CLASS_1_3,
+        }
+        design_class = table[band]
+    else:
+        if band is GammaBand.NEAR and metrics.num_rps == 1:
+            design_class = DesignClass.CLASS_2_2
+        else:
+            design_class = DesignClass.CLASS_2_1
+    return Classification(
+        metrics=metrics, group=group, gamma_band=band, design_class=design_class
+    )

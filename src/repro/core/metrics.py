@@ -1,0 +1,95 @@
+"""The design-size metrics of Eq. 1.
+
+For an SoC with N reconfigurable tiles on a device with LUT_tot LUTs:
+
+    κ     = lut_static / LUT_tot
+    α_av  = (Σ lut_i) / (N · LUT_tot)
+    γ     = (Σ lut_i) / lut_static
+
+κ and α_av are device-relative fractions; γ compares the total
+reconfigurable area to the static area. These three numbers are the
+entire input of the size-driven strategy choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.soc.config import SocConfig
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """κ, α_av, γ plus the raw sizes they were computed from."""
+
+    static_luts: int
+    rp_luts: tuple
+    device_luts: int
+
+    def __post_init__(self) -> None:
+        if self.static_luts <= 0:
+            raise ConfigurationError("static part must have positive size")
+        if self.device_luts <= 0:
+            raise ConfigurationError("device must have positive LUT capacity")
+        if not self.rp_luts:
+            raise ConfigurationError("metrics need at least one reconfigurable tile")
+        if any(l <= 0 for l in self.rp_luts):
+            raise ConfigurationError("reconfigurable tile sizes must be positive")
+
+    @property
+    def num_rps(self) -> int:
+        """N — the number of reconfigurable tiles."""
+        return len(self.rp_luts)
+
+    @property
+    def total_rp_luts(self) -> int:
+        """Σ lut_i."""
+        return sum(self.rp_luts)
+
+    @property
+    def kappa(self) -> float:
+        """κ — static size as a fraction of the device."""
+        return self.static_luts / self.device_luts
+
+    @property
+    def alpha_av(self) -> float:
+        """α_av — average reconfigurable-tile size as a device fraction."""
+        return self.total_rp_luts / (self.num_rps * self.device_luts)
+
+    @property
+    def gamma(self) -> float:
+        """γ — total reconfigurable size over static size."""
+        return self.total_rp_luts / self.static_luts
+
+    def summary(self) -> str:
+        """One-line report in the paper's (percent) convention."""
+        return (
+            f"kappa={self.kappa * 100:.1f}% alpha_av={self.alpha_av * 100:.1f}% "
+            f"gamma={self.gamma:.2f} (N={self.num_rps})"
+        )
+
+
+def compute_metrics(config: SocConfig) -> DesignMetrics:
+    """Metrics of an SoC configuration against its board's device."""
+    rp_luts = config.reconfigurable_luts()
+    if not rp_luts:
+        raise ConfigurationError(
+            f"SoC {config.name!r} has no reconfigurable tiles; the DPR "
+            "metrics are undefined for monolithic designs"
+        )
+    return DesignMetrics(
+        static_luts=config.static_luts(),
+        rp_luts=tuple(rp_luts),
+        device_luts=config.device().capacity().lut,
+    )
+
+
+def metrics_from_sizes(
+    static_luts: int, rp_luts: Sequence[int], device_luts: int
+) -> DesignMetrics:
+    """Metrics directly from raw sizes (used by sweeps and tests)."""
+    return DesignMetrics(
+        static_luts=static_luts, rp_luts=tuple(rp_luts), device_luts=device_luts
+    )

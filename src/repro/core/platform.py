@@ -1,0 +1,257 @@
+"""The PR-ESP platform facade.
+
+One object ties the whole reproduction together: ``build()`` runs the
+automated DPR flow (the paper's single make target), ``compare_with_
+monolithic()`` reproduces the Table V experiment for one SoC,
+``profile_wami()`` reproduces the Fig. 3 profiling methodology (a 2x2
+SoC with a single accelerator tile), and ``deploy_wami()`` programs a
+built SoC and runs the WAMI application under the runtime manager,
+returning performance and energy (the Fig. 4 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.strategy import ImplementationStrategy
+from repro.energy.measure import EnergyReport, measure_energy
+from repro.energy.power import DEFAULT_POWER_MODEL, PowerModel
+from repro.errors import ConfigurationError
+from repro.flow.dpr_flow import DprFlow, FlowResult
+from repro.flow.monolithic import MonolithicFlow, MonolithicResult
+from repro.noc.mesh import Mesh
+from repro.runtime.api import DprUserApi
+from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+from repro.runtime.executor import AppExecutor, ExecutionTimeline
+from repro.runtime.manager import ReconfigurationManager
+from repro.runtime.memory import BitstreamStore
+from repro.runtime.prc import PrcDevice
+from repro.runtime.stats import RuntimeStats, collect_stats
+from repro.sim.kernel import Simulator
+from repro.soc.config import SocConfig
+from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+from repro.vivado.runtime_model import CALIBRATED_MODEL, RuntimeModel
+from repro.wami.accelerators import WAMI_ACCELERATORS, WamiAcceleratorProfile, wami_accelerator
+from repro.wami.app import WamiApplication
+from repro.wami.graph import WamiStage
+
+#: SoC clock of the paper's deployment (VC707 at 78 MHz).
+DEPLOYMENT_CLOCK_HZ = 78e6
+
+
+@dataclass
+class WamiRunReport:
+    """Outcome of running WAMI on a built SoC."""
+
+    config: SocConfig
+    frames: int
+    timeline: ExecutionTimeline
+    energy: EnergyReport
+    reconfigurations: int
+    software_stages: Tuple[WamiStage, ...]
+    runtime_stats: Optional[RuntimeStats] = None
+
+    @property
+    def seconds_per_frame(self) -> float:
+        """Average frame latency."""
+        return self.timeline.makespan_s / self.frames
+
+    @property
+    def joules_per_frame(self) -> float:
+        """Average energy per frame."""
+        return self.energy.joules_per_frame
+
+
+@dataclass
+class WamiProfile:
+    """Fig. 3-style profile of one accelerator on the 2x2 profiling SoC."""
+
+    stage: WamiStage
+    luts: int
+    exec_time_s: float
+    partial_bitstream_kib: float
+    region_kluts: float
+
+
+@dataclass(frozen=True)
+class BuildResult:
+    """``build()`` output: the flow result plus the optional baseline."""
+
+    flow: FlowResult
+    baseline: Optional[MonolithicResult] = None
+
+    @property
+    def speedup_vs_baseline(self) -> Optional[float]:
+        """Baseline-total over PR-ESP-total (None without a baseline)."""
+        if self.baseline is None:
+            return None
+        return self.baseline.total_minutes / self.flow.total_minutes
+
+
+class PrEspPlatform:
+    """Top-level entry point of the reproduction."""
+
+    def __init__(
+        self,
+        model: RuntimeModel = CALIBRATED_MODEL,
+        max_instances: int = 16,
+        compress_bitstreams: bool = True,
+        power_model: PowerModel = DEFAULT_POWER_MODEL,
+        prc_fetch_bytes_per_cycle: Optional[float] = None,
+    ) -> None:
+        self.model = model
+        self.power_model = power_model
+        self.prc_fetch_bytes_per_cycle = prc_fetch_bytes_per_cycle
+        self.flow = DprFlow(
+            model=model,
+            max_instances=max_instances,
+            compress_bitstreams=compress_bitstreams,
+        )
+        self.baseline_flow = MonolithicFlow(
+            model=model, compress_bitstreams=compress_bitstreams
+        )
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        config: SocConfig,
+        strategy_override: Optional[ImplementationStrategy] = None,
+        with_baseline: bool = False,
+    ) -> BuildResult:
+        """Compile ``config`` with the PR-ESP flow (plus baseline if asked)."""
+        flow_result = self.flow.build(config, strategy_override=strategy_override)
+        baseline = self.baseline_flow.build(config) if with_baseline else None
+        return BuildResult(flow=flow_result, baseline=baseline)
+
+    def compare_with_monolithic(
+        self, config: SocConfig
+    ) -> Tuple[FlowResult, MonolithicResult]:
+        """The Table V experiment for one SoC."""
+        result = self.build(config, with_baseline=True)
+        assert result.baseline is not None
+        return result.flow, result.baseline
+
+    # ------------------------------------------------------------------
+    # profiling (Fig. 3 methodology)
+    # ------------------------------------------------------------------
+    def profile_wami(self, stage: WamiStage) -> WamiProfile:
+        """Profile one WAMI accelerator on a 2x2 single-tile SoC."""
+        profile = wami_accelerator(stage)
+        config = SocConfig.assemble(
+            name=f"profile_{profile.name}",
+            board="vc707",
+            rows=2,
+            cols=2,
+            tiles=[
+                Tile(kind=TileKind.CPU, name="cpu0"),
+                Tile(kind=TileKind.MEM, name="mem0"),
+                Tile(kind=TileKind.AUX, name="aux0"),
+                ReconfigurableTile(name="rt0", modes=[profile.as_ip()]),
+            ],
+        )
+        flow_result = self.flow.build(config)
+        partials = flow_result.partial_bitstreams()
+        assignment = flow_result.floorplan.assignment_for("rt0")
+        return WamiProfile(
+            stage=stage,
+            luts=profile.luts,
+            exec_time_s=profile.exec_time_s,
+            partial_bitstream_kib=partials[0].size_kib,
+            region_kluts=assignment.provided.lut / 1000.0,
+        )
+
+    # ------------------------------------------------------------------
+    # deployment (Fig. 4 methodology)
+    # ------------------------------------------------------------------
+    def deploy_wami(
+        self,
+        config: SocConfig,
+        flow_result: Optional[FlowResult] = None,
+        frames: int = 1,
+        app: Optional[WamiApplication] = None,
+        power_gating: bool = False,
+        pipelined: bool = False,
+    ) -> WamiRunReport:
+        """Program a built SoC and run WAMI for ``frames`` frames.
+
+        Builds the SoC first when ``flow_result`` is not supplied.
+        ``power_gating`` enables the blank-after-frame policy: each tile
+        erases its region once its frame work completes, and the energy
+        account charges region power only for configured windows.
+        ``pipelined`` overlaps consecutive frames (an extension: the
+        paper processes frames without pipelining).
+        """
+        if frames <= 0:
+            raise ConfigurationError("frames must be positive")
+        if flow_result is None:
+            flow_result = self.flow.build(config)
+        if flow_result.config.name != config.name:
+            raise ConfigurationError(
+                "flow result belongs to a different SoC "
+                f"({flow_result.config.name!r} vs {config.name!r})"
+            )
+        application = app or WamiApplication()
+
+        sim = Simulator()
+        mesh = Mesh(
+            rows=config.rows, cols=config.cols, clock_hz=DEPLOYMENT_CLOCK_HZ
+        )
+        mem_tile = config.tiles_of_kind(TileKind.MEM)[0]
+        aux_tile = config.tiles_of_kind(TileKind.AUX)[0]
+        prc_kwargs = {}
+        if self.prc_fetch_bytes_per_cycle is not None:
+            prc_kwargs["fetch_bytes_per_cycle"] = self.prc_fetch_bytes_per_cycle
+        prc = PrcDevice(
+            sim,
+            mesh,
+            mem_position=config.position_of(mem_tile.name),
+            aux_position=config.position_of(aux_tile.name),
+            clock_hz=DEPLOYMENT_CLOCK_HZ,
+            **prc_kwargs,
+        )
+        store = BitstreamStore()
+        store.load_flow_output(flow_result.bitstreams)
+        registry = DriverRegistry()
+        for profile in WAMI_ACCELERATORS.values():
+            registry.install(
+                AcceleratorDriver(
+                    accelerator=profile.name, exec_time_s=profile.exec_time_s
+                )
+            )
+        manager = ReconfigurationManager(sim, prc, store, registry)
+        for tile in config.reconfigurable_tiles:
+            manager.attach_tile(tile.name)
+
+        api = DprUserApi(manager)
+        tasks = application.tasks_for_soc(config)
+        executor = AppExecutor(sim, api, tasks, blank_after_frame=power_gating)
+        timeline = executor.run(frames=frames, pipelined=pipelined)
+
+        region_kluts: Dict[str, float] = {
+            assignment.rp_name: assignment.provided.lut / 1000.0
+            for assignment in flow_result.floorplan.assignments
+        }
+        energy = measure_energy(
+            timeline=timeline,
+            frames=frames,
+            static_kluts=config.static_luts() / 1000.0,
+            region_kluts=region_kluts,
+            mode_power_w=application.mode_power_w(),
+            task_modes=application.task_modes(),
+            model=self.power_model,
+            configured_fraction=(
+                manager.configured_fractions() if power_gating else None
+            ),
+        )
+        return WamiRunReport(
+            config=config,
+            frames=frames,
+            timeline=timeline,
+            energy=energy,
+            reconfigurations=manager.total_reconfigurations(),
+            software_stages=tuple(application.software_stages(config)),
+            runtime_stats=collect_stats(manager),
+        )

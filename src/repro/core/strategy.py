@@ -1,0 +1,121 @@
+"""The size-driven implementation-strategy choice (Table I).
+
+Given a design's classification, the algorithm picks serial,
+semi-parallel, or fully-parallel P&R:
+
+================  =========  ============  =====================
+                  γ < 1      γ ≈ 1         γ > 1
+================  =========  ============  =====================
+κ ≈ α_av          (imposs.)  serial        fully-parallel
+κ ≫ α_av          serial     semi-parallel semi/fully-parallel
+κ ≪ α_av          (imposs.)  serial        fully-parallel
+================  =========  ============  =====================
+
+The ``semi/fully-parallel`` cell (Class 1.2) is ambiguous in the table;
+PR-ESP resolves it with the calibrated runtime model when one is
+available (estimate both, take the faster) and defaults to
+fully-parallel otherwise — which matches the published choices for
+SOC_2 and SoC_A.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.classes import (
+    Classification,
+    DesignClass,
+    classify,
+)
+from repro.core.metrics import DesignMetrics
+
+
+class ImplementationStrategy(enum.Enum):
+    """The three P&R parallelism strategies of Sec. IV."""
+
+    SERIAL = "serial"
+    SEMI_PARALLEL = "semi-parallel"
+    FULLY_PARALLEL = "fully-parallel"
+
+
+#: Estimator signature: (metrics, strategy) -> estimated total P&R minutes.
+RuntimeEstimator = Callable[[DesignMetrics, ImplementationStrategy], float]
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """The chosen strategy with its justification."""
+
+    classification: Classification
+    strategy: ImplementationStrategy
+    #: Parallelism degree τ: number of concurrent tool instances for the
+    #: reconfigurable tiles (1 for serial, N for fully-parallel).
+    tau: int
+    #: Model estimates (minutes) when the estimator was consulted.
+    estimated_semi_minutes: Optional[float] = None
+    estimated_fully_minutes: Optional[float] = None
+
+    @property
+    def design_class(self) -> DesignClass:
+        """Shortcut to the classified design class."""
+        return self.classification.design_class
+
+
+#: Default τ for the semi-parallel strategy. The paper sets τ = 2 for
+#: every semi-parallel run of the evaluation.
+SEMI_PARALLEL_TAU = 2
+
+
+def choose_strategy(
+    metrics: DesignMetrics,
+    estimator: Optional[RuntimeEstimator] = None,
+    semi_tau: int = SEMI_PARALLEL_TAU,
+) -> StrategyDecision:
+    """Pick the P&R strategy for a design per Table I.
+
+    ``estimator`` (usually the calibrated Vivado runtime model) breaks
+    the Class 1.2 tie; Class 2.2 designs (single reconfigurable tile)
+    can only be implemented serially.
+    """
+    classification = classify(metrics)
+    cls = classification.design_class
+
+    if cls is DesignClass.CLASS_1_1:
+        return StrategyDecision(classification, ImplementationStrategy.SERIAL, tau=1)
+    if cls is DesignClass.CLASS_1_3:
+        tau = min(semi_tau, metrics.num_rps)
+        return StrategyDecision(
+            classification, ImplementationStrategy.SEMI_PARALLEL, tau=tau
+        )
+    if cls is DesignClass.CLASS_2_2:
+        return StrategyDecision(classification, ImplementationStrategy.SERIAL, tau=1)
+    if cls is DesignClass.CLASS_2_1:
+        return StrategyDecision(
+            classification, ImplementationStrategy.FULLY_PARALLEL, tau=metrics.num_rps
+        )
+
+    # Class 1.2: semi- or fully-parallel, model-tie-broken.
+    assert cls is DesignClass.CLASS_1_2
+    if estimator is None:
+        return StrategyDecision(
+            classification, ImplementationStrategy.FULLY_PARALLEL, tau=metrics.num_rps
+        )
+    semi_estimate = estimator(metrics, ImplementationStrategy.SEMI_PARALLEL)
+    fully_estimate = estimator(metrics, ImplementationStrategy.FULLY_PARALLEL)
+    if semi_estimate < fully_estimate:
+        return StrategyDecision(
+            classification,
+            ImplementationStrategy.SEMI_PARALLEL,
+            tau=min(semi_tau, metrics.num_rps),
+            estimated_semi_minutes=semi_estimate,
+            estimated_fully_minutes=fully_estimate,
+        )
+    return StrategyDecision(
+        classification,
+        ImplementationStrategy.FULLY_PARALLEL,
+        tau=metrics.num_rps,
+        estimated_semi_minutes=semi_estimate,
+        estimated_fully_minutes=fully_estimate,
+    )

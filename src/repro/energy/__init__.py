@@ -1,0 +1,13 @@
+"""Power and energy modelling for the runtime evaluation (Fig. 4).
+
+The paper measures Joules/frame on the VC707; the reproduction replaces
+the power rails with an area/activity model: static leakage + clock
+power proportional to configured area, per-accelerator dynamic power
+while computing, CPU power for software stages, and ICAP/PRC power
+during reconfiguration windows.
+"""
+
+from repro.energy.power import PowerModel, DEFAULT_POWER_MODEL
+from repro.energy.measure import EnergyReport, measure_energy
+
+__all__ = ["PowerModel", "DEFAULT_POWER_MODEL", "EnergyReport", "measure_energy"]

@@ -1,0 +1,111 @@
+"""Energy accounting over an execution timeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.energy.power import DEFAULT_POWER_MODEL, PowerModel
+from repro.runtime.executor import ExecutionTimeline
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one run."""
+
+    frames: int
+    makespan_s: float
+    baseline_j: float  # static + configured-region + board energy
+    dynamic_j: float  # accelerator activity
+    software_j: float  # CPU software stages
+    reconfig_j: float  # PRC/ICAP windows
+
+    @property
+    def total_j(self) -> float:
+        """Total energy of the run."""
+        return self.baseline_j + self.dynamic_j + self.software_j + self.reconfig_j
+
+    @property
+    def joules_per_frame(self) -> float:
+        """The paper's Fig. 4 energy-efficiency metric."""
+        return self.total_j / self.frames
+
+    @property
+    def seconds_per_frame(self) -> float:
+        """The paper's Fig. 4 performance metric."""
+        return self.makespan_s / self.frames
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the run."""
+        return self.total_j / self.makespan_s if self.makespan_s > 0 else 0.0
+
+
+def measure_energy(
+    timeline: ExecutionTimeline,
+    frames: int,
+    static_kluts: float,
+    region_kluts: Mapping[str, float],
+    mode_power_w: Mapping[str, float],
+    task_modes: Mapping[str, str],
+    model: PowerModel = DEFAULT_POWER_MODEL,
+    configured_fraction: Optional[Mapping[str, float]] = None,
+) -> EnergyReport:
+    """Integrate the power model over a timeline.
+
+    ``region_kluts`` maps each reconfigurable tile to its floorplanned
+    region area; ``mode_power_w`` maps accelerator names to dynamic
+    power; ``task_modes`` maps task names to the accelerator they ran
+    (software tasks may be absent). ``configured_fraction`` (power
+    gating) scales each region's clock/leakage power by the share of
+    time it actually held a configuration — 1.0 when absent.
+    """
+    if frames <= 0:
+        raise ConfigurationError("frames must be positive")
+    if timeline.makespan_s <= 0:
+        raise ConfigurationError("timeline has no duration")
+
+    effective_region = 0.0
+    for tile, kluts in region_kluts.items():
+        fraction = 1.0
+        if configured_fraction is not None:
+            fraction = configured_fraction.get(tile, 1.0)
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(
+                    f"{tile}: configured fraction {fraction} outside [0, 1]"
+                )
+        effective_region += kluts * fraction
+    baseline_power = model.baseline_power_w(static_kluts, effective_region)
+    baseline_j = baseline_power * timeline.makespan_s
+
+    dynamic_j = 0.0
+    software_j = 0.0
+    reconfig_j = 0.0
+    for event in timeline.events:
+        if event.kind == "exec":
+            # Pipelined timelines prefix instances with "f<k>:".
+            base_task = event.task.split(":", 1)[-1]
+            mode = task_modes.get(event.task, task_modes.get(base_task))
+            if mode is None:
+                raise ConfigurationError(
+                    f"hardware task {event.task!r} has no mode mapping"
+                )
+            if mode not in mode_power_w:
+                raise ConfigurationError(f"no dynamic power for mode {mode!r}")
+            dynamic_j += mode_power_w[mode] * event.duration_s
+        elif event.kind == "sw":
+            software_j += model.cpu_active_w * event.duration_s
+        elif event.kind == "reconfig":
+            reconfig_j += model.reconfig_w * event.duration_s
+        else:  # pragma: no cover - executor only emits the three kinds
+            raise ConfigurationError(f"unknown timeline event kind {event.kind!r}")
+
+    return EnergyReport(
+        frames=frames,
+        makespan_s=timeline.makespan_s,
+        baseline_j=baseline_j,
+        dynamic_j=dynamic_j,
+        software_j=software_j,
+        reconfig_j=reconfig_j,
+    )

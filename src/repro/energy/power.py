@@ -1,0 +1,55 @@
+"""The SoC power model.
+
+Calibrated qualitatively against Fig. 4's orderings: the two-tile SoC_X
+is the most energy-efficient (fewest/smallest powered reconfigurable
+regions) while the four-tile SoC_Z is the fastest but least efficient
+(more configured area burning clock/leakage power for the whole frame,
+more accelerators active concurrently). Absolute watts are plausible
+for a Virtex-7 design at 78 MHz but are not board measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power coefficients of the energy account."""
+
+    #: Leakage + clock power of the static part, W per kLUT of static logic.
+    static_w_per_klut: float = 0.012
+    #: Clock/leakage power of a *configured* reconfigurable region,
+    #: W per kLUT of region area. Charged for the whole frame — a loaded
+    #: region burns clock power even while idle (no clock gating across
+    #: the DFX boundary in the PR-ESP wrapper).
+    region_w_per_klut: float = 0.035
+    #: Fixed board overhead (DDR, clocking, I/O), W.
+    board_w: float = 1.8
+    #: CPU tile power while executing software stages, W.
+    cpu_active_w: float = 2.4
+    #: PRC + ICAP power during a reconfiguration window, W.
+    reconfig_w: float = 0.9
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "static_w_per_klut",
+            "region_w_per_klut",
+            "board_w",
+            "cpu_active_w",
+            "reconfig_w",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    def baseline_power_w(self, static_kluts: float, region_kluts_total: float) -> float:
+        """Always-on power of a configured SoC (no accelerator active)."""
+        return (
+            self.board_w
+            + self.static_w_per_klut * static_kluts
+            + self.region_w_per_klut * region_kluts_total
+        )
+
+
+#: The model used by the benchmarks.
+DEFAULT_POWER_MODEL = PowerModel()

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the PR-ESP reproduction.
+
+Every package raises subclasses of :class:`PrEspError` so callers can
+catch platform failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class PrEspError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(PrEspError):
+    """An SoC configuration is malformed or violates a platform rule."""
+
+
+class FabricError(PrEspError):
+    """A device/fabric operation is illegal (bad coordinates, overflow)."""
+
+
+class ResourceError(FabricError):
+    """A resource request cannot be satisfied by the target region."""
+
+
+class FloorplanError(PrEspError):
+    """The floorplanner could not produce a legal set of pblocks."""
+
+
+class DprRuleViolation(PrEspError):
+    """A design construct violates a Xilinx DPR/DFX design rule.
+
+    The paper lists two concrete ones that motivated the reconfigurable
+    tile: clock-modifying logic inside a reconfigurable partition and
+    route-through paths crossing it.
+    """
+
+
+class SynthesisError(PrEspError):
+    """Simulated synthesis failed (unresolved black box, bad hierarchy)."""
+
+
+class ImplementationError(PrEspError):
+    """Simulated place-and-route or bitstream generation failed."""
+
+
+class FlowError(PrEspError):
+    """The DPR flow orchestration hit an inconsistent state."""
+
+
+class SimulationError(PrEspError):
+    """The discrete-event simulation kernel was misused."""
+
+
+class ReconfigurationError(PrEspError):
+    """The runtime reconfiguration manager rejected or failed a request."""
+
+
+class DriverError(ReconfigurationError):
+    """Driver registration/lookup failed in the runtime manager."""
+
+
+class NocError(PrEspError):
+    """Illegal NoC construction or routing request."""

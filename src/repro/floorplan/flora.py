@@ -1,0 +1,247 @@
+"""The FLORA-style pblock packer.
+
+FLORA formulates DPR floorplanning as an optimization over column-
+granular rectangles; this adaptation keeps its essential structure —
+column-aware candidate enumeration, per-resource coverage, forbidden
+column avoidance, non-overlap — with a deterministic best-fit heuristic
+in place of the MILP (the flow only needs *a* legal floorplan; pblock
+geometry does not feed the runtime model).
+
+The candidate search uses per-resource column prefix sums and a
+two-pointer sweep per clock-region band, so planning is linear in the
+number of fabric columns per band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import FloorplanError
+from repro.fabric.device import Device
+from repro.fabric.pblock import Pblock
+from repro.fabric.resources import ResourceKind, ResourceVector
+
+
+@dataclass(frozen=True)
+class RegionAssignment:
+    """One RP's placement with its demand and provided resources."""
+
+    rp_name: str
+    pblock: Pblock
+    demand: ResourceVector
+    provided: ResourceVector
+
+    @property
+    def lut_utilization(self) -> float:
+        """Demanded over provided LUTs."""
+        return self.demand.lut / max(self.provided.lut, 1)
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A complete floorplan: one assignment per RP."""
+
+    device_name: str
+    assignments: Tuple[RegionAssignment, ...]
+
+    def pblocks(self) -> List[Pblock]:
+        """All pblocks in assignment order."""
+        return [a.pblock for a in self.assignments]
+
+    def assignment_for(self, rp_name: str) -> RegionAssignment:
+        """Assignment lookup by RP name."""
+        for assignment in self.assignments:
+            if assignment.rp_name == rp_name:
+                return assignment
+        raise FloorplanError(f"no assignment for RP {rp_name!r}")
+
+
+def _unblocked_runs(blocked: np.ndarray) -> List[Tuple[int, int]]:
+    """Maximal inclusive [lo, hi] runs of False in a boolean mask."""
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for index, is_blocked in enumerate(blocked):
+        if not is_blocked and start is None:
+            start = index
+        elif is_blocked and start is not None:
+            runs.append((start, index - 1))
+            start = None
+    if start is not None:
+        runs.append((start, len(blocked) - 1))
+    return runs
+
+
+class FloraFloorplanner:
+    """Deterministic best-fit floorplanner over a device."""
+
+    def __init__(
+        self,
+        device: Device,
+        target_utilization: float = 0.7,
+        max_height_regions: Optional[int] = None,
+    ) -> None:
+        if not 0.1 <= target_utilization <= 1.0:
+            raise FloorplanError(
+                f"target utilization must be in [0.1, 1.0], got {target_utilization}"
+            )
+        self.device = device
+        self.target_utilization = target_utilization
+        self.max_height = max_height_regions or device.region_rows
+        self._forbidden: Set[int] = set(device.forbidden_columns())
+        # Per-resource prefix sums over column segments: prefix[k][x] is
+        # the sum of resource k over columns [0, x).
+        kinds = list(ResourceKind)
+        per_column = np.array(
+            [
+                [device.segment_resources(device.column_kind(x)).get(kind) for kind in kinds]
+                for x in range(device.num_columns)
+            ],
+            dtype=np.int64,
+        )
+        self._prefix = np.vstack(
+            [np.zeros((1, len(kinds)), dtype=np.int64), np.cumsum(per_column, axis=0)]
+        )
+        self._kinds = kinds
+
+    # ------------------------------------------------------------------
+    def plan(self, demands: Sequence[Tuple[str, ResourceVector]]) -> Floorplan:
+        """Place every RP; raises :class:`FloorplanError` if any fails.
+
+        RPs are placed in descending LUT-demand order (hardest first),
+        but the returned assignments preserve the caller's order.
+        """
+        if not demands:
+            raise FloorplanError("nothing to floorplan")
+        names = [name for name, _ in demands]
+        if len(set(names)) != len(names):
+            raise FloorplanError("RP names must be unique")
+
+        occupied: Set[Tuple[int, int]] = set()  # (col, region_row) cells
+        placed: Dict[str, RegionAssignment] = {}
+        order = sorted(demands, key=lambda item: (-item[1].lut, item[0]))
+        for rp_name, demand in order:
+            assignment = self._place_with_relaxation(rp_name, demand, occupied)
+            placed[rp_name] = assignment
+            pb = assignment.pblock
+            for col in range(pb.col_lo, pb.col_hi + 1):
+                for row in range(pb.row_lo, pb.row_hi + 1):
+                    occupied.add((col, row))
+        return Floorplan(
+            device_name=self.device.name,
+            assignments=tuple(placed[name] for name in names),
+        )
+
+    # ------------------------------------------------------------------
+    def _place_with_relaxation(
+        self,
+        rp_name: str,
+        demand: ResourceVector,
+        occupied: Set[Tuple[int, int]],
+    ) -> RegionAssignment:
+        """Place one RP, relaxing the routability headroom if needed.
+
+        Dense designs (the paper's SOC_4 puts ~80% of the device into
+        reconfigurable regions) cannot afford the full slack on every
+        region; like FLORA, the planner degrades gracefully to tighter
+        packing before giving up.
+        """
+        last_error: Optional[FloorplanError] = None
+        for utilization in self._relaxation_ladder():
+            try:
+                return self._place_one(rp_name, demand, occupied, utilization)
+            except FloorplanError as error:
+                last_error = error
+        assert last_error is not None
+        raise last_error
+
+    def _relaxation_ladder(self) -> List[float]:
+        ladder = [self.target_utilization]
+        for step in (0.8, 0.9, 0.97):
+            if step > ladder[-1]:
+                ladder.append(step)
+        return ladder
+
+    def _inflated(
+        self, demand: ResourceVector, utilization: Optional[float] = None
+    ) -> ResourceVector:
+        """Demand inflated by the routability headroom (LUT/FF only;
+        BRAM/DSP are column-quantized and need no slack)."""
+        utilization = utilization or self.target_utilization
+        return ResourceVector(
+            lut=int(np.ceil(demand.lut / utilization)),
+            ff=int(np.ceil(demand.ff / utilization)),
+            bram=demand.bram,
+            dsp=demand.dsp,
+        )
+
+    def _window_satisfies(
+        self, need: np.ndarray, col_lo: int, col_hi: int, height: int
+    ) -> bool:
+        window = (self._prefix[col_hi + 1] - self._prefix[col_lo]) * height
+        return bool(np.all(window >= need))
+
+    def _place_one(
+        self,
+        rp_name: str,
+        demand: ResourceVector,
+        occupied: Set[Tuple[int, int]],
+        utilization: Optional[float] = None,
+    ) -> RegionAssignment:
+        """Smallest legal rectangle covering the inflated demand.
+
+        Ties on area prefer the leftmost, bottom-most anchor so regions
+        pack densely instead of fragmenting the fabric.
+        """
+        inflated = self._inflated(demand, utilization)
+        need = np.array([inflated.get(kind) for kind in self._kinds], dtype=np.int64)
+        device = self.device
+        best: Optional[Pblock] = None
+        best_key: Optional[Tuple[int, int, int]] = None
+
+        for height in range(1, self.max_height + 1):
+            for row_lo in range(0, device.region_rows - height + 1):
+                row_hi = row_lo + height - 1
+                blocked = np.array(
+                    [
+                        (x in self._forbidden)
+                        or any((x, row) in occupied for row in range(row_lo, row_hi + 1))
+                        for x in range(device.num_columns)
+                    ]
+                )
+                # Two-pointer sweep within each maximal unblocked run.
+                for run_lo, run_hi in _unblocked_runs(blocked):
+                    col_hi = run_lo
+                    for col_lo in range(run_lo, run_hi + 1):
+                        col_hi = max(col_hi, col_lo)
+                        while col_hi <= run_hi and not self._window_satisfies(
+                            need, col_lo, col_hi, height
+                        ):
+                            col_hi += 1
+                        if col_hi > run_hi:
+                            break  # even the full run cannot satisfy the need
+                        area = (col_hi - col_lo + 1) * height
+                        key = (area, col_lo, row_lo)
+                        if best_key is None or key < best_key:
+                            best = Pblock(
+                                name=f"pblock_{rp_name}",
+                                col_lo=col_lo,
+                                col_hi=col_hi,
+                                row_lo=row_lo,
+                                row_hi=row_hi,
+                            )
+                            best_key = key
+
+        if best is None:
+            raise FloorplanError(
+                f"cannot place RP {rp_name!r}: demand {demand} (inflated "
+                f"{inflated}) does not fit the remaining fabric of {device.name}"
+            )
+        return RegionAssignment(
+            rp_name=rp_name,
+            pblock=best,
+            demand=demand,
+            provided=best.resources(self.device),
+        )

@@ -1,0 +1,40 @@
+"""The PR-ESP FPGA flow (Fig. 1): parse → synthesize → floorplan →
+choose parallelism → place & route → bitstreams.
+
+``dpr_flow`` orchestrates the whole RTL-to-bitstream compilation (the
+paper's single make target); ``monolithic`` is the baseline standard
+Xilinx DPR flow run in a single tool instance; ``schedule`` turns a
+strategy decision into concrete parallel tool runs; ``grouping``
+implements the semi-parallel tile grouping; ``blackbox`` generates the
+black-box wrappers the static synthesis uses.
+"""
+
+from repro.flow.grouping import balanced_groups
+from repro.flow.blackbox import BlackBoxWrapper, generate_blackboxes
+from repro.flow.scripts import SynthesisScript, ImplementationScript
+from repro.flow.schedule import ImplementationPlan, ImplementationRun, plan_implementation
+from repro.flow.dpr_flow import DprFlow, FlowResult, StageTrace
+from repro.flow.incremental import IncrementalFlow, IncrementalResult, rebuild_tiles
+from repro.flow.monolithic import MonolithicFlow, MonolithicResult
+from repro.flow.report import comparison_report, flow_report
+
+__all__ = [
+    "balanced_groups",
+    "BlackBoxWrapper",
+    "generate_blackboxes",
+    "SynthesisScript",
+    "ImplementationScript",
+    "ImplementationPlan",
+    "ImplementationRun",
+    "plan_implementation",
+    "DprFlow",
+    "FlowResult",
+    "StageTrace",
+    "IncrementalFlow",
+    "IncrementalResult",
+    "rebuild_tiles",
+    "MonolithicFlow",
+    "MonolithicResult",
+    "flow_report",
+    "comparison_report",
+]

@@ -1,0 +1,62 @@
+"""Auto-generated black-box wrappers.
+
+During static synthesis the reconfigurable accelerators are replaced by
+black-box wrapper instances (Sec. IV): empty modules exposing only the
+predefined reconfigurable-tile interface — load/store ports, the
+memory-mapped register interface, and the completion interrupt — so the
+static netlist closes while the tile contents synthesize out of context
+in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.soc.partition import DesignPartition
+
+
+#: The common reconfigurable-wrapper interface (Sec. III, Fig. 2B).
+WRAPPER_PORTS: Tuple[Tuple[str, str, int], ...] = (
+    # (name, direction, width)
+    ("clk", "in", 1),
+    ("rst_n", "in", 1),
+    ("dma_read_ctrl", "out", 67),
+    ("dma_read_chnl", "in", 64),
+    ("dma_write_ctrl", "out", 67),
+    ("dma_write_chnl", "out", 64),
+    ("apb_req", "in", 33),
+    ("apb_rsp", "out", 32),
+    ("acc_done_irq", "out", 1),
+)
+
+
+@dataclass(frozen=True)
+class BlackBoxWrapper:
+    """A generated black-box stand-in for one RP."""
+
+    rp_name: str
+    module_name: str
+    ports: Tuple[Tuple[str, str, int], ...] = WRAPPER_PORTS
+
+    def verilog_stub(self) -> str:
+        """The empty-module Verilog the generator would emit."""
+        lines = [f"module {self.module_name} ("]
+        decls = []
+        for name, direction, width in self.ports:
+            range_txt = f"[{width - 1}:0] " if width > 1 else ""
+            keyword = "input" if direction == "in" else "output"
+            decls.append(f"  {keyword} {range_txt}{name}")
+        lines.append(",\n".join(decls))
+        lines.append(");")
+        lines.append("  // black box: contents provided by a partial bitstream")
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+
+def generate_blackboxes(partition: DesignPartition) -> List[BlackBoxWrapper]:
+    """One black-box wrapper per reconfigurable partition."""
+    return [
+        BlackBoxWrapper(rp_name=rp.name, module_name=rp.wrapper.name)
+        for rp in partition.rps
+    ]

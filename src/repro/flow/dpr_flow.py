@@ -1,0 +1,437 @@
+"""The PR-ESP DPR flow orchestrator (Fig. 1).
+
+``DprFlow.build()`` is the paper's single make target: it parses the
+SoC configuration, splits static from reconfigurable sources, runs the
+parallel OoC syntheses, floorplans the reconfigurable partitions,
+chooses the size-driven P&R parallelism, orchestrates the (possibly
+parallel) implementation runs, and generates full plus compressed
+partial bitstreams. The returned :class:`FlowResult` carries every
+intermediate the paper's tables report (synthesis makespan, t_static,
+Ω per run, T_P&R, bitstream sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import DesignMetrics, compute_metrics
+from repro.core.strategy import (
+    ImplementationStrategy,
+    StrategyDecision,
+    choose_strategy,
+)
+from repro.errors import FlowError
+from repro.fabric.device import Device
+from repro.floorplan.constraints import validate_floorplan
+from repro.floorplan.flora import Floorplan, FloraFloorplanner
+from repro.flow.blackbox import BlackBoxWrapper, generate_blackboxes
+from repro.flow.schedule import (
+    ImplementationPlan,
+    ImplementationRun,
+    RunKind,
+    plan_implementation,
+)
+from repro.soc.config import SocConfig
+from repro.soc.partition import DesignPartition, partition_design
+from repro.vivado.bitstream import Bitstream
+from repro.vivado.checkpoint import NetlistCheckpoint, RoutedCheckpoint
+from repro.vivado.par import ParMode
+from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind, RuntimeModel
+from repro.vivado.server import ScheduleResult, ToolJob, VivadoServer
+from repro.vivado.tool import VivadoInstance
+
+
+@dataclass(frozen=True)
+class StageTrace:
+    """One executed flow stage (the boxes of Fig. 1)."""
+
+    stage: str
+    wall_minutes: float
+    detail: str
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced for one SoC."""
+
+    config: SocConfig
+    partition: DesignPartition
+    metrics: DesignMetrics
+    decision: StrategyDecision
+    plan: ImplementationPlan
+    floorplan: Floorplan
+    blackboxes: List[BlackBoxWrapper]
+    synth_makespan_minutes: float
+    static_par_minutes: Optional[float]
+    omega_minutes: Dict[str, float]
+    par_makespan_minutes: float
+    bitstreams: List[Bitstream]
+    stages: List[StageTrace]
+    schedule: ScheduleResult
+
+    @property
+    def strategy(self) -> ImplementationStrategy:
+        """The strategy the flow executed."""
+        return self.plan.strategy
+
+    @property
+    def max_omega_minutes(self) -> Optional[float]:
+        """max{Ω} over the in-context runs (None for serial)."""
+        if not self.omega_minutes:
+            return None
+        return max(self.omega_minutes.values())
+
+    @property
+    def total_minutes(self) -> float:
+        """T_tot — synthesis plus implementation wall time."""
+        return self.synth_makespan_minutes + self.par_makespan_minutes
+
+    def partial_bitstreams(self) -> List[Bitstream]:
+        """The partial bitstreams, in (tile, mode) order."""
+        from repro.vivado.bitstream import BitstreamKind
+
+        return [b for b in self.bitstreams if b.kind is BitstreamKind.PARTIAL]
+
+    def to_summary_dict(self) -> Dict:
+        """JSON-serializable summary (for tooling and CI dashboards)."""
+        return {
+            "soc": self.config.name,
+            "board": self.config.board,
+            "grid": f"{self.config.rows}x{self.config.cols}",
+            "design_class": self.decision.design_class.value,
+            "strategy": self.strategy.value,
+            "tau": self.plan.tau,
+            "metrics": {
+                "kappa": self.metrics.kappa,
+                "alpha_av": self.metrics.alpha_av,
+                "gamma": self.metrics.gamma,
+                "num_rps": self.metrics.num_rps,
+            },
+            "minutes": {
+                "synthesis": self.synth_makespan_minutes,
+                "t_static": self.static_par_minutes,
+                "max_omega": self.max_omega_minutes,
+                "par_makespan": self.par_makespan_minutes,
+                "total": self.total_minutes,
+            },
+            "bitstreams": [
+                {
+                    "name": b.name,
+                    "kind": b.kind.value,
+                    "kib": round(b.size_kib, 1),
+                    "target": b.target_rp,
+                    "mode": b.mode,
+                }
+                for b in self.bitstreams
+            ],
+            "floorplan": [
+                {
+                    "rp": a.rp_name,
+                    "cols": [a.pblock.col_lo, a.pblock.col_hi],
+                    "rows": [a.pblock.row_lo, a.pblock.row_hi],
+                    "utilization": round(a.lut_utilization, 3),
+                }
+                for a in self.floorplan.assignments
+            ],
+        }
+
+
+class DprFlow:
+    """The automated PR-ESP FPGA flow."""
+
+    def __init__(
+        self,
+        model: RuntimeModel = CALIBRATED_MODEL,
+        max_instances: int = 16,
+        compress_bitstreams: bool = True,
+        floorplan_utilization: float = 0.7,
+    ) -> None:
+        if max_instances <= 0:
+            raise FlowError("flow needs at least one tool instance")
+        self.model = model
+        self.max_instances = max_instances
+        self.compress_bitstreams = compress_bitstreams
+        self.floorplan_utilization = floorplan_utilization
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        config: SocConfig,
+        strategy_override: Optional[ImplementationStrategy] = None,
+        semi_tau: int = 2,
+    ) -> FlowResult:
+        """Run the full RTL-to-bitstream flow for ``config``.
+
+        ``strategy_override`` forces a P&R strategy (used by the
+        evaluation to sweep all three); by default the size-driven
+        algorithm decides.
+        """
+        stages: List[StageTrace] = []
+        device = config.device()
+
+        # -- 1. parse the SoC configuration / split the sources --------
+        partition = partition_design(config)
+        stages.append(
+            StageTrace(
+                stage="parse",
+                wall_minutes=0.0,
+                detail=(
+                    f"static={partition.static.luts} LUTs, "
+                    f"{partition.num_rps} reconfigurable tiles"
+                ),
+            )
+        )
+
+        # -- 2. black-box wrapper generation ----------------------------
+        blackboxes = generate_blackboxes(partition)
+        stages.append(
+            StageTrace(
+                stage="blackbox_gen",
+                wall_minutes=0.0,
+                detail=f"{len(blackboxes)} wrappers",
+            )
+        )
+
+        # -- 3. parallel OoC synthesis ----------------------------------
+        synth_makespan, netlists, static_netlist = self._synthesize(partition)
+        stages.append(
+            StageTrace(
+                stage="synthesis",
+                wall_minutes=synth_makespan,
+                detail=f"{1 + len(netlists)} parallel OoC runs",
+            )
+        )
+
+        # -- 4. floorplanning -------------------------------------------
+        floorplanner = FloraFloorplanner(
+            device, target_utilization=self.floorplan_utilization
+        )
+        floorplan = floorplanner.plan([(rp.name, rp.demand) for rp in partition.rps])
+        report = validate_floorplan(device, floorplan)
+        if not report.legal:
+            raise FlowError("floorplan validation failed: " + "; ".join(report.violations))
+        stages.append(
+            StageTrace(
+                stage="floorplan",
+                wall_minutes=0.0,
+                detail=f"{len(floorplan.assignments)} pblocks on {device.name}",
+            )
+        )
+
+        # -- 5. size-driven strategy choice ------------------------------
+        metrics = compute_metrics(config)
+        decision = choose_strategy(
+            metrics, estimator=self.model.strategy_estimator(tau=semi_tau), semi_tau=semi_tau
+        )
+        if strategy_override is not None and strategy_override is not decision.strategy:
+            decision = StrategyDecision(
+                classification=decision.classification,
+                strategy=strategy_override,
+                tau=(
+                    1
+                    if strategy_override is ImplementationStrategy.SERIAL
+                    else metrics.num_rps
+                    if strategy_override is ImplementationStrategy.FULLY_PARALLEL
+                    else min(semi_tau, metrics.num_rps)
+                ),
+            )
+        plan = plan_implementation(partition, decision)
+        stages.append(
+            StageTrace(
+                stage="choose_parallelism",
+                wall_minutes=0.0,
+                detail=(
+                    f"class {decision.design_class.value} -> "
+                    f"{decision.strategy.value} (tau={plan.tau})"
+                ),
+            )
+        )
+
+        # -- 6. implementation + bitstream generation --------------------
+        # Each tool instance writes the bitstreams of the partitions it
+        # implemented, so bitgen time lands inside the runs (as in the
+        # real flow) and the makespan stays comparable to the baseline.
+        (
+            static_minutes,
+            omegas,
+            par_makespan,
+            schedule,
+            bitstreams,
+        ) = self._implement(
+            config, partition, plan, device, floorplan, netlists, static_netlist
+        )
+        stages.append(
+            StageTrace(
+                stage="implementation",
+                wall_minutes=par_makespan,
+                detail=f"{len(plan.runs)} runs, strategy {plan.strategy.value}",
+            )
+        )
+        stages.append(
+            StageTrace(
+                stage="bitstreams",
+                wall_minutes=0.0,
+                detail=f"{len(bitstreams)} bitstreams "
+                f"({'compressed' if self.compress_bitstreams else 'raw'} partials)",
+            )
+        )
+
+        return FlowResult(
+            config=config,
+            partition=partition,
+            metrics=metrics,
+            decision=decision,
+            plan=plan,
+            floorplan=floorplan,
+            blackboxes=blackboxes,
+            synth_makespan_minutes=synth_makespan,
+            static_par_minutes=static_minutes,
+            omega_minutes=omegas,
+            par_makespan_minutes=par_makespan,
+            bitstreams=bitstreams,
+            stages=stages,
+            schedule=schedule,
+        )
+
+    # ------------------------------------------------------------------
+    def _synthesize(
+        self, partition: DesignPartition
+    ) -> Tuple[float, Dict[str, NetlistCheckpoint], NetlistCheckpoint]:
+        """Run the static + per-tile OoC syntheses in parallel.
+
+        The static top is synthesized with the reconfigurable wrappers
+        black-boxed; it is charged on the OoC curve because the run is
+        identical in character (no context, netlist-out) even though the
+        result is the design top.
+        """
+        black_box_names = [rp.wrapper.name for rp in partition.rps]
+        static_tool = VivadoInstance("synth_static", self.model)
+        static_netlist = static_tool.synth_design(
+            partition.rtl, ooc=True, black_box_names=black_box_names
+        )
+        jobs = [ToolJob(name="synth_static", cpu_minutes=static_tool.cpu_minutes)]
+        netlists: Dict[str, NetlistCheckpoint] = {}
+        for rp in partition.rps:
+            tool = VivadoInstance(f"synth_{rp.name}", self.model)
+            netlists[rp.name] = tool.synth_design(rp.wrapper, ooc=True)
+            jobs.append(ToolJob(name=f"synth_{rp.name}", cpu_minutes=tool.cpu_minutes))
+        server = VivadoServer(max_instances=self.max_instances)
+        schedule = server.schedule(jobs)
+        return schedule.makespan_minutes, netlists, static_netlist
+
+    # ------------------------------------------------------------------
+    def _write_rp_bitstreams(
+        self,
+        tool: VivadoInstance,
+        partition: DesignPartition,
+        floorplan: Floorplan,
+        rp_names: Sequence[str],
+    ) -> List[Bitstream]:
+        """Write the partial bitstreams of the given RPs on ``tool``."""
+        from repro.fabric.resources import ResourceVector
+        from repro.soc.tiles import CPU_TILE_LUTS
+
+        bitstreams: List[Bitstream] = []
+        for rp_name in rp_names:
+            rp = partition.rp_by_name(rp_name)
+            assignment = floorplan.assignment_for(rp.name)
+            for ip in rp.tile.modes:
+                bitstreams.append(
+                    tool.write_partial_bitstream(
+                        rp.name, ip.name, assignment.provided, ip.resources
+                    )
+                )
+            if rp.tile.host_cpu:
+                core_luts = CPU_TILE_LUTS[rp.tile.hosted_cpu_core]
+                bitstreams.append(
+                    tool.write_partial_bitstream(
+                        rp.name,
+                        rp.tile.hosted_cpu_core.value,
+                        assignment.provided,
+                        ResourceVector(lut=core_luts, ff=int(core_luts * 1.2)),
+                    )
+                )
+            # Blanking (greybox) image: lets the runtime erase the
+            # region for power saving or fault clearing.
+            bitstreams.append(
+                tool.write_blanking_bitstream(rp.name, assignment.provided)
+            )
+        return bitstreams
+
+    def _implement(
+        self,
+        config: SocConfig,
+        partition: DesignPartition,
+        plan: ImplementationPlan,
+        device: Device,
+        floorplan: Floorplan,
+        netlists: Dict[str, NetlistCheckpoint],
+        static_netlist: NetlistCheckpoint,
+    ) -> Tuple[
+        Optional[float], Dict[str, float], float, ScheduleResult, List[Bitstream]
+    ]:
+        """Execute the implementation plan; returns
+        (t_static, Ω per run, makespan, schedule, bitstreams)."""
+        pblocks = floorplan.pblocks()
+        demands = [a.demand for a in floorplan.assignments]
+        pblock_by_rp = {a.rp_name: a.pblock.name for a in floorplan.assignments}
+        all_rp_names = [rp.name for rp in partition.rps]
+
+        jobs: List[ToolJob] = []
+        omegas: Dict[str, float] = {}
+        static_minutes: Optional[float] = None
+        bitstreams: List[Bitstream] = []
+
+        if plan.strategy is ImplementationStrategy.SERIAL:
+            tool = VivadoInstance(
+                "impl_serial", self.model, compress_bitstreams=self.compress_bitstreams
+            )
+            rp_netlists = [netlists[rp.name] for rp in partition.rps]
+            tool.implement_full(
+                static_netlist,
+                rp_netlists,
+                device,
+                pblocks,
+                demands,
+                mode=ParMode.FULL_SERIAL,
+            )
+            bitstreams.append(tool.write_full_bitstream(config.name, device))
+            bitstreams += self._write_rp_bitstreams(
+                tool, partition, floorplan, all_rp_names
+            )
+            jobs.append(ToolJob(name="impl_serial", cpu_minutes=tool.cpu_minutes))
+        else:
+            static_tool = VivadoInstance(
+                "impl_static", self.model, compress_bitstreams=self.compress_bitstreams
+            )
+            static_routed = static_tool.implement_static(
+                static_netlist, device, pblocks, demands
+            )
+            # The static instance assembles and writes the full-device
+            # bitstream (with placeholder greyboxes).
+            bitstreams.append(static_tool.write_full_bitstream(config.name, device))
+            static_minutes = static_tool.cpu_minutes
+            jobs.append(ToolJob(name="impl_static", cpu_minutes=static_minutes))
+            for run in plan.context_runs:
+                tool = VivadoInstance(
+                    run.name, self.model, compress_bitstreams=self.compress_bitstreams
+                )
+                group = [netlists[name] for name in run.rp_names]
+                targets = [pblock_by_rp[name] for name in run.rp_names]
+                tool.implement_in_context(static_routed, group, targets)
+                bitstreams += self._write_rp_bitstreams(
+                    tool, partition, floorplan, run.rp_names
+                )
+                omegas[run.name] = tool.cpu_minutes
+                jobs.append(
+                    ToolJob(
+                        name=run.name,
+                        cpu_minutes=tool.cpu_minutes,
+                        depends_on=("impl_static",),
+                    )
+                )
+
+        server = VivadoServer(max_instances=max(self.max_instances, plan.tau))
+        schedule = server.schedule(jobs)
+        return static_minutes, omegas, schedule.makespan_minutes, schedule, bitstreams

@@ -1,0 +1,56 @@
+"""Semi-parallel tile grouping.
+
+The semi-parallel strategy "opportunistically groups" two or more
+reconfigurable tiles per tool instance (Sec. IV). Because the total
+implementation time is t_static + max over groups, the grouping that
+minimizes the makespan is a balanced partition; the classic LPT
+(longest processing time first) greedy gives a 4/3-approximation and is
+what PR-ESP uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from repro.errors import FlowError
+
+T = TypeVar("T")
+
+
+def balanced_groups(
+    items: Sequence[T],
+    num_groups: int,
+    weight: Callable[[T], float],
+) -> List[List[T]]:
+    """Partition ``items`` into ``num_groups`` groups minimizing the
+    maximum total ``weight`` (LPT greedy).
+
+    Groups are returned sorted by descending total weight; empty groups
+    are dropped (when there are fewer items than groups).
+    """
+    if num_groups <= 0:
+        raise FlowError(f"number of groups must be positive, got {num_groups}")
+    ordered = sorted(items, key=weight, reverse=True)
+    groups: List[List[T]] = [[] for _ in range(num_groups)]
+    totals = [0.0] * num_groups
+    for item in ordered:
+        slot = min(range(num_groups), key=lambda g: (totals[g], g))
+        groups[slot].append(item)
+        totals[slot] += weight(item)
+    paired = sorted(zip(totals, groups), key=lambda tg: -tg[0])
+    return [group for total, group in paired if group]
+
+
+def group_weights(
+    groups: Sequence[Sequence[T]], weight: Callable[[T], float]
+) -> List[float]:
+    """Total weight per group."""
+    return [sum(weight(item) for item in group) for group in groups]
+
+
+def makespan(groups: Sequence[Sequence[T]], weight: Callable[[T], float]) -> float:
+    """The largest group weight (the quantity LPT minimizes)."""
+    weights = group_weights(groups, weight)
+    if not weights:
+        raise FlowError("makespan of an empty grouping is undefined")
+    return max(weights)

@@ -1,0 +1,83 @@
+"""Human-readable flow reports (what `make fpga-bitstream` would print)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.flow.dpr_flow import FlowResult
+from repro.flow.monolithic import MonolithicResult
+
+
+def _fmt(minutes: Optional[float]) -> str:
+    return "-" if minutes is None else f"{minutes:7.1f}"
+
+
+def flow_report(result: FlowResult) -> str:
+    """Multi-section report for one PR-ESP flow run."""
+    lines: List[str] = []
+    cfg = result.config
+    lines.append(f"== PR-ESP flow report: {cfg.name} ({cfg.board}, {cfg.rows}x{cfg.cols}) ==")
+    lines.append(
+        f"metrics: {result.metrics.summary()}  class={result.decision.design_class.value}"
+    )
+    lines.append(
+        f"strategy: {result.strategy.value} (tau={result.plan.tau})"
+    )
+    lines.append("")
+    lines.append("stages:")
+    for stage in result.stages:
+        lines.append(
+            f"  {stage.stage:20s} {stage.wall_minutes:7.1f} min  {stage.detail}"
+        )
+    lines.append("")
+    lines.append("implementation runs:")
+    lines.append(f"  synth makespan      {_fmt(result.synth_makespan_minutes)} min")
+    lines.append(f"  t_static            {_fmt(result.static_par_minutes)} min")
+    for name, omega in sorted(result.omega_minutes.items()):
+        run = next(r for r in result.plan.runs if r.name == name)
+        lines.append(
+            f"  {name:18s}  {_fmt(omega)} min  tiles={', '.join(run.rp_names)}"
+        )
+    lines.append(f"  P&R makespan        {_fmt(result.par_makespan_minutes)} min")
+    lines.append(f"  TOTAL               {_fmt(result.total_minutes)} min")
+    lines.append("")
+    lines.append("floorplan:")
+    for assignment in result.floorplan.assignments:
+        pb = assignment.pblock
+        lines.append(
+            f"  {assignment.rp_name:14s} cols[{pb.col_lo:3d},{pb.col_hi:3d}] "
+            f"rows[{pb.row_lo},{pb.row_hi}]  util={assignment.lut_utilization:.2f}"
+        )
+    lines.append("")
+    from repro.vivado.timing import analyze_timing
+
+    timing = analyze_timing(result)
+    lines.append(
+        f"timing: system Fmax {timing.system_fmax_mhz:.0f} MHz "
+        f"({'meets' if timing.meets_timing else 'VIOLATES'} "
+        f"{timing.clock_mhz:.0f} MHz target)"
+    )
+    lines.append("")
+    lines.append("bitstreams:")
+    for bitstream in result.bitstreams:
+        target = f" -> {bitstream.target_rp}/{bitstream.mode}" if bitstream.target_rp else ""
+        lines.append(
+            f"  {bitstream.name:32s} {bitstream.size_kib:9.0f} KB{target}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_report(presp: FlowResult, baseline: MonolithicResult) -> str:
+    """Side-by-side PR-ESP vs standard-flow comparison (Table V row)."""
+    delta = baseline.total_minutes - presp.total_minutes
+    pct = 100.0 * delta / baseline.total_minutes
+    lines = [
+        f"== {presp.config.name}: PR-ESP vs monolithic ==",
+        f"  PR-ESP     synth={presp.synth_makespan_minutes:6.1f}  "
+        f"P&R={presp.par_makespan_minutes:6.1f}  total={presp.total_minutes:6.1f} min "
+        f"({presp.strategy.value}, tau={presp.plan.tau})",
+        f"  monolithic synth={baseline.synth_minutes:6.1f}  "
+        f"P&R={baseline.par_minutes:6.1f}  total={baseline.total_minutes:6.1f} min",
+        f"  improvement: {delta:+.1f} min ({pct:+.1f}%)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Packet-switched 2D-mesh multi-plane NoC model.
+
+ESP tiles communicate over a packet-switched 2D mesh with multiple
+physical planes (separate planes for DMA, register access and
+interrupts). The runtime evaluation needs transfer latencies for DMA
+bursts and partial-bitstream fetches; this package provides XY routing,
+an analytic latency model and a contention-aware transfer simulator.
+"""
+
+from repro.noc.packet import Packet, FLIT_BYTES
+from repro.noc.router import Port, Router, xy_route
+from repro.noc.mesh import Mesh
+from repro.noc.simulator import NocSimulator, TransferRecord
+from repro.noc.traffic import (
+    TrafficReport,
+    TransferDemand,
+    analyze_traffic,
+    wami_traffic_report,
+)
+
+__all__ = [
+    "Packet",
+    "FLIT_BYTES",
+    "Port",
+    "Router",
+    "xy_route",
+    "Mesh",
+    "NocSimulator",
+    "TransferRecord",
+    "TrafficReport",
+    "TransferDemand",
+    "analyze_traffic",
+    "wami_traffic_report",
+]

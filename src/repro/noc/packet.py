@@ -1,0 +1,43 @@
+"""NoC packets and flit accounting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import NocError
+
+#: Flit payload width. ESP's NoC planes are 32/64-bit; the model uses
+#: 8-byte flits (64-bit), matching the wide DMA planes.
+FLIT_BYTES = 8
+
+#: Flits consumed by the packet header.
+HEADER_FLITS = 1
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One NoC packet: a routed burst of flits on a physical plane."""
+
+    packet_id: int
+    src: Tuple[int, int]  # (row, col)
+    dst: Tuple[int, int]
+    plane: int
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise NocError(f"packet {self.packet_id}: negative payload")
+        if self.plane < 0:
+            raise NocError(f"packet {self.packet_id}: negative plane")
+
+    @property
+    def size_flits(self) -> int:
+        """Total flits on the wire (header + payload)."""
+        return HEADER_FLITS + math.ceil(self.payload_bytes / FLIT_BYTES)
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination tiles coincide."""
+        return self.src == self.dst

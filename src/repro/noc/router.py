@@ -1,0 +1,78 @@
+"""Five-port NoC routers with deterministic XY (dimension-order) routing."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import NocError
+
+
+class Port(enum.Enum):
+    """Router ports: four mesh directions plus the local tile port."""
+
+    NORTH = "north"  # row - 1
+    SOUTH = "south"  # row + 1
+    EAST = "east"  # col + 1
+    WEST = "west"  # col - 1
+    LOCAL = "local"
+
+
+def xy_route(src: Tuple[int, int], dst: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """XY route: move along columns (X) first, then rows (Y).
+
+    Returns the list of grid positions visited, source and destination
+    included. Dimension-order routing on a mesh is deadlock-free, which
+    is why ESP uses it.
+    """
+    route = [src]
+    row, col = src
+    drow, dcol = dst
+    step = 1 if dcol > col else -1
+    while col != dcol:
+        col += step
+        route.append((row, col))
+    step = 1 if drow > row else -1
+    while row != drow:
+        row += step
+        route.append((row, col))
+    return route
+
+
+@dataclass(frozen=True)
+class Router:
+    """A router at one grid position of one physical plane."""
+
+    row: int
+    col: int
+    plane: int
+    #: Pipeline depth in cycles (route compute + VC alloc + switch + link).
+    pipeline_cycles: int = 4
+
+    def output_port(self, dst: Tuple[int, int]) -> Port:
+        """Port a packet headed to ``dst`` leaves through (XY order)."""
+        drow, dcol = dst
+        if (drow, dcol) == (self.row, self.col):
+            return Port.LOCAL
+        if dcol > self.col:
+            return Port.EAST
+        if dcol < self.col:
+            return Port.WEST
+        if drow > self.row:
+            return Port.SOUTH
+        return Port.NORTH
+
+    def next_position(self, dst: Tuple[int, int]) -> Tuple[int, int]:
+        """Grid position of the next hop toward ``dst``."""
+        port = self.output_port(dst)
+        if port is Port.LOCAL:
+            raise NocError("packet already at destination")
+        deltas = {
+            Port.NORTH: (-1, 0),
+            Port.SOUTH: (1, 0),
+            Port.EAST: (0, 1),
+            Port.WEST: (0, -1),
+        }
+        drow, dcol = deltas[port]
+        return (self.row + drow, self.col + dcol)

@@ -1,0 +1,150 @@
+"""Application-level NoC traffic analysis.
+
+Maps a dataflow application onto an SoC's tile grid and computes the
+per-link traffic its inter-tile transfers generate: every producer →
+consumer edge whose endpoints sit on different tiles ships its payload
+over the XY route between them (via DDR in the real system — modelled
+as tile → MEM → tile, which is how ESP's DMA actually moves data).
+The report surfaces link hotspots and the aggregate bytes a frame
+pushes through the mesh — the data the paper's SoC_X/Y/Z allocation
+trade-offs implicitly manipulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NocError
+from repro.noc.mesh import Mesh
+from repro.noc.router import xy_route
+from repro.soc.config import SocConfig
+from repro.soc.tiles import TileKind
+
+#: A directed mesh link: (from_position, to_position).
+Link = Tuple[Tuple[int, int], Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class TransferDemand:
+    """One logical producer → consumer transfer per frame."""
+
+    producer_task: str
+    consumer_task: str
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise NocError("transfer payload must be non-negative")
+
+
+@dataclass
+class TrafficReport:
+    """Per-link bytes/frame plus aggregates."""
+
+    link_bytes: Dict[Link, int] = field(default_factory=dict)
+    total_bytes: int = 0
+    ddr_bytes: int = 0  # bytes entering/leaving the MEM tile
+
+    def hottest_links(self, count: int = 5) -> List[Tuple[Link, int]]:
+        """The ``count`` busiest links (descending)."""
+        ranked = sorted(self.link_bytes.items(), key=lambda kv: -kv[1])
+        return ranked[:count]
+
+    def max_link_bytes(self) -> int:
+        """Bytes on the busiest link."""
+        return max(self.link_bytes.values(), default=0)
+
+    def utilization_at(self, frame_time_s: float, mesh: Mesh) -> float:
+        """Peak link utilization for a given frame latency."""
+        if frame_time_s <= 0:
+            raise NocError("frame time must be positive")
+        capacity = mesh.link_bandwidth_bytes_per_s() * frame_time_s
+        return self.max_link_bytes() / capacity
+
+
+def analyze_traffic(
+    config: SocConfig,
+    demands: Sequence[TransferDemand],
+    task_positions: Mapping[str, Optional[Tuple[int, int]]],
+) -> TrafficReport:
+    """Accumulate per-link traffic for one frame.
+
+    ``task_positions`` maps each task to its tile's grid position (None
+    for software tasks, which live at the CPU tile). All inter-tile
+    transfers are staged through the MEM tile (DMA via DDR), matching
+    ESP's accelerator communication model.
+    """
+    mem_tile = config.tiles_of_kind(TileKind.MEM)[0]
+    mem_pos = config.position_of(mem_tile.name)
+    cpu_tiles = config.tiles_of_kind(TileKind.CPU)
+    cpu_pos = (
+        config.position_of(cpu_tiles[0].name) if cpu_tiles else mem_pos
+    )
+
+    report = TrafficReport()
+
+    def position_of(task: str) -> Tuple[int, int]:
+        position = task_positions.get(task)
+        return position if position is not None else cpu_pos
+
+    def add_path(src: Tuple[int, int], dst: Tuple[int, int], nbytes: int) -> None:
+        route = xy_route(src, dst)
+        for a, b in zip(route, route[1:]):
+            link = (a, b)
+            report.link_bytes[link] = report.link_bytes.get(link, 0) + nbytes
+
+    for demand in demands:
+        src = position_of(demand.producer_task)
+        dst = position_of(demand.consumer_task)
+        # Producer writes its output to DDR; consumer reads it back.
+        add_path(src, mem_pos, demand.payload_bytes)
+        add_path(mem_pos, dst, demand.payload_bytes)
+        report.total_bytes += 2 * demand.payload_bytes
+        report.ddr_bytes += 2 * demand.payload_bytes
+
+    return report
+
+
+def wami_transfer_demands(frame_pixels: int = 512 * 512) -> List[TransferDemand]:
+    """The WAMI dataflow's per-frame transfers (bytes scale with the
+    frame; image-sized edges dominate, vector edges are negligible)."""
+    from repro.wami.graph import WAMI_EDGES, WamiStage
+
+    image_bytes = frame_pixels * 4  # fixed-point pixels
+    small_edges = {
+        # 6-vector / 6x6-matrix payloads.
+        (WamiStage.SD_UPDATE, WamiStage.MATRIX_SOLVE),
+        (WamiStage.HESSIAN, WamiStage.MATRIX_SOLVE),
+        (WamiStage.MATRIX_SOLVE, WamiStage.LK_FLOW),
+        (WamiStage.LK_FLOW, WamiStage.INTERP),
+    }
+    demands = []
+    for src, dst in WAMI_EDGES:
+        payload = 256 if (src, dst) in small_edges else image_bytes
+        if src is WamiStage.STEEPEST_DESCENT:
+            payload = 6 * image_bytes if dst is not WamiStage.SD_UPDATE else 6 * image_bytes
+        demands.append(
+            TransferDemand(
+                producer_task=src.kernel_name,
+                consumer_task=dst.kernel_name,
+                payload_bytes=payload,
+            )
+        )
+    return demands
+
+
+def wami_traffic_report(config: SocConfig, frame_pixels: int = 512 * 512) -> TrafficReport:
+    """Traffic report for the WAMI app on a deployment SoC."""
+    from repro.wami.app import WamiApplication
+
+    placement = WamiApplication().tile_of_stage(config)
+    task_positions = {
+        stage.kernel_name: (
+            config.position_of(tile) if tile is not None else None
+        )
+        for stage, tile in placement.items()
+    }
+    return analyze_traffic(
+        config, wami_transfer_demands(frame_pixels), task_positions
+    )

@@ -1,0 +1,50 @@
+"""The PR-ESP software stack (Sec. V).
+
+A Linux-kernel-style runtime built on the discrete-event kernel:
+
+* ``memory``  — the bitstream store (user-space mmap → kernel copy, the
+  reference between bitstreams, addresses, tiles and drivers);
+* ``prc``     — the DFX controller + ICAP device model with
+  interrupt-driven completion;
+* ``driver``  — accelerator driver registry with runtime swap;
+* ``manager`` — the reconfiguration manager: workqueue scheduling of
+  requests, per-tile locking, decoupler control, driver swap;
+* ``api``     — the user-space API applications call;
+* ``executor``— a multi-threaded application executor (one thread per
+  reconfigurable tile, as in the paper's evaluation software).
+"""
+
+from repro.runtime.memory import BitstreamStore, LoadedBitstream
+from repro.runtime.prc import PrcDevice, ReconfigurationRecord
+from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+from repro.runtime.manager import ReconfigurationManager, TileState
+from repro.runtime.api import DprUserApi
+from repro.runtime.baremetal import BaremetalDriver, BaremetalRunRecord
+from repro.runtime.stats import RuntimeStats, TileStats, collect_stats
+from repro.runtime.executor import (
+    AppExecutor,
+    ExecutionTimeline,
+    TimelineEvent,
+    StageTask,
+)
+
+__all__ = [
+    "BitstreamStore",
+    "LoadedBitstream",
+    "PrcDevice",
+    "ReconfigurationRecord",
+    "AcceleratorDriver",
+    "DriverRegistry",
+    "ReconfigurationManager",
+    "TileState",
+    "DprUserApi",
+    "AppExecutor",
+    "ExecutionTimeline",
+    "TimelineEvent",
+    "StageTask",
+    "BaremetalDriver",
+    "BaremetalRunRecord",
+    "RuntimeStats",
+    "TileStats",
+    "collect_stats",
+]

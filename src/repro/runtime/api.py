@@ -1,0 +1,88 @@
+"""The user-space DPR API (Sec. V).
+
+A thin, `esp_run`-flavoured veneer over the reconfiguration manager:
+applications open a tile, request an accelerator, and run workloads
+without seeing decouplers, bitstream addresses or the PRC. This is the
+layer the paper's multi-threaded evaluation software is written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ReconfigurationError
+from repro.runtime.manager import InvocationRecord, ReconfigurationManager
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class TileHandle:
+    """An opened reconfigurable tile (the fd the API hands out)."""
+
+    tile_name: str
+    modes: tuple
+
+
+class DprUserApi:
+    """User-space facade over the runtime manager."""
+
+    def __init__(self, manager: ReconfigurationManager) -> None:
+        self._manager = manager
+        self._handles: Dict[str, TileHandle] = {}
+
+    # ------------------------------------------------------------------
+    def open_tile(self, tile_name: str) -> TileHandle:
+        """Open a reconfigurable tile for use by this application."""
+        state = self._manager.tile(tile_name)  # validates existence
+        handle = TileHandle(
+            tile_name=state.name,
+            modes=tuple(self._manager.store.modes_for_tile(state.name)),
+        )
+        self._handles[tile_name] = handle
+        return handle
+
+    def handle(self, tile_name: str) -> TileHandle:
+        """The open handle for ``tile_name``."""
+        try:
+            return self._handles[tile_name]
+        except KeyError:
+            raise ReconfigurationError(f"tile {tile_name!r} is not open") from None
+
+    # ------------------------------------------------------------------
+    def esp_run(
+        self,
+        handle: TileHandle,
+        accelerator: str,
+        exec_time_s: Optional[float] = None,
+    ) -> Process:
+        """Invoke ``accelerator`` on the tile (reconfiguring as needed).
+
+        Mirrors ESP's ``esp_run()``: configuration registers are
+        written, the accelerator runs to its completion interrupt; the
+        returned process resolves to the :class:`InvocationRecord`.
+        """
+        if accelerator not in handle.modes:
+            raise ReconfigurationError(
+                f"accelerator {accelerator!r} has no bitstream for tile "
+                f"{handle.tile_name!r}; available: {list(handle.modes)}"
+            )
+        return self._manager.invoke(handle.tile_name, accelerator, exec_time_s)
+
+    def esp_blank(self, handle: TileHandle) -> Process:
+        """Erase the tile's region (power gating / fault clearing)."""
+        return self._manager.blank_tile(handle.tile_name)
+
+    def esp_load(self, handle: TileHandle, accelerator: str) -> Process:
+        """Pre-load an accelerator without running it (warm-up)."""
+        if accelerator not in handle.modes:
+            raise ReconfigurationError(
+                f"accelerator {accelerator!r} has no bitstream for tile "
+                f"{handle.tile_name!r}"
+            )
+        return self._manager.preload(handle.tile_name, accelerator)
+
+    # ------------------------------------------------------------------
+    def invocation_log(self) -> List[InvocationRecord]:
+        """All invocations the manager completed (telemetry)."""
+        return list(self._manager.invocations)

@@ -1,0 +1,87 @@
+"""Accelerator drivers and the registry the manager swaps them in.
+
+ESP auto-generates a Linux device driver per accelerator; PR-ESP
+modifies the library that registers/unregisters drivers so the manager
+can swap them when a tile is reconfigured (Sec. V). A tile exposes at
+most one active driver — the one matching the loaded accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import DriverError
+
+
+@dataclass(frozen=True)
+class AcceleratorDriver:
+    """One accelerator device driver."""
+
+    accelerator: str
+    #: Hardware execution time per invocation, seconds.
+    exec_time_s: float
+    #: /dev node the user API opens.
+    devname: str = ""
+
+    def __post_init__(self) -> None:
+        if self.exec_time_s <= 0:
+            raise DriverError(f"{self.accelerator}: execution time must be positive")
+        if not self.devname:
+            object.__setattr__(self, "devname", f"/dev/{self.accelerator}.0")
+
+
+class DriverRegistry:
+    """Per-tile active driver plus the catalog of loadable drivers."""
+
+    def __init__(self) -> None:
+        self._catalog: Dict[str, AcceleratorDriver] = {}
+        self._active: Dict[str, Optional[str]] = {}
+        self.swap_count = 0
+
+    # ------------------------------------------------------------------
+    def install(self, driver: AcceleratorDriver) -> None:
+        """Add a driver module to the catalog (insmod)."""
+        if driver.accelerator in self._catalog:
+            raise DriverError(f"driver {driver.accelerator!r} already installed")
+        self._catalog[driver.accelerator] = driver
+
+    def catalog(self) -> List[str]:
+        """Installed driver names."""
+        return sorted(self._catalog)
+
+    def driver_for(self, accelerator: str) -> AcceleratorDriver:
+        """Catalog lookup."""
+        try:
+            return self._catalog[accelerator]
+        except KeyError:
+            raise DriverError(f"no driver installed for {accelerator!r}") from None
+
+    # ------------------------------------------------------------------
+    def attach_tile(self, tile_name: str) -> None:
+        """Start tracking a reconfigurable tile (no driver bound yet)."""
+        if tile_name in self._active:
+            raise DriverError(f"tile {tile_name!r} already attached")
+        self._active[tile_name] = None
+
+    def active_on(self, tile_name: str) -> Optional[AcceleratorDriver]:
+        """The driver currently bound to ``tile_name`` (None if empty)."""
+        if tile_name not in self._active:
+            raise DriverError(f"unknown tile {tile_name!r}")
+        name = self._active[tile_name]
+        return self._catalog[name] if name else None
+
+    def swap(self, tile_name: str, accelerator: Optional[str]) -> None:
+        """Unregister the tile's driver and register the new one.
+
+        ``accelerator=None`` leaves the tile driverless (blanked
+        region). Swapping to an uninstalled driver is an error — the
+        manager must never expose a device node with no backing module.
+        """
+        if tile_name not in self._active:
+            raise DriverError(f"unknown tile {tile_name!r}")
+        if accelerator is not None and accelerator not in self._catalog:
+            raise DriverError(f"no driver installed for {accelerator!r}")
+        if self._active[tile_name] != accelerator:
+            self.swap_count += 1
+        self._active[tile_name] = accelerator

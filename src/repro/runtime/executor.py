@@ -1,0 +1,271 @@
+"""Multi-threaded application execution on a PR-ESP SoC.
+
+The paper's evaluation software is "a multi-threaded Linux software,
+with one thread per reconfigurable tile, to control the execution flow
+of accelerators" (Sec. VI). The executor reproduces that structure on
+the DES kernel: each tile thread walks its assigned tasks in dataflow
+order, calling the user-space API (which reconfigures on demand);
+stages without a hardware mapping run on the CPU thread in software.
+Frames are processed without pipelining, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.runtime.api import DprUserApi, TileHandle
+from repro.sim.kernel import Event, Simulator
+
+
+@dataclass(frozen=True)
+class StageTask:
+    """One task of the application DAG."""
+
+    name: str
+    duration_s: float  # hardware execution time (or software time if unmapped)
+    tile_name: Optional[str]  # None -> software on the CPU thread
+    mode_name: Optional[str] = None  # accelerator to load (hardware tasks)
+    deps: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ConfigurationError(f"task {self.name}: negative duration")
+        if self.tile_name is not None and self.mode_name is None:
+            raise ConfigurationError(
+                f"task {self.name}: hardware task needs an accelerator mode"
+            )
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One span on the execution timeline."""
+
+    task: str
+    worker: str  # tile name or "cpu"
+    kind: str  # "exec" | "reconfig" | "sw"
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Span length."""
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ExecutionTimeline:
+    """All spans of one run plus aggregate figures."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+    makespan_s: float = 0.0
+
+    def spans(self, kind: Optional[str] = None) -> List[TimelineEvent]:
+        """Events, optionally filtered by kind."""
+        if kind is None:
+            return list(self.events)
+        return [e for e in self.events if e.kind == kind]
+
+    def busy_time(self, worker: str) -> float:
+        """Total busy time of one worker."""
+        return sum(e.duration_s for e in self.events if e.worker == worker)
+
+    def reconfiguration_time(self) -> float:
+        """Total time spent reconfiguring."""
+        return sum(e.duration_s for e in self.events if e.kind == "reconfig")
+
+
+class AppExecutor:
+    """Runs a task DAG with one thread per reconfigurable tile."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        api: DprUserApi,
+        tasks: Sequence[StageTask],
+        cpu_worker: str = "cpu",
+        blank_after_frame: bool = False,
+    ) -> None:
+        """``blank_after_frame`` enables the power-gating policy: each
+        tile thread erases its region (greybox bitstream) once its last
+        task of the frame completes, trading extra reconfiguration
+        traffic for dark silicon while the rest of the frame drains.
+        Requires blanking images in the bitstream store."""
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("task names must be unique")
+        by_name = {t.name: t for t in tasks}
+        for task in tasks:
+            for dep in task.deps:
+                if dep not in by_name:
+                    raise ConfigurationError(
+                        f"task {task.name} depends on unknown task {dep!r}"
+                    )
+        self.sim = sim
+        self.api = api
+        self.tasks = list(tasks)
+        self.cpu_worker = cpu_worker
+        self.blank_after_frame = blank_after_frame
+        self._handles: Dict[str, TileHandle] = {}
+
+    # ------------------------------------------------------------------
+    def _topo_order(self) -> List[StageTask]:
+        """Deterministic topological order of the task DAG."""
+        by_name = {t.name: t for t in self.tasks}
+        depth: Dict[str, int] = {}
+
+        def compute(name: str, stack: Tuple[str, ...] = ()) -> int:
+            if name in depth:
+                return depth[name]
+            if name in stack:
+                raise ConfigurationError(f"task dependency cycle through {name!r}")
+            task = by_name[name]
+            depth[name] = 1 + max(
+                (compute(d, stack + (name,)) for d in task.deps), default=-1
+            )
+            return depth[name]
+
+        for task in self.tasks:
+            compute(task.name)
+        return sorted(self.tasks, key=lambda t: (depth[t.name], t.name))
+
+    # ------------------------------------------------------------------
+    def run(self, frames: int = 1, pipelined: bool = False) -> ExecutionTimeline:
+        """Execute the DAG ``frames`` times.
+
+        ``pipelined=False`` (the paper's mode: "all SoCs process
+        individual frames without pipelining") runs frames back to back
+        with a barrier between them. ``pipelined=True`` overlaps
+        frames: frame k+1's stages start as soon as their own
+        dependencies allow, subject only to per-tile serialization and
+        a same-stage frame ordering (each stage consumes its own
+        previous-frame state). Returns the merged timeline.
+        """
+        if frames <= 0:
+            raise ConfigurationError("need at least one frame")
+        if pipelined and self.blank_after_frame:
+            raise ConfigurationError(
+                "blank-after-frame power gating and pipelining are exclusive: "
+                "a region is never idle at a frame boundary when pipelined"
+            )
+        timeline = ExecutionTimeline()
+        start = self.sim.now
+        if pipelined:
+            self._run_pipelined(timeline, frames)
+        else:
+            for _ in range(frames):
+                self._run_one_frame(timeline)
+        timeline.makespan_s = self.sim.now - start
+        return timeline
+
+    def _run_pipelined(self, timeline: ExecutionTimeline, frames: int) -> None:
+        """All frames' task instances in flight at once."""
+        ordered = self._topo_order()
+        instances: List[Tuple[str, StageTask, Tuple[str, ...]]] = []
+        for frame in range(frames):
+            for task in ordered:
+                name = f"f{frame}:{task.name}"
+                deps = tuple(f"f{frame}:{d}" for d in task.deps)
+                if frame > 0:
+                    # A stage consumes its own state from the previous
+                    # frame (GMM model, warp parameters, ...).
+                    deps = deps + (f"f{frame - 1}:{task.name}",)
+                instances.append((name, task, deps))
+        self._execute_instances(timeline, instances)
+
+    def _run_one_frame(self, timeline: ExecutionTimeline) -> None:
+        ordered = self._topo_order()
+        instances = [(t.name, t, t.deps) for t in ordered]
+        self._execute_instances(timeline, instances, blank=self.blank_after_frame)
+
+    def _execute_instances(
+        self,
+        timeline: ExecutionTimeline,
+        instances: List[Tuple[str, StageTask, Tuple[str, ...]]],
+        blank: bool = False,
+    ) -> None:
+        done: Dict[str, Event] = {
+            name: self.sim.event() for name, _task, _deps in instances
+        }
+
+        # Partition instances onto workers: one thread per tile + one
+        # CPU thread; queue order (list order) is a topological order.
+        queues: Dict[str, List[Tuple[str, StageTask, Tuple[str, ...]]]] = {}
+        for name, task, deps in instances:
+            worker = task.tile_name if task.tile_name is not None else self.cpu_worker
+            queues.setdefault(worker, []).append((name, task, deps))
+
+        def thread_body(worker: str, assigned):
+            for name, task, deps in assigned:
+                if deps:
+                    yield self.sim.all_of([done[d] for d in deps])
+                if task.tile_name is None:
+                    sw_start = self.sim.now
+                    yield self.sim.timeout(task.duration_s)
+                    timeline.events.append(
+                        TimelineEvent(
+                            task=name,
+                            worker=worker,
+                            kind="sw",
+                            start_s=sw_start,
+                            end_s=self.sim.now,
+                        )
+                    )
+                else:
+                    handle = self._handle_for(task.tile_name)
+                    record = yield self.api.esp_run(
+                        handle, task.mode_name, exec_time_s=task.duration_s
+                    )
+                    if record.reconfig_s > 0:
+                        timeline.events.append(
+                            TimelineEvent(
+                                task=name,
+                                worker=worker,
+                                kind="reconfig",
+                                start_s=record.start_exec_s - record.reconfig_s,
+                                end_s=record.start_exec_s,
+                            )
+                        )
+                    timeline.events.append(
+                        TimelineEvent(
+                            task=name,
+                            worker=worker,
+                            kind="exec",
+                            start_s=record.start_exec_s,
+                            end_s=record.end_exec_s,
+                        )
+                    )
+                done[name].succeed()
+            if blank and worker != self.cpu_worker:
+                blank_start = self.sim.now
+                yield self.api.esp_blank(self._handle_for(worker))
+                if self.sim.now > blank_start:
+                    timeline.events.append(
+                        TimelineEvent(
+                            task=f"{worker}_blank",
+                            worker=worker,
+                            kind="reconfig",
+                            start_s=blank_start,
+                            end_s=self.sim.now,
+                        )
+                    )
+
+        threads = [
+            self.sim.process(thread_body(worker, assigned))
+            for worker, assigned in sorted(queues.items())
+        ]
+        barrier = self.sim.all_of(threads)
+        self.sim.run()
+        if not barrier.processed:
+            raise SimulationError(
+                "frame execution deadlocked (circular tile dependencies?)"
+            )
+        for thread in threads:
+            if thread.exception is not None:
+                raise thread.exception
+
+    def _handle_for(self, tile_name: str) -> TileHandle:
+        if tile_name not in self._handles:
+            self._handles[tile_name] = self.api.open_tile(tile_name)
+        return self._handles[tile_name]

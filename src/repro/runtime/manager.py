@@ -1,0 +1,280 @@
+"""The kernel-level runtime reconfiguration manager (Sec. V).
+
+Behavioural contract reproduced from the paper:
+
+* reconfiguration requests are queued and executed as soon as the PRC
+  is ready (the single ICAP serializes them FIFO — the kernel
+  workqueue's role);
+* before a request is queued, the calling thread waits for the
+  accelerator currently in the tile to complete its execution;
+* while a tile reconfigures, access to its device is locked: other
+  threads block until the PRC interrupt arrives *and* the new driver is
+  loaded;
+* the decoupler isolates the tile for the whole programming window and
+  is re-enabled (with a queue reset) afterwards.
+
+The per-tile FIFO lock plus the PRC's internal lock implement exactly
+this protocol on the discrete-event kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReconfigurationError
+from repro.runtime.driver import DriverRegistry
+from repro.runtime.memory import BitstreamStore
+from repro.runtime.prc import PrcDevice, ReconfigurationRecord
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.resources import Lock
+from repro.soc.socket import Decoupler
+
+
+@dataclass
+class TileState:
+    """Manager-side state of one reconfigurable tile."""
+
+    name: str
+    decoupler: Decoupler
+    lock: Lock
+    loaded_mode: Optional[str] = None
+    reconfigurations: int = 0
+    #: Simulation time at which the region last became configured
+    #: (None while dark). Feeds the power-gating energy account.
+    configured_since: Optional[float] = None
+    #: Accumulated configured time over closed windows.
+    configured_s: float = 0.0
+
+    def mark_configured(self, now: float) -> None:
+        """Region transitioned dark -> configured."""
+        if self.configured_since is None:
+            self.configured_since = now
+
+    def mark_dark(self, now: float) -> None:
+        """Region transitioned configured -> dark (blank or failure)."""
+        if self.configured_since is not None:
+            self.configured_s += now - self.configured_since
+            self.configured_since = None
+
+    def configured_time(self, until: float) -> float:
+        """Total configured time up to ``until``."""
+        total = self.configured_s
+        if self.configured_since is not None:
+            total += until - self.configured_since
+        return total
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """Telemetry of one accelerator invocation."""
+
+    tile_name: str
+    mode_name: str
+    requested_s: float
+    reconfig_s: float  # time spent reconfiguring (0 when already loaded)
+    start_exec_s: float
+    end_exec_s: float
+
+    @property
+    def exec_time_s(self) -> float:
+        """Pure accelerator execution time."""
+        return self.end_exec_s - self.start_exec_s
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay before the tile was acquired."""
+        return self.start_exec_s - self.reconfig_s - self.requested_s
+
+
+class ReconfigurationManager:
+    """Schedules and synchronizes reconfiguration requests."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        prc: PrcDevice,
+        store: BitstreamStore,
+        registry: DriverRegistry,
+    ) -> None:
+        self.sim = sim
+        self.prc = prc
+        self.store = store
+        self.registry = registry
+        self.tiles: Dict[str, TileState] = {}
+        self.invocations: List[InvocationRecord] = []
+        #: Failed transfer attempts seen (telemetry for fault handling).
+        self.failed_attempts = 0
+
+    # ------------------------------------------------------------------
+    def attach_tile(self, tile_name: str) -> TileState:
+        """Register a reconfigurable tile with the manager."""
+        if tile_name in self.tiles:
+            raise ReconfigurationError(f"tile {tile_name!r} already attached")
+        state = TileState(
+            name=tile_name,
+            decoupler=Decoupler(tile_name=tile_name),
+            lock=Lock(self.sim),
+        )
+        self.tiles[tile_name] = state
+        self.registry.attach_tile(tile_name)
+        return state
+
+    def tile(self, tile_name: str) -> TileState:
+        """Tile state lookup."""
+        try:
+            return self.tiles[tile_name]
+        except KeyError:
+            raise ReconfigurationError(f"tile {tile_name!r} not attached") from None
+
+    # ------------------------------------------------------------------
+    def invoke(self, tile_name: str, mode_name: str, exec_time_s: Optional[float] = None) -> Process:
+        """Run ``mode_name`` on ``tile_name``, reconfiguring if needed.
+
+        Returns a process whose value is the :class:`InvocationRecord`.
+        The process blocks (FIFO) while other threads hold the tile —
+        including through their reconfigurations — which is the paper's
+        locking discipline.
+        """
+        state = self.tile(tile_name)
+        driver = self.registry.driver_for(mode_name)
+        duration = exec_time_s if exec_time_s is not None else driver.exec_time_s
+
+        def body():
+            requested = self.sim.now
+            yield state.lock.acquire()
+            try:
+                reconfig_time = 0.0
+                if state.loaded_mode != mode_name:
+                    reconfig_time = yield from self._reconfigure_locked(state, mode_name)
+                start_exec = self.sim.now
+                yield self.sim.timeout(duration)
+                record = InvocationRecord(
+                    tile_name=tile_name,
+                    mode_name=mode_name,
+                    requested_s=requested,
+                    reconfig_s=reconfig_time,
+                    start_exec_s=start_exec,
+                    end_exec_s=self.sim.now,
+                )
+                self.invocations.append(record)
+                return record
+            finally:
+                state.lock.release()
+
+        return self.sim.process(body())
+
+    def blank_tile(self, tile_name: str) -> Process:
+        """Erase a tile's region with its blanking (greybox) bitstream.
+
+        Used for power saving and for clearing a faulty accelerator:
+        the driver is unregistered, the region is cleared, and the tile
+        reports no loaded mode afterwards. Requires the flow to have
+        produced a blanking image for the tile.
+        """
+        state = self.tile(tile_name)
+
+        def body():
+            yield state.lock.acquire()
+            try:
+                if state.loaded_mode is None:
+                    return None  # already dark
+                blank = self.store.lookup(state.name, "blank")
+                state.decoupler.decouple()
+                self.registry.swap(state.name, None)
+                yield self.prc.reconfigure(state.name, "blank", blank.size_bytes)
+                state.decoupler.recouple()
+                state.loaded_mode = None
+                state.mark_dark(self.sim.now)
+                state.reconfigurations += 1
+                return "blank"
+            finally:
+                state.lock.release()
+
+        return self.sim.process(body())
+
+    def preload(self, tile_name: str, mode_name: str) -> Process:
+        """Reconfigure a tile without running the accelerator."""
+        state = self.tile(tile_name)
+
+        def body():
+            yield state.lock.acquire()
+            try:
+                if state.loaded_mode != mode_name:
+                    yield from self._reconfigure_locked(state, mode_name)
+                return state.loaded_mode
+            finally:
+                state.lock.release()
+
+        return self.sim.process(body())
+
+    # ------------------------------------------------------------------
+    #: Transfer retries before a reconfiguration is declared failed.
+    MAX_RETRIES = 1
+
+    def _reconfigure_locked(self, state: TileState, mode_name: str):
+        """The reconfiguration protocol; caller must hold the tile lock.
+
+        Generator sub-routine (used via ``yield from``); returns the
+        time spent. A failed transfer (CRC error from the PRC) is
+        retried once; if the retry also fails the region is left dark
+        (no driver, no loaded mode, decoupler re-enabled so the blank
+        region cannot wedge the NoC) and the error propagates to the
+        calling thread.
+        """
+        loaded = self.store.lookup(state.name, mode_name)
+        start = self.sim.now
+        # 1. software decouples the tile (disables the NoC queue inputs)
+        state.decoupler.decouple()
+        # 2. the old driver is unregistered while the region is dark
+        self.registry.swap(state.name, None)
+        # 3. queue on the PRC; it fetches and streams the bitstream
+        attempts = 0
+        while True:
+            try:
+                record: ReconfigurationRecord = yield self.prc.reconfigure(
+                    state.name, mode_name, loaded.size_bytes
+                )
+                break
+            except ReconfigurationError:
+                attempts += 1
+                self.failed_attempts += 1
+                if attempts > self.MAX_RETRIES:
+                    # Give up: leave the region dark but functional.
+                    state.loaded_mode = None
+                    state.mark_dark(self.sim.now)
+                    state.decoupler.recouple()
+                    raise
+        # 4. interrupt received: load the new driver, re-enable queues
+        self.registry.swap(state.name, mode_name)
+        state.decoupler.recouple()
+        state.loaded_mode = mode_name
+        state.mark_configured(self.sim.now)
+        state.reconfigurations += 1
+        return self.sim.now - start
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def total_reconfigurations(self) -> int:
+        """Completed reconfigurations across all tiles."""
+        return sum(t.reconfigurations for t in self.tiles.values())
+
+    def reconfiguration_overhead_s(self) -> float:
+        """Total time invocations spent reconfiguring."""
+        return sum(r.reconfig_s for r in self.invocations)
+
+    def configured_fractions(self, until: Optional[float] = None) -> Dict[str, float]:
+        """Per-tile fraction of time the region held a configuration.
+
+        The power-gating energy account scales each region's clock/
+        leakage power by this fraction (1.0 without blanking).
+        """
+        end = until if until is not None else self.sim.now
+        if end <= 0:
+            return {name: 0.0 for name in self.tiles}
+        return {
+            name: min(1.0, state.configured_time(end) / end)
+            for name, state in self.tiles.items()
+        }

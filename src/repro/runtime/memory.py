@@ -1,0 +1,113 @@
+"""The bitstream store.
+
+Before the application starts, partial bitstreams — mmapped in user
+space — are copied into kernel memory, and the runtime manager builds a
+reference between each bitstream, its physical address, the tile it
+loads into, and the driver to activate afterwards (Sec. V). This module
+models that store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReconfigurationError
+from repro.vivado.bitstream import Bitstream, BitstreamKind
+
+
+@dataclass(frozen=True)
+class LoadedBitstream:
+    """A partial bitstream pinned in kernel memory."""
+
+    bitstream: Bitstream
+    physical_address: int
+    tile_name: str
+    mode_name: str
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the configuration data."""
+        return self.bitstream.size_bytes
+
+
+class BitstreamStore:
+    """Kernel-side registry of partial bitstreams.
+
+    Addresses are allocated bump-style from a DDR base, mirroring the
+    contiguous kernel buffer the real driver carves out.
+    """
+
+    #: Default DDR base for the bitstream arena.
+    BASE_ADDRESS = 0x8000_0000
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[str, str], LoadedBitstream] = {}
+        self._next_address = self.BASE_ADDRESS
+
+    def load(self, bitstream: Bitstream, tile_name: str) -> LoadedBitstream:
+        """Copy one partial bitstream into kernel memory."""
+        if bitstream.kind is not BitstreamKind.PARTIAL:
+            raise ReconfigurationError(
+                f"{bitstream.name}: only partial bitstreams enter the store"
+            )
+        if bitstream.mode is None:
+            raise ReconfigurationError(f"{bitstream.name}: partial bitstream lacks a mode")
+        key = (tile_name, bitstream.mode)
+        if key in self._by_key:
+            raise ReconfigurationError(
+                f"bitstream for tile {tile_name!r} mode {bitstream.mode!r} already loaded"
+            )
+        loaded = LoadedBitstream(
+            bitstream=bitstream,
+            physical_address=self._next_address,
+            tile_name=tile_name,
+            mode_name=bitstream.mode,
+        )
+        # Keep 4 KiB page alignment between images.
+        self._next_address += (bitstream.size_bytes + 0xFFF) & ~0xFFF
+        self._by_key[key] = loaded
+        return loaded
+
+    def load_flow_output(self, bitstreams: List[Bitstream]) -> int:
+        """Load every partial bitstream a flow produced (blanking images
+        included); returns the number of images pinned."""
+        count = 0
+        for bitstream in bitstreams:
+            if bitstream.kind is BitstreamKind.PARTIAL:
+                assert bitstream.target_rp is not None
+                self.load(bitstream, bitstream.target_rp)
+                count += 1
+        return count
+
+    def lookup(self, tile_name: str, mode_name: str) -> LoadedBitstream:
+        """The loaded image for (tile, mode)."""
+        try:
+            return self._by_key[(tile_name, mode_name)]
+        except KeyError:
+            raise ReconfigurationError(
+                f"no bitstream loaded for tile {tile_name!r} mode {mode_name!r}"
+            ) from None
+
+    def has_image(self, tile_name: str, mode_name: str) -> bool:
+        """True when an image is pinned for (tile, mode)."""
+        return (tile_name, mode_name) in self._by_key
+
+    def modes_for_tile(self, tile_name: str, include_blank: bool = False) -> List[str]:
+        """Accelerator modes with images for ``tile_name``.
+
+        Blanking (greybox) images are infrastructure, not invocable
+        accelerators, so they are excluded unless asked for.
+        """
+        return sorted(
+            m
+            for (t, m) in self._by_key
+            if t == tile_name and (include_blank or m != "blank")
+        )
+
+    def total_bytes(self) -> int:
+        """Kernel memory pinned by the store."""
+        return sum(l.size_bytes for l in self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)

@@ -1,0 +1,166 @@
+"""The reconfiguration controller: DFXC + ICAP device model.
+
+The auxiliary tile hosts Xilinx's DFX controller and the ICAP primitive
+(Sec. III). At runtime the DFXC fetches a partial bitstream from DDR
+over its AXI master (translated to NoC packets by the tile's adapter)
+and streams it into the ICAP; completion raises an interrupt.
+
+Latency model: the DDR fetch, the NoC transfer and the ICAP write are
+pipelined, so the reconfiguration time is bounded by the slowest of the
+three channels plus a fixed controller setup/trigger overhead. The
+sustained fetch rate of the DFXC through the NoC adapter is the
+bottleneck in practice (see :data:`FETCH_BYTES_PER_CYCLE`), which is
+why the flow generates compressed partial bitstreams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReconfigurationError
+from repro.noc.mesh import Mesh
+from repro.sim.kernel import Event, Simulator
+from repro.sim.resources import Lock
+
+#: ICAP word width in bytes (ICAPE2/ICAPE3 are 32-bit).
+ICAP_BYTES_PER_CYCLE = 4
+
+#: Effective DFXC fetch rate in bytes per cycle. The controller issues
+#: bounded-outstanding AXI bursts that cross the NoC adapter and the
+#: DDR controller, so the sustained rate sits below both the ICAP's 4
+#: B/cycle and the NoC link's 8 B/cycle — which is exactly why the
+#: paper generates compressed partial bitstreams "to reduce the memory
+#: access latency during reconfiguration". 1.2 B/cycle at 78 MHz is
+#: ~94 MB/s; an uncompressed multi-MB partial would cost tens of ms
+#: per swap, a compressed one ~3 ms.
+FETCH_BYTES_PER_CYCLE = 1.2
+
+#: DFXC setup + trigger + decouple-handshake overhead, in cycles.
+PRC_OVERHEAD_CYCLES = 2500
+
+
+@dataclass(frozen=True)
+class ReconfigurationRecord:
+    """Telemetry for one completed reconfiguration."""
+
+    tile_name: str
+    mode_name: str
+    size_bytes: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time of the reconfiguration."""
+        return self.end_s - self.start_s
+
+
+class PrcDevice:
+    """The single DFXC/ICAP instance of the SoC.
+
+    There is one ICAP on the device, so concurrent requests serialize —
+    exactly why the paper's manager queues them in a workqueue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mesh: Mesh,
+        mem_position: Tuple[int, int],
+        aux_position: Tuple[int, int],
+        clock_hz: float = 78e6,
+        fetch_bytes_per_cycle: float = FETCH_BYTES_PER_CYCLE,
+    ) -> None:
+        if clock_hz <= 0:
+            raise ReconfigurationError("PRC clock must be positive")
+        if fetch_bytes_per_cycle <= 0:
+            raise ReconfigurationError("fetch rate must be positive")
+        self.sim = sim
+        self.mesh = mesh
+        self.mem_position = mem_position
+        self.aux_position = aux_position
+        self.clock_hz = clock_hz
+        self.fetch_bytes_per_cycle = fetch_bytes_per_cycle
+        self._lock = Lock(sim)
+        self.records: List[ReconfigurationRecord] = []
+        self._injected_failures: Dict[Tuple[str, str], int] = {}
+        self.failed_transfers = 0
+
+    # ------------------------------------------------------------------
+    def transfer_seconds(self, size_bytes: int) -> float:
+        """Streaming time for ``size_bytes`` of configuration data.
+
+        The fetch (DFXC AXI master → NoC → DDR) and the ICAP write are
+        pipelined; the slowest of the three channels bounds throughput.
+        In practice the fetch path dominates by an order of magnitude.
+        """
+        if size_bytes <= 0:
+            raise ReconfigurationError(f"bitstream size must be positive: {size_bytes}")
+        fetch_seconds = size_bytes / self.fetch_bytes_per_cycle / self.clock_hz
+        icap_seconds = size_bytes / ICAP_BYTES_PER_CYCLE / self.clock_hz
+        noc_seconds = self.mesh.transfer_time_s(
+            self.mem_position, self.aux_position, size_bytes
+        )
+        setup_seconds = PRC_OVERHEAD_CYCLES / self.clock_hz
+        return setup_seconds + max(fetch_seconds, noc_seconds, icap_seconds)
+
+    def inject_failure(self, tile_name: str, mode_name: str, count: int = 1) -> None:
+        """Arm ``count`` transfer failures for (tile, mode).
+
+        Models a corrupted fetch / CRC mismatch: the transfer runs to
+        completion, the DFXC reports an error instead of DONE, and the
+        caller sees a :class:`ReconfigurationError`. Used by the
+        failure-injection tests of the manager's recovery path.
+        """
+        if count <= 0:
+            raise ReconfigurationError("failure count must be positive")
+        key = (tile_name, mode_name)
+        self._injected_failures[key] = self._injected_failures.get(key, 0) + count
+
+    def reconfigure(self, tile_name: str, mode_name: str, size_bytes: int):
+        """Process generator: stream one partial bitstream.
+
+        Yields from a :class:`~repro.sim.process.Process`; returns the
+        :class:`ReconfigurationRecord` once the completion interrupt
+        fires. Serializes on the single ICAP. Fails (after the full
+        transfer window) when a failure has been injected.
+        """
+
+        def body():
+            yield self._lock.acquire()
+            try:
+                start = self.sim.now
+                yield self.sim.timeout(self.transfer_seconds(size_bytes))
+                key = (tile_name, mode_name)
+                if self._injected_failures.get(key, 0) > 0:
+                    self._injected_failures[key] -= 1
+                    if self._injected_failures[key] == 0:
+                        del self._injected_failures[key]
+                    self.failed_transfers += 1
+                    raise ReconfigurationError(
+                        f"{tile_name}/{mode_name}: configuration CRC error"
+                    )
+                record = ReconfigurationRecord(
+                    tile_name=tile_name,
+                    mode_name=mode_name,
+                    size_bytes=size_bytes,
+                    start_s=start,
+                    end_s=self.sim.now,
+                )
+                self.records.append(record)
+                return record
+            finally:
+                self._lock.release()
+
+        return self.sim.process(body())
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a reconfiguration is streaming."""
+        return self._lock.locked
+
+    def total_reconfiguration_time_s(self) -> float:
+        """Sum of all completed reconfiguration durations."""
+        return sum(r.duration_s for r in self.records)

@@ -1,0 +1,112 @@
+"""Runtime statistics: what the manager's telemetry adds up to.
+
+The paper's runtime manager exists to keep reconfiguration overhead
+manageable; this module turns its raw records into the numbers a
+deployment engineer actually reads: per-tile utilization, queueing
+delays, reconfiguration shares, and ICAP pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReconfigurationError
+from repro.runtime.manager import InvocationRecord, ReconfigurationManager
+
+
+@dataclass(frozen=True)
+class TileStats:
+    """Aggregated behaviour of one reconfigurable tile."""
+
+    tile_name: str
+    invocations: int
+    reconfigurations: int
+    exec_time_s: float
+    reconfig_time_s: float
+    wait_time_s: float
+
+    @property
+    def reconfig_share(self) -> float:
+        """Fraction of the tile's busy time spent reconfiguring."""
+        busy = self.exec_time_s + self.reconfig_time_s
+        return self.reconfig_time_s / busy if busy > 0 else 0.0
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Average queueing delay per invocation."""
+        return self.wait_time_s / self.invocations if self.invocations else 0.0
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Whole-SoC runtime statistics."""
+
+    tiles: Dict[str, TileStats]
+    total_invocations: int
+    total_reconfigurations: int
+    failed_attempts: int
+    icap_busy_s: float
+    span_s: float
+
+    @property
+    def icap_utilization(self) -> float:
+        """Fraction of the run the single ICAP spent streaming."""
+        return self.icap_busy_s / self.span_s if self.span_s > 0 else 0.0
+
+    def busiest_tile(self) -> TileStats:
+        """The tile with the most accelerator-busy time."""
+        if not self.tiles:
+            raise ReconfigurationError("no tiles attached")
+        return max(self.tiles.values(), key=lambda t: t.exec_time_s)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report."""
+        lines = [
+            f"invocations={self.total_invocations} "
+            f"reconfigurations={self.total_reconfigurations} "
+            f"failed_attempts={self.failed_attempts} "
+            f"icap_utilization={self.icap_utilization:.1%}"
+        ]
+        for stats in sorted(self.tiles.values(), key=lambda t: t.tile_name):
+            lines.append(
+                f"  {stats.tile_name:10s} inv={stats.invocations:<4d} "
+                f"exec={stats.exec_time_s * 1000:7.1f}ms "
+                f"reconf={stats.reconfig_time_s * 1000:7.1f}ms "
+                f"({stats.reconfig_share:.0%}) "
+                f"mean_wait={stats.mean_wait_s * 1000:6.2f}ms"
+            )
+        return lines
+
+
+def collect_stats(
+    manager: ReconfigurationManager, span_s: Optional[float] = None
+) -> RuntimeStats:
+    """Aggregate a manager's telemetry into :class:`RuntimeStats`."""
+    by_tile: Dict[str, List[InvocationRecord]] = {
+        name: [] for name in manager.tiles
+    }
+    for record in manager.invocations:
+        by_tile.setdefault(record.tile_name, []).append(record)
+
+    tiles = {}
+    for name, records in by_tile.items():
+        state = manager.tiles.get(name)
+        tiles[name] = TileStats(
+            tile_name=name,
+            invocations=len(records),
+            reconfigurations=state.reconfigurations if state else 0,
+            exec_time_s=sum(r.exec_time_s for r in records),
+            reconfig_time_s=sum(r.reconfig_s for r in records),
+            wait_time_s=sum(max(0.0, r.wait_s) for r in records),
+        )
+
+    end = span_s if span_s is not None else manager.sim.now
+    return RuntimeStats(
+        tiles=tiles,
+        total_invocations=len(manager.invocations),
+        total_reconfigurations=manager.total_reconfigurations(),
+        failed_attempts=manager.failed_attempts,
+        icap_busy_s=manager.prc.total_reconfiguration_time_s(),
+        span_s=end,
+    )

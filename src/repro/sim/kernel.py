@@ -1,0 +1,215 @@
+"""Event heap and primitive events of the simulation kernel."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Lifecycle: *pending* → ``succeed()``/``fail()`` → *triggered* (queued
+    on the heap) → *processed* (callbacks ran). Waiting on an already
+    processed event resumes the waiter immediately at the current time.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.triggered = False
+        self.processed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        """The success value (None until triggered)."""
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, if the event failed."""
+        return self._exception
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded."""
+        return self.triggered and self._exception is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.triggered = True
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure; waiters see the exception."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._exception = exception
+        self.triggered = True
+        self.sim._queue_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.processed:
+            # Late subscription: schedule an immediate wake-up so the
+            # caller still runs at the current simulation time.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(lambda _evt: callback(self))
+            if self._exception is None:
+                immediate.succeed(self._value)
+            else:
+                # Propagate the original failure to the late waiter too.
+                immediate._value = self._value
+                immediate._exception = self._exception
+                immediate.triggered = True
+                self.sim._queue_event(immediate)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self.triggered = True
+        sim._queue_event(self, delay=delay)
+
+
+class AllOf(Event):
+    """Fires when every child event has been processed successfully."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        self._results: List[Any] = [None] * len(events)
+        for index, event in enumerate(events):
+            event.add_callback(lambda evt, i=index: self._child_done(evt, i))
+
+    def _child_done(self, event: Event, index: int) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self._results[index] = event.value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(list(self._results))
+
+
+class AnyOf(Event):
+    """Fires when the first child event is processed."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim)
+        if not events:
+            raise SimulationError("AnyOf needs at least one event")
+        for event in events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+        else:
+            self.succeed(event.value)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` after now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Barrier over ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """First-of-``events`` selector."""
+        return AnyOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Spawn a process from a generator (see :class:`Process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # scheduling and execution
+    # ------------------------------------------------------------------
+    def _queue_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards (kernel bug)")
+        self.now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of triggered-but-unprocessed events on the heap."""
+        return len(self._heap)

@@ -1,0 +1,52 @@
+"""ESP-style SoC model: tiles, sockets, configuration, RTL, partitioning.
+
+This package reproduces the slice of the ESP platform that PR-ESP
+builds on: the 2D tile grid (processor / memory / auxiliary / shared
+local memory / accelerator tiles), the socket that interfaces each tile
+to the NoC, the new *reconfigurable tile* with its decoupler, the SoC
+configuration format the flow parses, and the generated RTL hierarchy
+the flow partitions into a static part plus reconfigurable partitions.
+"""
+
+from repro.soc.tiles import (
+    TileKind,
+    Tile,
+    CpuCore,
+    ReconfigurableTile,
+)
+from repro.soc.esp_library import (
+    AcceleratorIP,
+    HlsFlow,
+    STOCK_ACCELERATORS,
+    stock_accelerator,
+)
+from repro.soc.config import SocConfig
+from repro.soc.rtl import Module, generate_rtl
+from repro.soc.partition import (
+    StaticPartition,
+    ReconfigurablePartition,
+    DesignPartition,
+    partition_design,
+)
+from repro.soc.socket import Socket, Decoupler, DecouplerState
+
+__all__ = [
+    "TileKind",
+    "Tile",
+    "CpuCore",
+    "ReconfigurableTile",
+    "AcceleratorIP",
+    "HlsFlow",
+    "STOCK_ACCELERATORS",
+    "stock_accelerator",
+    "SocConfig",
+    "Module",
+    "generate_rtl",
+    "StaticPartition",
+    "ReconfigurablePartition",
+    "DesignPartition",
+    "partition_design",
+    "Socket",
+    "Decoupler",
+    "DecouplerState",
+]

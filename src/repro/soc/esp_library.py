@@ -1,0 +1,174 @@
+"""The stock ESP accelerator library used by the paper's characterization.
+
+Resource figures are the published post-synthesis LUT counts from
+Table II of the paper; FF/BRAM/DSP counts are not published and are
+derived with family-typical ratios (FF ≈ 1.1x LUT for HLS-generated
+datapaths; BRAM/DSP proportional to the kernel's arithmetic/storage
+intensity). Only LUTs enter the size-driven parallelism model, so the
+derived components affect floorplanning realism but not the paper's
+headline numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.fabric.resources import ResourceVector
+
+
+class HlsFlow(enum.Enum):
+    """Which HLS flow produced the accelerator (as in the paper)."""
+
+    VIVADO_HLS = "vivado_hls"
+    STRATUS_HLS = "stratus_hls"
+    RTL = "rtl"  # hand-written / third-party RTL
+
+
+@dataclass(frozen=True)
+class AcceleratorIP:
+    """A loosely-coupled accelerator IP in the ESP catalog.
+
+    Attributes
+    ----------
+    name:
+        Catalog name (lower-case identifier).
+    hls_flow:
+        Flow that generated the IP.
+    resources:
+        Post-synthesis resource demand.
+    throughput_factor:
+        Relative datapath throughput used by the execution-time model
+        (work units per cycle); purely a runtime-evaluation parameter.
+    dynamic_power_w:
+        Average dynamic power while computing, used by the energy model.
+    description:
+        Human-readable summary.
+    """
+
+    name: str
+    hls_flow: HlsFlow
+    resources: ResourceVector
+    throughput_factor: float = 1.0
+    dynamic_power_w: float = 0.5
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise ConfigurationError(f"accelerator name must be lower-case: {self.name!r}")
+        if self.throughput_factor <= 0:
+            raise ConfigurationError(f"{self.name}: throughput factor must be positive")
+        if self.dynamic_power_w < 0:
+            raise ConfigurationError(f"{self.name}: negative dynamic power")
+
+    @property
+    def luts(self) -> int:
+        """LUT demand (the quantity the paper's model is built on)."""
+        return self.resources.lut
+
+
+def _ip(
+    name: str,
+    flow: HlsFlow,
+    luts: int,
+    bram: int,
+    dsp: int,
+    throughput: float,
+    power: float,
+    description: str,
+) -> AcceleratorIP:
+    return AcceleratorIP(
+        name=name,
+        hls_flow=flow,
+        resources=ResourceVector(lut=luts, ff=int(luts * 1.1), bram=bram, dsp=dsp),
+        throughput_factor=throughput,
+        dynamic_power_w=power,
+        description=description,
+    )
+
+
+#: The stock accelerators of Table II (LUT counts are the published ones).
+STOCK_ACCELERATORS: Dict[str, AcceleratorIP] = {
+    ip.name: ip
+    for ip in [
+        _ip(
+            "mac",
+            HlsFlow.VIVADO_HLS,
+            luts=2450,
+            bram=2,
+            dsp=4,
+            throughput=1.0,
+            power=0.15,
+            description="Multiply-accumulate accelerator (ESP Vivado HLS flow)",
+        ),
+        _ip(
+            "conv2d",
+            HlsFlow.STRATUS_HLS,
+            luts=36741,
+            bram=48,
+            dsp=96,
+            throughput=8.0,
+            power=1.9,
+            description="2-D convolution accelerator (SystemC / Stratus HLS)",
+        ),
+        _ip(
+            "gemm",
+            HlsFlow.STRATUS_HLS,
+            luts=30617,
+            bram=40,
+            dsp=128,
+            throughput=16.0,
+            power=1.7,
+            description="Dense matrix-multiply accelerator (SystemC / Stratus HLS)",
+        ),
+        _ip(
+            "fft",
+            HlsFlow.STRATUS_HLS,
+            luts=33690,
+            bram=36,
+            dsp=72,
+            throughput=4.0,
+            power=1.8,
+            description="Fast Fourier Transform accelerator (SystemC / Stratus HLS)",
+        ),
+        _ip(
+            "sort",
+            HlsFlow.STRATUS_HLS,
+            luts=20468,
+            bram=24,
+            dsp=0,
+            throughput=2.0,
+            power=1.1,
+            description="Vector sorting accelerator (SystemC / Stratus HLS)",
+        ),
+    ]
+}
+
+
+def stock_accelerator(name: str) -> AcceleratorIP:
+    """Look up a stock accelerator by catalog name."""
+    try:
+        return STOCK_ACCELERATORS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stock accelerator {name!r}; catalog: {sorted(STOCK_ACCELERATORS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Non-accelerator IP blocks whose sizes Table II publishes.
+# ----------------------------------------------------------------------
+
+#: LUTs of the Leon3 core as published in Table II ("CPU" column).
+LEON3_CORE_LUTS = 41544
+
+#: LUTs of CPU-tile glue around the core. Derived from Table II:
+#: static-with-CPU (82,267) minus static-without-CPU (39,254) minus the
+#: core itself (41,544) leaves 1,469 LUTs of tile-local logic.
+CPU_TILE_GLUE_LUTS = 1469
+
+#: Published static-part figures used to calibrate tile base costs.
+STATIC_WITH_CPU_LUTS = 82267
+STATIC_WITHOUT_CPU_LUTS = 39254

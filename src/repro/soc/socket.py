@@ -1,0 +1,102 @@
+"""The ESP socket and the PR-ESP reconfiguration decoupler.
+
+Every tile is encapsulated in a *socket* that bridges it to the NoC:
+proxies translate the tile's load/store, register-access and interrupt
+traffic into NoC packets on the appropriate physical planes. The
+reconfigurable tile adds *decoupling logic* between the wrapper and the
+socket: during reconfiguration the decoupler isolates all wrapper
+interfaces and gates the inputs of the NoC queues, then resets and
+re-enables them once the new bitstream is live (Sec. III of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ReconfigurationError
+
+
+class ProxyKind(enum.Enum):
+    """Socket proxies, one per wrapper interface."""
+
+    DMA = "dma"  # load/store ports for memory access
+    REG = "reg"  # memory-mapped configuration registers
+    IRQ = "irq"  # task-completion interrupt
+
+
+#: NoC physical plane used by each proxy (mirrors ESP's plane split).
+PROXY_PLANES = {
+    ProxyKind.DMA: 4,
+    ProxyKind.REG: 5,
+    ProxyKind.IRQ: 5,
+}
+
+
+class DecouplerState(enum.Enum):
+    """States of the reconfiguration decoupler FSM."""
+
+    COUPLED = "coupled"  # normal operation: wrapper wired to socket
+    DECOUPLED = "decoupled"  # isolation active, NoC queue inputs disabled
+
+
+@dataclass
+class Decoupler:
+    """Software-controlled isolation logic of a reconfigurable tile.
+
+    The FSM is deliberately strict: decoupling an already-decoupled
+    tile (or re-coupling a coupled one) indicates a runtime-manager bug
+    and raises, exactly the kind of misuse the hardware would turn into
+    silent corruption.
+    """
+
+    tile_name: str
+    state: DecouplerState = DecouplerState.COUPLED
+    #: Number of decouple/recouple cycles performed (telemetry).
+    cycles: int = 0
+
+    @property
+    def queues_enabled(self) -> bool:
+        """True while the NoC queue inputs of the tile are enabled."""
+        return self.state is DecouplerState.COUPLED
+
+    def decouple(self) -> None:
+        """Isolate the wrapper before reconfiguration starts."""
+        if self.state is DecouplerState.DECOUPLED:
+            raise ReconfigurationError(f"{self.tile_name}: already decoupled")
+        self.state = DecouplerState.DECOUPLED
+
+    def recouple(self) -> None:
+        """Reset queues and re-attach the wrapper after reconfiguration."""
+        if self.state is DecouplerState.COUPLED:
+            raise ReconfigurationError(f"{self.tile_name}: not decoupled")
+        self.state = DecouplerState.COUPLED
+        self.cycles += 1
+
+
+@dataclass
+class Socket:
+    """A tile socket: proxies plus (for reconfigurable tiles) a decoupler."""
+
+    tile_name: str
+    reconfigurable: bool = False
+    decoupler: Optional[Decoupler] = None
+
+    def __post_init__(self) -> None:
+        if self.reconfigurable and self.decoupler is None:
+            self.decoupler = Decoupler(tile_name=self.tile_name)
+        if not self.reconfigurable and self.decoupler is not None:
+            raise ReconfigurationError(
+                f"{self.tile_name}: only reconfigurable sockets carry a decoupler"
+            )
+
+    def proxies(self) -> List[ProxyKind]:
+        """Proxies instantiated by this socket."""
+        return list(ProxyKind)
+
+    def can_accept_traffic(self) -> bool:
+        """True if wrapper-bound traffic may enter the socket right now."""
+        if self.decoupler is None:
+            return True
+        return self.decoupler.queues_enabled

@@ -1,0 +1,169 @@
+"""Design-rule checking for SoC configurations.
+
+The ESP methodology "guides the choice of the number, mix, and
+placement of tiles" (Sec. II); the hard rules live in
+:class:`~repro.soc.config.SocConfig` validation, while this module
+covers the *advisory* layer: checks that a configuration is not just
+legal but sensible for a DPR deployment. The flow runs without these,
+but the CLI and examples surface them the way a methodology handbook
+would.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.soc.config import SocConfig
+from repro.soc.tiles import ReconfigurableTile, TileKind
+
+
+class Severity(enum.Enum):
+    """Advisory levels (nothing here blocks the flow)."""
+
+    INFO = "info"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One design-rule observation."""
+
+    severity: Severity
+    rule: str
+    message: str
+
+
+def _distance(a, b) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def check_design(config: SocConfig) -> List[Finding]:
+    """Run every advisory rule; returns findings (possibly empty)."""
+    findings: List[Finding] = []
+    findings += _check_mode_size_spread(config)
+    findings += _check_aux_mem_distance(config)
+    findings += _check_reconf_density(config)
+    findings += _check_single_memory_bottleneck(config)
+    findings += _check_empty_share(config)
+    return findings
+
+
+def _check_mode_size_spread(config: SocConfig) -> List[Finding]:
+    """A tile whose modes differ wildly in size wastes region area:
+    the pblock is sized for the largest mode, so small modes configure
+    a mostly-empty region (slow pbs, wasted clock power)."""
+    findings = []
+    for tile in config.reconfigurable_tiles:
+        if len(tile.modes) < 2:
+            continue
+        sizes = [ip.luts for ip in tile.modes]
+        if max(sizes) > 4 * min(sizes):
+            findings.append(
+                Finding(
+                    severity=Severity.WARNING,
+                    rule="mode-size-spread",
+                    message=(
+                        f"tile {tile.name}: largest mode ({max(sizes)} LUTs) is "
+                        f">{max(sizes) // min(sizes)}x the smallest ({min(sizes)}); "
+                        "small modes will occupy a mostly-empty region"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_aux_mem_distance(config: SocConfig) -> List[Finding]:
+    """The DFXC fetches bitstreams from DDR: every hop between the AUX
+    and MEM tiles adds latency to every reconfiguration."""
+    aux = config.tiles_of_kind(TileKind.AUX)[0]
+    mems = config.tiles_of_kind(TileKind.MEM)
+    aux_pos = config.position_of(aux.name)
+    best = min(_distance(aux_pos, config.position_of(m.name)) for m in mems)
+    if best > 2:
+        return [
+            Finding(
+                severity=Severity.WARNING,
+                rule="aux-mem-distance",
+                message=(
+                    f"auxiliary tile is {best} hops from the nearest memory "
+                    "tile; bitstream fetches pay the extra NoC latency"
+                ),
+            )
+        ]
+    return []
+
+
+def _check_reconf_density(config: SocConfig) -> List[Finding]:
+    """Floorplanning headroom: past ~65% of the device in inflated RP
+    demand, the packer must relax its routability slack."""
+    device_luts = config.device().capacity().lut
+    inflated = sum(
+        int(t.partition_resources().lut / 0.7)
+        for t in config.reconfigurable_tiles
+    )
+    fraction = (inflated + config.static_luts()) / device_luts
+    if fraction > 1.0:
+        return [
+            Finding(
+                severity=Severity.WARNING,
+                rule="reconf-density",
+                message=(
+                    f"inflated demand is {fraction:.0%} of the device; "
+                    "floorplanning will pack regions tightly or fail"
+                ),
+            )
+        ]
+    if fraction > 0.65:
+        return [
+            Finding(
+                severity=Severity.INFO,
+                rule="reconf-density",
+                message=(
+                    f"design uses {fraction:.0%} of the device after headroom; "
+                    "expect tight pblocks"
+                ),
+            )
+        ]
+    return []
+
+
+def _check_single_memory_bottleneck(config: SocConfig) -> List[Finding]:
+    """Many reconfigurable tiles sharing one MEM tile serialize their
+    DMA streams (the paper's SoCs all use a single 1GB DDR channel)."""
+    tiles = len(config.reconfigurable_tiles)
+    mems = len(config.tiles_of_kind(TileKind.MEM))
+    if tiles >= 4 and mems == 1:
+        return [
+            Finding(
+                severity=Severity.INFO,
+                rule="memory-bottleneck",
+                message=(
+                    f"{tiles} reconfigurable tiles share one memory tile; "
+                    "concurrent DMA will contend on the DDR channel"
+                ),
+            )
+        ]
+    return []
+
+
+def _check_empty_share(config: SocConfig) -> List[Finding]:
+    """A grid dominated by empty tiles wastes NoC area (routers are
+    instantiated per position)."""
+    empties = len(config.tiles_of_kind(TileKind.EMPTY))
+    if empties > config.num_tiles // 2:
+        return [
+            Finding(
+                severity=Severity.INFO,
+                rule="empty-grid",
+                message=(
+                    f"{empties} of {config.num_tiles} grid positions are empty; "
+                    "a smaller grid would save router area"
+                ),
+            )
+        ]
+    return []

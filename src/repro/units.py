@@ -1,0 +1,87 @@
+"""Unit helpers shared across the library.
+
+The paper mixes units freely: CAD runtimes in minutes, reconfiguration
+latencies in microseconds, bitstream sizes in KB, clock frequencies in
+MHz. Internally the library standardizes on:
+
+* time   — seconds (float)
+* size   — bytes (int)
+* clock  — hertz (float)
+
+and converts at the edges with the helpers below.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+MHZ = 1e6
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * MINUTE
+
+
+def to_minutes(seconds: float) -> float:
+    """Convert seconds to minutes."""
+    return seconds / MINUTE
+
+
+def kib(value: float) -> int:
+    """Convert KiB to bytes (rounded to the nearest byte)."""
+    return int(round(value * KIB))
+
+
+def to_kib(num_bytes: int) -> float:
+    """Convert bytes to KiB."""
+    return num_bytes / KIB
+
+
+def mhz(value: float) -> float:
+    """Convert MHz to Hz."""
+    return value * MHZ
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Duration of ``cycles`` clock cycles at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> int:
+    """Number of whole clock cycles covering ``seconds`` at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {clock_hz}")
+    return int(round(seconds * clock_hz))
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration: picks µs/ms/s/min as appropriate."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds / US:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds / MS:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / MINUTE:.1f}min"
+
+
+def fmt_size(num_bytes: int) -> str:
+    """Human-readable size in B/KB/MB."""
+    if num_bytes < 0:
+        return "-" + fmt_size(-num_bytes)
+    if num_bytes < KIB:
+        return f"{num_bytes}B"
+    if num_bytes < MIB:
+        return f"{num_bytes / KIB:.0f}KB"
+    return f"{num_bytes / MIB:.2f}MB"

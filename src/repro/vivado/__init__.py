@@ -1,0 +1,75 @@
+"""A simulated Xilinx Vivado: synthesis, P&R, bitstreams, job server.
+
+The paper's flow drives Vivado 2019.2; offline reproduction replaces
+the tool with a model that exposes the same operational surface — OoC
+synthesis producing netlist checkpoints, static-with-placeholders P&R,
+in-context incremental P&R of reconfigurable tiles, full-design serial
+runs, and (compressed) bitstream generation — and charges CPU time from
+a runtime model calibrated against every timing observation published
+in Tables III and V.
+"""
+
+from repro.vivado.runtime_model import (
+    JobKind,
+    RuntimeCurve,
+    RuntimeModel,
+    CALIBRATED_MODEL,
+    fit_runtime_model,
+)
+from repro.vivado.checkpoint import NetlistCheckpoint, RoutedCheckpoint
+from repro.vivado.synthesis import SynthesisEngine, SynthesisResult
+from repro.vivado.par import ParEngine, ParResult, ParMode
+from repro.vivado.bitstream import (
+    Bitstream,
+    BitstreamKind,
+    BitstreamGenerator,
+)
+from repro.vivado.tool import VivadoInstance, ToolJournalEntry
+from repro.vivado.server import VivadoServer, ToolJob, ScheduleResult
+from repro.vivado.timing import (
+    PartitionTiming,
+    TimingReport,
+    analyze_timing,
+    estimate_fmax_mhz,
+)
+from repro.vivado.characterization import (
+    Characterizer,
+    CharacterizationPoint,
+    CharacterizationRun,
+    characterization_design,
+    default_design_space,
+    synthetic_accelerator,
+)
+
+__all__ = [
+    "JobKind",
+    "RuntimeCurve",
+    "RuntimeModel",
+    "CALIBRATED_MODEL",
+    "fit_runtime_model",
+    "NetlistCheckpoint",
+    "RoutedCheckpoint",
+    "SynthesisEngine",
+    "SynthesisResult",
+    "ParEngine",
+    "ParResult",
+    "ParMode",
+    "Bitstream",
+    "BitstreamKind",
+    "BitstreamGenerator",
+    "VivadoInstance",
+    "ToolJournalEntry",
+    "VivadoServer",
+    "ToolJob",
+    "ScheduleResult",
+    "Characterizer",
+    "CharacterizationPoint",
+    "CharacterizationRun",
+    "characterization_design",
+    "default_design_space",
+    "synthetic_accelerator",
+    "PartitionTiming",
+    "TimingReport",
+    "analyze_timing",
+    "estimate_fmax_mhz",
+]

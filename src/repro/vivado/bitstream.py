@@ -1,0 +1,136 @@
+"""Bitstream generation with the compression model.
+
+Partial bitstream size is determined by the *region*, not the module:
+every configuration frame of the pblock's columns must be written. The
+model charges a per-LUT-of-area cost for the frames plus a fixed
+command/header overhead, and applies Vivado's optional compression,
+whose effectiveness degrades as the region fills with real logic
+(denser configuration data has less frame-level redundancy). PR-ESP
+enables compression by default "to reduce the memory access latency
+during reconfiguration" (Sec. VI).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ImplementationError
+from repro.fabric.resources import ResourceVector
+
+#: Configuration-frame bytes per LUT of *region area* (full VC707
+#: bitstream ≈ 19.3 MB over ≈ 300k LUTs ≈ 64 B/LUT).
+BYTES_PER_AREA_LUT = 64
+
+#: Fixed partial-bitstream overhead: sync words, frame-address setup,
+#: per-region clearing commands.
+PARTIAL_OVERHEAD_BYTES = 60 * 1024
+
+#: Compression ratio model: ratio = base + slope * occupancy.
+COMPRESSION_BASE = 0.035
+COMPRESSION_SLOPE = 0.055
+
+
+class BitstreamKind(enum.Enum):
+    """Full-device or partial (one reconfigurable partition)."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """One generated bitstream."""
+
+    name: str
+    kind: BitstreamKind
+    size_bytes: int
+    compressed: bool
+    #: For partial bitstreams: the target reconfigurable partition.
+    target_rp: Optional[str] = None
+    #: For partial bitstreams: the accelerator (mode) it loads.
+    mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ImplementationError(f"{self.name}: bitstream must have positive size")
+        if self.kind is BitstreamKind.PARTIAL and not self.target_rp:
+            raise ImplementationError(f"{self.name}: partial bitstream needs a target RP")
+
+    @property
+    def size_kib(self) -> float:
+        """Size in KiB (the unit of Table VI)."""
+        return self.size_bytes / 1024.0
+
+
+class BitstreamGenerator:
+    """Produces full and partial bitstreams from routed designs."""
+
+    def __init__(self, compress: bool = True) -> None:
+        self.compress = compress
+
+    # ------------------------------------------------------------------
+    def compression_ratio(self, occupancy: float) -> float:
+        """Compressed/uncompressed ratio at a given region occupancy."""
+        occupancy = min(max(occupancy, 0.0), 1.0)
+        return COMPRESSION_BASE + COMPRESSION_SLOPE * occupancy
+
+    def partial_bitstream(
+        self,
+        rp_name: str,
+        mode_name: str,
+        region_resources: ResourceVector,
+        module_resources: ResourceVector,
+    ) -> Bitstream:
+        """Partial bitstream for ``mode_name`` loaded into ``rp_name``.
+
+        ``region_resources`` is what the floorplanned pblock encloses;
+        ``module_resources`` what the mode actually uses.
+        """
+        area_luts = region_resources.lut
+        if area_luts <= 0:
+            raise ImplementationError(f"{rp_name}: region has no LUT area")
+        if module_resources.lut > area_luts:
+            raise ImplementationError(
+                f"{rp_name}: module ({module_resources.lut} LUTs) exceeds the "
+                f"region ({area_luts} LUTs)"
+            )
+        raw = area_luts * BYTES_PER_AREA_LUT
+        if self.compress:
+            occupancy = module_resources.lut / area_luts
+            raw = int(raw * self.compression_ratio(occupancy))
+        size = raw + PARTIAL_OVERHEAD_BYTES
+        return Bitstream(
+            name=f"{rp_name}_{mode_name}.pbs",
+            kind=BitstreamKind.PARTIAL,
+            size_bytes=size,
+            compressed=self.compress,
+            target_rp=rp_name,
+            mode=mode_name,
+        )
+
+    def blanking_bitstream(self, rp_name: str, region_resources: ResourceVector) -> Bitstream:
+        """Greybox/blanking bitstream that erases a region (occupancy 0)."""
+        raw = region_resources.lut * BYTES_PER_AREA_LUT
+        if self.compress:
+            raw = int(raw * self.compression_ratio(0.0))
+        return Bitstream(
+            name=f"{rp_name}_blank.pbs",
+            kind=BitstreamKind.PARTIAL,
+            size_bytes=raw + PARTIAL_OVERHEAD_BYTES,
+            compressed=self.compress,
+            target_rp=rp_name,
+            mode="blank",
+        )
+
+    def full_bitstream(self, design: str, device_resources: ResourceVector) -> Bitstream:
+        """Full-device bitstream (never compressed in the PR-ESP flow:
+        the initial configuration happens once, off the critical path)."""
+        size = device_resources.lut * BYTES_PER_AREA_LUT + PARTIAL_OVERHEAD_BYTES
+        return Bitstream(
+            name=f"{design}.bit",
+            kind=BitstreamKind.FULL,
+            size_bytes=size,
+            compressed=False,
+        )

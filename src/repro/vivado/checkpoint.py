@@ -1,0 +1,58 @@
+"""Design checkpoints (the .dcp files the real flow shuttles around)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ImplementationError
+from repro.fabric.pblock import Pblock
+
+
+@dataclass(frozen=True)
+class NetlistCheckpoint:
+    """A post-synthesis netlist checkpoint.
+
+    ``ooc`` marks out-of-context synthesis results (no I/O buffers; the
+    unit can be stitched into a parent context later). ``black_boxes``
+    names unresolved module instances the implementation step must fill
+    with routed partitions or placeholder macros.
+    """
+
+    design: str
+    kluts: float
+    ooc: bool = False
+    black_boxes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kluts < 0:
+            raise ImplementationError(f"{self.design}: negative netlist size")
+
+    @property
+    def is_assemblable(self) -> bool:
+        """True if this checkpoint can be linked into a parent design."""
+        return self.ooc
+
+
+@dataclass(frozen=True)
+class RoutedCheckpoint:
+    """A placed-and-routed checkpoint.
+
+    ``locked_static`` marks checkpoints whose static portion is routed
+    and locked (the DFX requirement before implementing reconfigurable
+    modules in context). ``pblocks`` are the reconfigurable-partition
+    placements baked into the checkpoint.
+    """
+
+    design: str
+    kluts: float
+    locked_static: bool = False
+    pblocks: Tuple[Pblock, ...] = ()
+    #: CPU minutes the producing run charged (provenance/telemetry).
+    cpu_minutes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kluts < 0:
+            raise ImplementationError(f"{self.design}: negative routed size")
+        if self.cpu_minutes < 0:
+            raise ImplementationError(f"{self.design}: negative CPU time")

@@ -1,0 +1,119 @@
+"""Multi-instance job scheduling.
+
+The PR-ESP flow launches several Vivado processes at once; wall-clock
+time is then governed by how jobs map onto instances. The server takes
+a set of jobs with CPU costs and a parallelism width and computes the
+schedule makespan — the quantity the paper's T_tot columns measure —
+while recording which instance ran what.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import FlowError
+
+
+@dataclass(frozen=True)
+class ToolJob:
+    """One schedulable tool run."""
+
+    name: str
+    cpu_minutes: float
+    #: Jobs that must complete before this one starts (by name).
+    depends_on: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cpu_minutes < 0:
+            raise FlowError(f"job {self.name}: negative CPU time")
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """A job with its placement in the schedule."""
+
+    job: ToolJob
+    instance: int
+    start_minutes: float
+    end_minutes: float
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling a job set."""
+
+    jobs: Tuple[ScheduledJob, ...]
+    makespan_minutes: float
+    instances_used: int
+
+    def job_named(self, name: str) -> ScheduledJob:
+        """Lookup by job name."""
+        for scheduled in self.jobs:
+            if scheduled.job.name == name:
+                return scheduled
+        raise FlowError(f"no scheduled job named {name!r}")
+
+
+class VivadoServer:
+    """Greedy list scheduler over a bounded pool of tool instances."""
+
+    def __init__(self, max_instances: int) -> None:
+        if max_instances <= 0:
+            raise FlowError(f"need at least one tool instance, got {max_instances}")
+        self.max_instances = max_instances
+
+    def schedule(self, jobs: Sequence[ToolJob]) -> ScheduleResult:
+        """Schedule ``jobs`` honoring dependencies and the instance cap.
+
+        Ready jobs are dispatched longest-first onto the earliest-free
+        instance (LPT list scheduling); dependencies must form a DAG.
+        """
+        if not jobs:
+            raise FlowError("cannot schedule an empty job set")
+        by_name = {job.name: job for job in jobs}
+        if len(by_name) != len(jobs):
+            raise FlowError("job names must be unique")
+        for job in jobs:
+            for dep in job.depends_on:
+                if dep not in by_name:
+                    raise FlowError(f"job {job.name} depends on unknown job {dep!r}")
+
+        finish_time: dict = {}
+        scheduled: List[ScheduledJob] = []
+        # (free_at, instance_index) min-heap of instances.
+        instances = [(0.0, i) for i in range(self.max_instances)]
+        heapq.heapify(instances)
+        remaining = {job.name for job in jobs}
+
+        while remaining:
+            ready = [
+                by_name[name]
+                for name in remaining
+                if all(dep in finish_time for dep in by_name[name].depends_on)
+            ]
+            if not ready:
+                raise FlowError("dependency cycle detected in job set")
+            ready.sort(key=lambda j: (-j.cpu_minutes, j.name))
+            for job in ready:
+                free_at, index = heapq.heappop(instances)
+                deps_done = max(
+                    (finish_time[d] for d in job.depends_on), default=0.0
+                )
+                start = max(free_at, deps_done)
+                end = start + job.cpu_minutes
+                heapq.heappush(instances, (end, index))
+                finish_time[job.name] = end
+                scheduled.append(
+                    ScheduledJob(job=job, instance=index, start_minutes=start, end_minutes=end)
+                )
+                remaining.discard(job.name)
+
+        makespan = max(s.end_minutes for s in scheduled)
+        used = len({s.instance for s in scheduled})
+        return ScheduleResult(
+            jobs=tuple(sorted(scheduled, key=lambda s: (s.start_minutes, s.instance))),
+            makespan_minutes=makespan,
+            instances_used=used,
+        )

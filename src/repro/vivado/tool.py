@@ -1,0 +1,154 @@
+"""A Vivado tool instance: stateful façade over the simulated engines.
+
+Each instance mirrors one launched ``vivado -mode batch`` process: it
+executes a sequence of commands (synthesis, P&R, bitstream writes),
+accumulates CPU time, and keeps a journal of what ran — the equivalent
+of the .jou file, which the flow's reports surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ImplementationError
+from repro.fabric.device import Device
+from repro.fabric.pblock import Pblock
+from repro.fabric.resources import ResourceVector
+from repro.soc.rtl import Module
+from repro.vivado.bitstream import Bitstream, BitstreamGenerator
+from repro.vivado.checkpoint import NetlistCheckpoint, RoutedCheckpoint
+from repro.vivado.par import ParEngine, ParMode, ParResult
+from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind, RuntimeModel
+from repro.vivado.synthesis import SynthesisEngine, SynthesisResult
+
+
+@dataclass(frozen=True)
+class ToolJournalEntry:
+    """One executed command with its charged CPU minutes."""
+
+    command: str
+    cpu_minutes: float
+
+
+class VivadoInstance:
+    """One simulated tool process."""
+
+    def __init__(
+        self,
+        name: str,
+        model: RuntimeModel = CALIBRATED_MODEL,
+        compress_bitstreams: bool = True,
+    ) -> None:
+        self.name = name
+        self.model = model
+        self._synth = SynthesisEngine(model)
+        self._par = ParEngine(model)
+        self._bitgen = BitstreamGenerator(compress=compress_bitstreams)
+        self.journal: List[ToolJournalEntry] = []
+        self.cpu_minutes: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _charge(self, command: str, cpu_minutes: float) -> None:
+        self.journal.append(ToolJournalEntry(command=command, cpu_minutes=cpu_minutes))
+        self.cpu_minutes += cpu_minutes
+
+    # ------------------------------------------------------------------
+    # synthesis
+    # ------------------------------------------------------------------
+    def synth_design(
+        self,
+        module: Module,
+        ooc: bool = True,
+        black_box_names: Sequence[str] = (),
+    ) -> NetlistCheckpoint:
+        """``synth_design [-mode out_of_context]`` on a module subtree."""
+        result = self._synth.synth_module(module, ooc=ooc, black_box_names=black_box_names)
+        mode = "-mode out_of_context " if ooc else ""
+        self._charge(f"synth_design {mode}-top {module.name}", result.cpu_minutes)
+        return result.checkpoint
+
+    # ------------------------------------------------------------------
+    # implementation
+    # ------------------------------------------------------------------
+    def implement_static(
+        self,
+        static_netlist: NetlistCheckpoint,
+        device: Device,
+        pblocks: Sequence[Pblock],
+        rp_demands: Sequence[ResourceVector],
+    ) -> RoutedCheckpoint:
+        """place_design + route_design of the static part with placeholders."""
+        result = self._par.run_static(static_netlist, device, pblocks, rp_demands)
+        self._charge(
+            f"place_design; route_design; lock_design -level routing "
+            f"[{static_netlist.design}]",
+            result.cpu_minutes,
+        )
+        return result.checkpoint
+
+    def implement_in_context(
+        self,
+        static_routed: RoutedCheckpoint,
+        group: Sequence[NetlistCheckpoint],
+        pblock_names: Sequence[str],
+    ) -> RoutedCheckpoint:
+        """Incremental implementation of a group of RPs in context."""
+        result = self._par.run_in_context(static_routed, group, pblock_names)
+        names = ", ".join(n.design for n in group)
+        self._charge(f"place_design; route_design [in-context: {names}]", result.cpu_minutes)
+        return result.checkpoint
+
+    def implement_full(
+        self,
+        static_netlist: NetlistCheckpoint,
+        rp_netlists: Sequence[NetlistCheckpoint],
+        device: Device,
+        pblocks: Sequence[Pblock],
+        rp_demands: Sequence[ResourceVector],
+        mode: ParMode = ParMode.FULL_SERIAL,
+    ) -> RoutedCheckpoint:
+        """Whole-design single-instance implementation."""
+        result = self._par.run_full(
+            static_netlist, rp_netlists, device, pblocks, rp_demands, mode=mode
+        )
+        self._charge(
+            f"place_design; route_design [{mode.value}, "
+            f"{1 + len(rp_netlists)} netlists]",
+            result.cpu_minutes,
+        )
+        return result.checkpoint
+
+    # ------------------------------------------------------------------
+    # bitstreams
+    # ------------------------------------------------------------------
+    def write_partial_bitstream(
+        self,
+        rp_name: str,
+        mode_name: str,
+        region_resources: ResourceVector,
+        module_resources: ResourceVector,
+    ) -> Bitstream:
+        """``write_bitstream -cell`` for one reconfigurable module."""
+        bitstream = self._bitgen.partial_bitstream(
+            rp_name, mode_name, region_resources, module_resources
+        )
+        cpu = self.model.job_minutes(JobKind.BITGEN, region_resources.lut / 1000.0)
+        self._charge(f"write_bitstream -cell {rp_name} {bitstream.name}", cpu)
+        return bitstream
+
+    def write_blanking_bitstream(
+        self, rp_name: str, region_resources: ResourceVector
+    ) -> Bitstream:
+        """``write_bitstream`` of the empty greybox for one region."""
+        bitstream = self._bitgen.blanking_bitstream(rp_name, region_resources)
+        cpu = self.model.job_minutes(JobKind.BITGEN, region_resources.lut / 1000.0)
+        self._charge(f"write_bitstream -cell {rp_name} {bitstream.name}", cpu)
+        return bitstream
+
+    def write_full_bitstream(self, design: str, device: Device) -> Bitstream:
+        """``write_bitstream`` of the assembled full design."""
+        bitstream = self._bitgen.full_bitstream(design, device.capacity())
+        cpu = self.model.job_minutes(JobKind.BITGEN, device.capacity().lut / 1000.0)
+        self._charge(f"write_bitstream {bitstream.name}", cpu)
+        return bitstream

@@ -1,0 +1,67 @@
+"""The WAMI-App benchmark (PERFECT suite) used by the paper's evaluation.
+
+Wide Area Motion Imagery processing: demosaic a Bayer frame, convert to
+grayscale, register it against the previous frame with an (inverse
+compositional) Lucas-Kanade pipeline decomposed into sub-kernels, and
+run GMM-based change detection on the registered frame.
+
+``kernels`` holds functional numpy implementations (golden models),
+``graph`` the dataflow DAG of Fig. 3, ``accelerators`` the hardware
+profiles (LUTs, execution time, power), ``data`` synthetic frame
+generation, and ``app`` the end-to-end application driver.
+"""
+
+from repro.wami.kernels import (
+    change_detection,
+    debayer,
+    gradient,
+    grayscale,
+    hessian,
+    interp,
+    lucas_kanade,
+    lk_flow,
+    matrix_solve,
+    sd_update,
+    steepest_descent,
+    subtract,
+    warp,
+)
+from repro.wami.graph import WAMI_GRAPH, WamiGraph, WamiStage
+from repro.wami.accelerators import (
+    WAMI_ACCELERATORS,
+    WamiAcceleratorProfile,
+    wami_accelerator,
+    wami_catalog,
+)
+from repro.wami.data import synthetic_bayer_sequence
+from repro.wami.app import WamiApplication, WamiGoldenResult
+from repro.wami.partitioner import Allocation, WamiPartitioner, soc_from_allocation
+
+__all__ = [
+    "debayer",
+    "grayscale",
+    "gradient",
+    "warp",
+    "subtract",
+    "steepest_descent",
+    "sd_update",
+    "hessian",
+    "matrix_solve",
+    "lk_flow",
+    "interp",
+    "change_detection",
+    "lucas_kanade",
+    "WamiStage",
+    "WamiGraph",
+    "WAMI_GRAPH",
+    "WamiAcceleratorProfile",
+    "WAMI_ACCELERATORS",
+    "wami_accelerator",
+    "wami_catalog",
+    "synthetic_bayer_sequence",
+    "WamiApplication",
+    "WamiGoldenResult",
+    "Allocation",
+    "WamiPartitioner",
+    "soc_from_allocation",
+]

@@ -1,0 +1,131 @@
+"""Hardware profiles of the twelve WAMI accelerators.
+
+Fig. 3 of the paper annotates each accelerator with its profiled LUT
+consumption and execution time (obtained on a 2x2 profiling SoC on
+VC707); those annotations are only legible as raster images in the
+available text, so the profiles below are *reconstructed*: the LUT
+sizes were solved to satisfy the published per-SoC size metrics
+(κ, α_av, γ) of Table IV, and the execution times were chosen to
+reproduce the performance/energy ordering of Fig. 4. EXPERIMENTS.md
+documents the residual mismatches this reconstruction cannot avoid
+(the paper's Table IV is internally inconsistent for SoC_D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigurationError
+from repro.fabric.resources import ResourceVector
+from repro.soc.esp_library import AcceleratorIP, HlsFlow
+from repro.wami.graph import WamiStage
+
+
+@dataclass(frozen=True)
+class WamiAcceleratorProfile:
+    """Profile of one WAMI accelerator (the Fig. 3 annotation)."""
+
+    stage: WamiStage
+    luts: int
+    bram: int
+    dsp: int
+    #: Hardware execution time per 512x512 frame at 78 MHz, in seconds.
+    exec_time_s: float
+    #: Software (Leon3) execution time per frame, in seconds.
+    sw_time_s: float
+    #: Average dynamic power while the accelerator computes, in watts.
+    dynamic_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.luts <= 0:
+            raise ConfigurationError(f"{self.stage}: LUTs must be positive")
+        if self.exec_time_s <= 0 or self.sw_time_s <= 0:
+            raise ConfigurationError(f"{self.stage}: execution times must be positive")
+        if self.sw_time_s < self.exec_time_s:
+            raise ConfigurationError(
+                f"{self.stage}: software time below hardware time is implausible"
+            )
+
+    @property
+    def name(self) -> str:
+        """Catalog name (lower-case kernel identifier)."""
+        return self.stage.kernel_name
+
+    @property
+    def speedup(self) -> float:
+        """Hardware speedup over the Leon3 software implementation."""
+        return self.sw_time_s / self.exec_time_s
+
+    def as_ip(self) -> AcceleratorIP:
+        """View as an ESP catalog accelerator for SoC configuration."""
+        return AcceleratorIP(
+            name=self.name,
+            hls_flow=HlsFlow.STRATUS_HLS,
+            resources=ResourceVector(
+                lut=self.luts, ff=int(self.luts * 1.1), bram=self.bram, dsp=self.dsp
+            ),
+            throughput_factor=1.0,
+            dynamic_power_w=self.dynamic_power_w,
+            description=f"WAMI {self.name} accelerator",
+        )
+
+
+def _profile(
+    stage: WamiStage,
+    luts: int,
+    bram: int,
+    dsp: int,
+    exec_ms: float,
+    sw_ms: float,
+    power_w: float,
+) -> WamiAcceleratorProfile:
+    return WamiAcceleratorProfile(
+        stage=stage,
+        luts=luts,
+        bram=bram,
+        dsp=dsp,
+        exec_time_s=exec_ms * 1e-3,
+        sw_time_s=sw_ms * 1e-3,
+        dynamic_power_w=power_w,
+    )
+
+
+#: Reconstructed Fig. 3 profiles, keyed by stage.
+WAMI_ACCELERATORS: Dict[WamiStage, WamiAcceleratorProfile] = {
+    p.stage: p
+    for p in [
+        _profile(WamiStage.DEBAYER, luts=12000, bram=18, dsp=12, exec_ms=7.0, sw_ms=90.0, power_w=0.70),
+        _profile(WamiStage.GRAYSCALE, luts=9000, bram=8, dsp=9, exec_ms=2.5, sw_ms=33.0, power_w=0.55),
+        _profile(WamiStage.GRADIENT, luts=14000, bram=12, dsp=16, exec_ms=3.5, sw_ms=46.0, power_w=0.80),
+        _profile(WamiStage.WARP, luts=18000, bram=26, dsp=32, exec_ms=9.0, sw_ms=120.0, power_w=1.05),
+        _profile(WamiStage.SUBTRACT, luts=6500, bram=4, dsp=0, exec_ms=1.2, sw_ms=15.0, power_w=0.40),
+        _profile(WamiStage.STEEPEST_DESCENT, luts=22000, bram=30, dsp=48, exec_ms=11.0, sw_ms=145.0, power_w=1.30),
+        _profile(WamiStage.SD_UPDATE, luts=16000, bram=16, dsp=24, exec_ms=6.0, sw_ms=78.0, power_w=0.95),
+        _profile(WamiStage.HESSIAN, luts=38000, bram=42, dsp=96, exec_ms=10.0, sw_ms=130.0, power_w=2.10),
+        _profile(WamiStage.MATRIX_SOLVE, luts=14500, bram=6, dsp=30, exec_ms=0.8, sw_ms=11.0, power_w=0.85),
+        _profile(WamiStage.LK_FLOW, luts=40000, bram=36, dsp=88, exec_ms=12.5, sw_ms=165.0, power_w=2.25),
+        _profile(WamiStage.INTERP, luts=17000, bram=24, dsp=28, exec_ms=8.0, sw_ms=40.0, power_w=1.00),
+        _profile(WamiStage.CHANGE_DETECTION, luts=21000, bram=40, dsp=36, exec_ms=14.0, sw_ms=255.0, power_w=1.25),
+    ]
+}
+
+
+def wami_accelerator(index_or_stage) -> WamiAcceleratorProfile:
+    """Profile by Fig. 3 index (1..12) or :class:`WamiStage`."""
+    stage = (
+        index_or_stage
+        if isinstance(index_or_stage, WamiStage)
+        else WamiStage.from_index(int(index_or_stage))
+    )
+    return WAMI_ACCELERATORS[stage]
+
+
+def wami_catalog() -> Dict[str, AcceleratorIP]:
+    """Name -> IP catalog view of the WAMI accelerators."""
+    return {p.name: p.as_ip() for p in WAMI_ACCELERATORS.values()}
+
+
+def wami_ips(indexes: Iterable[int]) -> List[AcceleratorIP]:
+    """IPs for a list of Fig. 3 indexes (order preserved)."""
+    return [wami_accelerator(i).as_ip() for i in indexes]

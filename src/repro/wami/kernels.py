@@ -1,0 +1,378 @@
+"""Functional (golden-model) implementations of the 12 WAMI kernels.
+
+The paper decomposes the WAMI-App into Debayer, Grayscale, a
+Lucas-Kanade registration pipeline split into nine sub-accelerators,
+and Change-Detection (Fig. 3). Each function below is the numerical
+reference for one accelerator; ``lucas_kanade`` composes the nine LK
+pieces into the full inverse-compositional registration loop.
+
+Conventions: images are float64 numpy arrays indexed [row, col]; warp
+parameters ``p`` are 6-vectors of an affine transform
+
+    x' = (1 + p0) * x + p2 * y + p4
+    y' = p1 * x + (1 + p3) * y + p5
+
+with x = column, y = row (the classical Baker-Matthews parameterization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# 1. Debayer
+# ----------------------------------------------------------------------
+def debayer(bayer: np.ndarray) -> np.ndarray:
+    """Demosaic an RGGB Bayer frame into an (H, W, 3) RGB image.
+
+    Bilinear interpolation, the scheme the PERFECT kernel uses. Edge
+    pixels are handled by reflective padding.
+    """
+    if bayer.ndim != 2:
+        raise ValueError(f"bayer frame must be 2-D, got shape {bayer.shape}")
+    if bayer.shape[0] % 2 or bayer.shape[1] % 2:
+        raise ValueError(f"bayer frame needs even dimensions, got {bayer.shape}")
+    img = np.asarray(bayer, dtype=np.float64)
+    height, width = img.shape
+
+    red_mask = np.zeros_like(img, dtype=bool)
+    green_mask = np.zeros_like(img, dtype=bool)
+    blue_mask = np.zeros_like(img, dtype=bool)
+    red_mask[0::2, 0::2] = True
+    green_mask[0::2, 1::2] = True
+    green_mask[1::2, 0::2] = True
+    blue_mask[1::2, 1::2] = True
+
+    padded = np.pad(img, 1, mode="reflect")
+
+    def neighbor_mean(mask: np.ndarray) -> np.ndarray:
+        """Average of the 3x3 neighbours that carry the masked colour."""
+        padded_mask = np.pad(mask, 1, mode="reflect").astype(np.float64)
+        acc = np.zeros_like(img)
+        weight = np.zeros_like(img)
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                window = padded[1 + dr : 1 + dr + height, 1 + dc : 1 + dc + width]
+                wmask = padded_mask[1 + dr : 1 + dr + height, 1 + dc : 1 + dc + width]
+                acc += window * wmask
+                weight += wmask
+        return acc / np.maximum(weight, 1.0)
+
+    rgb = np.empty((height, width, 3), dtype=np.float64)
+    red_plane = neighbor_mean(red_mask)
+    green_plane = neighbor_mean(green_mask)
+    blue_plane = neighbor_mean(blue_mask)
+    red_plane[red_mask] = img[red_mask]
+    green_plane[green_mask] = img[green_mask]
+    blue_plane[blue_mask] = img[blue_mask]
+    rgb[..., 0] = red_plane
+    rgb[..., 1] = green_plane
+    rgb[..., 2] = blue_plane
+    return rgb
+
+
+# ----------------------------------------------------------------------
+# 2. Grayscale
+# ----------------------------------------------------------------------
+def grayscale(rgb: np.ndarray) -> np.ndarray:
+    """ITU-R BT.601 luma from an (H, W, 3) RGB image."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB image, got shape {rgb.shape}")
+    weights = np.array([0.299, 0.587, 0.114])
+    return np.asarray(rgb, dtype=np.float64) @ weights
+
+
+# ----------------------------------------------------------------------
+# 3. Gradient
+# ----------------------------------------------------------------------
+def gradient(img: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Central-difference spatial gradients (d/dx = columns, d/dy = rows)."""
+    if img.ndim != 2:
+        raise ValueError(f"gradient needs a 2-D image, got shape {img.shape}")
+    gy, gx = np.gradient(np.asarray(img, dtype=np.float64))
+    return gx, gy
+
+
+# ----------------------------------------------------------------------
+# 4. Warp (and 11. Interp, which shares the sampling core)
+# ----------------------------------------------------------------------
+def _affine_grid(shape: Tuple[int, int], p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample coordinates (rows, cols) of the affine warp W(x; p)."""
+    height, width = shape
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    xw = (1.0 + p[0]) * xs + p[2] * ys + p[4]
+    yw = p[1] * xs + (1.0 + p[3]) * ys + p[5]
+    return yw, xw
+
+
+def _bilinear_sample(img: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Bilinear sampling with edge clamping."""
+    height, width = img.shape
+    r0 = np.clip(np.floor(rows).astype(np.int64), 0, height - 1)
+    c0 = np.clip(np.floor(cols).astype(np.int64), 0, width - 1)
+    r1 = np.clip(r0 + 1, 0, height - 1)
+    c1 = np.clip(c0 + 1, 0, width - 1)
+    fr = np.clip(rows - r0, 0.0, 1.0)
+    fc = np.clip(cols - c0, 0.0, 1.0)
+    top = img[r0, c0] * (1.0 - fc) + img[r0, c1] * fc
+    bottom = img[r1, c0] * (1.0 - fc) + img[r1, c1] * fc
+    return top * (1.0 - fr) + bottom * fr
+
+
+def warp(img: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Warp ``img`` by the affine parameters ``p`` (bilinear sampling)."""
+    p = np.asarray(p, dtype=np.float64).reshape(6)
+    rows, cols = _affine_grid(img.shape, p)
+    return _bilinear_sample(np.asarray(img, dtype=np.float64), rows, cols)
+
+
+def interp(img: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Final interpolation stage: resample the frame into the reference
+    coordinate system (hardware-wise a second instance of the warp
+    datapath, kept as its own accelerator in Fig. 3)."""
+    return warp(img, p)
+
+
+# ----------------------------------------------------------------------
+# 5. Subtract
+# ----------------------------------------------------------------------
+def subtract(template: np.ndarray, warped: np.ndarray) -> np.ndarray:
+    """Error image: template minus warped current frame."""
+    template = np.asarray(template, dtype=np.float64)
+    warped = np.asarray(warped, dtype=np.float64)
+    if template.shape != warped.shape:
+        raise ValueError(f"shape mismatch: {template.shape} vs {warped.shape}")
+    return template - warped
+
+
+# ----------------------------------------------------------------------
+# 6. Steepest descent images
+# ----------------------------------------------------------------------
+def steepest_descent(gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
+    """The six steepest-descent images ∇T · dW/dp, shape (6, H, W).
+
+    For the affine warp the Jacobian columns are
+    [x*gx, x*gy, y*gx, y*gy, gx, gy].
+    """
+    if gx.shape != gy.shape or gx.ndim != 2:
+        raise ValueError("gradients must be two equal-shape 2-D arrays")
+    height, width = gx.shape
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    sd = np.empty((6, height, width), dtype=np.float64)
+    sd[0] = xs * gx
+    sd[1] = xs * gy
+    sd[2] = ys * gx
+    sd[3] = ys * gy
+    sd[4] = gx
+    sd[5] = gy
+    return sd
+
+
+# ----------------------------------------------------------------------
+# 7. SD update (right-hand side accumulation)
+# ----------------------------------------------------------------------
+def sd_update(sd: np.ndarray, error: np.ndarray) -> np.ndarray:
+    """b = Σ_pixels sd(x) * error(x), a 6-vector."""
+    if sd.shape[0] != 6 or sd.shape[1:] != error.shape:
+        raise ValueError(f"incompatible shapes: sd {sd.shape}, error {error.shape}")
+    return np.tensordot(sd, error, axes=([1, 2], [0, 1]))
+
+
+# ----------------------------------------------------------------------
+# 8. Hessian
+# ----------------------------------------------------------------------
+def hessian(sd: np.ndarray) -> np.ndarray:
+    """Gauss-Newton Hessian H = Σ_pixels sd(x) sd(x)^T, shape (6, 6)."""
+    if sd.ndim != 3 or sd.shape[0] != 6:
+        raise ValueError(f"expected (6, H, W) steepest-descent stack, got {sd.shape}")
+    flat = sd.reshape(6, -1)
+    return flat @ flat.T
+
+
+# ----------------------------------------------------------------------
+# 9. Matrix solve
+# ----------------------------------------------------------------------
+def matrix_solve(hess: np.ndarray, rhs: np.ndarray, ridge: float = 1e-8) -> np.ndarray:
+    """Solve H Δp = b with a small ridge for numerical robustness.
+
+    The hardware kernel is a 6x6 Cholesky solver; the ridge mirrors its
+    fixed-point conditioning.
+    """
+    hess = np.asarray(hess, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64).reshape(6)
+    if hess.shape != (6, 6):
+        raise ValueError(f"expected 6x6 Hessian, got {hess.shape}")
+    scale = np.trace(hess) / 6.0
+    regularized = hess + np.eye(6) * ridge * max(scale, 1.0)
+    return np.linalg.solve(regularized, rhs)
+
+
+# ----------------------------------------------------------------------
+# 10. LK flow (inverse-compositional parameter update)
+# ----------------------------------------------------------------------
+def _params_to_matrix(p: np.ndarray) -> np.ndarray:
+    """3x3 homogeneous matrix of the affine warp W(x; p)."""
+    return np.array(
+        [
+            [1.0 + p[0], p[2], p[4]],
+            [p[1], 1.0 + p[3], p[5]],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def _matrix_to_params(mat: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_params_to_matrix`."""
+    return np.array(
+        [mat[0, 0] - 1.0, mat[1, 0], mat[0, 1], mat[1, 1] - 1.0, mat[0, 2], mat[1, 2]]
+    )
+
+
+def lk_flow(p: np.ndarray, dp: np.ndarray) -> np.ndarray:
+    """Inverse-compositional update: W(x; p) ← W(x; p) ∘ W(x; dp)^-1."""
+    p = np.asarray(p, dtype=np.float64).reshape(6)
+    dp = np.asarray(dp, dtype=np.float64).reshape(6)
+    updated = _params_to_matrix(p) @ np.linalg.inv(_params_to_matrix(dp))
+    return _matrix_to_params(updated)
+
+
+# ----------------------------------------------------------------------
+# 12. Change detection (adaptive Gaussian mixture background model)
+# ----------------------------------------------------------------------
+@dataclass
+class GmmState:
+    """Per-pixel K-Gaussian background model (PERFECT uses K small)."""
+
+    means: np.ndarray  # (K, H, W)
+    variances: np.ndarray  # (K, H, W)
+    weights: np.ndarray  # (K, H, W)
+
+    @classmethod
+    def initialize(cls, frame: np.ndarray, k: int = 3) -> "GmmState":
+        """Seed the model from the first frame."""
+        frame = np.asarray(frame, dtype=np.float64)
+        means = np.stack([frame + 8.0 * i for i in range(k)])
+        variances = np.full((k,) + frame.shape, 64.0)
+        weights = np.full((k,) + frame.shape, 1.0 / k)
+        return cls(means=means, variances=variances, weights=weights)
+
+
+def change_detection(
+    frame: np.ndarray,
+    state: GmmState,
+    learning_rate: float = 0.05,
+    match_sigma: float = 2.5,
+    foreground_threshold: float = 0.7,
+) -> Tuple[np.ndarray, GmmState]:
+    """Stauffer-Grimson style foreground extraction.
+
+    Returns (mask, new_state); mask is True where the pixel does not
+    match any high-weight background Gaussian. The state update is
+    functional (input state is not mutated).
+    """
+    frame = np.asarray(frame, dtype=np.float64)
+    if frame.shape != state.means.shape[1:]:
+        raise ValueError(
+            f"frame shape {frame.shape} does not match model {state.means.shape[1:]}"
+        )
+    means = state.means.copy()
+    variances = state.variances.copy()
+    weights = state.weights.copy()
+
+    distance = np.abs(frame[None, ...] - means)
+    sigma = np.sqrt(variances)
+    matches = distance <= match_sigma * sigma  # (K, H, W)
+
+    # Only the best (closest) matching Gaussian adapts.
+    penalized = np.where(matches, distance, np.inf)
+    best = np.argmin(penalized, axis=0)  # (H, W)
+    any_match = matches.any(axis=0)
+    k_indices = np.arange(means.shape[0])[:, None, None]
+    best_mask = (k_indices == best[None, ...]) & any_match[None, ...]
+
+    rho = learning_rate
+    means = np.where(best_mask, (1.0 - rho) * means + rho * frame[None, ...], means)
+    variances = np.where(
+        best_mask,
+        np.maximum(
+            (1.0 - rho) * variances + rho * (frame[None, ...] - means) ** 2, 4.0
+        ),
+        variances,
+    )
+    weights = (1.0 - rho) * weights + rho * best_mask.astype(np.float64)
+    weights /= weights.sum(axis=0, keepdims=True)
+
+    # Unmatched pixels: replace the weakest Gaussian with the new value.
+    weakest = np.argmin(weights, axis=0)
+    replace_mask = (k_indices == weakest[None, ...]) & ~any_match[None, ...]
+    means = np.where(replace_mask, frame[None, ...], means)
+    variances = np.where(replace_mask, 100.0, variances)
+    weights = np.where(replace_mask, 0.05, weights)
+    weights /= weights.sum(axis=0, keepdims=True)
+
+    # Foreground: the matched Gaussian is not part of the dominant
+    # background mass (or nothing matched at all).
+    order = np.argsort(-weights, axis=0)
+    sorted_weights = np.take_along_axis(weights, order, axis=0)
+    cum = np.cumsum(sorted_weights, axis=0)
+    is_background_sorted = (cum - sorted_weights) < foreground_threshold
+    rank_of_best = np.argsort(order, axis=0)  # inverse permutation
+    best_rank = np.take_along_axis(
+        rank_of_best, best[None, ...], axis=0
+    ).squeeze(0)
+    helper = np.take_along_axis(
+        is_background_sorted, best_rank[None, ...], axis=0
+    ).squeeze(0)
+    mask = ~any_match | ~helper
+    return mask, GmmState(means=means, variances=variances, weights=weights)
+
+
+# ----------------------------------------------------------------------
+# Composite: the full Lucas-Kanade registration loop
+# ----------------------------------------------------------------------
+def lucas_kanade(
+    template: np.ndarray,
+    frame: np.ndarray,
+    p0: Optional[np.ndarray] = None,
+    iterations: int = 20,
+    tolerance: float = 1e-4,
+    border: int = 4,
+) -> np.ndarray:
+    """Register ``frame`` onto ``template``: find p with frame(W(x;p)) ≈ template.
+
+    Inverse-compositional Baker-Matthews iteration composed from the
+    individual WAMI kernels (this is the exact dataflow of Fig. 3's LK
+    sub-graph, iterated). A ``border`` margin is excluded from the
+    normal equations: warped samples near the frame edge are clamped
+    replicas that would otherwise bias the solution.
+    """
+    template = np.asarray(template, dtype=np.float64)
+    frame = np.asarray(frame, dtype=np.float64)
+    if template.shape != frame.shape:
+        raise ValueError("template and frame must have equal shapes")
+    if border < 0 or 2 * border >= min(template.shape):
+        raise ValueError(f"border {border} too large for shape {template.shape}")
+    p = np.zeros(6) if p0 is None else np.asarray(p0, dtype=np.float64).reshape(6).copy()
+
+    # Template-side quantities are iteration-invariant (the IC trick).
+    gx, gy = gradient(template)
+    sd = steepest_descent(gx, gy)
+    if border:
+        mask = np.zeros(template.shape)
+        mask[border:-border, border:-border] = 1.0
+        sd = sd * mask[None, ...]
+    hess = hessian(sd)
+
+    for _ in range(iterations):
+        warped = warp(frame, p)
+        error = subtract(warped, template)
+        rhs = sd_update(sd, error)
+        dp = matrix_solve(hess, rhs)
+        p = lk_flow(p, dp)
+        if float(np.linalg.norm(dp)) < tolerance:
+            break
+    return p

@@ -1,0 +1,71 @@
+"""Shared fixtures for the PR-ESP reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import (
+    characterization_socs,
+    soc_2,
+    wami_parallelism_socs,
+    wami_soc_y,
+)
+from repro.core.platform import PrEspPlatform
+from repro.fabric.parts import vc707
+from repro.sim.kernel import Simulator
+from repro.soc.config import SocConfig
+from repro.soc.esp_library import stock_accelerator
+from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+
+
+@pytest.fixture
+def device():
+    """The VC707 device model (the paper's evaluation board)."""
+    return vc707()
+
+
+@pytest.fixture
+def sim():
+    """A fresh discrete-event simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def platform():
+    """A default PR-ESP platform."""
+    return PrEspPlatform()
+
+
+@pytest.fixture
+def small_soc() -> SocConfig:
+    """A 2x2 SoC with one reconfigurable MAC tile (fast to build)."""
+    return SocConfig.assemble(
+        name="small",
+        board="vc707",
+        rows=2,
+        cols=2,
+        tiles=[
+            Tile(kind=TileKind.CPU, name="cpu0"),
+            Tile(kind=TileKind.MEM, name="mem0"),
+            Tile(kind=TileKind.AUX, name="aux0"),
+            ReconfigurableTile(name="rt0", modes=[stock_accelerator("mac")]),
+        ],
+    )
+
+
+@pytest.fixture
+def soc2() -> SocConfig:
+    """The paper's SOC_2 characterization design."""
+    return soc_2()
+
+
+@pytest.fixture
+def socy() -> SocConfig:
+    """The paper's SoC_Y deployment design."""
+    return wami_soc_y()
+
+
+@pytest.fixture(scope="session")
+def all_paper_socs():
+    """All eight flow-evaluation SoCs keyed by name."""
+    return {**characterization_socs(), **wami_parallelism_socs()}

@@ -1,0 +1,106 @@
+"""Tests for the Group/Class taxonomy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.classes import (
+    DesignClass,
+    DesignGroup,
+    GammaBand,
+    classify,
+    gamma_band,
+)
+from repro.core.metrics import compute_metrics, metrics_from_sizes
+
+
+class TestGammaBand:
+    def test_bands(self):
+        assert gamma_band(0.5) is GammaBand.BELOW
+        assert gamma_band(1.0) is GammaBand.NEAR
+        assert gamma_band(2.0) is GammaBand.ABOVE
+
+    def test_band_edges(self):
+        assert gamma_band(0.8) is GammaBand.NEAR
+        assert gamma_band(1.15) is GammaBand.NEAR
+        assert gamma_band(0.79) is GammaBand.BELOW
+        assert gamma_band(1.16) is GammaBand.ABOVE
+
+    def test_custom_band(self):
+        assert gamma_band(1.3, low=0.5, high=1.5) is GammaBand.NEAR
+
+
+class TestClassify:
+    def test_class_1_1(self):
+        m = metrics_from_sizes(80_000, [4_000] * 4, 300_000)
+        assert classify(m).design_class is DesignClass.CLASS_1_1
+
+    def test_class_1_2(self):
+        m = metrics_from_sizes(80_000, [30_000] * 4, 300_000)
+        assert classify(m).design_class is DesignClass.CLASS_1_2
+
+    def test_class_1_3(self):
+        m = metrics_from_sizes(80_000, [27_000] * 3, 300_000)
+        assert classify(m).design_class is DesignClass.CLASS_1_3
+
+    def test_class_2_1(self):
+        m = metrics_from_sizes(40_000, [35_000] * 4, 300_000)
+        assert classify(m).design_class is DesignClass.CLASS_2_1
+
+    def test_class_2_2_single_tile(self):
+        m = metrics_from_sizes(40_000, [40_000], 300_000)
+        assert classify(m).design_class is DesignClass.CLASS_2_2
+
+    def test_group_of_each_class(self):
+        assert DesignClass.CLASS_1_1.group is DesignGroup.STATIC_DOMINANT
+        assert DesignClass.CLASS_2_1.group is DesignGroup.RECONF_DOMINANT
+
+    def test_classification_carries_metrics(self):
+        m = metrics_from_sizes(80_000, [4_000] * 4, 300_000)
+        result = classify(m)
+        assert result.metrics is m
+        assert result.gamma_band is GammaBand.BELOW
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("soc_1", "1.1"),
+            ("soc_2", "1.2"),
+            ("soc_3", "1.3"),
+            ("soc_4", "2.1"),
+            ("soc_a", "1.2"),
+            ("soc_b", "1.1"),
+            ("soc_c", "1.3"),
+            ("soc_d", "2.1"),
+        ],
+    )
+    def test_paper_designs_classify_as_published(self, name, expected, all_paper_socs):
+        m = compute_metrics(all_paper_socs[name])
+        assert classify(m).design_class.value == expected
+
+
+class TestProperties:
+    sizes = st.tuples(
+        st.integers(1_000, 200_000),
+        st.lists(st.integers(500, 100_000), min_size=1, max_size=16),
+    )
+
+    @given(sizes)
+    def test_always_produces_a_class(self, pair):
+        static, rps = pair
+        m = metrics_from_sizes(static, rps, 302_400)
+        assert classify(m).design_class in DesignClass
+
+    @given(sizes)
+    def test_group_consistent_with_class(self, pair):
+        static, rps = pair
+        m = metrics_from_sizes(static, rps, 302_400)
+        result = classify(m)
+        assert result.design_class.group is result.group
+
+    @given(sizes)
+    def test_multi_tile_group2_never_class_22(self, pair):
+        static, rps = pair
+        m = metrics_from_sizes(static, rps, 302_400)
+        result = classify(m)
+        if len(rps) > 1:
+            assert result.design_class is not DesignClass.CLASS_2_2

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, paper_designs, resolve_config
+
+
+class TestResolve:
+    def test_known_design(self):
+        assert resolve_config("soc_2").name == "soc_2"
+
+    def test_esp_config_file(self, tmp_path):
+        path = tmp_path / "x.esp_config"
+        path.write_text(
+            "[soc]\nname = filecfg\nboard = vc707\nrows = 2\ncols = 2\n\n"
+            "[tile cpu0]\ntype = cpu\n\n[tile mem0]\ntype = mem\n\n"
+            "[tile aux0]\ntype = aux\n\n[tile rt0]\ntype = reconf\nmodes = mac\n"
+        )
+        assert resolve_config(str(path)).name == "filecfg"
+
+    def test_unknown_spec(self):
+        from repro.errors import PrEspError
+
+        with pytest.raises(PrEspError):
+            resolve_config("not_a_design")
+
+    def test_all_eleven_designs_present(self):
+        assert len(paper_designs()) == 11
+
+
+class TestCommands:
+    def test_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("soc_1", "soc_d", "soc_z"):
+            assert name in out
+
+    def test_build(self, capsys):
+        assert main(["build", "soc_3"]) == 0
+        out = capsys.readouterr().out
+        assert "PR-ESP flow report: soc_3" in out
+        assert "semi-parallel" in out
+
+    def test_build_with_strategy_override(self, capsys):
+        assert main(["build", "soc_3", "--strategy", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy: serial" in out
+
+    def test_build_with_baseline(self, capsys):
+        assert main(["build", "soc_3", "--baseline"]) == 0
+        assert "monolithic" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "soc_d"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+    def test_deploy(self, capsys):
+        assert main(["deploy", "soc_z", "--frames", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "frame latency" in out
+        assert "reconfigs" in out
+
+    def test_profile_by_name(self, capsys):
+        assert main(["profile", "hessian"]) == 0
+        assert "38000" in capsys.readouterr().out
+
+    def test_profile_by_index(self, capsys):
+        assert main(["profile", "8"]) == 0
+        assert "hessian" in capsys.readouterr().out
+
+    def test_profile_unknown(self, capsys):
+        assert main(["profile", "quantum"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_model(self, capsys):
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "serial_dpr_par" in out
+        assert "reconfigurable-LUT weight" in out
+
+    def test_unknown_design_is_an_error(self, capsys):
+        assert main(["build", "soc_zz"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def test_check_clean_design(self, capsys):
+        assert main(["check", "soc_x"]) == 0
+        assert "no advisory findings" in capsys.readouterr().out
+
+    def test_check_dense_design(self, capsys):
+        assert main(["check", "soc_4"]) == 0
+        out = capsys.readouterr().out
+        assert "reconf-density" in out
+        assert "memory-bottleneck" in out
+
+    def test_build_json(self, capsys):
+        import json
+
+        assert main(["build", "soc_3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["soc"] == "soc_3"
+        assert data["strategy"] == "semi-parallel"

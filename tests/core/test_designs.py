@@ -1,0 +1,96 @@
+"""Tests for the paper's evaluation SoC definitions."""
+
+import pytest
+
+from repro.core.designs import (
+    WAMI_FLOW_SOC_ACCS,
+    WAMI_TILE_ALLOCATION,
+    characterization_socs,
+    wami_deployment_socs,
+    wami_parallelism_socs,
+)
+from repro.soc.tiles import TileKind
+from repro.wami.graph import WamiStage
+
+
+class TestCharacterizationSocs:
+    def test_soc1_shape(self):
+        cfg = characterization_socs()["soc_1"]
+        assert (cfg.rows, cfg.cols) == (4, 5)
+        assert len(cfg.reconfigurable_tiles) == 16
+        assert all(t.mode_names() == ["mac"] for t in cfg.reconfigurable_tiles)
+
+    def test_soc2_accelerators(self):
+        cfg = characterization_socs()["soc_2"]
+        modes = sorted(m for t in cfg.reconfigurable_tiles for m in t.mode_names())
+        assert modes == ["conv2d", "fft", "gemm", "sort"]
+
+    def test_soc3_drops_fft(self):
+        cfg = characterization_socs()["soc_3"]
+        modes = sorted(m for t in cfg.reconfigurable_tiles for m in t.mode_names())
+        assert modes == ["conv2d", "gemm", "sort"]
+
+    def test_soc4_hosts_cpu_in_rp(self):
+        cfg = characterization_socs()["soc_4"]
+        assert not cfg.tiles_of_kind(TileKind.CPU)
+        assert any(t.host_cpu for t in cfg.reconfigurable_tiles)
+
+    def test_static_trio_everywhere_else(self):
+        for name in ("soc_1", "soc_2", "soc_3"):
+            cfg = characterization_socs()[name]
+            assert len(cfg.tiles_of_kind(TileKind.CPU)) == 1
+            assert len(cfg.tiles_of_kind(TileKind.MEM)) == 1
+            assert len(cfg.tiles_of_kind(TileKind.AUX)) == 1
+
+
+class TestWamiFlowSocs:
+    def test_table4_accelerator_sets(self):
+        socs = wami_parallelism_socs()
+        for name, indexes in WAMI_FLOW_SOC_ACCS.items():
+            cfg = socs[name]
+            hosted = {
+                m for t in cfg.reconfigurable_tiles for m in t.mode_names()
+            }
+            expected = {WamiStage.from_index(i).kernel_name for i in indexes}
+            assert hosted == expected, name
+
+    def test_soc_d_is_cpu_hosted(self):
+        cfg = wami_parallelism_socs()["soc_d"]
+        assert any(t.host_cpu for t in cfg.reconfigurable_tiles)
+        assert len(cfg.reconfigurable_tiles) == 5
+
+    def test_all_are_3x3_vc707(self):
+        for cfg in wami_parallelism_socs().values():
+            assert (cfg.rows, cfg.cols) == (3, 3)
+            assert cfg.board == "vc707"
+
+
+class TestWamiDeploymentSocs:
+    def test_tile_counts(self):
+        socs = wami_deployment_socs()
+        assert len(socs["soc_x"].reconfigurable_tiles) == 2
+        assert len(socs["soc_y"].reconfigurable_tiles) == 3
+        assert len(socs["soc_z"].reconfigurable_tiles) == 4
+
+    def test_table6_allocation(self):
+        socs = wami_deployment_socs()
+        for name, allocation in WAMI_TILE_ALLOCATION.items():
+            cfg = socs[name]
+            for tile, indexes in zip(cfg.reconfigurable_tiles, allocation):
+                expected = [WamiStage.from_index(i).kernel_name for i in indexes]
+                assert tile.mode_names() == expected
+
+    def test_soc_z_covers_all_stages(self):
+        cfg = wami_deployment_socs()["soc_z"]
+        hosted = {m for t in cfg.reconfigurable_tiles for m in t.mode_names()}
+        assert hosted == {s.kernel_name for s in WamiStage}
+
+    def test_soc_x_leaves_change_detection_in_software(self):
+        """Table VI's SoC_X allocation covers indexes 1..11 only."""
+        cfg = wami_deployment_socs()["soc_x"]
+        hosted = {m for t in cfg.reconfigurable_tiles for m in t.mode_names()}
+        assert WamiStage.CHANGE_DETECTION.kernel_name not in hosted
+
+    def test_static_trio(self):
+        for cfg in wami_deployment_socs().values():
+            assert len(cfg.tiles_of_kind(TileKind.CPU)) == 1

@@ -1,0 +1,103 @@
+"""Tests for the PrEspPlatform facade."""
+
+import pytest
+
+from repro.core.platform import PrEspPlatform
+from repro.core.strategy import ImplementationStrategy
+from repro.errors import ConfigurationError
+from repro.wami.graph import WamiStage
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return PrEspPlatform()
+
+
+class TestBuild:
+    def test_build_returns_flow_result(self, platform, small_soc):
+        result = platform.build(small_soc)
+        assert result.flow.config is small_soc
+        assert result.baseline is None
+        assert result.speedup_vs_baseline is None
+
+    def test_build_with_baseline(self, platform, small_soc):
+        result = platform.build(small_soc, with_baseline=True)
+        assert result.baseline is not None
+        assert result.speedup_vs_baseline > 0
+
+    def test_strategy_override(self, platform, soc2):
+        result = platform.build(
+            soc2, strategy_override=ImplementationStrategy.SERIAL
+        )
+        assert result.flow.strategy is ImplementationStrategy.SERIAL
+
+    def test_compare_with_monolithic(self, platform, small_soc):
+        presp, mono = platform.compare_with_monolithic(small_soc)
+        assert presp.config.name == mono.config.name
+
+
+class TestProfiling:
+    def test_profile_wami_returns_fig3_quantities(self, platform):
+        profile = platform.profile_wami(WamiStage.DEBAYER)
+        assert profile.luts == 12000
+        assert profile.exec_time_s == pytest.approx(0.007)
+        assert profile.partial_bitstream_kib > 50
+        assert profile.region_kluts >= profile.luts / 1000.0
+
+    def test_profiles_are_distinct_across_stages(self, platform):
+        a = platform.profile_wami(WamiStage.GRAYSCALE)
+        b = platform.profile_wami(WamiStage.HESSIAN)
+        assert a.luts != b.luts
+        assert a.partial_bitstream_kib != b.partial_bitstream_kib
+
+
+class TestDeployment:
+    def test_deploy_runs_frames(self, platform):
+        from repro.core.designs import wami_soc_z
+
+        report = platform.deploy_wami(wami_soc_z(), frames=2)
+        assert report.frames == 2
+        assert report.seconds_per_frame > 0
+        assert report.joules_per_frame > 0
+        assert report.reconfigurations > 0
+
+    def test_deploy_zero_frames_rejected(self, platform):
+        from repro.core.designs import wami_soc_z
+
+        with pytest.raises(ConfigurationError):
+            platform.deploy_wami(wami_soc_z(), frames=0)
+
+    def test_deploy_reuses_flow_result(self, platform):
+        from repro.core.designs import wami_soc_z
+
+        config = wami_soc_z()
+        flow_result = platform.flow.build(config)
+        report = platform.deploy_wami(config, flow_result=flow_result, frames=1)
+        assert report.config is config
+
+    def test_deploy_rejects_mismatched_flow_result(self, platform):
+        from repro.core.designs import wami_soc_y, wami_soc_z
+
+        flow_result = platform.flow.build(wami_soc_y())
+        with pytest.raises(ConfigurationError, match="different SoC"):
+            platform.deploy_wami(wami_soc_z(), flow_result=flow_result)
+
+    def test_software_stages_reported(self, platform):
+        from repro.core.designs import wami_soc_x
+
+        report = platform.deploy_wami(wami_soc_x(), frames=1)
+        assert WamiStage.CHANGE_DETECTION in report.software_stages
+
+
+class TestRuntimeStatsIntegration:
+    def test_deploy_attaches_stats(self, platform):
+        from repro.core.designs import wami_soc_z
+
+        report = platform.deploy_wami(wami_soc_z(), frames=2)
+        stats = report.runtime_stats
+        assert stats is not None
+        assert stats.total_reconfigurations == report.reconfigurations
+        assert stats.icap_utilization > 0
+        assert set(stats.tiles) == {
+            t.name for t in report.config.reconfigurable_tiles
+        }

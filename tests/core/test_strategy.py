@@ -1,0 +1,98 @@
+"""Tests for the Table-I strategy choice."""
+
+import pytest
+
+from repro.core.classes import DesignClass
+from repro.core.metrics import compute_metrics, metrics_from_sizes
+from repro.core.strategy import ImplementationStrategy, choose_strategy
+from repro.vivado.runtime_model import CALIBRATED_MODEL
+
+
+def metrics_of_class(cls: DesignClass):
+    table = {
+        DesignClass.CLASS_1_1: (80_000, [4_000] * 4),
+        DesignClass.CLASS_1_2: (80_000, [30_000] * 4),
+        DesignClass.CLASS_1_3: (80_000, [27_000] * 3),
+        DesignClass.CLASS_2_1: (40_000, [35_000] * 4),
+        DesignClass.CLASS_2_2: (40_000, [40_000]),
+    }
+    static, rps = table[cls]
+    return metrics_from_sizes(static, rps, 300_000)
+
+
+class TestTableOne:
+    def test_class_11_serial(self):
+        decision = choose_strategy(metrics_of_class(DesignClass.CLASS_1_1))
+        assert decision.strategy is ImplementationStrategy.SERIAL
+        assert decision.tau == 1
+
+    def test_class_13_semi_parallel(self):
+        decision = choose_strategy(metrics_of_class(DesignClass.CLASS_1_3))
+        assert decision.strategy is ImplementationStrategy.SEMI_PARALLEL
+        assert decision.tau == 2
+
+    def test_class_21_fully_parallel(self):
+        decision = choose_strategy(metrics_of_class(DesignClass.CLASS_2_1))
+        assert decision.strategy is ImplementationStrategy.FULLY_PARALLEL
+        assert decision.tau == 4
+
+    def test_class_22_serial(self):
+        decision = choose_strategy(metrics_of_class(DesignClass.CLASS_2_2))
+        assert decision.strategy is ImplementationStrategy.SERIAL
+
+    def test_class_12_defaults_fully_parallel(self):
+        decision = choose_strategy(metrics_of_class(DesignClass.CLASS_1_2))
+        assert decision.strategy is ImplementationStrategy.FULLY_PARALLEL
+        assert decision.estimated_semi_minutes is None
+
+    def test_class_12_with_estimator_records_estimates(self):
+        decision = choose_strategy(
+            metrics_of_class(DesignClass.CLASS_1_2),
+            estimator=CALIBRATED_MODEL.strategy_estimator(),
+        )
+        assert decision.estimated_semi_minutes is not None
+        assert decision.estimated_fully_minutes is not None
+        assert decision.strategy in (
+            ImplementationStrategy.FULLY_PARALLEL,
+            ImplementationStrategy.SEMI_PARALLEL,
+        )
+
+    def test_class_12_estimator_tie_break_picks_faster(self):
+        def estimator(metrics, strategy):
+            return (
+                10.0 if strategy is ImplementationStrategy.SEMI_PARALLEL else 20.0
+            )
+
+        decision = choose_strategy(
+            metrics_of_class(DesignClass.CLASS_1_2), estimator=estimator
+        )
+        assert decision.strategy is ImplementationStrategy.SEMI_PARALLEL
+
+    def test_semi_tau_clamped_to_rp_count(self):
+        metrics = metrics_from_sizes(80_000, [27_000, 27_000], 300_000)
+        decision = choose_strategy(metrics, semi_tau=5)
+        if decision.strategy is ImplementationStrategy.SEMI_PARALLEL:
+            assert decision.tau <= 2
+
+
+class TestPaperDecisions:
+    """PR-ESP's published choices (bold columns of Tables III/IV)."""
+
+    EXPECTED = {
+        "soc_1": ImplementationStrategy.SERIAL,
+        "soc_2": ImplementationStrategy.FULLY_PARALLEL,
+        "soc_3": ImplementationStrategy.SEMI_PARALLEL,
+        "soc_4": ImplementationStrategy.FULLY_PARALLEL,
+        "soc_a": ImplementationStrategy.FULLY_PARALLEL,
+        "soc_b": ImplementationStrategy.SERIAL,
+        "soc_c": ImplementationStrategy.SEMI_PARALLEL,
+        "soc_d": ImplementationStrategy.FULLY_PARALLEL,
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_choice_matches_paper(self, name, all_paper_socs):
+        metrics = compute_metrics(all_paper_socs[name])
+        decision = choose_strategy(
+            metrics, estimator=CALIBRATED_MODEL.strategy_estimator()
+        )
+        assert decision.strategy is self.EXPECTED[name], name

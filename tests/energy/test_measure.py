@@ -1,0 +1,143 @@
+"""Tests for energy accounting over execution timelines."""
+
+import pytest
+
+from repro.energy.measure import measure_energy
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.runtime.executor import ExecutionTimeline, TimelineEvent
+
+
+def timeline(events, makespan):
+    return ExecutionTimeline(events=list(events), makespan_s=makespan)
+
+
+MODEL = PowerModel(
+    static_w_per_klut=0.01,
+    region_w_per_klut=0.02,
+    board_w=1.0,
+    cpu_active_w=2.0,
+    reconfig_w=0.5,
+)
+
+
+def exec_event(task, start, end, worker="rt0"):
+    return TimelineEvent(task=task, worker=worker, kind="exec", start_s=start, end_s=end)
+
+
+class TestAccounting:
+    def test_baseline_energy(self):
+        report = measure_energy(
+            timeline([], 2.0),
+            frames=1,
+            static_kluts=100.0,
+            region_kluts={"rt0": 50.0},
+            mode_power_w={},
+            task_modes={},
+            model=MODEL,
+        )
+        expected_power = 1.0 + 0.01 * 100 + 0.02 * 50
+        assert report.baseline_j == pytest.approx(expected_power * 2.0)
+        assert report.total_j == pytest.approx(report.baseline_j)
+
+    def test_dynamic_energy(self):
+        report = measure_energy(
+            timeline([exec_event("t", 0.0, 1.0)], 2.0),
+            frames=1,
+            static_kluts=1.0,
+            region_kluts={},
+            mode_power_w={"fft": 3.0},
+            task_modes={"t": "fft"},
+            model=MODEL,
+        )
+        assert report.dynamic_j == pytest.approx(3.0)
+
+    def test_software_energy(self):
+        event = TimelineEvent(task="sw", worker="cpu", kind="sw", start_s=0, end_s=0.5)
+        report = measure_energy(
+            timeline([event], 1.0),
+            frames=1,
+            static_kluts=1.0,
+            region_kluts={},
+            mode_power_w={},
+            task_modes={},
+            model=MODEL,
+        )
+        assert report.software_j == pytest.approx(1.0)  # 2 W x 0.5 s
+
+    def test_reconfig_energy(self):
+        event = TimelineEvent(
+            task="t", worker="rt0", kind="reconfig", start_s=0, end_s=0.2
+        )
+        report = measure_energy(
+            timeline([event], 1.0),
+            frames=1,
+            static_kluts=1.0,
+            region_kluts={},
+            mode_power_w={},
+            task_modes={},
+            model=MODEL,
+        )
+        assert report.reconfig_j == pytest.approx(0.1)
+
+    def test_joules_and_seconds_per_frame(self):
+        report = measure_energy(
+            timeline([], 4.0),
+            frames=4,
+            static_kluts=10.0,
+            region_kluts={},
+            mode_power_w={},
+            task_modes={},
+            model=MODEL,
+        )
+        assert report.seconds_per_frame == pytest.approx(1.0)
+        assert report.joules_per_frame == pytest.approx(report.total_j / 4)
+        assert report.average_power_w == pytest.approx(report.total_j / 4.0)
+
+    def test_missing_mode_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="no mode mapping"):
+            measure_energy(
+                timeline([exec_event("t", 0, 1)], 1.0),
+                frames=1,
+                static_kluts=1.0,
+                region_kluts={},
+                mode_power_w={},
+                task_modes={},
+                model=MODEL,
+            )
+
+    def test_missing_power_rejected(self):
+        with pytest.raises(ConfigurationError, match="no dynamic power"):
+            measure_energy(
+                timeline([exec_event("t", 0, 1)], 1.0),
+                frames=1,
+                static_kluts=1.0,
+                region_kluts={},
+                mode_power_w={},
+                task_modes={"t": "fft"},
+                model=MODEL,
+            )
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_energy(
+                timeline([], 0.0),
+                frames=1,
+                static_kluts=1.0,
+                region_kluts={},
+                mode_power_w={},
+                task_modes={},
+                model=MODEL,
+            )
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_energy(
+                timeline([], 1.0),
+                frames=0,
+                static_kluts=1.0,
+                region_kluts={},
+                mode_power_w={},
+                task_modes={},
+                model=MODEL,
+            )

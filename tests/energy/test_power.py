@@ -1,0 +1,32 @@
+"""Tests for the power model."""
+
+import pytest
+
+from repro.energy.power import DEFAULT_POWER_MODEL, PowerModel
+
+
+class TestPowerModel:
+    def test_baseline_power_composition(self):
+        model = PowerModel(
+            static_w_per_klut=0.01,
+            region_w_per_klut=0.02,
+            board_w=1.0,
+            cpu_active_w=2.0,
+            reconfig_w=0.5,
+        )
+        assert model.baseline_power_w(100.0, 50.0) == pytest.approx(
+            1.0 + 0.01 * 100 + 0.02 * 50
+        )
+
+    def test_more_configured_area_costs_more(self):
+        model = DEFAULT_POWER_MODEL
+        assert model.baseline_power_w(80.0, 170.0) > model.baseline_power_w(80.0, 90.0)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(board_w=-1.0)
+
+    def test_defaults_are_vc707_plausible(self):
+        """A configured 3x3 SoC should idle in the single-digit watts."""
+        power = DEFAULT_POWER_MODEL.baseline_power_w(82.3, 140.0)
+        assert 2.0 < power < 12.0

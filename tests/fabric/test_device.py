@@ -1,0 +1,126 @@
+"""Tests for the column-organized device model."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.device import ClockRegion, ColumnKind, Device, repeat_pattern
+from repro.fabric.resources import ResourceVector
+
+
+def tiny_device(rows=2, cols=2) -> Device:
+    pattern = [
+        ColumnKind.CLB,
+        ColumnKind.BRAM,
+        ColumnKind.CLB,
+        ColumnKind.DSP,
+        ColumnKind.CLK,
+        ColumnKind.CLB,
+    ]
+    return Device(
+        name="tiny",
+        columns=pattern * cols,
+        region_rows=rows,
+        region_cols=cols,
+        segment_resources={
+            ColumnKind.CLB: ResourceVector(lut=400, ff=800),
+            ColumnKind.BRAM: ResourceVector(bram=10),
+            ColumnKind.DSP: ResourceVector(dsp=20),
+        },
+    )
+
+
+class TestGeometry:
+    def test_column_count(self):
+        assert tiny_device().num_columns == 12
+
+    def test_columns_per_region_col(self):
+        assert tiny_device().columns_per_region_col == 6
+
+    def test_clock_regions_row_major(self):
+        regions = tiny_device().clock_regions()
+        assert len(regions) == 4
+        assert regions[0] == ClockRegion(row=0, col=0)
+        assert regions[-1] == ClockRegion(row=1, col=1)
+
+    def test_clock_region_name(self):
+        assert ClockRegion(row=3, col=1).name == "X1Y3"
+
+    def test_region_col_of_column(self):
+        dev = tiny_device()
+        assert dev.region_col_of_column(0) == 0
+        assert dev.region_col_of_column(6) == 1
+
+    def test_column_kind(self):
+        dev = tiny_device()
+        assert dev.column_kind(1) is ColumnKind.BRAM
+        assert dev.column_kind(4) is ColumnKind.CLK
+
+    def test_out_of_range_column(self):
+        with pytest.raises(FabricError):
+            tiny_device().column_kind(99)
+
+    def test_columns_must_divide_into_region_cols(self):
+        with pytest.raises(FabricError, match="divide"):
+            Device(
+                name="bad",
+                columns=[ColumnKind.CLB] * 5,
+                region_rows=1,
+                region_cols=2,
+                segment_resources={},
+            )
+
+    def test_empty_device_rejected(self):
+        with pytest.raises(FabricError):
+            Device("bad", [], 1, 1, {})
+
+    def test_zero_regions_rejected(self):
+        with pytest.raises(FabricError):
+            Device("bad", [ColumnKind.CLB], 0, 1, {})
+
+
+class TestResources:
+    def test_segment_resources_default_zero(self):
+        assert tiny_device().segment_resources(ColumnKind.IO).is_zero()
+
+    def test_column_resources_span_all_rows(self):
+        dev = tiny_device(rows=2)
+        assert dev.column_resources(0) == ResourceVector(lut=800, ff=1600)
+
+    def test_capacity_sums_all_columns(self):
+        dev = tiny_device(rows=2, cols=2)
+        # 6 CLB columns x 2 rows x 400 LUTs = 4800 LUTs
+        assert dev.capacity().lut == 4800
+        assert dev.capacity().bram == 40
+        assert dev.capacity().dsp == 80
+
+    def test_rect_resources_single_cell(self):
+        dev = tiny_device()
+        assert dev.rect_resources(0, 0, 0, 0) == ResourceVector(lut=400, ff=800)
+
+    def test_rect_resources_multi_row(self):
+        dev = tiny_device(rows=2)
+        assert dev.rect_resources(0, 1, 0, 1) == ResourceVector(lut=800, ff=1600, bram=20)
+
+    def test_rect_inverted_bounds_rejected(self):
+        with pytest.raises(FabricError, match="inverted"):
+            tiny_device().rect_resources(3, 1, 0, 0)
+
+    def test_rect_equals_capacity_when_covering_device(self):
+        dev = tiny_device(rows=2, cols=2)
+        full = dev.rect_resources(0, dev.num_columns - 1, 0, dev.region_rows - 1)
+        assert full == dev.capacity()
+
+
+class TestForbiddenColumns:
+    def test_clk_columns_are_forbidden(self):
+        dev = tiny_device(cols=2)
+        assert dev.forbidden_columns() == [4, 10]
+
+
+class TestRepeatPattern:
+    def test_repeats(self):
+        assert repeat_pattern([ColumnKind.CLB], 3) == [ColumnKind.CLB] * 3
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(FabricError):
+            repeat_pattern([ColumnKind.CLB], 0)

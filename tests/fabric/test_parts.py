@@ -1,0 +1,66 @@
+"""Tests for the board catalog."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.device import ColumnKind
+from repro.fabric.parts import PART_CATALOG, make_device, vc707, vcu118, vcu128
+
+
+class TestVc707:
+    """The paper's evaluation board must track the xc7vx485t datasheet."""
+
+    def test_lut_capacity_near_datasheet(self):
+        # Datasheet: 303,600 LUTs; column model lands within 2%.
+        luts = vc707().capacity().lut
+        assert abs(luts - 303_600) / 303_600 < 0.02
+
+    def test_dsp_capacity_exact(self):
+        assert vc707().capacity().dsp == 2800
+
+    def test_bram_capacity_near_datasheet(self):
+        bram = vc707().capacity().bram
+        assert abs(bram - 1030) / 1030 < 0.06
+
+    def test_region_grid(self):
+        dev = vc707()
+        assert dev.region_rows == 7
+        assert dev.region_cols == 2
+
+    def test_has_forbidden_clock_columns(self):
+        assert len(vc707().forbidden_columns()) == 2
+
+    def test_special_columns_spread_through_fabric(self):
+        """Every 20-column window must contain BRAM (so any plausible
+        pblock can host accelerator memories)."""
+        dev = vc707()
+        kinds = [dev.column_kind(x) for x in range(dev.num_columns)]
+        for start in range(0, dev.num_columns - 20):
+            window = kinds[start : start + 20]
+            assert ColumnKind.BRAM in window, f"no BRAM column in window at {start}"
+
+
+class TestBiggerParts:
+    def test_vcu118_is_larger_than_vc707(self):
+        assert vcu118().capacity().lut > 3 * vc707().capacity().lut
+
+    def test_vcu128_is_largest(self):
+        assert vcu128().capacity().lut > vcu118().capacity().lut
+
+    def test_ultrascale_parts_use_12x4_regions(self):
+        for dev in (vcu118(), vcu128()):
+            assert dev.region_rows == 12
+            assert dev.region_cols == 4
+
+
+class TestCatalog:
+    def test_all_boards_instantiate(self):
+        for board in PART_CATALOG:
+            assert make_device(board).capacity().lut > 0
+
+    def test_lookup_is_case_insensitive(self):
+        assert make_device("VC707").name == "xc7vx485t"
+
+    def test_unknown_board_rejected(self):
+        with pytest.raises(FabricError, match="unknown board"):
+            make_device("zcu102")

@@ -1,0 +1,72 @@
+"""Tests for floorplan-level validation."""
+
+import pytest
+
+from repro.fabric.parts import vc707
+from repro.fabric.pblock import Pblock
+from repro.fabric.resources import ResourceVector
+from repro.floorplan.constraints import validate_floorplan
+from repro.floorplan.flora import Floorplan, FloraFloorplanner, RegionAssignment
+
+
+@pytest.fixture(scope="module")
+def device():
+    return vc707()
+
+
+def assignment(device, name, col_lo, col_hi, row_lo, row_hi, demand_luts=100):
+    pb = Pblock(f"pblock_{name}", col_lo, col_hi, row_lo, row_hi)
+    return RegionAssignment(
+        rp_name=name,
+        pblock=pb,
+        demand=ResourceVector(lut=demand_luts),
+        provided=pb.resources(device),
+    )
+
+
+class TestValidation:
+    def test_planner_output_is_always_legal(self, device):
+        planner = FloraFloorplanner(device)
+        plan = planner.plan(
+            [(f"rp{i}", ResourceVector(lut=20000, ff=20000, bram=10)) for i in range(4)]
+        )
+        report = validate_floorplan(device, plan, static_demand=ResourceVector(lut=82000))
+        assert report.legal, report.violations
+
+    def test_overlap_reported(self, device):
+        plan = Floorplan(
+            device_name=device.name,
+            assignments=(
+                assignment(device, "a", 0, 10, 0, 2),
+                assignment(device, "b", 5, 15, 1, 3),
+            ),
+        )
+        report = validate_floorplan(device, plan)
+        assert not report.legal
+        assert any("overlaps" in v for v in report.violations)
+
+    def test_static_headroom_violation(self, device):
+        # One pblock covering almost everything leaves no static room.
+        plan = Floorplan(
+            device_name=device.name,
+            assignments=(
+                assignment(
+                    device, "a", 0, device.num_columns - 1, 0, device.region_rows - 1
+                ),
+            ),
+        )
+        report = validate_floorplan(
+            device, plan, static_demand=ResourceVector(lut=50_000)
+        )
+        assert not report.legal
+        assert any("static part" in v for v in report.violations)
+
+    def test_headroom_computed(self, device):
+        plan = Floorplan(
+            device_name=device.name,
+            assignments=(assignment(device, "a", 0, 10, 0, 1),),
+        )
+        report = validate_floorplan(device, plan)
+        assert report.legal
+        expected = device.capacity() - plan.assignments[0].provided
+        assert report.static_headroom == expected

@@ -1,0 +1,142 @@
+"""Tests for the end-to-end PR-ESP flow."""
+
+import pytest
+
+from repro.core.strategy import ImplementationStrategy
+from repro.flow.dpr_flow import DprFlow
+from repro.vivado.bitstream import BitstreamKind
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return DprFlow()
+
+
+@pytest.fixture(scope="module")
+def soc2_result(flow):
+    from repro.core.designs import soc_2
+
+    return flow.build(soc_2())
+
+
+class TestStages:
+    def test_all_fig1_stages_traced(self, soc2_result):
+        stages = [s.stage for s in soc2_result.stages]
+        assert stages == [
+            "parse",
+            "blackbox_gen",
+            "synthesis",
+            "floorplan",
+            "choose_parallelism",
+            "implementation",
+            "bitstreams",
+        ]
+
+    def test_synthesis_is_parallel(self, soc2_result):
+        # Parallel makespan must be far below the serial sum of synths.
+        assert soc2_result.synth_makespan_minutes < 60
+
+    def test_strategy_decision_matches_class(self, soc2_result):
+        assert soc2_result.decision.design_class.value == "1.2"
+        assert soc2_result.strategy is ImplementationStrategy.FULLY_PARALLEL
+
+
+class TestImplementation:
+    def test_parallel_makespan_structure(self, soc2_result):
+        expected = soc2_result.static_par_minutes + soc2_result.max_omega_minutes
+        assert soc2_result.par_makespan_minutes == pytest.approx(expected)
+
+    def test_omega_per_context_run(self, soc2_result):
+        assert len(soc2_result.omega_minutes) == 4  # fully-parallel: one per RP
+
+    def test_total_is_synth_plus_par(self, soc2_result):
+        assert soc2_result.total_minutes == pytest.approx(
+            soc2_result.synth_makespan_minutes + soc2_result.par_makespan_minutes
+        )
+
+    def test_serial_override(self, flow):
+        from repro.core.designs import soc_2
+
+        result = flow.build(soc_2(), strategy_override=ImplementationStrategy.SERIAL)
+        assert result.strategy is ImplementationStrategy.SERIAL
+        assert result.static_par_minutes is None
+        assert result.omega_minutes == {}
+
+    def test_semi_override(self, flow):
+        from repro.core.designs import soc_2
+
+        result = flow.build(
+            soc_2(), strategy_override=ImplementationStrategy.SEMI_PARALLEL
+        )
+        assert result.plan.tau == 2
+        assert len(result.omega_minutes) == 2
+
+
+class TestBitstreams:
+    def test_one_full_bitstream(self, soc2_result):
+        fulls = [b for b in soc2_result.bitstreams if b.kind is BitstreamKind.FULL]
+        assert len(fulls) == 1
+
+    def test_one_partial_per_mode_plus_blank(self, soc2_result):
+        partials = soc2_result.partial_bitstreams()
+        tiles = soc2_result.config.reconfigurable_tiles
+        expected_modes = sum(len(t.modes) for t in tiles)
+        blanks = [b for b in partials if b.mode == "blank"]
+        assert len(blanks) == len(tiles)  # one greybox per region
+        assert len(partials) == expected_modes + len(blanks)
+
+    def test_partials_are_compressed(self, soc2_result):
+        assert all(b.compressed for b in soc2_result.partial_bitstreams())
+
+    def test_uncompressed_flow_option(self):
+        from repro.core.designs import soc_2
+
+        raw = DprFlow(compress_bitstreams=False).build(soc_2())
+        compressed = DprFlow(compress_bitstreams=True).build(soc_2())
+        raw_total = sum(b.size_bytes for b in raw.partial_bitstreams())
+        packed_total = sum(b.size_bytes for b in compressed.partial_bitstreams())
+        assert packed_total < raw_total / 3
+
+    def test_host_cpu_tile_gets_cpu_bitstream(self):
+        from repro.core.designs import soc_4
+
+        result = DprFlow().build(soc_4())
+        modes = {(b.target_rp, b.mode) for b in result.partial_bitstreams()}
+        assert ("rt_cpu", "leon3") in modes
+
+
+class TestFloorplanIntegration:
+    def test_one_pblock_per_rp(self, soc2_result):
+        assert len(soc2_result.floorplan.assignments) == soc2_result.partition.num_rps
+
+    def test_regions_cover_demands(self, soc2_result):
+        for assignment in soc2_result.floorplan.assignments:
+            assert assignment.demand.fits_in(assignment.provided)
+
+
+class TestAllPaperDesigns:
+    def test_every_paper_soc_builds(self, flow, all_paper_socs):
+        for name, config in all_paper_socs.items():
+            result = flow.build(config)
+            assert result.total_minutes > 0, name
+
+
+class TestSummaryExport:
+    def test_summary_dict_is_json_serializable(self, soc2_result):
+        import json
+
+        text = json.dumps(soc2_result.to_summary_dict())
+        data = json.loads(text)
+        assert data["soc"] == "soc_2"
+        assert data["strategy"] == "fully-parallel"
+        assert data["design_class"] == "1.2"
+        assert data["minutes"]["total"] == pytest.approx(
+            soc2_result.total_minutes
+        )
+
+    def test_summary_covers_bitstreams_and_floorplan(self, soc2_result):
+        data = soc2_result.to_summary_dict()
+        assert len(data["bitstreams"]) == len(soc2_result.bitstreams)
+        assert len(data["floorplan"]) == len(soc2_result.floorplan.assignments)
+        for entry in data["floorplan"]:
+            assert 0.0 < entry["utilization"] <= 1.0

@@ -1,0 +1,70 @@
+"""Tests for the LPT grouping used by semi-parallel scheduling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FlowError
+from repro.flow.grouping import balanced_groups, group_weights, makespan
+
+
+class TestBalancedGroups:
+    def test_fewer_items_than_groups(self):
+        groups = balanced_groups([5.0], 3, weight=lambda x: x)
+        assert groups == [[5.0]]
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(FlowError):
+            balanced_groups([1], 0, weight=lambda x: x)
+
+    def test_lpt_textbook_case(self):
+        # Classic Graham instance: LPT yields 14 (optimum is 13),
+        # inside the 4/3 - 1/(3m) guarantee.
+        items = [7, 6, 5, 4, 3]
+        groups = balanced_groups(items, 2, weight=float)
+        assert makespan(groups, float) == 14.0
+
+    def test_groups_sorted_by_weight(self):
+        groups = balanced_groups([10, 1, 1], 2, weight=float)
+        weights = group_weights(groups, float)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_paper_soc2_tau2_grouping(self):
+        """Conv2d+Sort vs FFT+GEMM is the LPT split of SOC_2."""
+        sizes = {"conv2d": 37.16, "fft": 34.11, "gemm": 31.04, "sort": 20.89}
+        groups = balanced_groups(list(sizes), 2, weight=lambda n: sizes[n])
+        as_sets = [set(g) for g in groups]
+        assert {"fft", "gemm"} in as_sets
+        assert {"conv2d", "sort"} in as_sets
+
+    def test_makespan_empty_rejected(self):
+        with pytest.raises(FlowError):
+            makespan([], float)
+
+
+class TestProperties:
+    weights = st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=15)
+
+    @given(weights, st.integers(1, 6))
+    def test_partition_is_exact(self, items, k):
+        groups = balanced_groups(items, k, weight=float)
+        flattened = sorted(x for g in groups for x in g)
+        assert flattened == sorted(items)
+
+    @given(weights, st.integers(1, 6))
+    def test_group_count_bounded(self, items, k):
+        groups = balanced_groups(items, k, weight=float)
+        assert 1 <= len(groups) <= min(k, len(items))
+
+    @given(weights, st.integers(1, 6))
+    def test_list_scheduling_bound(self, items, k):
+        """Graham's bound: any list schedule's makespan is at most
+        total/k + longest item (so at most twice the trivial lower
+        bound max(longest, total/k))."""
+        groups = balanced_groups(items, k, weight=float)
+        assert makespan(groups, float) <= sum(items) / k + max(items) + 1e-9
+
+    @given(weights)
+    def test_one_group_is_everything(self, items):
+        groups = balanced_groups(items, 1, weight=float)
+        assert len(groups) == 1
+        assert makespan(groups, float) == pytest.approx(sum(items))

@@ -1,0 +1,83 @@
+"""Tests for incremental tile recompilation."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow.dpr_flow import DprFlow
+from repro.flow.incremental import IncrementalFlow, rebuild_tiles
+from repro.soc.esp_library import stock_accelerator
+
+
+@pytest.fixture(scope="module")
+def base_result():
+    from repro.core.designs import soc_2
+
+    return DprFlow().build(soc_2())
+
+
+class TestRebuild:
+    def test_single_tile_rebuild_is_much_faster(self, base_result):
+        result = rebuild_tiles(base_result, ["rt_sort"])
+        assert result.makespan_minutes < base_result.total_minutes / 2
+        assert result.speedup > 2.0
+
+    def test_rebuild_produces_fresh_bitstreams(self, base_result):
+        result = rebuild_tiles(base_result, ["rt_sort"])
+        modes = {(b.target_rp, b.mode) for b in result.bitstreams}
+        assert ("rt_sort", "sort") in modes
+        assert ("rt_sort", "blank") in modes
+
+    def test_multi_tile_rebuild_parallelizes(self, base_result):
+        result = rebuild_tiles(base_result, ["rt_sort", "rt_gemm"])
+        # With two instances available the makespan is the slower tile,
+        # not the sum.
+        assert result.makespan_minutes < sum(result.tile_minutes.values())
+        assert result.makespan_minutes == pytest.approx(
+            max(result.tile_minutes.values())
+        )
+
+    def test_mode_replacement_within_pblock(self, base_result):
+        # Swap sort's (20.5k) contents for the smaller MAC (2.4k): fits.
+        result = rebuild_tiles(
+            base_result,
+            ["rt_sort"],
+            new_modes={"rt_sort": [stock_accelerator("mac")]},
+        )
+        modes = {(b.target_rp, b.mode) for b in result.bitstreams}
+        assert ("rt_sort", "mac") in modes
+
+    def test_oversized_replacement_demands_full_rebuild(self, base_result):
+        # The sort tile's pblock cannot host conv2d (36.7k vs ~30k region).
+        with pytest.raises(FlowError, match="full rebuild"):
+            rebuild_tiles(
+                base_result,
+                ["rt_sort"],
+                new_modes={"rt_sort": [stock_accelerator("conv2d")]},
+            )
+
+    def test_unknown_tile_rejected(self, base_result):
+        with pytest.raises(FlowError, match="unknown"):
+            rebuild_tiles(base_result, ["rt_ghost"])
+
+    def test_empty_change_set_rejected(self, base_result):
+        with pytest.raises(FlowError):
+            rebuild_tiles(base_result, [])
+
+    def test_duplicate_tiles_rejected(self, base_result):
+        with pytest.raises(FlowError, match="unique"):
+            rebuild_tiles(base_result, ["rt_sort", "rt_sort"])
+
+    def test_modes_for_unchanged_tile_rejected(self, base_result):
+        with pytest.raises(FlowError, match="unchanged"):
+            rebuild_tiles(
+                base_result,
+                ["rt_sort"],
+                new_modes={"rt_gemm": [stock_accelerator("mac")]},
+            )
+
+    def test_serial_instance_cap(self, base_result):
+        flow = IncrementalFlow(max_instances=1)
+        result = flow.rebuild(base_result, ["rt_sort", "rt_gemm"])
+        assert result.makespan_minutes == pytest.approx(
+            sum(result.tile_minutes.values())
+        )

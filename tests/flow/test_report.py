@@ -1,0 +1,47 @@
+"""Tests for the human-readable flow reports."""
+
+import pytest
+
+from repro.flow.dpr_flow import DprFlow
+from repro.flow.monolithic import MonolithicFlow
+from repro.flow.report import comparison_report, flow_report
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.core.designs import soc_2
+
+    return DprFlow().build(soc_2())
+
+
+class TestFlowReport:
+    def test_contains_headline_sections(self, result):
+        text = flow_report(result)
+        for token in ("PR-ESP flow report", "stages:", "floorplan:", "bitstreams:"):
+            assert token in text
+
+    def test_mentions_strategy_and_class(self, result):
+        text = flow_report(result)
+        assert "fully-parallel" in text
+        assert "class=1.2" in text
+
+    def test_lists_every_bitstream(self, result):
+        text = flow_report(result)
+        for bitstream in result.bitstreams:
+            assert bitstream.name in text
+
+    def test_lists_every_stage(self, result):
+        text = flow_report(result)
+        for stage in result.stages:
+            assert stage.stage in text
+
+
+class TestComparisonReport:
+    def test_reports_improvement(self, result):
+        from repro.core.designs import soc_2
+
+        mono = MonolithicFlow().build(soc_2())
+        text = comparison_report(result, mono)
+        assert "PR-ESP vs monolithic" in text
+        assert "improvement" in text
+        assert "%" in text

@@ -1,0 +1,89 @@
+"""Tests for implementation planning."""
+
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.core.strategy import ImplementationStrategy, choose_strategy
+from repro.errors import FlowError
+from repro.flow.schedule import RunKind, plan_implementation
+from repro.soc.partition import partition_design
+
+
+def decision_for(config, strategy):
+    metrics = compute_metrics(config)
+    decision = choose_strategy(metrics)
+    if decision.strategy is not strategy:
+        from repro.core.strategy import StrategyDecision
+
+        decision = StrategyDecision(
+            classification=decision.classification,
+            strategy=strategy,
+            tau=1 if strategy is ImplementationStrategy.SERIAL else metrics.num_rps
+            if strategy is ImplementationStrategy.FULLY_PARALLEL
+            else 2,
+        )
+    return decision
+
+
+class TestSerialPlan:
+    def test_single_full_run(self, soc2):
+        partition = partition_design(soc2)
+        plan = plan_implementation(
+            partition, decision_for(soc2, ImplementationStrategy.SERIAL)
+        )
+        assert plan.tau == 1
+        assert len(plan.runs) == 1
+        assert plan.runs[0].kind is RunKind.FULL_SERIAL
+        assert set(plan.runs[0].rp_names) == {rp.name for rp in partition.rps}
+
+    def test_serial_plan_has_no_static_run(self, soc2):
+        partition = partition_design(soc2)
+        plan = plan_implementation(
+            partition, decision_for(soc2, ImplementationStrategy.SERIAL)
+        )
+        with pytest.raises(FlowError):
+            plan.static_run
+
+
+class TestFullyParallelPlan:
+    def test_one_context_run_per_rp(self, soc2):
+        partition = partition_design(soc2)
+        plan = plan_implementation(
+            partition, decision_for(soc2, ImplementationStrategy.FULLY_PARALLEL)
+        )
+        assert plan.tau == partition.num_rps
+        assert len(plan.context_runs) == partition.num_rps
+        for run in plan.context_runs:
+            assert len(run.rp_names) == 1
+            assert run.depends_on == (plan.static_run.name,)
+
+    def test_static_run_present(self, soc2):
+        partition = partition_design(soc2)
+        plan = plan_implementation(
+            partition, decision_for(soc2, ImplementationStrategy.FULLY_PARALLEL)
+        )
+        assert plan.static_run.kind is RunKind.STATIC
+
+
+class TestSemiParallelPlan:
+    def test_tau_groups(self, soc2):
+        partition = partition_design(soc2)
+        plan = plan_implementation(
+            partition, decision_for(soc2, ImplementationStrategy.SEMI_PARALLEL)
+        )
+        assert plan.tau == 2
+        assert len(plan.context_runs) == 2
+        covered = sorted(n for run in plan.context_runs for n in run.rp_names)
+        assert covered == sorted(rp.name for rp in partition.rps)
+
+    def test_groups_are_lpt_balanced(self, soc2):
+        partition = partition_design(soc2)
+        plan = plan_implementation(
+            partition, decision_for(soc2, ImplementationStrategy.SEMI_PARALLEL)
+        )
+        sizes = {rp.name: rp.synthesis_luts for rp in partition.rps}
+        group_sizes = sorted(
+            sum(sizes[n] for n in run.rp_names) for run in plan.context_runs
+        )
+        # SOC_2 LPT: {fft, gemm} ~65.1k vs {conv2d, sort} ~58.0k
+        assert group_sizes[1] - group_sizes[0] < 10_000

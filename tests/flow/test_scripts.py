@@ -1,0 +1,59 @@
+"""Tests for the auto-generated tool scripts."""
+
+from repro.flow.scripts import ImplementationScript, SynthesisScript
+
+
+class TestSynthesisScript:
+    def test_ooc_script(self):
+        script = SynthesisScript(
+            design="soc", unit="rt0_wrapper", part="xc7vx485t", ooc=True
+        )
+        text = script.render()
+        assert "create_project -in_memory -part xc7vx485t" in text
+        assert "synth_design -top rt0_wrapper -mode out_of_context" in text
+        assert "write_checkpoint" in text
+
+    def test_global_script_has_no_ooc_flag(self):
+        script = SynthesisScript(design="soc", unit="top", part="xc7vx485t", ooc=False)
+        assert "out_of_context" not in script.render()
+
+    def test_black_boxes_commented(self):
+        script = SynthesisScript(
+            design="soc",
+            unit="top",
+            part="xc7vx485t",
+            black_boxes=("rt0_wrapper", "rt1_wrapper"),
+        )
+        text = script.render()
+        assert "rt0_wrapper resolved as black box" in text
+        assert "rt1_wrapper resolved as black box" in text
+
+
+class TestImplementationScript:
+    def test_static_script_locks_routing(self):
+        script = ImplementationScript(
+            design="soc",
+            part="xc7vx485t",
+            run_name="impl_static",
+            static_checkpoint="checkpoints/static_synth.dcp",
+            pblock_constraints=("create_pblock p0;",),
+            lock_static=True,
+            write_partials=False,
+        )
+        text = script.render()
+        assert "lock_design -level routing" in text
+        assert "create_pblock p0;" in text
+        assert "route_design" in text
+
+    def test_context_script_reads_rp_checkpoints(self):
+        script = ImplementationScript(
+            design="soc",
+            part="xc7vx485t",
+            run_name="impl_ctx_0",
+            static_checkpoint="checkpoints/static_routed.dcp",
+            rp_checkpoints=("checkpoints/rt0_synth.dcp",),
+        )
+        text = script.render()
+        assert "read_checkpoint -cell" in text
+        assert "write_bitstream" in text
+        assert "lock_design" not in text

@@ -1,0 +1,109 @@
+"""End-to-end integration: config → flow → bitstreams → runtime → energy."""
+
+import pytest
+
+from repro.core.designs import wami_deployment_socs, wami_soc_y, wami_soc_z
+from repro.core.platform import PrEspPlatform
+from repro.core.strategy import ImplementationStrategy
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return PrEspPlatform()
+
+
+@pytest.fixture(scope="module")
+def built_y(platform):
+    config = wami_soc_y()
+    return config, platform.flow.build(config)
+
+
+class TestBuildThenDeploy:
+    def test_flow_bitstreams_feed_the_runtime(self, platform, built_y):
+        config, flow_result = built_y
+        report = platform.deploy_wami(config, flow_result=flow_result, frames=2)
+        # Every reconfiguration streamed a bitstream the flow produced.
+        assert report.reconfigurations > 0
+        assert report.timeline.reconfiguration_time() > 0
+
+    def test_reconfiguration_count_matches_mode_switches(self, platform, built_y):
+        config, flow_result = built_y
+        report = platform.deploy_wami(config, flow_result=flow_result, frames=1)
+        # Frame 1: every hardware stage forces one load of its mode.
+        hardware_stages = 12 - len(report.software_stages)
+        assert report.reconfigurations == hardware_stages
+
+    def test_steady_state_reconfigurations_per_frame(self, platform, built_y):
+        config, flow_result = built_y
+        one = platform.deploy_wami(config, flow_result=flow_result, frames=1)
+        three = platform.deploy_wami(config, flow_result=flow_result, frames=3)
+        per_frame = (three.reconfigurations - one.reconfigurations) / 2
+        # Steady state: tiles cycle through all their modes each frame.
+        assert per_frame == pytest.approx(one.reconfigurations, abs=1)
+
+    def test_energy_report_consistency(self, platform, built_y):
+        config, flow_result = built_y
+        report = platform.deploy_wami(config, flow_result=flow_result, frames=2)
+        energy = report.energy
+        assert energy.total_j == pytest.approx(
+            energy.baseline_j + energy.dynamic_j + energy.software_j + energy.reconfig_j
+        )
+        assert energy.makespan_s == pytest.approx(report.timeline.makespan_s)
+
+
+class TestFig4Shape:
+    """The headline runtime result: Z fastest, X slowest (2.6x/3.6x)."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, platform):
+        return {
+            name: platform.deploy_wami(cfg, frames=4)
+            for name, cfg in wami_deployment_socs().items()
+        }
+
+    def test_time_ordering(self, reports):
+        assert (
+            reports["soc_z"].seconds_per_frame
+            < reports["soc_y"].seconds_per_frame
+            < reports["soc_x"].seconds_per_frame
+        )
+
+    def test_time_ratios_match_paper(self, reports):
+        x = reports["soc_x"].seconds_per_frame
+        y = reports["soc_y"].seconds_per_frame
+        z = reports["soc_z"].seconds_per_frame
+        assert x / y == pytest.approx(2.6, rel=0.15)
+        assert x / z == pytest.approx(3.6, rel=0.15)
+
+    def test_z_has_most_reconfigurations(self, reports):
+        assert reports["soc_z"].reconfigurations > reports["soc_x"].reconfigurations
+
+    def test_x_has_higher_noninterleaved_reconfiguration(self, reports):
+        """The paper: X suffers 'higher non-interleaved reconfiguration
+        due to the fewer number of reconfigurable tiles' — reconfig
+        stalls make up a larger share of X's frame time."""
+        def stall_share(report):
+            return report.timeline.reconfiguration_time() / report.timeline.makespan_s
+
+        assert stall_share(reports["soc_x"]) < stall_share(reports["soc_z"])
+        # ... but per-frame exec density is far lower on X:
+        def exec_density(report):
+            return sum(
+                e.duration_s for e in report.timeline.spans("exec")
+            ) / report.timeline.makespan_s
+
+        assert exec_density(reports["soc_x"]) < exec_density(reports["soc_z"])
+
+
+class TestStrategySweepConsistency:
+    def test_chosen_strategy_is_fastest_of_three(self, platform):
+        """Replaying SoC_Z's flow under all three strategies, the one
+        the algorithm picked must have the smallest P&R makespan."""
+        config = wami_soc_z()
+        results = {
+            s: platform.flow.build(config, strategy_override=s)
+            for s in ImplementationStrategy
+        }
+        chosen = platform.flow.build(config).strategy
+        times = {s: r.par_makespan_minutes for s, r in results.items()}
+        assert times[chosen] == min(times.values())

@@ -1,0 +1,61 @@
+"""The flow must work on all three boards the paper targets."""
+
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.flow.dpr_flow import DprFlow
+from repro.soc.config import SocConfig
+from repro.soc.esp_library import stock_accelerator
+from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+
+
+def soc_on(board: str) -> SocConfig:
+    tiles = [
+        Tile(kind=TileKind.CPU, name="cpu0"),
+        Tile(kind=TileKind.MEM, name="mem0"),
+        Tile(kind=TileKind.AUX, name="aux0"),
+    ] + [
+        ReconfigurableTile(name=f"rt_{n}", modes=[stock_accelerator(n)])
+        for n in ("conv2d", "gemm", "fft", "sort")
+    ]
+    return SocConfig.assemble(f"soc_{board}", board, 3, 3, tiles)
+
+
+@pytest.mark.parametrize("board", ["vc707", "vcu118", "vcu128"])
+class TestAllBoards:
+    def test_flow_builds(self, board):
+        result = DprFlow().build(soc_on(board))
+        assert result.total_minutes > 0
+        assert len(result.floorplan.assignments) == 4
+
+    def test_floorplan_respects_board_geometry(self, board):
+        config = soc_on(board)
+        result = DprFlow().build(config)
+        device = config.device()
+        for assignment in result.floorplan.assignments:
+            assert assignment.pblock.col_hi < device.num_columns
+            assert assignment.pblock.row_hi < device.region_rows
+
+    def test_bigger_boards_shift_the_class(self, board):
+        """κ and α_av are device-relative: the same design is
+        reconfigurable-dominant on VC707 but static-dominant classes
+        shift on the ~4x larger UltraScale+ parts."""
+        metrics = compute_metrics(soc_on(board))
+        if board == "vc707":
+            assert metrics.kappa > 0.2
+        else:
+            assert metrics.kappa < 0.1
+
+
+class TestBoardComparison:
+    def test_same_design_floorplans_smaller_fraction_on_big_parts(self):
+        reports = {}
+        for board in ("vc707", "vcu118"):
+            config = soc_on(board)
+            result = DprFlow().build(config)
+            device = config.device()
+            reserved = sum(
+                a.provided.lut for a in result.floorplan.assignments
+            )
+            reports[board] = reserved / device.capacity().lut
+        assert reports["vcu118"] < reports["vc707"]

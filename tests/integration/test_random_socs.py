@@ -1,0 +1,137 @@
+"""Property tests: flow invariants over randomly generated SoCs."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.strategy import ImplementationStrategy
+from repro.errors import PrEspError
+from repro.flow.dpr_flow import DprFlow
+from repro.floorplan.constraints import validate_floorplan
+from repro.soc.config import SocConfig
+from repro.soc.esp_library import STOCK_ACCELERATORS, stock_accelerator
+from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+from repro.vivado.bitstream import BitstreamKind
+
+
+@st.composite
+def random_socs(draw):
+    """Valid random SoCs: trio of static tiles + 1..6 reconf tiles with
+    1..3 stock modes each."""
+    num_tiles = draw(st.integers(min_value=1, max_value=6))
+    names = sorted(STOCK_ACCELERATORS)
+    tiles = [
+        Tile(kind=TileKind.CPU, name="cpu0"),
+        Tile(kind=TileKind.MEM, name="mem0"),
+        Tile(kind=TileKind.AUX, name="aux0"),
+    ]
+    for index in range(num_tiles):
+        mode_names = draw(
+            st.lists(st.sampled_from(names), min_size=1, max_size=3, unique=True)
+        )
+        tiles.append(
+            ReconfigurableTile(
+                name=f"rt{index}",
+                modes=[stock_accelerator(n) for n in mode_names],
+            )
+        )
+    rows, cols = 3, 3
+    if len(tiles) > 9:
+        rows, cols = 3, 4
+    return SocConfig.assemble("random_soc", "vc707", rows, cols, tiles)
+
+
+FLOW = DprFlow()
+
+
+def _infeasible_density(config) -> bool:
+    """True when the design plainly cannot floorplan: inflated RP
+    demand plus the static part exceeds the device."""
+    device_luts = config.device().capacity().lut
+    inflated = sum(
+        int(t.partition_resources().lut / 0.7) for t in config.reconfigurable_tiles
+    )
+    return inflated + config.static_luts() > device_luts
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_socs())
+def test_flow_invariants_hold_for_any_valid_soc(config):
+    from repro.errors import FloorplanError
+
+    try:
+        result = FLOW.build(config)
+    except FloorplanError:
+        # Only legitimately over-dense designs may fail to floorplan.
+        assert _infeasible_density(config)
+        return
+
+    # 1. Totals compose.
+    assert result.total_minutes == pytest.approx(
+        result.synth_makespan_minutes + result.par_makespan_minutes
+    )
+    assert result.total_minutes > 0
+
+    # 2. Parallel strategies decompose into t_static + max omega.
+    if result.strategy is not ImplementationStrategy.SERIAL:
+        assert result.static_par_minutes is not None
+        assert result.par_makespan_minutes == pytest.approx(
+            result.static_par_minutes + result.max_omega_minutes
+        )
+    else:
+        assert result.static_par_minutes is None
+        assert result.omega_minutes == {}
+
+    # 3. Floorplan is legal and covers every RP.
+    device = config.device()
+    report = validate_floorplan(device, result.floorplan)
+    assert report.legal, report.violations
+    assert len(result.floorplan.assignments) == result.partition.num_rps
+
+    # 4. Bitstreams: one full + per-mode partials + one blank per tile.
+    fulls = [b for b in result.bitstreams if b.kind is BitstreamKind.FULL]
+    assert len(fulls) == 1
+    partials = result.partial_bitstreams()
+    expected = sum(len(t.modes) for t in config.reconfigurable_tiles) + len(
+        config.reconfigurable_tiles
+    )
+    assert len(partials) == expected
+
+    # 5. The strategy is the one Table I maps the design's class to
+    #    (the algorithm is class-driven; it is *not* a global argmin,
+    #    and near class boundaries another strategy can model-beat it).
+    from repro.core.classes import DesignClass
+
+    table_one = {
+        DesignClass.CLASS_1_1: {ImplementationStrategy.SERIAL},
+        DesignClass.CLASS_1_2: {
+            ImplementationStrategy.SEMI_PARALLEL,
+            ImplementationStrategy.FULLY_PARALLEL,
+        },
+        DesignClass.CLASS_1_3: {ImplementationStrategy.SEMI_PARALLEL},
+        DesignClass.CLASS_2_1: {ImplementationStrategy.FULLY_PARALLEL},
+        DesignClass.CLASS_2_2: {ImplementationStrategy.SERIAL},
+    }
+    assert result.strategy in table_one[result.decision.design_class]
+
+
+@settings(max_examples=12, deadline=None)
+@given(random_socs())
+def test_metrics_classification_total_function(config):
+    """Every valid SoC classifies and plans without errors."""
+    from repro.core.classes import classify
+    from repro.core.metrics import compute_metrics
+    from repro.core.strategy import choose_strategy
+    from repro.flow.schedule import plan_implementation
+    from repro.soc.partition import partition_design
+
+    metrics = compute_metrics(config)
+    classification = classify(metrics)
+    decision = choose_strategy(metrics)
+    assert decision.design_class is classification.design_class
+    plan = plan_implementation(partition_design(config), decision)
+    covered = sorted(name for run in plan.runs for name in run.rp_names)
+    assert covered == sorted(t.name for t in config.reconfigurable_tiles)

@@ -1,0 +1,79 @@
+"""Tests for the user-space DPR API."""
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.noc.mesh import Mesh
+from repro.runtime.api import DprUserApi
+from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+from repro.runtime.manager import ReconfigurationManager
+from repro.runtime.memory import BitstreamStore
+from repro.runtime.prc import PrcDevice
+from repro.vivado.bitstream import Bitstream, BitstreamKind
+
+
+@pytest.fixture
+def api(sim):
+    mesh = Mesh(2, 2, clock_hz=78e6)
+    prc = PrcDevice(sim, mesh, mem_position=(0, 1), aux_position=(1, 0))
+    store = BitstreamStore()
+    registry = DriverRegistry()
+    for mode in ("fft", "gemm"):
+        registry.install(AcceleratorDriver(accelerator=mode, exec_time_s=0.01))
+        store.load(
+            Bitstream(
+                name=f"rt0_{mode}.pbs",
+                kind=BitstreamKind.PARTIAL,
+                size_bytes=200_000,
+                compressed=True,
+                target_rp="rt0",
+                mode=mode,
+            ),
+            "rt0",
+        )
+    manager = ReconfigurationManager(sim, prc, store, registry)
+    manager.attach_tile("rt0")
+    return DprUserApi(manager)
+
+
+class TestOpen:
+    def test_open_exposes_modes(self, api):
+        handle = api.open_tile("rt0")
+        assert handle.modes == ("fft", "gemm")
+
+    def test_open_unknown_tile(self, api):
+        with pytest.raises(ReconfigurationError):
+            api.open_tile("ghost")
+
+    def test_handle_lookup(self, api):
+        api.open_tile("rt0")
+        assert api.handle("rt0").tile_name == "rt0"
+        with pytest.raises(ReconfigurationError, match="not open"):
+            api.handle("rt1")
+
+
+class TestRun:
+    def test_esp_run(self, api, sim):
+        handle = api.open_tile("rt0")
+        proc = api.esp_run(handle, "fft")
+        sim.run()
+        assert proc.value.mode_name == "fft"
+        assert len(api.invocation_log()) == 1
+
+    def test_run_without_bitstream_rejected(self, api):
+        handle = api.open_tile("rt0")
+        with pytest.raises(ReconfigurationError, match="no bitstream"):
+            api.esp_run(handle, "sort")
+
+    def test_esp_load_prefetches(self, api, sim):
+        handle = api.open_tile("rt0")
+        api.esp_load(handle, "gemm")
+        sim.run()
+        proc = api.esp_run(handle, "gemm")
+        sim.run()
+        assert proc.value.reconfig_s == 0.0
+
+    def test_esp_load_unknown_mode(self, api):
+        handle = api.open_tile("rt0")
+        with pytest.raises(ReconfigurationError):
+            api.esp_load(handle, "sort")

@@ -1,0 +1,150 @@
+"""Tests for the baremetal DPR driver."""
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.noc.mesh import Mesh
+from repro.runtime.baremetal import BaremetalDriver
+from repro.runtime.memory import BitstreamStore
+from repro.runtime.prc import PrcDevice
+from repro.vivado.bitstream import Bitstream, BitstreamKind
+
+
+def make_driver(sim, poll=50e-6):
+    mesh = Mesh(3, 3, clock_hz=78e6)
+    prc = PrcDevice(sim, mesh, mem_position=(0, 1), aux_position=(0, 2))
+    store = BitstreamStore()
+    for mode in ("fft", "gemm"):
+        for tile in ("rt0", "rt1"):
+            store.load(
+                Bitstream(
+                    name=f"{tile}_{mode}.pbs",
+                    kind=BitstreamKind.PARTIAL,
+                    size_bytes=250_000,
+                    compressed=True,
+                    target_rp=tile,
+                    mode=mode,
+                ),
+                tile,
+            )
+    driver = BaremetalDriver(
+        sim, prc, store, exec_times={"fft": 0.010, "gemm": 0.020}, poll_period_s=poll
+    )
+    driver.attach_tile("rt0")
+    driver.attach_tile("rt1")
+    return driver, prc
+
+
+class TestBasics:
+    def test_run_reconfigures_and_executes(self, sim):
+        driver, _ = make_driver(sim)
+        proc = driver.run("rt0", "fft")
+        sim.run()
+        record = proc.value
+        assert record.reconfig_s > 0
+        assert record.exec_time_s == pytest.approx(0.010)
+        assert driver.loaded_mode("rt0") == "fft"
+
+    def test_warm_run_skips_reconfiguration(self, sim):
+        driver, prc = make_driver(sim)
+        driver.run("rt0", "fft")
+        sim.run()
+        proc = driver.run("rt0", "fft")
+        sim.run()
+        assert proc.value.reconfig_s == 0.0
+        assert len(prc.records) == 1
+
+    def test_poll_overhead_charged(self, sim):
+        driver, _ = make_driver(sim, poll=1e-3)
+        proc = driver.run("rt0", "fft")
+        sim.run()
+        # One poll for reconfig DONE + one for accelerator completion.
+        assert proc.value.poll_overhead_s == pytest.approx(2e-3)
+        assert driver.total_poll_overhead_s() == pytest.approx(2e-3)
+
+    def test_unattached_tile_rejected(self, sim):
+        driver, _ = make_driver(sim)
+        with pytest.raises(ReconfigurationError):
+            driver.run("ghost", "fft")
+
+    def test_unknown_mode_rejected(self, sim):
+        driver, _ = make_driver(sim)
+        with pytest.raises(ReconfigurationError):
+            driver.run("rt0", "sort")
+
+    def test_bad_poll_period_rejected(self, sim):
+        with pytest.raises(ReconfigurationError):
+            make_driver(sim, poll=0.0)
+
+
+class TestSingleThreadedModel:
+    def test_concurrent_run_rejected(self, sim):
+        driver, _ = make_driver(sim)
+        a = driver.run("rt0", "fft")
+        b = driver.run("rt1", "gemm")  # starts while a is in flight
+        sim.run()
+        outcomes = sorted(
+            (p.exception is None) for p in (a, b)
+        )
+        assert outcomes == [False, True]  # exactly one succeeded
+        failed = a if a.exception is not None else b
+        assert isinstance(failed.exception, ReconfigurationError)
+
+    def test_run_sequence_serializes(self, sim):
+        driver, _ = make_driver(sim)
+        proc = driver.run_sequence(
+            [("rt0", "fft"), ("rt1", "gemm"), ("rt0", "gemm")]
+        )
+        sim.run()
+        records = proc.value
+        assert len(records) == 3
+        for earlier, later in zip(records, records[1:]):
+            assert later.start_exec_s >= earlier.end_exec_s
+        # Third run switches rt0 from fft to gemm.
+        assert records[2].reconfig_s > 0
+
+
+class TestVsLinuxManager:
+    def test_baremetal_cannot_overlap_but_manager_can(self, sim):
+        """The structural difference between the two stacks: under the
+        manager, independent tiles overlap execution; baremetal
+        serializes everything."""
+        from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+        from repro.runtime.manager import ReconfigurationManager
+        from repro.sim.kernel import Simulator
+
+        # Baremetal: sequential.
+        bm_driver, _ = make_driver(sim)
+        proc = bm_driver.run_sequence([("rt0", "fft"), ("rt1", "gemm")])
+        sim.run()
+        bm_span = proc.value[-1].end_exec_s
+
+        # Linux manager on an identical platform: overlapped.
+        sim2 = Simulator()
+        mesh = Mesh(3, 3, clock_hz=78e6)
+        prc = PrcDevice(sim2, mesh, mem_position=(0, 1), aux_position=(0, 2))
+        store = BitstreamStore()
+        registry = DriverRegistry()
+        for mode, t in (("fft", 0.010), ("gemm", 0.020)):
+            registry.install(AcceleratorDriver(accelerator=mode, exec_time_s=t))
+            for tile in ("rt0", "rt1"):
+                store.load(
+                    Bitstream(
+                        name=f"{tile}_{mode}.pbs",
+                        kind=BitstreamKind.PARTIAL,
+                        size_bytes=250_000,
+                        compressed=True,
+                        target_rp=tile,
+                        mode=mode,
+                    ),
+                    tile,
+                )
+        manager = ReconfigurationManager(sim2, prc, store, registry)
+        manager.attach_tile("rt0")
+        manager.attach_tile("rt1")
+        a = manager.invoke("rt0", "fft")
+        b = manager.invoke("rt1", "gemm")
+        sim2.run()
+        linux_span = max(a.value.end_exec_s, b.value.end_exec_s)
+
+        assert linux_span < bm_span

@@ -1,0 +1,82 @@
+"""Tests for the driver registry."""
+
+import pytest
+
+from repro.errors import DriverError
+from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+
+
+def registry_with(*names):
+    registry = DriverRegistry()
+    for name in names:
+        registry.install(AcceleratorDriver(accelerator=name, exec_time_s=0.01))
+    return registry
+
+
+class TestCatalog:
+    def test_install_and_lookup(self):
+        registry = registry_with("fft")
+        assert registry.driver_for("fft").accelerator == "fft"
+
+    def test_default_devname(self):
+        driver = AcceleratorDriver(accelerator="fft", exec_time_s=0.01)
+        assert driver.devname == "/dev/fft.0"
+
+    def test_double_install_rejected(self):
+        registry = registry_with("fft")
+        with pytest.raises(DriverError, match="already installed"):
+            registry.install(AcceleratorDriver(accelerator="fft", exec_time_s=0.01))
+
+    def test_missing_driver(self):
+        with pytest.raises(DriverError, match="no driver"):
+            registry_with().driver_for("fft")
+
+    def test_bad_exec_time(self):
+        with pytest.raises(DriverError):
+            AcceleratorDriver(accelerator="fft", exec_time_s=0.0)
+
+    def test_catalog_sorted(self):
+        registry = registry_with("sort", "fft", "gemm")
+        assert registry.catalog() == ["fft", "gemm", "sort"]
+
+
+class TestTileBinding:
+    def test_attach_and_swap(self):
+        registry = registry_with("fft", "gemm")
+        registry.attach_tile("rt0")
+        assert registry.active_on("rt0") is None
+        registry.swap("rt0", "fft")
+        assert registry.active_on("rt0").accelerator == "fft"
+        registry.swap("rt0", "gemm")
+        assert registry.active_on("rt0").accelerator == "gemm"
+
+    def test_swap_counts_changes_only(self):
+        registry = registry_with("fft")
+        registry.attach_tile("rt0")
+        registry.swap("rt0", "fft")
+        registry.swap("rt0", "fft")  # no-op
+        assert registry.swap_count == 1
+
+    def test_swap_to_none_unbinds(self):
+        registry = registry_with("fft")
+        registry.attach_tile("rt0")
+        registry.swap("rt0", "fft")
+        registry.swap("rt0", None)
+        assert registry.active_on("rt0") is None
+
+    def test_swap_uninstalled_rejected(self):
+        registry = registry_with("fft")
+        registry.attach_tile("rt0")
+        with pytest.raises(DriverError, match="no driver"):
+            registry.swap("rt0", "nvdla")
+
+    def test_unknown_tile_rejected(self):
+        registry = registry_with("fft")
+        with pytest.raises(DriverError, match="unknown tile"):
+            registry.swap("ghost", "fft")
+
+    def test_double_attach_rejected(self):
+        registry = registry_with()
+        registry.attach_tile("rt0")
+        with pytest.raises(DriverError):
+            registry.attach_tile("rt0")

@@ -1,0 +1,90 @@
+"""Tests for the bitstream store."""
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.runtime.memory import BitstreamStore
+from repro.vivado.bitstream import Bitstream, BitstreamKind
+
+
+def partial(mode="fft", rp="rt0", size=256 * 1024):
+    return Bitstream(
+        name=f"{rp}_{mode}.pbs",
+        kind=BitstreamKind.PARTIAL,
+        size_bytes=size,
+        compressed=True,
+        target_rp=rp,
+        mode=mode,
+    )
+
+
+def full():
+    return Bitstream(
+        name="soc.bit", kind=BitstreamKind.FULL, size_bytes=19 * 2**20, compressed=False
+    )
+
+
+class TestLoading:
+    def test_load_assigns_page_aligned_addresses(self):
+        store = BitstreamStore()
+        a = store.load(partial("fft"), "rt0")
+        b = store.load(partial("gemm"), "rt0")
+        assert a.physical_address % 0x1000 == 0
+        assert b.physical_address % 0x1000 == 0
+        assert b.physical_address >= a.physical_address + a.size_bytes
+
+    def test_full_bitstream_rejected(self):
+        with pytest.raises(ReconfigurationError, match="partial"):
+            BitstreamStore().load(full(), "rt0")
+
+    def test_duplicate_rejected(self):
+        store = BitstreamStore()
+        store.load(partial(), "rt0")
+        with pytest.raises(ReconfigurationError, match="already"):
+            store.load(partial(), "rt0")
+
+    def test_same_mode_different_tiles_ok(self):
+        store = BitstreamStore()
+        store.load(partial(rp="rt0"), "rt0")
+        store.load(partial(rp="rt1"), "rt1")
+        assert len(store) == 2
+
+
+class TestLookup:
+    def test_lookup(self):
+        store = BitstreamStore()
+        loaded = store.load(partial("fft"), "rt0")
+        assert store.lookup("rt0", "fft") is loaded
+
+    def test_missing_lookup(self):
+        with pytest.raises(ReconfigurationError, match="no bitstream"):
+            BitstreamStore().lookup("rt0", "fft")
+
+    def test_modes_for_tile(self):
+        store = BitstreamStore()
+        store.load(partial("fft"), "rt0")
+        store.load(partial("gemm"), "rt0")
+        store.load(partial("mac", rp="rt1"), "rt1")
+        assert store.modes_for_tile("rt0") == ["fft", "gemm"]
+
+    def test_total_bytes(self):
+        store = BitstreamStore()
+        store.load(partial(size=1000), "rt0")
+        store.load(partial("gemm", size=2000), "rt0")
+        assert store.total_bytes() == 3000
+
+
+class TestFlowIntegration:
+    def test_load_flow_output(self, platform, socy):
+        result = platform.flow.build(socy)
+        store = BitstreamStore()
+        count = store.load_flow_output(result.bitstreams)
+        tiles = socy.reconfigurable_tiles
+        expected = sum(len(t.modes) for t in tiles) + len(tiles)  # + blanks
+        assert count == expected
+        tile = tiles[0]
+        assert store.modes_for_tile(tile.name) == sorted(tile.mode_names())
+        assert store.modes_for_tile(tile.name, include_blank=True) == sorted(
+            tile.mode_names() + ["blank"]
+        )
+        assert store.has_image(tile.name, "blank")

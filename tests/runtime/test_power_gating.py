@@ -1,0 +1,87 @@
+"""Tests for the blank-after-frame power-gating policy."""
+
+import pytest
+
+from repro.core.designs import wami_soc_z
+from repro.core.platform import PrEspPlatform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return PrEspPlatform()
+
+
+@pytest.fixture(scope="module")
+def gated_pair(platform):
+    config = wami_soc_z()
+    flow_result = platform.flow.build(config)
+    off = platform.deploy_wami(config, flow_result=flow_result, frames=3)
+    on = platform.deploy_wami(
+        config, flow_result=flow_result, frames=3, power_gating=True
+    )
+    return off, on
+
+
+class TestConfiguredTime:
+    def test_state_accounting(self, sim):
+        from repro.runtime.manager import TileState
+        from repro.sim.resources import Lock
+        from repro.soc.socket import Decoupler
+
+        state = TileState(name="rt0", decoupler=Decoupler("rt0"), lock=Lock(sim))
+        assert state.configured_time(10.0) == 0.0
+        state.mark_configured(2.0)
+        assert state.configured_time(5.0) == pytest.approx(3.0)
+        state.mark_dark(7.0)
+        assert state.configured_time(10.0) == pytest.approx(5.0)
+        state.mark_configured(9.0)
+        assert state.configured_time(10.0) == pytest.approx(6.0)
+
+    def test_mark_configured_idempotent(self, sim):
+        from repro.runtime.manager import TileState
+        from repro.sim.resources import Lock
+        from repro.soc.socket import Decoupler
+
+        state = TileState(name="rt0", decoupler=Decoupler("rt0"), lock=Lock(sim))
+        state.mark_configured(1.0)
+        state.mark_configured(5.0)  # no effect
+        assert state.configured_time(10.0) == pytest.approx(9.0)
+
+
+class TestDeployment:
+    def test_gating_blanks_every_tile_each_frame(self, gated_pair):
+        off, on = gated_pair
+        tiles = len(on.config.reconfigurable_tiles)
+        frames = on.frames
+        # Gated run adds one blank per tile per frame.
+        assert on.reconfigurations == off.reconfigurations + tiles * frames
+
+    def test_gating_reduces_energy(self, gated_pair):
+        off, on = gated_pair
+        assert on.joules_per_frame < off.joules_per_frame
+        # The reduction comes from the baseline (region) term.
+        assert on.energy.baseline_j < off.energy.baseline_j
+
+    def test_gating_increases_reconfig_energy(self, gated_pair):
+        off, on = gated_pair
+        assert on.energy.reconfig_j > off.energy.reconfig_j
+
+    def test_dynamic_energy_unchanged(self, gated_pair):
+        off, on = gated_pair
+        assert on.energy.dynamic_j == pytest.approx(off.energy.dynamic_j, rel=1e-6)
+
+    def test_configured_fraction_validation(self):
+        from repro.energy.measure import measure_energy
+        from repro.errors import ConfigurationError
+        from repro.runtime.executor import ExecutionTimeline
+
+        with pytest.raises(ConfigurationError, match="outside"):
+            measure_energy(
+                ExecutionTimeline(events=[], makespan_s=1.0),
+                frames=1,
+                static_kluts=1.0,
+                region_kluts={"rt0": 10.0},
+                mode_power_w={},
+                task_modes={},
+                configured_fraction={"rt0": 1.5},
+            )

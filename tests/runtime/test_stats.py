@@ -1,0 +1,79 @@
+"""Tests for runtime statistics aggregation."""
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.runtime.stats import collect_stats
+from tests.runtime.test_manager import manager  # fixture reuse
+
+
+class TestCollect:
+    def test_counts(self, manager, sim):
+        manager.invoke("rt0", "fft")
+        manager.invoke("rt0", "gemm")
+        manager.invoke("rt1", "sort")
+        sim.run()
+        stats = collect_stats(manager)
+        assert stats.total_invocations == 3
+        assert stats.total_reconfigurations == 3
+        assert stats.failed_attempts == 0
+        assert set(stats.tiles) == {"rt0", "rt1"}
+        assert stats.tiles["rt0"].invocations == 2
+
+    def test_exec_and_reconfig_time(self, manager, sim):
+        manager.invoke("rt0", "fft", exec_time_s=0.5)
+        sim.run()
+        stats = collect_stats(manager)
+        tile = stats.tiles["rt0"]
+        assert tile.exec_time_s == pytest.approx(0.5)
+        assert tile.reconfig_time_s > 0
+        assert 0.0 < tile.reconfig_share < 1.0
+
+    def test_warm_invocations_have_zero_reconfig_share(self, manager, sim):
+        manager.invoke("rt0", "fft")
+        sim.run()
+        manager.invocations.clear()
+        manager.invoke("rt0", "fft", exec_time_s=0.1)
+        sim.run()
+        stats = collect_stats(manager)
+        assert stats.tiles["rt0"].reconfig_time_s == 0.0
+
+    def test_wait_time_from_contention(self, manager, sim):
+        manager.invoke("rt0", "fft", exec_time_s=1.0)
+        manager.invoke("rt0", "fft", exec_time_s=0.1)  # queued behind
+        sim.run()
+        stats = collect_stats(manager)
+        assert stats.tiles["rt0"].wait_time_s > 0.9
+        assert stats.tiles["rt0"].mean_wait_s > 0.4
+
+    def test_icap_utilization(self, manager, sim):
+        manager.invoke("rt0", "fft", exec_time_s=0.001)
+        sim.run()
+        stats = collect_stats(manager)
+        assert 0.0 < stats.icap_utilization <= 1.0
+
+    def test_busiest_tile(self, manager, sim):
+        manager.invoke("rt0", "fft", exec_time_s=0.9)
+        manager.invoke("rt1", "gemm", exec_time_s=0.1)
+        sim.run()
+        assert collect_stats(manager).busiest_tile().tile_name == "rt0"
+
+    def test_busiest_tile_empty_manager(self, sim):
+        from repro.noc.mesh import Mesh
+        from repro.runtime.driver import DriverRegistry
+        from repro.runtime.manager import ReconfigurationManager
+        from repro.runtime.memory import BitstreamStore
+        from repro.runtime.prc import PrcDevice
+
+        mesh = Mesh(2, 2)
+        prc = PrcDevice(sim, mesh, (0, 0), (0, 1))
+        empty = ReconfigurationManager(sim, prc, BitstreamStore(), DriverRegistry())
+        with pytest.raises(ReconfigurationError):
+            collect_stats(empty).busiest_tile()
+
+    def test_summary_lines(self, manager, sim):
+        manager.invoke("rt0", "fft")
+        sim.run()
+        lines = collect_stats(manager).summary_lines()
+        assert any("rt0" in line for line in lines)
+        assert "invocations=1" in lines[0]

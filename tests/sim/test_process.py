@@ -1,0 +1,152 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, sim):
+        def body():
+            yield sim.timeout(2.0)
+            return "done"
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.processed
+        assert proc.value == "done"
+        assert sim.now == 2.0
+
+    def test_yield_receives_event_value(self, sim):
+        def body():
+            got = yield sim.timeout(1.0, value=42)
+            return got
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.value == 42
+
+    def test_non_generator_rejected(self, sim):
+        def not_a_generator():
+            return 5
+
+        with pytest.raises(SimulationError):
+            sim.process(not_a_generator())
+
+    def test_is_alive_flag(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        assert proc.is_alive
+        sim.run()
+        assert not proc.is_alive
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def body():
+            yield 42
+
+        proc = sim.process(body())
+        sim.run()
+        assert isinstance(proc.exception, SimulationError)
+
+    def test_yielding_foreign_event_fails_process(self, sim):
+        other = Simulator()
+
+        def body():
+            yield other.timeout(1.0)
+
+        proc = sim.process(body())
+        sim.run()
+        assert isinstance(proc.exception, SimulationError)
+
+
+class TestFailurePropagation:
+    def test_exception_in_body_fails_process(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        proc = sim.process(body())
+        sim.run()
+        assert isinstance(proc.exception, ValueError)
+
+    def test_failed_event_is_thrown_into_generator(self, sim):
+        caught = []
+
+        def body():
+            bad = sim.event()
+            bad.fail(RuntimeError("injected"))
+            try:
+                yield bad
+            except RuntimeError as exc:
+                caught.append(str(exc))
+            return "recovered"
+
+        proc = sim.process(body())
+        sim.run()
+        assert caught == ["injected"]
+        assert proc.value == "recovered"
+
+    def test_uncaught_event_failure_fails_process(self, sim):
+        def body():
+            bad = sim.event()
+            bad.fail(RuntimeError("injected"))
+            yield bad
+
+        proc = sim.process(body())
+        sim.run()
+        assert isinstance(proc.exception, RuntimeError)
+
+
+class TestComposition:
+    def test_process_waits_on_process(self, sim):
+        def worker():
+            yield sim.timeout(3.0)
+            return "result"
+
+        def boss():
+            value = yield sim.process(worker())
+            return f"got {value}"
+
+        proc = sim.process(boss())
+        sim.run()
+        assert proc.value == "got result"
+        assert sim.now == 3.0
+
+    def test_parallel_processes_interleave(self, sim):
+        trace = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert trace == [("b", 1.0), ("a", 2.0)]
+
+    def test_barrier_over_processes(self, sim):
+        def worker(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        barrier = sim.all_of([sim.process(worker(d)) for d in (2.0, 1.0)])
+        sim.run()
+        assert barrier.value == [2.0, 1.0]
+
+    def test_yield_from_subroutine(self, sim):
+        def subroutine():
+            yield sim.timeout(1.0)
+            return 10
+
+        def body():
+            first = yield from subroutine()
+            second = yield from subroutine()
+            return first + second
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.value == 20
+        assert sim.now == 2.0

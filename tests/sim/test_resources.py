@@ -1,0 +1,147 @@
+"""Tests for locks and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resources import Lock, Store
+
+
+class TestLock:
+    def test_uncontended_acquire_is_immediate(self, sim):
+        lock = Lock(sim)
+        event = lock.acquire()
+        sim.run()
+        assert event.processed
+        assert lock.locked
+
+    def test_release_unheld_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Lock(sim).release()
+
+    def test_fifo_ordering(self, sim):
+        lock = Lock(sim)
+        order = []
+
+        def worker(name, hold):
+            yield lock.acquire()
+            order.append(f"{name}+")
+            yield sim.timeout(hold)
+            order.append(f"{name}-")
+            lock.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.process(worker("c", 1.0))
+        sim.run()
+        assert order == ["a+", "a-", "b+", "b-", "c+", "c-"]
+
+    def test_queue_length(self, sim):
+        lock = Lock(sim)
+        lock.acquire()
+        lock.acquire()
+        lock.acquire()
+        assert lock.queue_length == 2
+
+    def test_mutual_exclusion_invariant(self, sim):
+        lock = Lock(sim)
+        inside = [0]
+        max_inside = [0]
+
+        def worker():
+            yield lock.acquire()
+            inside[0] += 1
+            max_inside[0] = max(max_inside[0], inside[0])
+            yield sim.timeout(1.0)
+            inside[0] -= 1
+            lock.release()
+
+        for _ in range(5):
+            sim.process(worker())
+        sim.run()
+        assert max_inside[0] == 1
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        got = store.get()
+        sim.run()
+        assert got.value == "x"
+        assert len(store) == 0
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        results = []
+
+        def consumer():
+            item = yield store.get()
+            results.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(3.0)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert results == [("late", 3.0)]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = [store.get() for _ in range(3)]
+        sim.run()
+        assert [g.value for g in got] == [0, 1, 2]
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put("a")
+            timeline.append(("a", sim.now))
+            yield store.put("b")
+            timeline.append(("b", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert timeline == [("a", 0.0), ("b", 5.0)]
+
+    def test_zero_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_items_snapshot(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.items == (1, 2)
+
+    def test_producer_consumer_conservation(self, sim):
+        """Everything produced is consumed exactly once."""
+        store = Store(sim, capacity=2)
+        produced = list(range(20))
+        consumed = []
+
+        def producer():
+            for item in produced:
+                yield store.put(item)
+                yield sim.timeout(0.1)
+
+        def consumer():
+            for _ in produced:
+                item = yield store.get()
+                consumed.append(item)
+                yield sim.timeout(0.25)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert consumed == produced

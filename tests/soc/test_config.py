@@ -1,0 +1,154 @@
+"""Tests for SoC configuration validation and size accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.config import SocConfig
+from repro.soc.esp_library import (
+    STATIC_WITH_CPU_LUTS,
+    STATIC_WITHOUT_CPU_LUTS,
+    stock_accelerator,
+)
+from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+
+
+def trio():
+    return [
+        Tile(kind=TileKind.CPU, name="cpu0"),
+        Tile(kind=TileKind.MEM, name="mem0"),
+        Tile(kind=TileKind.AUX, name="aux0"),
+    ]
+
+
+def reconf(name="rt0", acc="mac"):
+    return ReconfigurableTile(name=name, modes=[stock_accelerator(acc)])
+
+
+class TestValidation:
+    def test_assemble_pads_with_empty(self):
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, trio() + [reconf()])
+        assert cfg.num_tiles == 4
+        assert len(cfg.tiles_of_kind(TileKind.EMPTY)) == 0
+
+    def test_assemble_overflow_rejected(self):
+        with pytest.raises(ConfigurationError, match="fit"):
+            SocConfig.assemble("s", "vc707", 1, 2, trio())
+
+    def test_unknown_board_rejected(self):
+        with pytest.raises(ConfigurationError, match="board"):
+            SocConfig.assemble("s", "zynq", 2, 2, trio())
+
+    def test_needs_exactly_one_aux(self):
+        tiles = trio() + [Tile(kind=TileKind.AUX, name="aux1")]
+        with pytest.raises(ConfigurationError, match="auxiliary"):
+            SocConfig.assemble("s", "vc707", 2, 2, tiles)
+
+    def test_needs_memory(self):
+        tiles = [Tile(kind=TileKind.CPU, name="c"), Tile(kind=TileKind.AUX, name="a")]
+        with pytest.raises(ConfigurationError, match="memory"):
+            SocConfig.assemble("s", "vc707", 2, 2, tiles)
+
+    def test_needs_processor(self):
+        tiles = [
+            Tile(kind=TileKind.MEM, name="m"),
+            Tile(kind=TileKind.AUX, name="a"),
+            reconf(),
+        ]
+        with pytest.raises(ConfigurationError, match="processor"):
+            SocConfig.assemble("s", "vc707", 2, 2, tiles)
+
+    def test_hosted_cpu_satisfies_processor_rule(self):
+        tiles = [
+            Tile(kind=TileKind.MEM, name="m"),
+            Tile(kind=TileKind.AUX, name="a"),
+            ReconfigurableTile(name="rt", modes=[], host_cpu=True),
+        ]
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, tiles)
+        assert cfg.reconfigurable_tiles[0].host_cpu
+
+    def test_static_and_hosted_cpu_exclusive(self):
+        tiles = trio() + [ReconfigurableTile(name="rt", modes=[], host_cpu=True)]
+        with pytest.raises(ConfigurationError, match="exclusive"):
+            SocConfig.assemble("s", "vc707", 2, 2, tiles)
+
+    def test_duplicate_names_rejected(self):
+        tiles = trio() + [Tile(kind=TileKind.MEM, name="mem0")]
+        with pytest.raises(ConfigurationError, match="unique"):
+            SocConfig.assemble("s", "vc707", 2, 3, tiles)
+
+    def test_grid_size_mismatch(self):
+        with pytest.raises(ConfigurationError, match="needs"):
+            SocConfig(name="s", board="vc707", rows=2, cols=2, tiles=tuple(trio()))
+
+
+class TestQueries:
+    def test_tile_at_row_major(self):
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, trio() + [reconf()])
+        assert cfg.tile_at(0, 0).name == "cpu0"
+        assert cfg.tile_at(1, 1).name == "rt0"
+
+    def test_position_of(self):
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, trio() + [reconf()])
+        assert cfg.position_of("aux0") == (1, 0)
+
+    def test_position_of_unknown(self):
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, trio() + [reconf()])
+        with pytest.raises(ConfigurationError):
+            cfg.position_of("nope")
+
+    def test_static_and_reconf_split(self):
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, trio() + [reconf()])
+        assert len(cfg.static_tiles) == 3
+        assert len(cfg.reconfigurable_tiles) == 1
+
+
+class TestSizeAccounting:
+    """The calibration identities against Table II of the paper."""
+
+    def test_3x3_static_with_cpu_matches_table2(self):
+        tiles = trio() + [reconf(f"rt{i}", a) for i, a in enumerate(["conv2d", "gemm", "fft", "sort"])]
+        cfg = SocConfig.assemble("s", "vc707", 3, 3, tiles)
+        assert cfg.static_luts() == STATIC_WITH_CPU_LUTS  # 82,267
+
+    def test_3x3_static_without_cpu_matches_table2(self):
+        tiles = [
+            Tile(kind=TileKind.MEM, name="mem0"),
+            Tile(kind=TileKind.AUX, name="aux0"),
+            ReconfigurableTile(name="rt_cpu", modes=[], host_cpu=True),
+        ] + [reconf(f"rt{i}", a) for i, a in enumerate(["conv2d", "gemm", "fft", "sort"])]
+        cfg = SocConfig.assemble("s", "vc707", 3, 3, tiles)
+        assert cfg.static_luts() == STATIC_WITHOUT_CPU_LUTS  # 39,254
+
+    def test_total_is_static_plus_rps(self):
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, trio() + [reconf()])
+        assert cfg.total_design_luts() == cfg.static_luts() + sum(
+            cfg.reconfigurable_luts()
+        )
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        tiles = trio() + [
+            ReconfigurableTile(
+                name="rt0",
+                modes=[stock_accelerator("conv2d"), stock_accelerator("sort")],
+            )
+        ]
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, tiles)
+        clone = SocConfig.from_dict(cfg.to_dict())
+        assert clone == cfg
+
+    def test_round_trip_host_cpu(self):
+        tiles = [
+            Tile(kind=TileKind.MEM, name="m"),
+            Tile(kind=TileKind.AUX, name="a"),
+            ReconfigurableTile(name="rt", modes=[], host_cpu=True),
+        ]
+        cfg = SocConfig.assemble("s", "vc707", 2, 2, tiles)
+        clone = SocConfig.from_dict(cfg.to_dict())
+        assert clone.reconfigurable_tiles[0].host_cpu
+
+    def test_round_trip_preserves_sizes(self, soc2):
+        clone = SocConfig.from_dict(soc2.to_dict())
+        assert clone.static_luts() == soc2.static_luts()
+        assert clone.reconfigurable_luts() == soc2.reconfigurable_luts()

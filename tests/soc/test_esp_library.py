@@ -1,0 +1,72 @@
+"""Tests for the stock ESP accelerator catalog (Table II figures)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.esp_library import (
+    AcceleratorIP,
+    HlsFlow,
+    LEON3_CORE_LUTS,
+    STOCK_ACCELERATORS,
+    stock_accelerator,
+)
+from repro.fabric.resources import ResourceVector
+
+
+#: Published LUT counts of Table II.
+TABLE_II = {"mac": 2450, "conv2d": 36741, "gemm": 30617, "fft": 33690, "sort": 20468}
+
+
+class TestTable2Figures:
+    @pytest.mark.parametrize("name,luts", sorted(TABLE_II.items()))
+    def test_published_lut_counts(self, name, luts):
+        assert stock_accelerator(name).luts == luts
+
+    def test_leon3_core_size(self):
+        assert LEON3_CORE_LUTS == 41544
+
+    def test_mac_is_vivado_hls(self):
+        assert stock_accelerator("mac").hls_flow is HlsFlow.VIVADO_HLS
+
+    def test_stratus_accelerators(self):
+        for name in ("conv2d", "gemm", "fft", "sort"):
+            assert stock_accelerator(name).hls_flow is HlsFlow.STRATUS_HLS
+
+
+class TestCatalog:
+    def test_lookup_case_insensitive(self):
+        assert stock_accelerator("MAC").name == "mac"
+
+    def test_unknown_accelerator(self):
+        with pytest.raises(ConfigurationError, match="unknown stock accelerator"):
+            stock_accelerator("nvdla")
+
+    def test_catalog_is_keyed_by_name(self):
+        for name, ip in STOCK_ACCELERATORS.items():
+            assert name == ip.name
+
+
+class TestAcceleratorIP:
+    def test_upper_case_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorIP(
+                name="Mac", hls_flow=HlsFlow.RTL, resources=ResourceVector(lut=1)
+            )
+
+    def test_non_positive_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorIP(
+                name="x",
+                hls_flow=HlsFlow.RTL,
+                resources=ResourceVector(lut=1),
+                throughput_factor=0.0,
+            )
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorIP(
+                name="x",
+                hls_flow=HlsFlow.RTL,
+                resources=ResourceVector(lut=1),
+                dynamic_power_w=-0.1,
+            )

@@ -1,0 +1,67 @@
+"""Tests for the socket and the reconfiguration decoupler."""
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.soc.socket import Decoupler, DecouplerState, ProxyKind, Socket
+
+
+class TestDecoupler:
+    def test_starts_coupled(self):
+        dec = Decoupler(tile_name="rt0")
+        assert dec.state is DecouplerState.COUPLED
+        assert dec.queues_enabled
+
+    def test_decouple_disables_queues(self):
+        dec = Decoupler(tile_name="rt0")
+        dec.decouple()
+        assert dec.state is DecouplerState.DECOUPLED
+        assert not dec.queues_enabled
+
+    def test_recouple_counts_cycles(self):
+        dec = Decoupler(tile_name="rt0")
+        for _ in range(3):
+            dec.decouple()
+            dec.recouple()
+        assert dec.cycles == 3
+        assert dec.queues_enabled
+
+    def test_double_decouple_is_a_bug(self):
+        dec = Decoupler(tile_name="rt0")
+        dec.decouple()
+        with pytest.raises(ReconfigurationError, match="already decoupled"):
+            dec.decouple()
+
+    def test_recouple_when_coupled_is_a_bug(self):
+        dec = Decoupler(tile_name="rt0")
+        with pytest.raises(ReconfigurationError, match="not decoupled"):
+            dec.recouple()
+
+
+class TestSocket:
+    def test_reconfigurable_socket_gets_decoupler(self):
+        socket = Socket(tile_name="rt0", reconfigurable=True)
+        assert socket.decoupler is not None
+
+    def test_static_socket_has_no_decoupler(self):
+        socket = Socket(tile_name="cpu0")
+        assert socket.decoupler is None
+
+    def test_static_socket_rejects_decoupler(self):
+        with pytest.raises(ReconfigurationError):
+            Socket(tile_name="cpu0", decoupler=Decoupler(tile_name="cpu0"))
+
+    def test_all_proxies_present(self):
+        socket = Socket(tile_name="rt0", reconfigurable=True)
+        assert set(socket.proxies()) == set(ProxyKind)
+
+    def test_traffic_gated_by_decoupler(self):
+        socket = Socket(tile_name="rt0", reconfigurable=True)
+        assert socket.can_accept_traffic()
+        socket.decoupler.decouple()
+        assert not socket.can_accept_traffic()
+        socket.decoupler.recouple()
+        assert socket.can_accept_traffic()
+
+    def test_static_socket_always_accepts(self):
+        assert Socket(tile_name="mem0").can_accept_traffic()

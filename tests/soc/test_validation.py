@@ -1,0 +1,133 @@
+"""Tests for the advisory design-rule checker."""
+
+import pytest
+
+from repro.soc.config import SocConfig
+from repro.soc.esp_library import stock_accelerator
+from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+from repro.soc.validation import Severity, check_design
+
+
+def soc(tiles, rows=3, cols=3, name="drc"):
+    return SocConfig.assemble(name, "vc707", rows, cols, tiles)
+
+
+def trio():
+    return [
+        Tile(kind=TileKind.CPU, name="cpu0"),
+        Tile(kind=TileKind.MEM, name="mem0"),
+        Tile(kind=TileKind.AUX, name="aux0"),
+    ]
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestModeSizeSpread:
+    def test_wild_spread_flagged(self):
+        cfg = soc(
+            trio()
+            + [
+                ReconfigurableTile(
+                    name="rt0",
+                    modes=[stock_accelerator("conv2d"), stock_accelerator("mac")],
+                )
+            ]
+        )
+        findings = check_design(cfg)
+        assert "mode-size-spread" in rules_of(findings)
+
+    def test_uniform_modes_quiet(self):
+        cfg = soc(
+            trio()
+            + [
+                ReconfigurableTile(
+                    name="rt0",
+                    modes=[stock_accelerator("conv2d"), stock_accelerator("fft")],
+                )
+            ]
+        )
+        assert "mode-size-spread" not in rules_of(check_design(cfg))
+
+
+class TestAuxMemDistance:
+    def test_adjacent_quiet(self):
+        cfg = soc(trio() + [ReconfigurableTile(name="rt0", modes=[stock_accelerator("mac")])])
+        assert "aux-mem-distance" not in rules_of(check_design(cfg))
+
+    def test_far_apart_flagged(self):
+        tiles = [
+            Tile(kind=TileKind.MEM, name="mem0"),  # (0, 0)
+            Tile(kind=TileKind.CPU, name="cpu0"),
+            Tile(kind=TileKind.EMPTY, name="e0"),
+            Tile(kind=TileKind.EMPTY, name="e1"),
+            Tile(kind=TileKind.EMPTY, name="e2"),
+            Tile(kind=TileKind.EMPTY, name="e3"),
+            Tile(kind=TileKind.EMPTY, name="e4"),
+            ReconfigurableTile(name="rt0", modes=[stock_accelerator("mac")]),
+            Tile(kind=TileKind.AUX, name="aux0"),  # (2, 2): 4 hops away
+        ]
+        cfg = SocConfig(name="far", board="vc707", rows=3, cols=3, tiles=tuple(tiles))
+        assert "aux-mem-distance" in rules_of(check_design(cfg))
+
+
+class TestDensity:
+    def test_light_design_quiet(self, small_soc):
+        assert "reconf-density" not in rules_of(check_design(small_soc))
+
+    def test_dense_design_flagged(self):
+        cfg = soc(
+            trio()
+            + [
+                ReconfigurableTile(name=f"rt{i}", modes=[stock_accelerator("conv2d")])
+                for i in range(5)
+            ],
+            rows=3,
+            cols=3,
+        )
+        findings = [f for f in check_design(cfg) if f.rule == "reconf-density"]
+        assert findings
+
+    def test_paper_soc4_reports_density_info(self, all_paper_socs):
+        findings = check_design(all_paper_socs["soc_4"])
+        assert "reconf-density" in rules_of(findings)
+
+
+class TestBottlenecks:
+    def test_many_tiles_one_memory(self, all_paper_socs):
+        findings = check_design(all_paper_socs["soc_a"])
+        assert "memory-bottleneck" in rules_of(findings)
+
+    def test_few_tiles_quiet(self, small_soc):
+        assert "memory-bottleneck" not in rules_of(check_design(small_soc))
+
+
+class TestEmptyShare:
+    def test_mostly_empty_grid_flagged(self):
+        cfg = soc(
+            trio() + [ReconfigurableTile(name="rt0", modes=[stock_accelerator("mac")])],
+            rows=3,
+            cols=4,
+        )
+        assert "empty-grid" in rules_of(check_design(cfg))
+
+
+class TestSeverities:
+    def test_findings_carry_severity_and_message(self, all_paper_socs):
+        for finding in check_design(all_paper_socs["soc_4"]):
+            assert finding.severity in (Severity.INFO, Severity.WARNING)
+            assert finding.message
+
+    def test_clean_design_has_no_warnings(self):
+        cfg = soc(
+            trio()
+            + [
+                ReconfigurableTile(name="rt0", modes=[stock_accelerator("gemm")]),
+                ReconfigurableTile(name="rt1", modes=[stock_accelerator("fft")]),
+            ],
+            rows=2,
+            cols=3,
+        )
+        warnings = [f for f in check_design(cfg) if f.severity is Severity.WARNING]
+        assert warnings == []

@@ -1,0 +1,87 @@
+"""Tests for the unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_minutes_round_trip(self):
+        assert units.to_minutes(units.minutes(42.0)) == pytest.approx(42.0)
+
+    def test_kib_round_trip(self):
+        assert units.to_kib(units.kib(256.0)) == pytest.approx(256.0)
+
+    def test_mhz(self):
+        assert units.mhz(78.0) == pytest.approx(78e6)
+
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(78e6, 78e6) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles(self):
+        assert units.seconds_to_cycles(1.0, 78e6) == 78_000_000
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1, 0)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1, -5)
+
+    @given(st.floats(min_value=1e-9, max_value=1e6))
+    def test_cycle_round_trip(self, seconds):
+        clock = 78e6
+        cycles = units.seconds_to_cycles(seconds, clock)
+        back = units.cycles_to_seconds(cycles, clock)
+        assert back == pytest.approx(seconds, rel=1e-6, abs=1.0 / clock)
+
+
+class TestFormatting:
+    def test_fmt_duration_scales(self):
+        assert units.fmt_duration(5e-7) == "0.5us"
+        assert units.fmt_duration(2.5e-3) == "2.50ms"
+        assert units.fmt_duration(3.0) == "3.00s"
+        assert units.fmt_duration(600.0) == "10.0min"
+
+    def test_fmt_duration_negative(self):
+        assert units.fmt_duration(-2.5e-3) == "-2.50ms"
+
+    def test_fmt_size_scales(self):
+        assert units.fmt_size(512) == "512B"
+        assert units.fmt_size(300 * 1024) == "300KB"
+        assert units.fmt_size(19 * 1024 * 1024) == "19.00MB"
+
+    def test_fmt_size_negative(self):
+        assert units.fmt_size(-2048) == "-2KB"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_presp_error(self):
+        from repro import errors
+
+        leaves = [
+            errors.ConfigurationError,
+            errors.FabricError,
+            errors.ResourceError,
+            errors.FloorplanError,
+            errors.DprRuleViolation,
+            errors.SynthesisError,
+            errors.ImplementationError,
+            errors.FlowError,
+            errors.SimulationError,
+            errors.ReconfigurationError,
+            errors.DriverError,
+            errors.NocError,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.PrEspError)
+
+    def test_resource_error_is_fabric_error(self):
+        from repro import errors
+
+        assert issubclass(errors.ResourceError, errors.FabricError)
+
+    def test_driver_error_is_reconfiguration_error(self):
+        from repro import errors
+
+        assert issubclass(errors.DriverError, errors.ReconfigurationError)

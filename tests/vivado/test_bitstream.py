@@ -1,0 +1,107 @@
+"""Tests for the bitstream size/compression model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ImplementationError
+from repro.fabric.resources import ResourceVector
+from repro.vivado.bitstream import (
+    BitstreamGenerator,
+    BitstreamKind,
+    BYTES_PER_AREA_LUT,
+    PARTIAL_OVERHEAD_BYTES,
+)
+
+
+REGION = ResourceVector(lut=50_000, ff=100_000, bram=100, dsp=200)
+
+
+class TestPartialBitstreams:
+    def test_partial_needs_target(self):
+        gen = BitstreamGenerator()
+        bs = gen.partial_bitstream("rt0", "fft", REGION, ResourceVector(lut=30_000))
+        assert bs.kind is BitstreamKind.PARTIAL
+        assert bs.target_rp == "rt0"
+        assert bs.mode == "fft"
+
+    def test_size_driven_by_region_not_module(self):
+        gen = BitstreamGenerator(compress=False)
+        small = gen.partial_bitstream("rt0", "a", REGION, ResourceVector(lut=1_000))
+        large = gen.partial_bitstream("rt0", "b", REGION, ResourceVector(lut=49_000))
+        assert small.size_bytes == large.size_bytes  # uncompressed: frames only
+
+    def test_uncompressed_size_formula(self):
+        gen = BitstreamGenerator(compress=False)
+        bs = gen.partial_bitstream("rt0", "a", REGION, ResourceVector(lut=1))
+        assert bs.size_bytes == REGION.lut * BYTES_PER_AREA_LUT + PARTIAL_OVERHEAD_BYTES
+
+    def test_compression_shrinks(self):
+        raw = BitstreamGenerator(compress=False).partial_bitstream(
+            "rt0", "a", REGION, ResourceVector(lut=30_000)
+        )
+        packed = BitstreamGenerator(compress=True).partial_bitstream(
+            "rt0", "a", REGION, ResourceVector(lut=30_000)
+        )
+        assert packed.size_bytes < raw.size_bytes / 3
+
+    def test_denser_modules_compress_worse(self):
+        gen = BitstreamGenerator()
+        sparse = gen.partial_bitstream("rt0", "a", REGION, ResourceVector(lut=5_000))
+        dense = gen.partial_bitstream("rt0", "b", REGION, ResourceVector(lut=45_000))
+        assert dense.size_bytes > sparse.size_bytes
+
+    def test_module_exceeding_region_rejected(self):
+        gen = BitstreamGenerator()
+        with pytest.raises(ImplementationError, match="exceeds"):
+            gen.partial_bitstream("rt0", "a", REGION, ResourceVector(lut=60_000))
+
+    def test_empty_region_rejected(self):
+        gen = BitstreamGenerator()
+        with pytest.raises(ImplementationError):
+            gen.partial_bitstream("rt0", "a", ResourceVector(), ResourceVector())
+
+    def test_blanking_bitstream_is_smallest(self):
+        gen = BitstreamGenerator()
+        blank = gen.blanking_bitstream("rt0", REGION)
+        loaded = gen.partial_bitstream("rt0", "a", REGION, ResourceVector(lut=30_000))
+        assert blank.size_bytes < loaded.size_bytes
+        assert blank.mode == "blank"
+
+    @given(st.integers(min_value=1, max_value=50_000))
+    def test_size_monotone_in_occupancy(self, module_luts):
+        gen = BitstreamGenerator()
+        bs = gen.partial_bitstream(
+            "rt0", "a", REGION, ResourceVector(lut=module_luts)
+        )
+        fuller = gen.partial_bitstream("rt0", "b", REGION, ResourceVector(lut=50_000))
+        assert bs.size_bytes <= fuller.size_bytes
+
+    def test_size_kib(self):
+        gen = BitstreamGenerator(compress=False)
+        bs = gen.partial_bitstream("rt0", "a", REGION, ResourceVector(lut=1))
+        assert bs.size_kib == pytest.approx(bs.size_bytes / 1024.0)
+
+
+class TestFullBitstream:
+    def test_full_device_size(self):
+        gen = BitstreamGenerator()
+        device = ResourceVector(lut=302_400)
+        bs = gen.full_bitstream("soc", device)
+        assert bs.kind is BitstreamKind.FULL
+        # ~19 MB, like a real VC707 bitstream.
+        assert 15 * 2**20 < bs.size_bytes < 25 * 2**20
+
+    def test_full_is_never_compressed(self):
+        gen = BitstreamGenerator(compress=True)
+        assert not gen.full_bitstream("soc", ResourceVector(lut=1000)).compressed
+
+
+class TestCompressionRatio:
+    def test_ratio_clamps_occupancy(self):
+        gen = BitstreamGenerator()
+        assert gen.compression_ratio(-1.0) == gen.compression_ratio(0.0)
+        assert gen.compression_ratio(2.0) == gen.compression_ratio(1.0)
+
+    def test_ratio_increases_with_occupancy(self):
+        gen = BitstreamGenerator()
+        assert gen.compression_ratio(0.9) > gen.compression_ratio(0.1)

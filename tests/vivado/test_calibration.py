@@ -1,0 +1,86 @@
+"""Calibration acceptance tests: the fitted model must reproduce the
+paper's *winners* for every published design, and its magnitudes must
+stay inside documented error bands.
+"""
+
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.core.strategy import ImplementationStrategy
+from repro.vivado.runtime_model import CALIBRATED_MODEL
+
+
+#: design name -> the strategy the paper measured as fastest.
+PAPER_WINNERS = {
+    "soc_1": ImplementationStrategy.SERIAL,
+    "soc_2": ImplementationStrategy.FULLY_PARALLEL,
+    "soc_3": ImplementationStrategy.SEMI_PARALLEL,
+    "soc_4": ImplementationStrategy.FULLY_PARALLEL,
+    "soc_a": ImplementationStrategy.FULLY_PARALLEL,
+    "soc_b": ImplementationStrategy.SERIAL,
+    "soc_c": ImplementationStrategy.SEMI_PARALLEL,
+    "soc_d": ImplementationStrategy.FULLY_PARALLEL,
+}
+
+#: Paper serial P&R minutes (τ=1 columns of Tables III and IV).
+PAPER_SERIAL = {
+    "soc_1": 89.0,
+    "soc_2": 181.0,
+    "soc_3": 158.0,
+    "soc_4": 163.0,
+    "soc_a": 192.0,
+    "soc_b": 135.0,
+    "soc_c": 167.0,
+    "soc_d": 142.0,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_WINNERS))
+def test_paper_winner_beats_serial_or_is_serial(name, all_paper_socs):
+    """The strategy the paper chose must beat the serial estimate (or
+    be the serial estimate for Class 1.1 designs)."""
+    metrics = compute_metrics(all_paper_socs[name])
+    model = CALIBRATED_MODEL
+    winner = PAPER_WINNERS[name]
+    serial = model.estimate_par_total(metrics, ImplementationStrategy.SERIAL)
+    winning = model.estimate_par_total(metrics, winner, tau=2)
+    if winner is ImplementationStrategy.SERIAL:
+        semi = model.estimate_par_total(metrics, ImplementationStrategy.SEMI_PARALLEL, tau=2)
+        fully = model.estimate_par_total(metrics, ImplementationStrategy.FULLY_PARALLEL)
+        assert serial < min(semi, fully), f"{name}: serial must win"
+    else:
+        assert winning < serial, f"{name}: {winner.value} must beat serial"
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_SERIAL))
+def test_serial_magnitude_within_error_band(name, all_paper_socs):
+    """Serial estimates stay within +-45% of the paper's measurements.
+
+    The band is wide because the source data itself is inconsistent
+    (Vivado reruns of identical designs differ by ~30% in the paper);
+    the calibration prioritizes preserving the winners.
+    """
+    metrics = compute_metrics(all_paper_socs[name])
+    estimate = CALIBRATED_MODEL.estimate_par_total(
+        metrics, ImplementationStrategy.SERIAL
+    )
+    assert estimate == pytest.approx(PAPER_SERIAL[name], rel=0.45)
+
+
+def test_static_par_magnitudes(all_paper_socs):
+    """t_static at the two published static sizes (~82k and ~39k LUTs)."""
+    model = CALIBRATED_MODEL
+    # Published observations cluster at 75..98 min (82k) and 42..48 (39k).
+    big = model.static_par_minutes(82.27)
+    small = model.static_par_minutes(39.25)
+    assert 75 <= big <= 98
+    assert 40 <= small <= 50
+
+
+def test_omega_magnitudes():
+    """Ω at published group sizes stays within the observation spread."""
+    model = CALIBRATED_MODEL
+    # Single MAC tile (~2.9k): paper 18 min at τ=16.
+    assert model.context_par_minutes(2.87) == pytest.approx(18.0, rel=0.35)
+    # Conv2d alone (~37k): paper 58 (SOC_2 τ=4) and 52 (SOC_3 τ=3).
+    assert model.context_par_minutes(37.16) == pytest.approx(55.0, rel=0.25)

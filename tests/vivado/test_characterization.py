@@ -1,0 +1,92 @@
+"""Tests for the characterization harness."""
+
+import pytest
+
+from repro.core.classes import classify
+from repro.core.metrics import compute_metrics
+from repro.errors import ConfigurationError
+from repro.vivado.characterization import (
+    Characterizer,
+    characterization_design,
+    default_design_space,
+    synthetic_accelerator,
+)
+from repro.vivado.runtime_model import JobKind
+
+
+class TestDesignGeneration:
+    def test_synthetic_accelerator_scales(self):
+        small = synthetic_accelerator("a", 2_000)
+        large = synthetic_accelerator("b", 40_000)
+        assert large.resources.bram > small.resources.bram
+        assert large.luts == 40_000
+
+    def test_design_has_one_rp_per_tile_size(self):
+        config = characterization_design("chz", [5_000, 10_000, 15_000])
+        assert len(config.reconfigurable_tiles) == 3
+        assert config.reconfigurable_luts() == [
+            5_420,
+            10_420,
+            15_420,
+        ]  # + wrapper overhead
+
+    def test_host_cpu_variant(self):
+        config = characterization_design("chz", [5_000], host_cpu=True)
+        assert any(t.host_cpu for t in config.reconfigurable_tiles)
+        from repro.soc.tiles import TileKind
+
+        assert not config.tiles_of_kind(TileKind.CPU)
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(ConfigurationError):
+            characterization_design("chz", [])
+
+    def test_default_space_covers_the_four_classes(self):
+        classes = set()
+        for config in default_design_space():
+            classes.add(classify(compute_metrics(config)).design_class.value)
+        assert classes == {"1.1", "1.2", "1.3", "2.1"}
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def run(self):
+        configs = [
+            characterization_design("tiny_11", [3_000] * 4),
+            characterization_design("tiny_12", [30_000, 34_000, 28_000]),
+        ]
+        return Characterizer().sweep(configs)
+
+    def test_all_taus_measured(self, run):
+        taus_11 = sorted(p.tau for p in run.points if p.design == "tiny_11")
+        assert taus_11 == [1, 2, 3, 4]
+
+    def test_class_11_prefers_serial(self, run):
+        assert run.best_tau("tiny_11") == 1
+
+    def test_class_12_prefers_parallel(self, run):
+        assert run.best_tau("tiny_12") > 1
+
+    def test_best_tau_unknown_design(self, run):
+        with pytest.raises(ConfigurationError):
+            run.best_tau("ghost")
+
+    def test_observations_extracted(self, run):
+        obs = run.observations()
+        assert obs[JobKind.SERIAL_DPR_PAR]  # one per design
+        assert obs[JobKind.STATIC_PAR]
+        assert obs[JobKind.CONTEXT_PAR]
+
+    def test_refit_produces_consistent_model(self, run):
+        model = Characterizer().refit(run)
+        # The refit curves must reproduce the sweep's own measurements
+        # closely (the data came from curves of the same family).
+        for kluts, minutes in run.observations()[JobKind.CONTEXT_PAR]:
+            assert model.context_par_minutes(kluts) == pytest.approx(
+                minutes, rel=0.15
+            )
+
+    def test_max_tau_cap(self):
+        config = characterization_design("capped", [3_000] * 6)
+        points = Characterizer().sweep([config], max_tau=3).points
+        assert sorted({p.tau for p in points}) == [1, 2, 3]

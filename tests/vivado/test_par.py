@@ -1,0 +1,128 @@
+"""Tests for the simulated place-and-route engine."""
+
+import pytest
+
+from repro.errors import ImplementationError
+from repro.fabric.parts import vc707
+from repro.fabric.pblock import Pblock
+from repro.fabric.resources import ResourceVector
+from repro.vivado.checkpoint import NetlistCheckpoint
+from repro.vivado.par import ParEngine, ParMode
+
+
+@pytest.fixture
+def engine():
+    return ParEngine()
+
+
+@pytest.fixture
+def device():
+    return vc707()
+
+
+def static_netlist(kluts=80.0, boxes=("rp0",)):
+    return NetlistCheckpoint(design="static", kluts=kluts, ooc=True, black_boxes=boxes)
+
+
+def rp_netlist(name="rp0", kluts=30.0):
+    return NetlistCheckpoint(design=name, kluts=kluts, ooc=True)
+
+
+def legal_pblock(name="pblock_rp0"):
+    return Pblock(name, col_lo=0, col_hi=30, row_lo=0, row_hi=3)
+
+
+class TestStaticRun:
+    def test_produces_locked_checkpoint(self, engine, device):
+        result = engine.run_static(
+            static_netlist(), device, [legal_pblock()], [ResourceVector(lut=1000)]
+        )
+        assert result.checkpoint.locked_static
+        assert result.cpu_minutes > 0
+
+    def test_pblock_count_must_match_black_boxes(self, engine, device):
+        with pytest.raises(ImplementationError, match="black"):
+            engine.run_static(static_netlist(), device, [], [])
+
+    def test_demand_count_must_match(self, engine, device):
+        with pytest.raises(ImplementationError, match="demand"):
+            engine.run_static(static_netlist(), device, [legal_pblock()], [])
+
+    def test_illegal_pblock_rejected(self, engine, device):
+        clk = device.forbidden_columns()[0]
+        bad = Pblock("pblock_rp0", clk, clk, 0, 0)
+        with pytest.raises(ImplementationError, match="illegal pblock"):
+            engine.run_static(static_netlist(), device, [bad], [ResourceVector(lut=1)])
+
+
+class TestInContextRun:
+    def make_static(self, engine, device):
+        return engine.run_static(
+            static_netlist(), device, [legal_pblock()], [ResourceVector(lut=1000)]
+        ).checkpoint
+
+    def test_requires_locked_static(self, engine, device):
+        unlocked = self.make_static(engine, device)
+        object.__setattr__(unlocked, "locked_static", False)
+        with pytest.raises(ImplementationError, match="locked"):
+            engine.run_in_context(unlocked, [rp_netlist()], ["pblock_rp0"])
+
+    def test_empty_group_rejected(self, engine, device):
+        routed = self.make_static(engine, device)
+        with pytest.raises(ImplementationError, match="empty group"):
+            engine.run_in_context(routed, [], [])
+
+    def test_non_ooc_member_rejected(self, engine, device):
+        routed = self.make_static(engine, device)
+        bad = NetlistCheckpoint(design="x", kluts=1.0, ooc=False)
+        with pytest.raises(ImplementationError, match="OoC"):
+            engine.run_in_context(routed, [bad], ["pblock_rp0"])
+
+    def test_unknown_pblock_rejected(self, engine, device):
+        routed = self.make_static(engine, device)
+        with pytest.raises(ImplementationError, match="unknown target"):
+            engine.run_in_context(routed, [rp_netlist()], ["nope"])
+
+    def test_group_cost_scales_with_group_size(self, engine, device):
+        routed = self.make_static(engine, device)
+        one = engine.run_in_context(routed, [rp_netlist(kluts=10)], ["pblock_rp0"])
+        two = engine.run_in_context(
+            routed,
+            [rp_netlist("a", 10), rp_netlist("b", 10)],
+            ["pblock_rp0", "pblock_rp0"],
+        )
+        assert two.cpu_minutes > one.cpu_minutes
+
+
+class TestFullRun:
+    def test_serial_charges_weighted_curve(self, engine, device):
+        result = engine.run_full(
+            static_netlist(boxes=("rp0",)),
+            [rp_netlist(kluts=50.0)],
+            device,
+            [legal_pblock()],
+            [ResourceVector(lut=1000)],
+            mode=ParMode.FULL_SERIAL,
+        )
+        expected = engine.model.serial_par_minutes(80.0, 50.0)
+        assert result.cpu_minutes == pytest.approx(expected)
+
+    def test_monolithic_charges_total_curve(self, engine, device):
+        result = engine.run_full(
+            NetlistCheckpoint(design="g", kluts=130.0, ooc=False),
+            [],
+            device,
+            [legal_pblock()],
+            [ResourceVector(lut=1000)],
+            mode=ParMode.MONOLITHIC,
+        )
+        from repro.vivado.runtime_model import JobKind
+
+        expected = engine.model.job_minutes(JobKind.MONO_DPR_PAR, 130.0)
+        assert result.cpu_minutes == pytest.approx(expected)
+
+    def test_wrong_mode_rejected(self, engine, device):
+        with pytest.raises(ImplementationError):
+            engine.run_full(
+                static_netlist(), [], device, [], [], mode=ParMode.IN_CONTEXT
+            )

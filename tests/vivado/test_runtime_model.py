@@ -1,0 +1,111 @@
+"""Tests for the calibrated runtime model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import metrics_from_sizes
+from repro.core.strategy import ImplementationStrategy
+from repro.errors import ImplementationError
+from repro.vivado.runtime_model import (
+    CALIBRATED_MODEL,
+    JobKind,
+    RuntimeCurve,
+    RuntimeModel,
+    fit_runtime_curve,
+)
+
+
+class TestRuntimeCurve:
+    def test_minutes_formula(self):
+        curve = RuntimeCurve(c=10.0, a=2.0, p=1.0)
+        assert curve.minutes(5.0) == pytest.approx(20.0)
+
+    def test_seconds_conversion(self):
+        curve = RuntimeCurve(c=0.0, a=1.0, p=1.0)
+        assert curve.seconds(2.0) == pytest.approx(120.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ImplementationError):
+            RuntimeCurve(c=0, a=1, p=1).minutes(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=500.0), st.floats(min_value=0.0, max_value=500.0))
+    def test_monotonicity(self, a, b):
+        curve = CALIBRATED_MODEL.curves[JobKind.CONTEXT_PAR]
+        lo, hi = sorted((a, b))
+        assert curve.minutes(lo) <= curve.minutes(hi) + 1e-9
+
+
+class TestModelConstruction:
+    def test_missing_curve_rejected(self):
+        with pytest.raises(ImplementationError, match="missing curves"):
+            RuntimeModel({JobKind.OOC_SYNTH: RuntimeCurve(0, 1, 1)})
+
+    def test_low_reconf_weight_rejected(self):
+        with pytest.raises(ImplementationError):
+            RuntimeModel(dict(CALIBRATED_MODEL.curves), reconf_weight=0.5)
+
+
+class TestStrategyEstimates:
+    def metrics(self):
+        # SOC_2-like: static 82k, four RPs.
+        return metrics_from_sizes(82270, [37161, 34110, 31037, 20888], 302400)
+
+    def test_serial_uses_weighted_reconf(self):
+        model = CALIBRATED_MODEL
+        metrics = self.metrics()
+        serial = model.estimate_par_total(metrics, ImplementationStrategy.SERIAL)
+        unweighted = model.curves[JobKind.SERIAL_DPR_PAR].minutes(
+            (metrics.static_luts + metrics.total_rp_luts) / 1000.0
+        )
+        assert serial > unweighted  # weight > 1 inflates the effective size
+
+    def test_fully_parallel_is_static_plus_max_omega(self):
+        model = CALIBRATED_MODEL
+        metrics = self.metrics()
+        fully = model.estimate_par_total(metrics, ImplementationStrategy.FULLY_PARALLEL)
+        expected = model.static_par_minutes(82.27) + model.context_par_minutes(37.161)
+        assert fully == pytest.approx(expected)
+
+    def test_semi_parallel_uses_lpt_groups(self):
+        model = CALIBRATED_MODEL
+        metrics = self.metrics()
+        semi = model.estimate_par_total(
+            metrics, ImplementationStrategy.SEMI_PARALLEL, tau=2
+        )
+        # LPT for [37.2, 34.1, 31.0, 20.9] at tau=2: {37.2+20.9}, {34.1+31.0}
+        expected = model.static_par_minutes(82.27) + model.context_par_minutes(
+            34.110 + 31.037
+        )
+        assert semi == pytest.approx(expected, rel=1e-3)
+
+    def test_semi_never_faster_than_fully_under_monotone_omega(self):
+        model = CALIBRATED_MODEL
+        metrics = self.metrics()
+        semi = model.estimate_par_total(metrics, ImplementationStrategy.SEMI_PARALLEL)
+        fully = model.estimate_par_total(metrics, ImplementationStrategy.FULLY_PARALLEL)
+        assert fully <= semi
+
+    def test_estimator_adapter(self):
+        estimate = CALIBRATED_MODEL.strategy_estimator(tau=2)
+        metrics = self.metrics()
+        assert estimate(metrics, ImplementationStrategy.SERIAL) == pytest.approx(
+            CALIBRATED_MODEL.estimate_par_total(metrics, ImplementationStrategy.SERIAL)
+        )
+
+
+class TestFitting:
+    def test_fit_recovers_affine_data(self):
+        curve = fit_runtime_curve([(10, 25), (20, 45)])
+        assert curve.p == 1.0
+        assert curve.minutes(15) == pytest.approx(35.0, rel=0.05)
+
+    def test_fit_power_law(self):
+        truth = RuntimeCurve(c=5.0, a=0.5, p=1.3)
+        data = [(l, truth.minutes(l)) for l in (10, 40, 80, 160, 300)]
+        fitted = fit_runtime_curve(data)
+        for l, t in data:
+            assert fitted.minutes(l) == pytest.approx(t, rel=0.05)
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ImplementationError):
+            fit_runtime_curve([])

@@ -1,0 +1,115 @@
+"""Tests for the multi-instance job scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FlowError
+from repro.vivado.server import ScheduleResult, ToolJob, VivadoServer
+
+
+class TestBasics:
+    def test_single_job(self):
+        result = VivadoServer(4).schedule([ToolJob("a", 10.0)])
+        assert result.makespan_minutes == 10.0
+        assert result.instances_used == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(FlowError):
+            VivadoServer(1).schedule([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FlowError, match="unique"):
+            VivadoServer(1).schedule([ToolJob("a", 1.0), ToolJob("a", 2.0)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(FlowError, match="unknown"):
+            VivadoServer(1).schedule([ToolJob("a", 1.0, depends_on=("ghost",))])
+
+    def test_cycle_detected(self):
+        jobs = [
+            ToolJob("a", 1.0, depends_on=("b",)),
+            ToolJob("b", 1.0, depends_on=("a",)),
+        ]
+        with pytest.raises(FlowError, match="cycle"):
+            VivadoServer(2).schedule(jobs)
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(FlowError):
+            VivadoServer(0)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(FlowError):
+            ToolJob("a", -1.0)
+
+
+class TestParallelism:
+    def test_parallel_jobs_overlap(self):
+        jobs = [ToolJob(f"j{i}", 10.0) for i in range(4)]
+        result = VivadoServer(4).schedule(jobs)
+        assert result.makespan_minutes == 10.0
+        assert result.instances_used == 4
+
+    def test_serial_on_one_instance(self):
+        jobs = [ToolJob(f"j{i}", 10.0) for i in range(4)]
+        result = VivadoServer(1).schedule(jobs)
+        assert result.makespan_minutes == 40.0
+
+    def test_lpt_packs_two_instances(self):
+        jobs = [ToolJob("big", 30.0), ToolJob("m1", 20.0), ToolJob("m2", 10.0)]
+        result = VivadoServer(2).schedule(jobs)
+        assert result.makespan_minutes == 30.0
+
+    def test_dependency_sequences(self):
+        jobs = [
+            ToolJob("static", 50.0),
+            ToolJob("ctx1", 20.0, depends_on=("static",)),
+            ToolJob("ctx2", 30.0, depends_on=("static",)),
+        ]
+        result = VivadoServer(4).schedule(jobs)
+        # t_static + max Omega: the paper's T_full structure.
+        assert result.makespan_minutes == 80.0
+        assert result.job_named("ctx1").start_minutes == 50.0
+
+    def test_job_lookup_missing(self):
+        result = VivadoServer(1).schedule([ToolJob("a", 1.0)])
+        with pytest.raises(FlowError):
+            result.job_named("b")
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_makespan_bounds(self, durations, width):
+        jobs = [ToolJob(f"j{i}", d) for i, d in enumerate(durations)]
+        result = VivadoServer(width).schedule(jobs)
+        total = sum(durations)
+        longest = max(durations)
+        assert result.makespan_minutes >= max(longest, total / width) - 1e-9
+        assert result.makespan_minutes <= total + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_no_instance_overlap(self, durations, width):
+        jobs = [ToolJob(f"j{i}", d) for i, d in enumerate(durations)]
+        result = VivadoServer(width).schedule(jobs)
+        by_instance = {}
+        for scheduled in result.jobs:
+            by_instance.setdefault(scheduled.instance, []).append(scheduled)
+        for spans in by_instance.values():
+            spans.sort(key=lambda s: s.start_minutes)
+            for a, b in zip(spans, spans[1:]):
+                assert b.start_minutes >= a.end_minutes - 1e-9
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_dependencies_respected(self, n):
+        jobs = [ToolJob("root", 5.0)] + [
+            ToolJob(f"leaf{i}", 1.0, depends_on=("root",)) for i in range(n)
+        ]
+        result = VivadoServer(4).schedule(jobs)
+        root_end = result.job_named("root").end_minutes
+        for i in range(n):
+            assert result.job_named(f"leaf{i}").start_minutes >= root_end - 1e-9

@@ -1,0 +1,87 @@
+"""Tests for the timing-closure model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ImplementationError
+from repro.flow.dpr_flow import DprFlow
+from repro.vivado.timing import (
+    SYSTEM_CLOCK_MHZ,
+    analyze_timing,
+    estimate_fmax_mhz,
+)
+
+
+class TestFmaxModel:
+    def test_trivial_block_near_base(self):
+        assert estimate_fmax_mhz(0.1, 0.1) > 150.0
+
+    def test_size_degrades_fmax(self):
+        assert estimate_fmax_mhz(50.0, 0.3) < estimate_fmax_mhz(5.0, 0.3)
+
+    def test_congestion_degrades_fmax(self):
+        assert estimate_fmax_mhz(20.0, 0.95) < estimate_fmax_mhz(20.0, 0.5)
+
+    def test_no_congestion_below_knee(self):
+        assert estimate_fmax_mhz(20.0, 0.2) == estimate_fmax_mhz(20.0, 0.55)
+
+    def test_validation(self):
+        with pytest.raises(ImplementationError):
+            estimate_fmax_mhz(-1.0, 0.5)
+        with pytest.raises(ImplementationError):
+            estimate_fmax_mhz(1.0, 1.5)
+
+    @given(
+        st.floats(min_value=0.0, max_value=300.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_fmax_positive_and_bounded(self, kluts, util):
+        fmax = estimate_fmax_mhz(kluts, util)
+        assert 0.0 < fmax <= 200.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=300.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone_in_utilization(self, kluts, u1, u2):
+        lo, hi = sorted((u1, u2))
+        assert estimate_fmax_mhz(kluts, hi) <= estimate_fmax_mhz(kluts, lo) + 1e-9
+
+
+class TestDesignTiming:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.core.designs import soc_2
+
+        return analyze_timing(DprFlow().build(soc_2()))
+
+    def test_paper_design_meets_78mhz(self, report):
+        """The paper's SoCs run at 78 MHz; the model must agree."""
+        assert report.meets_timing, [
+            (p.name, p.fmax_mhz) for p in report.violations()
+        ]
+
+    def test_one_partition_per_rp_plus_static(self, report):
+        from repro.core.designs import soc_2
+
+        assert len(report.partitions) == len(soc_2().reconfigurable_tiles) + 1
+        assert report.partitions[0].name == "static"
+
+    def test_system_fmax_is_the_minimum(self, report):
+        assert report.system_fmax_mhz == min(p.fmax_mhz for p in report.partitions)
+
+    def test_slack_sign_convention(self, report):
+        for partition in report.partitions:
+            if partition.meets(SYSTEM_CLOCK_MHZ):
+                assert partition.slack_ns >= 0
+
+    def test_all_paper_socs_close_timing(self, all_paper_socs):
+        flow = DprFlow()
+        for name, config in all_paper_socs.items():
+            report = analyze_timing(flow.build(config))
+            assert report.meets_timing, name
+
+    def test_wrong_input_rejected(self):
+        with pytest.raises(ImplementationError):
+            analyze_timing("not a flow result")

@@ -1,0 +1,71 @@
+"""Tests for the reconstructed WAMI accelerator profiles."""
+
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.errors import ConfigurationError
+from repro.wami.accelerators import (
+    WAMI_ACCELERATORS,
+    WamiAcceleratorProfile,
+    wami_accelerator,
+    wami_catalog,
+    wami_ips,
+)
+from repro.wami.graph import WamiStage
+
+
+class TestProfiles:
+    def test_every_stage_has_a_profile(self):
+        assert set(WAMI_ACCELERATORS) == set(WamiStage)
+
+    def test_lookup_by_index_and_stage(self):
+        assert wami_accelerator(8) is wami_accelerator(WamiStage.HESSIAN)
+
+    def test_speedup_is_reasonable(self):
+        for profile in WAMI_ACCELERATORS.values():
+            assert 5.0 <= profile.speedup < 50.0
+
+    def test_software_slower_than_hardware_enforced(self):
+        with pytest.raises(ConfigurationError, match="implausible"):
+            WamiAcceleratorProfile(
+                stage=WamiStage.DEBAYER,
+                luts=1000,
+                bram=1,
+                dsp=1,
+                exec_time_s=1.0,
+                sw_time_s=0.5,
+                dynamic_power_w=0.5,
+            )
+
+    def test_as_ip_preserves_name_and_size(self):
+        profile = wami_accelerator(WamiStage.WARP)
+        ip = profile.as_ip()
+        assert ip.name == "warp"
+        assert ip.luts == profile.luts
+
+    def test_catalog_keys(self):
+        catalog = wami_catalog()
+        assert set(catalog) == {s.kernel_name for s in WamiStage}
+
+    def test_wami_ips_order(self):
+        ips = wami_ips([4, 8, 10, 9])
+        assert [ip.name for ip in ips] == ["warp", "hessian", "lk_flow", "matrix_solve"]
+
+
+class TestReconstructionConstraints:
+    """The LUT sizes were solved against Table IV's published metrics;
+    these tests pin the solution."""
+
+    def test_soc_a_class_metrics(self, all_paper_socs):
+        m = compute_metrics(all_paper_socs["soc_a"])
+        assert m.alpha_av * 100 == pytest.approx(9.2, abs=0.6)
+        assert m.gamma == pytest.approx(1.26, abs=0.12)
+
+    def test_soc_b_class_metrics(self, all_paper_socs):
+        m = compute_metrics(all_paper_socs["soc_b"])
+        assert m.alpha_av * 100 == pytest.approx(4.5, abs=0.6)
+        assert m.gamma == pytest.approx(0.6, abs=0.1)
+
+    def test_total_hw_time_is_tens_of_ms(self):
+        total = sum(p.exec_time_s for p in WAMI_ACCELERATORS.values())
+        assert 0.05 < total < 0.15  # ~85 ms of accelerator work per frame

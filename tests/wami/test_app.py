@@ -1,0 +1,108 @@
+"""Tests for the WAMI application driver (golden run + SoC lowering)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wami.app import WamiApplication
+from repro.wami.data import synthetic_bayer_sequence
+from repro.wami.graph import WAMI_GRAPH, WamiStage
+
+
+@pytest.fixture(scope="module")
+def app():
+    return WamiApplication()
+
+
+class TestGoldenRun:
+    def test_processes_all_frames(self, app):
+        frames, _, _ = synthetic_bayer_sequence(num_frames=3, size=32, num_movers=0)
+        result = app.golden_run(frames, lk_iterations=10)
+        assert result.num_frames == 3
+        assert len(result.masks) == 3
+
+    def test_registration_tracks_ground_truth(self, app):
+        frames, truth, _ = synthetic_bayer_sequence(
+            num_frames=3, size=48, drift_px_per_frame=1.0, num_movers=0, seed=12
+        )
+        result = app.golden_run(frames, lk_iterations=40)
+        # Translation components of the recovered warps track the truth.
+        for estimated, expected in zip(result.params[1:], truth[1:]):
+            assert np.abs(estimated[4:] - expected[4:]).max() < 0.5
+
+    def test_movers_flagged(self, app):
+        frames, _, movers = synthetic_bayer_sequence(
+            num_frames=4, size=48, drift_px_per_frame=0.5, num_movers=2, seed=2
+        )
+        result = app.golden_run(frames, lk_iterations=30)
+        # At least one late-frame mover position lands in the mask.
+        late = [m for m in movers if m.frame_index >= 2]
+        hits = 0
+        for truth in late:
+            mask = result.masks[truth.frame_index]
+            r, c = int(truth.row), int(truth.col)
+            window = mask[max(0, r - 2) : r + 3, max(0, c - 2) : c + 3]
+            hits += bool(window.any())
+        assert hits >= max(1, len(late) // 2)
+
+    def test_empty_input_rejected(self, app):
+        with pytest.raises(ConfigurationError):
+            app.golden_run([])
+
+
+class TestSocLowering:
+    def test_tasks_cover_every_stage(self, app, socy):
+        tasks = app.tasks_for_soc(socy)
+        assert {t.name for t in tasks} == {s.kernel_name for s in WamiStage}
+
+    def test_dependencies_mirror_graph(self, app, socy):
+        tasks = {t.name: t for t in app.tasks_for_soc(socy)}
+        for stage in WamiStage:
+            deps = set(tasks[stage.kernel_name].deps)
+            expected = {p.kernel_name for p in WAMI_GRAPH.predecessors(stage)}
+            assert deps == expected
+
+    def test_unmapped_stages_fall_back_to_software(self, app, socy):
+        tasks = {t.name: t for t in app.tasks_for_soc(socy)}
+        software = app.software_stages(socy)
+        # SoC_Y (Table VI) leaves subtract and interp unmapped.
+        assert WamiStage.SUBTRACT in software
+        assert WamiStage.INTERP in software
+        for stage in software:
+            task = tasks[stage.kernel_name]
+            assert task.tile_name is None
+            assert task.duration_s == app.profiles[stage].sw_time_s
+
+    def test_mapped_stages_use_hw_times(self, app, socy):
+        tasks = {t.name: t for t in app.tasks_for_soc(socy)}
+        placement = app.tile_of_stage(socy)
+        for stage, tile in placement.items():
+            if tile is not None:
+                assert tasks[stage.kernel_name].duration_s == app.profiles[stage].exec_time_s
+
+    def test_duplicate_mapping_rejected(self, app):
+        from repro.soc.config import SocConfig
+        from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
+        from repro.wami.accelerators import wami_ips
+
+        cfg = SocConfig.assemble(
+            "dup",
+            "vc707",
+            2,
+            3,
+            [
+                Tile(kind=TileKind.CPU, name="cpu0"),
+                Tile(kind=TileKind.MEM, name="mem0"),
+                Tile(kind=TileKind.AUX, name="aux0"),
+                ReconfigurableTile(name="rt0", modes=wami_ips([1])),
+                ReconfigurableTile(name="rt1", modes=wami_ips([1])),
+            ],
+        )
+        with pytest.raises(ConfigurationError, match="two tiles"):
+            app.tile_of_stage(cfg)
+
+    def test_mode_power_and_task_modes(self, app):
+        power = app.mode_power_w()
+        modes = app.task_modes()
+        assert set(power) == set(modes)
+        assert all(p > 0 for p in power.values())

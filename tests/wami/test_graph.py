@@ -1,0 +1,85 @@
+"""Tests for the WAMI dataflow graph."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wami.graph import WAMI_EDGES, WAMI_GRAPH, WamiGraph, WamiStage
+
+
+class TestStages:
+    def test_twelve_stages(self):
+        assert len(WamiStage) == 12
+
+    def test_indexes_are_1_to_12(self):
+        assert sorted(s.value for s in WamiStage) == list(range(1, 13))
+
+    def test_from_index(self):
+        assert WamiStage.from_index(1) is WamiStage.DEBAYER
+        assert WamiStage.from_index(12) is WamiStage.CHANGE_DETECTION
+
+    def test_from_index_invalid(self):
+        with pytest.raises(ConfigurationError):
+            WamiStage.from_index(13)
+
+    def test_kernel_names_are_lowercase(self):
+        for stage in WamiStage:
+            assert stage.kernel_name == stage.kernel_name.lower()
+
+
+class TestGraphStructure:
+    def test_acyclic(self):
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(WAMI_GRAPH.graph)
+
+    def test_debayer_is_the_source(self):
+        assert WAMI_GRAPH.predecessors(WamiStage.DEBAYER) == []
+
+    def test_change_detection_is_the_sink(self):
+        assert WAMI_GRAPH.successors(WamiStage.CHANGE_DETECTION) == []
+
+    def test_all_stages_connected(self):
+        import networkx as nx
+
+        assert nx.is_weakly_connected(WAMI_GRAPH.graph)
+
+    def test_topological_order_respects_edges(self):
+        order = WAMI_GRAPH.topological_order()
+        position = {stage: i for i, stage in enumerate(order)}
+        for src, dst in WAMI_EDGES:
+            assert position[src] < position[dst]
+
+    def test_cycle_rejected(self):
+        edges = list(WAMI_EDGES) + [(WamiStage.CHANGE_DETECTION, WamiStage.DEBAYER)]
+        with pytest.raises(ConfigurationError, match="acyclic"):
+            WamiGraph(edges)
+
+
+class TestScheduling:
+    def test_levels_partition_all_stages(self):
+        levels = WAMI_GRAPH.levels()
+        flattened = [s for level in levels for s in level]
+        assert sorted(flattened, key=lambda s: s.value) == sorted(
+            WamiStage, key=lambda s: s.value
+        )
+
+    def test_level_zero_is_debayer(self):
+        assert WAMI_GRAPH.levels()[0] == [WamiStage.DEBAYER]
+
+    def test_max_width_is_two(self):
+        """The LK decomposition yields a width-2 DAG — the structural
+        reason SoC_Z's four tiles do not scale linearly (Fig. 4)."""
+        assert WAMI_GRAPH.max_width() == 2
+
+    def test_critical_path_under_unit_weights(self):
+        path, length = WAMI_GRAPH.critical_path({s: 1.0 for s in WamiStage})
+        assert path[0] is WamiStage.DEBAYER
+        assert path[-1] is WamiStage.CHANGE_DETECTION
+        assert length == len(path)
+
+    def test_critical_path_tracks_weights(self):
+        weights = {s: 1.0 for s in WamiStage}
+        weights[WamiStage.HESSIAN] = 100.0
+        path, length = WAMI_GRAPH.critical_path(weights)
+        assert WamiStage.HESSIAN in path
+        assert length > 100.0

@@ -1,0 +1,139 @@
+"""Hypothesis property tests for the WAMI kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.wami.kernels import (
+    GmmState,
+    change_detection,
+    debayer,
+    gradient,
+    grayscale,
+    hessian,
+    matrix_solve,
+    sd_update,
+    steepest_descent,
+    subtract,
+    warp,
+)
+
+
+def images(min_side=8, max_side=24):
+    side = st.integers(min_side // 2, max_side // 2).map(lambda h: 2 * h)
+    return side.flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=(n, n),
+            elements=st.floats(min_value=0.0, max_value=255.0, width=64),
+        )
+    )
+
+
+class TestDebayerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(images())
+    def test_output_within_input_hull(self, bayer):
+        rgb = debayer(bayer)
+        assert rgb.min() >= bayer.min() - 1e-9
+        assert rgb.max() <= bayer.max() + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(images(), st.floats(min_value=0.1, max_value=4.0))
+    def test_linearity_under_scaling(self, bayer, scale):
+        scaled = debayer(bayer * scale)
+        assert np.allclose(scaled, debayer(bayer) * scale, atol=1e-6)
+
+
+class TestGrayscaleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(images())
+    def test_gray_of_gray_stack_is_identity(self, img):
+        rgb = np.stack([img, img, img], axis=-1)
+        assert np.allclose(grayscale(rgb), img)
+
+    @settings(max_examples=30, deadline=None)
+    @given(images())
+    def test_range_preserved(self, img):
+        rgb = np.stack([img, img, img], axis=-1)
+        gray = grayscale(rgb)
+        assert gray.min() >= img.min() - 1e-9
+        assert gray.max() <= img.max() + 1e-9
+
+
+class TestWarpProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(images())
+    def test_identity_warp(self, img):
+        assert np.allclose(warp(img, np.zeros(6)), img)
+
+    @settings(max_examples=30, deadline=None)
+    @given(images())
+    def test_output_within_hull(self, img):
+        p = np.array([0.01, -0.01, 0.02, 0.01, 1.5, -2.0])
+        out = warp(img, p)
+        assert out.min() >= img.min() - 1e-9
+        assert out.max() <= img.max() + 1e-9
+
+
+class TestLinearKernelsProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(images())
+    def test_gradient_of_constant_is_zero(self, img):
+        constant = np.full_like(img, float(img.flat[0]))
+        gx, gy = gradient(constant)
+        assert np.allclose(gx, 0.0) and np.allclose(gy, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(images())
+    def test_subtract_antisymmetric(self, img):
+        other = img[::-1, ::-1].copy()
+        assert np.allclose(subtract(img, other), -subtract(other, img))
+
+    @settings(max_examples=20, deadline=None)
+    @given(images())
+    def test_hessian_psd_for_any_image(self, img):
+        gx, gy = gradient(img)
+        H = hessian(steepest_descent(gx, gy))
+        eigenvalues = np.linalg.eigvalsh(H)
+        assert eigenvalues.min() >= -1e-6 * max(abs(eigenvalues.max()), 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(images())
+    def test_sd_update_of_zero_error_is_zero(self, img):
+        gx, gy = gradient(img)
+        sd = steepest_descent(gx, gy)
+        rhs = sd_update(sd, np.zeros_like(img))
+        assert np.allclose(rhs, 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matrix_solve_residual_small(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(6, 6))
+        H = m @ m.T + 0.5 * np.eye(6)
+        b = rng.normal(size=6)
+        x = matrix_solve(H, b)
+        assert np.linalg.norm(H @ x - b) < 1e-6 * max(np.linalg.norm(b), 1.0)
+
+
+class TestGmmProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(images(min_side=8, max_side=16), st.integers(1, 5))
+    def test_weights_always_normalized(self, img, steps):
+        state = GmmState.initialize(img)
+        rng = np.random.default_rng(0)
+        for _ in range(steps):
+            noisy = img + rng.normal(0, 5, img.shape)
+            _, state = change_detection(noisy, state)
+            assert np.allclose(state.weights.sum(axis=0), 1.0)
+            assert (state.variances > 0).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(images(min_side=8, max_side=16))
+    def test_mask_is_boolean_and_shaped(self, img):
+        state = GmmState.initialize(img)
+        mask, _ = change_detection(img, state)
+        assert mask.dtype == bool
+        assert mask.shape == img.shape

@@ -1,0 +1,287 @@
+"""Numeric correctness tests for the WAMI kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.wami.kernels import (
+    GmmState,
+    change_detection,
+    debayer,
+    gradient,
+    grayscale,
+    hessian,
+    interp,
+    lk_flow,
+    lucas_kanade,
+    matrix_solve,
+    sd_update,
+    steepest_descent,
+    subtract,
+    warp,
+)
+
+
+def textured(size=48, seed=7):
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:size, 0:size].astype(float)
+    img = np.zeros((size, size))
+    for _ in range(12):
+        fx, fy = rng.uniform(0.02, 0.15, 2)
+        img += rng.uniform(5, 20) * np.cos(2 * np.pi * (fx * xs + fy * ys) + rng.uniform(0, 6))
+    return img - img.min()
+
+
+class TestDebayer:
+    def test_constant_image_is_preserved(self):
+        bayer = np.full((16, 16), 100.0)
+        rgb = debayer(bayer)
+        assert np.allclose(rgb, 100.0)
+
+    def test_shape(self):
+        assert debayer(np.zeros((8, 10))).shape == (8, 10, 3)
+
+    def test_known_pixels_kept_exactly(self):
+        rng = np.random.default_rng(0)
+        bayer = rng.uniform(0, 255, (16, 16))
+        rgb = debayer(bayer)
+        # RGGB: red at even/even, blue at odd/odd.
+        assert np.allclose(rgb[0::2, 0::2, 0], bayer[0::2, 0::2])
+        assert np.allclose(rgb[1::2, 1::2, 2], bayer[1::2, 1::2])
+        assert np.allclose(rgb[0::2, 1::2, 1], bayer[0::2, 1::2])
+
+    def test_odd_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            debayer(np.zeros((7, 8)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            debayer(np.zeros((4, 4, 3)))
+
+    def test_interpolation_between_known_values(self):
+        bayer = np.zeros((8, 8))
+        bayer[0::2, 0::2] = 100.0  # red plane
+        rgb = debayer(bayer)
+        # Red interpolated at a green site must lie within the hull.
+        assert 0.0 <= rgb[0, 1, 0] <= 100.0
+
+
+class TestGrayscale:
+    def test_bt601_weights(self):
+        rgb = np.zeros((2, 2, 3))
+        rgb[..., 0] = 1.0
+        assert np.allclose(grayscale(rgb), 0.299)
+
+    def test_white_is_one(self):
+        assert np.allclose(grayscale(np.ones((3, 3, 3))), 1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            grayscale(np.zeros((4, 4)))
+
+
+class TestGradient:
+    def test_linear_ramp(self):
+        ys, xs = np.mgrid[0:10, 0:10].astype(float)
+        img = 3.0 * xs + 5.0 * ys
+        gx, gy = gradient(img)
+        assert np.allclose(gx, 3.0)
+        assert np.allclose(gy, 5.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            gradient(np.zeros((2, 2, 3)))
+
+
+class TestWarp:
+    def test_identity(self):
+        img = textured()
+        assert np.allclose(warp(img, np.zeros(6)), img)
+
+    def test_integer_translation(self):
+        img = textured()
+        p = np.array([0, 0, 0, 0, 3.0, 0.0])  # sample at x+3
+        out = warp(img, p)
+        assert np.allclose(out[:, :-3], img[:, 3:])
+
+    def test_interp_matches_warp(self):
+        img = textured()
+        p = np.array([0.01, 0, 0, -0.01, 1.5, -0.5])
+        assert np.allclose(interp(img, p), warp(img, p))
+
+    def test_warp_composition_is_consistent(self):
+        """warp(img, p∘q) ≈ warp(warp(img, p), q) away from borders."""
+        img = textured(64)
+        p = np.array([0, 0, 0, 0, 2.0, 1.0])
+        q = np.array([0, 0, 0, 0, -1.0, 3.0])
+        composed = np.array([0, 0, 0, 0, 1.0, 4.0])
+        a = warp(img, composed)[8:-8, 8:-8]
+        b = warp(warp(img, p), q)[8:-8, 8:-8]
+        assert np.allclose(a, b, atol=1e-6)
+
+
+class TestLinearAlgebraKernels:
+    def test_subtract(self):
+        a, b = np.ones((3, 3)), np.full((3, 3), 0.25)
+        assert np.allclose(subtract(a, b), 0.75)
+
+    def test_subtract_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            subtract(np.ones((2, 2)), np.ones((3, 3)))
+
+    def test_steepest_descent_structure(self):
+        gx = np.ones((4, 4))
+        gy = 2.0 * np.ones((4, 4))
+        sd = steepest_descent(gx, gy)
+        assert sd.shape == (6, 4, 4)
+        assert np.allclose(sd[4], gx)
+        assert np.allclose(sd[5], gy)
+        ys, xs = np.mgrid[0:4, 0:4].astype(float)
+        assert np.allclose(sd[0], xs * gx)
+        assert np.allclose(sd[3], ys * gy)
+
+    def test_hessian_is_symmetric_psd(self):
+        img = textured()
+        gx, gy = gradient(img)
+        H = hessian(steepest_descent(gx, gy))
+        assert H.shape == (6, 6)
+        assert np.allclose(H, H.T)
+        eigenvalues = np.linalg.eigvalsh(H)
+        assert eigenvalues.min() >= -1e-6 * abs(eigenvalues.max())
+
+    def test_sd_update_matches_manual_sum(self):
+        sd = np.arange(6 * 4).reshape(6, 2, 2).astype(float)
+        error = np.array([[1.0, 2.0], [3.0, 4.0]])
+        rhs = sd_update(sd, error)
+        manual = np.array([(sd[k] * error).sum() for k in range(6)])
+        assert np.allclose(rhs, manual)
+
+    def test_matrix_solve_recovers_solution(self):
+        rng = np.random.default_rng(3)
+        m = rng.normal(size=(6, 6))
+        H = m @ m.T + np.eye(6)
+        x = rng.normal(size=6)
+        assert np.allclose(matrix_solve(H, H @ x), x, atol=1e-6)
+
+    def test_matrix_solve_validates_shape(self):
+        with pytest.raises(ValueError):
+            matrix_solve(np.eye(3), np.ones(3))
+
+    def test_lk_flow_identity_update(self):
+        p = np.array([0.01, 0.0, 0.0, -0.02, 5.0, -3.0])
+        assert np.allclose(lk_flow(p, np.zeros(6)), p)
+
+    def test_lk_flow_inverse_compositional(self):
+        """Updating by dp then extracting the matrix must equal
+        M(p) @ inv(M(dp))."""
+        from repro.wami.kernels import _params_to_matrix
+
+        p = np.array([0.02, -0.01, 0.03, 0.01, 2.0, -1.0])
+        dp = np.array([0.001, 0.002, -0.001, 0.0, 0.1, 0.2])
+        updated = lk_flow(p, dp)
+        expected = _params_to_matrix(p) @ np.linalg.inv(_params_to_matrix(dp))
+        assert np.allclose(_params_to_matrix(updated), expected)
+
+
+class TestLucasKanade:
+    @staticmethod
+    def _oracle_error(img, frame, true_p, interior):
+        """Residual of registering with the *exact* inverse parameters.
+
+        Double bilinear resampling leaves an irreducible error; LK can
+        at best match it."""
+        from repro.wami.kernels import _matrix_to_params, _params_to_matrix
+
+        p_oracle = _matrix_to_params(np.linalg.inv(_params_to_matrix(true_p)))
+        oracle = warp(frame, p_oracle)
+        return np.abs(oracle[interior] - img[interior]).mean(), p_oracle
+
+    @pytest.mark.parametrize("shift", [0.5, 1.0, 2.0])
+    def test_recovers_translation(self, shift):
+        img = textured(64, seed=11)
+        true_p = np.array([0, 0, 0, 0, shift, shift])
+        frame = warp(img, true_p)
+        interior = (slice(8, -8), slice(8, -8))
+        p = lucas_kanade(img, frame, iterations=40)
+        registered = warp(frame, p)
+        err = np.abs(registered[interior] - img[interior]).mean()
+        oracle_err, p_oracle = self._oracle_error(img, frame, true_p, interior)
+        assert err < 1.25 * oracle_err + 0.05
+        # Sub-pixel parameter accuracy on the translation components.
+        assert np.abs(p[4:] - p_oracle[4:]).max() < 0.2
+
+    def test_recovers_small_affine(self):
+        img = textured(64, seed=5)
+        true_p = np.array([0.01, -0.005, 0.008, -0.01, 1.0, -0.8])
+        frame = warp(img, true_p)
+        interior = (slice(10, -10), slice(10, -10))
+        p = lucas_kanade(img, frame, iterations=60)
+        registered = warp(frame, p)
+        err = np.abs(registered[interior] - img[interior]).mean()
+        oracle_err, _ = self._oracle_error(img, frame, true_p, interior)
+        baseline = np.abs(frame[interior] - img[interior]).mean()
+        assert err < 1.25 * oracle_err + 0.05
+        assert err < 0.4 * baseline
+
+    def test_identity_when_aligned(self):
+        img = textured(48)
+        p = lucas_kanade(img, img, iterations=5)
+        assert np.linalg.norm(p) < 1e-3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lucas_kanade(np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+class TestChangeDetection:
+    def test_static_scene_quiet(self):
+        frame = textured(32)
+        state = GmmState.initialize(frame)
+        mask = None
+        for _ in range(5):
+            mask, state = change_detection(frame, state)
+        assert mask.mean() < 0.02
+
+    def test_sudden_object_detected(self):
+        frame = textured(32)
+        state = GmmState.initialize(frame)
+        for _ in range(5):
+            _, state = change_detection(frame, state)
+        changed = frame.copy()
+        changed[10:16, 10:16] += 120.0
+        mask, _ = change_detection(changed, state)
+        assert mask[10:16, 10:16].mean() > 0.8
+        outside = mask.copy()
+        outside[8:18, 8:18] = False
+        assert outside.mean() < 0.05
+
+    def test_background_adapts_to_persistent_change(self):
+        frame = textured(32)
+        state = GmmState.initialize(frame)
+        changed = frame + 60.0
+        detections = []
+        mask = None
+        for _ in range(60):
+            mask, state = change_detection(changed, state, learning_rate=0.2)
+            detections.append(mask.mean())
+        assert detections[-1] < detections[0] or detections[-1] < 0.05
+
+    def test_weights_stay_normalized(self):
+        frame = textured(16)
+        state = GmmState.initialize(frame)
+        for _ in range(10):
+            _, state = change_detection(frame + np.random.default_rng(1).normal(0, 3, frame.shape), state)
+        assert np.allclose(state.weights.sum(axis=0), 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        state = GmmState.initialize(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            change_detection(np.zeros((4, 4)), state)
+
+    def test_functional_state_update(self):
+        frame = textured(16)
+        state = GmmState.initialize(frame)
+        before = state.means.copy()
+        change_detection(frame + 10, state)
+        assert np.allclose(state.means, before)  # input state untouched

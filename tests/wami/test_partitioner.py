@@ -1,0 +1,128 @@
+"""Tests for the automatic WAMI partitioner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.wami.graph import WamiStage
+from repro.wami.partitioner import Allocation, WamiPartitioner, soc_from_allocation
+
+
+@pytest.fixture(scope="module")
+def partitioner():
+    return WamiPartitioner()
+
+
+class TestAllocation:
+    def test_empty_tile_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            Allocation(tiles=((), (WamiStage.DEBAYER,)))
+
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            Allocation(tiles=((WamiStage.DEBAYER,), (WamiStage.DEBAYER,)))
+
+    def test_indexes_view(self):
+        allocation = Allocation(
+            tiles=((WamiStage.DEBAYER, WamiStage.WARP), (WamiStage.GRAYSCALE,))
+        )
+        assert allocation.indexes() == ((1, 4), (2,))
+
+    def test_tile_of(self):
+        allocation = Allocation(tiles=((WamiStage.DEBAYER,), (WamiStage.GRAYSCALE,)))
+        mapping = allocation.tile_of()
+        assert mapping[WamiStage.DEBAYER] == 0
+        assert mapping[WamiStage.GRAYSCALE] == 1
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("tiles", [2, 3, 4, 6])
+    def test_lpt_covers_all_stages(self, partitioner, tiles):
+        allocation = partitioner.lpt_allocation(tiles)
+        assert allocation.num_tiles == tiles
+        assert sorted(allocation.covered_stages(), key=lambda s: s.value) == sorted(
+            WamiStage, key=lambda s: s.value
+        )
+
+    @pytest.mark.parametrize("tiles", [2, 3, 4, 6])
+    def test_chain_covers_all_stages(self, partitioner, tiles):
+        allocation = partitioner.chain_allocation(tiles)
+        assert allocation.num_tiles == tiles
+        assert len(allocation.covered_stages()) == 12
+
+    def test_chain_groups_are_contiguous_in_topo_order(self, partitioner):
+        allocation = partitioner.chain_allocation(3)
+        order = partitioner.graph.topological_order()
+        position = {s: i for i, s in enumerate(order)}
+        boundaries = []
+        for group in allocation.tiles:
+            positions = sorted(position[s] for s in group)
+            assert positions == list(range(positions[0], positions[-1] + 1))
+            boundaries.append(positions[0])
+        assert boundaries == sorted(boundaries)
+
+    def test_bad_tile_count(self, partitioner):
+        with pytest.raises(ConfigurationError):
+            partitioner.lpt_allocation(0)
+        with pytest.raises(ConfigurationError):
+            partitioner.lpt_allocation(13)
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(2, 5), st.integers(0, 10_000))
+    def test_random_allocations_are_valid(self, tiles, seed):
+        partitioner = WamiPartitioner()
+        for allocation in partitioner.random_allocations(tiles, 5, seed=seed):
+            assert allocation.num_tiles == tiles
+            assert len(allocation.covered_stages()) == 12
+
+
+class TestEstimator:
+    def test_more_tiles_never_slower_for_lpt(self, partitioner):
+        t2 = partitioner.estimate_frame_time(partitioner.lpt_allocation(2))
+        t4 = partitioner.estimate_frame_time(partitioner.lpt_allocation(4))
+        assert t4 <= t2 * 1.05  # width-2 DAG saturates, but never blows up
+
+    def test_estimate_exceeds_critical_path(self, partitioner):
+        from repro.wami.graph import WAMI_GRAPH
+
+        weights = {s: partitioner.profiles[s].exec_time_s for s in WamiStage}
+        _, critical = WAMI_GRAPH.critical_path(weights)
+        estimate = partitioner.estimate_frame_time(partitioner.lpt_allocation(4))
+        assert estimate >= critical
+
+    def test_single_tile_estimate_is_serial(self, partitioner):
+        allocation = partitioner.lpt_allocation(1)
+        estimate = partitioner.estimate_frame_time(allocation)
+        total_exec = sum(p.exec_time_s for p in partitioner.profiles.values())
+        stall = partitioner.reconfig_stall_s(allocation.tiles[0])
+        assert estimate == pytest.approx(total_exec + 12 * stall, rel=0.01)
+
+    def test_best_allocation_beats_or_ties_candidates(self, partitioner):
+        best, best_time = partitioner.best_allocation(3, random_candidates=50)
+        for candidate in (
+            partitioner.lpt_allocation(3),
+            partitioner.chain_allocation(3),
+        ):
+            assert best_time <= partitioner.estimate_frame_time(candidate) + 1e-12
+
+
+class TestSocMaterialization:
+    def test_soc_from_allocation_deploys(self, partitioner):
+        from repro.core.platform import PrEspPlatform
+
+        allocation, _ = partitioner.best_allocation(3, random_candidates=20)
+        config = soc_from_allocation("auto_soc", allocation)
+        assert len(config.reconfigurable_tiles) == 3
+        report = PrEspPlatform().deploy_wami(config, frames=1)
+        assert report.seconds_per_frame > 0
+        assert not report.software_stages  # full coverage -> no sw fallback
+
+    def test_paper_allocation_round_trip(self):
+        from repro.core.designs import WAMI_TILE_ALLOCATION
+
+        groups = tuple(
+            tuple(WamiStage.from_index(i) for i in indexes)
+            for indexes in WAMI_TILE_ALLOCATION["soc_z"]
+        )
+        allocation = Allocation(tiles=groups)
+        assert allocation.indexes() == WAMI_TILE_ALLOCATION["soc_z"]

@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Fit the Vivado runtime-model curves to the paper's published timings.
+
+Observations come from:
+
+* Table III — characterization of SOC_1..SOC_4: serial runtimes,
+  static pre-route times (t_static) and in-context group times (Ω) at
+  every published τ;
+* Table IV — t_static / Ω / serial T_P&R for the WAMI SoC_A..D;
+* Table V — PR-ESP parallel synthesis, plus monolithic synthesis and
+  P&R of the standard Xilinx DPR flow.
+
+Effective design sizes (kLUT) are computed from the *library's own*
+design models (``repro.core.designs``), so the fit stays consistent
+with whatever the SoC size accounting says. Group sizes for τ-way
+parallelism use the same LPT grouping the flow uses.
+
+Output: the ``_CALIBRATED_CURVES`` block to paste into
+``repro/vivado/runtime_model.py``, plus fit residuals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.designs import (
+    soc_1,
+    soc_2,
+    soc_3,
+    soc_4,
+    wami_parallelism_socs,
+)
+from repro.flow.grouping import balanced_groups
+from repro.soc.config import SocConfig
+from repro.vivado.runtime_model import JobKind, RuntimeCurve, fit_runtime_curve
+
+
+def k_static(cfg: SocConfig) -> float:
+    return cfg.static_luts() / 1000.0
+
+
+def k_rps(cfg: SocConfig) -> List[float]:
+    return [l / 1000.0 for l in cfg.reconfigurable_luts()]
+
+
+def k_total(cfg: SocConfig) -> float:
+    return k_static(cfg) + sum(k_rps(cfg))
+
+
+def group_makespan_kluts(cfg: SocConfig, tau: int) -> float:
+    """Largest LPT group size at parallelism τ (the size driving Ω)."""
+    groups = balanced_groups(k_rps(cfg), tau, weight=lambda k: k)
+    return max(sum(g) for g in groups)
+
+
+def collect_observations() -> Dict[JobKind, List[Tuple[float, float]]]:
+    s1, s2, s3, s4 = soc_1(), soc_2(), soc_3(), soc_4()
+    wami = wami_parallelism_socs()
+    sa, sb, sc, sd = (wami[n] for n in ("soc_a", "soc_b", "soc_c", "soc_d"))
+
+    obs: Dict[JobKind, List[Tuple[float, float]]] = {k: [] for k in JobKind}
+
+    # ---- Table III: serial full-design DPR P&R (τ = 1) ----------------
+    obs[JobKind.SERIAL_DPR_PAR] += [
+        (k_total(s1), 89.0),
+        (k_total(s2), 181.0),
+        (k_total(s3), 158.0),
+        (k_total(s4), 163.0),
+    ]
+    # ---- Table IV: serial T_P&R of the WAMI SoCs ----------------------
+    obs[JobKind.SERIAL_DPR_PAR] += [
+        (k_total(sa), 192.0),
+        (k_total(sb), 135.0),
+        (k_total(sc), 167.0),
+        (k_total(sd), 142.0),
+    ]
+
+    # ---- Table III: t_static at τ >= 2 --------------------------------
+    obs[JobKind.STATIC_PAR] += [
+        (k_static(s1), 75.0),
+        (k_static(s2), 94.0),
+        (k_static(s3), 86.0),
+        (k_static(s4), 42.0),
+    ]
+    # ---- Table IV: t_static of the WAMI SoCs --------------------------
+    obs[JobKind.STATIC_PAR] += [
+        (k_static(sa), 98.0),
+        (k_static(sb), 95.0),
+        (k_static(sc), 88.0),
+        (k_static(sd), 48.0),
+    ]
+
+    # ---- Table III: Ω = T_tot - t_static at each τ ---------------------
+    # SOC_1: T_tot 110/105/97/94/93 at τ = 2/3/4/5/16, t_static = 75.
+    for tau, total in [(2, 110.0), (3, 105.0), (4, 97.0), (5, 94.0), (16, 93.0)]:
+        obs[JobKind.CONTEXT_PAR].append((group_makespan_kluts(s1, tau), total - 75.0))
+    # SOC_2: Ω published directly: 79/72/58 at τ = 2/3/4.
+    for tau, omega in [(2, 79.0), (3, 72.0), (4, 58.0)]:
+        obs[JobKind.CONTEXT_PAR].append((group_makespan_kluts(s2, tau), omega))
+    # SOC_3: 48/52 at τ = 2/3.
+    for tau, omega in [(2, 48.0), (3, 52.0)]:
+        obs[JobKind.CONTEXT_PAR].append((group_makespan_kluts(s3, tau), omega))
+    # SOC_4: 88/63/58/52 at τ = 2/3/4/5.
+    for tau, omega in [(2, 88.0), (3, 63.0), (4, 58.0), (5, 52.0)]:
+        obs[JobKind.CONTEXT_PAR].append((group_makespan_kluts(s4, tau), omega))
+    # ---- Table IV: Ω for fully-parallel and semi-parallel (τ = 2) -----
+    for cfg, omega_full, omega_semi in [
+        (sa, 52.0, 88.0),
+        (sb, 48.0, 61.0),
+        (sc, 71.0, 64.0),
+        (sd, 71.0, 83.0),
+    ]:
+        obs[JobKind.CONTEXT_PAR].append((max(k_rps(cfg)), omega_full))
+        obs[JobKind.CONTEXT_PAR].append((group_makespan_kluts(cfg, 2), omega_semi))
+
+    # ---- Table V: monolithic (standard DPR, single instance) ----------
+    obs[JobKind.MONO_DPR_PAR] += [
+        (k_total(sa), 152.0),
+        (k_total(sb), 124.0),
+        (k_total(sc), 129.0),
+        (k_total(sd), 141.0),
+    ]
+    obs[JobKind.GLOBAL_SYNTH] += [
+        (k_total(sa), 91.0),
+        (k_total(sb), 60.0),
+        (k_total(sc), 74.0),
+        (k_total(sd), 81.0),
+    ]
+    # ---- Table V: PR-ESP parallel OoC synthesis -----------------------
+    # All OoC synths run in parallel; the published number is bounded by
+    # the largest unit, which is the static part (A/B/C) or the CPU RP (D).
+    obs[JobKind.OOC_SYNTH] += [
+        (max([k_static(sa)] + k_rps(sa)), 47.0),
+        (max([k_static(sb)] + k_rps(sb)), 54.0),
+        (max([k_static(sc)] + k_rps(sc)), 42.0),
+        (max([k_static(sd)] + k_rps(sd)), 49.0),
+    ]
+    return obs
+
+
+def fit_serial_constrained(static_curve, context_curve):
+    """Fit the serial curve (a, p) plus the reconfigurable-LUT weight w
+    under *winner constraints*: for every published design, the strategy
+    the paper reports as fastest must also be the model's argmin.
+
+    The raw serial observations are mutually inconsistent as a function
+    of total size (SOC_1's 89 min at 131 kLUT vs SoC_D's 142 min at 132
+    kLUT), so the effective size weights reconfigurable LUTs by w > 1
+    and the fit minimizes least squares subject to the paper's eight
+    winner orderings (quadratic penalty).
+    """
+    import numpy as np
+    from scipy.optimize import minimize
+
+    s1, s2, s3, s4 = soc_1(), soc_2(), soc_3(), soc_4()
+    wami = wami_parallelism_socs()
+    sa, sb, sc, sd = (wami[n] for n in ("soc_a", "soc_b", "soc_c", "soc_d"))
+
+    # (config, paper serial minutes, required winner among strategies)
+    serial_points = [
+        (s1, 89.0, "serial"),
+        (s2, 181.0, "fully"),
+        (s3, 158.0, "semi"),
+        (s4, 163.0, "fully"),
+        (sa, 192.0, "fully"),
+        (sb, 135.0, "serial"),
+        (sc, 167.0, "semi"),
+        (sd, 142.0, "fully"),
+    ]
+
+    def parallel_costs(cfg):
+        rp = k_rps(cfg)
+        static = static_curve.minutes(k_static(cfg))
+        fully = static + max(context_curve.minutes(k) for k in rp)
+        semi = static + context_curve.minutes(group_makespan_kluts(cfg, 2))
+        return fully, semi
+
+    margin = 3.0  # minutes of separation required at the decision points
+
+    def objective(params):
+        a, p, w = params
+        loss = 0.0
+        for cfg, minutes, winner in serial_points:
+            eff = k_static(cfg) + w * sum(k_rps(cfg))
+            serial = a * eff**p
+            loss += (serial - minutes) ** 2
+            fully, semi = parallel_costs(cfg)
+            if winner == "serial":
+                violation = serial - (min(fully, semi) - margin)
+            else:
+                # The paper's winning strategy itself must beat serial.
+                winning = fully if winner == "fully" else semi
+                violation = (winning + margin) - serial
+            if violation > 0:
+                loss += 1e7 * violation**2
+        return loss
+
+    def count_violations(params) -> int:
+        a, p, w = params
+        bad = 0
+        for cfg, _minutes, winner in serial_points:
+            eff = k_static(cfg) + w * sum(k_rps(cfg))
+            serial = a * eff**p
+            fully, semi = parallel_costs(cfg)
+            if winner == "serial":
+                if serial >= min(fully, semi):
+                    bad += 1
+            else:
+                winning = fully if winner == "fully" else semi
+                if serial <= winning:
+                    bad += 1
+        return bad
+
+    # Grid over the weight, local optimization of (a, p) per cell; prefer
+    # fully feasible fits, then lowest loss.
+    best = None
+    for w_fixed in np.arange(1.0, 2.55, 0.05):
+        for p0 in (0.8, 1.0, 1.3, 1.7):
+            result = minimize(
+                lambda ap: objective([ap[0], ap[1], w_fixed]),
+                x0=[1.0, p0],
+                bounds=[(1e-4, 50.0), (0.5, 2.2)],
+                method="L-BFGS-B",
+            )
+            params = [result.x[0], result.x[1], w_fixed]
+            key = (count_violations(params), result.fun)
+            if best is None or key < best[0]:
+                best = (key, params)
+    (violations, _loss), (a, p, w) = best
+    if violations:
+        print(f"WARNING: {violations} winner constraints remain violated")
+    return RuntimeCurve(c=0.0, a=float(a), p=float(p)), float(w), serial_points
+
+
+def main() -> None:
+    observations = collect_observations()
+    fitted = {}
+    for kind in JobKind:
+        obs = observations[kind]
+        if obs and kind is not JobKind.SERIAL_DPR_PAR:
+            fitted[kind] = fit_runtime_curve(obs)
+
+    serial_curve, weight, serial_points = fit_serial_constrained(
+        fitted[JobKind.STATIC_PAR], fitted[JobKind.CONTEXT_PAR]
+    )
+    fitted[JobKind.SERIAL_DPR_PAR] = serial_curve
+
+    print("fitted curves (paste into repro/vivado/runtime_model.py):\n")
+    print(f"RECONF_LUT_WEIGHT = {weight:.4f}\n")
+    print("_CALIBRATED_CURVES: Dict[JobKind, RuntimeCurve] = {")
+    for kind in JobKind:
+        if kind in fitted:
+            curve = fitted[kind]
+            print(
+                f"    JobKind.{kind.name}: RuntimeCurve("
+                f"c={curve.c:.4f}, a={curve.a:.6f}, p={curve.p:.4f}),"
+            )
+        else:
+            print(f"    # JobKind.{kind.name}: no observations, kept by hand")
+    print("}\n")
+
+    print("winner verification (model minutes):")
+    static_curve = fitted[JobKind.STATIC_PAR]
+    context_curve = fitted[JobKind.CONTEXT_PAR]
+    for cfg, minutes, winner in serial_points:
+        eff = k_static(cfg) + weight * sum(k_rps(cfg))
+        serial = serial_curve.minutes(eff)
+        static = static_curve.minutes(k_static(cfg))
+        fully = static + max(context_curve.minutes(k) for k in k_rps(cfg))
+        semi = static + context_curve.minutes(group_makespan_kluts(cfg, 2))
+        times = {"serial": serial, "fully": fully, "semi": semi}
+        argmin = min(times, key=times.get)
+        ok = (
+            argmin == winner
+            or (winner in ("fully", "semi") and argmin in ("fully", "semi"))
+            and times[winner] < serial
+        )
+        print(
+            f"  {cfg.name:6s} serial={serial:6.1f} semi={semi:6.1f} "
+            f"fully={fully:6.1f}  paper_winner={winner:6s} model_argmin={argmin:6s} "
+            f"{'OK' if ok else 'VIOLATED'}  (paper serial={minutes:.0f})"
+        )
+
+    print("\nresiduals (non-serial):")
+    for kind in JobKind:
+        obs = observations[kind]
+        if not obs or kind is JobKind.SERIAL_DPR_PAR:
+            continue
+        curve = fitted[kind]
+        for kluts, minutes in obs:
+            predicted = curve.minutes(kluts)
+            print(
+                f"  {kind.value:16s} L={kluts:7.2f}k  paper={minutes:6.1f}  "
+                f"model={predicted:6.1f}  err={predicted - minutes:+6.1f}"
+            )
+
+
+if __name__ == "__main__":
+    main()
