@@ -17,6 +17,7 @@ soc_x/y/z) or a path to an ``.esp_config`` file.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional
@@ -31,8 +32,17 @@ from repro.core.platform import PrEspPlatform
 from repro.core.strategy import ImplementationStrategy, choose_strategy
 from repro.errors import PrEspError
 from repro.flow.report import comparison_report, flow_report
+from repro.obs.export import metrics_lines, write_chrome_trace
+from repro.obs.logconfig import (
+    LEVELS,
+    configure_logging,
+    level_from_verbosity,
+)
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.soc.config import SocConfig
 from repro.soc.esp_parser import load_esp_config
+from repro.soc.validation import check_design
 from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind
 from repro.wami.graph import WamiStage
 
@@ -83,18 +93,24 @@ def cmd_build(args) -> int:
         ImplementationStrategy(args.strategy) if args.strategy else None
     )
     platform = PrEspPlatform(compress_bitstreams=not args.no_compress)
+    tracer = Tracer(time_unit="min") if args.trace else NULL_TRACER
     result = platform.build(
-        config, strategy_override=strategy, with_baseline=args.baseline
+        config,
+        strategy_override=strategy,
+        with_baseline=args.baseline,
+        tracer=tracer,
     )
+    if args.trace:
+        write_chrome_trace(args.trace, tracer)
     if getattr(args, "json", False):
-        import json
-
         print(json.dumps(result.flow.to_summary_dict(), indent=2))
         return 0
     print(flow_report(result.flow))
     if result.baseline is not None:
         print()
         print(comparison_report(result.flow, result.baseline))
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -109,7 +125,17 @@ def cmd_compare(args) -> int:
 def cmd_deploy(args) -> int:
     config = resolve_config(args.config)
     platform = PrEspPlatform()
-    report = platform.deploy_wami(config, frames=args.frames)
+    want_metrics = args.metrics or args.json
+    tracer = Tracer() if args.trace else NULL_TRACER
+    registry = MetricsRegistry() if want_metrics else NULL_METRICS
+    report = platform.deploy_wami(
+        config, frames=args.frames, tracer=tracer, metrics=registry
+    )
+    if args.trace:
+        write_chrome_trace(args.trace, tracer)
+    if args.json:
+        print(json.dumps(report.to_summary_dict(registry.snapshot()), indent=2))
+        return 0
     print(f"{config.name}: {report.frames} frames")
     print(f"  frame latency : {report.seconds_per_frame * 1000:.1f} ms")
     print(f"  energy/frame  : {report.joules_per_frame:.3f} J")
@@ -117,6 +143,16 @@ def cmd_deploy(args) -> int:
     print(f"  reconfigs     : {report.reconfigurations}")
     software = ", ".join(s.kernel_name for s in report.software_stages) or "none"
     print(f"  software      : {software}")
+    if report.runtime_stats is not None:
+        print("runtime stats:")
+        for line in report.runtime_stats.summary_lines():
+            print(f"  {line}")
+    if args.metrics:
+        print("metrics:")
+        for line in metrics_lines(registry):
+            print(f"  {line}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -142,8 +178,6 @@ def cmd_profile(args) -> int:
 
 
 def cmd_check(args) -> int:
-    from repro.soc.validation import check_design
-
     config = resolve_config(args.config)
     findings = check_design(config)
     if not findings:
@@ -171,6 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PR-ESP reproduction: partially reconfigurable SoC design flow",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        help="explicit log level (overrides -v)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("designs", help="list the paper's SoC designs").set_defaults(
@@ -187,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--baseline", action="store_true", help="also run the monolithic flow")
     build.add_argument("--no-compress", action="store_true", help="disable bitstream compression")
     build.add_argument("--json", action="store_true", help="emit a JSON summary instead of the report")
+    build.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event file of the flow (CAD minutes)",
+    )
     build.set_defaults(func=cmd_build)
 
     compare = sub.add_parser("compare", help="PR-ESP vs the monolithic baseline")
@@ -196,6 +247,19 @@ def build_parser() -> argparse.ArgumentParser:
     deploy = sub.add_parser("deploy", help="run WAMI on a built SoC")
     deploy.add_argument("config", help="design name or esp_config path")
     deploy.add_argument("--frames", type=int, default=4)
+    deploy.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event file of the run (simulated seconds)",
+    )
+    deploy.add_argument(
+        "--metrics", action="store_true", help="print the metrics registry snapshot"
+    )
+    deploy.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the deployment report plus metrics as JSON",
+    )
     deploy.set_defaults(func=cmd_deploy)
 
     profile = sub.add_parser("profile", help="Fig. 3-style accelerator profile")
@@ -215,6 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level or level_from_verbosity(args.verbose))
     try:
         return args.func(args)
     except PrEspError as error:

@@ -21,6 +21,9 @@ from repro.errors import ConfigurationError
 from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.flow.monolithic import MonolithicFlow, MonolithicResult
 from repro.noc.mesh import Mesh
+from repro.obs.bridge import bridge_timeline, publish_runtime_stats
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.api import DprUserApi
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
 from repro.runtime.executor import AppExecutor, ExecutionTimeline
@@ -61,6 +64,30 @@ class WamiRunReport:
     def joules_per_frame(self) -> float:
         """Average energy per frame."""
         return self.energy.joules_per_frame
+
+    def to_summary_dict(self, metrics: Optional[Dict[str, float]] = None) -> Dict:
+        """JSON-serializable report (``repro deploy --json``).
+
+        ``metrics`` is an optional registry snapshot to embed alongside
+        the report, so the machine output carries both views of the
+        same run.
+        """
+        summary = {
+            "soc": self.config.name,
+            "frames": self.frames,
+            "seconds_per_frame": self.seconds_per_frame,
+            "joules_per_frame": self.joules_per_frame,
+            "average_power_w": self.energy.average_power_w,
+            "makespan_s": self.timeline.makespan_s,
+            "reconfigurations": self.reconfigurations,
+            "reconfiguration_time_s": self.timeline.reconfiguration_time(),
+            "software_stages": [s.kernel_name for s in self.software_stages],
+        }
+        if self.runtime_stats is not None:
+            summary["runtime"] = self.runtime_stats.to_dict()
+        if metrics is not None:
+            summary["metrics"] = metrics
+        return summary
 
 
 @dataclass
@@ -120,9 +147,16 @@ class PrEspPlatform:
         config: SocConfig,
         strategy_override: Optional[ImplementationStrategy] = None,
         with_baseline: bool = False,
+        tracer=NULL_TRACER,
     ) -> BuildResult:
-        """Compile ``config`` with the PR-ESP flow (plus baseline if asked)."""
-        flow_result = self.flow.build(config, strategy_override=strategy_override)
+        """Compile ``config`` with the PR-ESP flow (plus baseline if asked).
+
+        ``tracer`` (CAD-minute clock) receives the flow's stage and
+        tool-job spans.
+        """
+        flow_result = self.flow.build(
+            config, strategy_override=strategy_override, tracer=tracer
+        )
         baseline = self.baseline_flow.build(config) if with_baseline else None
         return BuildResult(flow=flow_result, baseline=baseline)
 
@@ -174,6 +208,8 @@ class PrEspPlatform:
         app: Optional[WamiApplication] = None,
         power_gating: bool = False,
         pipelined: bool = False,
+        tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ) -> WamiRunReport:
         """Program a built SoC and run WAMI for ``frames`` frames.
 
@@ -183,6 +219,13 @@ class PrEspPlatform:
         account charges region power only for configured windows.
         ``pipelined`` overlaps consecutive frames (an extension: the
         paper processes frames without pipelining).
+
+        ``tracer`` is bound to the DES clock (simulated seconds) and
+        receives the kernel-level protocol spans (lock-wait, decouple,
+        ICAP, exec) live plus the application-level timeline spans via
+        the lossless bridge — one merged Fig. 4 trace. ``metrics``
+        receives the manager/PRC counters and the `RuntimeStats`
+        gauges.
         """
         if frames <= 0:
             raise ConfigurationError("frames must be positive")
@@ -196,6 +239,7 @@ class PrEspPlatform:
         application = app or WamiApplication()
 
         sim = Simulator()
+        tracer.use_clock(lambda: sim.now)
         mesh = Mesh(
             rows=config.rows, cols=config.cols, clock_hz=DEPLOYMENT_CLOCK_HZ
         )
@@ -210,6 +254,8 @@ class PrEspPlatform:
             mem_position=config.position_of(mem_tile.name),
             aux_position=config.position_of(aux_tile.name),
             clock_hz=DEPLOYMENT_CLOCK_HZ,
+            tracer=tracer,
+            metrics=metrics,
             **prc_kwargs,
         )
         store = BitstreamStore()
@@ -221,7 +267,9 @@ class PrEspPlatform:
                     accelerator=profile.name, exec_time_s=profile.exec_time_s
                 )
             )
-        manager = ReconfigurationManager(sim, prc, store, registry)
+        manager = ReconfigurationManager(
+            sim, prc, store, registry, tracer=tracer, metrics=metrics
+        )
         for tile in config.reconfigurable_tiles:
             manager.attach_tile(tile.name)
 
@@ -246,6 +294,9 @@ class PrEspPlatform:
                 manager.configured_fractions() if power_gating else None
             ),
         )
+        runtime_stats = collect_stats(manager)
+        bridge_timeline(timeline, tracer)
+        publish_runtime_stats(runtime_stats, metrics)
         return WamiRunReport(
             config=config,
             frames=frames,
@@ -253,5 +304,5 @@ class PrEspPlatform:
             energy=energy,
             reconfigurations=manager.total_reconfigurations(),
             software_stages=tuple(application.software_stages(config)),
-            runtime_stats=collect_stats(manager),
+            runtime_stats=runtime_stats,
         )

@@ -23,6 +23,8 @@ from repro.core.strategy import (
 )
 from repro.errors import FlowError
 from repro.fabric.device import Device
+from repro.obs.logconfig import get_logger
+from repro.obs.tracer import NULL_TRACER
 from repro.floorplan.constraints import validate_floorplan
 from repro.floorplan.flora import Floorplan, FloraFloorplanner
 from repro.flow.blackbox import BlackBoxWrapper, generate_blackboxes
@@ -40,6 +42,8 @@ from repro.vivado.par import ParMode
 from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind, RuntimeModel
 from repro.vivado.server import ScheduleResult, ToolJob, VivadoServer
 from repro.vivado.tool import VivadoInstance
+
+logger = get_logger("flow")
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,9 @@ class FlowResult:
     bitstreams: List[Bitstream]
     stages: List[StageTrace]
     schedule: ScheduleResult
+    #: Schedule of the parallel OoC synthesis runs (None on results
+    #: produced before this field existed).
+    synth_schedule: Optional[ScheduleResult] = None
 
     @property
     def strategy(self) -> ImplementationStrategy:
@@ -160,15 +167,18 @@ class DprFlow:
         config: SocConfig,
         strategy_override: Optional[ImplementationStrategy] = None,
         semi_tau: int = 2,
+        tracer=NULL_TRACER,
     ) -> FlowResult:
         """Run the full RTL-to-bitstream flow for ``config``.
 
         ``strategy_override`` forces a P&R strategy (used by the
         evaluation to sweep all three); by default the size-driven
-        algorithm decides.
+        algorithm decides. ``tracer`` (modelled CAD minutes) receives
+        one span per Fig. 1 stage plus one per scheduled tool job.
         """
         stages: List[StageTrace] = []
         device = config.device()
+        logger.info("build %s: starting flow on %s", config.name, device.name)
 
         # -- 1. parse the SoC configuration / split the sources --------
         partition = partition_design(config)
@@ -194,7 +204,14 @@ class DprFlow:
         )
 
         # -- 3. parallel OoC synthesis ----------------------------------
-        synth_makespan, netlists, static_netlist = self._synthesize(partition)
+        synth_schedule, netlists, static_netlist = self._synthesize(partition)
+        synth_makespan = synth_schedule.makespan_minutes
+        logger.info(
+            "build %s: synthesis makespan %.1f min over %d runs",
+            config.name,
+            synth_makespan,
+            len(synth_schedule.jobs),
+        )
         stages.append(
             StageTrace(
                 stage="synthesis",
@@ -277,7 +294,7 @@ class DprFlow:
             )
         )
 
-        return FlowResult(
+        result = FlowResult(
             config=config,
             partition=partition,
             metrics=metrics,
@@ -292,12 +309,85 @@ class DprFlow:
             bitstreams=bitstreams,
             stages=stages,
             schedule=schedule,
+            synth_schedule=synth_schedule,
         )
+        logger.info(
+            "build %s: %s (tau=%d), total %.1f min",
+            config.name,
+            plan.strategy.value,
+            plan.tau,
+            result.total_minutes,
+        )
+        if tracer.enabled:
+            self._record_trace(result, tracer)
+        return result
+
+    # ------------------------------------------------------------------
+    def _record_trace(self, result: FlowResult, tracer) -> None:
+        """Project a finished build onto the tracer (CAD minutes).
+
+        The stage spans tile the ``flow/build`` track back to back
+        (zero-cost stages become instants); each scheduled tool job
+        lands on its instance's track, offset to its stage's window,
+        so every job span nests inside its stage span. Reading from
+        the same `FlowResult` the report renders keeps the trace and
+        the human report in agreement by construction.
+        """
+        root = tracer.record(
+            f"build {result.config.name}",
+            0.0,
+            result.total_minutes,
+            category="flow.build",
+            track="flow/build",
+            soc=result.config.name,
+            board=result.config.board,
+            strategy=result.strategy.value,
+            tau=result.plan.tau,
+            design_class=result.decision.design_class.value,
+            kappa=result.metrics.kappa,
+            alpha_av=result.metrics.alpha_av,
+            gamma=result.metrics.gamma,
+        )
+        offset = 0.0
+        stage_spans: Dict[str, "object"] = {}
+        for stage in result.stages:
+            stage_spans[stage.stage] = tracer.record(
+                stage.stage,
+                offset,
+                offset + stage.wall_minutes,
+                category="flow.stage",
+                track="flow/build",
+                parent=root,
+                detail=stage.detail,
+            )
+            offset += stage.wall_minutes
+
+        run_tiles = {run.name: run.rp_names for run in result.plan.runs}
+        for schedule, stage_name in (
+            (result.synth_schedule, "synthesis"),
+            (result.schedule, "implementation"),
+        ):
+            if schedule is None:
+                continue
+            stage_span = stage_spans.get(stage_name)
+            base = stage_span.start if stage_span is not None else 0.0
+            for placed in schedule.jobs:
+                tracer.record(
+                    placed.job.name,
+                    base + placed.start_minutes,
+                    base + placed.end_minutes,
+                    category="flow.job",
+                    track=f"flow/vivado{placed.instance:02d}",
+                    parent=stage_span,
+                    cpu_minutes=placed.job.cpu_minutes,
+                    stage=stage_name,
+                    tiles=list(run_tiles.get(placed.job.name, ())),
+                )
 
     # ------------------------------------------------------------------
     def _synthesize(
         self, partition: DesignPartition
-    ) -> Tuple[float, Dict[str, NetlistCheckpoint], NetlistCheckpoint]:
+    ) -> Tuple[ScheduleResult, Dict[str, NetlistCheckpoint], NetlistCheckpoint]:
         """Run the static + per-tile OoC syntheses in parallel.
 
         The static top is synthesized with the reconfigurable wrappers
@@ -318,7 +408,7 @@ class DprFlow:
             jobs.append(ToolJob(name=f"synth_{rp.name}", cpu_minutes=tool.cpu_minutes))
         server = VivadoServer(max_instances=self.max_instances)
         schedule = server.schedule(jobs)
-        return schedule.makespan_minutes, netlists, static_netlist
+        return schedule, netlists, static_netlist
 
     # ------------------------------------------------------------------
     def _write_rp_bitstreams(

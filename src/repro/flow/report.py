@@ -6,6 +6,7 @@ from typing import List, Optional
 
 from repro.flow.dpr_flow import FlowResult
 from repro.flow.monolithic import MonolithicResult
+from repro.vivado.timing import analyze_timing
 
 
 def _fmt(minutes: Optional[float]) -> str:
@@ -49,8 +50,6 @@ def flow_report(result: FlowResult) -> str:
             f"rows[{pb.row_lo},{pb.row_hi}]  util={assignment.lut_utilization:.2f}"
         )
     lines.append("")
-    from repro.vivado.timing import analyze_timing
-
     timing = analyze_timing(result)
     lines.append(
         f"timing: system Fmax {timing.system_fmax_mhz:.0f} MHz "

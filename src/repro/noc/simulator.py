@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 from repro.errors import NocError
 from repro.noc.mesh import Mesh
 from repro.noc.packet import Packet
+from repro.obs.metrics import NULL_METRICS
 
 #: A directed link on a plane: (from_pos, to_pos, plane).
 LinkKey = Tuple[Tuple[int, int], Tuple[int, int], int]
@@ -40,8 +41,9 @@ class TransferRecord:
 class NocSimulator:
     """Replays a batch of packet injections through the mesh."""
 
-    def __init__(self, mesh: Mesh) -> None:
+    def __init__(self, mesh: Mesh, metrics=NULL_METRICS) -> None:
         self.mesh = mesh
+        self.metrics = metrics
         self._link_free: Dict[LinkKey, int] = {}
         self._pending: List[Tuple[int, int, Packet]] = []  # (inject_cycle, seq, pkt)
         self._seq = 0
@@ -63,8 +65,20 @@ class NocSimulator:
     def run(self) -> List[TransferRecord]:
         """Route every injected packet; returns records in delivery order."""
         self._pending.sort()
+        packets = self.metrics.counter("noc.packets", "packets delivered")
+        flits = self.metrics.counter("noc.flits", "flits crossing the NoC")
+        payload = self.metrics.counter("noc.bytes", "payload bytes crossing the NoC")
+        latency = self.metrics.histogram(
+            "noc.latency_cycles", "end-to-end packet latency"
+        )
         for inject_cycle, _seq, packet in self._pending:
-            self.records.append(self._route(packet, inject_cycle))
+            record = self._route(packet, inject_cycle)
+            self.records.append(record)
+            plane = str(packet.plane)
+            packets.inc(plane=plane)
+            flits.inc(packet.size_flits, plane=plane)
+            payload.inc(packet.payload_bytes, plane=plane)
+            latency.observe(record.latency_cycles, plane=plane)
         self._pending.clear()
         self.records.sort(key=lambda r: r.delivered_at)
         return list(self.records)

@@ -1,0 +1,77 @@
+"""Unified observability: span tracing, metrics, logging, exporters.
+
+The reproduction's two performance stories — the flow's compile-time
+makespan (modelled CAD minutes) and the runtime manager's
+reconfiguration overhead (DES simulated seconds) — share one
+telemetry substrate. A :class:`Tracer` collects spans against an
+injected clock, a :class:`MetricsRegistry` collects labeled
+counters/gauges/histograms, and the exporters render Chrome
+trace-event JSON (Perfetto / ``chrome://tracing``), JSONL span logs
+and flat metrics dicts. ``NULL_TRACER``/``NULL_METRICS`` are the
+zero-overhead disabled paths instrumented code defaults to.
+"""
+
+from repro.obs.bridge import bridge_timeline, publish_runtime_stats
+from repro.obs.export import (
+    chrome_trace_dict,
+    chrome_trace_events,
+    chrome_trace_json,
+    metrics_dict,
+    metrics_lines,
+    span_records,
+    spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.logconfig import (
+    LEVELS,
+    configure_logging,
+    get_logger,
+    level_from_verbosity,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    TracingError,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LEVELS",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "TracingError",
+    "bridge_timeline",
+    "chrome_trace_dict",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "configure_logging",
+    "get_logger",
+    "level_from_verbosity",
+    "metrics_dict",
+    "metrics_lines",
+    "publish_runtime_stats",
+    "span_records",
+    "spans_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

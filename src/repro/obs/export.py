@@ -1,0 +1,171 @@
+"""Trace and metrics exporters.
+
+Three formats, all deterministic (stable ordering, no wall-clock or
+object-identity leakage) so that two runs of the same seeded workload
+export byte-identical files:
+
+* **Chrome trace-event JSON** — loadable in Perfetto or
+  ``chrome://tracing``. Spans become complete (``"ph": "X"``) events;
+  tracks (``"process/thread"``) map onto pid/tid pairs announced with
+  ``process_name``/``thread_name`` metadata events.
+* **JSONL** — one span object per line, for ad-hoc ``jq`` analysis.
+* **Metrics dict** — the registry snapshot, flat and JSON-ready.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.tracer import NullTracer, Span, Tracer
+
+#: Microseconds per tracer time unit.
+_US_PER_UNIT = {"s": 1e6, "min": 60e6}
+
+AnyTracer = Union[Tracer, NullTracer]
+
+
+def _split_track(track: str) -> Tuple[str, str]:
+    """``"proc/thread"`` -> (proc, thread); bare names get proc==thread."""
+    if "/" in track:
+        proc, thread = track.split("/", 1)
+        return proc, thread
+    return track, track
+
+
+def _jsonable(value) -> object:
+    """Coerce an attribute value into something JSON-serializable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def chrome_trace_events(tracer: AnyTracer) -> List[Dict]:
+    """The ``traceEvents`` list for the tracer's closed spans."""
+    spans = [s for s in tracer.spans if s.closed]
+    scale = _US_PER_UNIT[tracer.time_unit]
+
+    processes: Dict[str, int] = {}
+    threads: Dict[Tuple[str, str], int] = {}
+    for proc, thread in sorted({_split_track(s.track) for s in spans}):
+        processes.setdefault(proc, len(processes) + 1)
+        threads.setdefault((proc, thread), len(threads) + 1)
+
+    events: List[Dict] = []
+    for proc, pid in sorted(processes.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": proc},
+            }
+        )
+    for (proc, thread), tid in sorted(threads.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": processes[proc],
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    for span in spans:
+        proc, thread = _split_track(span.track)
+        args = {k: _jsonable(v) for k, v in sorted(span.attrs.items())}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": span.start * scale,
+                "dur": span.duration * scale,
+                "pid": processes[proc],
+                "tid": threads[(proc, thread)],
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace_dict(tracer: AnyTracer) -> Dict:
+    """The full Chrome trace-event document."""
+    return {
+        "displayTimeUnit": "ms",
+        "metadata": {"time_unit": tracer.time_unit, "tool": "pr-esp-repro"},
+        "traceEvents": chrome_trace_events(tracer),
+    }
+
+
+def chrome_trace_json(tracer: AnyTracer) -> str:
+    """Deterministic JSON text of the Chrome trace document."""
+    return json.dumps(chrome_trace_dict(tracer), sort_keys=True, indent=1)
+
+
+def write_chrome_trace(path: str, tracer: AnyTracer) -> None:
+    """Write the Chrome trace-event file to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(tracer))
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+def span_records(tracer: AnyTracer) -> List[Dict]:
+    """Spans as plain dicts (the JSONL rows)."""
+    records = []
+    for span in tracer.spans:
+        if not span.closed:
+            continue
+        record = {
+            "span_id": span.span_id,
+            "name": span.name,
+            "category": span.category,
+            "track": span.track,
+            "start": span.start,
+            "end": span.end,
+            "duration": span.duration,
+            "parent_id": span.parent_id,
+        }
+        if span.attrs:
+            record["attrs"] = {
+                k: _jsonable(v) for k, v in sorted(span.attrs.items())
+            }
+        records.append(record)
+    return records
+
+
+def spans_jsonl(tracer: AnyTracer) -> str:
+    """One JSON object per line, one line per closed span."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True) for record in span_records(tracer)
+    )
+
+
+def write_spans_jsonl(path: str, tracer: AnyTracer) -> None:
+    """Write the JSONL span log to ``path``."""
+    text = spans_jsonl(tracer)
+    with open(path, "w") as handle:
+        handle.write(text)
+        if text:
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+def metrics_dict(registry: Union[MetricsRegistry, NullMetricsRegistry]) -> Dict[str, float]:
+    """The registry's flat snapshot (alias with exporter naming)."""
+    return registry.snapshot()
+
+
+def metrics_lines(registry: Union[MetricsRegistry, NullMetricsRegistry]) -> List[str]:
+    """Human-readable ``name value`` lines, name-ordered."""
+    return [f"{name} {value:g}" for name, value in registry.snapshot().items()]

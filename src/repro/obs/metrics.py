@@ -1,0 +1,287 @@
+"""A small labeled-metrics registry (counters, gauges, histograms).
+
+The registry is the machine-readable counterpart of the human reports:
+`collect_stats` and `flow_report` read the same underlying records the
+instruments are fed from, so the two views cannot drift apart. The
+snapshot format is a flat, deterministically ordered dict — trivially
+JSON-serializable for ``repro deploy --json`` and CI dashboards.
+
+Labels follow the Prometheus convention: an instrument is registered
+once by name, and each distinct label combination is a separate
+series. Snapshot keys render as ``name{k=v,...}``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PrEspError
+
+
+class MetricsError(PrEspError):
+    """Misuse of the metrics API (type conflict, bad value)."""
+
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing value per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        """Add ``value`` (must be non-negative) to the labeled series."""
+        if value < 0:
+            raise MetricsError(f"counter {self.name}: negative increment {value}")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        """Current value of one labeled series (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[str, float]:
+        return {
+            _series_name(self.name, key): value
+            for key, value in self._values.items()
+        }
+
+
+class Gauge:
+    """A point-in-time value per label combination."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        """Overwrite the labeled series with ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        """Current value of one labeled series (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[str, float]:
+        return {
+            _series_name(self.name, key): value
+            for key, value in self._values.items()
+        }
+
+
+#: Default histogram buckets: wide enough for both milliseconds of
+#: reconfiguration time and tens of CAD minutes.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0
+)
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "total", "minimum", "maximum", "bucket_counts")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.bucket_counts = [0] * (num_buckets + 1)  # +1 overflow
+
+
+class Histogram:
+    """A distribution per label combination (count/sum/min/max/buckets)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise MetricsError(f"histogram {name}: needs at least one bucket")
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one sample into the labeled distribution."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        series.count += 1
+        series.total += value
+        series.minimum = value if series.minimum is None else min(series.minimum, value)
+        series.maximum = value if series.maximum is None else max(series.maximum, value)
+        series.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    def count(self, **labels) -> int:
+        """Number of samples in one labeled series."""
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels) -> float:
+        """Sum of samples in one labeled series."""
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def mean(self, **labels) -> float:
+        """Mean sample of one labeled series (0 when empty)."""
+        series = self._series.get(_label_key(labels))
+        if not series or series.count == 0:
+            return 0.0
+        return series.total / series.count
+
+    def series(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for key, series in self._series.items():
+            base = _series_name(self.name, key)
+            out[f"{base}.count"] = float(series.count)
+            out[f"{base}.sum"] = series.total
+            out[f"{base}.min"] = series.minimum if series.minimum is not None else 0.0
+            out[f"{base}.max"] = series.maximum if series.maximum is not None else 0.0
+        return out
+
+
+class MetricsRegistry:
+    """Registers and snapshots instruments.
+
+    Instrument registration is idempotent by (name, kind): asking for
+    an existing counter returns it; asking for the same name as a
+    different kind is an error.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind, *args, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise MetricsError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {kind.kind}"
+                )
+            return existing
+        instrument = kind(name, *args, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get-or-create a counter."""
+        return self._get(name, Counter, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Get-or-create a gauge."""
+        return self._get(name, Gauge, description)
+
+    def histogram(
+        self, name: str, description: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get-or-create a histogram."""
+        return self._get(name, Histogram, description, buckets)
+
+    def instruments(self) -> List[object]:
+        """All registered instruments, name-ordered."""
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{series_name: value}`` dict, deterministically ordered."""
+        flat: Dict[str, float] = {}
+        for instrument in self.instruments():
+            flat.update(instrument.series())
+        return dict(sorted(flat.items()))
+
+
+class _NullInstrument:
+    """One shared do-nothing instrument for the disabled registry."""
+
+    __slots__ = ()
+    name = "null"
+    description = ""
+    kind = "null"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0.0
+
+    def total(self) -> float:
+        return 0.0
+
+    def count(self, **labels) -> int:
+        return 0
+
+    def sum(self, **labels) -> float:
+        return 0.0
+
+    def mean(self, **labels) -> float:
+        return 0.0
+
+    def series(self) -> Dict[str, float]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: hands out one shared no-op instrument."""
+
+    enabled = False
+    __slots__ = ()
+
+    def counter(self, name: str, description: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, description: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, description: str = "", buckets=DEFAULT_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def instruments(self) -> list:
+        return []
+
+    def snapshot(self) -> Dict[str, float]:
+        return {}
+
+
+#: The process-wide disabled registry instrumented code defaults to.
+NULL_METRICS = NullMetricsRegistry()

@@ -23,6 +23,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ReconfigurationError
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.driver import DriverRegistry
 from repro.runtime.memory import BitstreamStore
 from repro.runtime.prc import PrcDevice, ReconfigurationRecord
@@ -30,6 +33,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.sim.resources import Lock
 from repro.soc.socket import Decoupler
+
+logger = get_logger("runtime.manager")
 
 
 @dataclass
@@ -97,15 +102,21 @@ class ReconfigurationManager:
         prc: PrcDevice,
         store: BitstreamStore,
         registry: DriverRegistry,
+        tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ) -> None:
         self.sim = sim
         self.prc = prc
         self.store = store
         self.registry = registry
+        self.tracer = tracer
+        self.metrics = metrics
         self.tiles: Dict[str, TileState] = {}
         self.invocations: List[InvocationRecord] = []
         #: Failed transfer attempts seen (telemetry for fault handling).
         self.failed_attempts = 0
+        #: The same failures attributed to the tile that saw them.
+        self.failed_attempts_by_tile: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def attach_tile(self, tile_name: str) -> TileState:
@@ -141,15 +152,38 @@ class ReconfigurationManager:
         driver = self.registry.driver_for(mode_name)
         duration = exec_time_s if exec_time_s is not None else driver.exec_time_s
 
+        track = f"kernel/{tile_name}"
+
         def body():
             requested = self.sim.now
             yield state.lock.acquire()
+            acquired = self.sim.now
+            if acquired > requested:
+                self.tracer.record(
+                    "lock_wait",
+                    requested,
+                    acquired,
+                    category="kernel.lock-wait",
+                    track=track,
+                    mode=mode_name,
+                )
+            self.metrics.histogram(
+                "runtime.lock_wait_s", "queueing delay before tile acquisition"
+            ).observe(acquired - requested, tile=tile_name)
             try:
                 reconfig_time = 0.0
                 if state.loaded_mode != mode_name:
                     reconfig_time = yield from self._reconfigure_locked(state, mode_name)
                 start_exec = self.sim.now
+                exec_span = self.tracer.begin(
+                    mode_name,
+                    category="kernel.exec",
+                    track=track,
+                    tile=tile_name,
+                    mode=mode_name,
+                )
                 yield self.sim.timeout(duration)
+                self.tracer.end(exec_span)
                 record = InvocationRecord(
                     tile_name=tile_name,
                     mode_name=mode_name,
@@ -159,6 +193,17 @@ class ReconfigurationManager:
                     end_exec_s=self.sim.now,
                 )
                 self.invocations.append(record)
+                self.metrics.counter(
+                    "runtime.invocations", "completed accelerator invocations"
+                ).inc(tile=tile_name)
+                logger.debug(
+                    "%s: ran %s for %.6fs (reconfig %.6fs, wait %.6fs)",
+                    tile_name,
+                    mode_name,
+                    record.exec_time_s,
+                    record.reconfig_s,
+                    record.wait_s,
+                )
                 return record
             finally:
                 state.lock.release()
@@ -181,6 +226,12 @@ class ReconfigurationManager:
                 if state.loaded_mode is None:
                     return None  # already dark
                 blank = self.store.lookup(state.name, "blank")
+                span = self.tracer.begin(
+                    "blank",
+                    category="kernel.decouple",
+                    track=f"kernel/{tile_name}",
+                    size_bytes=blank.size_bytes,
+                )
                 state.decoupler.decouple()
                 self.registry.swap(state.name, None)
                 yield self.prc.reconfigure(state.name, "blank", blank.size_bytes)
@@ -188,6 +239,10 @@ class ReconfigurationManager:
                 state.loaded_mode = None
                 state.mark_dark(self.sim.now)
                 state.reconfigurations += 1
+                self.metrics.counter(
+                    "runtime.reconfigurations", "completed tile reconfigurations"
+                ).inc(tile=tile_name)
+                self.tracer.end(span)
                 return "blank"
             finally:
                 state.lock.release()
@@ -225,6 +280,14 @@ class ReconfigurationManager:
         """
         loaded = self.store.lookup(state.name, mode_name)
         start = self.sim.now
+        track = f"kernel/{state.name}"
+        decouple_span = self.tracer.begin(
+            f"reconfigure:{mode_name}",
+            category="kernel.decouple",
+            track=track,
+            mode=mode_name,
+            size_bytes=loaded.size_bytes,
+        )
         # 1. software decouples the tile (disables the NoC queue inputs)
         state.decoupler.decouple()
         # 2. the old driver is unregistered while the region is dark
@@ -239,20 +302,49 @@ class ReconfigurationManager:
                 break
             except ReconfigurationError:
                 attempts += 1
-                self.failed_attempts += 1
+                self._record_failed_attempt(state.name, mode_name)
                 if attempts > self.MAX_RETRIES:
                     # Give up: leave the region dark but functional.
                     state.loaded_mode = None
                     state.mark_dark(self.sim.now)
                     state.decoupler.recouple()
+                    self.metrics.counter(
+                        "runtime.reconfig_failures",
+                        "reconfigurations abandoned after retries",
+                    ).inc(tile=state.name)
+                    self.tracer.end(decouple_span, failed=True)
+                    logger.warning(
+                        "%s: reconfiguration to %s abandoned after %d attempts",
+                        state.name,
+                        mode_name,
+                        attempts,
+                    )
                     raise
+                self.metrics.counter(
+                    "runtime.reconfig_retries", "transfer retries after CRC errors"
+                ).inc(tile=state.name)
         # 4. interrupt received: load the new driver, re-enable queues
         self.registry.swap(state.name, mode_name)
         state.decoupler.recouple()
         state.loaded_mode = mode_name
         state.mark_configured(self.sim.now)
         state.reconfigurations += 1
+        self.metrics.counter(
+            "runtime.reconfigurations", "completed tile reconfigurations"
+        ).inc(tile=state.name)
+        self.tracer.end(decouple_span)
         return self.sim.now - start
+
+    def _record_failed_attempt(self, tile_name: str, mode_name: str) -> None:
+        """Attribute one failed transfer to its tile (and the registry)."""
+        self.failed_attempts += 1
+        self.failed_attempts_by_tile[tile_name] = (
+            self.failed_attempts_by_tile.get(tile_name, 0) + 1
+        )
+        self.metrics.counter(
+            "runtime.failed_attempts", "failed bitstream transfer attempts"
+        ).inc(tile=tile_name)
+        logger.warning("%s: transfer of %s failed (CRC error)", tile_name, mode_name)
 
     # ------------------------------------------------------------------
     # telemetry

@@ -15,13 +15,20 @@ why the flow generates compressed partial bitstreams.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReconfigurationError
 from repro.noc.mesh import Mesh
+from repro.noc.packet import FLIT_BYTES, HEADER_FLITS
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.kernel import Event, Simulator
 from repro.sim.resources import Lock
+
+logger = get_logger("runtime.prc")
 
 #: ICAP word width in bytes (ICAPE2/ICAPE3 are 32-bit).
 ICAP_BYTES_PER_CYCLE = 4
@@ -71,6 +78,8 @@ class PrcDevice:
         aux_position: Tuple[int, int],
         clock_hz: float = 78e6,
         fetch_bytes_per_cycle: float = FETCH_BYTES_PER_CYCLE,
+        tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ) -> None:
         if clock_hz <= 0:
             raise ReconfigurationError("PRC clock must be positive")
@@ -82,6 +91,8 @@ class PrcDevice:
         self.aux_position = aux_position
         self.clock_hz = clock_hz
         self.fetch_bytes_per_cycle = fetch_bytes_per_cycle
+        self.tracer = tracer
+        self.metrics = metrics
         self._lock = Lock(sim)
         self.records: List[ReconfigurationRecord] = []
         self._injected_failures: Dict[Tuple[str, str], int] = {}
@@ -132,12 +143,26 @@ class PrcDevice:
             try:
                 start = self.sim.now
                 yield self.sim.timeout(self.transfer_seconds(size_bytes))
+                self._count_fetch_traffic(size_bytes)
                 key = (tile_name, mode_name)
                 if self._injected_failures.get(key, 0) > 0:
                     self._injected_failures[key] -= 1
                     if self._injected_failures[key] == 0:
                         del self._injected_failures[key]
                     self.failed_transfers += 1
+                    self.metrics.counter(
+                        "prc.transfer_failures", "transfers ending in a CRC error"
+                    ).inc(tile=tile_name)
+                    self.tracer.record(
+                        f"{tile_name}/{mode_name}",
+                        start,
+                        self.sim.now,
+                        category="kernel.icap-error",
+                        track="kernel/icap",
+                        tile=tile_name,
+                        mode=mode_name,
+                        size_bytes=size_bytes,
+                    )
                     raise ReconfigurationError(
                         f"{tile_name}/{mode_name}: configuration CRC error"
                     )
@@ -149,11 +174,49 @@ class PrcDevice:
                     end_s=self.sim.now,
                 )
                 self.records.append(record)
+                self.tracer.record(
+                    f"{tile_name}/{mode_name}",
+                    record.start_s,
+                    record.end_s,
+                    category="kernel.icap",
+                    track="kernel/icap",
+                    tile=tile_name,
+                    mode=mode_name,
+                    size_bytes=size_bytes,
+                )
+                self.metrics.counter(
+                    "prc.transfers", "completed bitstream transfers"
+                ).inc(tile=tile_name)
+                self.metrics.counter(
+                    "prc.icap_busy_s", "time the ICAP spent streaming"
+                ).inc(record.duration_s)
+                logger.debug(
+                    "icap: streamed %s/%s (%d bytes) in %.6fs",
+                    tile_name,
+                    mode_name,
+                    size_bytes,
+                    record.duration_s,
+                )
                 return record
             finally:
                 self._lock.release()
 
         return self.sim.process(body())
+
+    def _count_fetch_traffic(self, size_bytes: int) -> None:
+        """Account the DFXC fetch's NoC traffic (packets, flits, bytes).
+
+        The fetch path crosses the NoC in maximum-size DMA bursts; the
+        flit count mirrors :class:`~repro.noc.packet.Packet` accounting
+        so the registry's NoC numbers are consistent across layers.
+        """
+        flits = HEADER_FLITS + math.ceil(size_bytes / FLIT_BYTES)
+        self.metrics.counter("noc.bytes", "payload bytes crossing the NoC").inc(
+            size_bytes, source="prc"
+        )
+        self.metrics.counter("noc.flits", "flits crossing the NoC").inc(
+            flits, source="prc"
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -25,6 +25,8 @@ class TileStats:
     exec_time_s: float
     reconfig_time_s: float
     wait_time_s: float
+    #: Failed bitstream-transfer attempts attributed to this tile.
+    failed_attempts: int = 0
 
     @property
     def reconfig_share(self) -> float:
@@ -60,6 +62,29 @@ class RuntimeStats:
             raise ReconfigurationError("no tiles attached")
         return max(self.tiles.values(), key=lambda t: t.exec_time_s)
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (``repro deploy --json``)."""
+        return {
+            "total_invocations": self.total_invocations,
+            "total_reconfigurations": self.total_reconfigurations,
+            "failed_attempts": self.failed_attempts,
+            "icap_busy_s": self.icap_busy_s,
+            "icap_utilization": self.icap_utilization,
+            "span_s": self.span_s,
+            "tiles": {
+                name: {
+                    "invocations": tile.invocations,
+                    "reconfigurations": tile.reconfigurations,
+                    "failed_attempts": tile.failed_attempts,
+                    "exec_s": tile.exec_time_s,
+                    "reconfig_s": tile.reconfig_time_s,
+                    "wait_s": tile.wait_time_s,
+                    "reconfig_share": tile.reconfig_share,
+                }
+                for name, tile in sorted(self.tiles.items())
+            },
+        }
+
     def summary_lines(self) -> List[str]:
         """Human-readable report."""
         lines = [
@@ -69,12 +94,16 @@ class RuntimeStats:
             f"icap_utilization={self.icap_utilization:.1%}"
         ]
         for stats in sorted(self.tiles.values(), key=lambda t: t.tile_name):
+            failed = (
+                f" failed={stats.failed_attempts}" if stats.failed_attempts else ""
+            )
             lines.append(
                 f"  {stats.tile_name:10s} inv={stats.invocations:<4d} "
                 f"exec={stats.exec_time_s * 1000:7.1f}ms "
                 f"reconf={stats.reconfig_time_s * 1000:7.1f}ms "
                 f"({stats.reconfig_share:.0%}) "
                 f"mean_wait={stats.mean_wait_s * 1000:6.2f}ms"
+                f"{failed}"
             )
         return lines
 
@@ -99,6 +128,7 @@ def collect_stats(
             exec_time_s=sum(r.exec_time_s for r in records),
             reconfig_time_s=sum(r.reconfig_s for r in records),
             wait_time_s=sum(max(0.0, r.wait_s) for r in records),
+            failed_attempts=manager.failed_attempts_by_tile.get(name, 0),
         )
 
     end = span_s if span_s is not None else manager.sim.now

@@ -14,6 +14,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import FlowError
+from repro.obs.logconfig import get_logger
+
+logger = get_logger("vivado.server")
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,13 @@ class VivadoServer:
 
         makespan = max(s.end_minutes for s in scheduled)
         used = len({s.instance for s in scheduled})
+        logger.debug(
+            "scheduled %d jobs on %d/%d instances, makespan %.1f min",
+            len(scheduled),
+            used,
+            self.max_instances,
+            makespan,
+        )
         return ScheduleResult(
             jobs=tuple(sorted(scheduled, key=lambda s: (s.start_minutes, s.instance))),
             makespan_minutes=makespan,

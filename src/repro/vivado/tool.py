@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ImplementationError
 from repro.fabric.device import Device
+from repro.obs.logconfig import get_logger
 from repro.fabric.pblock import Pblock
 from repro.fabric.resources import ResourceVector
 from repro.soc.rtl import Module
@@ -21,6 +22,8 @@ from repro.vivado.checkpoint import NetlistCheckpoint, RoutedCheckpoint
 from repro.vivado.par import ParEngine, ParMode, ParResult
 from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind, RuntimeModel
 from repro.vivado.synthesis import SynthesisEngine, SynthesisResult
+
+logger = get_logger("vivado.tool")
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,7 @@ class VivadoInstance:
     def _charge(self, command: str, cpu_minutes: float) -> None:
         self.journal.append(ToolJournalEntry(command=command, cpu_minutes=cpu_minutes))
         self.cpu_minutes += cpu_minutes
+        logger.debug("%s: %s (%.2f min)", self.name, command, cpu_minutes)
 
     # ------------------------------------------------------------------
     # synthesis

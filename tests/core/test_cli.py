@@ -102,3 +102,49 @@ class TestCheckCommand:
         data = json.loads(capsys.readouterr().out)
         assert data["soc"] == "soc_3"
         assert data["strategy"] == "semi-parallel"
+
+
+class TestObservabilityFlags:
+    def test_deploy_json_carries_runtime_and_metrics(self, capsys):
+        import json
+
+        assert main(["deploy", "soc_z", "--frames", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["soc"] == "soc_z"
+        assert data["reconfigurations"] > 0
+        assert data["runtime"]["total_invocations"] > 0
+        assert any(key.startswith("runtime.") for key in data["metrics"])
+
+    def test_deploy_trace_writes_chrome_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        assert main(["deploy", "soc_z", "--frames", "1", "--trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        categories = {
+            e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert "kernel.icap" in categories
+        assert "app.exec" in categories
+
+    def test_deploy_metrics_prints_snapshot(self, capsys):
+        assert main(["deploy", "soc_z", "--frames", "1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.invocations" in out
+        assert "noc.bytes" in out
+
+    def test_build_trace_writes_flow_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "flow.json"
+        assert main(["build", "soc_3", "--trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        categories = {
+            e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"flow.build", "flow.stage", "flow.job"} <= categories
+
+    def test_verbosity_flags_accepted(self, capsys):
+        assert main(["-v", "designs"]) == 0
+        capsys.readouterr()
+        assert main(["--log-level", "debug", "designs"]) == 0

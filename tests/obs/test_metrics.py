@@ -1,0 +1,124 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    MetricsError,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value() == 3.0
+
+    def test_labels_are_separate_series(self, registry):
+        counter = registry.counter("invocations")
+        counter.inc(tile="rt0")
+        counter.inc(tile="rt0")
+        counter.inc(tile="rt1")
+        assert counter.value(tile="rt0") == 2.0
+        assert counter.value(tile="rt1") == 1.0
+        assert counter.total() == 3.0
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(MetricsError):
+            registry.counter("bad").inc(-1.0)
+
+    def test_label_order_does_not_matter(self, registry):
+        counter = registry.counter("c")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(a="1", b="2") == 2.0
+
+
+class TestGauge:
+    def test_set_overwrites(self, registry):
+        gauge = registry.gauge("utilization")
+        gauge.set(0.5)
+        gauge.set(0.7)
+        assert gauge.value() == 0.7
+
+    def test_unset_series_reads_zero(self, registry):
+        assert registry.gauge("g").value(tile="ghost") == 0.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self, registry):
+        hist = registry.histogram("latency")
+        for v in (0.1, 0.2, 0.3):
+            hist.observe(v)
+        assert hist.count() == 3
+        assert hist.sum() == pytest.approx(0.6)
+        assert hist.mean() == pytest.approx(0.2)
+
+    def test_labeled_distributions(self, registry):
+        hist = registry.histogram("wait")
+        hist.observe(1.0, tile="rt0")
+        hist.observe(3.0, tile="rt1")
+        assert hist.count(tile="rt0") == 1
+        assert hist.mean(tile="rt1") == 3.0
+
+    def test_series_exports_min_max(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(2.0)
+        hist.observe(8.0)
+        series = hist.series()
+        assert series["h.min"] == 2.0
+        assert series["h.max"] == 8.0
+        assert series["h.count"] == 2.0
+
+
+class TestRegistry:
+    def test_idempotent_registration(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.gauge("x")
+
+    def test_snapshot_is_flat_and_sorted(self, registry):
+        registry.counter("b").inc(tile="rt1")
+        registry.counter("a").inc()
+        registry.gauge("c").set(1.5, stat="s")
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a"] == 1.0
+        assert snapshot["b{tile=rt1}"] == 1.0
+        assert snapshot["c{stat=s}"] == 1.5
+
+    def test_snapshot_deterministic(self, registry):
+        registry.counter("z").inc(b="2", a="1")
+        registry.counter("z").inc(a="1", b="2")
+        first = registry.snapshot()
+        second = registry.snapshot()
+        assert first == second
+        assert list(first) == list(second)
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        counter = NULL_METRICS.counter("x")
+        counter.inc(5.0, tile="rt0")
+        assert counter.value() == 0.0
+        gauge = NULL_METRICS.gauge("g")
+        gauge.set(1.0)
+        hist = NULL_METRICS.histogram("h")
+        hist.observe(1.0)
+        assert hist.count() == 0
+        assert NULL_METRICS.snapshot() == {}
+
+    def test_shared_instrument(self):
+        # One object serves every name: nothing accumulates per call.
+        assert NULL_METRICS.counter("a") is NULL_METRICS.gauge("b")

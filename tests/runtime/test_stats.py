@@ -77,3 +77,52 @@ class TestCollect:
         lines = collect_stats(manager).summary_lines()
         assert any("rt0" in line for line in lines)
         assert "invocations=1" in lines[0]
+
+
+class TestFailedAttemptAttribution:
+    def test_failures_attributed_to_tile(self, manager, sim):
+        manager.prc.inject_failure("rt0", "fft", count=1)
+        manager.invoke("rt0", "fft")
+        manager.invoke("rt1", "sort")
+        sim.run()
+        stats = collect_stats(manager)
+        assert stats.failed_attempts == 1
+        assert stats.tiles["rt0"].failed_attempts == 1
+        assert stats.tiles["rt1"].failed_attempts == 0
+
+    def test_failed_count_shown_in_summary(self, manager, sim):
+        manager.prc.inject_failure("rt0", "fft", count=1)
+        manager.invoke("rt0", "fft")
+        sim.run()
+        lines = collect_stats(manager).summary_lines()
+        rt0_line = next(line for line in lines if "rt0" in line)
+        assert "failed=1" in rt0_line
+
+    def test_clean_tiles_omit_failed_field(self, manager, sim):
+        manager.invoke("rt0", "fft")
+        sim.run()
+        lines = collect_stats(manager).summary_lines()
+        assert not any("failed=" in line for line in lines)
+
+
+class TestToDict:
+    def test_round_trips_totals_and_tiles(self, manager, sim):
+        manager.prc.inject_failure("rt0", "fft", count=1)
+        manager.invoke("rt0", "fft", exec_time_s=0.2)
+        sim.run()
+        data = collect_stats(manager).to_dict()
+        assert data["total_invocations"] == 1
+        assert data["failed_attempts"] == 1
+        tile = data["tiles"]["rt0"]
+        assert tile["invocations"] == 1
+        assert tile["failed_attempts"] == 1
+        assert tile["exec_s"] == pytest.approx(0.2)
+        assert 0.0 < tile["reconfig_share"] < 1.0
+
+    def test_is_json_serializable(self, manager, sim):
+        import json
+
+        manager.invoke("rt1", "gemm")
+        sim.run()
+        text = json.dumps(collect_stats(manager).to_dict())
+        assert "rt1" in text
