@@ -9,7 +9,6 @@ policy (what "opportunistic grouping" buys).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.designs import characterization_socs, wami_parallelism_socs
 from repro.flow.grouping import balanced_groups, makespan

@@ -10,7 +10,6 @@ chosen point sits on a plateau rather than a knife's edge.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.classes import classify
 from repro.core.metrics import compute_metrics

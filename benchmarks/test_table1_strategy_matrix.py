@@ -7,7 +7,6 @@ the strategy the algorithm assigns, reproducing the published matrix
 
 from __future__ import annotations
 
-from repro.core.classes import DesignClass, classify
 from repro.core.metrics import metrics_from_sizes
 from repro.core.strategy import ImplementationStrategy, choose_strategy
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 import pytest
 
 from repro.core.designs import characterization_socs
-from repro.core.strategy import ImplementationStrategy
+from repro.flow.batch import BatchBuilder, BuildRequest
+from repro.flow.cache import FlowCache
 from repro.flow.dpr_flow import DprFlow
+from repro.vivado.characterization import strategy_for_tau
 
 #: Paper Table III: name -> {tau: (t_static, T_tot)} (minutes; t_static
 #: is None for the serial column where only T_tot is reported).
@@ -33,25 +35,28 @@ PAPER_BEST_TAU = {"soc_1": 1, "soc_2": 4, "soc_4": 5}
 
 def run_at_tau(flow: DprFlow, config, tau: int, num_rps: int):
     """Execute the flow at an explicit parallelism level."""
-    if tau == 1:
-        strategy = ImplementationStrategy.SERIAL
-    elif tau >= num_rps:
-        strategy = ImplementationStrategy.FULLY_PARALLEL
-    else:
-        strategy = ImplementationStrategy.SEMI_PARALLEL
+    strategy = strategy_for_tau(num_rps, tau)
     return flow.build(config, strategy_override=strategy, semi_tau=tau)
 
 
-def characterize():
-    flow = DprFlow()
+def characterize(jobs: int = 1):
+    """The full (SoC, τ) grid through the batch build service."""
     socs = characterization_socs()
+    grid = [(name, tau) for name, taus in PAPER.items() for tau in taus]
+    requests = [
+        BuildRequest(
+            config=socs[name],
+            strategy_override=strategy_for_tau(
+                len(socs[name].reconfigurable_tiles), tau
+            ),
+            semi_tau=tau,
+        )
+        for name, tau in grid
+    ]
+    batch = BatchBuilder(cache=FlowCache(), jobs=jobs)
     results = {}
-    for name, taus in PAPER.items():
-        config = socs[name]
-        num_rps = len(config.reconfigurable_tiles)
-        results[name] = {
-            tau: run_at_tau(flow, config, tau, num_rps) for tau in taus
-        }
+    for (name, tau), outcome in zip(grid, batch.build_many(requests)):
+        results.setdefault(name, {})[tau] = outcome.unwrap()
     return results
 
 

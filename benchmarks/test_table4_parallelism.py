@@ -12,7 +12,8 @@ import pytest
 
 from repro.core.designs import WAMI_FLOW_SOC_ACCS, wami_parallelism_socs
 from repro.core.strategy import ImplementationStrategy
-from repro.flow.dpr_flow import DprFlow
+from repro.flow.batch import BatchBuilder, BuildRequest
+from repro.flow.cache import FlowCache
 
 #: Paper Table IV, minutes: name -> {strategy: (t_static, omega, T_P&R)}.
 PAPER = {
@@ -36,23 +37,33 @@ PAPER_CHOICE = {
 NEAR_TIE = {"soc_c"}
 
 
-def sweep():
-    flow = DprFlow()
+#: None = let the size-driven algorithm choose.
+SWEEP_STRATEGIES = (
+    None,
+    ImplementationStrategy.FULLY_PARALLEL,
+    ImplementationStrategy.SEMI_PARALLEL,
+    ImplementationStrategy.SERIAL,
+)
+
+
+def sweep_requests():
+    """The 4 SoCs x (chosen + 3 strategies) grid as batch requests."""
     socs = wami_parallelism_socs()
+    return [
+        BuildRequest(config=socs[name], strategy_override=strategy)
+        for name in PAPER
+        for strategy in SWEEP_STRATEGIES
+    ]
+
+
+def sweep(jobs: int = 1):
+    batch = BatchBuilder(cache=FlowCache(), jobs=jobs)
+    outcomes = iter(batch.build_many(sweep_requests()))
     results = {}
     for name in PAPER:
-        config = socs[name]
         results[name] = {
-            "chosen": flow.build(config),
-            ImplementationStrategy.FULLY_PARALLEL: flow.build(
-                config, strategy_override=ImplementationStrategy.FULLY_PARALLEL
-            ),
-            ImplementationStrategy.SEMI_PARALLEL: flow.build(
-                config, strategy_override=ImplementationStrategy.SEMI_PARALLEL
-            ),
-            ImplementationStrategy.SERIAL: flow.build(
-                config, strategy_override=ImplementationStrategy.SERIAL
-            ),
+            ("chosen" if strategy is None else strategy): next(outcomes).unwrap()
+            for strategy in SWEEP_STRATEGIES
         }
     return results
 

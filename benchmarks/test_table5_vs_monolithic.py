@@ -11,7 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.designs import wami_parallelism_socs
-from repro.flow.dpr_flow import DprFlow
+from repro.flow.batch import BatchBuilder, BuildRequest
+from repro.flow.cache import FlowCache
 from repro.flow.monolithic import MonolithicFlow
 
 #: Paper Table V, minutes:
@@ -24,12 +25,16 @@ PAPER = {
 }
 
 
-def compare_all():
-    presp_flow, mono_flow = DprFlow(), MonolithicFlow()
+def compare_all(jobs: int = 1):
+    mono_flow = MonolithicFlow()
     socs = wami_parallelism_socs()
+    batch = BatchBuilder(cache=FlowCache(), jobs=jobs)
+    outcomes = batch.build_many(
+        [BuildRequest(config=socs[name]) for name in PAPER]
+    )
     return {
-        name: (presp_flow.build(socs[name]), mono_flow.build(socs[name]))
-        for name in PAPER
+        name: (outcome.unwrap(), mono_flow.build(socs[name]))
+        for name, outcome in zip(PAPER, outcomes)
     }
 
 

@@ -5,6 +5,7 @@ evaluation entry points:
 
 * ``designs``              list the paper's SoCs with metrics and class
 * ``build CONFIG``         run the DPR flow, print the full report
+* ``sweep CONFIG...``      batch-build configs x strategies via the build service
 * ``compare CONFIG``       PR-ESP vs the monolithic baseline (Table V row)
 * ``deploy CONFIG``        run WAMI on a built SoC (Fig. 4 methodology)
 * ``profile STAGE``        Fig. 3-style profile of one WAMI accelerator
@@ -31,6 +32,8 @@ from repro.core.metrics import compute_metrics
 from repro.core.platform import PrEspPlatform
 from repro.core.strategy import ImplementationStrategy, choose_strategy
 from repro.errors import PrEspError
+from repro.flow.batch import BuildRequest
+from repro.flow.cache import FlowCache
 from repro.flow.report import comparison_report, flow_report
 from repro.obs.export import metrics_lines, write_chrome_trace
 from repro.obs.logconfig import (
@@ -87,12 +90,26 @@ def cmd_designs(_args) -> int:
     return 0
 
 
+def cache_from_args(args) -> Optional[FlowCache]:
+    """The build cache a command asked for, or None.
+
+    The CLI is a one-shot process, so ``--cache`` means the persistent
+    disk tier (``--cache-dir`` or ``~/.cache/repro-flow``) — an
+    in-memory-only cache would never survive to the next invocation.
+    """
+    if not getattr(args, "cache", False):
+        return None
+    return FlowCache(disk_dir=args.cache_dir or True)
+
+
 def cmd_build(args) -> int:
     config = resolve_config(args.config)
     strategy = (
         ImplementationStrategy(args.strategy) if args.strategy else None
     )
-    platform = PrEspPlatform(compress_bitstreams=not args.no_compress)
+    platform = PrEspPlatform(
+        compress_bitstreams=not args.no_compress, cache=cache_from_args(args)
+    )
     tracer = Tracer(time_unit="min") if args.trace else NULL_TRACER
     result = platform.build(
         config,
@@ -106,12 +123,91 @@ def cmd_build(args) -> int:
         print(json.dumps(result.flow.to_summary_dict(), indent=2))
         return 0
     print(flow_report(result.flow))
+    if result.cached:
+        print("\n(served from the flow cache)")
     if result.baseline is not None:
         print()
         print(comparison_report(result.flow, result.baseline))
     if args.trace:
         print(f"\ntrace written to {args.trace}")
     return 0
+
+
+def cmd_sweep(args) -> int:
+    configs = [resolve_config(spec) for spec in args.configs]
+    if args.strategies == "all":
+        strategies = [None] + [s for s in ImplementationStrategy]
+    elif args.strategies == "auto":
+        strategies = [None]
+    else:
+        try:
+            strategies = [
+                ImplementationStrategy(name)
+                for name in args.strategies.split(",")
+                if name
+            ]
+        except ValueError:
+            raise PrEspError(
+                f"unknown strategy in {args.strategies!r}; choose from "
+                + ", ".join(s.value for s in ImplementationStrategy)
+                + ", or use 'auto'/'all'"
+            ) from None
+    requests = [
+        BuildRequest(config=config, strategy_override=strategy)
+        for config in configs
+        for strategy in strategies
+    ]
+    cache = cache_from_args(args)
+    platform = PrEspPlatform(cache=cache, jobs=args.jobs)
+    outcomes = platform.build_many(requests)
+    if args.json:
+        rows = []
+        for outcome in outcomes:
+            row = {
+                "request": outcome.request.label,
+                "ok": outcome.ok,
+                "cached": outcome.cached,
+                "elapsed_s": outcome.elapsed_s,
+            }
+            if outcome.result is not None:
+                row["summary"] = outcome.result.to_summary_dict()
+            if outcome.error is not None:
+                row["error"] = {
+                    "kind": outcome.error.kind,
+                    "message": outcome.error.message,
+                }
+            rows.append(row)
+        print(json.dumps(rows, indent=2))
+    else:
+        print(
+            f"{'request':28s} {'status':>8s} {'strategy':>15s} "
+            f"{'total min':>10s} {'crit min':>9s}"
+        )
+        for outcome in outcomes:
+            if outcome.ok:
+                flow = outcome.result
+                status = "cached" if outcome.cached else "built"
+                omega = (
+                    "-"
+                    if flow.max_omega_minutes is None
+                    else f"{flow.max_omega_minutes:.1f}"
+                )
+                print(
+                    f"{outcome.request.label:28s} {status:>8s} "
+                    f"{flow.strategy.value:>15s} {flow.total_minutes:>10.1f} "
+                    f"{omega:>9s}"
+                )
+            else:
+                print(
+                    f"{outcome.request.label:28s} {'FAILED':>8s}  {outcome.error}"
+                )
+        if cache is not None:
+            stats = cache.stats()
+            print(
+                f"\ncache: {stats['hits_memory'] + stats['hits_disk']} hits, "
+                f"{stats['misses']} misses"
+            )
+    return 0 if all(outcome.ok for outcome in outcomes) else 1
 
 
 def cmd_compare(args) -> int:
@@ -200,6 +296,20 @@ def cmd_model(_args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _add_cache_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse flow results from the persistent cache (--no-cache off)",
+    )
+    command.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="cache directory (default: ~/.cache/repro-flow)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,7 +348,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a Chrome trace-event file of the flow (CAD minutes)",
     )
+    _add_cache_options(build)
     build.set_defaults(func=cmd_build)
+
+    sweep = sub.add_parser(
+        "sweep", help="batch-build configs x strategies via the build service"
+    )
+    sweep.add_argument(
+        "configs", nargs="+", help="design names or esp_config paths"
+    )
+    sweep.add_argument(
+        "--strategies",
+        default="auto",
+        help=(
+            "'auto' (size-driven choice), 'all' (auto + every strategy), or a "
+            "comma list of "
+            + "/".join(s.value for s in ImplementationStrategy)
+        ),
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for builds the cache cannot serve",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="emit per-request JSON rows"
+    )
+    _add_cache_options(sweep)
+    sweep.set_defaults(func=cmd_sweep)
 
     compare = sub.add_parser("compare", help="PR-ESP vs the monolithic baseline")
     compare.add_argument("config", help="design name or esp_config path")

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.soc.config import SocConfig
 from repro.soc.esp_library import stock_accelerator

@@ -14,7 +14,7 @@ entire input of the size-driven strategy choice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.soc.config import SocConfig

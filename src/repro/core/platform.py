@@ -12,12 +12,14 @@ returning performance and energy (the Fig. 4 experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.strategy import ImplementationStrategy
 from repro.energy.measure import EnergyReport, measure_energy
 from repro.energy.power import DEFAULT_POWER_MODEL, PowerModel
 from repro.errors import ConfigurationError
+from repro.flow.batch import BatchBuilder, BuildOutcome, BuildRequest, cached_build
+from repro.flow.cache import FlowCache
 from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.flow.monolithic import MonolithicFlow, MonolithicResult
 from repro.noc.mesh import Mesh
@@ -35,7 +37,7 @@ from repro.sim.kernel import Simulator
 from repro.soc.config import SocConfig
 from repro.soc.tiles import ReconfigurableTile, Tile, TileKind
 from repro.vivado.runtime_model import CALIBRATED_MODEL, RuntimeModel
-from repro.wami.accelerators import WAMI_ACCELERATORS, WamiAcceleratorProfile, wami_accelerator
+from repro.wami.accelerators import WAMI_ACCELERATORS, wami_accelerator
 from repro.wami.app import WamiApplication
 from repro.wami.graph import WamiStage
 
@@ -107,6 +109,7 @@ class BuildResult:
 
     flow: FlowResult
     baseline: Optional[MonolithicResult] = None
+    cached: bool = False
 
     @property
     def speedup_vs_baseline(self) -> Optional[float]:
@@ -126,6 +129,8 @@ class PrEspPlatform:
         compress_bitstreams: bool = True,
         power_model: PowerModel = DEFAULT_POWER_MODEL,
         prc_fetch_bytes_per_cycle: Optional[float] = None,
+        cache: Optional[FlowCache] = None,
+        jobs: int = 1,
     ) -> None:
         self.model = model
         self.power_model = power_model
@@ -138,6 +143,8 @@ class PrEspPlatform:
         self.baseline_flow = MonolithicFlow(
             model=model, compress_bitstreams=compress_bitstreams
         )
+        self.cache = cache
+        self.batch = BatchBuilder(flow=self.flow, cache=cache, jobs=jobs)
 
     # ------------------------------------------------------------------
     # compilation
@@ -152,13 +159,37 @@ class PrEspPlatform:
         """Compile ``config`` with the PR-ESP flow (plus baseline if asked).
 
         ``tracer`` (CAD-minute clock) receives the flow's stage and
-        tool-job spans.
+        tool-job spans. When the platform was constructed with a
+        :class:`~repro.flow.cache.FlowCache`, a repeat build of the
+        same configuration is served from it (and still traced — the
+        flow replays the cached result's spans).
         """
-        flow_result = self.flow.build(
-            config, strategy_override=strategy_override, tracer=tracer
+        flow_result, cached = cached_build(
+            self.flow,
+            self.cache,
+            config,
+            strategy_override=strategy_override,
+            tracer=tracer,
         )
         baseline = self.baseline_flow.build(config) if with_baseline else None
-        return BuildResult(flow=flow_result, baseline=baseline)
+        return BuildResult(flow=flow_result, baseline=baseline, cached=cached)
+
+    def build_many(
+        self,
+        requests: Sequence[BuildRequest],
+        jobs: Optional[int] = None,
+    ) -> List[BuildOutcome]:
+        """Fan a batch of build requests out over the build service.
+
+        ``jobs`` overrides the worker count the platform was
+        constructed with (1 = serial in-process). Outcomes keep the
+        request order; a failing request carries its own ``BuildError``
+        instead of aborting the batch.
+        """
+        batch = self.batch
+        if jobs is not None and jobs != batch.jobs:
+            batch = BatchBuilder(flow=self.flow, cache=self.cache, jobs=jobs)
+        return batch.build_many(requests)
 
     def compare_with_monolithic(
         self, config: SocConfig

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.energy.power import DEFAULT_POWER_MODEL, PowerModel

@@ -6,9 +6,19 @@ paper's single make target); ``monolithic`` is the baseline standard
 Xilinx DPR flow run in a single tool instance; ``schedule`` turns a
 strategy decision into concrete parallel tool runs; ``grouping``
 implements the semi-parallel tile grouping; ``blackbox`` generates the
-black-box wrappers the static synthesis uses.
+black-box wrappers the static synthesis uses; ``cache`` and ``batch``
+form the build service (content-addressed result reuse plus
+process-parallel fan-out of many builds).
 """
 
+from repro.flow.batch import (
+    BatchBuilder,
+    BuildError,
+    BuildOutcome,
+    BuildRequest,
+    cached_build,
+)
+from repro.flow.cache import FlowCache, default_disk_dir, flow_cache_key
 from repro.flow.grouping import balanced_groups
 from repro.flow.blackbox import BlackBoxWrapper, generate_blackboxes
 from repro.flow.scripts import SynthesisScript, ImplementationScript
@@ -19,6 +29,14 @@ from repro.flow.monolithic import MonolithicFlow, MonolithicResult
 from repro.flow.report import comparison_report, flow_report
 
 __all__ = [
+    "BatchBuilder",
+    "BuildError",
+    "BuildOutcome",
+    "BuildRequest",
+    "FlowCache",
+    "cached_build",
+    "default_disk_dir",
+    "flow_cache_key",
     "balanced_groups",
     "BlackBoxWrapper",
     "generate_blackboxes",

@@ -1,0 +1,263 @@
+"""Process-parallel fan-out of many flow builds.
+
+The paper's evaluation is a *batch* workload: Tables III/IV/V and the
+characterization harness each run the flow over a grid of
+``(config, strategy, tau)`` points. ``BatchBuilder`` turns that loop
+into a build service: requests are short-circuited against the
+:class:`~repro.flow.cache.FlowCache` first, the remaining misses fan
+out over a ``ProcessPoolExecutor`` (real process-level parallelism —
+the builds are pure CPU-bound Python, so threads would serialize on
+the GIL), and the outcomes come back in input order with per-request
+error capture: one failed build never sinks the batch.
+
+On POSIX the pool uses the ``fork`` start method explicitly — workers
+inherit the warm interpreter instead of re-importing numpy/scipy, so
+the pool pays for itself even on sub-second builds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.strategy import ImplementationStrategy
+from repro.errors import FlowError
+from repro.flow.cache import FlowCache, flow_cache_key
+from repro.flow.dpr_flow import DprFlow, FlowResult
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+from repro.soc.config import SocConfig
+
+logger = get_logger("flow.batch")
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """One build the batch should run."""
+
+    config: SocConfig
+    strategy_override: Optional[ImplementationStrategy] = None
+    semi_tau: int = 2
+
+    @property
+    def label(self) -> str:
+        """``soc/strategy`` display name (``auto`` = size-driven)."""
+        strategy = (
+            "auto" if self.strategy_override is None else self.strategy_override.value
+        )
+        return f"{self.config.name}/{strategy}"
+
+
+@dataclass(frozen=True)
+class BuildError:
+    """A captured per-request failure (picklable, pool-safe)."""
+
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class BuildOutcome:
+    """What happened to one request."""
+
+    request: BuildRequest
+    result: Optional[FlowResult]
+    error: Optional[BuildError]
+    cached: bool
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the build produced a result."""
+        return self.result is not None
+
+    def unwrap(self) -> FlowResult:
+        """The result, or a :class:`FlowError` carrying the capture."""
+        if self.result is None:
+            raise FlowError(f"build {self.request.label} failed: {self.error}")
+        return self.result
+
+
+def _execute(
+    flow: DprFlow, request: BuildRequest
+) -> Tuple[Optional[FlowResult], Optional[BuildError], float]:
+    """Run one build, capturing any failure; returns (result, error, s)."""
+    start = time.perf_counter()
+    try:
+        result = flow.build(
+            request.config,
+            strategy_override=request.strategy_override,
+            semi_tau=request.semi_tau,
+        )
+        return result, None, time.perf_counter() - start
+    except Exception as error:  # noqa: BLE001 - the capture is the point
+        return (
+            None,
+            BuildError(kind=type(error).__name__, message=str(error)),
+            time.perf_counter() - start,
+        )
+
+
+def _pool_execute(payload: Tuple[DprFlow, BuildRequest]):
+    """Module-level pool entry point (must be picklable by reference)."""
+    return _execute(*payload)
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits warm imports) where available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def cached_build(
+    flow: DprFlow,
+    cache: Optional[FlowCache],
+    config: SocConfig,
+    strategy_override: Optional[ImplementationStrategy] = None,
+    semi_tau: int = 2,
+    tracer=NULL_TRACER,
+) -> Tuple[FlowResult, bool]:
+    """One build through the cache; returns (result, was_cached).
+
+    On a hit the flow's trace projection is replayed onto ``tracer``,
+    so a cached build traces byte-identically to a fresh one.
+    """
+    if cache is None:
+        return flow.build(
+            config, strategy_override=strategy_override, semi_tau=semi_tau,
+            tracer=tracer,
+        ), False
+    key = flow_cache_key(flow, config, strategy_override, semi_tau)
+    result = cache.get(key)
+    if result is not None:
+        if tracer.enabled:
+            flow.record_trace(result, tracer)
+        return result, True
+    result = flow.build(
+        config, strategy_override=strategy_override, semi_tau=semi_tau, tracer=tracer
+    )
+    cache.put(key, result)
+    return result, False
+
+
+class BatchBuilder:
+    """Fans many build requests out over cache + process pool."""
+
+    def __init__(
+        self,
+        flow: Optional[DprFlow] = None,
+        cache: Optional[FlowCache] = None,
+        jobs: int = 1,
+        metrics=NULL_METRICS,
+    ) -> None:
+        if jobs <= 0:
+            raise FlowError(f"batch needs at least one job slot, got {jobs}")
+        self.flow = flow or DprFlow()
+        self.cache = cache
+        self.jobs = jobs
+        self._requests_counter = metrics.counter(
+            "flow_batch_requests_total", "batch build requests by status"
+        )
+        self._build_seconds = metrics.histogram(
+            "flow_batch_build_seconds", "wall seconds per executed build"
+        )
+
+    # ------------------------------------------------------------------
+    def build_many(self, requests: Sequence[BuildRequest]) -> List[BuildOutcome]:
+        """Build every request; outcomes come back in input order.
+
+        Cached requests never reach the pool; a request whose build
+        raises is reported as a per-entry :class:`BuildError` while the
+        rest of the batch completes normally.
+        """
+        requests = list(requests)
+        outcomes: List[Optional[BuildOutcome]] = [None] * len(requests)
+        keys: Dict[int, str] = {}
+        pending: List[int] = []
+
+        for index, request in enumerate(requests):
+            if self.cache is not None:
+                key = flow_cache_key(
+                    self.flow,
+                    request.config,
+                    request.strategy_override,
+                    request.semi_tau,
+                )
+                keys[index] = key
+                start = time.perf_counter()
+                result = self.cache.get(key)
+                if result is not None:
+                    outcomes[index] = BuildOutcome(
+                        request=request,
+                        result=result,
+                        error=None,
+                        cached=True,
+                        elapsed_s=time.perf_counter() - start,
+                    )
+                    self._requests_counter.inc(status="cache_hit")
+                    continue
+            pending.append(index)
+
+        if pending:
+            executed = self._execute_pending(requests, pending)
+            for index, (result, error, elapsed) in executed.items():
+                outcomes[index] = BuildOutcome(
+                    request=requests[index],
+                    result=result,
+                    error=error,
+                    cached=False,
+                    elapsed_s=elapsed,
+                )
+                self._build_seconds.observe(elapsed)
+                if error is None:
+                    self._requests_counter.inc(status="built")
+                    if self.cache is not None and result is not None:
+                        self.cache.put(keys[index], result)
+                else:
+                    self._requests_counter.inc(status="error")
+                    logger.warning(
+                        "build %s failed: %s", requests[index].label, error
+                    )
+
+        done = [outcome for outcome in outcomes if outcome is not None]
+        assert len(done) == len(requests)
+        return done
+
+    # ------------------------------------------------------------------
+    def _execute_pending(
+        self, requests: Sequence[BuildRequest], pending: Sequence[int]
+    ) -> Dict[int, Tuple[Optional[FlowResult], Optional[BuildError], float]]:
+        if self.jobs == 1 or len(pending) == 1:
+            return {index: _execute(self.flow, requests[index]) for index in pending}
+        workers = min(self.jobs, len(pending))
+        logger.info(
+            "dispatching %d builds over %d worker processes", len(pending), workers
+        )
+        executed: Dict[
+            int, Tuple[Optional[FlowResult], Optional[BuildError], float]
+        ] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                index: pool.submit(_pool_execute, (self.flow, requests[index]))
+                for index in pending
+            }
+            for index, future in futures.items():
+                try:
+                    executed[index] = future.result()
+                except Exception as error:  # pool/pickling infrastructure failure
+                    executed[index] = (
+                        None,
+                        BuildError(kind=type(error).__name__, message=str(error)),
+                        0.0,
+                    )
+        return executed

@@ -12,7 +12,7 @@ intermediate the paper's tables report (synthesis makespan, t_static,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import DesignMetrics, compute_metrics
@@ -28,18 +28,13 @@ from repro.obs.tracer import NULL_TRACER
 from repro.floorplan.constraints import validate_floorplan
 from repro.floorplan.flora import Floorplan, FloraFloorplanner
 from repro.flow.blackbox import BlackBoxWrapper, generate_blackboxes
-from repro.flow.schedule import (
-    ImplementationPlan,
-    ImplementationRun,
-    RunKind,
-    plan_implementation,
-)
+from repro.flow.schedule import ImplementationPlan, plan_implementation
 from repro.soc.config import SocConfig
 from repro.soc.partition import DesignPartition, partition_design
 from repro.vivado.bitstream import Bitstream
-from repro.vivado.checkpoint import NetlistCheckpoint, RoutedCheckpoint
+from repro.vivado.checkpoint import NetlistCheckpoint
 from repro.vivado.par import ParMode
-from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind, RuntimeModel
+from repro.vivado.runtime_model import CALIBRATED_MODEL, RuntimeModel
 from repro.vivado.server import ScheduleResult, ToolJob, VivadoServer
 from repro.vivado.tool import VivadoInstance
 
@@ -319,12 +314,17 @@ class DprFlow:
             result.total_minutes,
         )
         if tracer.enabled:
-            self._record_trace(result, tracer)
+            self.record_trace(result, tracer)
         return result
 
     # ------------------------------------------------------------------
-    def _record_trace(self, result: FlowResult, tracer) -> None:
+    def record_trace(self, result: FlowResult, tracer) -> None:
         """Project a finished build onto the tracer (CAD minutes).
+
+        Public because cache hits replay it: a ``FlowResult`` served
+        from the :class:`repro.flow.cache.FlowCache` carries everything
+        the projection reads, so a cached build traces byte-identically
+        to the fresh one.
 
         The stage spans tile the ``flow/build`` track back to back
         (zero-cost stages become instants); each scheduled tool job

@@ -10,7 +10,7 @@ what PR-ESP uses.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Sequence, TypeVar
 
 from repro.errors import FlowError
 

@@ -16,12 +16,11 @@ required; :class:`IncrementalFlow` detects that and refuses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FlowError
-from repro.core.strategy import ImplementationStrategy
-from repro.flow.dpr_flow import DprFlow, FlowResult
+from repro.flow.dpr_flow import FlowResult
 from repro.soc.esp_library import AcceleratorIP
 from repro.soc.tiles import ReconfigurableTile
 from repro.vivado.bitstream import Bitstream

@@ -10,7 +10,7 @@ static and all reconfigurable modules together).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.metrics import DesignMetrics, compute_metrics
 from repro.errors import FlowError

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.core.strategy import ImplementationStrategy, StrategyDecision
 from repro.errors import FlowError

@@ -15,10 +15,10 @@ export byte-identical files:
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
-from repro.obs.tracer import NullTracer, Span, Tracer
+from repro.obs.tracer import NullTracer, Tracer
 
 #: Microseconds per tracer time unit.
 _US_PER_UNIT = {"s": 1e6, "min": 60e6}

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import logging
 import sys
-from typing import Optional
 
 #: Root logger name of the package.
 ROOT = "repro"

@@ -15,7 +15,7 @@ equivalence and overhead checks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ReconfigurationError

@@ -19,7 +19,7 @@ this protocol on the discrete-event kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ReconfigurationError

@@ -10,7 +10,7 @@ models that store.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import ReconfigurationError
 from repro.vivado.bitstream import Bitstream, BitstreamKind

@@ -16,8 +16,8 @@ why the flow generates compressed partial bitstreams.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.errors import ReconfigurationError
 from repro.noc.mesh import Mesh
@@ -25,7 +25,7 @@ from repro.noc.packet import FLIT_BYTES, HEADER_FLITS
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
-from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import Simulator
 from repro.sim.resources import Lock
 
 logger = get_logger("runtime.prc")

@@ -8,7 +8,7 @@ delays, reconfiguration shares, and ICAP pressure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ReconfigurationError

@@ -12,8 +12,8 @@ headline numbers.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.errors import ConfigurationError
 from repro.fabric.resources import ResourceVector

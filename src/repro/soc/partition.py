@@ -10,8 +10,8 @@ NoC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.errors import FlowError
 from repro.fabric.resources import ResourceVector

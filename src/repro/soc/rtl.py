@@ -11,7 +11,7 @@ to produce netlist checkpoints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 from repro.errors import ConfigurationError, DprRuleViolation
 from repro.soc.config import SocConfig

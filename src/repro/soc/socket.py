@@ -12,7 +12,7 @@ re-enables them once the new bitstream is live (Sec. III of the paper).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ReconfigurationError

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.soc.config import SocConfig
-from repro.soc.tiles import ReconfigurableTile, TileKind
+from repro.soc.tiles import TileKind
 
 
 class Severity(enum.Enum):

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.metrics import compute_metrics
 from repro.core.strategy import ImplementationStrategy
 from repro.errors import ConfigurationError
+from repro.flow.batch import BatchBuilder, BuildRequest, cached_build
+from repro.flow.cache import FlowCache
 from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.soc.config import SocConfig
 from repro.soc.esp_library import AcceleratorIP, HlsFlow
@@ -135,11 +136,31 @@ class CharacterizationRun:
         return obs
 
 
-class Characterizer:
-    """Runs the sweep of Sec. IV over arbitrary designs."""
+def strategy_for_tau(num_rps: int, tau: int) -> ImplementationStrategy:
+    """The strategy an explicit parallelism level τ maps to."""
+    if tau == 1:
+        return ImplementationStrategy.SERIAL
+    if tau >= num_rps:
+        return ImplementationStrategy.FULLY_PARALLEL
+    return ImplementationStrategy.SEMI_PARALLEL
 
-    def __init__(self, flow: Optional[DprFlow] = None) -> None:
+
+class Characterizer:
+    """Runs the sweep of Sec. IV over arbitrary designs.
+
+    ``cache`` short-circuits repeat (design, τ) builds; ``jobs`` fans
+    the sweep's remaining builds out over worker processes.
+    """
+
+    def __init__(
+        self,
+        flow: Optional[DprFlow] = None,
+        cache: Optional[FlowCache] = None,
+        jobs: int = 1,
+    ) -> None:
         self.flow = flow or DprFlow()
+        self.cache = cache
+        self.batch = BatchBuilder(flow=self.flow, cache=cache, jobs=jobs)
 
     def taus_for(self, config: SocConfig, max_tau: Optional[int] = None) -> List[int]:
         """Feasible parallelism levels: 1..N (optionally capped)."""
@@ -149,14 +170,23 @@ class Characterizer:
 
     def measure(self, config: SocConfig, tau: int) -> CharacterizationPoint:
         """Run the flow at an explicit τ and record the point."""
-        n = len(config.reconfigurable_tiles)
-        if tau == 1:
-            strategy = ImplementationStrategy.SERIAL
-        elif tau >= n:
-            strategy = ImplementationStrategy.FULLY_PARALLEL
-        else:
-            strategy = ImplementationStrategy.SEMI_PARALLEL
-        result = self.flow.build(config, strategy_override=strategy, semi_tau=tau)
+        strategy = strategy_for_tau(len(config.reconfigurable_tiles), tau)
+        result, _ = cached_build(
+            self.flow,
+            self.cache,
+            config,
+            strategy_override=strategy,
+            semi_tau=tau,
+        )
+        return self._point(config, tau, strategy, result)
+
+    def _point(
+        self,
+        config: SocConfig,
+        tau: int,
+        strategy: ImplementationStrategy,
+        result: FlowResult,
+    ) -> CharacterizationPoint:
         group_kluts = self._group_makespan_kluts(result, tau)
         return CharacterizationPoint(
             design=config.name,
@@ -182,11 +212,36 @@ class Characterizer:
     def sweep(
         self, configs: Sequence[SocConfig], max_tau: Optional[int] = None
     ) -> CharacterizationRun:
-        """Measure every config at every feasible τ."""
+        """Measure every config at every feasible τ.
+
+        The whole grid goes through the batch build service in one
+        shot, so cached points are skipped and the rest parallelize
+        across the configured worker processes. Characterization needs
+        every point, so a failed build raises.
+        """
+        grid = [
+            (config, tau)
+            for config in configs
+            for tau in self.taus_for(config, max_tau)
+        ]
+        requests = [
+            BuildRequest(
+                config=config,
+                strategy_override=strategy_for_tau(
+                    len(config.reconfigurable_tiles), tau
+                ),
+                semi_tau=tau,
+            )
+            for config, tau in grid
+        ]
+        outcomes = self.batch.build_many(requests)
         run = CharacterizationRun()
-        for config in configs:
-            for tau in self.taus_for(config, max_tau):
-                run.points.append(self.measure(config, tau))
+        for (config, tau), request, outcome in zip(grid, requests, outcomes):
+            run.points.append(
+                self._point(
+                    config, tau, request.strategy_override, outcome.unwrap()
+                )
+            )
         return run
 
     def refit(self, run: CharacterizationRun) -> RuntimeModel:

@@ -18,9 +18,8 @@ EXPERIMENTS.md error bands quantify the residuals.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.metrics import DesignMetrics
 from repro.core.strategy import ImplementationStrategy

@@ -10,8 +10,9 @@ while recording which instance ran what.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import FlowError
 from repro.obs.logconfig import get_logger
@@ -51,12 +52,17 @@ class ScheduleResult:
     makespan_minutes: float
     instances_used: int
 
+    @cached_property
+    def _jobs_by_name(self) -> Dict[str, ScheduledJob]:
+        """Lazily built name -> placement index (job names are unique)."""
+        return {scheduled.job.name: scheduled for scheduled in self.jobs}
+
     def job_named(self, name: str) -> ScheduledJob:
         """Lookup by job name."""
-        for scheduled in self.jobs:
-            if scheduled.job.name == name:
-                return scheduled
-        raise FlowError(f"no scheduled job named {name!r}")
+        try:
+            return self._jobs_by_name[name]
+        except KeyError:
+            raise FlowError(f"no scheduled job named {name!r}") from None
 
 
 class VivadoServer:

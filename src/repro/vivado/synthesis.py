@@ -11,7 +11,7 @@ the PR-ESP flow exploits to parallelize all syntheses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from repro.errors import SynthesisError
 from repro.soc.rtl import Module

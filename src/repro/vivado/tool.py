@@ -8,10 +8,9 @@ of the .jou file, which the flow's reports surface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
-from repro.errors import ImplementationError
 from repro.fabric.device import Device
 from repro.obs.logconfig import get_logger
 from repro.fabric.pblock import Pblock
@@ -19,9 +18,9 @@ from repro.fabric.resources import ResourceVector
 from repro.soc.rtl import Module
 from repro.vivado.bitstream import Bitstream, BitstreamGenerator
 from repro.vivado.checkpoint import NetlistCheckpoint, RoutedCheckpoint
-from repro.vivado.par import ParEngine, ParMode, ParResult
+from repro.vivado.par import ParEngine, ParMode
 from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind, RuntimeModel
-from repro.vivado.synthesis import SynthesisEngine, SynthesisResult
+from repro.vivado.synthesis import SynthesisEngine
 
 logger = get_logger("vivado.tool")
 

@@ -9,7 +9,6 @@ Tables IV and VI reference.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx

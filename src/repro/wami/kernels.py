@@ -18,9 +18,26 @@ with x = column, y = row (the classical Baker-Matthews parameterization).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
+
+
+@lru_cache(maxsize=8)
+def _coordinate_grid(shape: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+    """The (ys, xs) pixel-coordinate planes for ``shape``, cached.
+
+    ``warp`` and ``steepest_descent`` both sample on the same integer
+    grid; rebuilding it with ``np.mgrid`` on every Lucas-Kanade
+    iteration (~20 per frame) dominated their runtime, so the grid is
+    built once per shape. The returned arrays are marked read-only —
+    callers derive new arrays from them and must never mutate them.
+    """
+    ys, xs = np.mgrid[0 : shape[0], 0 : shape[1]].astype(np.float64)
+    ys.setflags(write=False)
+    xs.setflags(write=False)
+    return ys, xs
 
 
 # ----------------------------------------------------------------------
@@ -102,8 +119,7 @@ def gradient(img: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 # ----------------------------------------------------------------------
 def _affine_grid(shape: Tuple[int, int], p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Sample coordinates (rows, cols) of the affine warp W(x; p)."""
-    height, width = shape
-    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    ys, xs = _coordinate_grid(tuple(shape))
     xw = (1.0 + p[0]) * xs + p[2] * ys + p[4]
     yw = p[1] * xs + (1.0 + p[3]) * ys + p[5]
     return yw, xw
@@ -161,7 +177,7 @@ def steepest_descent(gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
     if gx.shape != gy.shape or gx.ndim != 2:
         raise ValueError("gradients must be two equal-shape 2-D arrays")
     height, width = gx.shape
-    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    ys, xs = _coordinate_grid((height, width))
     sd = np.empty((6, height, width), dtype=np.float64)
     sd[0] = xs * gx
     sd[1] = xs * gy

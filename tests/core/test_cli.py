@@ -148,3 +148,56 @@ class TestObservabilityFlags:
         assert main(["-v", "designs"]) == 0
         capsys.readouterr()
         assert main(["--log-level", "debug", "designs"]) == 0
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        assert main(["sweep", "soc_a", "--strategies", "all"]) == 0
+        out = capsys.readouterr().out
+        for label in (
+            "soc_a/auto",
+            "soc_a/serial",
+            "soc_a/semi-parallel",
+            "soc_a/fully-parallel",
+        ):
+            assert label in out
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        assert main(["sweep", "soc_a", "soc_b", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["request"] for row in rows] == ["soc_a/auto", "soc_b/auto"]
+        assert all(row["ok"] for row in rows)
+        assert all("summary" in row for row in rows)
+
+    def test_sweep_strategy_list(self, capsys):
+        assert main(["sweep", "soc_b", "--strategies", "serial,fully-parallel"]) == 0
+        out = capsys.readouterr().out
+        assert "soc_b/serial" in out
+        assert "soc_b/auto" not in out
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        args = ["sweep", "soc_a", "--cache", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "built" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cached" in second
+        assert "1 hits" in second
+
+    def test_sweep_unknown_design_fails(self, capsys):
+        assert main(["sweep", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_build_cache_flag(self, capsys, tmp_path):
+        args = ["build", "soc_3", "--cache", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "flow cache" not in capsys.readouterr().out
+        assert main(args) == 0
+        assert "served from the flow cache" in capsys.readouterr().out
+
+    def test_sweep_unknown_strategy_fails_cleanly(self, capsys):
+        assert main(["sweep", "soc_a", "--strategies", "bogus"]) == 1
+        assert "unknown strategy" in capsys.readouterr().err

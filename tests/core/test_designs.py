@@ -1,6 +1,5 @@
 """Tests for the paper's evaluation SoC definitions."""
 
-import pytest
 
 from repro.core.designs import (
     WAMI_FLOW_SOC_ACCS,

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.metrics import DesignMetrics, compute_metrics, metrics_from_sizes
+from repro.core.metrics import compute_metrics, metrics_from_sizes
 from repro.errors import ConfigurationError
 
 

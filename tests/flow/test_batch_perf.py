@@ -1,0 +1,100 @@
+"""Wall-clock acceptance tests for the build service (``-m perf``).
+
+Two claims back the batch/cache layer:
+
+* the 12-build Table IV sweep (4 WAMI SoCs x 3 strategies) through
+  ``BatchBuilder --jobs 4`` is at least 2x faster than running the same
+  builds serially (needs >= 4 cores — skipped on smaller runners);
+* repeating the sweep against a warm cache is at least 10x faster than
+  the cold pass, and byte-identical in its summaries.
+
+Both tests assert result *identity* alongside speed, so a fast-but-
+wrong shortcut cannot pass.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.designs import wami_parallelism_socs
+from repro.core.strategy import ImplementationStrategy
+from repro.flow.batch import BatchBuilder, BuildRequest
+from repro.flow.cache import FlowCache
+from repro.flow.dpr_flow import DprFlow
+
+pytestmark = pytest.mark.perf
+
+STRATEGIES = (
+    ImplementationStrategy.SERIAL,
+    ImplementationStrategy.SEMI_PARALLEL,
+    ImplementationStrategy.FULLY_PARALLEL,
+)
+
+
+def sweep_requests():
+    """The Table IV grid: 4 WAMI SoCs x 3 strategies = 12 builds."""
+    socs = wami_parallelism_socs()
+    return [
+        BuildRequest(config=config, strategy_override=strategy)
+        for config in socs.values()
+        for strategy in STRATEGIES
+    ]
+
+
+def summaries(outcomes):
+    return [outcome.unwrap().to_summary_dict() for outcome in outcomes]
+
+
+def test_warm_cache_sweep_at_least_10x_faster():
+    flow = DprFlow()
+    cache = FlowCache()
+    builder = BatchBuilder(flow=flow, cache=cache)
+    requests = sweep_requests()
+
+    start = time.perf_counter()
+    cold = builder.build_many(requests)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = builder.build_many(requests)
+    warm_s = time.perf_counter() - start
+
+    assert [outcome.cached for outcome in cold] == [False] * len(requests)
+    assert [outcome.cached for outcome in warm] == [True] * len(requests)
+    # Cached results must be indistinguishable from fresh ones.
+    assert summaries(warm) == summaries(cold)
+    fresh = [
+        flow.build(
+            request.config, strategy_override=request.strategy_override
+        ).to_summary_dict()
+        for request in requests
+    ]
+    assert summaries(warm) == fresh
+    assert warm_s * 10 <= cold_s, (
+        f"warm sweep {warm_s * 1000:.0f} ms vs cold {cold_s * 1000:.0f} ms "
+        f"(speedup {cold_s / warm_s:.1f}x < 10x)"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs at least 4 cores",
+)
+def test_parallel_sweep_at_least_2x_faster():
+    flow = DprFlow()
+    requests = sweep_requests()
+
+    start = time.perf_counter()
+    serial = BatchBuilder(flow=flow, jobs=1).build_many(requests)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = BatchBuilder(flow=flow, jobs=4).build_many(requests)
+    parallel_s = time.perf_counter() - start
+
+    assert summaries(parallel) == summaries(serial)
+    assert parallel_s * 2 <= serial_s, (
+        f"parallel sweep {parallel_s:.2f} s vs serial {serial_s:.2f} s "
+        f"(speedup {serial_s / parallel_s:.1f}x < 2x)"
+    )

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.strategy import ImplementationStrategy
-from repro.errors import PrEspError
 from repro.flow.dpr_flow import DprFlow
 from repro.floorplan.constraints import validate_floorplan
 from repro.soc.config import SocConfig

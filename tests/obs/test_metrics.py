@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.obs.metrics import (
-    Counter,
-    MetricsError,
-    MetricsRegistry,
-    NULL_METRICS,
-)
+from repro.obs.metrics import MetricsError, MetricsRegistry, NULL_METRICS
 
 
 @pytest.fixture

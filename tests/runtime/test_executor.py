@@ -10,7 +10,6 @@ from repro.runtime.executor import AppExecutor, StageTask
 from repro.runtime.manager import ReconfigurationManager
 from repro.runtime.memory import BitstreamStore
 from repro.runtime.prc import PrcDevice
-from repro.sim.kernel import Simulator
 from repro.vivado.bitstream import Bitstream, BitstreamKind
 
 

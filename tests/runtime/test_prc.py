@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ReconfigurationError
 from repro.noc.mesh import Mesh
 from repro.runtime.prc import PrcDevice
-from repro.sim.kernel import Simulator
 
 
 def make_prc(sim, fetch=1.2, clock=78e6):

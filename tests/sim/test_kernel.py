@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.kernel import Event, Simulator
 
 
 class TestEvents:

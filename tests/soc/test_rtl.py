@@ -1,8 +1,6 @@
 """Tests for RTL hierarchy generation and DPR rule checking."""
 
-import pytest
 
-from repro.errors import DprRuleViolation
 from repro.soc.rtl import Module, generate_rtl
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.fabric.resources import ResourceVector
 from repro.soc.esp_library import stock_accelerator
 from repro.soc.tiles import (
     CPU_TILE_LUTS,

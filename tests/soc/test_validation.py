@@ -1,6 +1,5 @@
 """Tests for the advisory design-rule checker."""
 
-import pytest
 
 from repro.soc.config import SocConfig
 from repro.soc.esp_library import stock_accelerator

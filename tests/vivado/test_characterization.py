@@ -9,6 +9,7 @@ from repro.vivado.characterization import (
     Characterizer,
     characterization_design,
     default_design_space,
+    strategy_for_tau,
     synthetic_accelerator,
 )
 from repro.vivado.runtime_model import JobKind
@@ -90,3 +91,38 @@ class TestSweep:
         config = characterization_design("capped", [3_000] * 6)
         points = Characterizer().sweep([config], max_tau=3).points
         assert sorted({p.tau for p in points}) == [1, 2, 3]
+
+
+class TestBuildService:
+    def test_strategy_for_tau_mapping(self):
+        from repro.core.strategy import ImplementationStrategy
+
+        assert strategy_for_tau(4, 1) is ImplementationStrategy.SERIAL
+        assert strategy_for_tau(4, 2) is ImplementationStrategy.SEMI_PARALLEL
+        assert strategy_for_tau(4, 3) is ImplementationStrategy.SEMI_PARALLEL
+        assert strategy_for_tau(4, 4) is ImplementationStrategy.FULLY_PARALLEL
+        assert strategy_for_tau(4, 9) is ImplementationStrategy.FULLY_PARALLEL
+
+    def test_cached_sweep_matches_cold_sweep(self):
+        from repro.flow.cache import FlowCache
+
+        configs = [characterization_design("chz_svc", [4_000, 5_000, 6_000])]
+        plain = Characterizer().sweep(configs)
+        cache = FlowCache()
+        characterizer = Characterizer(cache=cache)
+        cold = characterizer.sweep(configs)
+        warm = characterizer.sweep(configs)
+        assert cold.points == plain.points
+        assert warm.points == cold.points
+        assert cache.stats()["hits_memory"] == len(cold.points)
+
+    def test_measure_uses_the_cache(self):
+        from repro.flow.cache import FlowCache
+
+        config = characterization_design("chz_meas", [4_000, 5_000])
+        cache = FlowCache()
+        characterizer = Characterizer(cache=cache)
+        first = characterizer.measure(config, tau=2)
+        second = characterizer.measure(config, tau=2)
+        assert first == second
+        assert cache.stats()["hits_memory"] == 1

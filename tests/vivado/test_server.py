@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import FlowError
-from repro.vivado.server import ScheduleResult, ToolJob, VivadoServer
+from repro.vivado.server import ToolJob, VivadoServer
 
 
 class TestBasics:
@@ -113,3 +113,36 @@ class TestProperties:
         root_end = result.job_named("root").end_minutes
         for i in range(n):
             assert result.job_named(f"leaf{i}").start_minutes >= root_end - 1e-9
+
+
+class TestJobIndex:
+    """job_named is backed by a lazily built name -> job index."""
+
+    def test_index_covers_every_job(self):
+        jobs = [ToolJob("static", 50.0)] + [
+            ToolJob(f"ctx{i}", 10.0 + i, depends_on=("static",)) for i in range(20)
+        ]
+        result = VivadoServer(4).schedule(jobs)
+        for scheduled in result.jobs:
+            assert result.job_named(scheduled.job.name) is scheduled
+
+    def test_index_built_once(self):
+        result = VivadoServer(2).schedule(
+            [ToolJob("a", 1.0), ToolJob("b", 2.0)]
+        )
+        assert result._jobs_by_name is result._jobs_by_name
+
+    def test_missing_name_still_raises_flow_error(self):
+        result = VivadoServer(1).schedule([ToolJob("a", 1.0)])
+        with pytest.raises(FlowError, match="ghost"):
+            result.job_named("ghost")
+
+    def test_result_survives_pickling(self):
+        import pickle
+
+        result = VivadoServer(2).schedule(
+            [ToolJob("a", 1.0), ToolJob("b", 2.0, depends_on=("a",))]
+        )
+        result.job_named("a")  # populate the cached index first
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.job_named("b").start_minutes == result.job_named("b").start_minutes

@@ -1,7 +1,6 @@
 """Hypothesis property tests for the WAMI kernels."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 

@@ -2,11 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.wami.kernels import (
     GmmState,
+    _coordinate_grid,
     change_detection,
     debayer,
     gradient,
@@ -285,3 +284,40 @@ class TestChangeDetection:
         before = state.means.copy()
         change_detection(frame + 10, state)
         assert np.allclose(state.means, before)  # input state untouched
+
+
+class TestCoordinateGridCache:
+    """The integer sample grid is hoisted out of the LK iterations."""
+
+    def test_same_shape_reuses_the_grid(self):
+        ys1, xs1 = _coordinate_grid((24, 32))
+        ys2, xs2 = _coordinate_grid((24, 32))
+        assert ys1 is ys2 and xs1 is xs2
+
+    def test_distinct_shapes_get_distinct_grids(self):
+        assert _coordinate_grid((8, 8))[0] is not _coordinate_grid((8, 9))[0]
+
+    def test_grid_matches_mgrid(self):
+        ys, xs = _coordinate_grid((5, 7))
+        ref_ys, ref_xs = np.mgrid[0:5, 0:7].astype(np.float64)
+        assert np.array_equal(ys, ref_ys)
+        assert np.array_equal(xs, ref_xs)
+        assert ys.dtype == np.float64
+
+    def test_cached_grids_are_immutable(self):
+        ys, xs = _coordinate_grid((6, 6))
+        with pytest.raises(ValueError):
+            ys[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            xs[0, 0] = 99.0
+
+    def test_warp_and_steepest_descent_still_agree(self):
+        """The consumers of the shared grid keep their contract."""
+        img = textured(20)
+        identity = np.zeros(6)
+        assert np.allclose(warp(img, identity), img)
+        gx, gy = gradient(img)
+        sd = steepest_descent(gx, gy)
+        ys, xs = _coordinate_grid(img.shape)
+        assert np.allclose(sd[0], gx * xs)
+        assert np.allclose(sd[5], gy)
