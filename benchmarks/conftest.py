@@ -10,20 +10,33 @@ pytest-benchmark.
 from __future__ import annotations
 
 import pathlib
+import time
 
 import pytest
 
 from repro.core.platform import PrEspPlatform
+from repro.obs.perfbase import write_summary
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 class TableWriter:
-    """Collects formatted rows and persists them per experiment."""
+    """Collects formatted rows and persists them per experiment.
+
+    Besides the human table (``<experiment>.txt``), every key value
+    registered via :meth:`metric` lands in a machine-readable
+    ``BENCH_<experiment>.json`` summary — the input of
+    ``repro bench-diff`` against the committed baselines under
+    ``benchmarks/baselines/``. Metrics must be the deterministic
+    modelled values (minutes, counts, latencies); wall-clock goes into
+    the summary's ``meta`` automatically and is never compared.
+    """
 
     def __init__(self, experiment: str) -> None:
         self.experiment = experiment
         self.lines: list = []
+        self.metrics: dict = {}
+        self._started = time.perf_counter()
 
     def row(self, text: str = "") -> None:
         self.lines.append(text)
@@ -33,10 +46,21 @@ class TableWriter:
         self.row(title)
         self.row("=" * 78)
 
+    def metric(self, name: str, value: float) -> None:
+        """Register one baseline-checkable value of this experiment."""
+        self.metrics[name] = float(value)
+
     def flush(self) -> str:
         text = "\n".join(self.lines) + "\n"
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{self.experiment}.txt").write_text(text)
+        if self.metrics:
+            write_summary(
+                RESULTS_DIR,
+                self.experiment,
+                self.metrics,
+                meta={"wall_s": round(time.perf_counter() - self._started, 6)},
+            )
         print("\n" + text)
         return text
 

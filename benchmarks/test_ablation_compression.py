@@ -49,11 +49,17 @@ def test_ablation_compression(benchmark, table_writer, both):
             f"{total_kib:>9.0f}K {total_kib / len(partials):>8.0f}K "
             f"{reconf_ms:>11.1f}ms {report.seconds_per_frame * 1000:>9.1f}"
         )
+        mode = "compressed" if compressed else "uncompressed"
+        table_writer.metric(f"{mode}_total_pbs_kib", total_kib)
+        table_writer.metric(
+            f"{mode}_ms_per_frame", report.seconds_per_frame * 1000
+        )
     compressed_report = results[True][1]
     raw_report = results[False][1]
     speedup = raw_report.seconds_per_frame / compressed_report.seconds_per_frame
     table_writer.row()
     table_writer.row(f"frame-time speedup from compression: {speedup:.2f}x")
+    table_writer.metric("frame_time_speedup", speedup)
     table_writer.flush()
 
 

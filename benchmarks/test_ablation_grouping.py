@@ -54,12 +54,17 @@ def test_ablation_grouping(benchmark, table_writer):
     table_writer.row(
         f"{'soc':8s} {'tau':>4s} {'omega LPT':>10s} {'omega naive':>12s} {'penalty':>8s}"
     )
+    penalties = []
     for name, tau, lpt_omega, naive_omega in rows:
         penalty = 100.0 * (naive_omega - lpt_omega) / lpt_omega
+        penalties.append(penalty)
         table_writer.row(
             f"{name:8s} {tau:>4d} {lpt_omega:>10.1f} {naive_omega:>12.1f} "
             f"{penalty:>+7.1f}%"
         )
+    table_writer.metric("cases", len(rows))
+    table_writer.metric("mean_penalty_pct", sum(penalties) / len(penalties))
+    table_writer.metric("max_penalty_pct", max(penalties))
     table_writer.flush()
 
     # LPT never loses to the naive split.

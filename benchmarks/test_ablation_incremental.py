@@ -46,6 +46,9 @@ def test_ablation_incremental(benchmark, table_writer, rows):
             f"{one.speedup:>7.1f}x {everything.makespan_minutes:>10.0f} "
             f"{everything.speedup:>7.1f}x"
         )
+        table_writer.metric(f"{name}_full_min", base.total_minutes)
+        table_writer.metric(f"{name}_one_tile_speedup", one.speedup)
+        table_writer.metric(f"{name}_all_tiles_speedup", everything.speedup)
     table_writer.flush()
 
 

@@ -85,6 +85,12 @@ def test_ablation_partitioning(benchmark, table_writer, comparison):
             f"{'':>5s} {'':>7s} (estimator predicted {estimate * 1000:.1f} ms)"
         )
         table_writer.row()
+        table_writer.metric(
+            f"paper_{tiles}t_ms_per_frame", paper_report.seconds_per_frame * 1000
+        )
+        table_writer.metric(
+            f"auto_{tiles}t_ms_per_frame", auto_report.seconds_per_frame * 1000
+        )
     table_writer.flush()
 
 

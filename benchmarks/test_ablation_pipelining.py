@@ -51,6 +51,9 @@ def test_ablation_pipelining(benchmark, table_writer, results):
         table_writer.row(
             f"{name:6s} {seq:>9.1f}ms {pipe:>8.1f}ms {seq / pipe:>7.2f}x"
         )
+        table_writer.metric(f"{name}_sequential_ms", seq)
+        table_writer.metric(f"{name}_pipelined_ms", pipe)
+        table_writer.metric(f"{name}_speedup", seq / pipe)
     table_writer.row()
     table_writer.row("gains are bounded by the WAMI DAG (width 2) and by each")
     table_writer.row("stage's dependence on its own previous-frame state.")

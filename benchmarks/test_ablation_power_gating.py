@@ -46,6 +46,9 @@ def test_ablation_power_gating(benchmark, table_writer, results):
     for name, pair in data.items():
         off, on = pair[False], pair[True]
         saved = 100.0 * (off.joules_per_frame - on.joules_per_frame) / off.joules_per_frame
+        table_writer.metric(f"{name}_j_per_frame_off", off.joules_per_frame)
+        table_writer.metric(f"{name}_j_per_frame_on", on.joules_per_frame)
+        table_writer.metric(f"{name}_energy_saved_pct", saved)
         for gated, report in ((False, off), (True, on)):
             table_writer.row(
                 f"{name:6s} {'on' if gated else 'off':>7s} "

@@ -67,6 +67,14 @@ def test_ablation_thresholds(benchmark, table_writer):
         table_writer.row(
             f"{ratio:>10.2f} {f'[{low}, {high}]':>14s} {hits:>25d}{marker}"
         )
+    table_writer.metric("sweep_points", len(rows))
+    table_writer.metric(
+        "chosen_point_hits", agreement(metrics_by_name, 2.5, 0.8, 1.15)
+    )
+    table_writer.metric(
+        "plateau_points_at_8",
+        sum(1 for _r, _l, _h, hits in rows if hits == 8),
+    )
     table_writer.flush()
 
     # The chosen point achieves 8/8.

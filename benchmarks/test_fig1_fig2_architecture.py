@@ -34,6 +34,8 @@ def test_fig1_flow_stages(benchmark, table_writer, flow_result):
             else "      --  "
         )
         table_writer.row(f"  {index}. {stage.stage:20s} {timing}  {stage.detail}")
+    table_writer.metric("stage_count", len(result.stages))
+    table_writer.metric("total_min", sum(s.wall_minutes for s in result.stages))
     table_writer.flush()
 
     names = [s.stage for s in result.stages]
@@ -69,6 +71,8 @@ def test_fig2b_reconfigurable_tile_structure(benchmark, table_writer):
     table_writer.row("reconfigurable wrapper interface (Sec. III):")
     for name, direction, width in WRAPPER_PORTS:
         table_writer.row(f"  {direction:3s} {name} [{width}]")
+    table_writer.metric("tile_modules", sum(1 for _ in node.walk()))
+    table_writer.metric("wrapper_ports", len(WRAPPER_PORTS))
     table_writer.flush()
 
     # Structural assertions: socket with router/proxies/decoupler in the
@@ -110,5 +114,6 @@ def test_fig2a_software_stack(benchmark, table_writer):
     table_writer.header("Fig. 2A — the PR-ESP software stack (as instantiated)")
     for layer, description in stack:
         table_writer.row(f"  {layer:10s} {description}")
+    table_writer.metric("stack_layers", len(stack))
     table_writer.flush()
     assert len(stack) == 5

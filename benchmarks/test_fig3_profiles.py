@@ -44,6 +44,8 @@ def test_fig3_profiles(benchmark, table_writer, platform, profiles):
             f"{hw.exec_time_s * 1000:>6.1f}ms {hw.sw_time_s * 1000:>6.0f}ms "
             f"{profile.partial_bitstream_kib:>6.0f}K {profile.region_kluts:>7.1f}k"
         )
+        table_writer.metric(f"{stage.kernel_name}_pbs_kib", profile.partial_bitstream_kib)
+    table_writer.metric("total_luts", sum(p.luts for p in results.values()))
     table_writer.flush()
 
 

@@ -58,7 +58,15 @@ def test_fig4_wami_runtime(benchmark, table_writer, reports):
             f"{report.reconfigurations / FRAMES:>13.1f} "
             f"{','.join(s.kernel_name for s in report.software_stages) or '-':>24s}"
         )
+    for name, report in results.items():
+        table_writer.metric(f"{name}_ms_per_frame", report.seconds_per_frame * 1000)
+        table_writer.metric(f"{name}_j_per_frame", report.joules_per_frame)
+        table_writer.metric(
+            f"{name}_reconf_per_frame", report.reconfigurations / FRAMES
+        )
     x, y, z = results["soc_x"], results["soc_y"], results["soc_z"]
+    table_writer.metric("time_ratio_x_over_y", x.seconds_per_frame / y.seconds_per_frame)
+    table_writer.metric("time_ratio_x_over_z", x.seconds_per_frame / z.seconds_per_frame)
     table_writer.row()
     table_writer.row("execution-time ratios:")
     table_writer.row(

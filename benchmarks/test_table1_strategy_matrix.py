@@ -83,6 +83,11 @@ def test_table1_strategy_matrix(benchmark, table_writer):
                 assert decision.strategy in expected
             else:
                 assert decision.strategy is expected
+    for strategy in ImplementationStrategy:
+        table_writer.metric(
+            f"cells_{strategy.value.replace('-', '_')}",
+            sum(1 for _m, d in matrix.values() if d.strategy is strategy),
+        )
     table_writer.flush()
 
 

@@ -49,6 +49,8 @@ def test_table2_resources(benchmark, table_writer):
         table_writer.row(
             f"{name:18s} {got:>10d} {paper_luts:>10d} {got - paper_luts:>+8d}"
         )
+        slug = name.replace(" ", "_").replace("(", "").replace(")", "").replace("/", "")
+        table_writer.metric(f"{slug}_luts", got)
     table_writer.flush()
 
     # Accelerator and CPU sizes are the published numbers by catalog

@@ -90,6 +90,9 @@ def test_table3_characterization(benchmark, table_writer, characterization):
                 f"{('-' if paper_static is None else str(paper_static)):>10s} "
                 f"{paper_total:>8d}"
             )
+            table_writer.metric(
+                f"{name}_tau{tau}_total_min", result.par_makespan_minutes
+            )
         table_writer.row()
     table_writer.flush()
 

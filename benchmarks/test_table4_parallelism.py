@@ -96,6 +96,14 @@ def test_table4_parallelism(benchmark, table_writer, sweep_results):
                 f"{result.par_makespan_minutes:>7.0f} {p_total:>7d} "
                 f"{'<-- ' if strategy is chosen else '':>7s}"
             )
+            table_writer.metric(
+                f"{name}_{strategy.value.replace('-', '_')}_total_min",
+                result.par_makespan_minutes,
+            )
+        table_writer.metric(
+            f"{name}_chosen_total_min",
+            results[name]["chosen"].par_makespan_minutes,
+        )
         table_writer.row()
     table_writer.flush()
 

@@ -67,6 +67,9 @@ def test_table5_vs_monolithic(benchmark, table_writer, comparisons):
             f"{mono.synth_minutes:>8.0f} {mono.par_minutes:>7.0f} "
             f"{mono.total_minutes:>7.0f} | {gain:>+6.1f}% {paper_gain:>+6.1f}%"
         )
+        table_writer.metric(f"{name}_presp_total_min", presp.total_minutes)
+        table_writer.metric(f"{name}_mono_total_min", mono.total_minutes)
+        table_writer.metric(f"{name}_gain_pct", gain)
     table_writer.row()
     table_writer.row(
         "note: the paper measured SoC_B (class 1.1) 2.5% *slower* than the"

@@ -57,6 +57,7 @@ def test_table6_partitioning(benchmark, table_writer, builds):
                 f"{name:6s} {tile:5s} {str(indexes):>16s} {largest:>8.0f}K "
                 f"{average:>8.0f}K {paper:>6d}K"
             )
+            table_writer.metric(f"{name}_{tile}_max_pbs_kib", largest)
         table_writer.row()
     table_writer.flush()
 

@@ -8,6 +8,8 @@ evaluation entry points:
 * ``sweep CONFIG...``      batch-build configs x strategies via the build service
 * ``compare CONFIG``       PR-ESP vs the monolithic baseline (Table V row)
 * ``deploy CONFIG``        run WAMI on a built SoC (Fig. 4 methodology)
+* ``monitor CONFIG``       deploy with the health monitor attached
+* ``bench-diff``           compare BENCH_*.json summaries against baselines
 * ``profile STAGE``        Fig. 3-style profile of one WAMI accelerator
 * ``model``                show the calibrated CAD-runtime curves
 
@@ -42,6 +44,14 @@ from repro.obs.logconfig import (
     level_from_verbosity,
 )
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.perfbase import (
+    baseline_from_summary,
+    compare_directories,
+    find_baselines,
+    find_summaries,
+    load_summary,
+    write_baseline,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.soc.config import SocConfig
 from repro.soc.esp_parser import load_esp_config
@@ -252,6 +262,110 @@ def cmd_deploy(args) -> int:
     return 0
 
 
+def parse_injections(specs) -> list:
+    """``TILE:MODE[:COUNT]`` flags -> (tile, mode, count) triples."""
+    injections = []
+    for spec in specs or []:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+            raise PrEspError(
+                f"bad --inject-failure {spec!r}; expected TILE:MODE[:COUNT]"
+            )
+        try:
+            count = int(parts[2]) if len(parts) == 3 else 1
+        except ValueError:
+            raise PrEspError(
+                f"bad --inject-failure count in {spec!r}; expected an integer"
+            ) from None
+        injections.append((parts[0], parts[1], count))
+    return injections
+
+
+def cmd_monitor(args) -> int:
+    config = resolve_config(args.config)
+    platform = PrEspPlatform()
+    report, health, bus = platform.monitor_wami(
+        config,
+        frames=args.frames,
+        reconfig_deadline_s=args.deadline,
+        window_s=args.window,
+        failure_rate_degraded=args.failure_rate_degraded,
+        failure_rate_critical=args.failure_rate_critical,
+        queue_depth_degraded=args.queue_depth_degraded,
+        inject_failures=parse_injections(args.inject_failure),
+    )
+    if args.json:
+        payload = health.to_dict()
+        payload["deploy"] = {
+            "config": config.name,
+            "frames": report.frames,
+            "seconds_per_frame": report.seconds_per_frame,
+            "reconfigurations": report.reconfigurations,
+        }
+        payload["events"] = [
+            {
+                "seq": event.seq,
+                "kind": event.kind,
+                "time": event.time,
+                "source": event.source,
+                "attrs": dict(event.attrs),
+            }
+            for event in bus.last(args.events)
+        ]
+        print(json.dumps(payload, indent=2))
+        return health.verdict.exit_code
+    print(f"{config.name}: {report.frames} frames, "
+          f"{report.reconfigurations} reconfigurations")
+    print(f"  frame latency : {report.seconds_per_frame * 1000:.1f} ms")
+    print()
+    for line in health.summary_lines():
+        print(line)
+    if args.events:
+        shown = bus.last(args.events)
+        print()
+        print(f"recent events ({len(shown)} of {len(bus)} buffered, "
+              f"{bus.dropped} dropped):")
+        for event in shown:
+            print(f"  {event}")
+    return health.verdict.exit_code
+
+
+def cmd_bench_diff(args) -> int:
+    if args.update:
+        summaries = find_summaries(args.results_dir)
+        if not summaries:
+            print(
+                f"error: no {args.results_dir}/BENCH_*.json summaries to seed "
+                "baselines from (run the benches first)",
+                file=sys.stderr,
+            )
+            return 1
+        for experiment, path in sorted(summaries.items()):
+            baseline = baseline_from_summary(
+                load_summary(path), tolerance=args.tolerance
+            )
+            written = write_baseline(args.baselines_dir, baseline)
+            print(f"seeded {written} ({len(baseline.entries)} metrics)")
+        return 0
+    if not find_baselines(args.baselines_dir):
+        print(
+            f"error: no baselines under {args.baselines_dir} "
+            "(seed them with: repro bench-diff --update)",
+            file=sys.stderr,
+        )
+        return 1
+    results = compare_directories(args.results_dir, args.baselines_dir)
+    for result in results:
+        for line in result.summary_lines():
+            print(line)
+    failed = [r for r in results if not r.ok]
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} experiments in band"
+        + (f", {len(failed)} FAILED" if failed else "")
+    )
+    return 1 if failed else 0
+
+
 def cmd_profile(args) -> int:
     try:
         stage = WamiStage[args.stage.upper()]
@@ -400,6 +514,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the deployment report plus metrics as JSON",
     )
     deploy.set_defaults(func=cmd_deploy)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="deploy WAMI with the health monitor attached",
+        description=(
+            "Run a WAMI deployment with the event bus and health monitor "
+            "wired in, then print the health dashboard. Exit code follows "
+            "the verdict: 0 ok, 1 degraded, 2 critical."
+        ),
+    )
+    monitor.add_argument("config", help="design name or esp_config path")
+    monitor.add_argument("--frames", type=int, default=4)
+    monitor.add_argument(
+        "--deadline",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="stuck-reconfiguration deadline in simulated seconds",
+    )
+    monitor.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="sliding aggregation window in simulated seconds",
+    )
+    monitor.add_argument(
+        "--failure-rate-degraded",
+        type=float,
+        default=0.05,
+        metavar="R",
+        help="reconfiguration failure rate that degrades the verdict",
+    )
+    monitor.add_argument(
+        "--failure-rate-critical",
+        type=float,
+        default=0.5,
+        metavar="R",
+        help="reconfiguration failure rate that makes the verdict critical",
+    )
+    monitor.add_argument(
+        "--queue-depth-degraded",
+        type=int,
+        default=4,
+        metavar="N",
+        help="per-tile lock queue depth that degrades the verdict",
+    )
+    monitor.add_argument(
+        "--inject-failure",
+        action="append",
+        metavar="TILE:MODE[:COUNT]",
+        help="arm COUNT transfer failures for (tile, mode); repeatable",
+    )
+    monitor.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the last N bus events (0 hides them)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true", help="emit the health report as JSON"
+    )
+    monitor.set_defaults(func=cmd_monitor)
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare BENCH_*.json bench summaries against baselines",
+        description=(
+            "Diff the machine-readable bench summaries against the committed "
+            "perf baselines; exits 1 on any out-of-band metric."
+        ),
+    )
+    bench_diff.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        metavar="PATH",
+        help="directory the benches wrote BENCH_*.json into",
+    )
+    bench_diff.add_argument(
+        "--baselines-dir",
+        default="benchmarks/baselines",
+        metavar="PATH",
+        help="directory of committed baseline files",
+    )
+    bench_diff.add_argument(
+        "--update",
+        action="store_true",
+        help="seed/overwrite baselines from the current summaries instead",
+    )
+    bench_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        metavar="R",
+        help="relative tolerance written into seeded baselines",
+    )
+    bench_diff.set_defaults(func=cmd_bench_diff)
 
     profile = sub.add_parser("profile", help="Fig. 3-style accelerator profile")
     profile.add_argument("stage", help="WAMI stage name or index (1..12)")

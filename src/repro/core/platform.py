@@ -12,7 +12,7 @@ returning performance and energy (the Fig. 4 experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.strategy import ImplementationStrategy
 from repro.energy.measure import EnergyReport, measure_energy
@@ -24,6 +24,8 @@ from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.flow.monolithic import MonolithicFlow, MonolithicResult
 from repro.noc.mesh import Mesh
 from repro.obs.bridge import bridge_timeline, publish_runtime_stats
+from repro.obs.events import EventBus, NULL_EVENTS
+from repro.obs.health import HealthMonitor, HealthReport
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.api import DprUserApi
@@ -241,6 +243,8 @@ class PrEspPlatform:
         pipelined: bool = False,
         tracer=NULL_TRACER,
         metrics=NULL_METRICS,
+        events=NULL_EVENTS,
+        prc_setup: Optional[Callable[[PrcDevice], None]] = None,
     ) -> WamiRunReport:
         """Program a built SoC and run WAMI for ``frames`` frames.
 
@@ -256,7 +260,12 @@ class PrEspPlatform:
         ICAP, exec) live plus the application-level timeline spans via
         the lossless bridge — one merged Fig. 4 trace. ``metrics``
         receives the manager/PRC counters and the `RuntimeStats`
-        gauges.
+        gauges. ``events`` receives the manager's lifecycle events
+        (reconfig requested/started/completed/failed, driver swaps,
+        lock waits) — subscribe a
+        :class:`~repro.obs.health.HealthMonitor` for live watchdogs.
+        ``prc_setup`` is called with the constructed PRC before the run
+        starts — the fault-injection hook (``PrcDevice.inject_failure``).
         """
         if frames <= 0:
             raise ConfigurationError("frames must be positive")
@@ -271,6 +280,7 @@ class PrEspPlatform:
 
         sim = Simulator()
         tracer.use_clock(lambda: sim.now)
+        events.use_clock(lambda: sim.now)
         mesh = Mesh(
             rows=config.rows, cols=config.cols, clock_hz=DEPLOYMENT_CLOCK_HZ
         )
@@ -289,6 +299,8 @@ class PrEspPlatform:
             metrics=metrics,
             **prc_kwargs,
         )
+        if prc_setup is not None:
+            prc_setup(prc)
         store = BitstreamStore()
         store.load_flow_output(flow_result.bitstreams)
         registry = DriverRegistry()
@@ -299,7 +311,7 @@ class PrEspPlatform:
                 )
             )
         manager = ReconfigurationManager(
-            sim, prc, store, registry, tracer=tracer, metrics=metrics
+            sim, prc, store, registry, tracer=tracer, metrics=metrics, events=events
         )
         for tile in config.reconfigurable_tiles:
             manager.attach_tile(tile.name)
@@ -337,3 +349,61 @@ class PrEspPlatform:
             software_stages=tuple(application.software_stages(config)),
             runtime_stats=runtime_stats,
         )
+
+    def monitor_wami(
+        self,
+        config: SocConfig,
+        frames: int = 1,
+        flow_result: Optional[FlowResult] = None,
+        reconfig_deadline_s: float = 1.0,
+        window_s: float = 60.0,
+        failure_rate_degraded: float = 0.05,
+        failure_rate_critical: float = 0.5,
+        queue_depth_degraded: int = 4,
+        inject_failures: Optional[Sequence[Tuple[str, str, int]]] = None,
+        bus: Optional[EventBus] = None,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
+    ) -> Tuple[WamiRunReport, HealthReport, EventBus]:
+        """Deploy WAMI with a health monitor attached (``repro monitor``).
+
+        Wires an :class:`~repro.obs.events.EventBus` plus a
+        :class:`~repro.obs.health.HealthMonitor` into
+        :meth:`deploy_wami` and returns the run report, the end-of-run
+        health verdict, and the bus (its ring buffer holds the recent
+        events for the dashboard). ``inject_failures`` is a sequence of
+        ``(tile, mode, count)`` triples forwarded to
+        :meth:`~repro.runtime.prc.PrcDevice.inject_failure` before the
+        run — the way to exercise the failure-rate watchdog
+        deliberately.
+        """
+        bus = bus if bus is not None else EventBus()
+        monitor = HealthMonitor(
+            bus,
+            window_s=window_s,
+            reconfig_deadline_s=reconfig_deadline_s,
+            failure_rate_degraded=failure_rate_degraded,
+            failure_rate_critical=failure_rate_critical,
+            queue_depth_degraded=queue_depth_degraded,
+        )
+        prc_setup: Optional[Callable[[PrcDevice], None]] = None
+        if inject_failures:
+            injections = [
+                (str(tile), str(mode), int(count))
+                for tile, mode, count in inject_failures
+            ]
+
+            def prc_setup(prc: PrcDevice) -> None:
+                for tile, mode, count in injections:
+                    prc.inject_failure(tile, mode, count=count)
+
+        report = self.deploy_wami(
+            config,
+            flow_result=flow_result,
+            frames=frames,
+            tracer=tracer,
+            metrics=metrics,
+            events=bus,
+            prc_setup=prc_setup,
+        )
+        return report, monitor.report(), bus

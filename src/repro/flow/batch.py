@@ -27,6 +27,8 @@ from repro.core.strategy import ImplementationStrategy
 from repro.errors import FlowError
 from repro.flow.cache import FlowCache, flow_cache_key
 from repro.flow.dpr_flow import DprFlow, FlowResult
+from repro.obs import events as ev
+from repro.obs.events import NULL_EVENTS
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
@@ -124,25 +126,31 @@ def cached_build(
     strategy_override: Optional[ImplementationStrategy] = None,
     semi_tau: int = 2,
     tracer=NULL_TRACER,
+    events=NULL_EVENTS,
 ) -> Tuple[FlowResult, bool]:
     """One build through the cache; returns (result, was_cached).
 
     On a hit the flow's trace projection is replayed onto ``tracer``,
     so a cached build traces byte-identically to a fresh one.
+    ``events`` receives the hit/miss decision plus the flow's stage
+    events for fresh builds.
     """
     if cache is None:
         return flow.build(
             config, strategy_override=strategy_override, semi_tau=semi_tau,
-            tracer=tracer,
+            tracer=tracer, events=events,
         ), False
     key = flow_cache_key(flow, config, strategy_override, semi_tau)
     result = cache.get(key)
     if result is not None:
+        events.emit(ev.CACHE_HIT, source=config.name, key=key)
         if tracer.enabled:
             flow.record_trace(result, tracer)
         return result, True
+    events.emit(ev.CACHE_MISS, source=config.name, key=key)
     result = flow.build(
-        config, strategy_override=strategy_override, semi_tau=semi_tau, tracer=tracer
+        config, strategy_override=strategy_override, semi_tau=semi_tau, tracer=tracer,
+        events=events,
     )
     cache.put(key, result)
     return result, False
@@ -157,12 +165,14 @@ class BatchBuilder:
         cache: Optional[FlowCache] = None,
         jobs: int = 1,
         metrics=NULL_METRICS,
+        events=NULL_EVENTS,
     ) -> None:
         if jobs <= 0:
             raise FlowError(f"batch needs at least one job slot, got {jobs}")
         self.flow = flow or DprFlow()
         self.cache = cache
         self.jobs = jobs
+        self.events = events
         self._requests_counter = metrics.counter(
             "flow_batch_requests_total", "batch build requests by status"
         )
@@ -203,7 +213,9 @@ class BatchBuilder:
                         elapsed_s=time.perf_counter() - start,
                     )
                     self._requests_counter.inc(status="cache_hit")
+                    self.events.emit(ev.CACHE_HIT, source=request.label, key=key)
                     continue
+                self.events.emit(ev.CACHE_MISS, source=request.label, key=key)
             pending.append(index)
 
         if pending:

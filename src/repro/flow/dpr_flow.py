@@ -23,6 +23,8 @@ from repro.core.strategy import (
 )
 from repro.errors import FlowError
 from repro.fabric.device import Device
+from repro.obs import events as ev
+from repro.obs.events import NULL_EVENTS
 from repro.obs.logconfig import get_logger
 from repro.obs.tracer import NULL_TRACER
 from repro.floorplan.constraints import validate_floorplan
@@ -163,40 +165,51 @@ class DprFlow:
         strategy_override: Optional[ImplementationStrategy] = None,
         semi_tau: int = 2,
         tracer=NULL_TRACER,
+        events=NULL_EVENTS,
     ) -> FlowResult:
         """Run the full RTL-to-bitstream flow for ``config``.
 
         ``strategy_override`` forces a P&R strategy (used by the
         evaluation to sweep all three); by default the size-driven
         algorithm decides. ``tracer`` (modelled CAD minutes) receives
-        one span per Fig. 1 stage plus one per scheduled tool job.
+        one span per Fig. 1 stage plus one per scheduled tool job;
+        ``events`` receives a start/finish pair per stage, stamped on
+        the same modelled-minute clock.
         """
         stages: List[StageTrace] = []
         device = config.device()
         logger.info("build %s: starting flow on %s", config.name, device.name)
 
+        def add_stage(stage: str, wall_minutes: float, detail: str) -> None:
+            """Record one Fig. 1 stage and emit its start/finish pair."""
+            start = sum(s.wall_minutes for s in stages)
+            events.emit(
+                ev.FLOW_STAGE_STARTED, time=start, source=stage, soc=config.name
+            )
+            stages.append(
+                StageTrace(stage=stage, wall_minutes=wall_minutes, detail=detail)
+            )
+            events.emit(
+                ev.FLOW_STAGE_FINISHED,
+                time=start + wall_minutes,
+                source=stage,
+                soc=config.name,
+                wall_minutes=wall_minutes,
+                detail=detail,
+            )
+
         # -- 1. parse the SoC configuration / split the sources --------
         partition = partition_design(config)
-        stages.append(
-            StageTrace(
-                stage="parse",
-                wall_minutes=0.0,
-                detail=(
-                    f"static={partition.static.luts} LUTs, "
-                    f"{partition.num_rps} reconfigurable tiles"
-                ),
-            )
+        add_stage(
+            "parse",
+            0.0,
+            f"static={partition.static.luts} LUTs, "
+            f"{partition.num_rps} reconfigurable tiles",
         )
 
         # -- 2. black-box wrapper generation ----------------------------
         blackboxes = generate_blackboxes(partition)
-        stages.append(
-            StageTrace(
-                stage="blackbox_gen",
-                wall_minutes=0.0,
-                detail=f"{len(blackboxes)} wrappers",
-            )
-        )
+        add_stage("blackbox_gen", 0.0, f"{len(blackboxes)} wrappers")
 
         # -- 3. parallel OoC synthesis ----------------------------------
         synth_schedule, netlists, static_netlist = self._synthesize(partition)
@@ -207,12 +220,8 @@ class DprFlow:
             synth_makespan,
             len(synth_schedule.jobs),
         )
-        stages.append(
-            StageTrace(
-                stage="synthesis",
-                wall_minutes=synth_makespan,
-                detail=f"{1 + len(netlists)} parallel OoC runs",
-            )
+        add_stage(
+            "synthesis", synth_makespan, f"{1 + len(netlists)} parallel OoC runs"
         )
 
         # -- 4. floorplanning -------------------------------------------
@@ -223,12 +232,10 @@ class DprFlow:
         report = validate_floorplan(device, floorplan)
         if not report.legal:
             raise FlowError("floorplan validation failed: " + "; ".join(report.violations))
-        stages.append(
-            StageTrace(
-                stage="floorplan",
-                wall_minutes=0.0,
-                detail=f"{len(floorplan.assignments)} pblocks on {device.name}",
-            )
+        add_stage(
+            "floorplan",
+            0.0,
+            f"{len(floorplan.assignments)} pblocks on {device.name}",
         )
 
         # -- 5. size-driven strategy choice ------------------------------
@@ -249,15 +256,11 @@ class DprFlow:
                 ),
             )
         plan = plan_implementation(partition, decision)
-        stages.append(
-            StageTrace(
-                stage="choose_parallelism",
-                wall_minutes=0.0,
-                detail=(
-                    f"class {decision.design_class.value} -> "
-                    f"{decision.strategy.value} (tau={plan.tau})"
-                ),
-            )
+        add_stage(
+            "choose_parallelism",
+            0.0,
+            f"class {decision.design_class.value} -> "
+            f"{decision.strategy.value} (tau={plan.tau})",
         )
 
         # -- 6. implementation + bitstream generation --------------------
@@ -273,20 +276,16 @@ class DprFlow:
         ) = self._implement(
             config, partition, plan, device, floorplan, netlists, static_netlist
         )
-        stages.append(
-            StageTrace(
-                stage="implementation",
-                wall_minutes=par_makespan,
-                detail=f"{len(plan.runs)} runs, strategy {plan.strategy.value}",
-            )
+        add_stage(
+            "implementation",
+            par_makespan,
+            f"{len(plan.runs)} runs, strategy {plan.strategy.value}",
         )
-        stages.append(
-            StageTrace(
-                stage="bitstreams",
-                wall_minutes=0.0,
-                detail=f"{len(bitstreams)} bitstreams "
-                f"({'compressed' if self.compress_bitstreams else 'raw'} partials)",
-            )
+        add_stage(
+            "bitstreams",
+            0.0,
+            f"{len(bitstreams)} bitstreams "
+            f"({'compressed' if self.compress_bitstreams else 'raw'} partials)",
         )
 
         result = FlowResult(

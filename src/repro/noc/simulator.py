@@ -17,7 +17,14 @@ from typing import Dict, List, Tuple
 from repro.errors import NocError
 from repro.noc.mesh import Mesh
 from repro.noc.packet import Packet
+from repro.obs import events as ev
+from repro.obs.events import NULL_EVENTS
 from repro.obs.metrics import NULL_METRICS
+
+#: Default congestion watermark: a packet stalling this many cycles on
+#: busy links is reported on the event bus. Tuned above the router
+#: pipeline depth so ordinary store-and-forward jitter stays quiet.
+DEFAULT_CONGESTION_WATERMARK_CYCLES = 32
 
 #: A directed link on a plane: (from_pos, to_pos, plane).
 LinkKey = Tuple[Tuple[int, int], Tuple[int, int], int]
@@ -31,6 +38,8 @@ class TransferRecord:
     injected_at: int  # cycle the packet entered the source queue
     delivered_at: int  # cycle the tail flit left the last link
     links_used: Tuple[LinkKey, ...]
+    #: Cycles the head flit spent blocked on busy links (0 = free path).
+    stall_cycles: int = 0
 
     @property
     def latency_cycles(self) -> int:
@@ -41,13 +50,25 @@ class TransferRecord:
 class NocSimulator:
     """Replays a batch of packet injections through the mesh."""
 
-    def __init__(self, mesh: Mesh, metrics=NULL_METRICS) -> None:
+    def __init__(
+        self,
+        mesh: Mesh,
+        metrics=NULL_METRICS,
+        events=NULL_EVENTS,
+        congestion_watermark_cycles: int = DEFAULT_CONGESTION_WATERMARK_CYCLES,
+    ) -> None:
+        if congestion_watermark_cycles <= 0:
+            raise NocError("congestion watermark must be positive")
         self.mesh = mesh
         self.metrics = metrics
+        self.events = events
+        self.congestion_watermark_cycles = congestion_watermark_cycles
         self._link_free: Dict[LinkKey, int] = {}
         self._pending: List[Tuple[int, int, Packet]] = []  # (inject_cycle, seq, pkt)
         self._seq = 0
         self.records: List[TransferRecord] = []
+        #: Worst stall any routed packet has seen (the high watermark).
+        self.max_stall_cycles = 0
 
     def inject(self, packet: Packet, at_cycle: int = 0) -> None:
         """Queue ``packet`` for injection at ``at_cycle``."""
@@ -100,18 +121,35 @@ class NocSimulator:
             (path[i], path[i + 1], packet.plane) for i in range(len(path) - 1)
         ]
         head_time = inject_cycle + pipeline  # injection stage
+        stall_cycles = 0
         for link in links:
             free_at = self._link_free.get(link, 0)
             start = max(head_time, free_at)
+            stall_cycles += start - head_time
             # The link carries the whole packet, one flit per cycle.
             self._link_free[link] = start + packet.size_flits
             head_time = start + pipeline
         delivered = head_time + packet.size_flits - 1
+        if stall_cycles > self.max_stall_cycles:
+            self.max_stall_cycles = stall_cycles
+            self.metrics.gauge(
+                "noc.max_stall_cycles", "worst head-flit stall (high watermark)"
+            ).set(stall_cycles)
+        if stall_cycles >= self.congestion_watermark_cycles:
+            self.events.emit(
+                ev.NOC_CONGESTION,
+                time=float(inject_cycle),
+                source=f"{packet.src}->{packet.dst}",
+                plane=packet.plane,
+                stall_cycles=stall_cycles,
+                watermark_cycles=self.congestion_watermark_cycles,
+            )
         return TransferRecord(
             packet=packet,
             injected_at=inject_cycle,
             delivered_at=delivered,
             links_used=tuple(links),
+            stall_cycles=stall_cycles,
         )
 
     # ------------------------------------------------------------------

@@ -12,16 +12,32 @@ zero-overhead disabled paths instrumented code defaults to.
 """
 
 from repro.obs.bridge import bridge_timeline, publish_runtime_stats
+from repro.obs.events import (
+    Event,
+    EventBus,
+    EventBusError,
+    NULL_EVENTS,
+    NullEventBus,
+)
 from repro.obs.export import (
     chrome_trace_dict,
     chrome_trace_events,
     chrome_trace_json,
+    format_metric_value,
     metrics_dict,
     metrics_lines,
     span_records,
     spans_jsonl,
     write_chrome_trace,
     write_spans_jsonl,
+)
+from repro.obs.health import (
+    HealthError,
+    HealthFinding,
+    HealthMonitor,
+    HealthReport,
+    Verdict,
+    WindowStats,
 )
 from repro.obs.logconfig import (
     LEVELS,
@@ -37,6 +53,22 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetricsRegistry,
+    bucket_quantile,
+)
+from repro.obs.perfbase import (
+    Baseline,
+    BaselineEntry,
+    BenchSummary,
+    ComparisonResult,
+    MetricDelta,
+    PerfBaseError,
+    baseline_from_summary,
+    compare,
+    compare_directories,
+    load_baseline,
+    load_summary,
+    write_baseline,
+    write_summary,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -47,31 +79,57 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BenchSummary",
+    "ComparisonResult",
     "Counter",
+    "Event",
+    "EventBus",
+    "EventBusError",
     "Gauge",
+    "HealthError",
+    "HealthFinding",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
     "LEVELS",
+    "MetricDelta",
     "MetricsError",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NullEventBus",
     "NullMetricsRegistry",
     "NullTracer",
+    "PerfBaseError",
     "Span",
     "Tracer",
     "TracingError",
+    "Verdict",
+    "WindowStats",
+    "baseline_from_summary",
     "bridge_timeline",
+    "bucket_quantile",
     "chrome_trace_dict",
     "chrome_trace_events",
     "chrome_trace_json",
+    "compare",
+    "compare_directories",
     "configure_logging",
+    "format_metric_value",
     "get_logger",
     "level_from_verbosity",
+    "load_baseline",
+    "load_summary",
     "metrics_dict",
     "metrics_lines",
     "publish_runtime_stats",
     "span_records",
     "spans_jsonl",
+    "write_baseline",
     "write_chrome_trace",
     "write_spans_jsonl",
+    "write_summary",
 ]

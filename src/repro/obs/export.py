@@ -166,6 +166,25 @@ def metrics_dict(registry: Union[MetricsRegistry, NullMetricsRegistry]) -> Dict[
     return registry.snapshot()
 
 
+def format_metric_value(value: float) -> str:
+    """Round-trip-faithful rendering of one metric value.
+
+    ``%g`` truncates to 6 significant digits — silently lossy for large
+    counters and nanosecond-scale sums. Integral values render without
+    the trailing ``.0`` (beyond 2**53 the float is integral but the
+    int() round trip is no longer exact, so ``repr`` takes over).
+    """
+    as_float = float(value)
+    if as_float != as_float or as_float in (float("inf"), float("-inf")):
+        return repr(as_float)
+    if as_float.is_integer() and abs(as_float) < 2**53:
+        return str(int(as_float))
+    return repr(as_float)
+
+
 def metrics_lines(registry: Union[MetricsRegistry, NullMetricsRegistry]) -> List[str]:
     """Human-readable ``name value`` lines, name-ordered."""
-    return [f"{name} {value:g}" for name, value in registry.snapshot().items()]
+    return [
+        f"{name} {format_metric_value(value)}"
+        for name, value in registry.snapshot().items()
+    ]

@@ -1,0 +1,388 @@
+"""Live health monitoring over the event bus.
+
+The :class:`HealthMonitor` subscribes to a
+:class:`~repro.obs.events.EventBus` and folds the runtime manager's
+lifecycle events into sliding windows: reconfiguration durations, lock
+waits, success/failure outcomes and per-tile lock queue depths. A
+:meth:`HealthMonitor.report` call evaluates the watchdog rules against
+one instant and returns a :class:`HealthReport` with an
+``ok``/``degraded``/``critical`` verdict:
+
+* **stuck reconfiguration** — a reconfiguration started but neither
+  completed nor was abandoned, and its age *exceeds* the deadline
+  (an age of exactly the deadline is still healthy): ``critical``;
+* **failure rate** — failed transfer attempts over all outcomes in the
+  window crossing the degraded/critical thresholds;
+* **queue depth** — threads queued on one tile's lock crossing the
+  threshold: ``degraded``.
+
+Window percentiles (p50/p95/p99) are interpolated from histogram
+buckets (:func:`~repro.obs.metrics.bucket_quantile`), matching what
+``Histogram.series()`` exports — the dashboard and the metrics
+snapshot estimate tail latency the same way. Like every obs layer the
+monitor never reads a wall clock: events carry their own (simulated)
+timestamps and ``report`` takes the evaluation instant explicitly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import PrEspError
+from repro.obs import events as ev
+from repro.obs.events import Event, EventBus
+from repro.obs.metrics import DEFAULT_BUCKETS, bucket_quantile
+
+
+class HealthError(PrEspError):
+    """Misuse of the health-monitoring API (bad window or threshold)."""
+
+
+class Verdict(enum.Enum):
+    """Overall health of a monitored run."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    CRITICAL = "critical"
+
+    @property
+    def rank(self) -> int:
+        return ("ok", "degraded", "critical").index(self.value)
+
+    @property
+    def exit_code(self) -> int:
+        """CLI exit status: 0 ok, 1 degraded, 2 critical."""
+        return self.rank
+
+
+def _worst(a: Verdict, b: Verdict) -> Verdict:
+    return a if a.rank >= b.rank else b
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One triggered watchdog rule."""
+
+    rule: str
+    severity: Verdict
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Sliding-window distribution summary of one signal."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> Optional["WindowStats"]:
+        """Bucket the samples and interpolate the tail quantiles.
+
+        Returns None for an empty window — the caller renders "no
+        data" instead of a fake all-zero distribution.
+        """
+        if not samples:
+            return None
+        counts = [0] * (len(DEFAULT_BUCKETS) + 1)
+        for value in samples:
+            counts[bisect.bisect_left(DEFAULT_BUCKETS, value)] += 1
+        low, high = min(samples), max(samples)
+        quantiles = {
+            q: bucket_quantile(DEFAULT_BUCKETS, counts, q, minimum=low, maximum=high)
+            for q in (0.50, 0.95, 0.99)
+        }
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            minimum=low,
+            maximum=high,
+            p50=quantiles[0.50],
+            p95=quantiles[0.95],
+            p99=quantiles[0.99],
+        )
+
+
+@dataclass
+class HealthReport:
+    """One evaluation of the watchdog rules."""
+
+    verdict: Verdict
+    findings: List[HealthFinding]
+    now: float
+    window_s: float
+    reconfig_s: Optional[WindowStats]
+    lock_wait_s: Optional[WindowStats]
+    completions: int
+    failures: int
+    failure_rate: float
+    queue_depth: Dict[str, int]
+    #: Reconfigurations in flight: tile -> age in seconds at ``now``.
+    active_reconfigs: Dict[str, float] = field(default_factory=dict)
+    events_seen: int = 0
+    events_dropped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no rule fired."""
+        return self.verdict is Verdict.OK
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (``repro monitor --json``)."""
+
+        def window(stats: Optional[WindowStats]) -> Optional[Dict]:
+            if stats is None:
+                return None
+            return {
+                "count": stats.count,
+                "mean": stats.mean,
+                "min": stats.minimum,
+                "max": stats.maximum,
+                "p50": stats.p50,
+                "p95": stats.p95,
+                "p99": stats.p99,
+            }
+
+        return {
+            "verdict": self.verdict.value,
+            "now": self.now,
+            "window_s": self.window_s,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity.value,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+            "reconfig_s": window(self.reconfig_s),
+            "lock_wait_s": window(self.lock_wait_s),
+            "completions": self.completions,
+            "failures": self.failures,
+            "failure_rate": self.failure_rate,
+            "queue_depth": dict(sorted(self.queue_depth.items())),
+            "active_reconfigs": dict(sorted(self.active_reconfigs.items())),
+            "events_seen": self.events_seen,
+            "events_dropped": self.events_dropped,
+        }
+
+    def summary_lines(self) -> List[str]:
+        """The text dashboard (``repro monitor``)."""
+
+        def dist(label: str, stats: Optional[WindowStats], unit: str) -> str:
+            if stats is None:
+                return f"{label:14s}: no samples in window"
+            return (
+                f"{label:14s}: n={stats.count} mean={stats.mean:.6f}{unit} "
+                f"p50={stats.p50:.6f}{unit} p95={stats.p95:.6f}{unit} "
+                f"p99={stats.p99:.6f}{unit} max={stats.maximum:.6f}{unit}"
+            )
+
+        lines = [
+            f"verdict       : {self.verdict.value.upper()}",
+            f"window        : last {self.window_s:g}s at t={self.now:.6f}s "
+            f"({self.events_seen} events, {self.events_dropped} dropped)",
+            dist("reconfig", self.reconfig_s, "s"),
+            dist("lock wait", self.lock_wait_s, "s"),
+            f"{'outcomes':14s}: {self.completions} completed, "
+            f"{self.failures} failed "
+            f"(failure rate {self.failure_rate * 100:.1f}%)",
+        ]
+        if self.active_reconfigs:
+            active = ", ".join(
+                f"{tile} ({age:.6f}s)"
+                for tile, age in sorted(self.active_reconfigs.items())
+            )
+            lines.append(f"{'in flight':14s}: {active}")
+        depth = {t: d for t, d in sorted(self.queue_depth.items()) if d > 0}
+        if depth:
+            lines.append(
+                f"{'lock queues':14s}: "
+                + ", ".join(f"{t}={d}" for t, d in depth.items())
+            )
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  {finding}" for finding in self.findings)
+        else:
+            lines.append("findings      : none")
+        return lines
+
+
+class HealthMonitor:
+    """Folds bus events into sliding windows and watchdog verdicts."""
+
+    #: Event kinds the monitor subscribes to.
+    KINDS = (
+        ev.RECONFIG_STARTED,
+        ev.RECONFIG_COMPLETED,
+        ev.RECONFIG_FAILED,
+        ev.LOCK_REQUESTED,
+        ev.LOCK_ACQUIRED,
+    )
+
+    def __init__(
+        self,
+        bus: EventBus,
+        window_s: float = 60.0,
+        reconfig_deadline_s: float = 1.0,
+        failure_rate_degraded: float = 0.05,
+        failure_rate_critical: float = 0.5,
+        queue_depth_degraded: int = 4,
+    ) -> None:
+        if window_s <= 0:
+            raise HealthError(f"window must be positive: {window_s}")
+        if reconfig_deadline_s <= 0:
+            raise HealthError(f"deadline must be positive: {reconfig_deadline_s}")
+        if not 0.0 <= failure_rate_degraded <= failure_rate_critical <= 1.0:
+            raise HealthError(
+                "failure-rate thresholds must satisfy "
+                f"0 <= degraded <= critical <= 1, got "
+                f"{failure_rate_degraded}/{failure_rate_critical}"
+            )
+        if queue_depth_degraded <= 0:
+            raise HealthError(f"queue-depth threshold must be positive: {queue_depth_degraded}")
+        self.bus = bus
+        self.window_s = window_s
+        self.reconfig_deadline_s = reconfig_deadline_s
+        self.failure_rate_degraded = failure_rate_degraded
+        self.failure_rate_critical = failure_rate_critical
+        self.queue_depth_degraded = queue_depth_degraded
+
+        self._active: Dict[str, float] = {}
+        self._durations: Deque[Tuple[float, float]] = deque()
+        self._waits: Deque[Tuple[float, float]] = deque()
+        self._outcomes: Deque[Tuple[float, bool]] = deque()
+        self._queue_depth: Dict[str, int] = {}
+        self._last_time = 0.0
+        self.events_seen = 0
+        bus.subscribe(self._on_event, kinds=self.KINDS)
+
+    # ------------------------------------------------------------------
+    def _on_event(self, event: Event) -> None:
+        self.events_seen += 1
+        self._last_time = max(self._last_time, event.time)
+        if event.kind == ev.RECONFIG_STARTED:
+            self._active[event.source] = event.time
+        elif event.kind == ev.RECONFIG_COMPLETED:
+            self._active.pop(event.source, None)
+            duration = float(event.attrs.get("duration_s", 0.0))
+            self._durations.append((event.time, duration))
+            self._outcomes.append((event.time, True))
+        elif event.kind == ev.RECONFIG_FAILED:
+            if event.attrs.get("abandoned", False):
+                self._active.pop(event.source, None)
+            self._outcomes.append((event.time, False))
+        elif event.kind == ev.LOCK_REQUESTED:
+            self._queue_depth[event.source] = (
+                self._queue_depth.get(event.source, 0) + 1
+            )
+        elif event.kind == ev.LOCK_ACQUIRED:
+            self._queue_depth[event.source] = max(
+                0, self._queue_depth.get(event.source, 0) - 1
+            )
+            self._waits.append((event.time, float(event.attrs.get("wait_s", 0.0))))
+
+    # ------------------------------------------------------------------
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        for window in (self._durations, self._waits, self._outcomes):
+            while window and window[0][0] < horizon:
+                window.popleft()
+
+    def report(self, now: Optional[float] = None) -> HealthReport:
+        """Evaluate the watchdog rules at instant ``now``.
+
+        ``now`` defaults to the latest event timestamp seen — right for
+        a post-run verdict; pass the live simulation time to catch
+        in-flight stalls.
+        """
+        if now is None:
+            now = self._last_time
+        self._prune(now)
+        findings: List[HealthFinding] = []
+        verdict = Verdict.OK
+
+        active_ages = {
+            tile: now - started for tile, started in sorted(self._active.items())
+        }
+        for tile, age in active_ages.items():
+            # An age of exactly the deadline is still on time; only a
+            # strict overrun is stuck.
+            if age > self.reconfig_deadline_s:
+                verdict = _worst(verdict, Verdict.CRITICAL)
+                findings.append(
+                    HealthFinding(
+                        rule="stuck-reconfiguration",
+                        severity=Verdict.CRITICAL,
+                        message=(
+                            f"{tile}: reconfiguration in flight for {age:.6f}s "
+                            f"(deadline {self.reconfig_deadline_s:g}s)"
+                        ),
+                    )
+                )
+
+        completions = sum(1 for _, good in self._outcomes if good)
+        failures = len(self._outcomes) - completions
+        failure_rate = (
+            failures / len(self._outcomes) if self._outcomes else 0.0
+        )
+        if self._outcomes and failure_rate >= self.failure_rate_degraded:
+            severity = (
+                Verdict.CRITICAL
+                if failure_rate >= self.failure_rate_critical
+                else Verdict.DEGRADED
+            )
+            verdict = _worst(verdict, severity)
+            findings.append(
+                HealthFinding(
+                    rule="failure-rate",
+                    severity=severity,
+                    message=(
+                        f"{failures}/{len(self._outcomes)} transfer outcomes "
+                        f"failed ({failure_rate * 100:.1f}% >= "
+                        f"{self.failure_rate_degraded * 100:g}%)"
+                    ),
+                )
+            )
+
+        for tile, depth in sorted(self._queue_depth.items()):
+            if depth >= self.queue_depth_degraded:
+                verdict = _worst(verdict, Verdict.DEGRADED)
+                findings.append(
+                    HealthFinding(
+                        rule="queue-depth",
+                        severity=Verdict.DEGRADED,
+                        message=(
+                            f"{tile}: {depth} threads queued on the tile lock "
+                            f"(threshold {self.queue_depth_degraded})"
+                        ),
+                    )
+                )
+
+        return HealthReport(
+            verdict=verdict,
+            findings=findings,
+            now=now,
+            window_s=self.window_s,
+            reconfig_s=WindowStats.from_samples([d for _, d in self._durations]),
+            lock_wait_s=WindowStats.from_samples([w for _, w in self._waits]),
+            completions=completions,
+            failures=failures,
+            failure_rate=failure_rate,
+            queue_depth=dict(self._queue_depth),
+            active_reconfigs=active_ages,
+            events_seen=self.events_seen,
+            events_dropped=self.bus.dropped,
+        )

@@ -101,6 +101,54 @@ DEFAULT_BUCKETS = (
 )
 
 
+def bucket_quantile(
+    bounds: Tuple[float, ...],
+    bucket_counts: List[int],
+    q: float,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> Optional[float]:
+    """Estimate the ``q``-quantile from histogram bucket counts.
+
+    Linear interpolation inside the bucket holding the target rank
+    (the Prometheus ``histogram_quantile`` estimator), tightened by the
+    exact observed ``minimum``/``maximum`` when available: the first
+    bucket interpolates from ``minimum`` instead of 0, the overflow
+    bucket from the last bound to ``maximum``. Returns None for an
+    empty distribution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricsError(f"quantile must be in [0, 1], got {q}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    last = len(bucket_counts) - 1
+    for index, count in enumerate(bucket_counts):
+        cumulative += count
+        if count == 0 or (cumulative < rank and index != last):
+            continue
+        if index == 0:
+            lower = minimum if minimum is not None else 0.0
+            upper = bounds[0]
+        elif index > len(bounds) - 1:  # overflow bucket
+            lower = bounds[-1]
+            upper = maximum if maximum is not None else bounds[-1]
+        else:
+            lower = bounds[index - 1]
+            upper = bounds[index]
+        fraction = (rank - (cumulative - count)) / count
+        fraction = min(1.0, max(0.0, fraction))
+        value = lower + (upper - lower) * fraction
+        if minimum is not None:
+            value = max(value, minimum)
+        if maximum is not None:
+            value = min(value, maximum)
+        return value
+    return None  # pragma: no cover - total > 0 guarantees a bucket hit
+
+
 class _HistogramSeries:
     __slots__ = ("count", "total", "minimum", "maximum", "bucket_counts")
 
@@ -159,14 +207,51 @@ class Histogram:
             return 0.0
         return series.total / series.count
 
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Estimated ``q``-quantile of one labeled series (None if empty).
+
+        Interpolated from the bucket counts (see :func:`bucket_quantile`),
+        so the estimate's resolution is the bucket layout — exact at the
+        observed min/max, within one bucket everywhere else.
+        """
+        series = self._series.get(_label_key(labels))
+        if not series or series.count == 0:
+            return None
+        return bucket_quantile(
+            self.buckets,
+            series.bucket_counts,
+            q,
+            minimum=series.minimum,
+            maximum=series.maximum,
+        )
+
+    #: The tail-latency quantiles ``series()`` exports.
+    EXPORTED_QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
+
     def series(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
         for key, series in self._series.items():
             base = _series_name(self.name, key)
             out[f"{base}.count"] = float(series.count)
             out[f"{base}.sum"] = series.total
-            out[f"{base}.min"] = series.minimum if series.minimum is not None else 0.0
-            out[f"{base}.max"] = series.maximum if series.maximum is not None else 0.0
+            # min/max (and quantiles) are omitted for an empty series:
+            # a 0.0 placeholder is indistinguishable from a real sample.
+            if series.count:
+                out[f"{base}.min"] = series.minimum
+                out[f"{base}.max"] = series.maximum
+                for q, label in self.EXPORTED_QUANTILES:
+                    out[f"{base}.{label}"] = bucket_quantile(
+                        self.buckets,
+                        series.bucket_counts,
+                        q,
+                        minimum=series.minimum,
+                        maximum=series.maximum,
+                    )
+            cumulative = 0
+            for bound, count in zip(self.buckets, series.bucket_counts):
+                cumulative += count
+                out[f"{base}.bucket.le={bound:g}"] = float(cumulative)
+            out[f"{base}.bucket.le=inf"] = float(series.count)
         return out
 
 
@@ -253,6 +338,9 @@ class _NullInstrument:
 
     def mean(self, **labels) -> float:
         return 0.0
+
+    def quantile(self, q: float, **labels) -> None:
+        return None
 
     def series(self) -> Dict[str, float]:
         return {}

@@ -1,0 +1,350 @@
+"""Machine-readable bench summaries and perf-regression baselines.
+
+The benches under ``benchmarks/`` print human tables; this module is
+their machine-checkable counterpart. Each bench writes a
+``BENCH_<experiment>.json`` summary — the key table values (modelled
+minutes, reconfiguration counts, latencies) plus informational
+metadata such as wall-clock — and a committed *baseline* under
+``benchmarks/baselines/`` pins the expected value of every metric with
+a per-metric relative tolerance. ``repro bench-diff`` (and the CI
+``bench-diff`` job) compares the two and fails on any
+tolerance-exceeding drift, which turns "the tables looked fine last
+month" into an enforced invariant.
+
+The key table values come from the calibrated runtime model and the
+DES kernel, so they are bit-reproducible run to run: baselines can pin
+them tightly. Wall-clock lives in ``meta`` and is *never* compared —
+machine speed is not a property of the code under test.
+
+Regression direction is per metric: ``"higher"`` means only an
+increase beyond tolerance is bad (time-like metrics), ``"lower"``
+means only a decrease (throughput-like), ``"both"`` (the default)
+flags drift either way — right for modelled values that should not
+move at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.errors import PrEspError
+
+
+class PerfBaseError(PrEspError):
+    """Malformed summary/baseline files or bad comparison input."""
+
+
+#: Filename prefix of the machine-readable bench summaries.
+BENCH_PREFIX = "BENCH_"
+
+#: Default relative tolerance when a baseline entry does not set one.
+DEFAULT_TOLERANCE = 0.2
+
+_DIRECTIONS = ("higher", "lower", "both")
+
+
+# ----------------------------------------------------------------------
+# summaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchSummary:
+    """One bench run's machine-readable output."""
+
+    experiment: str
+    metrics: Dict[str, float]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment": self.experiment,
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "meta": {k: self.meta[k] for k in sorted(self.meta)},
+        }
+
+
+def summary_path(directory: Union[str, Path], experiment: str) -> Path:
+    """``<directory>/BENCH_<experiment>.json``."""
+    return Path(directory) / f"{BENCH_PREFIX}{experiment}.json"
+
+
+def write_summary(
+    directory: Union[str, Path],
+    experiment: str,
+    metrics: Mapping[str, float],
+    meta: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write one deterministic ``BENCH_<experiment>.json``; returns it."""
+    summary = BenchSummary(
+        experiment=experiment,
+        metrics={str(k): float(v) for k, v in metrics.items()},
+        meta=dict(meta or {}),
+    )
+    path = summary_path(directory, experiment)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_summary(path: Union[str, Path]) -> BenchSummary:
+    """Parse one summary file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+        return BenchSummary(
+            experiment=str(payload["experiment"]),
+            metrics={str(k): float(v) for k, v in payload["metrics"].items()},
+            meta=dict(payload.get("meta", {})),
+        )
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise PerfBaseError(f"unreadable bench summary {path}: {error}") from None
+
+
+def find_summaries(directory: Union[str, Path]) -> Dict[str, Path]:
+    """experiment -> summary path for every ``BENCH_*.json`` present."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return {}
+    out: Dict[str, Path] = {}
+    for path in sorted(directory.glob(f"{BENCH_PREFIX}*.json")):
+        out[path.stem[len(BENCH_PREFIX):]] = path
+    return out
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BaselineEntry:
+    """Expected value of one metric plus its acceptance band."""
+
+    value: float
+    tolerance: float = DEFAULT_TOLERANCE
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise PerfBaseError(f"tolerance must be non-negative: {self.tolerance}")
+        if self.direction not in _DIRECTIONS:
+            raise PerfBaseError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The committed expectation for one experiment."""
+
+    experiment: str
+    entries: Dict[str, BaselineEntry]
+
+
+def baseline_path(directory: Union[str, Path], experiment: str) -> Path:
+    """``<directory>/<experiment>.json``."""
+    return Path(directory) / f"{experiment}.json"
+
+
+def write_baseline(directory: Union[str, Path], baseline: Baseline) -> Path:
+    """Persist one baseline file; returns its path."""
+    path = baseline_path(directory, baseline.experiment)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": baseline.experiment,
+        "metrics": {
+            name: {
+                "value": entry.value,
+                "tolerance": entry.tolerance,
+                "direction": entry.direction,
+            }
+            for name, entry in sorted(baseline.entries.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Parse one baseline file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+        entries = {
+            str(name): BaselineEntry(
+                value=float(spec["value"]),
+                tolerance=float(spec.get("tolerance", DEFAULT_TOLERANCE)),
+                direction=str(spec.get("direction", "both")),
+            )
+            for name, spec in payload["metrics"].items()
+        }
+        return Baseline(experiment=str(payload["experiment"]), entries=entries)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise PerfBaseError(f"unreadable baseline {path}: {error}") from None
+
+
+def baseline_from_summary(
+    summary: BenchSummary,
+    tolerance: float = DEFAULT_TOLERANCE,
+    direction: str = "both",
+) -> Baseline:
+    """Seed a baseline from one measured summary."""
+    return Baseline(
+        experiment=summary.experiment,
+        entries={
+            name: BaselineEntry(value=value, tolerance=tolerance, direction=direction)
+            for name, value in summary.metrics.items()
+        },
+    )
+
+
+def find_baselines(directory: Union[str, Path]) -> Dict[str, Path]:
+    """experiment -> baseline path for every committed baseline."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return {}
+    return {path.stem: path for path in sorted(directory.glob("*.json"))}
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current judgement."""
+
+    name: str
+    baseline: float
+    current: Optional[float]
+    tolerance: float
+    direction: str
+    status: str  # "ok" | "regression" | "missing"
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        """Signed relative change vs the baseline (None when absent)."""
+        if self.current is None:
+            return None
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of diffing one experiment against its baseline."""
+
+    experiment: str
+    deltas: List[MetricDelta]
+    missing_summary: bool = False
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        """True when the summary exists and every metric is in band."""
+        return not self.missing_summary and not self.regressions
+
+    def summary_lines(self) -> List[str]:
+        """Per-metric judgement lines (``repro bench-diff`` output)."""
+        if self.missing_summary:
+            return [
+                f"{self.experiment}: MISSING — baseline committed but no "
+                f"{BENCH_PREFIX}{self.experiment}.json summary was produced"
+            ]
+        lines = [
+            f"{self.experiment}: "
+            + ("ok" if self.ok else f"{len(self.regressions)} regression(s)")
+        ]
+        for delta in self.deltas:
+            if delta.current is None:
+                lines.append(
+                    f"  {delta.name:40s} MISSING (baseline {delta.baseline:g})"
+                )
+                continue
+            rel = delta.rel_delta
+            lines.append(
+                f"  {delta.name:40s} {delta.status.upper():10s} "
+                f"baseline {delta.baseline:g} current {delta.current:g} "
+                f"({rel:+.1%}, tolerance ±{delta.tolerance:.0%} "
+                f"{delta.direction})"
+            )
+        return lines
+
+
+def _is_regression(entry: BaselineEntry, current: float) -> bool:
+    if entry.value == 0.0:
+        drift = abs(current)
+        signed = current
+    else:
+        signed = (current - entry.value) / abs(entry.value)
+        drift = abs(signed)
+    if drift <= entry.tolerance:
+        return False
+    if entry.direction == "higher":
+        return signed > 0
+    if entry.direction == "lower":
+        return signed < 0
+    return True
+
+
+def compare(summary: BenchSummary, baseline: Baseline) -> ComparisonResult:
+    """Judge every baselined metric of one experiment.
+
+    Metrics present in the baseline but absent from the summary count
+    as failures (a silently dropped metric must not pass CI); metrics
+    the summary grew that have no baseline yet are ignored here — seed
+    them with :func:`baseline_from_summary` when intentional.
+    """
+    if summary.experiment != baseline.experiment:
+        raise PerfBaseError(
+            f"summary {summary.experiment!r} does not match baseline "
+            f"{baseline.experiment!r}"
+        )
+    deltas: List[MetricDelta] = []
+    for name, entry in sorted(baseline.entries.items()):
+        current = summary.metrics.get(name)
+        if current is None:
+            status = "missing"
+        elif _is_regression(entry, current):
+            status = "regression"
+        else:
+            status = "ok"
+        deltas.append(
+            MetricDelta(
+                name=name,
+                baseline=entry.value,
+                current=current,
+                tolerance=entry.tolerance,
+                direction=entry.direction,
+                status=status,
+            )
+        )
+    return ComparisonResult(experiment=summary.experiment, deltas=deltas)
+
+
+def compare_directories(
+    results_dir: Union[str, Path], baselines_dir: Union[str, Path]
+) -> List[ComparisonResult]:
+    """Diff every committed baseline against the produced summaries.
+
+    A baseline without a matching ``BENCH_*.json`` yields a
+    ``missing_summary`` result (a deleted bench must not silently drop
+    its guarantee); summaries without baselines are simply not judged.
+    """
+    summaries = find_summaries(results_dir)
+    results: List[ComparisonResult] = []
+    for experiment, path in sorted(find_baselines(baselines_dir).items()):
+        baseline = load_baseline(path)
+        summary_file = summaries.get(experiment)
+        if summary_file is None:
+            results.append(
+                ComparisonResult(
+                    experiment=experiment, deltas=[], missing_summary=True
+                )
+            )
+            continue
+        results.append(compare(load_summary(summary_file), baseline))
+    return results

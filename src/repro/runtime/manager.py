@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ReconfigurationError
+from repro.obs import events as ev
+from repro.obs.events import NULL_EVENTS
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
@@ -104,6 +106,7 @@ class ReconfigurationManager:
         registry: DriverRegistry,
         tracer=NULL_TRACER,
         metrics=NULL_METRICS,
+        events=NULL_EVENTS,
     ) -> None:
         self.sim = sim
         self.prc = prc
@@ -111,6 +114,7 @@ class ReconfigurationManager:
         self.registry = registry
         self.tracer = tracer
         self.metrics = metrics
+        self.events = events
         self.tiles: Dict[str, TileState] = {}
         self.invocations: List[InvocationRecord] = []
         #: Failed transfer attempts seen (telemetry for fault handling).
@@ -156,8 +160,18 @@ class ReconfigurationManager:
 
         def body():
             requested = self.sim.now
+            self.events.emit(
+                ev.LOCK_REQUESTED, time=requested, source=tile_name, mode=mode_name
+            )
             yield state.lock.acquire()
             acquired = self.sim.now
+            self.events.emit(
+                ev.LOCK_ACQUIRED,
+                time=acquired,
+                source=tile_name,
+                mode=mode_name,
+                wait_s=acquired - requested,
+            )
             if acquired > requested:
                 self.tracer.record(
                     "lock_wait",
@@ -226,6 +240,14 @@ class ReconfigurationManager:
                 if state.loaded_mode is None:
                     return None  # already dark
                 blank = self.store.lookup(state.name, "blank")
+                start = self.sim.now
+                self.events.emit(
+                    ev.RECONFIG_REQUESTED,
+                    time=start,
+                    source=tile_name,
+                    mode="blank",
+                    size_bytes=blank.size_bytes,
+                )
                 span = self.tracer.begin(
                     "blank",
                     category="kernel.decouple",
@@ -234,6 +256,16 @@ class ReconfigurationManager:
                 )
                 state.decoupler.decouple()
                 self.registry.swap(state.name, None)
+                self.events.emit(
+                    ev.DRIVER_SWAPPED, time=self.sim.now, source=tile_name, driver=None
+                )
+                self.events.emit(
+                    ev.RECONFIG_STARTED,
+                    time=self.sim.now,
+                    source=tile_name,
+                    mode="blank",
+                    size_bytes=blank.size_bytes,
+                )
                 yield self.prc.reconfigure(state.name, "blank", blank.size_bytes)
                 state.decoupler.recouple()
                 state.loaded_mode = None
@@ -242,6 +274,13 @@ class ReconfigurationManager:
                 self.metrics.counter(
                     "runtime.reconfigurations", "completed tile reconfigurations"
                 ).inc(tile=tile_name)
+                self.events.emit(
+                    ev.RECONFIG_COMPLETED,
+                    time=self.sim.now,
+                    source=tile_name,
+                    mode="blank",
+                    duration_s=self.sim.now - start,
+                )
                 self.tracer.end(span)
                 return "blank"
             finally:
@@ -281,6 +320,13 @@ class ReconfigurationManager:
         loaded = self.store.lookup(state.name, mode_name)
         start = self.sim.now
         track = f"kernel/{state.name}"
+        self.events.emit(
+            ev.RECONFIG_REQUESTED,
+            time=start,
+            source=state.name,
+            mode=mode_name,
+            size_bytes=loaded.size_bytes,
+        )
         decouple_span = self.tracer.begin(
             f"reconfigure:{mode_name}",
             category="kernel.decouple",
@@ -292,7 +338,17 @@ class ReconfigurationManager:
         state.decoupler.decouple()
         # 2. the old driver is unregistered while the region is dark
         self.registry.swap(state.name, None)
+        self.events.emit(
+            ev.DRIVER_SWAPPED, time=self.sim.now, source=state.name, driver=None
+        )
         # 3. queue on the PRC; it fetches and streams the bitstream
+        self.events.emit(
+            ev.RECONFIG_STARTED,
+            time=self.sim.now,
+            source=state.name,
+            mode=mode_name,
+            size_bytes=loaded.size_bytes,
+        )
         attempts = 0
         while True:
             try:
@@ -312,6 +368,14 @@ class ReconfigurationManager:
                         "runtime.reconfig_failures",
                         "reconfigurations abandoned after retries",
                     ).inc(tile=state.name)
+                    self.events.emit(
+                        ev.RECONFIG_FAILED,
+                        time=self.sim.now,
+                        source=state.name,
+                        mode=mode_name,
+                        attempts=attempts,
+                        abandoned=True,
+                    )
                     self.tracer.end(decouple_span, failed=True)
                     logger.warning(
                         "%s: reconfiguration to %s abandoned after %d attempts",
@@ -323,6 +387,14 @@ class ReconfigurationManager:
                 self.metrics.counter(
                     "runtime.reconfig_retries", "transfer retries after CRC errors"
                 ).inc(tile=state.name)
+                self.events.emit(
+                    ev.RECONFIG_FAILED,
+                    time=self.sim.now,
+                    source=state.name,
+                    mode=mode_name,
+                    attempts=attempts,
+                    abandoned=False,
+                )
         # 4. interrupt received: load the new driver, re-enable queues
         self.registry.swap(state.name, mode_name)
         state.decoupler.recouple()
@@ -332,6 +404,16 @@ class ReconfigurationManager:
         self.metrics.counter(
             "runtime.reconfigurations", "completed tile reconfigurations"
         ).inc(tile=state.name)
+        self.events.emit(
+            ev.DRIVER_SWAPPED, time=self.sim.now, source=state.name, driver=mode_name
+        )
+        self.events.emit(
+            ev.RECONFIG_COMPLETED,
+            time=self.sim.now,
+            source=state.name,
+            mode=mode_name,
+            duration_s=self.sim.now - start,
+        )
         self.tracer.end(decouple_span)
         return self.sim.now - start
 

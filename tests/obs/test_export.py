@@ -7,6 +7,7 @@ import pytest
 from repro.obs.export import (
     chrome_trace_dict,
     chrome_trace_json,
+    format_metric_value,
     metrics_dict,
     metrics_lines,
     span_records,
@@ -105,3 +106,45 @@ class TestMetricsExport:
         flat = metrics_dict(registry)
         assert flat == {"noc.flits{plane=0}": 12.0}
         assert metrics_lines(registry) == ["noc.flits{plane=0} 12"]
+
+    def test_lines_are_repr_faithful(self):
+        """The old %g formatting rounded to 6 significant digits, so
+        distinct values could print identically; every line must now
+        round-trip to the exact float."""
+        registry = MetricsRegistry()
+        value = 0.0022823076923076946
+        registry.gauge("reconfig.duration_s").set(value)
+        (line,) = metrics_lines(registry)
+        name, rendered = line.rsplit(" ", 1)
+        assert name == "reconfig.duration_s"
+        assert float(rendered) == value
+
+    def test_lines_are_name_ordered_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("c").set(3.5, tile="rt0")
+        lines = metrics_lines(registry)
+        assert lines == sorted(lines)
+        assert lines == metrics_lines(registry)
+
+
+class TestFormatMetricValue:
+    def test_integral_floats_stay_short(self):
+        assert format_metric_value(12.0) == "12"
+        assert format_metric_value(-3.0) == "-3"
+        assert format_metric_value(0.0) == "0"
+
+    def test_non_integral_floats_are_repr(self):
+        assert format_metric_value(0.1) == "0.1"
+        value = 0.0022823076923076946
+        assert format_metric_value(value) == repr(value)
+        assert float(format_metric_value(value)) == value
+
+    def test_huge_integral_floats_keep_repr(self):
+        # Past 2**53 an int rendering would suggest false precision.
+        assert format_metric_value(2.0**60) == repr(2.0**60)
+
+    def test_non_finite(self):
+        assert format_metric_value(float("inf")) == "inf"
+        assert format_metric_value(float("nan")) == "nan"

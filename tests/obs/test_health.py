@@ -1,0 +1,213 @@
+"""HealthMonitor: sliding windows, watchdog rules, verdicts."""
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import EventBus
+from repro.obs.health import (
+    HealthError,
+    HealthMonitor,
+    Verdict,
+    WindowStats,
+)
+
+
+def make_monitor(**kwargs):
+    bus = EventBus()
+    return bus, HealthMonitor(bus, **kwargs)
+
+
+def complete_reconfig(bus, tile, start, duration):
+    bus.emit(ev.RECONFIG_STARTED, time=start, source=tile)
+    bus.emit(
+        ev.RECONFIG_COMPLETED,
+        time=start + duration,
+        source=tile,
+        duration_s=duration,
+    )
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(HealthError):
+            HealthMonitor(EventBus(), window_s=0.0)
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(HealthError):
+            HealthMonitor(EventBus(), reconfig_deadline_s=-1.0)
+
+    def test_failure_thresholds_ordered(self):
+        with pytest.raises(HealthError):
+            HealthMonitor(
+                EventBus(), failure_rate_degraded=0.6, failure_rate_critical=0.5
+            )
+
+    def test_queue_threshold_positive(self):
+        with pytest.raises(HealthError):
+            HealthMonitor(EventBus(), queue_depth_degraded=0)
+
+
+class TestZeroSampleWindows:
+    def test_empty_run_is_ok(self):
+        _bus, monitor = make_monitor()
+        report = monitor.report()
+        assert report.verdict is Verdict.OK
+        assert report.ok
+        assert report.reconfig_s is None
+        assert report.lock_wait_s is None
+        assert report.failure_rate == 0.0
+        assert report.findings == []
+
+    def test_window_stats_none_for_no_samples(self):
+        assert WindowStats.from_samples([]) is None
+
+    def test_all_samples_aged_out_is_ok(self):
+        """A quiet tail after early activity must not divide by zero or
+        report a stale failure rate."""
+        bus, monitor = make_monitor(window_s=10.0)
+        bus.emit(ev.RECONFIG_STARTED, time=0.0, source="rt0")
+        bus.emit(ev.RECONFIG_FAILED, time=1.0, source="rt0", abandoned=True)
+        report = monitor.report(now=100.0)
+        assert report.verdict is Verdict.OK
+        assert report.failure_rate == 0.0
+        assert report.reconfig_s is None
+
+
+class TestStuckReconfiguration:
+    def test_overrun_is_critical(self):
+        bus, monitor = make_monitor(reconfig_deadline_s=1.0)
+        bus.emit(ev.RECONFIG_STARTED, time=0.0, source="rt0", mode="fft")
+        report = monitor.report(now=1.5)
+        assert report.verdict is Verdict.CRITICAL
+        assert report.findings[0].rule == "stuck-reconfiguration"
+        assert report.active_reconfigs == {"rt0": 1.5}
+
+    def test_exact_deadline_is_still_ok(self):
+        """Strict > semantics: an age of exactly the deadline has not
+        overrun it."""
+        bus, monitor = make_monitor(reconfig_deadline_s=1.0)
+        bus.emit(ev.RECONFIG_STARTED, time=0.0, source="rt0")
+        report = monitor.report(now=1.0)
+        assert report.verdict is Verdict.OK
+        assert report.active_reconfigs == {"rt0": 1.0}
+
+    def test_completion_clears_the_watchdog(self):
+        bus, monitor = make_monitor(reconfig_deadline_s=1.0)
+        complete_reconfig(bus, "rt0", start=0.0, duration=0.01)
+        report = monitor.report(now=50.0)
+        assert report.verdict is Verdict.OK
+        assert report.active_reconfigs == {}
+
+    def test_abandoned_failure_clears_but_retryable_does_not(self):
+        bus, monitor = make_monitor(reconfig_deadline_s=1.0,
+                                    failure_rate_degraded=1.0,
+                                    failure_rate_critical=1.0)
+        bus.emit(ev.RECONFIG_STARTED, time=0.0, source="rt0")
+        bus.emit(ev.RECONFIG_FAILED, time=0.1, source="rt0", abandoned=False)
+        assert "rt0" in monitor.report(now=0.2).active_reconfigs
+        bus.emit(ev.RECONFIG_FAILED, time=0.3, source="rt0", abandoned=True)
+        assert monitor.report(now=0.4).active_reconfigs == {}
+
+    def test_report_defaults_to_last_event_time(self):
+        bus, monitor = make_monitor(reconfig_deadline_s=1.0)
+        bus.emit(ev.RECONFIG_STARTED, time=0.0, source="rt0")
+        bus.emit(ev.RECONFIG_COMPLETED, time=5.0, source="rt1", duration_s=0.1)
+        report = monitor.report()
+        assert report.now == 5.0
+        assert report.verdict is Verdict.CRITICAL  # rt0 stuck for 5s
+
+
+class TestFailureRate:
+    def test_degraded_threshold(self):
+        bus, monitor = make_monitor(
+            failure_rate_degraded=0.25, failure_rate_critical=0.75
+        )
+        for i in range(3):
+            complete_reconfig(bus, "rt0", start=float(i), duration=0.01)
+        bus.emit(ev.RECONFIG_FAILED, time=4.0, source="rt0", abandoned=True)
+        report = monitor.report(now=5.0)
+        assert report.verdict is Verdict.DEGRADED
+        assert report.failure_rate == 0.25
+        assert report.findings[0].rule == "failure-rate"
+
+    def test_critical_threshold(self):
+        bus, monitor = make_monitor(
+            failure_rate_degraded=0.25, failure_rate_critical=0.75
+        )
+        complete_reconfig(bus, "rt0", start=0.0, duration=0.01)
+        for i in range(3):
+            bus.emit(
+                ev.RECONFIG_FAILED, time=1.0 + i, source="rt0", abandoned=True
+            )
+        report = monitor.report(now=5.0)
+        assert report.verdict is Verdict.CRITICAL
+        assert report.failures == 3
+        assert report.completions == 1
+
+    def test_below_threshold_is_ok(self):
+        bus, monitor = make_monitor(failure_rate_degraded=0.5)
+        complete_reconfig(bus, "rt0", start=0.0, duration=0.01)
+        complete_reconfig(bus, "rt0", start=1.0, duration=0.01)
+        bus.emit(ev.RECONFIG_FAILED, time=2.0, source="rt0", abandoned=True)
+        assert monitor.report(now=3.0).verdict is Verdict.OK
+
+
+class TestQueueDepth:
+    def test_depth_at_threshold_degrades(self):
+        bus, monitor = make_monitor(queue_depth_degraded=2)
+        bus.emit(ev.LOCK_REQUESTED, time=0.0, source="rt0")
+        bus.emit(ev.LOCK_REQUESTED, time=0.1, source="rt0")
+        report = monitor.report(now=0.2)
+        assert report.verdict is Verdict.DEGRADED
+        assert report.findings[0].rule == "queue-depth"
+        assert report.queue_depth["rt0"] == 2
+
+    def test_acquire_drains_the_queue(self):
+        bus, monitor = make_monitor(queue_depth_degraded=2)
+        bus.emit(ev.LOCK_REQUESTED, time=0.0, source="rt0")
+        bus.emit(ev.LOCK_REQUESTED, time=0.1, source="rt0")
+        bus.emit(ev.LOCK_ACQUIRED, time=0.2, source="rt0", wait_s=0.2)
+        assert monitor.report(now=0.3).verdict is Verdict.OK
+
+    def test_wait_samples_feed_the_window(self):
+        bus, monitor = make_monitor()
+        bus.emit(ev.LOCK_REQUESTED, time=0.0, source="rt0")
+        bus.emit(ev.LOCK_ACQUIRED, time=0.5, source="rt0", wait_s=0.5)
+        report = monitor.report(now=1.0)
+        assert report.lock_wait_s.count == 1
+        assert report.lock_wait_s.mean == 0.5
+
+
+class TestWindowStats:
+    def test_quantiles_bounded_by_observed_extremes(self):
+        stats = WindowStats.from_samples([0.001, 0.002, 0.003, 0.1])
+        assert stats.count == 4
+        assert stats.minimum == 0.001
+        assert stats.maximum == 0.1
+        assert stats.minimum <= stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+
+    def test_single_sample(self):
+        stats = WindowStats.from_samples([0.25])
+        assert stats.p50 == pytest.approx(0.25)
+        assert stats.p99 == pytest.approx(0.25)
+
+
+class TestReportRendering:
+    def test_summary_lines_and_to_dict(self):
+        bus, monitor = make_monitor(reconfig_deadline_s=1.0)
+        complete_reconfig(bus, "rt0", start=0.0, duration=0.01)
+        bus.emit(ev.RECONFIG_STARTED, time=1.0, source="rt1")
+        report = monitor.report(now=5.0)
+        text = "\n".join(report.summary_lines())
+        assert "CRITICAL" in text
+        assert "stuck-reconfiguration" in text
+        assert "rt1" in text
+        payload = report.to_dict()
+        assert payload["verdict"] == "critical"
+        assert payload["reconfig_s"]["count"] == 1
+        assert payload["active_reconfigs"] == {"rt1": 4.0}
+
+    def test_verdict_exit_codes(self):
+        assert Verdict.OK.exit_code == 0
+        assert Verdict.DEGRADED.exit_code == 1
+        assert Verdict.CRITICAL.exit_code == 2

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.metrics import MetricsError, MetricsRegistry, NULL_METRICS
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    NULL_METRICS,
+    bucket_quantile,
+)
 
 
 @pytest.fixture
@@ -72,6 +78,64 @@ class TestHistogram:
         assert series["h.min"] == 2.0
         assert series["h.max"] == 8.0
         assert series["h.count"] == 2.0
+
+    def test_series_exports_quantiles(self, registry):
+        hist = registry.histogram("h")
+        for v in (0.002, 0.003, 0.004, 0.2):
+            hist.observe(v)
+        series = hist.series()
+        assert series["h.min"] <= series["h.p50"] <= series["h.p95"]
+        assert series["h.p95"] <= series["h.p99"] <= series["h.max"]
+
+    def test_series_exports_cumulative_buckets(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 0.6, 5.0, 50.0):
+            hist.observe(v)
+        series = hist.series()
+        assert series["h.bucket.le=1"] == 2.0
+        assert series["h.bucket.le=10"] == 3.0
+        assert series["h.bucket.le=inf"] == 4.0
+
+    def test_quantile_method(self, registry):
+        hist = registry.histogram("h")
+        assert hist.quantile(0.5) is None  # no samples yet
+        hist.observe(0.25)
+        assert hist.quantile(0.0) == pytest.approx(0.25)
+        assert hist.quantile(1.0) == pytest.approx(0.25)
+        with pytest.raises(MetricsError):
+            hist.quantile(1.5)
+
+    def test_quantile_respects_labels(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(0.1, tile="rt0")
+        hist.observe(100.0, tile="rt1")
+        assert hist.quantile(0.5, tile="rt0") == pytest.approx(0.1)
+        assert hist.quantile(0.5, tile="rt1") == pytest.approx(100.0)
+
+
+class TestBucketQuantile:
+    def test_empty_distribution_is_none(self):
+        assert bucket_quantile(DEFAULT_BUCKETS, [0] * 13, 0.5) is None
+
+    def test_interpolates_within_bucket(self):
+        # 10 samples in (1.0, 10.0]: the median interpolates inside it.
+        counts = [0, 10, 0]
+        value = bucket_quantile((1.0, 10.0), counts, 0.5)
+        assert 1.0 < value < 10.0
+
+    def test_min_max_tighten_the_estimate(self):
+        counts = [0, 10, 0]
+        value = bucket_quantile((1.0, 10.0), counts, 0.99, minimum=2.0, maximum=3.0)
+        assert 2.0 <= value <= 3.0
+
+    def test_overflow_bucket_uses_observed_max(self):
+        counts = [0, 0, 4]  # all samples above the last bound
+        value = bucket_quantile((1.0, 10.0), counts, 0.99, maximum=42.0)
+        assert 10.0 <= value <= 42.0
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(MetricsError):
+            bucket_quantile((1.0,), [1, 0], -0.1)
 
 
 class TestRegistry:

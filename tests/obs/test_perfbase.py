@@ -1,0 +1,199 @@
+"""Perf baselines: summaries, baselines, and the regression comparator."""
+
+import pytest
+
+from repro.obs.perfbase import (
+    Baseline,
+    BaselineEntry,
+    BenchSummary,
+    PerfBaseError,
+    baseline_from_summary,
+    compare,
+    compare_directories,
+    find_baselines,
+    find_summaries,
+    load_baseline,
+    load_summary,
+    write_baseline,
+    write_summary,
+)
+
+
+class TestSummaryIO:
+    def test_round_trip(self, tmp_path):
+        path = write_summary(
+            tmp_path, "demo", {"total_min": 120.5, "frames": 4},
+            meta={"wall_s": 1.5},
+        )
+        assert path.name == "BENCH_demo.json"
+        loaded = load_summary(path)
+        assert loaded.experiment == "demo"
+        assert loaded.metrics == {"total_min": 120.5, "frames": 4.0}
+        assert loaded.meta == {"wall_s": 1.5}
+
+    def test_write_is_deterministic(self, tmp_path):
+        a = write_summary(tmp_path / "a", "demo", {"b": 2.0, "a": 1.0})
+        b = write_summary(tmp_path / "b", "demo", {"a": 1.0, "b": 2.0})
+        assert a.read_text() == b.read_text()
+
+    def test_find_summaries(self, tmp_path):
+        write_summary(tmp_path, "one", {"m": 1.0})
+        write_summary(tmp_path, "two", {"m": 2.0})
+        (tmp_path / "notes.txt").write_text("ignored")
+        assert sorted(find_summaries(tmp_path)) == ["one", "two"]
+        assert find_summaries(tmp_path / "missing") == {}
+
+    def test_unreadable_summary_raises(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text("{not json")
+        with pytest.raises(PerfBaseError):
+            load_summary(bad)
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline(
+            experiment="demo",
+            entries={
+                "total_min": BaselineEntry(100.0, tolerance=0.1, direction="higher"),
+            },
+        )
+        path = write_baseline(tmp_path, baseline)
+        loaded = load_baseline(path)
+        assert loaded.entries["total_min"] == BaselineEntry(100.0, 0.1, "higher")
+
+    def test_entry_validation(self):
+        with pytest.raises(PerfBaseError):
+            BaselineEntry(1.0, tolerance=-0.1)
+        with pytest.raises(PerfBaseError):
+            BaselineEntry(1.0, direction="sideways")
+
+    def test_baseline_from_summary(self):
+        summary = BenchSummary("demo", {"a": 1.0, "b": 2.0})
+        baseline = baseline_from_summary(summary, tolerance=0.02)
+        assert baseline.experiment == "demo"
+        assert baseline.entries["a"].tolerance == 0.02
+        assert baseline.entries["b"].value == 2.0
+
+    def test_find_baselines(self, tmp_path):
+        write_baseline(tmp_path, Baseline("x", {"m": BaselineEntry(1.0)}))
+        assert list(find_baselines(tmp_path)) == ["x"]
+
+
+class TestCompare:
+    def baseline(self, **entries):
+        return Baseline("demo", entries)
+
+    def test_in_band_is_ok(self):
+        result = compare(
+            BenchSummary("demo", {"m": 103.0}),
+            self.baseline(m=BaselineEntry(100.0, tolerance=0.05)),
+        )
+        assert result.ok
+        assert result.deltas[0].status == "ok"
+        assert result.deltas[0].rel_delta == pytest.approx(0.03)
+
+    def test_twenty_percent_slowdown_is_detected(self):
+        """The acceptance-criteria case: an injected >=20% slowdown on a
+        time-like metric must fail against a default-tolerance baseline."""
+        result = compare(
+            BenchSummary("demo", {"total_min": 120.0}),
+            self.baseline(
+                total_min=BaselineEntry(100.0, tolerance=0.05, direction="higher")
+            ),
+        )
+        assert not result.ok
+        (delta,) = result.regressions
+        assert delta.status == "regression"
+        assert delta.rel_delta == pytest.approx(0.20)
+
+    def test_direction_higher_ignores_improvement(self):
+        result = compare(
+            BenchSummary("demo", {"m": 50.0}),
+            self.baseline(m=BaselineEntry(100.0, tolerance=0.05, direction="higher")),
+        )
+        assert result.ok  # got faster: not a regression for time-like
+
+    def test_direction_lower_ignores_increase(self):
+        result = compare(
+            BenchSummary("demo", {"m": 150.0}),
+            self.baseline(m=BaselineEntry(100.0, tolerance=0.05, direction="lower")),
+        )
+        assert result.ok  # throughput went up
+
+    def test_direction_both_flags_either_way(self):
+        base = self.baseline(m=BaselineEntry(100.0, tolerance=0.05))
+        assert not compare(BenchSummary("demo", {"m": 50.0}), base).ok
+        assert not compare(BenchSummary("demo", {"m": 150.0}), base).ok
+
+    def test_exact_tolerance_boundary_passes(self):
+        result = compare(
+            BenchSummary("demo", {"m": 105.0}),
+            self.baseline(m=BaselineEntry(100.0, tolerance=0.05)),
+        )
+        assert result.ok
+
+    def test_zero_baseline(self):
+        base = self.baseline(m=BaselineEntry(0.0, tolerance=0.05))
+        assert compare(BenchSummary("demo", {"m": 0.0}), base).ok
+        bad = compare(BenchSummary("demo", {"m": 1.0}), base)
+        assert not bad.ok
+        assert bad.deltas[0].rel_delta == float("inf")
+
+    def test_missing_metric_fails(self):
+        result = compare(
+            BenchSummary("demo", {}),
+            self.baseline(m=BaselineEntry(100.0)),
+        )
+        assert not result.ok
+        assert result.deltas[0].status == "missing"
+
+    def test_extra_summary_metrics_ignored(self):
+        result = compare(
+            BenchSummary("demo", {"m": 100.0, "new_metric": 7.0}),
+            self.baseline(m=BaselineEntry(100.0)),
+        )
+        assert result.ok
+        assert len(result.deltas) == 1
+
+    def test_experiment_mismatch_raises(self):
+        with pytest.raises(PerfBaseError):
+            compare(BenchSummary("a", {}), Baseline("b", {}))
+
+    def test_summary_lines_mark_regressions(self):
+        result = compare(
+            BenchSummary("demo", {"m": 130.0}),
+            self.baseline(m=BaselineEntry(100.0, tolerance=0.05)),
+        )
+        text = "\n".join(result.summary_lines())
+        assert "REGRESSION" in text
+        assert "+30.0%" in text
+
+
+class TestCompareDirectories:
+    def test_full_flow(self, tmp_path):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        write_summary(results, "good", {"m": 100.0})
+        write_summary(results, "slow", {"m": 130.0})
+        for experiment in ("good", "slow"):
+            write_baseline(
+                baselines,
+                Baseline(experiment, {"m": BaselineEntry(100.0, tolerance=0.05)}),
+            )
+        outcomes = {r.experiment: r for r in compare_directories(results, baselines)}
+        assert outcomes["good"].ok
+        assert not outcomes["slow"].ok
+
+    def test_baseline_without_summary_fails(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        write_baseline(baselines, Baseline("gone", {"m": BaselineEntry(1.0)}))
+        (result,) = compare_directories(tmp_path / "results", baselines)
+        assert result.missing_summary
+        assert not result.ok
+        assert "MISSING" in result.summary_lines()[0]
+
+    def test_summary_without_baseline_not_judged(self, tmp_path):
+        results = tmp_path / "results"
+        write_summary(results, "new", {"m": 1.0})
+        assert compare_directories(results, tmp_path / "baselines") == []
