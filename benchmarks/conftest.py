@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from repro.core.platform import PrEspPlatform
+import repro.api
 from repro.obs.perfbase import write_summary
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -77,4 +77,4 @@ def table_writer(request):
 @pytest.fixture(scope="session")
 def platform():
     """One shared platform across benches."""
-    return PrEspPlatform()
+    return repro.api.platform()

@@ -15,8 +15,8 @@ Run:  python examples/auto_partition.py
 
 from __future__ import annotations
 
+import repro.api as presp
 from repro.core.designs import WAMI_TILE_ALLOCATION, wami_soc_y
-from repro.core.platform import PrEspPlatform
 from repro.wami.partitioner import WamiPartitioner, soc_from_allocation
 
 FRAMES = 4
@@ -24,7 +24,7 @@ FRAMES = 4
 
 def main() -> None:
     partitioner = WamiPartitioner()
-    platform = PrEspPlatform()
+    platform = presp.platform()
 
     print("searching allocations for a 3-tile WAMI SoC...\n")
     candidates = {
@@ -43,8 +43,8 @@ def main() -> None:
     print("\nvalidating on the discrete-event runtime "
           f"({FRAMES} frames each)...\n")
     auto_config = soc_from_allocation("auto_soc", best)
-    auto_report = platform.deploy_wami(auto_config, frames=FRAMES)
-    paper_report = platform.deploy_wami(wami_soc_y(), frames=FRAMES)
+    auto_report = presp.deploy(auto_config, frames=FRAMES, platform=platform)
+    paper_report = presp.deploy(wami_soc_y(), frames=FRAMES, platform=platform)
 
     print(f"{'design':10s} {'ms/frame':>9s} {'J/frame':>8s} {'reconf/frame':>13s} "
           f"{'sw stages':>20s}")

@@ -11,7 +11,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import PrEspPlatform, ReconfigurableTile, SocConfig, Tile, TileKind
+import repro.api as presp
+from repro import ReconfigurableTile, SocConfig, Tile, TileKind
 from repro.flow.report import comparison_report, flow_report
 from repro.flow.scripts import SynthesisScript
 from repro.soc.esp_library import stock_accelerator
@@ -47,8 +48,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. One call = the paper's single make target.
     # ------------------------------------------------------------------
-    platform = PrEspPlatform()
-    result = platform.build(config, with_baseline=True)
+    result = presp.build(config, with_baseline=True)
     print(flow_report(result.flow))
     print()
 

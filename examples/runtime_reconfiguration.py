@@ -13,17 +13,17 @@ Run:  python examples/runtime_reconfiguration.py
 
 from __future__ import annotations
 
+import repro.api as presp
 from repro.core.designs import wami_soc_y
-from repro.core.platform import PrEspPlatform
 from repro.units import fmt_duration
 
 
 def main() -> None:
     config = wami_soc_y()
-    platform = PrEspPlatform()
+    platform = presp.platform()
 
     print(f"building {config.name} through the PR-ESP flow...")
-    flow_result = platform.flow.build(config)
+    flow_result = presp.build(config, platform=platform).flow
     partials = flow_result.partial_bitstreams()
     print(f"  strategy: {flow_result.strategy.value} (tau={flow_result.plan.tau})")
     print(f"  compile time: {flow_result.total_minutes:.0f} modelled minutes")
@@ -31,7 +31,9 @@ def main() -> None:
           f"({sum(b.size_kib for b in partials):.0f} KB total)\n")
 
     print("deploying and running 2 frames under the runtime manager...\n")
-    report = platform.deploy_wami(config, flow_result=flow_result, frames=2)
+    report = presp.deploy(
+        config, flow_result=flow_result, frames=2, platform=platform
+    )
 
     print("invocation log (tile, accelerator, reconfig, exec):")
     # The manager records every esp_run; show the first frame's worth.

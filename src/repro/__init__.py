@@ -3,9 +3,13 @@ reconfigurable SoCs (DATE 2023) on fully simulated substrates.
 
 Public entry points:
 
-* :class:`repro.core.PrEspPlatform` — build SoCs through the automated
-  DPR flow, compare against the monolithic baseline, profile and deploy
-  the WAMI application;
+* :mod:`repro.api` — the five-verb facade (``build``, ``build_many``,
+  ``deploy``, ``compare``, ``monitor``) the CLI, examples and benches
+  are written against;
+* :class:`repro.core.PrEspPlatform` — the full platform object behind
+  the facade: build SoCs through the automated DPR flow, compare
+  against the monolithic baseline, profile and deploy the WAMI
+  application;
 * :mod:`repro.core.designs` — the paper's evaluation SoCs;
 * :mod:`repro.soc` / :mod:`repro.fabric` / :mod:`repro.noc` /
   :mod:`repro.vivado` / :mod:`repro.floorplan` / :mod:`repro.flow` /

@@ -1,0 +1,179 @@
+"""The top-level PR-ESP API: one import, five verbs.
+
+The platform's capabilities behind plain functions::
+
+    import repro.api as presp
+
+    result = presp.build(config)                 # the DPR flow
+    outcomes = presp.build_many(requests)        # batch via the build service
+    report = presp.deploy(config, frames=4)      # run WAMI on the built SoC
+    flow, mono = presp.compare(config)           # Table V row
+    report, health, bus = presp.monitor(config)  # deploy + health monitor
+
+Every verb accepts ``options=`` (a :class:`~repro.flow.options.
+BuildOptions` — cache, parallel jobs, fault/retry policy, checkpoint
+directory) and ``instrumentation=`` (an :class:`~repro.obs.
+instrumentation.Instrumentation` — tracer, metrics, event bus), or a
+pre-built ``platform=`` when several calls should share state (flow
+cache, batch workers). This is the layer ``repro.cli``, the examples
+and the benchmarks are written against; reach for
+:class:`~repro.core.platform.PrEspPlatform` directly only when you need
+its full surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.platform import (
+    BuildResult,
+    PrEspPlatform,
+    WamiRunReport,
+)
+from repro.core.strategy import ImplementationStrategy
+from repro.errors import ConfigurationError
+from repro.flow.batch import BuildOutcome, BuildRequest
+from repro.flow.dpr_flow import FlowResult
+from repro.flow.monolithic import MonolithicResult
+from repro.flow.options import BuildOptions
+from repro.obs.events import EventBus
+from repro.obs.health import HealthReport
+from repro.obs.instrumentation import Instrumentation
+from repro.soc.config import SocConfig
+
+__all__ = [
+    "build",
+    "build_many",
+    "compare",
+    "deploy",
+    "monitor",
+    "platform",
+    "BuildOptions",
+    "Instrumentation",
+]
+
+
+def platform(
+    options: Optional[BuildOptions] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    **kwargs,
+) -> PrEspPlatform:
+    """A configured :class:`PrEspPlatform`.
+
+    Extra keyword arguments go to the constructor verbatim (runtime
+    model, ``compress_bitstreams``...). Build one explicitly when
+    several verbs should share a flow cache or batch workers; the
+    module-level verbs otherwise construct a fresh platform per call.
+    """
+    return PrEspPlatform(
+        options=options, instrumentation=instrumentation, **kwargs
+    )
+
+
+def _platform_for(
+    existing: Optional[PrEspPlatform],
+    options: Optional[BuildOptions],
+    instrumentation: Optional[Instrumentation],
+) -> PrEspPlatform:
+    if existing is not None:
+        if options is not None or instrumentation is not None:
+            raise ConfigurationError(
+                "pass either platform= or options=/instrumentation=, not both "
+                "(a platform already carries its own)"
+            )
+        return existing
+    return PrEspPlatform(options=options, instrumentation=instrumentation)
+
+
+def build(
+    config: SocConfig,
+    strategy: Optional[ImplementationStrategy] = None,
+    with_baseline: bool = False,
+    resume: Optional[bool] = None,
+    options: Optional[BuildOptions] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    platform: Optional[PrEspPlatform] = None,
+) -> BuildResult:
+    """Run the PR-ESP DPR flow on ``config``.
+
+    ``resume`` restores a checkpointed build's completed stages when
+    ``options.checkpoint_dir`` is set (None defers to
+    ``options.resume``). A build that lost reconfigurable partitions to
+    permanent CAD faults returns normally with ``result.flow.degraded``
+    set — inspect ``result.flow.failures`` rather than catching.
+    """
+    return _platform_for(platform, options, instrumentation).build(
+        config,
+        strategy_override=strategy,
+        with_baseline=with_baseline,
+        resume=resume,
+    )
+
+
+def build_many(
+    requests: Sequence[BuildRequest],
+    options: Optional[BuildOptions] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    platform: Optional[PrEspPlatform] = None,
+) -> List[BuildOutcome]:
+    """Fan a batch of build requests out over the build service."""
+    return _platform_for(platform, options, instrumentation).build_many(requests)
+
+
+def compare(
+    config: SocConfig,
+    options: Optional[BuildOptions] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    platform: Optional[PrEspPlatform] = None,
+) -> Tuple[FlowResult, MonolithicResult]:
+    """PR-ESP vs the monolithic baseline for one SoC (Table V row)."""
+    return _platform_for(platform, options, instrumentation).compare_with_monolithic(
+        config
+    )
+
+
+def deploy(
+    config: SocConfig,
+    frames: int = 1,
+    flow_result: Optional[FlowResult] = None,
+    power_gating: bool = False,
+    pipelined: bool = False,
+    options: Optional[BuildOptions] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    platform: Optional[PrEspPlatform] = None,
+    **kwargs,
+) -> WamiRunReport:
+    """Program a built SoC and run WAMI for ``frames`` frames.
+
+    Builds ``config`` first when ``flow_result`` is not supplied. The
+    ``instrumentation`` bundle receives the kernel protocol spans, the
+    runtime counters and the manager's lifecycle events. Extra keyword
+    arguments (``app=``, ``prc_setup=``...) pass through to
+    :meth:`PrEspPlatform.deploy_wami`.
+    """
+    return _platform_for(platform, options, instrumentation).deploy_wami(
+        config,
+        flow_result=flow_result,
+        frames=frames,
+        power_gating=power_gating,
+        pipelined=pipelined,
+        **kwargs,
+    )
+
+
+def monitor(
+    config: SocConfig,
+    frames: int = 1,
+    options: Optional[BuildOptions] = None,
+    platform: Optional[PrEspPlatform] = None,
+    **kwargs,
+) -> Tuple[WamiRunReport, HealthReport, EventBus]:
+    """Deploy WAMI with the event bus and health monitor wired in.
+
+    Returns the run report, the end-of-run health verdict and the bus.
+    Extra keyword arguments (watchdog thresholds, ``inject_failures=``)
+    pass through to :meth:`PrEspPlatform.monitor_wami`.
+    """
+    return _platform_for(platform, options, None).monitor_wami(
+        config, frames=frames, **kwargs
+    )

@@ -25,17 +25,19 @@ import os
 import sys
 from typing import Optional
 
+from repro import api
 from repro.core.designs import (
     characterization_socs,
     wami_deployment_socs,
     wami_parallelism_socs,
 )
 from repro.core.metrics import compute_metrics
-from repro.core.platform import PrEspPlatform
 from repro.core.strategy import ImplementationStrategy, choose_strategy
 from repro.errors import PrEspError
 from repro.flow.batch import BuildRequest
 from repro.flow.cache import FlowCache
+from repro.flow.options import BuildOptions
+from repro.obs.instrumentation import Instrumentation
 from repro.flow.report import comparison_report, flow_report
 from repro.obs.export import metrics_lines, write_chrome_trace
 from repro.obs.logconfig import (
@@ -56,6 +58,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.soc.config import SocConfig
 from repro.soc.esp_parser import load_esp_config
 from repro.soc.validation import check_design
+from repro.vivado.faults import NO_FAULTS, CadFaultModel
 from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind
 from repro.wami.graph import WamiStage
 
@@ -112,20 +115,62 @@ def cache_from_args(args) -> Optional[FlowCache]:
     return FlowCache(disk_dir=args.cache_dir or True)
 
 
+def parse_cad_injections(specs) -> list:
+    """``STAGE:JOB[:COUNT]`` flags -> (stage, job, count) triples."""
+    injections = []
+    for spec in specs or []:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+            raise PrEspError(
+                f"bad --inject-cad-fault {spec!r}; expected STAGE:JOB[:COUNT]"
+            )
+        try:
+            count = int(parts[2]) if len(parts) == 3 else 1
+        except ValueError:
+            raise PrEspError(
+                f"bad --inject-cad-fault count in {spec!r}; expected an integer"
+            ) from None
+        injections.append((parts[0], parts[1], count))
+    return injections
+
+
+def faults_from_args(args):
+    """The CAD fault model a build asked for (NO_FAULTS when healthy)."""
+    injections = parse_cad_injections(getattr(args, "inject_cad_fault", None))
+    rate = getattr(args, "fault_rate", 0.0) or 0.0
+    if not 0.0 <= rate < 1.0:
+        raise PrEspError(f"--fault-rate must be in [0, 1), got {rate}")
+    if not injections and rate <= 0.0:
+        return NO_FAULTS
+    rates = {kind: rate for kind in JobKind} if rate > 0.0 else None
+    model = CadFaultModel(seed=getattr(args, "fault_seed", 0) or 0, rates=rates)
+    for stage, job, count in injections:
+        model.inject_fault(stage, job, count=count)
+    return model
+
+
 def cmd_build(args) -> int:
     config = resolve_config(args.config)
     strategy = (
         ImplementationStrategy(args.strategy) if args.strategy else None
     )
-    platform = PrEspPlatform(
-        compress_bitstreams=not args.no_compress, cache=cache_from_args(args)
+    options = BuildOptions(
+        cache=cache_from_args(args),
+        faults=faults_from_args(args),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     tracer = Tracer(time_unit="min") if args.trace else NULL_TRACER
-    result = platform.build(
+    platform = api.platform(
+        options=options,
+        instrumentation=Instrumentation(tracer=tracer),
+        compress_bitstreams=not args.no_compress,
+    )
+    result = api.build(
         config,
-        strategy_override=strategy,
+        strategy=strategy,
         with_baseline=args.baseline,
-        tracer=tracer,
+        platform=platform,
     )
     if args.trace:
         write_chrome_trace(args.trace, tracer)
@@ -135,6 +180,11 @@ def cmd_build(args) -> int:
     print(flow_report(result.flow))
     if result.cached:
         print("\n(served from the flow cache)")
+    if result.flow.resumed_stages:
+        print(
+            f"\n(resumed {len(result.flow.resumed_stages)} checkpointed "
+            f"stage(s): {', '.join(result.flow.resumed_stages)})"
+        )
     if result.baseline is not None:
         print()
         print(comparison_report(result.flow, result.baseline))
@@ -168,8 +218,8 @@ def cmd_sweep(args) -> int:
         for strategy in strategies
     ]
     cache = cache_from_args(args)
-    platform = PrEspPlatform(cache=cache, jobs=args.jobs)
-    outcomes = platform.build_many(requests)
+    platform = api.platform(options=BuildOptions(cache=cache, jobs=args.jobs))
+    outcomes = api.build_many(requests, platform=platform)
     if args.json:
         rows = []
         for outcome in outcomes:
@@ -222,20 +272,20 @@ def cmd_sweep(args) -> int:
 
 def cmd_compare(args) -> int:
     config = resolve_config(args.config)
-    platform = PrEspPlatform()
-    presp, mono = platform.compare_with_monolithic(config)
+    presp, mono = api.compare(config)
     print(comparison_report(presp, mono))
     return 0
 
 
 def cmd_deploy(args) -> int:
     config = resolve_config(args.config)
-    platform = PrEspPlatform()
     want_metrics = args.metrics or args.json
     tracer = Tracer() if args.trace else NULL_TRACER
     registry = MetricsRegistry() if want_metrics else NULL_METRICS
-    report = platform.deploy_wami(
-        config, frames=args.frames, tracer=tracer, metrics=registry
+    report = api.deploy(
+        config,
+        frames=args.frames,
+        instrumentation=Instrumentation(tracer=tracer, metrics=registry),
     )
     if args.trace:
         write_chrome_trace(args.trace, tracer)
@@ -283,8 +333,7 @@ def parse_injections(specs) -> list:
 
 def cmd_monitor(args) -> int:
     config = resolve_config(args.config)
-    platform = PrEspPlatform()
-    report, health, bus = platform.monitor_wami(
+    report, health, bus = api.monitor(
         config,
         frames=args.frames,
         reconfig_deadline_s=args.deadline,
@@ -377,8 +426,7 @@ def cmd_profile(args) -> int:
                 f"unknown stage {args.stage!r}; use a name "
                 f"({', '.join(s.kernel_name for s in WamiStage)}) or index 1..12"
             ) from None
-    platform = PrEspPlatform()
-    profile = platform.profile_wami(stage)
+    profile = api.platform().profile_wami(stage)
     print(f"stage {stage.value}: {stage.kernel_name}")
     print(f"  LUTs            : {profile.luts}")
     print(f"  execution time  : {profile.exec_time_s * 1000:.1f} ms/frame")
@@ -461,6 +509,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         help="write a Chrome trace-event file of the flow (CAD minutes)",
+    )
+    build.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        help="checkpoint each completed flow stage into PATH",
+    )
+    build.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed stages from --checkpoint-dir before building",
+    )
+    build.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-attempt CAD job failure probability (seeded, deterministic)",
+    )
+    build.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the deterministic CAD fault model",
+    )
+    build.add_argument(
+        "--inject-cad-fault",
+        action="append",
+        metavar="STAGE:JOB[:COUNT]",
+        help=(
+            "arm COUNT failures for one tool job, e.g. "
+            "synthesis:synth_rt0:3; repeatable"
+        ),
     )
     _add_cache_options(build)
     build.set_defaults(func=cmd_build)

@@ -11,6 +11,7 @@ returning performance and energy (the Fig. 4 experiment).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -19,13 +20,14 @@ from repro.energy.measure import EnergyReport, measure_energy
 from repro.energy.power import DEFAULT_POWER_MODEL, PowerModel
 from repro.errors import ConfigurationError
 from repro.flow.batch import BatchBuilder, BuildOutcome, BuildRequest, cached_build
-from repro.flow.cache import FlowCache
 from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.flow.monolithic import MonolithicFlow, MonolithicResult
+from repro.flow.options import BuildOptions
 from repro.noc.mesh import Mesh
 from repro.obs.bridge import bridge_timeline, publish_runtime_stats
 from repro.obs.events import EventBus, NULL_EVENTS
 from repro.obs.health import HealthMonitor, HealthReport
+from repro.obs.instrumentation import OFF, Instrumentation
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.api import DprUserApi
@@ -45,6 +47,10 @@ from repro.wami.graph import WamiStage
 
 #: SoC clock of the paper's deployment (VC707 at 78 MHz).
 DEPLOYMENT_CLOCK_HZ = 78e6
+
+#: Sentinel distinguishing "not passed" from explicit None on
+#: deprecated keyword arguments.
+_UNSET = object()
 
 
 @dataclass
@@ -131,9 +137,38 @@ class PrEspPlatform:
         compress_bitstreams: bool = True,
         power_model: PowerModel = DEFAULT_POWER_MODEL,
         prc_fetch_bytes_per_cycle: Optional[float] = None,
-        cache: Optional[FlowCache] = None,
-        jobs: int = 1,
+        instrumentation: Optional[Instrumentation] = None,
+        options: Optional[BuildOptions] = None,
+        cache=_UNSET,
+        jobs=_UNSET,
     ) -> None:
+        """``instrumentation`` bundles tracer/metrics/events once for
+        every platform operation; ``options`` bundles the build-side
+        configuration (cache, batch jobs, fault/retry policy,
+        checkpoint directory).
+
+        ``cache=`` and ``jobs=`` remain as deprecated shims — they
+        fold into a :class:`BuildOptions` and warn.
+        """
+        if cache is not _UNSET or jobs is not _UNSET:
+            if options is not None:
+                raise ConfigurationError(
+                    "pass cache/jobs inside BuildOptions, not alongside options="
+                )
+            warnings.warn(
+                "PrEspPlatform(cache=..., jobs=...) is deprecated; pass "
+                "options=BuildOptions(cache=..., jobs=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = BuildOptions(
+                cache=None if cache is _UNSET else cache,
+                jobs=1 if jobs is _UNSET else jobs,
+            )
+        self.options = options if options is not None else BuildOptions()
+        self.instrumentation = (
+            instrumentation if instrumentation is not None else OFF
+        )
         self.model = model
         self.power_model = power_model
         self.prc_fetch_bytes_per_cycle = prc_fetch_bytes_per_cycle
@@ -141,12 +176,16 @@ class PrEspPlatform:
             model=model,
             max_instances=max_instances,
             compress_bitstreams=compress_bitstreams,
+            faults=self.options.faults,
+            retry=self.options.retry,
         )
         self.baseline_flow = MonolithicFlow(
             model=model, compress_bitstreams=compress_bitstreams
         )
-        self.cache = cache
-        self.batch = BatchBuilder(flow=self.flow, cache=cache, jobs=jobs)
+        self.cache = self.options.cache
+        self.batch = BatchBuilder(
+            flow=self.flow, cache=self.cache, jobs=self.options.jobs
+        )
 
     # ------------------------------------------------------------------
     # compilation
@@ -156,22 +195,41 @@ class PrEspPlatform:
         config: SocConfig,
         strategy_override: Optional[ImplementationStrategy] = None,
         with_baseline: bool = False,
-        tracer=NULL_TRACER,
+        tracer=_UNSET,
+        resume: Optional[bool] = None,
     ) -> BuildResult:
         """Compile ``config`` with the PR-ESP flow (plus baseline if asked).
 
-        ``tracer`` (CAD-minute clock) receives the flow's stage and
-        tool-job spans. When the platform was constructed with a
+        The platform's :class:`Instrumentation` receives the flow's
+        stage and tool-job spans plus the retry/failure/degradation
+        events. When the platform's :class:`BuildOptions` carry a
         :class:`~repro.flow.cache.FlowCache`, a repeat build of the
         same configuration is served from it (and still traced — the
-        flow replays the cached result's spans).
+        flow replays the cached result's spans); with a
+        ``checkpoint_dir`` the build is stage-checkpointed, and
+        ``resume`` (defaulting to the options' flag) restores the
+        matching prefix of a previously killed build.
+
+        ``tracer=`` remains as a deprecated per-call shim.
         """
+        if tracer is _UNSET:
+            tracer = self.instrumentation.tracer
+        else:
+            warnings.warn(
+                "build(tracer=...) is deprecated; construct the platform "
+                "with instrumentation=Instrumentation(tracer=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         flow_result, cached = cached_build(
             self.flow,
             self.cache,
             config,
             strategy_override=strategy_override,
             tracer=tracer,
+            events=self.instrumentation.events,
+            checkpoint_dir=self.options.checkpoint_dir,
+            resume=self.options.resume if resume is None else resume,
         )
         baseline = self.baseline_flow.build(config) if with_baseline else None
         return BuildResult(flow=flow_result, baseline=baseline, cached=cached)
@@ -241,10 +299,11 @@ class PrEspPlatform:
         app: Optional[WamiApplication] = None,
         power_gating: bool = False,
         pipelined: bool = False,
-        tracer=NULL_TRACER,
-        metrics=NULL_METRICS,
-        events=NULL_EVENTS,
+        tracer=_UNSET,
+        metrics=_UNSET,
+        events=_UNSET,
         prc_setup: Optional[Callable[[PrcDevice], None]] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> WamiRunReport:
         """Program a built SoC and run WAMI for ``frames`` frames.
 
@@ -255,20 +314,47 @@ class PrEspPlatform:
         ``pipelined`` overlaps consecutive frames (an extension: the
         paper processes frames without pipelining).
 
-        ``tracer`` is bound to the DES clock (simulated seconds) and
-        receives the kernel-level protocol spans (lock-wait, decouple,
-        ICAP, exec) live plus the application-level timeline spans via
-        the lossless bridge — one merged Fig. 4 trace. ``metrics``
-        receives the manager/PRC counters and the `RuntimeStats`
-        gauges. ``events`` receives the manager's lifecycle events
-        (reconfig requested/started/completed/failed, driver swaps,
-        lock waits) — subscribe a
-        :class:`~repro.obs.health.HealthMonitor` for live watchdogs.
-        ``prc_setup`` is called with the constructed PRC before the run
-        starts — the fault-injection hook (``PrcDevice.inject_failure``).
+        Observability comes from ``instrumentation`` (falling back to
+        the platform's bundle): the tracer is bound to the DES clock
+        (simulated seconds) and receives the kernel-level protocol
+        spans (lock-wait, decouple, ICAP, exec) live plus the
+        application-level timeline spans via the lossless bridge — one
+        merged Fig. 4 trace; the metrics registry receives the
+        manager/PRC counters and the `RuntimeStats` gauges; the event
+        bus receives the manager's lifecycle events (reconfig
+        requested/started/completed/failed, driver swaps, lock waits)
+        — subscribe a :class:`~repro.obs.health.HealthMonitor` for
+        live watchdogs. ``prc_setup`` is called with the constructed
+        PRC before the run starts — the fault-injection hook
+        (``PrcDevice.inject_failure``).
+
+        ``tracer=``/``metrics=``/``events=`` remain as deprecated
+        per-call shims folding into an :class:`Instrumentation`.
         """
         if frames <= 0:
             raise ConfigurationError("frames must be positive")
+        if tracer is not _UNSET or metrics is not _UNSET or events is not _UNSET:
+            if instrumentation is not None:
+                raise ConfigurationError(
+                    "pass tracer/metrics/events inside instrumentation=, "
+                    "not alongside it"
+                )
+            warnings.warn(
+                "deploy_wami(tracer=/metrics=/events=) is deprecated; pass "
+                "instrumentation=Instrumentation(...) or construct the "
+                "platform with one",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            instrumentation = Instrumentation(
+                tracer=NULL_TRACER if tracer is _UNSET else tracer,
+                metrics=NULL_METRICS if metrics is _UNSET else metrics,
+                events=NULL_EVENTS if events is _UNSET else events,
+            )
+        inst = (
+            instrumentation if instrumentation is not None else self.instrumentation
+        )
+        tracer, metrics, events = inst.tracer, inst.metrics, inst.events
         if flow_result is None:
             flow_result = self.flow.build(config)
         if flow_result.config.name != config.name:
@@ -401,9 +487,9 @@ class PrEspPlatform:
             config,
             flow_result=flow_result,
             frames=frames,
-            tracer=tracer,
-            metrics=metrics,
-            events=bus,
+            instrumentation=Instrumentation(
+                tracer=tracer, metrics=metrics, events=bus
+            ),
             prc_setup=prc_setup,
         )
         return report, monitor.report(), bus

@@ -127,18 +127,23 @@ def cached_build(
     semi_tau: int = 2,
     tracer=NULL_TRACER,
     events=NULL_EVENTS,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Tuple[FlowResult, bool]:
     """One build through the cache; returns (result, was_cached).
 
     On a hit the flow's trace projection is replayed onto ``tracer``,
     so a cached build traces byte-identically to a fresh one.
     ``events`` receives the hit/miss decision plus the flow's stage
-    events for fresh builds.
+    events for fresh builds. ``checkpoint_dir``/``resume`` pass through
+    to :meth:`DprFlow.build` on misses — a cache hit supersedes any
+    checkpoint (both are keyed by the same content digest).
     """
     if cache is None:
         return flow.build(
             config, strategy_override=strategy_override, semi_tau=semi_tau,
             tracer=tracer, events=events,
+            checkpoint_dir=checkpoint_dir, resume=resume,
         ), False
     key = flow_cache_key(flow, config, strategy_override, semi_tau)
     result = cache.get(key)
@@ -150,7 +155,7 @@ def cached_build(
     events.emit(ev.CACHE_MISS, source=config.name, key=key)
     result = flow.build(
         config, strategy_override=strategy_override, semi_tau=semi_tau, tracer=tracer,
-        events=events,
+        events=events, checkpoint_dir=checkpoint_dir, resume=resume,
     )
     cache.put(key, result)
     return result, False

@@ -54,7 +54,7 @@ logger = get_logger("flow.cache")
 
 #: Bump when the digest layout or the pickled payload schema changes;
 #: old on-disk entries then simply stop matching.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_disk_dir() -> Path:
@@ -129,6 +129,17 @@ def flow_cache_key(
             "max_instances": flow.max_instances,
             "compress_bitstreams": flow.compress_bitstreams,
             "floorplan_utilization": flow.floorplan_utilization,
+        },
+        # Fault model and retry policy change retry timelines, burned
+        # minutes, and possibly which tiles survive — a degraded build
+        # must never alias the clean one.
+        "faults": flow.faults.fingerprint(),
+        "retry": {
+            "max_attempts": flow.retry.max_attempts,
+            "backoff_minutes": flow.retry.backoff_minutes,
+            "factor": flow.retry.factor,
+            "cap_minutes": flow.retry.cap_minutes,
+            "jitter": flow.retry.jitter,
         },
         "request": {
             "strategy_override": (

@@ -8,12 +8,30 @@ parallel) implementation runs, and generates full plus compressed
 partial bitstreams. The returned :class:`FlowResult` carries every
 intermediate the paper's tables report (synthesis makespan, t_static,
 Ω per run, T_P&R, bitstream sizes).
+
+The flow is fault-tolerant and resumable:
+
+* every synthesis and P&R job runs under the build's
+  :class:`~repro.vivado.faults.CadFaultModel` and
+  :class:`~repro.vivado.faults.RetryPolicy` — failed attempts burn
+  their modelled runtime plus backoff, reshaping the makespan;
+* a reconfigurable tile whose job fails *permanently* does not abort
+  the build: the tile goes dark (blanking bitstream only, written on a
+  fault-exempt recovery instance) and the result is marked
+  ``degraded``. Static-logic failures still abort — there is no SoC
+  without the static design;
+* each completed stage (and each tool job inside the long stages) is
+  checkpointed when a ``checkpoint_dir`` is given, so a killed build
+  resumes from its last completed stage with ``resume=True`` and, by
+  construction of the deterministic fault model, produces the same
+  summary an uninterrupted run would have.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.metrics import DesignMetrics, compute_metrics
 from repro.core.strategy import (
@@ -30,11 +48,21 @@ from repro.obs.tracer import NULL_TRACER
 from repro.floorplan.constraints import validate_floorplan
 from repro.floorplan.flora import Floorplan, FloraFloorplanner
 from repro.flow.blackbox import BlackBoxWrapper, generate_blackboxes
+from repro.flow.checkpoint import FlowCheckpointer
 from repro.flow.schedule import ImplementationPlan, plan_implementation
 from repro.soc.config import SocConfig
 from repro.soc.partition import DesignPartition, partition_design
 from repro.vivado.bitstream import Bitstream
 from repro.vivado.checkpoint import NetlistCheckpoint
+from repro.vivado.faults import (
+    DEFAULT_RETRY_POLICY,
+    NO_FAULTS,
+    CadFaultError,
+    CadFaultModel,
+    FaultPlanner,
+    JobExecution,
+    RetryPolicy,
+)
 from repro.vivado.par import ParMode
 from repro.vivado.runtime_model import CALIBRATED_MODEL, RuntimeModel
 from repro.vivado.server import ScheduleResult, ToolJob, VivadoServer
@@ -50,6 +78,26 @@ class StageTrace:
     stage: str
     wall_minutes: float
     detail: str
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One permanently failed CAD job and the tiles it took down."""
+
+    stage: str
+    job: str
+    rp_names: Tuple[str, ...]
+    attempts: int
+    minutes_burned: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "stage": self.stage,
+            "job": self.job,
+            "rps": list(self.rp_names),
+            "attempts": self.attempts,
+            "minutes_burned": self.minutes_burned,
+        }
 
 
 @dataclass
@@ -73,6 +121,16 @@ class FlowResult:
     #: Schedule of the parallel OoC synthesis runs (None on results
     #: produced before this field existed).
     synth_schedule: Optional[ScheduleResult] = None
+    #: True when one or more reconfigurable tiles went dark.
+    degraded: bool = False
+    #: Permanently failed jobs (empty on a clean build).
+    failures: Tuple[JobFailure, ...] = ()
+    #: Full attempt timeline of every planned CAD job, by job name.
+    executions: Dict[str, JobExecution] = field(default_factory=dict)
+    #: Stages restored from a checkpoint instead of re-run (kept out of
+    #: the summary dict so resumed and uninterrupted builds compare
+    #: equal).
+    resumed_stages: Tuple[str, ...] = ()
 
     @property
     def strategy(self) -> ImplementationStrategy:
@@ -90,6 +148,19 @@ class FlowResult:
     def total_minutes(self) -> float:
         """T_tot — synthesis plus implementation wall time."""
         return self.synth_makespan_minutes + self.par_makespan_minutes
+
+    @property
+    def total_retries(self) -> int:
+        """Failed-then-retried attempts across every CAD job."""
+        return sum(e.retries for e in self.executions.values())
+
+    @property
+    def dark_rps(self) -> Tuple[str, ...]:
+        """Names of the tiles the build completed without, sorted."""
+        names = set()
+        for failure in self.failures:
+            names.update(failure.rp_names)
+        return tuple(sorted(names))
 
     def partial_bitstreams(self) -> List[Bitstream]:
         """The partial bitstreams, in (tile, mode) order."""
@@ -118,6 +189,17 @@ class FlowResult:
                 "max_omega": self.max_omega_minutes,
                 "par_makespan": self.par_makespan_minutes,
                 "total": self.total_minutes,
+            },
+            "fault_tolerance": {
+                "degraded": self.degraded,
+                "retries": self.total_retries,
+                "dark_rps": list(self.dark_rps),
+                "failures": [f.to_dict() for f in self.failures],
+                "retried_jobs": {
+                    name: execution.retries
+                    for name, execution in sorted(self.executions.items())
+                    if execution.retries
+                },
             },
             "bitstreams": [
                 {
@@ -150,6 +232,8 @@ class DprFlow:
         max_instances: int = 16,
         compress_bitstreams: bool = True,
         floorplan_utilization: float = 0.7,
+        faults: CadFaultModel = NO_FAULTS,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
         if max_instances <= 0:
             raise FlowError("flow needs at least one tool instance")
@@ -157,6 +241,8 @@ class DprFlow:
         self.max_instances = max_instances
         self.compress_bitstreams = compress_bitstreams
         self.floorplan_utilization = floorplan_utilization
+        self.faults = faults
+        self.retry = retry
 
     # ------------------------------------------------------------------
     def build(
@@ -166,6 +252,8 @@ class DprFlow:
         semi_tau: int = 2,
         tracer=NULL_TRACER,
         events=NULL_EVENTS,
+        checkpoint_dir: Union[None, str, Path, FlowCheckpointer] = None,
+        resume: bool = False,
     ) -> FlowResult:
         """Run the full RTL-to-bitstream flow for ``config``.
 
@@ -174,11 +262,32 @@ class DprFlow:
         algorithm decides. ``tracer`` (modelled CAD minutes) receives
         one span per Fig. 1 stage plus one per scheduled tool job;
         ``events`` receives a start/finish pair per stage, stamped on
-        the same modelled-minute clock.
+        the same modelled-minute clock, plus retry/failure/degradation
+        events when the fault model bites.
+
+        With ``checkpoint_dir`` set, every completed stage (and tool
+        job) is persisted under the build's content key; ``resume=True``
+        restores whatever matching prefix the directory holds instead
+        of re-running it. Without ``resume`` the directory is cleared
+        first, so a fresh build never trusts stale state.
         """
+        from repro.flow.cache import flow_cache_key
+
         stages: List[StageTrace] = []
+        resumed: List[str] = []
         device = config.device()
+        planner = FaultPlanner(faults=self.faults, policy=self.retry)
         logger.info("build %s: starting flow on %s", config.name, device.name)
+
+        ckpt: Optional[FlowCheckpointer] = None
+        if checkpoint_dir is not None:
+            if isinstance(checkpoint_dir, FlowCheckpointer):
+                ckpt = checkpoint_dir
+            else:
+                key = flow_cache_key(self, config, strategy_override, semi_tau)
+                ckpt = FlowCheckpointer(checkpoint_dir, key)
+            if not resume:
+                ckpt.clear()
 
         def add_stage(stage: str, wall_minutes: float, detail: str) -> None:
             """Record one Fig. 1 stage and emit its start/finish pair."""
@@ -198,95 +307,254 @@ class DprFlow:
                 detail=detail,
             )
 
+        def run_stage(name: str, compute):
+            """Load ``name`` from the checkpoint or compute and save it.
+
+            ``compute`` returns ``(payload, wall_minutes, detail)``; the
+            payload must be picklable. A restored stage contributes the
+            same :class:`StageTrace` a fresh run would, so downstream
+            accounting (and the summary) cannot tell the difference.
+            """
+            if ckpt is not None and ckpt.has_stage(name):
+                payload, wall, detail = ckpt.load_stage(name)
+                start = sum(s.wall_minutes for s in stages)
+                stages.append(
+                    StageTrace(stage=name, wall_minutes=wall, detail=detail)
+                )
+                resumed.append(name)
+                events.emit(
+                    ev.FLOW_STAGE_RESUMED,
+                    time=start + wall,
+                    source=name,
+                    soc=config.name,
+                    wall_minutes=wall,
+                    detail=detail,
+                )
+                logger.info("build %s: resumed stage %s from checkpoint",
+                            config.name, name)
+                return payload
+            payload, wall, detail = compute()
+            add_stage(name, wall, detail)
+            if ckpt is not None:
+                ckpt.save_stage(name, payload, wall, detail)
+                events.emit(
+                    ev.FLOW_CHECKPOINT_SAVED,
+                    time=sum(s.wall_minutes for s in stages),
+                    source=name,
+                    soc=config.name,
+                )
+            return payload
+
+        def emit_job_events(
+            stage_name: str,
+            stage_start: float,
+            schedule: ScheduleResult,
+            executions: Dict[str, JobExecution],
+        ) -> None:
+            """Emit retry/failure events placed on the schedule's clock."""
+            by_name = {placed.job.name: placed for placed in schedule.jobs}
+            for name, execution in sorted(executions.items()):
+                if execution.succeeded and not execution.retries:
+                    continue
+                placed = by_name.get(name)
+                base = stage_start + (placed.start_minutes if placed else 0.0)
+                offset = 0.0
+                for attempt in execution.attempts:
+                    offset += attempt.backoff_minutes + attempt.busy_minutes
+                    if not attempt.succeeded and attempt.index < len(
+                        execution.attempts
+                    ):
+                        events.emit(
+                            ev.CAD_JOB_RETRIED,
+                            time=base + offset,
+                            source=stage_name,
+                            job=name,
+                            attempt=attempt.index,
+                            backoff_minutes=execution.attempts[
+                                attempt.index
+                            ].backoff_minutes,
+                        )
+                if not execution.succeeded:
+                    events.emit(
+                        ev.CAD_JOB_FAILED,
+                        time=base + offset,
+                        source=stage_name,
+                        job=name,
+                        attempts=len(execution.attempts),
+                        minutes_burned=execution.total_minutes,
+                    )
+
         # -- 1. parse the SoC configuration / split the sources --------
-        partition = partition_design(config)
-        add_stage(
-            "parse",
-            0.0,
-            f"static={partition.static.luts} LUTs, "
-            f"{partition.num_rps} reconfigurable tiles",
-        )
+        def compute_parse():
+            parsed = partition_design(config)
+            return (
+                parsed,
+                0.0,
+                f"static={parsed.static.luts} LUTs, "
+                f"{parsed.num_rps} reconfigurable tiles",
+            )
+
+        partition: DesignPartition = run_stage("parse", compute_parse)
 
         # -- 2. black-box wrapper generation ----------------------------
-        blackboxes = generate_blackboxes(partition)
-        add_stage("blackbox_gen", 0.0, f"{len(blackboxes)} wrappers")
+        def compute_blackboxes():
+            wrappers = generate_blackboxes(partition)
+            return wrappers, 0.0, f"{len(wrappers)} wrappers"
+
+        blackboxes: List[BlackBoxWrapper] = run_stage(
+            "blackbox_gen", compute_blackboxes
+        )
 
         # -- 3. parallel OoC synthesis ----------------------------------
-        synth_schedule, netlists, static_netlist = self._synthesize(partition)
+        def compute_synthesis():
+            payload = self._synthesize(partition, planner, ckpt)
+            makespan = payload["schedule"].makespan_minutes
+            return (
+                payload,
+                makespan,
+                f"{1 + len(partition.rps)} parallel OoC runs",
+            )
+
+        synth = run_stage("synthesis", compute_synthesis)
+        for execution in synth["executions"].values():
+            planner.restore(execution)
+        synth_schedule: ScheduleResult = synth["schedule"]
+        netlists: Dict[str, NetlistCheckpoint] = synth["netlists"]
+        static_netlist: NetlistCheckpoint = synth["static_netlist"]
+        synth_failures: Tuple[JobFailure, ...] = synth["failures"]
         synth_makespan = synth_schedule.makespan_minutes
+        if "synthesis" not in resumed:
+            emit_job_events("synthesis", 0.0, synth_schedule, synth["executions"])
         logger.info(
             "build %s: synthesis makespan %.1f min over %d runs",
             config.name,
             synth_makespan,
             len(synth_schedule.jobs),
         )
-        add_stage(
-            "synthesis", synth_makespan, f"{1 + len(netlists)} parallel OoC runs"
+        dark_synth = frozenset(
+            name for failure in synth_failures for name in failure.rp_names
         )
+        if dark_synth:
+            logger.warning(
+                "build %s: %d tile(s) lost to synthesis faults: %s",
+                config.name,
+                len(dark_synth),
+                ", ".join(sorted(dark_synth)),
+            )
 
         # -- 4. floorplanning -------------------------------------------
-        floorplanner = FloraFloorplanner(
-            device, target_utilization=self.floorplan_utilization
-        )
-        floorplan = floorplanner.plan([(rp.name, rp.demand) for rp in partition.rps])
-        report = validate_floorplan(device, floorplan)
-        if not report.legal:
-            raise FlowError("floorplan validation failed: " + "; ".join(report.violations))
-        add_stage(
-            "floorplan",
-            0.0,
-            f"{len(floorplan.assignments)} pblocks on {device.name}",
-        )
+        def compute_floorplan():
+            floorplanner = FloraFloorplanner(
+                device, target_utilization=self.floorplan_utilization
+            )
+            plan = floorplanner.plan(
+                [(rp.name, rp.demand) for rp in partition.rps]
+            )
+            report = validate_floorplan(device, plan)
+            if not report.legal:
+                raise FlowError(
+                    "floorplan validation failed: " + "; ".join(report.violations)
+                )
+            return (
+                plan,
+                0.0,
+                f"{len(plan.assignments)} pblocks on {device.name}",
+            )
+
+        floorplan: Floorplan = run_stage("floorplan", compute_floorplan)
 
         # -- 5. size-driven strategy choice ------------------------------
-        metrics = compute_metrics(config)
-        decision = choose_strategy(
-            metrics, estimator=self.model.strategy_estimator(tau=semi_tau), semi_tau=semi_tau
-        )
-        if strategy_override is not None and strategy_override is not decision.strategy:
-            decision = StrategyDecision(
-                classification=decision.classification,
-                strategy=strategy_override,
-                tau=(
-                    1
-                    if strategy_override is ImplementationStrategy.SERIAL
-                    else metrics.num_rps
-                    if strategy_override is ImplementationStrategy.FULLY_PARALLEL
-                    else min(semi_tau, metrics.num_rps)
-                ),
+        # The classification runs on the full design (paper semantics);
+        # the materialized plan excludes tiles already lost to synthesis
+        # faults, so the implementation runs cover survivors only.
+        def compute_choice():
+            metrics = compute_metrics(config)
+            decision = choose_strategy(
+                metrics,
+                estimator=self.model.strategy_estimator(tau=semi_tau),
+                semi_tau=semi_tau,
             )
-        plan = plan_implementation(partition, decision)
-        add_stage(
-            "choose_parallelism",
-            0.0,
-            f"class {decision.design_class.value} -> "
-            f"{decision.strategy.value} (tau={plan.tau})",
-        )
+            if (
+                strategy_override is not None
+                and strategy_override is not decision.strategy
+            ):
+                final = StrategyDecision(
+                    classification=decision.classification,
+                    strategy=strategy_override,
+                    tau=(
+                        1
+                        if strategy_override is ImplementationStrategy.SERIAL
+                        else metrics.num_rps
+                        if strategy_override is ImplementationStrategy.FULLY_PARALLEL
+                        else min(semi_tau, metrics.num_rps)
+                    ),
+                )
+            else:
+                final = decision
+            plan = plan_implementation(partition, final, exclude=dark_synth)
+            detail = (
+                f"class {final.design_class.value} -> "
+                f"{final.strategy.value} (tau={plan.tau})"
+            )
+            if dark_synth:
+                detail += f", excluding {len(dark_synth)} dark tile(s)"
+            return (metrics, final, plan), 0.0, detail
+
+        metrics, decision, plan = run_stage("choose_parallelism", compute_choice)
 
         # -- 6. implementation + bitstream generation --------------------
         # Each tool instance writes the bitstreams of the partitions it
         # implemented, so bitgen time lands inside the runs (as in the
         # real flow) and the makespan stays comparable to the baseline.
-        (
-            static_minutes,
-            omegas,
-            par_makespan,
-            schedule,
-            bitstreams,
-        ) = self._implement(
-            config, partition, plan, device, floorplan, netlists, static_netlist
-        )
-        add_stage(
-            "implementation",
-            par_makespan,
-            f"{len(plan.runs)} runs, strategy {plan.strategy.value}",
-        )
-        add_stage(
-            "bitstreams",
-            0.0,
-            f"{len(bitstreams)} bitstreams "
-            f"({'compressed' if self.compress_bitstreams else 'raw'} partials)",
-        )
+        def compute_implementation():
+            payload = self._implement(
+                config,
+                partition,
+                plan,
+                device,
+                floorplan,
+                netlists,
+                static_netlist,
+                planner,
+                ckpt,
+                dark_synth,
+            )
+            return (
+                payload,
+                payload["schedule"].makespan_minutes,
+                f"{len(plan.runs)} runs, strategy {plan.strategy.value}",
+            )
+
+        impl = run_stage("implementation", compute_implementation)
+        for execution in impl["executions"].values():
+            planner.restore(execution)
+        schedule: ScheduleResult = impl["schedule"]
+        par_makespan = schedule.makespan_minutes
+        bitstreams: List[Bitstream] = impl["bitstreams"]
+        if "implementation" not in resumed:
+            emit_job_events(
+                "implementation",
+                sum(s.wall_minutes for s in stages) - par_makespan,
+                schedule,
+                impl["executions"],
+            )
+
+        failures: Tuple[JobFailure, ...] = synth_failures + impl["failures"]
+        degraded = bool(failures)
+
+        def compute_bitstream_stage():
+            detail = (
+                f"{len(bitstreams)} bitstreams "
+                f"({'compressed' if self.compress_bitstreams else 'raw'} partials)"
+            )
+            if degraded:
+                dark = sorted(
+                    {name for f in failures for name in f.rp_names}
+                )
+                detail += f", blanking-only for dark tiles: {', '.join(dark)}"
+            return None, 0.0, detail
+
+        run_stage("bitstreams", compute_bitstream_stage)
 
         result = FlowResult(
             config=config,
@@ -297,20 +565,38 @@ class DprFlow:
             floorplan=floorplan,
             blackboxes=blackboxes,
             synth_makespan_minutes=synth_makespan,
-            static_par_minutes=static_minutes,
-            omega_minutes=omegas,
+            static_par_minutes=impl["static_minutes"],
+            omega_minutes=impl["omegas"],
             par_makespan_minutes=par_makespan,
             bitstreams=bitstreams,
             stages=stages,
             schedule=schedule,
             synth_schedule=synth_schedule,
+            degraded=degraded,
+            failures=failures,
+            executions=dict(planner.executions),
+            resumed_stages=tuple(resumed),
         )
+        if degraded:
+            events.emit(
+                ev.FLOW_DEGRADED,
+                time=result.total_minutes,
+                source="flow",
+                soc=config.name,
+                rps=list(result.dark_rps),
+            )
+            logger.warning(
+                "build %s: completed DEGRADED without tiles %s",
+                config.name,
+                ", ".join(result.dark_rps),
+            )
         logger.info(
-            "build %s: %s (tau=%d), total %.1f min",
+            "build %s: %s (tau=%d), total %.1f min%s",
             config.name,
             plan.strategy.value,
             plan.tau,
             result.total_minutes,
+            " [degraded]" if degraded else "",
         )
         if tracer.enabled:
             self.record_trace(result, tracer)
@@ -346,6 +632,7 @@ class DprFlow:
             kappa=result.metrics.kappa,
             alpha_av=result.metrics.alpha_av,
             gamma=result.metrics.gamma,
+            degraded=result.degraded,
         )
         offset = 0.0
         stage_spans: Dict[str, "object"] = {}
@@ -385,29 +672,97 @@ class DprFlow:
 
     # ------------------------------------------------------------------
     def _synthesize(
-        self, partition: DesignPartition
-    ) -> Tuple[ScheduleResult, Dict[str, NetlistCheckpoint], NetlistCheckpoint]:
+        self,
+        partition: DesignPartition,
+        planner: FaultPlanner,
+        ckpt: Optional[FlowCheckpointer],
+    ) -> Dict:
         """Run the static + per-tile OoC syntheses in parallel.
 
         The static top is synthesized with the reconfigurable wrappers
         black-boxed; it is charged on the OoC curve because the run is
         identical in character (no context, netlist-out) even though the
-        result is the design top.
+        result is the design top. A permanent fault on the static
+        synthesis aborts the build; a per-tile fault marks that tile
+        dark and the flow continues without it.
         """
         black_box_names = [rp.wrapper.name for rp in partition.rps]
-        static_tool = VivadoInstance("synth_static", self.model)
-        static_netlist = static_tool.synth_design(
-            partition.rtl, ooc=True, black_box_names=black_box_names
+        jobs: List[ToolJob] = []
+        failures: List[JobFailure] = []
+        executions: Dict[str, JobExecution] = {}
+
+        def run_synth(job_name, module, black_boxes=(), rp_names=()):
+            """One synthesis job: checkpoint-aware, fault-aware.
+
+            Returns (netlist_or_None, failure_or_None)."""
+            if ckpt is not None:
+                cached = ckpt.load_job(job_name)
+                if cached is not None:
+                    execution = cached.get("execution")
+                    if execution is not None:
+                        planner.restore(execution)
+                        executions[job_name] = execution
+                    jobs.append(
+                        ToolJob(name=job_name, cpu_minutes=cached["cpu_minutes"])
+                    )
+                    return cached["netlist"], cached["failure"]
+            tool = VivadoInstance(
+                job_name, self.model, planner=planner, stage="synthesis"
+            )
+            netlist = None
+            failure = None
+            try:
+                netlist = tool.synth_design(
+                    module, ooc=True, black_box_names=black_boxes
+                )
+            except CadFaultError as error:
+                failure = JobFailure(
+                    stage="synthesis",
+                    job=job_name,
+                    rp_names=tuple(rp_names),
+                    attempts=len(error.execution.attempts),
+                    minutes_burned=error.execution.total_minutes,
+                )
+            execution = planner.executions.get(job_name)
+            if execution is not None:
+                executions[job_name] = execution
+            jobs.append(ToolJob(name=job_name, cpu_minutes=tool.cpu_minutes))
+            if ckpt is not None:
+                ckpt.save_job(
+                    job_name,
+                    {
+                        "netlist": netlist,
+                        "cpu_minutes": tool.cpu_minutes,
+                        "execution": execution,
+                        "failure": failure,
+                    },
+                )
+            return netlist, failure
+
+        static_netlist, static_failure = run_synth(
+            "synth_static", partition.rtl, black_boxes=black_box_names
         )
-        jobs = [ToolJob(name="synth_static", cpu_minutes=static_tool.cpu_minutes)]
+        if static_failure is not None:
+            raise CadFaultError(executions["synth_static"])
+
         netlists: Dict[str, NetlistCheckpoint] = {}
         for rp in partition.rps:
-            tool = VivadoInstance(f"synth_{rp.name}", self.model)
-            netlists[rp.name] = tool.synth_design(rp.wrapper, ooc=True)
-            jobs.append(ToolJob(name=f"synth_{rp.name}", cpu_minutes=tool.cpu_minutes))
+            netlist, failure = run_synth(
+                f"synth_{rp.name}", rp.wrapper, rp_names=(rp.name,)
+            )
+            if failure is not None:
+                failures.append(failure)
+            else:
+                netlists[rp.name] = netlist
         server = VivadoServer(max_instances=self.max_instances)
         schedule = server.schedule(jobs)
-        return schedule, netlists, static_netlist
+        return {
+            "schedule": schedule,
+            "netlists": netlists,
+            "static_netlist": static_netlist,
+            "failures": tuple(failures),
+            "executions": executions,
+        }
 
     # ------------------------------------------------------------------
     def _write_rp_bitstreams(
@@ -457,62 +812,182 @@ class DprFlow:
         floorplan: Floorplan,
         netlists: Dict[str, NetlistCheckpoint],
         static_netlist: NetlistCheckpoint,
-    ) -> Tuple[
-        Optional[float], Dict[str, float], float, ScheduleResult, List[Bitstream]
-    ]:
-        """Execute the implementation plan; returns
-        (t_static, Ω per run, makespan, schedule, bitstreams)."""
+        planner: FaultPlanner,
+        ckpt: Optional[FlowCheckpointer],
+        dark_synth: frozenset,
+    ) -> Dict:
+        """Execute the implementation plan.
+
+        Static-path faults (the serial full run, the static pre-route)
+        abort the build; a faulted in-context run marks its whole group
+        of tiles dark and the flow continues. Every dark tile — from
+        synthesis or implementation — gets its blanking bitstream from
+        a fault-exempt recovery instance, so a degraded build is always
+        loadable.
+        """
         pblocks = floorplan.pblocks()
         demands = [a.demand for a in floorplan.assignments]
         pblock_by_rp = {a.rp_name: a.pblock.name for a in floorplan.assignments}
-        all_rp_names = [rp.name for rp in partition.rps]
 
         jobs: List[ToolJob] = []
         omegas: Dict[str, float] = {}
         static_minutes: Optional[float] = None
         bitstreams: List[Bitstream] = []
+        failures: List[JobFailure] = []
+        executions: Dict[str, JobExecution] = {}
+
+        def record_execution(job_name: str) -> Optional[JobExecution]:
+            execution = planner.executions.get(job_name)
+            if execution is not None:
+                executions[job_name] = execution
+            return execution
+
+        def load_job(job_name: str) -> Optional[Dict]:
+            if ckpt is None:
+                return None
+            cached = ckpt.load_job(job_name)
+            if cached is None:
+                return None
+            execution = cached.get("execution")
+            if execution is not None:
+                planner.restore(execution)
+                executions[job_name] = execution
+            return cached
 
         if plan.strategy is ImplementationStrategy.SERIAL:
-            tool = VivadoInstance(
-                "impl_serial", self.model, compress_bitstreams=self.compress_bitstreams
-            )
-            rp_netlists = [netlists[rp.name] for rp in partition.rps]
-            tool.implement_full(
-                static_netlist,
-                rp_netlists,
-                device,
-                pblocks,
-                demands,
-                mode=ParMode.FULL_SERIAL,
-            )
-            bitstreams.append(tool.write_full_bitstream(config.name, device))
-            bitstreams += self._write_rp_bitstreams(
-                tool, partition, floorplan, all_rp_names
-            )
-            jobs.append(ToolJob(name="impl_serial", cpu_minutes=tool.cpu_minutes))
-        else:
-            static_tool = VivadoInstance(
-                "impl_static", self.model, compress_bitstreams=self.compress_bitstreams
-            )
-            static_routed = static_tool.implement_static(
-                static_netlist, device, pblocks, demands
-            )
-            # The static instance assembles and writes the full-device
-            # bitstream (with placeholder greyboxes).
-            bitstreams.append(static_tool.write_full_bitstream(config.name, device))
-            static_minutes = static_tool.cpu_minutes
-            jobs.append(ToolJob(name="impl_static", cpu_minutes=static_minutes))
-            for run in plan.context_runs:
+            run = plan.runs[0]
+            cached = load_job(run.name)
+            if cached is not None:
+                bitstreams += cached["bitstreams"]
+                jobs.append(
+                    ToolJob(name=run.name, cpu_minutes=cached["cpu_minutes"])
+                )
+            else:
                 tool = VivadoInstance(
-                    run.name, self.model, compress_bitstreams=self.compress_bitstreams
+                    run.name,
+                    self.model,
+                    compress_bitstreams=self.compress_bitstreams,
+                    planner=planner,
+                    stage="implementation",
+                )
+                rp_netlists = [netlists[name] for name in run.rp_names]
+                # The serial run implements the static design too; a
+                # permanent fault here aborts — no degraded SoC exists
+                # without its static logic.
+                tool.implement_full(
+                    static_netlist,
+                    rp_netlists,
+                    device,
+                    pblocks,
+                    demands,
+                    mode=ParMode.FULL_SERIAL,
+                )
+                record_execution(run.name)
+                run_bitstreams = [tool.write_full_bitstream(config.name, device)]
+                run_bitstreams += self._write_rp_bitstreams(
+                    tool, partition, floorplan, run.rp_names
+                )
+                bitstreams += run_bitstreams
+                jobs.append(ToolJob(name=run.name, cpu_minutes=tool.cpu_minutes))
+                if ckpt is not None:
+                    ckpt.save_job(
+                        run.name,
+                        {
+                            "bitstreams": run_bitstreams,
+                            "cpu_minutes": tool.cpu_minutes,
+                            "execution": executions.get(run.name),
+                        },
+                    )
+        else:
+            cached = load_job("impl_static")
+            if cached is not None:
+                static_routed = cached["static_routed"]
+                bitstreams.append(cached["full_bitstream"])
+                static_minutes = cached["cpu_minutes"]
+                jobs.append(
+                    ToolJob(name="impl_static", cpu_minutes=static_minutes)
+                )
+            else:
+                static_tool = VivadoInstance(
+                    "impl_static",
+                    self.model,
+                    compress_bitstreams=self.compress_bitstreams,
+                    planner=planner,
+                    stage="implementation",
+                )
+                # A permanent fault on the static pre-route aborts: every
+                # in-context run depends on the locked static design.
+                static_routed = static_tool.implement_static(
+                    static_netlist, device, pblocks, demands
+                )
+                record_execution("impl_static")
+                # The static instance assembles and writes the full-device
+                # bitstream (with placeholder greyboxes).
+                full_bitstream = static_tool.write_full_bitstream(
+                    config.name, device
+                )
+                bitstreams.append(full_bitstream)
+                static_minutes = static_tool.cpu_minutes
+                jobs.append(
+                    ToolJob(name="impl_static", cpu_minutes=static_minutes)
+                )
+                if ckpt is not None:
+                    ckpt.save_job(
+                        "impl_static",
+                        {
+                            "static_routed": static_routed,
+                            "full_bitstream": full_bitstream,
+                            "cpu_minutes": static_minutes,
+                            "execution": executions.get("impl_static"),
+                        },
+                    )
+            for run in plan.context_runs:
+                cached = load_job(run.name)
+                if cached is not None:
+                    bitstreams += cached["bitstreams"]
+                    if cached["failure"] is not None:
+                        failures.append(cached["failure"])
+                    else:
+                        omegas[run.name] = cached["cpu_minutes"]
+                    jobs.append(
+                        ToolJob(
+                            name=run.name,
+                            cpu_minutes=cached["cpu_minutes"],
+                            depends_on=("impl_static",),
+                        )
+                    )
+                    continue
+                tool = VivadoInstance(
+                    run.name,
+                    self.model,
+                    compress_bitstreams=self.compress_bitstreams,
+                    planner=planner,
+                    stage="implementation",
                 )
                 group = [netlists[name] for name in run.rp_names]
                 targets = [pblock_by_rp[name] for name in run.rp_names]
-                tool.implement_in_context(static_routed, group, targets)
-                bitstreams += self._write_rp_bitstreams(
-                    tool, partition, floorplan, run.rp_names
-                )
-                omegas[run.name] = tool.cpu_minutes
+                failure = None
+                run_bitstreams: List[Bitstream] = []
+                try:
+                    tool.implement_in_context(static_routed, group, targets)
+                except CadFaultError as error:
+                    # The whole group goes dark; the burned minutes stay
+                    # on the schedule so the makespan reflects the loss.
+                    failure = JobFailure(
+                        stage="implementation",
+                        job=run.name,
+                        rp_names=run.rp_names,
+                        attempts=len(error.execution.attempts),
+                        minutes_burned=error.execution.total_minutes,
+                    )
+                    failures.append(failure)
+                else:
+                    run_bitstreams = self._write_rp_bitstreams(
+                        tool, partition, floorplan, run.rp_names
+                    )
+                    bitstreams += run_bitstreams
+                    omegas[run.name] = tool.cpu_minutes
+                record_execution(run.name)
                 jobs.append(
                     ToolJob(
                         name=run.name,
@@ -520,7 +995,56 @@ class DprFlow:
                         depends_on=("impl_static",),
                     )
                 )
+                if ckpt is not None:
+                    ckpt.save_job(
+                        run.name,
+                        {
+                            "bitstreams": run_bitstreams,
+                            "cpu_minutes": tool.cpu_minutes,
+                            "execution": executions.get(run.name),
+                            "failure": failure,
+                        },
+                    )
+
+        # -- recovery: blanking bitstreams for every dark tile ----------
+        # Written on a planner-free instance (bitgen is fault-exempt by
+        # design) so a degraded build always ships a loadable image for
+        # each dark region.
+        dark_impl = {name for failure in failures for name in failure.rp_names}
+        dark_all = sorted(dark_synth | dark_impl)
+        if dark_all:
+            recovery = VivadoInstance(
+                "impl_recovery",
+                self.model,
+                compress_bitstreams=self.compress_bitstreams,
+            )
+            for rp_name in dark_all:
+                assignment = floorplan.assignment_for(rp_name)
+                bitstreams.append(
+                    recovery.write_blanking_bitstream(
+                        rp_name, assignment.provided
+                    )
+                )
+            depends = (
+                ("impl_static",)
+                if plan.strategy is not ImplementationStrategy.SERIAL
+                else ()
+            )
+            jobs.append(
+                ToolJob(
+                    name="impl_recovery",
+                    cpu_minutes=recovery.cpu_minutes,
+                    depends_on=depends,
+                )
+            )
 
         server = VivadoServer(max_instances=max(self.max_instances, plan.tau))
         schedule = server.schedule(jobs)
-        return static_minutes, omegas, schedule.makespan_minutes, schedule, bitstreams
+        return {
+            "static_minutes": static_minutes,
+            "omegas": omegas,
+            "schedule": schedule,
+            "bitstreams": bitstreams,
+            "failures": tuple(failures),
+            "executions": executions,
+        }

@@ -1,0 +1,56 @@
+"""Build-side configuration of the platform, as one value.
+
+``PrEspPlatform`` used to grow one constructor keyword per build
+feature (cache, worker count, and now fault model, retry policy,
+checkpoint directory). :class:`BuildOptions` collects them so call
+sites name one argument and defaults stay in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.flow.cache import FlowCache
+from repro.vivado.faults import (
+    DEFAULT_RETRY_POLICY,
+    NO_FAULTS,
+    CadFaultModel,
+    RetryPolicy,
+)
+
+
+@dataclass
+class BuildOptions:
+    """Everything the platform's build paths read.
+
+    * ``cache`` — a :class:`~repro.flow.cache.FlowCache` serving repeat
+      builds (None disables caching);
+    * ``jobs`` — worker processes for :meth:`~repro.core.platform.
+      PrEspPlatform.build_many` batches (1 = serial in-process);
+    * ``faults``/``retry`` — the CAD fault model and retry policy the
+      flow runs under (defaults: no faults, three attempts);
+    * ``checkpoint_dir`` — directory for stage-level checkpoints of
+      ``build()`` (None disables checkpointing);
+    * ``resume`` — restore the matching checkpoint prefix instead of
+      re-running it (requires ``checkpoint_dir``).
+    """
+
+    cache: Optional[FlowCache] = None
+    jobs: int = 1
+    faults: CadFaultModel = field(default_factory=lambda: NO_FAULTS)
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs <= 0:
+            raise ConfigurationError(
+                f"build options need at least one job slot, got {self.jobs}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume=True needs a checkpoint_dir to resume from"
+            )

@@ -41,6 +41,22 @@ def flow_report(result: FlowResult) -> str:
         )
     lines.append(f"  P&R makespan        {_fmt(result.par_makespan_minutes)} min")
     lines.append(f"  TOTAL               {_fmt(result.total_minutes)} min")
+    if result.total_retries or result.degraded:
+        lines.append("")
+        lines.append("fault tolerance:")
+        lines.append(f"  retried jobs        {result.total_retries} attempts repeated")
+        for failure in result.failures:
+            lines.append(
+                f"  {failure.stage}/{failure.job:18s} FAILED after "
+                f"{failure.attempts} attempts "
+                f"({failure.minutes_burned:.1f} min burned)"
+            )
+        if result.degraded:
+            lines.append(
+                "  DEGRADED: dark tiles "
+                + ", ".join(result.dark_rps)
+                + " (blanking bitstreams only)"
+            )
     lines.append("")
     lines.append("floorplan:")
     for assignment in result.floorplan.assignments:

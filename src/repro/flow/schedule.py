@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import AbstractSet, FrozenSet, List, Tuple
 
 from repro.core.strategy import ImplementationStrategy, StrategyDecision
 from repro.errors import FlowError
@@ -71,10 +71,26 @@ class ImplementationPlan:
 def plan_implementation(
     partition: DesignPartition,
     decision: StrategyDecision,
+    exclude: AbstractSet[str] = frozenset(),
 ) -> ImplementationPlan:
-    """Materialize ``decision`` into runs over ``partition``'s RPs."""
-    rps = list(partition.rps)
+    """Materialize ``decision`` into runs over ``partition``'s RPs.
+
+    ``exclude`` names RPs to plan around — the fault-tolerant flow
+    passes the tiles whose synthesis failed permanently, so the
+    implementation runs (and therefore the makespan) are computed over
+    the surviving partitions only; the dark tiles get blanking
+    bitstreams outside the plan.
+    """
+    excluded: FrozenSet[str] = frozenset(exclude)
+    unknown = excluded - {rp.name for rp in partition.rps}
+    if unknown:
+        raise FlowError(f"cannot exclude unknown RPs: {sorted(unknown)}")
+    rps = [rp for rp in partition.rps if rp.name not in excluded]
     if not rps:
+        if excluded:
+            raise FlowError(
+                "every reconfigurable partition is excluded; nothing to implement"
+            )
         raise FlowError("cannot plan implementation of a design without RPs")
     strategy = decision.strategy
 

@@ -54,6 +54,19 @@ DRIVER_SWAPPED = "driver.swapped"
 FLOW_STAGE_STARTED = "flow.stage_started"
 #: Flow: a Fig. 1 stage finished (attrs: ``wall_minutes``, ``detail``).
 FLOW_STAGE_FINISHED = "flow.stage_finished"
+#: Flow: a stage was restored from a checkpoint instead of re-running
+#: (attrs: ``wall_minutes``, ``detail``).
+FLOW_STAGE_RESUMED = "flow.stage_resumed"
+#: Flow: a stage's outputs were persisted to the checkpoint manifest.
+FLOW_CHECKPOINT_SAVED = "flow.checkpoint_saved"
+#: Flow: a CAD job attempt failed and will be retried
+#: (attrs: ``job``, ``attempt``, ``backoff_minutes``).
+CAD_JOB_RETRIED = "flow.job_retried"
+#: Flow: a CAD job exhausted its retry budget
+#: (attrs: ``job``, ``attempts``, ``minutes_burned``).
+CAD_JOB_FAILED = "flow.job_failed"
+#: Flow: the build completed without one or more RPs (attrs: ``rps``).
+FLOW_DEGRADED = "flow.degraded"
 #: Build service: a request was served from the flow cache.
 CACHE_HIT = "flow.cache_hit"
 #: Build service: a request missed the flow cache and was built.

@@ -14,7 +14,17 @@ one instant and returns a :class:`HealthReport` with an
 * **failure rate** — failed transfer attempts over all outcomes in the
   window crossing the degraded/critical thresholds;
 * **queue depth** — threads queued on one tile's lock crossing the
-  threshold: ``degraded``.
+  threshold: ``degraded``;
+* **flow degradation** — the CAD flow shipped a degraded build
+  (``flow.degraded`` on the bus): ``degraded``.
+
+When the monitored bus also carries CAD flow traffic (a build sharing
+the deployment's event bus), the monitor folds the fault-tolerance
+events in as cumulative counters: ``flow.job_retried`` and
+``flow.job_failed`` tallies plus the dark tiles announced by
+``flow.degraded``. These ride the modelled CAD clock rather than the
+runtime clock, so they are never windowed — they surface as totals in
+the report.
 
 Window percentiles (p50/p95/p99) are interpolated from histogram
 buckets (:func:`~repro.obs.metrics.bucket_quantile`), matching what
@@ -133,6 +143,10 @@ class HealthReport:
     active_reconfigs: Dict[str, float] = field(default_factory=dict)
     events_seen: int = 0
     events_dropped: int = 0
+    #: Cumulative CAD fault-tolerance counters (modelled clock, unwindowed).
+    cad_retries: int = 0
+    cad_failed_jobs: List[str] = field(default_factory=list)
+    dark_tiles: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -176,6 +190,11 @@ class HealthReport:
             "active_reconfigs": dict(sorted(self.active_reconfigs.items())),
             "events_seen": self.events_seen,
             "events_dropped": self.events_dropped,
+            "cad": {
+                "retries": self.cad_retries,
+                "failed_jobs": list(self.cad_failed_jobs),
+                "dark_tiles": list(self.dark_tiles),
+            },
         }
 
     def summary_lines(self) -> List[str]:
@@ -212,6 +231,14 @@ class HealthReport:
                 f"{'lock queues':14s}: "
                 + ", ".join(f"{t}={d}" for t, d in depth.items())
             )
+        if self.cad_retries or self.cad_failed_jobs or self.dark_tiles:
+            cad = (
+                f"{'cad flow':14s}: {self.cad_retries} retried attempts, "
+                f"{len(self.cad_failed_jobs)} permanent failures"
+            )
+            if self.dark_tiles:
+                cad += f", dark tiles {', '.join(self.dark_tiles)}"
+            lines.append(cad)
         if self.findings:
             lines.append("findings:")
             lines.extend(f"  {finding}" for finding in self.findings)
@@ -230,6 +257,9 @@ class HealthMonitor:
         ev.RECONFIG_FAILED,
         ev.LOCK_REQUESTED,
         ev.LOCK_ACQUIRED,
+        ev.CAD_JOB_RETRIED,
+        ev.CAD_JOB_FAILED,
+        ev.FLOW_DEGRADED,
     )
 
     def __init__(
@@ -265,6 +295,9 @@ class HealthMonitor:
         self._waits: Deque[Tuple[float, float]] = deque()
         self._outcomes: Deque[Tuple[float, bool]] = deque()
         self._queue_depth: Dict[str, int] = {}
+        self._cad_retries = 0
+        self._cad_failed_jobs: List[str] = []
+        self._dark_tiles: Tuple[str, ...] = ()
         self._last_time = 0.0
         self.events_seen = 0
         bus.subscribe(self._on_event, kinds=self.KINDS)
@@ -272,6 +305,20 @@ class HealthMonitor:
     # ------------------------------------------------------------------
     def _on_event(self, event: Event) -> None:
         self.events_seen += 1
+        # CAD flow events carry modelled CAD minutes, not runtime
+        # seconds — fold them into cumulative counters without letting
+        # their timestamps advance the runtime window clock.
+        if event.kind == ev.CAD_JOB_RETRIED:
+            self._cad_retries += 1
+            return
+        if event.kind == ev.CAD_JOB_FAILED:
+            self._cad_failed_jobs.append(
+                f"{event.source}/{event.attrs.get('job', '?')}"
+            )
+            return
+        if event.kind == ev.FLOW_DEGRADED:
+            self._dark_tiles = tuple(event.attrs.get("rps", ()))
+            return
         self._last_time = max(self._last_time, event.time)
         if event.kind == ev.RECONFIG_STARTED:
             self._active[event.source] = event.time
@@ -371,6 +418,20 @@ class HealthMonitor:
                     )
                 )
 
+        if self._dark_tiles:
+            verdict = _worst(verdict, Verdict.DEGRADED)
+            findings.append(
+                HealthFinding(
+                    rule="flow-degraded",
+                    severity=Verdict.DEGRADED,
+                    message=(
+                        "build completed without tiles "
+                        + ", ".join(self._dark_tiles)
+                        + " (blanking bitstreams only)"
+                    ),
+                )
+            )
+
         return HealthReport(
             verdict=verdict,
             findings=findings,
@@ -385,4 +446,7 @@ class HealthMonitor:
             active_reconfigs=active_ages,
             events_seen=self.events_seen,
             events_dropped=self.bus.dropped,
+            cad_retries=self._cad_retries,
+            cad_failed_jobs=list(self._cad_failed_jobs),
+            dark_tiles=list(self._dark_tiles),
         )

@@ -1,0 +1,47 @@
+"""One bundle for the three observability hooks.
+
+Every instrumented layer of the reproduction takes the same trio —
+a span tracer, a metrics registry, an event bus — and threading them
+through as three separate keyword arguments scaled badly as the
+platform API grew. :class:`Instrumentation` carries the trio as one
+value with null-object defaults, so the fully-disabled configuration
+(``OFF``) costs nothing and needs no conditionals at call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.obs.events import NULL_EVENTS
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class Instrumentation:
+    """The tracer/metrics/events trio instrumented code consumes.
+
+    Each field defaults to its null object, so partially-enabled
+    bundles (say, events only) are built by naming just that field.
+    """
+
+    tracer: object = NULL_TRACER
+    metrics: object = NULL_METRICS
+    events: object = NULL_EVENTS
+
+    @property
+    def enabled(self) -> bool:
+        """True when any of the three hooks is a live implementation."""
+        return bool(
+            getattr(self.tracer, "enabled", False)
+            or getattr(self.metrics, "enabled", False)
+            or getattr(self.events, "enabled", False)
+        )
+
+    def with_events(self, events) -> "Instrumentation":
+        """A copy with the event bus swapped (monitor wiring)."""
+        return replace(self, events=events)
+
+
+#: The shared fully-disabled bundle (all three null objects).
+OFF = Instrumentation()

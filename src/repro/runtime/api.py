@@ -4,11 +4,23 @@ A thin, `esp_run`-flavoured veneer over the reconfiguration manager:
 applications open a tile, request an accelerator, and run workloads
 without seeing decouplers, bitstream addresses or the PRC. This is the
 layer the paper's multi-threaded evaluation software is written against.
+
+Tiles are opened like file descriptors and close like them too —
+:class:`TileHandle` is a context manager::
+
+    with api.open_tile("rt0") as handle:
+        result = api.esp_run(handle, "fft")
+        record = yield result.process
+
+and ``esp_run`` returns a typed :class:`InvocationResult` instead of a
+raw simulation process: yield its ``.process`` from DES code, then read
+the accelerator name, wait/reconfig/exec times and the degraded flag
+from the result itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ReconfigurationError
@@ -18,10 +30,78 @@ from repro.sim.process import Process
 
 @dataclass(frozen=True)
 class TileHandle:
-    """An opened reconfigurable tile (the fd the API hands out)."""
+    """An opened reconfigurable tile (the fd the API hands out).
+
+    Usable as a context manager: leaving the ``with`` block closes the
+    handle, after which the API rejects further operations on it.
+    """
 
     tile_name: str
     modes: tuple
+    api: Optional["DprUserApi"] = field(default=None, repr=False, compare=False)
+
+    def close(self) -> None:
+        """Release the handle (idempotent)."""
+        if self.api is not None:
+            self.api.close_tile(self.tile_name)
+
+    def __enter__(self) -> "TileHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+@dataclass
+class InvocationResult:
+    """Typed outcome of one ``esp_run`` call.
+
+    Wraps the underlying simulation process (DES code must still
+    ``yield result.process`` to wait for completion) and exposes the
+    invocation's telemetry once it finished — accelerator name, the
+    wait/reconfigure/execute split, and whether the transfer needed
+    failed attempts (``degraded``).
+    """
+
+    process: Process
+    tile_name: str
+    accelerator: str
+
+    @property
+    def done(self) -> bool:
+        """True once the invocation completed."""
+        return self.process.processed
+
+    @property
+    def record(self) -> InvocationRecord:
+        """The completed invocation's record (raises while pending)."""
+        record = self.process.value
+        if not isinstance(record, InvocationRecord):
+            raise ReconfigurationError(
+                f"invocation of {self.accelerator!r} on {self.tile_name!r} "
+                "has not completed"
+            )
+        return record
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay before the tile was acquired."""
+        return self.record.wait_s
+
+    @property
+    def reconfig_s(self) -> float:
+        """Time spent reconfiguring (0 when the mode was loaded)."""
+        return self.record.reconfig_s
+
+    @property
+    def exec_time_s(self) -> float:
+        """Pure accelerator execution time."""
+        return self.record.exec_time_s
+
+    @property
+    def degraded(self) -> bool:
+        """True when the transfer needed retries (CRC failures seen)."""
+        return self.record.failed_attempts > 0
 
 
 class DprUserApi:
@@ -33,14 +113,23 @@ class DprUserApi:
 
     # ------------------------------------------------------------------
     def open_tile(self, tile_name: str) -> TileHandle:
-        """Open a reconfigurable tile for use by this application."""
+        """Open a reconfigurable tile for use by this application.
+
+        The returned handle is a context manager; leaving its ``with``
+        block closes it again.
+        """
         state = self._manager.tile(tile_name)  # validates existence
         handle = TileHandle(
             tile_name=state.name,
             modes=tuple(self._manager.store.modes_for_tile(state.name)),
+            api=self,
         )
         self._handles[tile_name] = handle
         return handle
+
+    def close_tile(self, tile_name: str) -> None:
+        """Close an open handle (idempotent; unknown names are no-ops)."""
+        self._handles.pop(tile_name, None)
 
     def handle(self, tile_name: str) -> TileHandle:
         """The open handle for ``tile_name``."""
@@ -49,32 +138,48 @@ class DprUserApi:
         except KeyError:
             raise ReconfigurationError(f"tile {tile_name!r} is not open") from None
 
+    def _check_open(self, handle: TileHandle) -> None:
+        if self._handles.get(handle.tile_name) is None:
+            raise ReconfigurationError(
+                f"tile {handle.tile_name!r} is not open (handle closed?)"
+            )
+
     # ------------------------------------------------------------------
     def esp_run(
         self,
         handle: TileHandle,
         accelerator: str,
         exec_time_s: Optional[float] = None,
-    ) -> Process:
+    ) -> InvocationResult:
         """Invoke ``accelerator`` on the tile (reconfiguring as needed).
 
         Mirrors ESP's ``esp_run()``: configuration registers are
-        written, the accelerator runs to its completion interrupt; the
-        returned process resolves to the :class:`InvocationRecord`.
+        written, the accelerator runs to its completion interrupt. The
+        returned :class:`InvocationResult` wraps the simulation process
+        (``yield result.process`` to wait) and exposes the typed
+        telemetry once complete.
         """
+        self._check_open(handle)
         if accelerator not in handle.modes:
             raise ReconfigurationError(
                 f"accelerator {accelerator!r} has no bitstream for tile "
                 f"{handle.tile_name!r}; available: {list(handle.modes)}"
             )
-        return self._manager.invoke(handle.tile_name, accelerator, exec_time_s)
+        process = self._manager.invoke(handle.tile_name, accelerator, exec_time_s)
+        return InvocationResult(
+            process=process,
+            tile_name=handle.tile_name,
+            accelerator=accelerator,
+        )
 
     def esp_blank(self, handle: TileHandle) -> Process:
         """Erase the tile's region (power gating / fault clearing)."""
+        self._check_open(handle)
         return self._manager.blank_tile(handle.tile_name)
 
     def esp_load(self, handle: TileHandle, accelerator: str) -> Process:
         """Pre-load an accelerator without running it (warm-up)."""
+        self._check_open(handle)
         if accelerator not in handle.modes:
             raise ReconfigurationError(
                 f"accelerator {accelerator!r} has no bitstream for tile "

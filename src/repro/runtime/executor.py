@@ -214,9 +214,10 @@ class AppExecutor:
                     )
                 else:
                     handle = self._handle_for(task.tile_name)
-                    record = yield self.api.esp_run(
+                    result = self.api.esp_run(
                         handle, task.mode_name, exec_time_s=task.duration_s
                     )
+                    record = yield result.process
                     if record.reconfig_s > 0:
                         timeline.events.append(
                             TimelineEvent(

@@ -83,6 +83,9 @@ class InvocationRecord:
     reconfig_s: float  # time spent reconfiguring (0 when already loaded)
     start_exec_s: float
     end_exec_s: float
+    #: Failed transfer attempts this invocation rode through (the
+    #: user-facing ``degraded`` signal).
+    failed_attempts: int = 0
 
     @property
     def exec_time_s(self) -> float:
@@ -186,6 +189,7 @@ class ReconfigurationManager:
             ).observe(acquired - requested, tile=tile_name)
             try:
                 reconfig_time = 0.0
+                failed_before = self.failed_attempts_by_tile.get(tile_name, 0)
                 if state.loaded_mode != mode_name:
                     reconfig_time = yield from self._reconfigure_locked(state, mode_name)
                 start_exec = self.sim.now
@@ -205,6 +209,10 @@ class ReconfigurationManager:
                     reconfig_s=reconfig_time,
                     start_exec_s=start_exec,
                     end_exec_s=self.sim.now,
+                    failed_attempts=(
+                        self.failed_attempts_by_tile.get(tile_name, 0)
+                        - failed_before
+                    ),
                 )
                 self.invocations.append(record)
                 self.metrics.counter(

@@ -52,6 +52,19 @@ _MODE_TO_JOB = {
 }
 
 
+def job_kind_for_mode(mode: ParMode) -> JobKind:
+    """The runtime-model job kind a P&R mode is charged as.
+
+    Public because the fault-tolerant flow keys its retry planning on
+    the same kinds the cost model uses — one taxonomy for both cost
+    and failure probability.
+    """
+    try:
+        return _MODE_TO_JOB[mode]
+    except KeyError:  # pragma: no cover - enum exhaustive today
+        raise ImplementationError(f"no job kind for P&R mode {mode}") from None
+
+
 class ParEngine:
     """Runs simulated P&R jobs against a runtime model."""
 

@@ -4,12 +4,22 @@ Each instance mirrors one launched ``vivado -mode batch`` process: it
 executes a sequence of commands (synthesis, P&R, bitstream writes),
 accumulates CPU time, and keeps a journal of what ran — the equivalent
 of the .jou file, which the flow's reports surface.
+
+When constructed with a :class:`~repro.vivado.faults.FaultPlanner`,
+synthesis and P&R commands run under the CAD fault model: a failed
+attempt burns its full modelled runtime, waits the policy's backoff,
+and retries — all charged to the instance so the schedule makespan
+reflects the retries. A job that exhausts its attempts raises
+:class:`~repro.vivado.faults.CadFaultError` *after* charging the burned
+minutes. Bitstream writes are exempt: their cost is absorbed in the
+fitted P&R curves, and the flow relies on blanking images always being
+writable to keep degraded builds loadable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.fabric.device import Device
 from repro.obs.logconfig import get_logger
@@ -18,7 +28,8 @@ from repro.fabric.resources import ResourceVector
 from repro.soc.rtl import Module
 from repro.vivado.bitstream import Bitstream, BitstreamGenerator
 from repro.vivado.checkpoint import NetlistCheckpoint, RoutedCheckpoint
-from repro.vivado.par import ParEngine, ParMode
+from repro.vivado.faults import CadFaultError, FaultPlanner
+from repro.vivado.par import ParEngine, ParMode, job_kind_for_mode
 from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind, RuntimeModel
 from repro.vivado.synthesis import SynthesisEngine
 
@@ -41,9 +52,13 @@ class VivadoInstance:
         name: str,
         model: RuntimeModel = CALIBRATED_MODEL,
         compress_bitstreams: bool = True,
+        planner: Optional[FaultPlanner] = None,
+        stage: str = "",
     ) -> None:
         self.name = name
         self.model = model
+        self.planner = planner
+        self.stage = stage
         self._synth = SynthesisEngine(model)
         self._par = ParEngine(model)
         self._bitgen = BitstreamGenerator(compress=compress_bitstreams)
@@ -55,6 +70,41 @@ class VivadoInstance:
         self.journal.append(ToolJournalEntry(command=command, cpu_minutes=cpu_minutes))
         self.cpu_minutes += cpu_minutes
         logger.debug("%s: %s (%.2f min)", self.name, command, cpu_minutes)
+
+    def _charge_job(self, kind: JobKind, command: str, base_minutes: float) -> None:
+        """Charge one retryable CAD job, expanding attempts if faulty.
+
+        Without a planner (or when the job succeeds first try) the
+        journal is byte-identical to the fault-free instance. A
+        permanently failed job charges everything it burned, then
+        raises :class:`CadFaultError`.
+        """
+        if self.planner is None:
+            self._charge(command, base_minutes)
+            return
+        execution = self.planner.run(kind, self.stage, self.name, base_minutes)
+        if len(execution.attempts) == 1 and execution.succeeded:
+            self._charge(command, base_minutes)
+            return
+        for attempt in execution.attempts:
+            if attempt.backoff_minutes > 0:
+                self._charge(
+                    f"# retry backoff before attempt {attempt.index}",
+                    attempt.backoff_minutes,
+                )
+            status = "ok" if attempt.succeeded else "FAILED"
+            self._charge(
+                f"{command} [attempt {attempt.index}: {status}]",
+                attempt.busy_minutes,
+            )
+        if not execution.succeeded:
+            logger.warning(
+                "%s: %s failed permanently after %d attempts",
+                self.name,
+                command,
+                len(execution.attempts),
+            )
+            raise CadFaultError(execution)
 
     # ------------------------------------------------------------------
     # synthesis
@@ -68,7 +118,11 @@ class VivadoInstance:
         """``synth_design [-mode out_of_context]`` on a module subtree."""
         result = self._synth.synth_module(module, ooc=ooc, black_box_names=black_box_names)
         mode = "-mode out_of_context " if ooc else ""
-        self._charge(f"synth_design {mode}-top {module.name}", result.cpu_minutes)
+        self._charge_job(
+            JobKind.OOC_SYNTH if ooc else JobKind.GLOBAL_SYNTH,
+            f"synth_design {mode}-top {module.name}",
+            result.cpu_minutes,
+        )
         return result.checkpoint
 
     # ------------------------------------------------------------------
@@ -83,7 +137,8 @@ class VivadoInstance:
     ) -> RoutedCheckpoint:
         """place_design + route_design of the static part with placeholders."""
         result = self._par.run_static(static_netlist, device, pblocks, rp_demands)
-        self._charge(
+        self._charge_job(
+            job_kind_for_mode(ParMode.STATIC_WITH_PLACEHOLDERS),
             f"place_design; route_design; lock_design -level routing "
             f"[{static_netlist.design}]",
             result.cpu_minutes,
@@ -99,7 +154,11 @@ class VivadoInstance:
         """Incremental implementation of a group of RPs in context."""
         result = self._par.run_in_context(static_routed, group, pblock_names)
         names = ", ".join(n.design for n in group)
-        self._charge(f"place_design; route_design [in-context: {names}]", result.cpu_minutes)
+        self._charge_job(
+            job_kind_for_mode(ParMode.IN_CONTEXT),
+            f"place_design; route_design [in-context: {names}]",
+            result.cpu_minutes,
+        )
         return result.checkpoint
 
     def implement_full(
@@ -115,7 +174,8 @@ class VivadoInstance:
         result = self._par.run_full(
             static_netlist, rp_netlists, device, pblocks, rp_demands, mode=mode
         )
-        self._charge(
+        self._charge_job(
+            job_kind_for_mode(mode),
             f"place_design; route_design [{mode.value}, "
             f"{1 + len(rp_netlists)} netlists]",
             result.cpu_minutes,

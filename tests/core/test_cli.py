@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, paper_designs, resolve_config
@@ -201,3 +203,51 @@ class TestSweep:
     def test_sweep_unknown_strategy_fails_cleanly(self, capsys):
         assert main(["sweep", "soc_a", "--strategies", "bogus"]) == 1
         assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestFaultFlags:
+    def test_degraded_build_exits_zero(self, capsys):
+        assert main(
+            ["build", "soc_3", "--inject-cad-fault", "synthesis:synth_rt_sort:3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED: dark tiles rt_sort" in out
+        assert "rt_sort_blank.pbs" in out
+
+    def test_fault_rate_retries_show_in_json(self, capsys):
+        assert main(
+            ["build", "soc_3", "--fault-rate", "0.5", "--fault-seed", "0", "--json"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["fault_tolerance"]["retries"] > 0
+
+    def test_bad_injection_spec_fails_cleanly(self, capsys):
+        assert main(["build", "soc_3", "--inject-cad-fault", "nocolon"]) == 1
+        assert "inject-cad-fault" in capsys.readouterr().err
+
+    def test_fault_rate_out_of_range_fails_cleanly(self, capsys):
+        assert main(["build", "soc_3", "--fault-rate", "1.5"]) == 1
+        assert "fault-rate" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_dir_fails_cleanly(self, capsys):
+        assert main(["build", "soc_3", "--resume"]) == 1
+        assert "checkpoint" in capsys.readouterr().err
+
+
+class TestCheckpointFlags:
+    def test_checkpoint_then_resume_matches(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["build", "soc_3", "--checkpoint-dir", ckpt, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(
+            ["build", "soc_3", "--checkpoint-dir", ckpt, "--resume", "--json"]
+        ) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed == first
+
+    def test_resume_reports_restored_stages(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["build", "soc_3", "--checkpoint-dir", ckpt]) == 0
+        capsys.readouterr()
+        assert main(["build", "soc_3", "--checkpoint-dir", ckpt, "--resume"]) == 0
+        assert "resumed 7 checkpointed stage(s)" in capsys.readouterr().out

@@ -192,6 +192,74 @@ class TestWindowStats:
         assert stats.p99 == pytest.approx(0.25)
 
 
+class TestCadFlowSurfacing:
+    def test_retries_and_failures_are_counted(self):
+        bus, monitor = make_monitor()
+        bus.emit(
+            ev.CAD_JOB_RETRIED, time=30.0, source="synthesis",
+            job="synth_rt0", attempt=2, backoff_minutes=2.0,
+        )
+        bus.emit(
+            ev.CAD_JOB_RETRIED, time=60.0, source="synthesis",
+            job="synth_rt0", attempt=3, backoff_minutes=4.0,
+        )
+        bus.emit(
+            ev.CAD_JOB_FAILED, time=90.0, source="synthesis",
+            job="synth_rt0", attempts=3, minutes_burned=96.0,
+        )
+        report = monitor.report(now=1.0)
+        assert report.cad_retries == 2
+        assert report.cad_failed_jobs == ["synthesis/synth_rt0"]
+        # counters alone do not change the verdict
+        assert report.verdict is Verdict.OK
+
+    def test_flow_degraded_fires_a_finding(self):
+        bus, monitor = make_monitor()
+        bus.emit(
+            ev.FLOW_DEGRADED, time=240.0, source="flow",
+            soc="soc_2", rps=["rt_sort"],
+        )
+        report = monitor.report(now=1.0)
+        assert report.verdict is Verdict.DEGRADED
+        assert report.dark_tiles == ["rt_sort"]
+        assert report.findings[0].rule == "flow-degraded"
+        assert "rt_sort" in report.findings[0].message
+
+    def test_cad_clock_does_not_advance_runtime_windows(self):
+        """CAD events carry modelled minutes; they must not push the
+        window clock past the runtime's seconds."""
+        bus, monitor = make_monitor()
+        complete_reconfig(bus, "rt0", start=0.0, duration=0.01)
+        bus.emit(
+            ev.CAD_JOB_RETRIED, time=500.0, source="synthesis",
+            job="synth_rt0", attempt=2, backoff_minutes=2.0,
+        )
+        report = monitor.report()
+        assert report.now == 0.01
+        assert report.reconfig_s.count == 1
+
+    def test_cad_counters_render_in_summary_and_json(self):
+        bus, monitor = make_monitor()
+        bus.emit(
+            ev.CAD_JOB_RETRIED, time=30.0, source="synthesis",
+            job="synth_rt0", attempt=2, backoff_minutes=2.0,
+        )
+        bus.emit(
+            ev.FLOW_DEGRADED, time=240.0, source="flow",
+            soc="soc_2", rps=["rt0", "rt1"],
+        )
+        report = monitor.report(now=1.0)
+        text = "\n".join(report.summary_lines())
+        assert "cad flow" in text
+        assert "dark tiles rt0, rt1" in text
+        payload = report.to_dict()
+        assert payload["cad"] == {
+            "retries": 1,
+            "failed_jobs": [],
+            "dark_tiles": ["rt0", "rt1"],
+        }
+
+
 class TestReportRendering:
     def test_summary_lines_and_to_dict(self):
         bus, monitor = make_monitor(reconfig_deadline_s=1.0)

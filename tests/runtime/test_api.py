@@ -51,13 +51,42 @@ class TestOpen:
         with pytest.raises(ReconfigurationError, match="not open"):
             api.handle("rt1")
 
+    def test_context_manager_closes(self, api):
+        with api.open_tile("rt0") as handle:
+            assert api.handle("rt0") is handle
+        with pytest.raises(ReconfigurationError, match="not open"):
+            api.handle("rt0")
+
+    def test_closed_handle_rejected(self, api):
+        with api.open_tile("rt0") as handle:
+            pass
+        with pytest.raises(ReconfigurationError, match="not open"):
+            api.esp_run(handle, "fft")
+        with pytest.raises(ReconfigurationError, match="not open"):
+            api.esp_blank(handle)
+
+    def test_close_is_idempotent(self, api):
+        handle = api.open_tile("rt0")
+        handle.close()
+        handle.close()
+
 
 class TestRun:
-    def test_esp_run(self, api, sim):
+    def test_esp_run_returns_invocation_result(self, api, sim):
         handle = api.open_tile("rt0")
-        proc = api.esp_run(handle, "fft")
+        result = api.esp_run(handle, "fft")
+        assert not result.done
+        with pytest.raises(ReconfigurationError, match="not completed"):
+            _ = result.record
         sim.run()
-        assert proc.value.mode_name == "fft"
+        assert result.done
+        assert result.accelerator == "fft"
+        assert result.tile_name == "rt0"
+        assert result.record.mode_name == "fft"
+        assert result.exec_time_s == pytest.approx(0.01)
+        assert result.reconfig_s > 0.0
+        assert result.wait_s == pytest.approx(0.0)
+        assert result.degraded is False
         assert len(api.invocation_log()) == 1
 
     def test_run_without_bitstream_rejected(self, api):
@@ -69,11 +98,20 @@ class TestRun:
         handle = api.open_tile("rt0")
         api.esp_load(handle, "gemm")
         sim.run()
-        proc = api.esp_run(handle, "gemm")
+        result = api.esp_run(handle, "gemm")
         sim.run()
-        assert proc.value.reconfig_s == 0.0
+        assert result.reconfig_s == 0.0
 
     def test_esp_load_unknown_mode(self, api):
         handle = api.open_tile("rt0")
         with pytest.raises(ReconfigurationError):
             api.esp_load(handle, "sort")
+
+    def test_degraded_flag_reflects_failed_transfers(self, api, sim):
+        prc = api._manager.prc
+        prc.inject_failure("rt0", "fft", count=1)
+        handle = api.open_tile("rt0")
+        result = api.esp_run(handle, "fft")
+        sim.run()
+        assert result.degraded is True
+        assert result.record.failed_attempts == 1

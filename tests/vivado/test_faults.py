@@ -1,0 +1,208 @@
+"""Tests for the deterministic CAD fault model and retry planning."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.vivado.faults import (
+    DEFAULT_RETRY_POLICY,
+    NO_FAULTS,
+    NO_RETRY,
+    CadFaultError,
+    CadFaultModel,
+    FaultPlanner,
+    RetryPolicy,
+    plan_job_execution,
+)
+from repro.vivado.runtime_model import JobKind
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(FlowError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FlowError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(FlowError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(FlowError):
+            RetryPolicy(backoff_minutes=-1.0)
+
+    def test_first_attempt_has_no_backoff(self):
+        assert DEFAULT_RETRY_POLICY.backoff_before(1, seed=0, job_name="j") == 0.0
+
+    def test_backoff_grows_exponentially_up_to_cap(self):
+        policy = RetryPolicy(
+            max_attempts=8, backoff_minutes=2.0, factor=2.0,
+            cap_minutes=10.0, jitter=0.0,
+        )
+        waits = [
+            policy.backoff_before(n, seed=0, job_name="j") for n in range(2, 8)
+        ]
+        assert waits[:3] == [2.0, 4.0, 8.0]
+        assert waits[3:] == [10.0, 10.0, 10.0]  # capped
+
+    def test_backoff_bounded_by_cap_times_jitter(self):
+        policy = RetryPolicy(max_attempts=10, cap_minutes=30.0, jitter=0.25)
+        for seed in range(5):
+            for attempt in range(2, 11):
+                wait = policy.backoff_before(attempt, seed, f"job{seed}")
+                assert wait <= policy.max_backoff_minutes
+        assert policy.max_backoff_minutes == pytest.approx(37.5)
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        policy = RetryPolicy(jitter=0.25)
+        a = policy.backoff_before(3, seed=7, job_name="synth_rt0")
+        b = policy.backoff_before(3, seed=7, job_name="synth_rt0")
+        assert a == b
+        assert a >= policy.backoff_minutes * policy.factor  # base for n=3
+
+
+class TestCadFaultModel:
+    def test_rate_validation(self):
+        with pytest.raises(FlowError):
+            CadFaultModel(rates={JobKind.OOC_SYNTH: 1.0})
+        with pytest.raises(FlowError):
+            CadFaultModel(rates={"synth": 0.1})
+
+    def test_disabled_by_default(self):
+        assert not CadFaultModel().enabled
+        assert NO_FAULTS.enabled is False
+
+    def test_injection_consumes_first_attempts(self):
+        model = CadFaultModel()
+        model.inject_fault("synthesis", "synth_rt0", count=2)
+        fails = [
+            model.attempt_fails(JobKind.OOC_SYNTH, "synthesis", "synth_rt0", n)
+            for n in (1, 2, 3)
+        ]
+        assert fails == [True, True, False]
+        # Other jobs are untouched.
+        assert not model.attempt_fails(JobKind.OOC_SYNTH, "synthesis", "synth_rt1", 1)
+
+    def test_injection_count_must_be_positive(self):
+        with pytest.raises(FlowError):
+            CadFaultModel().inject_fault("synthesis", "synth_rt0", count=0)
+
+    def test_no_faults_rejects_injection(self):
+        with pytest.raises(FlowError, match="NO_FAULTS"):
+            NO_FAULTS.inject_fault("synthesis", "synth_rt0")
+
+    def test_draws_are_order_independent(self):
+        model = CadFaultModel(seed=3, rates={JobKind.OOC_SYNTH: 0.5})
+        forward = [
+            model.attempt_fails(JobKind.OOC_SYNTH, "synthesis", f"j{i}", 1)
+            for i in range(20)
+        ]
+        backward = [
+            model.attempt_fails(JobKind.OOC_SYNTH, "synthesis", f"j{i}", 1)
+            for i in reversed(range(20))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_fingerprint_reflects_seed_rates_and_injections(self):
+        a = CadFaultModel(seed=1, rates={JobKind.OOC_SYNTH: 0.1})
+        b = CadFaultModel(seed=1, rates={JobKind.OOC_SYNTH: 0.1})
+        assert a.fingerprint() == b.fingerprint()
+        b.inject_fault("synthesis", "synth_rt0")
+        assert a.fingerprint() != b.fingerprint()
+        assert CadFaultModel(seed=2).fingerprint() != CadFaultModel(seed=1).fingerprint()
+
+
+class TestPlanJobExecution:
+    def test_healthy_job_is_one_attempt(self):
+        execution = plan_job_execution(
+            NO_FAULTS, DEFAULT_RETRY_POLICY, JobKind.OOC_SYNTH,
+            "synthesis", "synth_rt0", 10.0,
+        )
+        assert execution.succeeded
+        assert execution.retries == 0
+        assert execution.total_minutes == pytest.approx(10.0)
+
+    def test_each_attempt_pays_full_runtime_plus_backoff(self):
+        model = CadFaultModel()
+        model.inject_fault("synthesis", "synth_rt0", count=2)
+        policy = RetryPolicy(max_attempts=3, backoff_minutes=2.0, jitter=0.0)
+        execution = plan_job_execution(
+            model, policy, JobKind.OOC_SYNTH, "synthesis", "synth_rt0", 10.0
+        )
+        assert execution.succeeded
+        assert [a.succeeded for a in execution.attempts] == [False, False, True]
+        assert execution.total_minutes == pytest.approx(30.0 + 2.0 + 4.0)
+
+    def test_permanent_failure_exhausts_budget(self):
+        model = CadFaultModel()
+        model.inject_fault("synthesis", "synth_rt0", count=5)
+        execution = plan_job_execution(
+            model, DEFAULT_RETRY_POLICY, JobKind.OOC_SYNTH,
+            "synthesis", "synth_rt0", 10.0,
+        )
+        assert not execution.succeeded
+        assert len(execution.attempts) == DEFAULT_RETRY_POLICY.max_attempts
+
+    def test_no_retry_policy_fails_fast(self):
+        model = CadFaultModel()
+        model.inject_fault("synthesis", "synth_rt0")
+        execution = plan_job_execution(
+            model, NO_RETRY, JobKind.OOC_SYNTH, "synthesis", "synth_rt0", 10.0
+        )
+        assert not execution.succeeded
+        assert len(execution.attempts) == 1
+
+    def test_determinism_same_inputs_same_timeline(self):
+        model = CadFaultModel(seed=11, rates={JobKind.OOC_SYNTH: 0.4})
+        plans = [
+            plan_job_execution(
+                model, DEFAULT_RETRY_POLICY, JobKind.OOC_SYNTH,
+                "synthesis", "synth_rt0", 12.5,
+            )
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(FlowError):
+            plan_job_execution(
+                NO_FAULTS, DEFAULT_RETRY_POLICY, JobKind.OOC_SYNTH,
+                "synthesis", "synth_rt0", -1.0,
+            )
+
+
+class TestFaultPlanner:
+    def test_ledger_accumulates(self):
+        model = CadFaultModel()
+        model.inject_fault("synthesis", "synth_rt0", count=1)
+        planner = FaultPlanner(faults=model)
+        planner.run(JobKind.OOC_SYNTH, "synthesis", "synth_rt0", 10.0)
+        planner.run(JobKind.OOC_SYNTH, "synthesis", "synth_rt1", 10.0)
+        assert planner.total_retries == 1
+        assert planner.failed_jobs == ()
+        assert sorted(planner.executions_dict()) == ["synth_rt0", "synth_rt1"]
+
+    def test_failed_jobs_surface_sorted(self):
+        model = CadFaultModel()
+        model.inject_fault("synthesis", "synth_b", count=5)
+        model.inject_fault("synthesis", "synth_a", count=5)
+        planner = FaultPlanner(faults=model)
+        planner.run(JobKind.OOC_SYNTH, "synthesis", "synth_b", 10.0)
+        planner.run(JobKind.OOC_SYNTH, "synthesis", "synth_a", 10.0)
+        assert [e.job_name for e in planner.failed_jobs] == ["synth_a", "synth_b"]
+
+    def test_restore_readmits_checkpointed_execution(self):
+        planner = FaultPlanner()
+        execution = plan_job_execution(
+            NO_FAULTS, DEFAULT_RETRY_POLICY, JobKind.OOC_SYNTH,
+            "synthesis", "synth_rt0", 10.0,
+        )
+        planner.restore(execution)
+        assert planner.executions["synth_rt0"] is execution
+
+    def test_cad_fault_error_carries_execution(self):
+        model = CadFaultModel()
+        model.inject_fault("synthesis", "synth_rt0", count=5)
+        execution = plan_job_execution(
+            model, DEFAULT_RETRY_POLICY, JobKind.OOC_SYNTH,
+            "synthesis", "synth_rt0", 10.0,
+        )
+        error = CadFaultError(execution)
+        assert error.execution is execution
+        assert "synth_rt0" in str(error)
