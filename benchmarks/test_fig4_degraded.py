@@ -1,0 +1,103 @@
+"""Fig. 4 (degraded) — WAMI on SoC_Y with a quarantined tile.
+
+A persistent CRC fault on rt1's ``change_detection`` bitstream forces
+the resilience layer through its whole state machine: retry, fallback
+to the last-known-good mode, quarantine, and scheduler failover onto
+software. The bench records the makespan cost of losing one of three
+reconfigurable tiles mid-run and pins the recovery accounting, so a
+regression in the watchdog/failover path shows up as a baseline diff
+rather than only as a red unit test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import wami_soc_y
+from repro.runtime.faults import (
+    PERSISTENT,
+    RuntimeFaultKind,
+    RuntimeFaultModel,
+    RuntimeFaultOptions,
+)
+
+FRAMES = 4
+
+
+def degraded_options():
+    model = RuntimeFaultModel()
+    model.inject(
+        "rt1",
+        "change_detection",
+        RuntimeFaultKind.BITSTREAM_CORRUPTION,
+        count=PERSISTENT,
+    )
+    return RuntimeFaultOptions(faults=model)
+
+
+@pytest.fixture(scope="module")
+def reports(platform):
+    config = wami_soc_y()
+    return {
+        "healthy": platform.deploy_wami(config, frames=FRAMES),
+        "degraded": platform.deploy_wami(
+            config, frames=FRAMES, runtime_options=degraded_options()
+        ),
+    }
+
+
+def test_fig4_degraded(benchmark, table_writer, reports):
+    results = benchmark.pedantic(lambda: reports, iterations=1, rounds=1)
+
+    healthy, degraded = results["healthy"], results["degraded"]
+    stats = degraded.runtime_stats
+    slowdown = degraded.seconds_per_frame / healthy.seconds_per_frame
+
+    table_writer.header(
+        "Fig. 4 (degraded) — SoC_Y with rt1 quarantined mid-run"
+    )
+    table_writer.row(
+        f"{'run':9s} {'ms/frame':>9s} {'failovers':>10s} {'fallbacks':>10s} "
+        f"{'quarantined':>12s}"
+    )
+    for name, report in results.items():
+        rs = report.runtime_stats
+        table_writer.row(
+            f"{name:9s} {report.seconds_per_frame * 1000:>9.1f} "
+            f"{rs.failovers:>10d} {rs.fallbacks:>10d} "
+            f"{','.join(sorted(rs.quarantined)) or '-':>12s}"
+        )
+    table_writer.row()
+    table_writer.row(
+        f"slowdown from losing rt1: {slowdown:.2f}x "
+        f"(change_detection re-planned onto software)"
+    )
+
+    table_writer.metric(
+        "healthy_ms_per_frame", healthy.seconds_per_frame * 1000
+    )
+    table_writer.metric(
+        "degraded_ms_per_frame", degraded.seconds_per_frame * 1000
+    )
+    table_writer.metric("degraded_slowdown", slowdown)
+    table_writer.metric("degraded_failovers", stats.failovers)
+    table_writer.metric("degraded_fallbacks", stats.fallbacks)
+    table_writer.metric("quarantined_tiles", len(stats.quarantined))
+    table_writer.flush()
+
+
+def test_fig4_degraded_shape(benchmark, reports):
+    """The degraded run completes every frame, slower, with rt1 gone."""
+
+    def check():
+        healthy, degraded = reports["healthy"], reports["degraded"]
+        assert degraded.frames == FRAMES
+        assert degraded.seconds_per_frame > healthy.seconds_per_frame
+        stats = degraded.runtime_stats
+        assert stats.quarantined == {"rt1": "crc"}
+        assert stats.failovers >= FRAMES  # one re-plan per frame at least
+        assert stats.fallbacks > 0
+        assert healthy.runtime_stats.quarantined == {}
+        assert healthy.runtime_stats.failovers == 0
+
+    benchmark(check)

@@ -3,17 +3,17 @@
 
 Partial reconfiguration moves configuration data across DDR, the NoC
 and the ICAP at runtime — a path where corruption is a real failure
-mode. This example injects CRC failures into the PRC and shows the
-manager's recovery ladder:
+mode. This example arms the seeded ``RuntimeFaultModel`` and walks the
+recovery ladder:
 
-1. a single failed transfer is retried transparently (the caller only
-   sees a longer reconfiguration);
-2. a persistent failure leaves the tile *dark but functional*: the
-   driver is unregistered, the decoupler re-enables the NoC queues so
-   the dead region cannot wedge the mesh, and the error propagates to
-   the calling thread;
-3. the tile remains usable: the next request for a different
-   accelerator reconfigures and runs normally.
+1. a single corrupted transfer is retried transparently (the caller
+   only sees a longer reconfiguration);
+2. a persistent fault is *abandoned*: the manager falls back to the
+   tile's last-known-good bitstream and the error propagates to the
+   calling thread — but the tile keeps serving its old mode;
+3. enough abandoned operations quarantine the tile (dark, blanked,
+   refused by the API) and the application executor fails the work
+   over to a surviving tile, so the run still completes.
 
 Run:  python examples/fault_tolerant_runtime.py
 """
@@ -21,7 +21,14 @@ Run:  python examples/fault_tolerant_runtime.py
 from __future__ import annotations
 
 from repro.noc.mesh import Mesh
+from repro.runtime.api import DprUserApi
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+from repro.runtime.executor import AppExecutor, StageTask
+from repro.runtime.faults import (
+    PERSISTENT,
+    RuntimeFaultKind,
+    RuntimeFaultModel,
+)
 from repro.runtime.manager import ReconfigurationManager
 from repro.runtime.memory import BitstreamStore
 from repro.runtime.prc import PrcDevice
@@ -30,36 +37,43 @@ from repro.sim.kernel import Simulator
 from repro.units import fmt_duration
 from repro.vivado.bitstream import Bitstream, BitstreamKind
 
+CRC = RuntimeFaultKind.BITSTREAM_CORRUPTION
 
-def build_stack():
+
+def build_stack(faults, tiles=("rt0",)):
     sim = Simulator()
     mesh = Mesh(3, 3, clock_hz=78e6)
-    prc = PrcDevice(sim, mesh, mem_position=(0, 1), aux_position=(0, 2))
+    prc = PrcDevice(
+        sim, mesh, mem_position=(0, 1), aux_position=(0, 2), faults=faults
+    )
     store = BitstreamStore()
     registry = DriverRegistry()
     for mode in ("fft", "gemm"):
         registry.install(AcceleratorDriver(accelerator=mode, exec_time_s=0.012))
-        store.load(
-            Bitstream(
-                name=f"rt0_{mode}.pbs",
-                kind=BitstreamKind.PARTIAL,
-                size_bytes=280_000,
-                compressed=True,
-                target_rp="rt0",
-                mode=mode,
-            ),
-            "rt0",
-        )
+        for tile in tiles:
+            store.load(
+                Bitstream(
+                    name=f"{tile}_{mode}.pbs",
+                    kind=BitstreamKind.PARTIAL,
+                    size_bytes=280_000,
+                    compressed=True,
+                    target_rp=tile,
+                    mode=mode,
+                ),
+                tile,
+            )
     manager = ReconfigurationManager(sim, prc, store, registry)
-    manager.attach_tile("rt0")
-    return sim, prc, manager
+    for tile in tiles:
+        manager.attach_tile(tile)
+    return sim, manager
 
 
 def main() -> None:
     # ------------------------------------------------------------------
     print("scenario 1: one corrupted transfer -> transparent retry")
-    sim, prc, manager = build_stack()
-    prc.inject_failure("rt0", "fft", count=1)
+    faults = RuntimeFaultModel()
+    faults.inject("rt0", "fft", CRC, count=1)
+    sim, manager = build_stack(faults)
     proc = manager.invoke("rt0", "fft")
     sim.run()
     record = proc.value
@@ -68,25 +82,41 @@ def main() -> None:
           f"(~2x a clean transfer), failed_attempts={manager.failed_attempts}\n")
 
     # ------------------------------------------------------------------
-    print("scenario 2: persistent corruption -> tile left dark, error raised")
-    sim, prc, manager = build_stack()
-    prc.inject_failure("rt0", "fft", count=2)
-    proc = manager.invoke("rt0", "fft")
+    print("scenario 2: persistent corruption -> fallback to last-known-good")
+    faults = RuntimeFaultModel()
+    faults.inject("rt0", "gemm", CRC, count=PERSISTENT)
+    sim, manager = build_stack(faults)
+    warmup = manager.invoke("rt0", "fft")   # fft becomes last-known-good
+    sim.run()
+    assert warmup.ok
+    proc = manager.invoke("rt0", "gemm")
     sim.run()
     print(f"  invocation failed: {proc.exception}")
     state = manager.tile("rt0")
-    print(f"  tile state: loaded_mode={state.loaded_mode}, "
-          f"queues_enabled={state.decoupler.queues_enabled} "
-          f"(dark but cannot wedge the NoC)\n")
+    print(f"  tile fell back: loaded_mode={state.loaded_mode}, "
+          f"fallbacks={manager.fallbacks_by_tile.get('rt0', 0)} "
+          f"(still serving fft, not dark)\n")
 
     # ------------------------------------------------------------------
-    print("scenario 3: the tile recovers on the next request")
-    recovery = manager.invoke("rt0", "gemm")
-    sim.run()
-    print(f"  gemm ran fine: exec={fmt_duration(recovery.value.exec_time_s)}, "
-          f"loaded_mode={manager.tile('rt0').loaded_mode}")
+    print("scenario 3: quarantine -> the executor fails work over")
+    faults = RuntimeFaultModel()
+    faults.inject("rt0", "fft", CRC, count=PERSISTENT)
+    sim, manager = build_stack(faults, tiles=("rt0", "rt1"))
+    executor = AppExecutor(
+        sim,
+        DprUserApi(manager),
+        [StageTask(name="stage", duration_s=0.012,
+                   tile_name="rt0", mode_name="fft")],
+    )
+    timeline = executor.run(frames=2)
+    span = timeline.spans("exec")[0]
+    print(f"  rt0 quarantined: {manager.tile_quarantined('rt0')} "
+          f"(reason={manager.quarantined.get('rt0')})")
+    print(f"  failovers={executor.failovers}; "
+          f"the work ran on {span.worker} instead, "
+          f"makespan={fmt_duration(timeline.makespan_s)}")
 
-    print("\nmanager statistics after all three scenarios:")
+    print("\nmanager statistics after the failover run:")
     for line in collect_stats(manager).summary_lines():
         print("  " + line)
 

@@ -39,6 +39,7 @@ from repro.flow.options import BuildOptions
 from repro.obs.events import EventBus
 from repro.obs.health import HealthReport
 from repro.obs.instrumentation import Instrumentation
+from repro.runtime.faults import RuntimeFaultOptions
 from repro.soc.config import SocConfig
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "platform",
     "BuildOptions",
     "Instrumentation",
+    "RuntimeFaultOptions",
 ]
 
 
@@ -141,14 +143,18 @@ def deploy(
     options: Optional[BuildOptions] = None,
     instrumentation: Optional[Instrumentation] = None,
     platform: Optional[PrEspPlatform] = None,
+    runtime_options: Optional[RuntimeFaultOptions] = None,
     **kwargs,
 ) -> WamiRunReport:
     """Program a built SoC and run WAMI for ``frames`` frames.
 
     Builds ``config`` first when ``flow_result`` is not supplied. The
     ``instrumentation`` bundle receives the kernel protocol spans, the
-    runtime counters and the manager's lifecycle events. Extra keyword
-    arguments (``app=``, ``prc_setup=``...) pass through to
+    runtime counters and the manager's lifecycle events.
+    ``runtime_options`` carries the runtime fault model and
+    watchdog/recovery policy (each deployment draws from a fresh copy
+    of the model, so same-seed deploys replay identically). Extra
+    keyword arguments (``app=``, ``prc_setup=``...) pass through to
     :meth:`PrEspPlatform.deploy_wami`.
     """
     return _platform_for(platform, options, instrumentation).deploy_wami(
@@ -157,6 +163,7 @@ def deploy(
         frames=frames,
         power_gating=power_gating,
         pipelined=pipelined,
+        runtime_options=runtime_options,
         **kwargs,
     )
 
@@ -166,14 +173,17 @@ def monitor(
     frames: int = 1,
     options: Optional[BuildOptions] = None,
     platform: Optional[PrEspPlatform] = None,
+    runtime_options: Optional[RuntimeFaultOptions] = None,
     **kwargs,
 ) -> Tuple[WamiRunReport, HealthReport, EventBus]:
     """Deploy WAMI with the event bus and health monitor wired in.
 
     Returns the run report, the end-of-run health verdict and the bus.
-    Extra keyword arguments (watchdog thresholds, ``inject_failures=``)
-    pass through to :meth:`PrEspPlatform.monitor_wami`.
+    ``runtime_options`` supplies the runtime fault model and recovery
+    policy under which the deployment runs. Extra keyword arguments
+    (watchdog thresholds, ``inject_failures=``) pass through to
+    :meth:`PrEspPlatform.monitor_wami`.
     """
     return _platform_for(platform, options, None).monitor_wami(
-        config, frames=frames, **kwargs
+        config, frames=frames, runtime_options=runtime_options, **kwargs
     )

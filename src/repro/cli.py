@@ -55,6 +55,12 @@ from repro.obs.perfbase import (
     write_baseline,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.faults import (
+    PERSISTENT,
+    RuntimeFaultKind,
+    RuntimeFaultModel,
+    RuntimeFaultOptions,
+)
 from repro.soc.config import SocConfig
 from repro.soc.esp_parser import load_esp_config
 from repro.soc.validation import check_design
@@ -147,6 +153,65 @@ def faults_from_args(args):
     for stage, job, count in injections:
         model.inject_fault(stage, job, count=count)
     return model
+
+
+def parse_runtime_rates(specs) -> dict:
+    """``[KIND=]RATE`` flags -> {RuntimeFaultKind: rate}."""
+    kinds = {k.value: k for k in RuntimeFaultKind}
+    rates = {}
+    for spec in specs or []:
+        name, _, value = spec.rpartition("=")
+        try:
+            rate = float(value)
+        except ValueError:
+            raise PrEspError(
+                f"bad --runtime-fault-rate {spec!r}; expected [KIND=]RATE"
+            ) from None
+        if name and name not in kinds:
+            raise PrEspError(
+                f"bad --runtime-fault-rate kind in {spec!r}; choose from "
+                + ", ".join(sorted(kinds))
+            )
+        for kind in [kinds[name]] if name else list(RuntimeFaultKind):
+            rates[kind] = rate
+    return rates
+
+
+def parse_runtime_injections(specs) -> list:
+    """``TILE:MODE[:KIND]`` flags -> (tile, mode, kind) triples."""
+    kinds = {k.value: k for k in RuntimeFaultKind}
+    injections = []
+    for spec in specs or []:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+            raise PrEspError(
+                f"bad --inject-runtime-fault {spec!r}; expected TILE:MODE[:KIND]"
+            )
+        kind = parts[2] if len(parts) == 3 else RuntimeFaultKind.BITSTREAM_CORRUPTION.value
+        if kind not in kinds:
+            raise PrEspError(
+                f"bad --inject-runtime-fault kind in {spec!r}; choose from "
+                + ", ".join(sorted(kinds))
+            )
+        injections.append((parts[0], parts[1], kinds[kind]))
+    return injections
+
+
+def runtime_faults_from_args(args) -> Optional[RuntimeFaultOptions]:
+    """The runtime fault options a deployment asked for (None = healthy)."""
+    injections = parse_runtime_injections(
+        getattr(args, "inject_runtime_fault", None)
+    )
+    rates = parse_runtime_rates(getattr(args, "runtime_fault_rate", None))
+    if not injections and not rates:
+        return None
+    model = RuntimeFaultModel(
+        seed=getattr(args, "runtime_fault_seed", 0) or 0,
+        rates=rates or None,
+    )
+    for tile, mode, kind in injections:
+        model.inject(tile, mode, kind, count=PERSISTENT)
+    return RuntimeFaultOptions(faults=model)
 
 
 def cmd_build(args) -> int:
@@ -286,6 +351,7 @@ def cmd_deploy(args) -> int:
         config,
         frames=args.frames,
         instrumentation=Instrumentation(tracer=tracer, metrics=registry),
+        runtime_options=runtime_faults_from_args(args),
     )
     if args.trace:
         write_chrome_trace(args.trace, tracer)
@@ -342,6 +408,7 @@ def cmd_monitor(args) -> int:
         failure_rate_critical=args.failure_rate_critical,
         queue_depth_degraded=args.queue_depth_degraded,
         inject_failures=parse_injections(args.inject_failure),
+        runtime_options=runtime_faults_from_args(args),
     )
     if args.json:
         payload = health.to_dict()
@@ -458,6 +525,34 @@ def cmd_model(_args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _add_runtime_fault_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--runtime-fault-rate",
+        action="append",
+        metavar="[KIND=]R",
+        help=(
+            "per-attempt runtime failure probability; plain R applies to "
+            "every kind, KIND=R (crc/stuck/hang) to one; repeatable"
+        ),
+    )
+    command.add_argument(
+        "--runtime-fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the deterministic runtime fault model",
+    )
+    command.add_argument(
+        "--inject-runtime-fault",
+        action="append",
+        metavar="TILE:MODE[:KIND]",
+        help=(
+            "fail every (tile, mode) attempt with KIND (crc default, stuck, "
+            "hang) until recovery quarantines the tile; repeatable"
+        ),
+    )
+
+
 def _add_cache_options(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--cache",
@@ -594,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the deployment report plus metrics as JSON",
     )
+    _add_runtime_fault_options(deploy)
     deploy.set_defaults(func=cmd_deploy)
 
     monitor = sub.add_parser(
@@ -658,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--json", action="store_true", help="emit the health report as JSON"
     )
+    _add_runtime_fault_options(monitor)
     monitor.set_defaults(func=cmd_monitor)
 
     bench_diff = sub.add_parser(

@@ -33,6 +33,12 @@ from repro.obs.tracer import NULL_TRACER
 from repro.runtime.api import DprUserApi
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
 from repro.runtime.executor import AppExecutor, ExecutionTimeline
+from repro.runtime.faults import (
+    NO_RUNTIME_FAULTS,
+    RuntimeFaultKind,
+    RuntimeFaultModel,
+    RuntimeFaultOptions,
+)
 from repro.runtime.manager import ReconfigurationManager
 from repro.runtime.memory import BitstreamStore
 from repro.runtime.prc import PrcDevice
@@ -139,13 +145,16 @@ class PrEspPlatform:
         prc_fetch_bytes_per_cycle: Optional[float] = None,
         instrumentation: Optional[Instrumentation] = None,
         options: Optional[BuildOptions] = None,
+        runtime_options: Optional[RuntimeFaultOptions] = None,
         cache=_UNSET,
         jobs=_UNSET,
     ) -> None:
         """``instrumentation`` bundles tracer/metrics/events once for
         every platform operation; ``options`` bundles the build-side
         configuration (cache, batch jobs, fault/retry policy,
-        checkpoint directory).
+        checkpoint directory); ``runtime_options`` bundles the
+        deploy-side runtime fault model and watchdog/recovery policy
+        (the DES mirror of the CAD fault options).
 
         ``cache=`` and ``jobs=`` remain as deprecated shims — they
         fold into a :class:`BuildOptions` and warn.
@@ -166,6 +175,9 @@ class PrEspPlatform:
                 jobs=1 if jobs is _UNSET else jobs,
             )
         self.options = options if options is not None else BuildOptions()
+        self.runtime_options = (
+            runtime_options if runtime_options is not None else RuntimeFaultOptions()
+        )
         self.instrumentation = (
             instrumentation if instrumentation is not None else OFF
         )
@@ -304,6 +316,7 @@ class PrEspPlatform:
         events=_UNSET,
         prc_setup: Optional[Callable[[PrcDevice], None]] = None,
         instrumentation: Optional[Instrumentation] = None,
+        runtime_options: Optional[RuntimeFaultOptions] = None,
     ) -> WamiRunReport:
         """Program a built SoC and run WAMI for ``frames`` frames.
 
@@ -327,6 +340,12 @@ class PrEspPlatform:
         live watchdogs. ``prc_setup`` is called with the constructed
         PRC before the run starts — the fault-injection hook
         (``PrcDevice.inject_failure``).
+
+        ``runtime_options`` (falling back to the platform's bundle)
+        carries the runtime fault model and watchdog/recovery policy.
+        The model is a *specification*: the deployment draws from a
+        fresh per-run copy (:meth:`RuntimeFaultModel.fresh`), so
+        repeated same-seed deploys replay the identical fault timeline.
 
         ``tracer=``/``metrics=``/``events=`` remain as deprecated
         per-call shims folding into an :class:`Instrumentation`.
@@ -363,6 +382,12 @@ class PrEspPlatform:
                 f"({flow_result.config.name!r} vs {config.name!r})"
             )
         application = app or WamiApplication()
+        ropts = (
+            runtime_options if runtime_options is not None else self.runtime_options
+        )
+        faults = ropts.faults
+        if faults is not NO_RUNTIME_FAULTS:
+            faults = faults.fresh()
 
         sim = Simulator()
         tracer.use_clock(lambda: sim.now)
@@ -383,6 +408,7 @@ class PrEspPlatform:
             clock_hz=DEPLOYMENT_CLOCK_HZ,
             tracer=tracer,
             metrics=metrics,
+            faults=faults,
             **prc_kwargs,
         )
         if prc_setup is not None:
@@ -397,14 +423,23 @@ class PrEspPlatform:
                 )
             )
         manager = ReconfigurationManager(
-            sim, prc, store, registry, tracer=tracer, metrics=metrics, events=events
+            sim,
+            prc,
+            store,
+            registry,
+            tracer=tracer,
+            metrics=metrics,
+            events=events,
+            recovery=ropts.recovery,
         )
         for tile in config.reconfigurable_tiles:
             manager.attach_tile(tile.name)
 
         api = DprUserApi(manager)
         tasks = application.tasks_for_soc(config)
-        executor = AppExecutor(sim, api, tasks, blank_after_frame=power_gating)
+        executor = AppExecutor(
+            sim, api, tasks, blank_after_frame=power_gating, events=events
+        )
         timeline = executor.run(frames=frames, pipelined=pipelined)
 
         region_kluts: Dict[str, float] = {
@@ -423,7 +458,7 @@ class PrEspPlatform:
                 manager.configured_fractions() if power_gating else None
             ),
         )
-        runtime_stats = collect_stats(manager)
+        runtime_stats = collect_stats(manager, failovers=executor.failovers)
         bridge_timeline(timeline, tracer)
         publish_runtime_stats(runtime_stats, metrics)
         return WamiRunReport(
@@ -450,6 +485,7 @@ class PrEspPlatform:
         bus: Optional[EventBus] = None,
         metrics=NULL_METRICS,
         tracer=NULL_TRACER,
+        runtime_options: Optional[RuntimeFaultOptions] = None,
     ) -> Tuple[WamiRunReport, HealthReport, EventBus]:
         """Deploy WAMI with a health monitor attached (``repro monitor``).
 
@@ -458,10 +494,12 @@ class PrEspPlatform:
         :meth:`deploy_wami` and returns the run report, the end-of-run
         health verdict, and the bus (its ring buffer holds the recent
         events for the dashboard). ``inject_failures`` is a sequence of
-        ``(tile, mode, count)`` triples forwarded to
-        :meth:`~repro.runtime.prc.PrcDevice.inject_failure` before the
-        run — the way to exercise the failure-rate watchdog
-        deliberately.
+        ``(tile, mode, count)`` triples armed as targeted CRC faults on
+        the run's :class:`RuntimeFaultModel` — the way to exercise the
+        failure-rate watchdog deliberately. ``runtime_options``
+        (falling back to the platform's bundle) supplies the base fault
+        model and recovery policy; injections are layered on a per-call
+        copy, so the bundle itself is never mutated.
         """
         bus = bus if bus is not None else EventBus()
         monitor = HealthMonitor(
@@ -472,17 +510,22 @@ class PrEspPlatform:
             failure_rate_critical=failure_rate_critical,
             queue_depth_degraded=queue_depth_degraded,
         )
-        prc_setup: Optional[Callable[[PrcDevice], None]] = None
+        ropts = (
+            runtime_options if runtime_options is not None else self.runtime_options
+        )
         if inject_failures:
-            injections = [
-                (str(tile), str(mode), int(count))
-                for tile, mode, count in inject_failures
-            ]
-
-            def prc_setup(prc: PrcDevice) -> None:
-                for tile, mode, count in injections:
-                    prc.inject_failure(tile, mode, count=count)
-
+            base = ropts.faults
+            model = (
+                base.fresh() if base is not NO_RUNTIME_FAULTS else RuntimeFaultModel()
+            )
+            for tile, mode, count in inject_failures:
+                model.inject(
+                    str(tile),
+                    str(mode),
+                    RuntimeFaultKind.BITSTREAM_CORRUPTION,
+                    count=int(count),
+                )
+            ropts = RuntimeFaultOptions(faults=model, recovery=ropts.recovery)
         report = self.deploy_wami(
             config,
             flow_result=flow_result,
@@ -490,6 +533,6 @@ class PrEspPlatform:
             instrumentation=Instrumentation(
                 tracer=tracer, metrics=metrics, events=bus
             ),
-            prc_setup=prc_setup,
+            runtime_options=ropts,
         )
         return report, monitor.report(), bus

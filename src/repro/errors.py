@@ -60,5 +60,34 @@ class DriverError(ReconfigurationError):
     """Driver registration/lookup failed in the runtime manager."""
 
 
+class StuckTransferError(ReconfigurationError):
+    """A bitstream transfer exceeded the reconfiguration deadline.
+
+    Raised by the manager's watchdog when the PRC holds the ICAP past
+    the recovery policy's deadline; the transfer is aborted (DFXC
+    reset) so the ICAP is freed for the retry.
+    """
+
+    fault_kind = "stuck"
+
+
+class KernelHangError(ReconfigurationError):
+    """An accelerator invocation hung past its execution deadline.
+
+    Raised after the watchdog's retry budget for hung kernels is
+    exhausted; the tile is reset (driver unloaded, region dark).
+    """
+
+    fault_kind = "hang"
+
+
+class TileQuarantinedError(ReconfigurationError):
+    """The tile was quarantined after persistent failures.
+
+    The manager rejects further invocations; schedulers are expected
+    to re-plan the work onto surviving tiles (or software).
+    """
+
+
 class NocError(PrEspError):
     """Illegal NoC construction or routing request."""

@@ -50,6 +50,18 @@ RECONFIG_COMPLETED = "reconfig.completed"
 RECONFIG_FAILED = "reconfig.failed"
 #: Runtime manager: a tile's driver was swapped (attrs: ``driver``).
 DRIVER_SWAPPED = "driver.swapped"
+#: Runtime manager: an abandoned mode was replaced by the tile's
+#: last-known-good bitstream (attrs: ``mode``, ``failed_mode``).
+RECONFIG_FALLBACK = "reconfig.fallback"
+#: Runtime manager: a kernel invocation hung and the watchdog fired
+#: (attrs: ``mode``, ``attempts``).
+KERNEL_HUNG = "kernel.hung"
+#: Runtime manager: a persistently failing tile was quarantined
+#: (attrs: ``reason``, ``blanked``, ``abandoned_ops``).
+TILE_QUARANTINED = "tile.quarantined"
+#: Executor: an instance was re-planned off a quarantined tile
+#: (attrs: ``task``, ``from_tile``, ``to``).
+SCHED_FAILOVER = "sched.failover"
 #: Flow: a Fig. 1 stage started (time in modelled CAD minutes).
 FLOW_STAGE_STARTED = "flow.stage_started"
 #: Flow: a Fig. 1 stage finished (attrs: ``wall_minutes``, ``detail``).

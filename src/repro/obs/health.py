@@ -147,6 +147,12 @@ class HealthReport:
     cad_retries: int = 0
     cad_failed_jobs: List[str] = field(default_factory=list)
     dark_tiles: List[str] = field(default_factory=list)
+    #: Cumulative runtime-fault counters (never windowed: a quarantine
+    #: hours ago still degrades the deployment now).
+    quarantined_tiles: List[str] = field(default_factory=list)
+    fallbacks: int = 0
+    kernel_hangs: int = 0
+    failovers: int = 0
 
     @property
     def ok(self) -> bool:
@@ -195,6 +201,12 @@ class HealthReport:
                 "failed_jobs": list(self.cad_failed_jobs),
                 "dark_tiles": list(self.dark_tiles),
             },
+            "runtime_faults": {
+                "quarantined_tiles": list(self.quarantined_tiles),
+                "fallbacks": self.fallbacks,
+                "kernel_hangs": self.kernel_hangs,
+                "failovers": self.failovers,
+            },
         }
 
     def summary_lines(self) -> List[str]:
@@ -239,6 +251,20 @@ class HealthReport:
             if self.dark_tiles:
                 cad += f", dark tiles {', '.join(self.dark_tiles)}"
             lines.append(cad)
+        if (
+            self.quarantined_tiles
+            or self.fallbacks
+            or self.kernel_hangs
+            or self.failovers
+        ):
+            runtime = (
+                f"{'runtime faults':14s}: {self.fallbacks} fallbacks, "
+                f"{self.kernel_hangs} kernel hangs, "
+                f"{self.failovers} failovers"
+            )
+            if self.quarantined_tiles:
+                runtime += f", quarantined {', '.join(self.quarantined_tiles)}"
+            lines.append(runtime)
         if self.findings:
             lines.append("findings:")
             lines.extend(f"  {finding}" for finding in self.findings)
@@ -255,6 +281,10 @@ class HealthMonitor:
         ev.RECONFIG_STARTED,
         ev.RECONFIG_COMPLETED,
         ev.RECONFIG_FAILED,
+        ev.RECONFIG_FALLBACK,
+        ev.KERNEL_HUNG,
+        ev.TILE_QUARANTINED,
+        ev.SCHED_FAILOVER,
         ev.LOCK_REQUESTED,
         ev.LOCK_ACQUIRED,
         ev.CAD_JOB_RETRIED,
@@ -298,6 +328,10 @@ class HealthMonitor:
         self._cad_retries = 0
         self._cad_failed_jobs: List[str] = []
         self._dark_tiles: Tuple[str, ...] = ()
+        self._quarantined: List[str] = []
+        self._fallbacks = 0
+        self._kernel_hangs = 0
+        self._failovers = 0
         self._last_time = 0.0
         self.events_seen = 0
         bus.subscribe(self._on_event, kinds=self.KINDS)
@@ -331,6 +365,18 @@ class HealthMonitor:
             if event.attrs.get("abandoned", False):
                 self._active.pop(event.source, None)
             self._outcomes.append((event.time, False))
+        elif event.kind == ev.RECONFIG_FALLBACK:
+            self._fallbacks += 1
+        elif event.kind == ev.KERNEL_HUNG:
+            # A hung kernel is a failed runtime outcome for the rate rule.
+            self._kernel_hangs += 1
+            self._outcomes.append((event.time, False))
+        elif event.kind == ev.TILE_QUARANTINED:
+            if event.source not in self._quarantined:
+                self._quarantined.append(event.source)
+            self._active.pop(event.source, None)
+        elif event.kind == ev.SCHED_FAILOVER:
+            self._failovers += 1
         elif event.kind == ev.LOCK_REQUESTED:
             self._queue_depth[event.source] = (
                 self._queue_depth.get(event.source, 0) + 1
@@ -432,6 +478,44 @@ class HealthMonitor:
                 )
             )
 
+        if self._quarantined:
+            verdict = _worst(verdict, Verdict.DEGRADED)
+            findings.append(
+                HealthFinding(
+                    rule="tile-quarantined",
+                    severity=Verdict.DEGRADED,
+                    message=(
+                        "tiles "
+                        + ", ".join(self._quarantined)
+                        + " quarantined after persistent runtime faults"
+                    ),
+                )
+            )
+        if self._fallbacks:
+            verdict = _worst(verdict, Verdict.DEGRADED)
+            findings.append(
+                HealthFinding(
+                    rule="bitstream-fallback",
+                    severity=Verdict.DEGRADED,
+                    message=(
+                        f"{self._fallbacks} reconfiguration(s) fell back to a "
+                        "last-known-good bitstream"
+                    ),
+                )
+            )
+        if self._failovers:
+            verdict = _worst(verdict, Verdict.DEGRADED)
+            findings.append(
+                HealthFinding(
+                    rule="scheduler-failover",
+                    severity=Verdict.DEGRADED,
+                    message=(
+                        f"{self._failovers} instance(s) re-planned off a "
+                        "quarantined tile"
+                    ),
+                )
+            )
+
         return HealthReport(
             verdict=verdict,
             findings=findings,
@@ -449,4 +533,8 @@ class HealthMonitor:
             cad_retries=self._cad_retries,
             cad_failed_jobs=list(self._cad_failed_jobs),
             dark_tiles=list(self._dark_tiles),
+            quarantined_tiles=list(self._quarantined),
+            fallbacks=self._fallbacks,
+            kernel_hangs=self._kernel_hangs,
+            failovers=self._failovers,
         )

@@ -15,6 +15,14 @@ A Linux-kernel-style runtime built on the discrete-event kernel:
 """
 
 from repro.runtime.memory import BitstreamStore, LoadedBitstream
+from repro.runtime.faults import (
+    NO_RUNTIME_FAULTS,
+    PERSISTENT,
+    RecoveryPolicy,
+    RuntimeFaultKind,
+    RuntimeFaultModel,
+    RuntimeFaultOptions,
+)
 from repro.runtime.prc import PrcDevice, ReconfigurationRecord
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
 from repro.runtime.manager import ReconfigurationManager, TileState
@@ -31,6 +39,12 @@ from repro.runtime.executor import (
 __all__ = [
     "BitstreamStore",
     "LoadedBitstream",
+    "NO_RUNTIME_FAULTS",
+    "PERSISTENT",
+    "RecoveryPolicy",
+    "RuntimeFaultKind",
+    "RuntimeFaultModel",
+    "RuntimeFaultOptions",
     "PrcDevice",
     "ReconfigurationRecord",
     "AcceleratorDriver",

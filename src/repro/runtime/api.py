@@ -100,8 +100,10 @@ class InvocationResult:
 
     @property
     def degraded(self) -> bool:
-        """True when the transfer needed retries (CRC failures seen)."""
-        return self.record.failed_attempts > 0
+        """True when the invocation rode through runtime faults
+        (failed transfer attempts or hung-and-restarted executions)."""
+        record = self.record
+        return record.failed_attempts > 0 or record.hang_attempts > 0
 
 
 class DprUserApi:
@@ -186,6 +188,31 @@ class DprUserApi:
                 f"{handle.tile_name!r}"
             )
         return self._manager.preload(handle.tile_name, accelerator)
+
+    # ------------------------------------------------------------------
+    # topology and health queries (what a scheduler needs to re-plan)
+    # ------------------------------------------------------------------
+    def reconfigurable_tiles(self) -> List[str]:
+        """All attached reconfigurable tiles, sorted (deterministic)."""
+        return sorted(self._manager.tiles)
+
+    def tile_quarantined(self, tile_name: str) -> bool:
+        """True when the tile is quarantined (closed to invocations)."""
+        return self._manager.tile_quarantined(tile_name)
+
+    def has_image(self, tile_name: str, accelerator: str) -> bool:
+        """True when a partial bitstream exists for (tile, accelerator)."""
+        return self._manager.store.has_image(tile_name, accelerator)
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when the runtime fault model can produce failures."""
+        return self._manager.faults.enabled
+
+    @property
+    def recovery(self):
+        """The manager's :class:`~repro.runtime.faults.RecoveryPolicy`."""
+        return self._manager.recovery
 
     # ------------------------------------------------------------------
     def invocation_log(self) -> List[InvocationRecord]:

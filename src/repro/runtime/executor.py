@@ -7,6 +7,13 @@ the DES kernel: each tile thread walks its assigned tasks in dataflow
 order, calling the user-space API (which reconfigures on demand);
 stages without a hardware mapping run on the CPU thread in software.
 Frames are processed without pipelining, as in the paper.
+
+When the runtime fault model is active the executor also performs
+scheduler failover: an instance whose tile has been quarantined by the
+reconfiguration manager is re-planned onto a surviving reconfigurable
+tile holding the same partial bitstream, or — when no tile can serve
+it — onto the CPU in software (``StageTask.sw_duration_s``), so the
+application completes degraded instead of deadlocking.
 """
 
 from __future__ import annotations
@@ -14,7 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    ReconfigurationError,
+    SimulationError,
+    TileQuarantinedError,
+)
+from repro.obs import events as ev
+from repro.obs.events import NULL_EVENTS
 from repro.runtime.api import DprUserApi, TileHandle
 from repro.sim.kernel import Event, Simulator
 
@@ -28,6 +42,9 @@ class StageTask:
     tile_name: Optional[str]  # None -> software on the CPU thread
     mode_name: Optional[str] = None  # accelerator to load (hardware tasks)
     deps: Tuple[str, ...] = ()
+    #: Software execution time of a *hardware* task — the failover
+    #: fallback when every tile that could serve it is quarantined.
+    sw_duration_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.duration_s < 0:
@@ -35,6 +52,10 @@ class StageTask:
         if self.tile_name is not None and self.mode_name is None:
             raise ConfigurationError(
                 f"task {self.name}: hardware task needs an accelerator mode"
+            )
+        if self.sw_duration_s is not None and self.sw_duration_s < 0:
+            raise ConfigurationError(
+                f"task {self.name}: negative software fallback duration"
             )
 
 
@@ -86,6 +107,7 @@ class AppExecutor:
         tasks: Sequence[StageTask],
         cpu_worker: str = "cpu",
         blank_after_frame: bool = False,
+        events=NULL_EVENTS,
     ) -> None:
         """``blank_after_frame`` enables the power-gating policy: each
         tile thread erases its region (greybox bitstream) once its last
@@ -107,6 +129,9 @@ class AppExecutor:
         self.tasks = list(tasks)
         self.cpu_worker = cpu_worker
         self.blank_after_frame = blank_after_frame
+        self.events = events
+        #: Instances re-planned off a quarantined tile this run.
+        self.failovers = 0
         self._handles: Dict[str, TileHandle] = {}
 
     # ------------------------------------------------------------------
@@ -213,30 +238,7 @@ class AppExecutor:
                         )
                     )
                 else:
-                    handle = self._handle_for(task.tile_name)
-                    result = self.api.esp_run(
-                        handle, task.mode_name, exec_time_s=task.duration_s
-                    )
-                    record = yield result.process
-                    if record.reconfig_s > 0:
-                        timeline.events.append(
-                            TimelineEvent(
-                                task=name,
-                                worker=worker,
-                                kind="reconfig",
-                                start_s=record.start_exec_s - record.reconfig_s,
-                                end_s=record.start_exec_s,
-                            )
-                        )
-                    timeline.events.append(
-                        TimelineEvent(
-                            task=name,
-                            worker=worker,
-                            kind="exec",
-                            start_s=record.start_exec_s,
-                            end_s=record.end_exec_s,
-                        )
-                    )
+                    yield from self._run_hw_instance(timeline, name, task)
                 done[name].succeed()
             if blank and worker != self.cpu_worker:
                 blank_start = self.sim.now
@@ -254,7 +256,7 @@ class AppExecutor:
 
         threads = [
             self.sim.process(thread_body(worker, assigned))
-            for worker, assigned in sorted(queues.items())
+            for worker, assigned in self._worker_queues(queues)
         ]
         barrier = self.sim.all_of(threads)
         self.sim.run()
@@ -265,6 +267,121 @@ class AppExecutor:
         for thread in threads:
             if thread.exception is not None:
                 raise thread.exception
+
+    def _worker_queues(self, queues):
+        """Thread spawn order (deterministic: sorted by worker name).
+
+        Seam for tests that stress worker orderings: per-tile behaviour
+        must not depend on which thread the kernel spawns first.
+        """
+        return sorted(queues.items())
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def _run_hw_instance(self, timeline: "ExecutionTimeline", name: str, task: StageTask):
+        """Run one hardware instance, re-planning around quarantines.
+
+        Generator sub-routine of a worker thread. Retries an abandoned
+        invocation on its own tile while the fault model may still
+        recover it (bounded by the quarantine budget), re-plans onto a
+        surviving tile once the tile is quarantined, and finally falls
+        back to software when no tile can serve the mode.
+        """
+        tile = task.tile_name
+        if self.api.tile_quarantined(tile):
+            tile = self._replan(name, task, from_tile=tile)
+        retries = 0
+        while tile is not None:
+            handle = self._handle_for(tile)
+            result = self.api.esp_run(
+                handle, task.mode_name, exec_time_s=task.duration_s
+            )
+            try:
+                record = yield result.process
+            except TileQuarantinedError:
+                tile = self._replan(name, task, from_tile=tile)
+                continue
+            except ReconfigurationError:
+                if self.api.tile_quarantined(tile):
+                    tile = self._replan(name, task, from_tile=tile)
+                    continue
+                # The tile survives (dark or fallen back); retry the
+                # mode while the quarantine budget bounds the loop.
+                retries += 1
+                if (
+                    not self.api.faults_enabled
+                    or retries > self.api.recovery.quarantine_after
+                ):
+                    raise
+                continue
+            if record.reconfig_s > 0:
+                timeline.events.append(
+                    TimelineEvent(
+                        task=name,
+                        worker=tile,
+                        kind="reconfig",
+                        start_s=record.start_exec_s - record.reconfig_s,
+                        end_s=record.start_exec_s,
+                    )
+                )
+            timeline.events.append(
+                TimelineEvent(
+                    task=name,
+                    worker=tile,
+                    kind="exec",
+                    start_s=record.start_exec_s,
+                    end_s=record.end_exec_s,
+                )
+            )
+            return
+        # Software failover: no surviving tile can serve the mode.
+        sw_start = self.sim.now
+        yield self.sim.timeout(task.sw_duration_s)
+        timeline.events.append(
+            TimelineEvent(
+                task=name,
+                worker=self.cpu_worker,
+                kind="sw",
+                start_s=sw_start,
+                end_s=self.sim.now,
+            )
+        )
+
+    def _replan(
+        self, name: str, task: StageTask, from_tile: str
+    ) -> Optional[str]:
+        """Pick the failover target for one instance.
+
+        Surviving tiles (sorted, skipping quarantined ones and the tile
+        that failed) holding the mode's bitstream win; otherwise the
+        software fallback (None) when the task has one. Emits
+        ``sched.failover`` either way; raises when the instance cannot
+        be placed at all.
+        """
+        target: Optional[str] = None
+        for candidate in self.api.reconfigurable_tiles():
+            if candidate == from_tile or self.api.tile_quarantined(candidate):
+                continue
+            if self.api.has_image(candidate, task.mode_name):
+                target = candidate
+                break
+        if target is None and task.sw_duration_s is None:
+            raise TileQuarantinedError(
+                f"{name}: tile {from_tile!r} is quarantined, no surviving "
+                f"tile holds {task.mode_name!r} and the stage has no "
+                "software fallback"
+            )
+        self.failovers += 1
+        self.events.emit(
+            ev.SCHED_FAILOVER,
+            time=self.sim.now,
+            source=from_tile,
+            task=name,
+            mode=task.mode_name,
+            to=target if target is not None else self.cpu_worker,
+        )
+        return target
 
     def _handle_for(self, tile_name: str) -> TileHandle:
         if tile_name not in self._handles:

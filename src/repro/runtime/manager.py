@@ -15,6 +15,15 @@ Behavioural contract reproduced from the paper:
 
 The per-tile FIFO lock plus the PRC's internal lock implement exactly
 this protocol on the discrete-event kernel.
+
+On top of the protocol sits the watchdog/recovery layer (the runtime
+counterpart of the CAD-side fault tolerance): failed transfers are
+retried with seeded exponential backoff charged on the simulated clock,
+transfers that overrun the reconfiguration deadline are aborted (DFXC
+reset) and counted as stuck, abandoned reconfigurations fall back to
+the tile's last-known-good bitstream, hung kernels are restarted, and a
+tile that keeps failing is quarantined — taken dark, blanked and closed
+to further invocations so schedulers can re-plan around it.
 """
 
 from __future__ import annotations
@@ -22,13 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import ReconfigurationError
+from repro.errors import (
+    KernelHangError,
+    ReconfigurationError,
+    StuckTransferError,
+    TileQuarantinedError,
+)
 from repro.obs import events as ev
 from repro.obs.events import NULL_EVENTS
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.driver import DriverRegistry
+from repro.runtime.faults import DEFAULT_RECOVERY, RecoveryPolicy, RuntimeFaultModel
 from repro.runtime.memory import BitstreamStore
 from repro.runtime.prc import PrcDevice, ReconfigurationRecord
 from repro.sim.kernel import Simulator
@@ -53,6 +68,14 @@ class TileState:
     configured_since: Optional[float] = None
     #: Accumulated configured time over closed windows.
     configured_s: float = 0.0
+    #: The last mode that completed a reconfiguration on this tile —
+    #: the fallback target when a newer bitstream is abandoned.
+    last_good_mode: Optional[str] = None
+    #: Abandoned operations (transfers and hung invocations) so far;
+    #: reaching the recovery policy's threshold quarantines the tile.
+    abandoned_ops: int = 0
+    #: True once the tile is quarantined: dark, blanked and closed.
+    quarantined: bool = False
 
     def mark_configured(self, now: float) -> None:
         """Region transitioned dark -> configured."""
@@ -86,10 +109,12 @@ class InvocationRecord:
     #: Failed transfer attempts this invocation rode through (the
     #: user-facing ``degraded`` signal).
     failed_attempts: int = 0
+    #: Hung execution attempts the watchdog restarted before success.
+    hang_attempts: int = 0
 
     @property
     def exec_time_s(self) -> float:
-        """Pure accelerator execution time."""
+        """Accelerator execution time (including hung attempts)."""
         return self.end_exec_s - self.start_exec_s
 
     @property
@@ -110,6 +135,7 @@ class ReconfigurationManager:
         tracer=NULL_TRACER,
         metrics=NULL_METRICS,
         events=NULL_EVENTS,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.prc = prc
@@ -118,12 +144,31 @@ class ReconfigurationManager:
         self.tracer = tracer
         self.metrics = metrics
         self.events = events
+        self.recovery = recovery if recovery is not None else DEFAULT_RECOVERY
         self.tiles: Dict[str, TileState] = {}
         self.invocations: List[InvocationRecord] = []
         #: Failed transfer attempts seen (telemetry for fault handling).
         self.failed_attempts = 0
         #: The same failures attributed to the tile that saw them.
         self.failed_attempts_by_tile: Dict[str, int] = {}
+        #: Completed fallbacks to a last-known-good bitstream.
+        self.fallbacks = 0
+        self.fallbacks_by_tile: Dict[str, int] = {}
+        #: Hung kernel attempts the watchdog caught.
+        self.kernel_hangs = 0
+        self.kernel_hangs_by_tile: Dict[str, int] = {}
+        #: Quarantined tiles mapped to the fault kind that tipped them.
+        self.quarantined: Dict[str, str] = {}
+
+    @property
+    def faults(self) -> RuntimeFaultModel:
+        """The runtime fault model, shared with the PRC.
+
+        Read dynamically from the device so the deprecated
+        ``PrcDevice.inject_failure`` shim (which may lazily swap in a
+        private model) and the manager always see the same accounting.
+        """
+        return self.prc.faults
 
     # ------------------------------------------------------------------
     def attach_tile(self, tile_name: str) -> TileState:
@@ -146,6 +191,17 @@ class ReconfigurationManager:
         except KeyError:
             raise ReconfigurationError(f"tile {tile_name!r} not attached") from None
 
+    def tile_quarantined(self, tile_name: str) -> bool:
+        """True when the tile has been quarantined (closed to work)."""
+        return self.tile(tile_name).quarantined
+
+    def _check_quarantine(self, state: TileState) -> None:
+        if state.quarantined:
+            raise TileQuarantinedError(
+                f"tile {state.name!r} is quarantined "
+                f"({self.quarantined.get(state.name, 'persistent failures')})"
+            )
+
     # ------------------------------------------------------------------
     def invoke(self, tile_name: str, mode_name: str, exec_time_s: Optional[float] = None) -> Process:
         """Run ``mode_name`` on ``tile_name``, reconfiguring if needed.
@@ -153,7 +209,9 @@ class ReconfigurationManager:
         Returns a process whose value is the :class:`InvocationRecord`.
         The process blocks (FIFO) while other threads hold the tile —
         including through their reconfigurations — which is the paper's
-        locking discipline.
+        locking discipline. Raises :class:`TileQuarantinedError` when
+        the tile has been quarantined (checked again after the lock is
+        acquired, since quarantine can happen while queued).
         """
         state = self.tile(tile_name)
         driver = self.registry.driver_for(mode_name)
@@ -162,6 +220,7 @@ class ReconfigurationManager:
         track = f"kernel/{tile_name}"
 
         def body():
+            self._check_quarantine(state)
             requested = self.sim.now
             self.events.emit(
                 ev.LOCK_REQUESTED, time=requested, source=tile_name, mode=mode_name
@@ -188,20 +247,15 @@ class ReconfigurationManager:
                 "runtime.lock_wait_s", "queueing delay before tile acquisition"
             ).observe(acquired - requested, tile=tile_name)
             try:
+                self._check_quarantine(state)
                 reconfig_time = 0.0
                 failed_before = self.failed_attempts_by_tile.get(tile_name, 0)
                 if state.loaded_mode != mode_name:
                     reconfig_time = yield from self._reconfigure_locked(state, mode_name)
                 start_exec = self.sim.now
-                exec_span = self.tracer.begin(
-                    mode_name,
-                    category="kernel.exec",
-                    track=track,
-                    tile=tile_name,
-                    mode=mode_name,
+                hang_attempts = yield from self._execute_locked(
+                    state, mode_name, duration, track
                 )
-                yield self.sim.timeout(duration)
-                self.tracer.end(exec_span)
                 record = InvocationRecord(
                     tile_name=tile_name,
                     mode_name=mode_name,
@@ -213,6 +267,7 @@ class ReconfigurationManager:
                         self.failed_attempts_by_tile.get(tile_name, 0)
                         - failed_before
                     ),
+                    hang_attempts=hang_attempts,
                 )
                 self.invocations.append(record)
                 self.metrics.counter(
@@ -238,71 +293,80 @@ class ReconfigurationManager:
         Used for power saving and for clearing a faulty accelerator:
         the driver is unregistered, the region is cleared, and the tile
         reports no loaded mode afterwards. Requires the flow to have
-        produced a blanking image for the tile.
+        produced a blanking image for the tile. Serializes on the
+        per-tile lock, so blanking can never interleave with an
+        in-flight reconfiguration or invocation on the same tile.
         """
         state = self.tile(tile_name)
 
         def body():
             yield state.lock.acquire()
             try:
-                if state.loaded_mode is None:
-                    return None  # already dark
-                blank = self.store.lookup(state.name, "blank")
-                start = self.sim.now
-                self.events.emit(
-                    ev.RECONFIG_REQUESTED,
-                    time=start,
-                    source=tile_name,
-                    mode="blank",
-                    size_bytes=blank.size_bytes,
-                )
-                span = self.tracer.begin(
-                    "blank",
-                    category="kernel.decouple",
-                    track=f"kernel/{tile_name}",
-                    size_bytes=blank.size_bytes,
-                )
-                state.decoupler.decouple()
-                self.registry.swap(state.name, None)
-                self.events.emit(
-                    ev.DRIVER_SWAPPED, time=self.sim.now, source=tile_name, driver=None
-                )
-                self.events.emit(
-                    ev.RECONFIG_STARTED,
-                    time=self.sim.now,
-                    source=tile_name,
-                    mode="blank",
-                    size_bytes=blank.size_bytes,
-                )
-                yield self.prc.reconfigure(state.name, "blank", blank.size_bytes)
-                state.decoupler.recouple()
-                state.loaded_mode = None
-                state.mark_dark(self.sim.now)
-                state.reconfigurations += 1
-                self.metrics.counter(
-                    "runtime.reconfigurations", "completed tile reconfigurations"
-                ).inc(tile=tile_name)
-                self.events.emit(
-                    ev.RECONFIG_COMPLETED,
-                    time=self.sim.now,
-                    source=tile_name,
-                    mode="blank",
-                    duration_s=self.sim.now - start,
-                )
-                self.tracer.end(span)
-                return "blank"
+                result = yield from self._blank_locked(state)
+                return result
             finally:
                 state.lock.release()
 
         return self.sim.process(body())
+
+    def _blank_locked(self, state: TileState):
+        """Blanking protocol; caller must hold the tile lock."""
+        if state.loaded_mode is None:
+            return None  # already dark
+        blank = self.store.lookup(state.name, "blank")
+        start = self.sim.now
+        self.events.emit(
+            ev.RECONFIG_REQUESTED,
+            time=start,
+            source=state.name,
+            mode="blank",
+            size_bytes=blank.size_bytes,
+        )
+        span = self.tracer.begin(
+            "blank",
+            category="kernel.decouple",
+            track=f"kernel/{state.name}",
+            size_bytes=blank.size_bytes,
+        )
+        state.decoupler.decouple()
+        self.registry.swap(state.name, None)
+        self.events.emit(
+            ev.DRIVER_SWAPPED, time=self.sim.now, source=state.name, driver=None
+        )
+        self.events.emit(
+            ev.RECONFIG_STARTED,
+            time=self.sim.now,
+            source=state.name,
+            mode="blank",
+            size_bytes=blank.size_bytes,
+        )
+        yield self.prc.reconfigure(state.name, "blank", blank.size_bytes)
+        state.decoupler.recouple()
+        state.loaded_mode = None
+        state.mark_dark(self.sim.now)
+        state.reconfigurations += 1
+        self.metrics.counter(
+            "runtime.reconfigurations", "completed tile reconfigurations"
+        ).inc(tile=state.name)
+        self.events.emit(
+            ev.RECONFIG_COMPLETED,
+            time=self.sim.now,
+            source=state.name,
+            mode="blank",
+            duration_s=self.sim.now - start,
+        )
+        self.tracer.end(span)
+        return "blank"
 
     def preload(self, tile_name: str, mode_name: str) -> Process:
         """Reconfigure a tile without running the accelerator."""
         state = self.tile(tile_name)
 
         def body():
+            self._check_quarantine(state)
             yield state.lock.acquire()
             try:
+                self._check_quarantine(state)
                 if state.loaded_mode != mode_name:
                     yield from self._reconfigure_locked(state, mode_name)
                 return state.loaded_mode
@@ -312,18 +376,54 @@ class ReconfigurationManager:
         return self.sim.process(body())
 
     # ------------------------------------------------------------------
-    #: Transfer retries before a reconfiguration is declared failed.
+    #: Transfer retries before a reconfiguration is declared failed
+    #: (kept for compatibility; the live value is
+    #: ``recovery.max_attempts - 1``).
     MAX_RETRIES = 1
+
+    def _transfer_attempt(self, state: TileState, mode_name: str, size_bytes: int):
+        """One watched transfer attempt; caller must hold the tile lock.
+
+        Without an enabled fault model this is a plain blocking
+        transfer (zero watchdog overhead on healthy deployments). With
+        one, the recovery policy's reconfiguration deadline races the
+        transfer: a transfer still wedged past the deadline is aborted
+        (DFXC reset, freeing the ICAP) and raised as
+        :class:`StuckTransferError`. A transfer merely *queued* behind
+        the ICAP past the deadline is not stuck — the watchdog extends
+        and keeps watching.
+        """
+        transfer = self.prc.reconfigure(state.name, mode_name, size_bytes)
+        if not self.faults.enabled:
+            record: ReconfigurationRecord = yield transfer
+            return record
+        deadline_s = self.recovery.reconfig_deadline_s
+        while True:
+            deadline = self.sim.timeout(deadline_s)
+            try:
+                # A failed transfer (CRC) fails the AnyOf, re-raised here.
+                yield self.sim.any_of([transfer, deadline])
+            finally:
+                deadline.cancel()  # a lost deadline must not stall the clock
+            if transfer.ok:
+                return transfer.value
+            if self.prc.abort_transfer(state.name, mode_name):
+                raise StuckTransferError(
+                    f"{state.name}/{mode_name}: transfer exceeded the "
+                    f"{deadline_s:.3f}s reconfiguration deadline"
+                )
 
     def _reconfigure_locked(self, state: TileState, mode_name: str):
         """The reconfiguration protocol; caller must hold the tile lock.
 
         Generator sub-routine (used via ``yield from``); returns the
-        time spent. A failed transfer (CRC error from the PRC) is
-        retried once; if the retry also fails the region is left dark
-        (no driver, no loaded mode, decoupler re-enabled so the blank
-        region cannot wedge the NoC) and the error propagates to the
-        calling thread.
+        time spent. A failed transfer (CRC error or watchdog abort) is
+        retried with seeded exponential backoff up to the recovery
+        policy's attempt budget; if all attempts fail the region is
+        left dark (no driver, no loaded mode, decoupler re-enabled so
+        the blank region cannot wedge the NoC), recovery — fallback to
+        the last-known-good bitstream, or quarantine — runs, and the
+        error propagates to the calling thread.
         """
         loaded = self.store.lookup(state.name, mode_name)
         start = self.sim.now
@@ -360,14 +460,15 @@ class ReconfigurationManager:
         attempts = 0
         while True:
             try:
-                record: ReconfigurationRecord = yield self.prc.reconfigure(
-                    state.name, mode_name, loaded.size_bytes
+                record: ReconfigurationRecord = yield from self._transfer_attempt(
+                    state, mode_name, loaded.size_bytes
                 )
                 break
-            except ReconfigurationError:
+            except ReconfigurationError as exc:
                 attempts += 1
-                self._record_failed_attempt(state.name, mode_name)
-                if attempts > self.MAX_RETRIES:
+                reason = getattr(exc, "fault_kind", "crc")
+                self._record_failed_attempt(state.name, mode_name, reason=reason)
+                if attempts >= self.recovery.max_attempts:
                     # Give up: leave the region dark but functional.
                     state.loaded_mode = None
                     state.mark_dark(self.sim.now)
@@ -383,6 +484,7 @@ class ReconfigurationManager:
                         mode=mode_name,
                         attempts=attempts,
                         abandoned=True,
+                        reason=reason,
                     )
                     self.tracer.end(decouple_span, failed=True)
                     logger.warning(
@@ -391,6 +493,7 @@ class ReconfigurationManager:
                         mode_name,
                         attempts,
                     )
+                    yield from self._recover_abandoned_locked(state, mode_name, reason)
                     raise
                 self.metrics.counter(
                     "runtime.reconfig_retries", "transfer retries after CRC errors"
@@ -402,12 +505,19 @@ class ReconfigurationManager:
                     mode=mode_name,
                     attempts=attempts,
                     abandoned=False,
+                    reason=reason,
                 )
+                backoff = self.recovery.backoff_before(
+                    attempts + 1, self.faults.seed, state.name, mode_name
+                )
+                if backoff > 0.0:
+                    yield self.sim.timeout(backoff)
         # 4. interrupt received: load the new driver, re-enable queues
         self.registry.swap(state.name, mode_name)
         state.decoupler.recouple()
         state.loaded_mode = mode_name
         state.mark_configured(self.sim.now)
+        state.last_good_mode = mode_name
         state.reconfigurations += 1
         self.metrics.counter(
             "runtime.reconfigurations", "completed tile reconfigurations"
@@ -425,7 +535,224 @@ class ReconfigurationManager:
         self.tracer.end(decouple_span)
         return self.sim.now - start
 
-    def _record_failed_attempt(self, tile_name: str, mode_name: str) -> None:
+    def _execute_locked(
+        self, state: TileState, mode_name: str, duration: float, track: str
+    ):
+        """One accelerator execution under the hang watchdog.
+
+        Generator sub-routine; returns the number of hung attempts the
+        watchdog restarted. A hung attempt burns ``duration *
+        exec_deadline_factor`` of simulated time (the watchdog only
+        fires at its deadline) before the restart; exhausting the hang
+        budget resets the tile and raises :class:`KernelHangError`.
+        """
+        hang_attempts = 0
+        while True:
+            hung = self.faults.enabled and self.faults.invoke_fault(
+                state.name, mode_name
+            )
+            exec_span = self.tracer.begin(
+                mode_name,
+                category="kernel.exec",
+                track=track,
+                tile=state.name,
+                mode=mode_name,
+            )
+            if not hung:
+                yield self.sim.timeout(duration)
+                self.tracer.end(exec_span)
+                return hang_attempts
+            # No completion interrupt: wait out the watchdog deadline.
+            yield self.sim.timeout(duration * self.recovery.exec_deadline_factor)
+            hang_attempts += 1
+            self.kernel_hangs += 1
+            self.kernel_hangs_by_tile[state.name] = (
+                self.kernel_hangs_by_tile.get(state.name, 0) + 1
+            )
+            self.metrics.counter(
+                "runtime.kernel_hangs", "hung invocations caught by the watchdog"
+            ).inc(tile=state.name)
+            self.tracer.end(exec_span, failed=True)
+            self.events.emit(
+                ev.KERNEL_HUNG,
+                time=self.sim.now,
+                source=state.name,
+                mode=mode_name,
+                attempts=hang_attempts,
+            )
+            logger.warning(
+                "%s: %s hung (attempt %d); watchdog fired after %.6fs",
+                state.name,
+                mode_name,
+                hang_attempts,
+                duration * self.recovery.exec_deadline_factor,
+            )
+            if hang_attempts >= self.recovery.hang_max_attempts:
+                yield from self._abandon_hung_locked(state, mode_name)
+                raise KernelHangError(
+                    f"{state.name}/{mode_name}: kernel hung "
+                    f"{hang_attempts} times; invocation abandoned"
+                )
+            backoff = self.recovery.backoff_before(
+                hang_attempts + 1, self.faults.seed, state.name, f"{mode_name}#hang"
+            )
+            if backoff > 0.0:
+                yield self.sim.timeout(backoff)
+
+    def _abandon_hung_locked(self, state: TileState, mode_name: str):
+        """Reset a tile whose kernel would not come back; lock held."""
+        self.registry.swap(state.name, None)
+        self.events.emit(
+            ev.DRIVER_SWAPPED, time=self.sim.now, source=state.name, driver=None
+        )
+        state.loaded_mode = None
+        state.mark_dark(self.sim.now)
+        self.metrics.counter(
+            "runtime.hang_abandons", "invocations abandoned after repeated hangs"
+        ).inc(tile=state.name)
+        yield from self._recover_abandoned_locked(state, mode_name, reason="hang")
+
+    # ------------------------------------------------------------------
+    # recovery: fallback and quarantine (tile lock held throughout)
+    # ------------------------------------------------------------------
+    def _recover_abandoned_locked(
+        self, state: TileState, mode_name: str, reason: str
+    ):
+        """Recovery after an abandoned operation; caller holds the lock.
+
+        Charges the abandonment against the tile's quarantine budget,
+        then either quarantines the tile or — when a *different*
+        last-known-good bitstream exists — falls back to it so the tile
+        keeps serving its old mode instead of going dark.
+        """
+        state.abandoned_ops += 1
+        if state.abandoned_ops >= self.recovery.quarantine_after:
+            yield from self._quarantine_locked(state, reason)
+            return
+        if (
+            self.recovery.fallback_to_last_good
+            and state.last_good_mode is not None
+            and state.last_good_mode != mode_name
+            and self.store.has_image(state.name, state.last_good_mode)
+        ):
+            recovered = yield from self._fallback_locked(state, mode_name)
+            if not recovered:
+                state.abandoned_ops += 1
+                if state.abandoned_ops >= self.recovery.quarantine_after:
+                    yield from self._quarantine_locked(state, reason)
+
+    def _fallback_locked(self, state: TileState, failed_mode: str):
+        """Reload the last-known-good bitstream; caller holds the lock.
+
+        Single watched attempt (a failing fallback should not burn the
+        full retry budget again); returns True when the tile came back.
+        """
+        good = state.last_good_mode
+        image = self.store.lookup(state.name, good)
+        start = self.sim.now
+        span = self.tracer.begin(
+            f"fallback:{good}",
+            category="kernel.decouple",
+            track=f"kernel/{state.name}",
+            mode=good,
+            size_bytes=image.size_bytes,
+        )
+        state.decoupler.decouple()
+        try:
+            yield from self._transfer_attempt(state, good, image.size_bytes)
+        except ReconfigurationError as exc:
+            self._record_failed_attempt(
+                state.name, good, reason=getattr(exc, "fault_kind", "crc")
+            )
+            state.decoupler.recouple()
+            self.tracer.end(span, failed=True)
+            logger.warning(
+                "%s: fallback to last-known-good %s failed", state.name, good
+            )
+            return False
+        self.registry.swap(state.name, good)
+        state.decoupler.recouple()
+        state.loaded_mode = good
+        state.mark_configured(self.sim.now)
+        state.reconfigurations += 1
+        self.fallbacks += 1
+        self.fallbacks_by_tile[state.name] = (
+            self.fallbacks_by_tile.get(state.name, 0) + 1
+        )
+        self.metrics.counter(
+            "runtime.reconfigurations", "completed tile reconfigurations"
+        ).inc(tile=state.name)
+        self.metrics.counter(
+            "runtime.fallbacks", "fallbacks to a last-known-good bitstream"
+        ).inc(tile=state.name)
+        self.events.emit(
+            ev.DRIVER_SWAPPED, time=self.sim.now, source=state.name, driver=good
+        )
+        self.events.emit(
+            ev.RECONFIG_FALLBACK,
+            time=self.sim.now,
+            source=state.name,
+            mode=good,
+            failed_mode=failed_mode,
+            duration_s=self.sim.now - start,
+        )
+        self.tracer.end(span)
+        logger.warning(
+            "%s: fell back to last-known-good %s after %s failed",
+            state.name,
+            good,
+            failed_mode,
+        )
+        return True
+
+    def _quarantine_locked(self, state: TileState, reason: str):
+        """Quarantine a persistently failing tile; caller holds the lock.
+
+        The tile is closed to further work, its driver is already
+        unloaded (the abandon path did that), and its region is blanked
+        when a blanking image exists so the dead accelerator cannot
+        drive the NoC.
+        """
+        if state.quarantined:
+            return
+        state.quarantined = True
+        self.quarantined[state.name] = reason
+        blanked = False
+        if self.store.has_image(state.name, "blank"):
+            blank = self.store.lookup(state.name, "blank")
+            state.decoupler.decouple()
+            try:
+                yield from self._transfer_attempt(state, "blank", blank.size_bytes)
+                blanked = True
+            except ReconfigurationError:
+                logger.warning(
+                    "%s: blanking during quarantine failed; region left as-is",
+                    state.name,
+                )
+            finally:
+                state.decoupler.recouple()
+        self.metrics.counter(
+            "runtime.quarantines", "tiles quarantined after persistent failures"
+        ).inc(tile=state.name)
+        self.events.emit(
+            ev.TILE_QUARANTINED,
+            time=self.sim.now,
+            source=state.name,
+            reason=reason,
+            blanked=blanked,
+            abandoned_ops=state.abandoned_ops,
+        )
+        logger.error(
+            "%s: quarantined after %d abandoned operations (%s); blanked=%s",
+            state.name,
+            state.abandoned_ops,
+            reason,
+            blanked,
+        )
+
+    def _record_failed_attempt(
+        self, tile_name: str, mode_name: str, reason: str = "crc"
+    ) -> None:
         """Attribute one failed transfer to its tile (and the registry)."""
         self.failed_attempts += 1
         self.failed_attempts_by_tile[tile_name] = (
@@ -434,7 +761,9 @@ class ReconfigurationManager:
         self.metrics.counter(
             "runtime.failed_attempts", "failed bitstream transfer attempts"
         ).inc(tile=tile_name)
-        logger.warning("%s: transfer of %s failed (CRC error)", tile_name, mode_name)
+        logger.warning(
+            "%s: transfer of %s failed (%s)", tile_name, mode_name, reason
+        )
 
     # ------------------------------------------------------------------
     # telemetry

@@ -16,19 +16,31 @@ why the flow generates compressed partial bitstreams.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.errors import ReconfigurationError
+from repro.errors import ReconfigurationError, StuckTransferError
 from repro.noc.mesh import Mesh
 from repro.noc.packet import FLIT_BYTES, HEADER_FLITS
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
+from repro.runtime.faults import (
+    NO_RUNTIME_FAULTS,
+    RuntimeFaultKind,
+    RuntimeFaultModel,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Lock
 
 logger = get_logger("runtime.prc")
+
+#: How far past the nominal window a wedged DFXC holds the ICAP before
+#: giving up on its own. The manager's watchdog deadline fires long
+#: before this — the stall exists so an unwatched stuck transfer still
+#: terminates instead of deadlocking the simulation.
+STUCK_STALL_FACTOR = 1000.0
 
 #: ICAP word width in bytes (ICAPE2/ICAPE3 are 32-bit).
 ICAP_BYTES_PER_CYCLE = 4
@@ -80,6 +92,7 @@ class PrcDevice:
         fetch_bytes_per_cycle: float = FETCH_BYTES_PER_CYCLE,
         tracer=NULL_TRACER,
         metrics=NULL_METRICS,
+        faults: RuntimeFaultModel = NO_RUNTIME_FAULTS,
     ) -> None:
         if clock_hz <= 0:
             raise ReconfigurationError("PRC clock must be positive")
@@ -93,9 +106,15 @@ class PrcDevice:
         self.fetch_bytes_per_cycle = fetch_bytes_per_cycle
         self.tracer = tracer
         self.metrics = metrics
+        #: The fault model every transfer attempt draws from. Shared
+        #: with the manager (which reads it back for invoke-side draws)
+        #: so injected and stochastic faults use one set of counters.
+        self.faults = faults
         self._lock = Lock(sim)
         self.records: List[ReconfigurationRecord] = []
-        self._injected_failures: Dict[Tuple[str, str], int] = {}
+        #: In-flight abort events, keyed (tile, mode) — the watchdog's
+        #: handle to free the ICAP from a stuck transfer.
+        self._aborts: Dict[Tuple[str, str], object] = {}
         self.failed_transfers = 0
 
     # ------------------------------------------------------------------
@@ -117,17 +136,45 @@ class PrcDevice:
         return setup_seconds + max(fetch_seconds, noc_seconds, icap_seconds)
 
     def inject_failure(self, tile_name: str, mode_name: str, count: int = 1) -> None:
-        """Arm ``count`` transfer failures for (tile, mode).
+        """Deprecated shim: arm ``count`` CRC failures for (tile, mode).
 
-        Models a corrupted fetch / CRC mismatch: the transfer runs to
-        completion, the DFXC reports an error instead of DONE, and the
-        caller sees a :class:`ReconfigurationError`. Used by the
-        failure-injection tests of the manager's recovery path.
+        Delegates to the :class:`~repro.runtime.faults.RuntimeFaultModel`
+        targeted injection (lazily instantiating a private model when
+        the device still holds the shared healthy default), so both
+        paths share the model's accounting. Prefer
+        ``RuntimeFaultModel.inject`` and the platform's
+        ``RuntimeFaultOptions``.
         """
+        warnings.warn(
+            "PrcDevice.inject_failure is deprecated; inject via "
+            "RuntimeFaultModel.inject and pass RuntimeFaultOptions to the "
+            "platform instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if count <= 0:
             raise ReconfigurationError("failure count must be positive")
-        key = (tile_name, mode_name)
-        self._injected_failures[key] = self._injected_failures.get(key, 0) + count
+        if self.faults is NO_RUNTIME_FAULTS:
+            self.faults = RuntimeFaultModel()
+        self.faults.inject(
+            tile_name,
+            mode_name,
+            RuntimeFaultKind.BITSTREAM_CORRUPTION,
+            count=count,
+        )
+
+    def abort_transfer(self, tile_name: str, mode_name: str) -> bool:
+        """Abort an in-flight transfer for (tile, mode) — DFXC reset.
+
+        Called by the manager's watchdog when a transfer overruns its
+        deadline; frees the ICAP immediately instead of waiting out the
+        full stall. Returns True when a transfer was actually aborted.
+        """
+        abort = self._aborts.get((tile_name, mode_name))
+        if abort is None or abort.triggered:
+            return False
+        abort.succeed()
+        return True
 
     def reconfigure(self, tile_name: str, mode_name: str, size_bytes: int):
         """Process generator: stream one partial bitstream.
@@ -142,26 +189,34 @@ class PrcDevice:
             yield self._lock.acquire()
             try:
                 start = self.sim.now
-                yield self.sim.timeout(self.transfer_seconds(size_bytes))
+                duration = self.transfer_seconds(size_bytes)
+                fault = self.faults.transfer_fault(tile_name, mode_name)
+                if fault is RuntimeFaultKind.STUCK_TRANSFER:
+                    # The DFXC wedges: the ICAP is held until the
+                    # watchdog aborts the transfer (or, unwatched, the
+                    # stall finally times out on its own).
+                    abort = self.sim.event()
+                    self._aborts[(tile_name, mode_name)] = abort
+                    stall = self.sim.timeout(duration * STUCK_STALL_FACTOR)
+                    try:
+                        yield self.sim.any_of([stall, abort])
+                    finally:
+                        # An aborted stall must not drag the clock out
+                        # to its original 1000x expiry.
+                        stall.cancel()
+                        self._aborts.pop((tile_name, mode_name), None)
+                    self._record_transfer_failure(
+                        tile_name, mode_name, size_bytes, start, reason="stuck"
+                    )
+                    raise StuckTransferError(
+                        f"{tile_name}/{mode_name}: transfer stuck "
+                        f"(aborted after {self.sim.now - start:.6f}s)"
+                    )
+                yield self.sim.timeout(duration)
                 self._count_fetch_traffic(size_bytes)
-                key = (tile_name, mode_name)
-                if self._injected_failures.get(key, 0) > 0:
-                    self._injected_failures[key] -= 1
-                    if self._injected_failures[key] == 0:
-                        del self._injected_failures[key]
-                    self.failed_transfers += 1
-                    self.metrics.counter(
-                        "prc.transfer_failures", "transfers ending in a CRC error"
-                    ).inc(tile=tile_name)
-                    self.tracer.record(
-                        f"{tile_name}/{mode_name}",
-                        start,
-                        self.sim.now,
-                        category="kernel.icap-error",
-                        track="kernel/icap",
-                        tile=tile_name,
-                        mode=mode_name,
-                        size_bytes=size_bytes,
+                if fault is RuntimeFaultKind.BITSTREAM_CORRUPTION:
+                    self._record_transfer_failure(
+                        tile_name, mode_name, size_bytes, start, reason="crc"
                     )
                     raise ReconfigurationError(
                         f"{tile_name}/{mode_name}: configuration CRC error"
@@ -202,6 +257,27 @@ class PrcDevice:
                 self._lock.release()
 
         return self.sim.process(body())
+
+    def _record_transfer_failure(
+        self, tile_name: str, mode_name: str, size_bytes: int, start: float,
+        reason: str,
+    ) -> None:
+        """Account one failed transfer attempt (CRC error or abort)."""
+        self.failed_transfers += 1
+        self.metrics.counter(
+            "prc.transfer_failures", "transfers ending in a CRC error"
+        ).inc(tile=tile_name)
+        self.tracer.record(
+            f"{tile_name}/{mode_name}",
+            start,
+            self.sim.now,
+            category="kernel.icap-error",
+            track="kernel/icap",
+            tile=tile_name,
+            mode=mode_name,
+            size_bytes=size_bytes,
+            reason=reason,
+        )
 
     def _count_fetch_traffic(self, size_bytes: int) -> None:
         """Account the DFXC fetch's NoC traffic (packets, flits, bytes).

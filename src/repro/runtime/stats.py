@@ -8,7 +8,7 @@ delays, reconfiguration shares, and ICAP pressure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ReconfigurationError
@@ -27,6 +27,12 @@ class TileStats:
     wait_time_s: float
     #: Failed bitstream-transfer attempts attributed to this tile.
     failed_attempts: int = 0
+    #: Fallbacks to a last-known-good bitstream on this tile.
+    fallbacks: int = 0
+    #: Hung invocation attempts the watchdog caught on this tile.
+    kernel_hangs: int = 0
+    #: True when the tile ended the run quarantined.
+    quarantined: bool = False
 
     @property
     def reconfig_share(self) -> float:
@@ -50,6 +56,11 @@ class RuntimeStats:
     failed_attempts: int
     icap_busy_s: float
     span_s: float
+    #: Runtime-resilience attribution (zero on healthy deployments).
+    fallbacks: int = 0
+    kernel_hangs: int = 0
+    failovers: int = 0
+    quarantined: Dict[str, str] = field(default_factory=dict)
 
     @property
     def icap_utilization(self) -> float:
@@ -71,11 +82,18 @@ class RuntimeStats:
             "icap_busy_s": self.icap_busy_s,
             "icap_utilization": self.icap_utilization,
             "span_s": self.span_s,
+            "fallbacks": self.fallbacks,
+            "kernel_hangs": self.kernel_hangs,
+            "failovers": self.failovers,
+            "quarantined": dict(sorted(self.quarantined.items())),
             "tiles": {
                 name: {
                     "invocations": tile.invocations,
                     "reconfigurations": tile.reconfigurations,
                     "failed_attempts": tile.failed_attempts,
+                    "fallbacks": tile.fallbacks,
+                    "kernel_hangs": tile.kernel_hangs,
+                    "quarantined": tile.quarantined,
                     "exec_s": tile.exec_time_s,
                     "reconfig_s": tile.reconfig_time_s,
                     "wait_s": tile.wait_time_s,
@@ -93,10 +111,26 @@ class RuntimeStats:
             f"failed_attempts={self.failed_attempts} "
             f"icap_utilization={self.icap_utilization:.1%}"
         ]
+        if self.fallbacks or self.kernel_hangs or self.failovers or self.quarantined:
+            resilience = (
+                f"fallbacks={self.fallbacks} kernel_hangs={self.kernel_hangs} "
+                f"failovers={self.failovers}"
+            )
+            if self.quarantined:
+                resilience += (
+                    " quarantined=" + ",".join(sorted(self.quarantined))
+                )
+            lines.append(resilience)
         for stats in sorted(self.tiles.values(), key=lambda t: t.tile_name):
             failed = (
                 f" failed={stats.failed_attempts}" if stats.failed_attempts else ""
             )
+            if stats.fallbacks:
+                failed += f" fallbacks={stats.fallbacks}"
+            if stats.kernel_hangs:
+                failed += f" hangs={stats.kernel_hangs}"
+            if stats.quarantined:
+                failed += " QUARANTINED"
             lines.append(
                 f"  {stats.tile_name:10s} inv={stats.invocations:<4d} "
                 f"exec={stats.exec_time_s * 1000:7.1f}ms "
@@ -109,9 +143,15 @@ class RuntimeStats:
 
 
 def collect_stats(
-    manager: ReconfigurationManager, span_s: Optional[float] = None
+    manager: ReconfigurationManager,
+    span_s: Optional[float] = None,
+    failovers: int = 0,
 ) -> RuntimeStats:
-    """Aggregate a manager's telemetry into :class:`RuntimeStats`."""
+    """Aggregate a manager's telemetry into :class:`RuntimeStats`.
+
+    ``failovers`` comes from the executor (the manager only sees the
+    invocations that reached it, not the scheduler's re-planning).
+    """
     by_tile: Dict[str, List[InvocationRecord]] = {
         name: [] for name in manager.tiles
     }
@@ -129,6 +169,9 @@ def collect_stats(
             reconfig_time_s=sum(r.reconfig_s for r in records),
             wait_time_s=sum(max(0.0, r.wait_s) for r in records),
             failed_attempts=manager.failed_attempts_by_tile.get(name, 0),
+            fallbacks=manager.fallbacks_by_tile.get(name, 0),
+            kernel_hangs=manager.kernel_hangs_by_tile.get(name, 0),
+            quarantined=state.quarantined if state else False,
         )
 
     end = span_s if span_s is not None else manager.sim.now
@@ -139,4 +182,8 @@ def collect_stats(
         failed_attempts=manager.failed_attempts,
         icap_busy_s=manager.prc.total_reconfiguration_time_s(),
         span_s=end,
+        fallbacks=manager.fallbacks,
+        kernel_hangs=manager.kernel_hangs,
+        failovers=failovers,
+        quarantined=dict(manager.quarantined),
     )

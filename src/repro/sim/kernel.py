@@ -23,6 +23,7 @@ class Event:
         self._exception: Optional[BaseException] = None
         self.triggered = False
         self.processed = False
+        self.cancelled = False
 
     # ------------------------------------------------------------------
     @property
@@ -58,6 +59,19 @@ class Event:
         self._exception = exception
         self.triggered = True
         self.sim._queue_event(self)
+        return self
+
+    def cancel(self) -> "Event":
+        """Withdraw a not-yet-processed event from the kernel.
+
+        A cancelled event's callbacks never run and — crucially for
+        watchdog races — the kernel clock never advances to its fire
+        time: a lost deadline timeout does not drag the simulation out
+        to its original expiry. Cancelling an already processed event
+        is a no-op (the loser of a race may have fired first).
+        """
+        if not self.processed:
+            self.cancelled = True
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -187,6 +201,8 @@ class Simulator:
         if not self._heap:
             raise SimulationError("no scheduled events")
         when, _seq, event = heapq.heappop(self._heap)
+        if event.cancelled:
+            return  # withdrawn: no callbacks, no clock advance
         if when < self.now:
             raise SimulationError("time went backwards (kernel bug)")
         self.now = when
@@ -200,6 +216,9 @@ class Simulator:
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
         while self._heap:
+            if self._heap[0][2].cancelled:
+                heapq.heappop(self._heap)
+                continue
             when = self._heap[0][0]
             if until is not None and when > until:
                 self.now = until
@@ -212,4 +231,4 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of triggered-but-unprocessed events on the heap."""
-        return len(self._heap)
+        return sum(1 for _, _, event in self._heap if not event.cancelled)

@@ -153,6 +153,9 @@ class WamiApplication:
                         tile_name=tile,
                         mode_name=stage.kernel_name,
                         deps=deps,
+                        # The scheduler's last-resort failover target
+                        # when every tile serving the mode is gone.
+                        sw_duration_s=profile.sw_time_s,
                     )
                 )
         return tasks

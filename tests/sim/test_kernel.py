@@ -93,6 +93,39 @@ class TestTimeouts:
             sim.step()
 
 
+class TestCancellation:
+    def test_cancelled_timeout_does_not_advance_clock(self, sim):
+        fired = []
+        sim.timeout(1.0).add_callback(lambda e: fired.append(1))
+        lost = sim.timeout(10.0)
+        lost.add_callback(lambda e: fired.append(10))
+        lost.cancel()
+        assert sim.run() == 1.0
+        assert fired == [1]
+        assert sim.pending_events == 0
+
+    def test_cancel_after_processing_is_a_noop(self, sim):
+        done = sim.timeout(1.0)
+        sim.run()
+        done.cancel()
+        assert done.processed and not done.cancelled
+
+    def test_cancelled_loser_of_a_race_stays_silent(self, sim):
+        winner = sim.timeout(1.0)
+        loser = sim.timeout(50.0)
+        race = sim.any_of([winner, loser])
+        sim.run(until=2.0)
+        assert race.ok
+        loser.cancel()
+        assert sim.run() == 2.0  # nothing left to drain
+
+    def test_run_until_ignores_cancelled_head(self, sim):
+        sim.timeout(1.0).cancel()
+        sim.timeout(5.0)
+        assert sim.run(until=3.0) == 3.0
+        assert sim.pending_events == 1
+
+
 class TestCombinators:
     def test_all_of_collects_values(self, sim):
         events = [sim.timeout(i, value=i) for i in (3.0, 1.0, 2.0)]
