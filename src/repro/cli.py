@@ -10,7 +10,9 @@ evaluation entry points:
 * ``deploy CONFIG``        run WAMI on a built SoC (Fig. 4 methodology)
 * ``monitor CONFIG``       deploy with the health monitor attached
 * ``bench-diff``           compare BENCH_*.json summaries against baselines
-* ``profile STAGE``        Fig. 3-style profile of one WAMI accelerator
+* ``profile TARGET``       call-path profile of a Fig. 4 workload, or the
+                           Fig. 3-style profile of one WAMI accelerator
+* ``profile-diff``         compare PROFILE_*.json hot paths against baselines
 * ``model``                show the calibrated CAD-runtime curves
 
 ``CONFIG`` is either a paper design name (soc_1..soc_4, soc_a..soc_d,
@@ -23,6 +25,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Optional
 
 from repro import api
@@ -53,6 +56,27 @@ from repro.obs.perfbase import (
     find_summaries,
     load_summary,
     write_baseline,
+)
+from repro.obs.profdiff import (
+    DEFAULT_BAND,
+    DEFAULT_HOTSPOT_THRESHOLD,
+    DEFAULT_MIN_SHARE,
+    baseline_from_profile,
+    compare_profile_directories,
+    find_profile_baselines,
+    self_time_shares,
+    write_profile_baseline,
+)
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    Profiler,
+    collapsed_stacks,
+    find_profiles,
+    load_profile,
+    profile_document,
+    profile_json,
+    self_host_total,
+    write_profile,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.faults import (
@@ -214,6 +238,24 @@ def runtime_faults_from_args(args) -> Optional[RuntimeFaultOptions]:
     return RuntimeFaultOptions(faults=model)
 
 
+def write_profile_to(path: str, profiler, experiment: str) -> str:
+    """Write a profile document to an explicit ``path`` (+ .collapsed).
+
+    The ``--profile PATH`` flag form of the export: the JSON document
+    goes to ``path`` verbatim, the flamegraph-ready collapsed stacks to
+    the sibling ``<path>.collapsed``. Returns the collapsed path.
+    """
+    document = profile_document(profiler, experiment)
+    out = Path(path)
+    if str(out.parent) not in ("", "."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(profile_json(document) + "\n")
+    collapsed = out.with_suffix(".collapsed")
+    lines = collapsed_stacks(document)
+    collapsed.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return str(collapsed)
+
+
 def cmd_build(args) -> int:
     config = resolve_config(args.config)
     strategy = (
@@ -226,9 +268,10 @@ def cmd_build(args) -> int:
         resume=args.resume,
     )
     tracer = Tracer(time_unit="min") if args.trace else NULL_TRACER
+    profiler = Profiler() if args.profile else NULL_PROFILER
     platform = api.platform(
         options=options,
-        instrumentation=Instrumentation(tracer=tracer),
+        instrumentation=Instrumentation(tracer=tracer, profiler=profiler),
         compress_bitstreams=not args.no_compress,
     )
     result = api.build(
@@ -238,7 +281,17 @@ def cmd_build(args) -> int:
         platform=platform,
     )
     if args.trace:
-        write_chrome_trace(args.trace, tracer)
+        write_chrome_trace(
+            args.trace,
+            tracer,
+            profile=(
+                profile_document(profiler, f"build_{config.name}")
+                if args.profile
+                else None
+            ),
+        )
+    if args.profile:
+        write_profile_to(args.profile, profiler, f"build_{config.name}")
     if getattr(args, "json", False):
         print(json.dumps(result.flow.to_summary_dict(), indent=2))
         return 0
@@ -255,6 +308,8 @@ def cmd_build(args) -> int:
         print(comparison_report(result.flow, result.baseline))
     if args.trace:
         print(f"\ntrace written to {args.trace}")
+    if args.profile:
+        print(f"\nprofile written to {args.profile}")
     return 0
 
 
@@ -347,14 +402,27 @@ def cmd_deploy(args) -> int:
     want_metrics = args.metrics or args.json
     tracer = Tracer() if args.trace else NULL_TRACER
     registry = MetricsRegistry() if want_metrics else NULL_METRICS
+    profiler = Profiler() if args.profile else NULL_PROFILER
     report = api.deploy(
         config,
         frames=args.frames,
-        instrumentation=Instrumentation(tracer=tracer, metrics=registry),
+        instrumentation=Instrumentation(
+            tracer=tracer, metrics=registry, profiler=profiler
+        ),
         runtime_options=runtime_faults_from_args(args),
     )
     if args.trace:
-        write_chrome_trace(args.trace, tracer)
+        write_chrome_trace(
+            args.trace,
+            tracer,
+            profile=(
+                profile_document(profiler, f"deploy_{config.name}")
+                if args.profile
+                else None
+            ),
+        )
+    if args.profile:
+        write_profile_to(args.profile, profiler, f"deploy_{config.name}")
     if args.json:
         print(json.dumps(report.to_summary_dict(registry.snapshot()), indent=2))
         return 0
@@ -375,6 +443,8 @@ def cmd_deploy(args) -> int:
             print(f"  {line}")
     if args.trace:
         print(f"trace written to {args.trace}")
+    if args.profile:
+        print(f"profile written to {args.profile}")
     return 0
 
 
@@ -482,16 +552,63 @@ def cmd_bench_diff(args) -> int:
     return 1 if failed else 0
 
 
+#: Call-path-profiled workloads: name -> (deployment SoCs, default frames).
+PROFILE_WORKLOADS = {
+    "fig4_wami_runtime": (("soc_x", "soc_y", "soc_z"), 8),
+    "fig4_smoke": (("soc_y",), 2),
+}
+
+
+def _cmd_profile_workload(args) -> int:
+    """Run one Fig. 4 workload under the hierarchical profiler."""
+    soc_names, default_frames = PROFILE_WORKLOADS[args.target]
+    frames = args.frames if args.frames else default_frames
+    profiler = Profiler()
+    platform = api.platform(instrumentation=Instrumentation(profiler=profiler))
+    socs = wami_deployment_socs()
+    for name in soc_names:
+        api.deploy(socs[name], frames=frames, platform=platform)
+    document = profile_document(profiler, args.target)
+    json_path, collapsed_path = write_profile(args.out, args.target, document)
+    if args.json:
+        print(profile_json(document))
+        return 0
+    total = document["total_host_s"]
+    self_total = self_host_total(document)
+    print(f"{args.target}: {len(soc_names)} deployment(s) x {frames} frames")
+    print(
+        f"  host time      : {total * 1000:.1f} ms "
+        f"(simulated {document['total_sim_s']:.1f} s)"
+    )
+    shares = self_time_shares(document)
+    top = sorted(shares.items(), key=lambda kv: (-kv[1], kv[0]))[: args.top]
+    print(f"  top {len(top)} hot paths by host self-time share:")
+    for path, share in top:
+        print(f"    {share:6.1%}  {path}")
+    drift = abs(self_total - total) / total if total else 0.0
+    print(
+        f"  reconciliation : self-time sum {self_total * 1000:.1f} ms vs "
+        f"root inclusive {total * 1000:.1f} ms ({drift:.4%} drift)"
+    )
+    print(f"  profile        : {json_path}")
+    print(f"  flamegraph     : {collapsed_path} (collapsed stacks)")
+    return 0
+
+
 def cmd_profile(args) -> int:
+    if args.target in PROFILE_WORKLOADS:
+        return _cmd_profile_workload(args)
     try:
-        stage = WamiStage[args.stage.upper()]
+        stage = WamiStage[args.target.upper()]
     except KeyError:
         try:
-            stage = WamiStage.from_index(int(args.stage))
+            stage = WamiStage.from_index(int(args.target))
         except (ValueError, PrEspError):
             raise PrEspError(
-                f"unknown stage {args.stage!r}; use a name "
-                f"({', '.join(s.kernel_name for s in WamiStage)}) or index 1..12"
+                f"unknown profile target {args.target!r}; use a workload "
+                f"({', '.join(sorted(PROFILE_WORKLOADS))}), a WAMI stage name "
+                f"({', '.join(s.kernel_name for s in WamiStage)}), or an "
+                "index 1..12"
             ) from None
     profile = api.platform().profile_wami(stage)
     print(f"stage {stage.value}: {stage.kernel_name}")
@@ -500,6 +617,45 @@ def cmd_profile(args) -> int:
     print(f"  partial bits.   : {profile.partial_bitstream_kib:.0f} KB (compressed)")
     print(f"  region          : {profile.region_kluts:.1f} kLUTs")
     return 0
+
+
+def cmd_profile_diff(args) -> int:
+    if args.update:
+        profiles = find_profiles(args.results_dir)
+        if not profiles:
+            print(
+                f"error: no {args.results_dir}/PROFILE_*.json profiles to seed "
+                "baselines from (run `repro profile <workload>` first)",
+                file=sys.stderr,
+            )
+            return 1
+        for experiment, path in sorted(profiles.items()):
+            baseline = baseline_from_profile(
+                load_profile(path),
+                band=args.band,
+                hotspot_threshold=args.hotspot_threshold,
+                min_share=args.min_share,
+            )
+            written = write_profile_baseline(args.baselines_dir, baseline)
+            print(f"seeded {written} ({len(baseline.paths)} hot paths)")
+        return 0
+    if not find_profile_baselines(args.baselines_dir):
+        print(
+            f"error: no profile baselines under {args.baselines_dir} "
+            "(seed them with: repro profile-diff --update)",
+            file=sys.stderr,
+        )
+        return 1
+    results = compare_profile_directories(args.results_dir, args.baselines_dir)
+    for result in results:
+        for line in result.summary_lines():
+            print(line)
+    failed = [r for r in results if not r.ok]
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} profiles in band"
+        + (f", {len(failed)} FAILED" if failed else "")
+    )
+    return 1 if failed else 0
 
 
 def cmd_check(args) -> int:
@@ -638,6 +794,14 @@ def build_parser() -> argparse.ArgumentParser:
             "synthesis:synth_rt0:3; repeatable"
         ),
     )
+    build.add_argument(
+        "--profile",
+        metavar="PATH",
+        help=(
+            "write a call-path profile of the build to PATH (JSON tree "
+            "plus a sibling .collapsed flamegraph input)"
+        ),
+    )
     _add_cache_options(build)
     build.set_defaults(func=cmd_build)
 
@@ -688,6 +852,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the deployment report plus metrics as JSON",
+    )
+    deploy.add_argument(
+        "--profile",
+        metavar="PATH",
+        help=(
+            "write a call-path profile of the deployment to PATH (JSON "
+            "tree plus a sibling .collapsed flamegraph input)"
+        ),
     )
     _add_runtime_fault_options(deploy)
     deploy.set_defaults(func=cmd_deploy)
@@ -791,9 +963,100 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_diff.set_defaults(func=cmd_bench_diff)
 
-    profile = sub.add_parser("profile", help="Fig. 3-style accelerator profile")
-    profile.add_argument("stage", help="WAMI stage name or index (1..12)")
+    profile = sub.add_parser(
+        "profile",
+        help="call-path profile of a workload, or a Fig. 3 accelerator profile",
+        description=(
+            "With a workload target (fig4_wami_runtime, fig4_smoke) run the "
+            "Fig. 4 deployment under the deterministic hierarchical profiler "
+            "and write PROFILE_<target>.json plus <target>.collapsed "
+            "flamegraph input; with a WAMI stage name or index print the "
+            "Fig. 3-style accelerator profile."
+        ),
+    )
+    profile.add_argument(
+        "target",
+        help=(
+            "workload (fig4_wami_runtime, fig4_smoke), WAMI stage name, or "
+            "stage index 1..12"
+        ),
+    )
+    profile.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        metavar="N",
+        help="frames per deployment (default: workload-specific)",
+    )
+    profile.add_argument(
+        "--out",
+        default="benchmarks/results",
+        metavar="DIR",
+        help="directory the profile and collapsed stacks are written into",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="hot paths to show in the text report",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="print the profile document instead of the text report",
+    )
     profile.set_defaults(func=cmd_profile)
+
+    profile_diff = sub.add_parser(
+        "profile-diff",
+        help="compare PROFILE_*.json hot paths against committed baselines",
+        description=(
+            "Diff the produced call-path profiles against the committed "
+            "hot-path baselines: a baselined path whose host self-time share "
+            "drifts beyond its band, a new hotspot above the threshold, or a "
+            "missing profile exits 1."
+        ),
+    )
+    profile_diff.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        metavar="PATH",
+        help="directory `repro profile` wrote PROFILE_*.json into",
+    )
+    profile_diff.add_argument(
+        "--baselines-dir",
+        default="benchmarks/baselines/profiles",
+        metavar="PATH",
+        help="directory of committed profile baseline files",
+    )
+    profile_diff.add_argument(
+        "--update",
+        action="store_true",
+        help="seed/overwrite baselines from the current profiles instead",
+    )
+    profile_diff.add_argument(
+        "--band",
+        type=float,
+        default=DEFAULT_BAND,
+        metavar="R",
+        help="absolute band on each pinned path's self-time share",
+    )
+    profile_diff.add_argument(
+        "--hotspot-threshold",
+        type=float,
+        default=DEFAULT_HOTSPOT_THRESHOLD,
+        metavar="R",
+        help="share above which an unbaselined path fails as a new hotspot",
+    )
+    profile_diff.add_argument(
+        "--min-share",
+        type=float,
+        default=DEFAULT_MIN_SHARE,
+        metavar="R",
+        help="minimum share for a path to be pinned when seeding",
+    )
+    profile_diff.set_defaults(func=cmd_profile_diff)
 
     check = sub.add_parser("check", help="advisory design-rule check")
     check.add_argument("config", help="design name or esp_config path")

@@ -29,6 +29,7 @@ from repro.obs.events import EventBus, NULL_EVENTS
 from repro.obs.health import HealthMonitor, HealthReport
 from repro.obs.instrumentation import OFF, Instrumentation
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.api import DprUserApi
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
@@ -195,8 +196,18 @@ class PrEspPlatform:
             model=model, compress_bitstreams=compress_bitstreams
         )
         self.cache = self.options.cache
-        self.batch = BatchBuilder(
-            flow=self.flow, cache=self.cache, jobs=self.options.jobs
+        self.batch = self._make_batch(self.options.jobs)
+
+    def _make_batch(self, jobs: int) -> BatchBuilder:
+        """A build service sharing the platform's flow/cache/obs bundle."""
+        return BatchBuilder(
+            flow=self.flow,
+            cache=self.cache,
+            jobs=jobs,
+            metrics=self.instrumentation.metrics,
+            events=self.instrumentation.events,
+            tracer=self.instrumentation.tracer,
+            profiler=self.instrumentation.profiler,
         )
 
     # ------------------------------------------------------------------
@@ -240,6 +251,7 @@ class PrEspPlatform:
             strategy_override=strategy_override,
             tracer=tracer,
             events=self.instrumentation.events,
+            profiler=self.instrumentation.profiler,
             checkpoint_dir=self.options.checkpoint_dir,
             resume=self.options.resume if resume is None else resume,
         )
@@ -260,7 +272,7 @@ class PrEspPlatform:
         """
         batch = self.batch
         if jobs is not None and jobs != batch.jobs:
-            batch = BatchBuilder(flow=self.flow, cache=self.cache, jobs=jobs)
+            batch = self._make_batch(jobs)
         return batch.build_many(requests)
 
     def compare_with_monolithic(
@@ -337,7 +349,12 @@ class PrEspPlatform:
         bus receives the manager's lifecycle events (reconfig
         requested/started/completed/failed, driver swaps, lock waits)
         — subscribe a :class:`~repro.obs.health.HealthMonitor` for
-        live watchdogs. ``prc_setup`` is called with the constructed
+        live watchdogs; a live profiler gets a ``deploy.<soc>``
+        call-path subtree (per-event-type DES dispatch frames charged
+        the clock advances they cause, per-callback-site frames, NoC
+        transfer windows, and the runtime recovery ladder as
+        root-anchored ``runtime.*`` leaves). ``prc_setup`` is called
+        with the constructed
         PRC before the run starts — the fault-injection hook
         (``PrcDevice.inject_failure``).
 
@@ -373,9 +390,39 @@ class PrEspPlatform:
         inst = (
             instrumentation if instrumentation is not None else self.instrumentation
         )
+        profiler = inst.profiler
+        if not profiler.enabled:
+            return self._deploy_wami(
+                config, flow_result, frames, app, power_gating, pipelined,
+                prc_setup, inst, runtime_options,
+            )
+        # One deployment = one profile subtree: the DES dispatch, NoC
+        # and runtime-recovery attributions all nest under it.
+        profiler.begin(f"deploy.{config.name}")
+        try:
+            return self._deploy_wami(
+                config, flow_result, frames, app, power_gating, pipelined,
+                prc_setup, inst, runtime_options,
+            )
+        finally:
+            profiler.end()
+
+    def _deploy_wami(
+        self,
+        config: SocConfig,
+        flow_result: Optional[FlowResult],
+        frames: int,
+        app: Optional[WamiApplication],
+        power_gating: bool,
+        pipelined: bool,
+        prc_setup: Optional[Callable[[PrcDevice], None]],
+        inst: Instrumentation,
+        runtime_options: Optional[RuntimeFaultOptions],
+    ) -> WamiRunReport:
         tracer, metrics, events = inst.tracer, inst.metrics, inst.events
+        profiler = inst.profiler
         if flow_result is None:
-            flow_result = self.flow.build(config)
+            flow_result = self.flow.build(config, profiler=profiler)
         if flow_result.config.name != config.name:
             raise ConfigurationError(
                 "flow result belongs to a different SoC "
@@ -392,6 +439,7 @@ class PrEspPlatform:
         sim = Simulator()
         tracer.use_clock(lambda: sim.now)
         events.use_clock(lambda: sim.now)
+        sim.attach_observability(profiler=profiler, tracer=tracer)
         mesh = Mesh(
             rows=config.rows, cols=config.cols, clock_hz=DEPLOYMENT_CLOCK_HZ
         )
@@ -408,6 +456,7 @@ class PrEspPlatform:
             clock_hz=DEPLOYMENT_CLOCK_HZ,
             tracer=tracer,
             metrics=metrics,
+            profiler=profiler,
             faults=faults,
             **prc_kwargs,
         )
@@ -430,6 +479,7 @@ class PrEspPlatform:
             tracer=tracer,
             metrics=metrics,
             events=events,
+            profiler=profiler,
             recovery=ropts.recovery,
         )
         for tile in config.reconfigurable_tiles:
@@ -485,6 +535,7 @@ class PrEspPlatform:
         bus: Optional[EventBus] = None,
         metrics=NULL_METRICS,
         tracer=NULL_TRACER,
+        profiler=NULL_PROFILER,
         runtime_options: Optional[RuntimeFaultOptions] = None,
     ) -> Tuple[WamiRunReport, HealthReport, EventBus]:
         """Deploy WAMI with a health monitor attached (``repro monitor``).
@@ -531,7 +582,7 @@ class PrEspPlatform:
             flow_result=flow_result,
             frames=frames,
             instrumentation=Instrumentation(
-                tracer=tracer, metrics=metrics, events=bus
+                tracer=tracer, metrics=metrics, events=bus, profiler=profiler
             ),
             runtime_options=ropts,
         )

@@ -13,6 +13,15 @@ error capture: one failed build never sinks the batch.
 On POSIX the pool uses the ``fork`` start method explicitly — workers
 inherit the warm interpreter instead of re-importing numpy/scipy, so
 the pool pays for itself even on sub-second builds.
+
+Observability crosses the pool boundary: when the batch's profiler or
+tracer is live, each work item carries a picklable
+:class:`~repro.obs.profiler.ProfileCapsule`; the worker activates
+fresh hooks, runs the build against them and ships the raw profile
+tree and span records back with the outcome. The parent grafts each
+payload under the request's label — tagged with the worker process
+name — so a pooled sweep produces one coherent profile and one merged
+trace instead of per-fork blind spots.
 """
 
 from __future__ import annotations
@@ -29,9 +38,11 @@ from repro.flow.cache import FlowCache, flow_cache_key
 from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.obs import events as ev
 from repro.obs.events import NULL_EVENTS
+from repro.obs.export import merge_span_records, span_records
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.profiler import NULL_PROFILER, ProfileCapsule
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.soc.config import SocConfig
 
 logger = get_logger("flow.batch")
@@ -88,26 +99,49 @@ class BuildOutcome:
 
 
 def _execute(
-    flow: DprFlow, request: BuildRequest
-) -> Tuple[Optional[FlowResult], Optional[BuildError], float]:
-    """Run one build, capturing any failure; returns (result, error, s)."""
+    flow: DprFlow,
+    request: BuildRequest,
+    capsule: Optional[ProfileCapsule] = None,
+) -> Tuple[Optional[FlowResult], Optional[BuildError], float, Optional[Dict]]:
+    """Run one build, capturing any failure.
+
+    Returns ``(result, error, seconds, obs)``. ``obs`` is the worker's
+    observability payload when the capsule activated any hook — the raw
+    profile tree, the recorded span dicts and the worker process name
+    the parent tags the merge with — or None when observability is off.
+    Flow frames balance on failure too, so the payload always exports.
+    """
+    profiler = capsule.activate() if capsule is not None else NULL_PROFILER
+    tracer = (
+        Tracer(time_unit="min")
+        if capsule is not None and capsule.trace
+        else NULL_TRACER
+    )
     start = time.perf_counter()
     try:
         result = flow.build(
             request.config,
             strategy_override=request.strategy_override,
             semi_tau=request.semi_tau,
+            tracer=tracer,
+            profiler=profiler,
         )
-        return result, None, time.perf_counter() - start
-    except Exception as error:  # noqa: BLE001 - the capture is the point
-        return (
-            None,
-            BuildError(kind=type(error).__name__, message=str(error)),
-            time.perf_counter() - start,
-        )
+        error = None
+    except Exception as exc:  # noqa: BLE001 - the capture is the point
+        result = None
+        error = BuildError(kind=type(exc).__name__, message=str(exc))
+    elapsed = time.perf_counter() - start
+    obs: Optional[Dict] = None
+    if profiler.enabled or tracer.enabled:
+        obs = {
+            "worker": multiprocessing.current_process().name,
+            "profile": profiler.payload() if profiler.enabled else None,
+            "spans": span_records(tracer) if tracer.enabled else None,
+        }
+    return result, error, elapsed, obs
 
 
-def _pool_execute(payload: Tuple[DprFlow, BuildRequest]):
+def _pool_execute(payload: Tuple[DprFlow, BuildRequest, Optional[ProfileCapsule]]):
     """Module-level pool entry point (must be picklable by reference)."""
     return _execute(*payload)
 
@@ -127,22 +161,25 @@ def cached_build(
     semi_tau: int = 2,
     tracer=NULL_TRACER,
     events=NULL_EVENTS,
+    profiler=NULL_PROFILER,
     checkpoint_dir=None,
     resume: bool = False,
 ) -> Tuple[FlowResult, bool]:
     """One build through the cache; returns (result, was_cached).
 
-    On a hit the flow's trace projection is replayed onto ``tracer``,
-    so a cached build traces byte-identically to a fresh one.
-    ``events`` receives the hit/miss decision plus the flow's stage
-    events for fresh builds. ``checkpoint_dir``/``resume`` pass through
-    to :meth:`DprFlow.build` on misses — a cache hit supersedes any
+    On a hit the flow's trace and profile projections are replayed onto
+    ``tracer``/``profiler``, so a cached build observes identically to
+    a fresh one (modelled time and call paths; the replay costs near
+    zero host time, which is the point of the cache). ``events``
+    receives the hit/miss decision plus the flow's stage events for
+    fresh builds. ``checkpoint_dir``/``resume`` pass through to
+    :meth:`DprFlow.build` on misses — a cache hit supersedes any
     checkpoint (both are keyed by the same content digest).
     """
     if cache is None:
         return flow.build(
             config, strategy_override=strategy_override, semi_tau=semi_tau,
-            tracer=tracer, events=events,
+            tracer=tracer, events=events, profiler=profiler,
             checkpoint_dir=checkpoint_dir, resume=resume,
         ), False
     key = flow_cache_key(flow, config, strategy_override, semi_tau)
@@ -151,11 +188,13 @@ def cached_build(
         events.emit(ev.CACHE_HIT, source=config.name, key=key)
         if tracer.enabled:
             flow.record_trace(result, tracer)
+        if profiler.enabled:
+            flow.record_profile(result, profiler)
         return result, True
     events.emit(ev.CACHE_MISS, source=config.name, key=key)
     result = flow.build(
         config, strategy_override=strategy_override, semi_tau=semi_tau, tracer=tracer,
-        events=events, checkpoint_dir=checkpoint_dir, resume=resume,
+        events=events, profiler=profiler, checkpoint_dir=checkpoint_dir, resume=resume,
     )
     cache.put(key, result)
     return result, False
@@ -171,6 +210,8 @@ class BatchBuilder:
         jobs: int = 1,
         metrics=NULL_METRICS,
         events=NULL_EVENTS,
+        tracer=NULL_TRACER,
+        profiler=NULL_PROFILER,
     ) -> None:
         if jobs <= 0:
             raise FlowError(f"batch needs at least one job slot, got {jobs}")
@@ -178,6 +219,8 @@ class BatchBuilder:
         self.cache = cache
         self.jobs = jobs
         self.events = events
+        self.tracer = tracer
+        self.profiler = profiler
         self._requests_counter = metrics.counter(
             "flow_batch_requests_total", "batch build requests by status"
         )
@@ -191,8 +234,21 @@ class BatchBuilder:
 
         Cached requests never reach the pool; a request whose build
         raises is reported as a per-entry :class:`BuildError` while the
-        rest of the batch completes normally.
+        rest of the batch completes normally. With a live profiler the
+        whole batch runs under a ``build_many`` frame: cache hits
+        replay the flow's profile projection, executed builds come
+        back with worker-side trees merged in deterministic request
+        order under each request's label.
         """
+        if not self.profiler.enabled:
+            return self._build_many(requests)
+        self.profiler.begin("build_many")
+        try:
+            return self._build_many(requests)
+        finally:
+            self.profiler.end()
+
+    def _build_many(self, requests: Sequence[BuildRequest]) -> List[BuildOutcome]:
         requests = list(requests)
         outcomes: List[Optional[BuildOutcome]] = [None] * len(requests)
         keys: Dict[int, str] = {}
@@ -219,13 +275,26 @@ class BatchBuilder:
                     )
                     self._requests_counter.inc(status="cache_hit")
                     self.events.emit(ev.CACHE_HIT, source=request.label, key=key)
+                    if self.profiler.enabled:
+                        # Replay the cached build's profile projection
+                        # under the same label path a fresh build gets.
+                        self.profiler.begin(request.label)
+                        try:
+                            self.flow.record_profile(result, self.profiler)
+                        finally:
+                            self.profiler.end()
+                    if self.tracer.enabled:
+                        self.flow.record_trace(result, self.tracer)
                     continue
                 self.events.emit(ev.CACHE_MISS, source=request.label, key=key)
             pending.append(index)
 
         if pending:
             executed = self._execute_pending(requests, pending)
-            for index, (result, error, elapsed) in executed.items():
+            # Merge in pending (= input) order, not completion order, so
+            # the merged tree is deterministic across pool schedules.
+            for index in pending:
+                result, error, elapsed, obs = executed[index]
                 outcomes[index] = BuildOutcome(
                     request=requests[index],
                     result=result,
@@ -234,6 +303,8 @@ class BatchBuilder:
                     elapsed_s=elapsed,
                 )
                 self._build_seconds.observe(elapsed)
+                if obs is not None:
+                    self._merge_observability(requests[index].label, obs)
                 if error is None:
                     self._requests_counter.inc(status="built")
                     if self.cache is not None and result is not None:
@@ -249,23 +320,48 @@ class BatchBuilder:
         return done
 
     # ------------------------------------------------------------------
+    def _capsule(self, request: BuildRequest) -> Optional[ProfileCapsule]:
+        """The observability context one work item carries, or None."""
+        profile = self.profiler.enabled
+        trace = self.tracer.enabled
+        if not (profile or trace):
+            return None
+        return ProfileCapsule(path=(request.label,), profile=profile, trace=trace)
+
+    def _merge_observability(self, label: str, obs: Dict) -> None:
+        """Graft one worker payload back under the request's label."""
+        worker = obs.get("worker")
+        if self.profiler.enabled and obs.get("profile"):
+            self.profiler.merge_tree(obs["profile"], at=(label,), tag=worker)
+        if self.tracer.enabled and obs.get("spans"):
+            merge_span_records(self.tracer, obs["spans"], worker=worker)
+
     def _execute_pending(
         self, requests: Sequence[BuildRequest], pending: Sequence[int]
-    ) -> Dict[int, Tuple[Optional[FlowResult], Optional[BuildError], float]]:
+    ) -> Dict[int, Tuple[Optional[FlowResult], Optional[BuildError], float, Optional[Dict]]]:
         if self.jobs == 1 or len(pending) == 1:
-            return {index: _execute(self.flow, requests[index]) for index in pending}
+            return {
+                index: _execute(
+                    self.flow, requests[index], self._capsule(requests[index])
+                )
+                for index in pending
+            }
         workers = min(self.jobs, len(pending))
         logger.info(
             "dispatching %d builds over %d worker processes", len(pending), workers
         )
         executed: Dict[
-            int, Tuple[Optional[FlowResult], Optional[BuildError], float]
+            int,
+            Tuple[Optional[FlowResult], Optional[BuildError], float, Optional[Dict]],
         ] = {}
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=_pool_context()
         ) as pool:
             futures = {
-                index: pool.submit(_pool_execute, (self.flow, requests[index]))
+                index: pool.submit(
+                    _pool_execute,
+                    (self.flow, requests[index], self._capsule(requests[index])),
+                )
                 for index in pending
             }
             for index, future in futures.items():
@@ -276,5 +372,6 @@ class BatchBuilder:
                         None,
                         BuildError(kind=type(error).__name__, message=str(error)),
                         0.0,
+                        None,
                     )
         return executed

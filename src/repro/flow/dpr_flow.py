@@ -44,6 +44,7 @@ from repro.fabric.device import Device
 from repro.obs import events as ev
 from repro.obs.events import NULL_EVENTS
 from repro.obs.logconfig import get_logger
+from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.floorplan.constraints import validate_floorplan
 from repro.floorplan.flora import Floorplan, FloraFloorplanner
@@ -252,6 +253,7 @@ class DprFlow:
         semi_tau: int = 2,
         tracer=NULL_TRACER,
         events=NULL_EVENTS,
+        profiler=NULL_PROFILER,
         checkpoint_dir: Union[None, str, Path, FlowCheckpointer] = None,
         resume: bool = False,
     ) -> FlowResult:
@@ -263,7 +265,11 @@ class DprFlow:
         one span per Fig. 1 stage plus one per scheduled tool job;
         ``events`` receives a start/finish pair per stage, stamped on
         the same modelled-minute clock, plus retry/failure/degradation
-        events when the fault model bites.
+        events when the fault model bites. ``profiler`` gets a
+        ``build.<soc>`` frame over the whole flow, a ``flow.<stage>``
+        frame per Fig. 1 stage (charged the stage's modelled minutes as
+        simulated seconds) and a ``vivado.<job>`` frame per tool run
+        (charged the tool's CPU minutes, burned attempts included).
 
         With ``checkpoint_dir`` set, every completed stage (and tool
         job) is persisted under the build's content key; ``resume=True``
@@ -271,6 +277,31 @@ class DprFlow:
         of re-running it. Without ``resume`` the directory is cleared
         first, so a fresh build never trusts stale state.
         """
+        if not profiler.enabled:
+            return self._build(
+                config, strategy_override, semi_tau, tracer, events,
+                NULL_PROFILER, checkpoint_dir, resume,
+            )
+        profiler.begin(f"build.{config.name}")
+        try:
+            return self._build(
+                config, strategy_override, semi_tau, tracer, events,
+                profiler, checkpoint_dir, resume,
+            )
+        finally:
+            profiler.end()
+
+    def _build(
+        self,
+        config: SocConfig,
+        strategy_override: Optional[ImplementationStrategy],
+        semi_tau: int,
+        tracer,
+        events,
+        profiler,
+        checkpoint_dir: Union[None, str, Path, FlowCheckpointer],
+        resume: bool,
+    ) -> FlowResult:
         from repro.flow.cache import flow_cache_key
 
         stages: List[StageTrace] = []
@@ -322,6 +353,9 @@ class DprFlow:
                     StageTrace(stage=name, wall_minutes=wall, detail=detail)
                 )
                 resumed.append(name)
+                profiler.record_leaf(
+                    (f"flow.{name}", "resumed"), sim_s=wall * 60.0
+                )
                 events.emit(
                     ev.FLOW_STAGE_RESUMED,
                     time=start + wall,
@@ -333,7 +367,14 @@ class DprFlow:
                 logger.info("build %s: resumed stage %s from checkpoint",
                             config.name, name)
                 return payload
-            payload, wall, detail = compute()
+            profiler.begin(f"flow.{name}")
+            try:
+                payload, wall, detail = compute()
+                # The stage's modelled CAD minutes are its simulated-
+                # time attribution (the flow clock runs in minutes).
+                profiler.add_sim(wall * 60.0)
+            finally:
+                profiler.end()
             add_stage(name, wall, detail)
             if ckpt is not None:
                 ckpt.save_stage(name, payload, wall, detail)
@@ -407,7 +448,7 @@ class DprFlow:
 
         # -- 3. parallel OoC synthesis ----------------------------------
         def compute_synthesis():
-            payload = self._synthesize(partition, planner, ckpt)
+            payload = self._synthesize(partition, planner, ckpt, profiler)
             makespan = payload["schedule"].makespan_minutes
             return (
                 payload,
@@ -518,6 +559,7 @@ class DprFlow:
                 planner,
                 ckpt,
                 dark_synth,
+                profiler,
             )
             return (
                 payload,
@@ -670,12 +712,42 @@ class DprFlow:
                     tiles=list(run_tiles.get(placed.job.name, ())),
                 )
 
+    def record_profile(self, result: FlowResult, profiler) -> None:
+        """Project a finished build onto the profiler (cache hits).
+
+        A cache hit costs no host time, but its modelled CAD minutes
+        still belong in the profile — otherwise a cached sweep would
+        report zero simulated flow time. The projection mirrors the
+        shape a fresh build produces (``build.<soc>`` → ``flow.<stage>``
+        → ``vivado.<job>``), marked with a ``cache_hit`` leaf.
+        """
+        if not profiler.enabled:
+            return
+        base = (f"build.{result.config.name}",)
+        profiler.record_leaf(base + ("cache_hit",))
+        for stage in result.stages:
+            profiler.record_leaf(
+                base + (f"flow.{stage.stage}",), sim_s=stage.wall_minutes * 60.0
+            )
+        for schedule, stage_name in (
+            (result.synth_schedule, "synthesis"),
+            (result.schedule, "implementation"),
+        ):
+            if schedule is None:
+                continue
+            for placed in schedule.jobs:
+                profiler.record_leaf(
+                    base + (f"flow.{stage_name}", f"vivado.{placed.job.name}"),
+                    sim_s=placed.job.cpu_minutes * 60.0,
+                )
+
     # ------------------------------------------------------------------
     def _synthesize(
         self,
         partition: DesignPartition,
         planner: FaultPlanner,
         ckpt: Optional[FlowCheckpointer],
+        profiler=NULL_PROFILER,
     ) -> Dict:
         """Run the static + per-tile OoC syntheses in parallel.
 
@@ -705,24 +777,34 @@ class DprFlow:
                     jobs.append(
                         ToolJob(name=job_name, cpu_minutes=cached["cpu_minutes"])
                     )
+                    profiler.record_leaf(
+                        (f"vivado.{job_name}", "resumed"),
+                        sim_s=cached["cpu_minutes"] * 60.0,
+                    )
                     return cached["netlist"], cached["failure"]
             tool = VivadoInstance(
                 job_name, self.model, planner=planner, stage="synthesis"
             )
             netlist = None
             failure = None
+            profiler.begin(f"vivado.{job_name}")
             try:
-                netlist = tool.synth_design(
-                    module, ooc=True, black_box_names=black_boxes
-                )
-            except CadFaultError as error:
-                failure = JobFailure(
-                    stage="synthesis",
-                    job=job_name,
-                    rp_names=tuple(rp_names),
-                    attempts=len(error.execution.attempts),
-                    minutes_burned=error.execution.total_minutes,
-                )
+                try:
+                    netlist = tool.synth_design(
+                        module, ooc=True, black_box_names=black_boxes
+                    )
+                except CadFaultError as error:
+                    failure = JobFailure(
+                        stage="synthesis",
+                        job=job_name,
+                        rp_names=tuple(rp_names),
+                        attempts=len(error.execution.attempts),
+                        minutes_burned=error.execution.total_minutes,
+                    )
+            finally:
+                # CPU minutes include burned (retried/failed) attempts.
+                profiler.add_sim(tool.cpu_minutes * 60.0)
+                profiler.end()
             execution = planner.executions.get(job_name)
             if execution is not None:
                 executions[job_name] = execution
@@ -815,6 +897,7 @@ class DprFlow:
         planner: FaultPlanner,
         ckpt: Optional[FlowCheckpointer],
         dark_synth: frozenset,
+        profiler=NULL_PROFILER,
     ) -> Dict:
         """Execute the implementation plan.
 
@@ -862,6 +945,10 @@ class DprFlow:
                 jobs.append(
                     ToolJob(name=run.name, cpu_minutes=cached["cpu_minutes"])
                 )
+                profiler.record_leaf(
+                    (f"vivado.{run.name}", "resumed"),
+                    sim_s=cached["cpu_minutes"] * 60.0,
+                )
             else:
                 tool = VivadoInstance(
                     run.name,
@@ -874,19 +961,26 @@ class DprFlow:
                 # The serial run implements the static design too; a
                 # permanent fault here aborts — no degraded SoC exists
                 # without its static logic.
-                tool.implement_full(
-                    static_netlist,
-                    rp_netlists,
-                    device,
-                    pblocks,
-                    demands,
-                    mode=ParMode.FULL_SERIAL,
-                )
-                record_execution(run.name)
-                run_bitstreams = [tool.write_full_bitstream(config.name, device)]
-                run_bitstreams += self._write_rp_bitstreams(
-                    tool, partition, floorplan, run.rp_names
-                )
+                profiler.begin(f"vivado.{run.name}")
+                try:
+                    tool.implement_full(
+                        static_netlist,
+                        rp_netlists,
+                        device,
+                        pblocks,
+                        demands,
+                        mode=ParMode.FULL_SERIAL,
+                    )
+                    record_execution(run.name)
+                    run_bitstreams = [
+                        tool.write_full_bitstream(config.name, device)
+                    ]
+                    run_bitstreams += self._write_rp_bitstreams(
+                        tool, partition, floorplan, run.rp_names
+                    )
+                finally:
+                    profiler.add_sim(tool.cpu_minutes * 60.0)
+                    profiler.end()
                 bitstreams += run_bitstreams
                 jobs.append(ToolJob(name=run.name, cpu_minutes=tool.cpu_minutes))
                 if ckpt is not None:
@@ -907,6 +1001,10 @@ class DprFlow:
                 jobs.append(
                     ToolJob(name="impl_static", cpu_minutes=static_minutes)
                 )
+                profiler.record_leaf(
+                    ("vivado.impl_static", "resumed"),
+                    sim_s=static_minutes * 60.0,
+                )
             else:
                 static_tool = VivadoInstance(
                     "impl_static",
@@ -917,15 +1015,20 @@ class DprFlow:
                 )
                 # A permanent fault on the static pre-route aborts: every
                 # in-context run depends on the locked static design.
-                static_routed = static_tool.implement_static(
-                    static_netlist, device, pblocks, demands
-                )
-                record_execution("impl_static")
-                # The static instance assembles and writes the full-device
-                # bitstream (with placeholder greyboxes).
-                full_bitstream = static_tool.write_full_bitstream(
-                    config.name, device
-                )
+                profiler.begin("vivado.impl_static")
+                try:
+                    static_routed = static_tool.implement_static(
+                        static_netlist, device, pblocks, demands
+                    )
+                    record_execution("impl_static")
+                    # The static instance assembles and writes the
+                    # full-device bitstream (with placeholder greyboxes).
+                    full_bitstream = static_tool.write_full_bitstream(
+                        config.name, device
+                    )
+                finally:
+                    profiler.add_sim(static_tool.cpu_minutes * 60.0)
+                    profiler.end()
                 bitstreams.append(full_bitstream)
                 static_minutes = static_tool.cpu_minutes
                 jobs.append(
@@ -956,6 +1059,10 @@ class DprFlow:
                             depends_on=("impl_static",),
                         )
                     )
+                    profiler.record_leaf(
+                        (f"vivado.{run.name}", "resumed"),
+                        sim_s=cached["cpu_minutes"] * 60.0,
+                    )
                     continue
                 tool = VivadoInstance(
                     run.name,
@@ -968,25 +1075,31 @@ class DprFlow:
                 targets = [pblock_by_rp[name] for name in run.rp_names]
                 failure = None
                 run_bitstreams: List[Bitstream] = []
+                profiler.begin(f"vivado.{run.name}")
                 try:
-                    tool.implement_in_context(static_routed, group, targets)
-                except CadFaultError as error:
-                    # The whole group goes dark; the burned minutes stay
-                    # on the schedule so the makespan reflects the loss.
-                    failure = JobFailure(
-                        stage="implementation",
-                        job=run.name,
-                        rp_names=run.rp_names,
-                        attempts=len(error.execution.attempts),
-                        minutes_burned=error.execution.total_minutes,
-                    )
-                    failures.append(failure)
-                else:
-                    run_bitstreams = self._write_rp_bitstreams(
-                        tool, partition, floorplan, run.rp_names
-                    )
-                    bitstreams += run_bitstreams
-                    omegas[run.name] = tool.cpu_minutes
+                    try:
+                        tool.implement_in_context(static_routed, group, targets)
+                    except CadFaultError as error:
+                        # The whole group goes dark; the burned minutes
+                        # stay on the schedule so the makespan reflects
+                        # the loss.
+                        failure = JobFailure(
+                            stage="implementation",
+                            job=run.name,
+                            rp_names=run.rp_names,
+                            attempts=len(error.execution.attempts),
+                            minutes_burned=error.execution.total_minutes,
+                        )
+                        failures.append(failure)
+                    else:
+                        run_bitstreams = self._write_rp_bitstreams(
+                            tool, partition, floorplan, run.rp_names
+                        )
+                        bitstreams += run_bitstreams
+                        omegas[run.name] = tool.cpu_minutes
+                finally:
+                    profiler.add_sim(tool.cpu_minutes * 60.0)
+                    profiler.end()
                 record_execution(run.name)
                 jobs.append(
                     ToolJob(
@@ -1018,13 +1131,18 @@ class DprFlow:
                 self.model,
                 compress_bitstreams=self.compress_bitstreams,
             )
-            for rp_name in dark_all:
-                assignment = floorplan.assignment_for(rp_name)
-                bitstreams.append(
-                    recovery.write_blanking_bitstream(
-                        rp_name, assignment.provided
+            profiler.begin("vivado.impl_recovery")
+            try:
+                for rp_name in dark_all:
+                    assignment = floorplan.assignment_for(rp_name)
+                    bitstreams.append(
+                        recovery.write_blanking_bitstream(
+                            rp_name, assignment.provided
+                        )
                     )
-                )
+            finally:
+                profiler.add_sim(recovery.cpu_minutes * 60.0)
+                profiler.end()
             depends = (
                 ("impl_static",)
                 if plan.strategy is not ImplementationStrategy.SERIAL

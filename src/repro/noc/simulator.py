@@ -20,6 +20,7 @@ from repro.noc.packet import Packet
 from repro.obs import events as ev
 from repro.obs.events import NULL_EVENTS
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.profiler import NULL_PROFILER
 
 #: Default congestion watermark: a packet stalling this many cycles on
 #: busy links is reported on the event bus. Tuned above the router
@@ -55,6 +56,7 @@ class NocSimulator:
         mesh: Mesh,
         metrics=NULL_METRICS,
         events=NULL_EVENTS,
+        profiler=NULL_PROFILER,
         congestion_watermark_cycles: int = DEFAULT_CONGESTION_WATERMARK_CYCLES,
     ) -> None:
         if congestion_watermark_cycles <= 0:
@@ -62,6 +64,7 @@ class NocSimulator:
         self.mesh = mesh
         self.metrics = metrics
         self.events = events
+        self.profiler = profiler
         self.congestion_watermark_cycles = congestion_watermark_cycles
         self._link_free: Dict[LinkKey, int] = {}
         self._pending: List[Tuple[int, int, Packet]] = []  # (inject_cycle, seq, pkt)
@@ -92,14 +95,32 @@ class NocSimulator:
         latency = self.metrics.histogram(
             "noc.latency_cycles", "end-to-end packet latency"
         )
-        for inject_cycle, _seq, packet in self._pending:
-            record = self._route(packet, inject_cycle)
-            self.records.append(record)
-            plane = str(packet.plane)
-            packets.inc(plane=plane)
-            flits.inc(packet.size_flits, plane=plane)
-            payload.inc(packet.payload_bytes, plane=plane)
-            latency.observe(record.latency_cycles, plane=plane)
+        profiler = self.profiler if self.profiler.enabled else None
+        cycle_s = 1.0 / self.mesh.clock_hz
+        if profiler is not None:
+            profiler.begin("noc.run")
+        try:
+            for inject_cycle, _seq, packet in self._pending:
+                if profiler is None:
+                    record = self._route(packet, inject_cycle)
+                else:
+                    # Per-packet flit-advancement frame; the packet's
+                    # end-to-end latency is its simulated attribution.
+                    profiler.begin("noc.route")
+                    try:
+                        record = self._route(packet, inject_cycle)
+                        profiler.add_sim(record.latency_cycles * cycle_s)
+                    finally:
+                        profiler.end()
+                self.records.append(record)
+                plane = str(packet.plane)
+                packets.inc(plane=plane)
+                flits.inc(packet.size_flits, plane=plane)
+                payload.inc(packet.payload_bytes, plane=plane)
+                latency.observe(record.latency_cycles, plane=plane)
+        finally:
+            if profiler is not None:
+                profiler.end()
         self._pending.clear()
         self.records.sort(key=lambda r: r.delivered_at)
         return list(self.records)

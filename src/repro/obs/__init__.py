@@ -7,7 +7,11 @@ telemetry substrate. A :class:`Tracer` collects spans against an
 injected clock, a :class:`MetricsRegistry` collects labeled
 counters/gauges/histograms, and the exporters render Chrome
 trace-event JSON (Perfetto / ``chrome://tracing``), JSONL span logs
-and flat metrics dicts. ``NULL_TRACER``/``NULL_METRICS`` are the
+and flat metrics dicts. A :class:`Profiler` collects a deterministic
+call-path tree (host self time + attributed simulated time) exported
+as JSON documents and collapsed flamegraph stacks, with profdiff
+gating hot-path share drift against committed baselines.
+``NULL_TRACER``/``NULL_METRICS``/``NULL_PROFILER`` are the
 zero-overhead disabled paths instrumented code defaults to.
 """
 
@@ -24,6 +28,7 @@ from repro.obs.export import (
     chrome_trace_events,
     chrome_trace_json,
     format_metric_value,
+    merge_span_records,
     metrics_dict,
     metrics_lines,
     span_records,
@@ -70,6 +75,35 @@ from repro.obs.perfbase import (
     write_baseline,
     write_summary,
 )
+from repro.obs.profdiff import (
+    ProfDiffError,
+    ProfileBaseline,
+    ProfileComparisonResult,
+    ShareDelta,
+    baseline_from_profile,
+    compare_profile,
+    compare_profile_directories,
+    find_profile_baselines,
+    load_profile_baseline,
+    self_time_shares,
+    write_profile_baseline,
+)
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    ProfileCapsule,
+    ProfileNode,
+    Profiler,
+    ProfilerError,
+    canonical_tree,
+    collapsed_stacks,
+    find_profiles,
+    load_profile,
+    profile_document,
+    profile_json,
+    self_host_total,
+    write_profile,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -99,37 +133,63 @@ __all__ = [
     "MetricsRegistry",
     "NULL_EVENTS",
     "NULL_METRICS",
+    "NULL_PROFILER",
     "NULL_TRACER",
     "NullEventBus",
     "NullMetricsRegistry",
+    "NullProfiler",
     "NullTracer",
     "PerfBaseError",
+    "ProfDiffError",
+    "ProfileBaseline",
+    "ProfileCapsule",
+    "ProfileComparisonResult",
+    "ProfileNode",
+    "Profiler",
+    "ProfilerError",
+    "ShareDelta",
     "Span",
     "Tracer",
     "TracingError",
     "Verdict",
     "WindowStats",
+    "baseline_from_profile",
     "baseline_from_summary",
     "bridge_timeline",
     "bucket_quantile",
+    "canonical_tree",
     "chrome_trace_dict",
     "chrome_trace_events",
     "chrome_trace_json",
+    "collapsed_stacks",
     "compare",
     "compare_directories",
+    "compare_profile",
+    "compare_profile_directories",
     "configure_logging",
+    "find_profile_baselines",
+    "find_profiles",
     "format_metric_value",
     "get_logger",
     "level_from_verbosity",
     "load_baseline",
+    "load_profile",
+    "load_profile_baseline",
     "load_summary",
+    "merge_span_records",
     "metrics_dict",
     "metrics_lines",
+    "profile_document",
+    "profile_json",
     "publish_runtime_stats",
+    "self_host_total",
+    "self_time_shares",
     "span_records",
     "spans_jsonl",
     "write_baseline",
     "write_chrome_trace",
+    "write_profile",
+    "write_profile_baseline",
     "write_spans_jsonl",
     "write_summary",
 ]

@@ -5,7 +5,8 @@ object-identity leakage) so that two runs of the same seeded workload
 export byte-identical files:
 
 * **Chrome trace-event JSON** — loadable in Perfetto or
-  ``chrome://tracing``. Spans become complete (``"ph": "X"``) events;
+  ``chrome://tracing``. Spans become complete (``"ph": "X"``) events,
+  instant markers (cancelled DES events) become ``"ph": "I"`` events;
   tracks (``"process/thread"``) map onto pid/tid pairs announced with
   ``process_name``/``thread_name`` metadata events.
 * **JSONL** — one span object per line, for ad-hoc ``jq`` analysis.
@@ -83,6 +84,22 @@ def chrome_trace_events(tracer: AnyTracer) -> List[Dict]:
         args["span_id"] = span.span_id
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
+        if span.instant:
+            # Zero-duration markers (e.g. cancelled DES events) export
+            # as thread-scoped instants, never as open/dangling spans.
+            events.append(
+                {
+                    "ph": "I",
+                    "s": "t",
+                    "name": span.name,
+                    "cat": span.category or "instant",
+                    "ts": span.start * scale,
+                    "pid": processes[proc],
+                    "tid": threads[(proc, thread)],
+                    "args": args,
+                }
+            )
+            continue
         events.append(
             {
                 "ph": "X",
@@ -98,24 +115,35 @@ def chrome_trace_events(tracer: AnyTracer) -> List[Dict]:
     return events
 
 
-def chrome_trace_dict(tracer: AnyTracer) -> Dict:
-    """The full Chrome trace-event document."""
+def chrome_trace_dict(tracer: AnyTracer, profile: Union[Dict, None] = None) -> Dict:
+    """The full Chrome trace-event document.
+
+    ``profile`` (a profile document from
+    :func:`repro.obs.profiler.profile_document`) rides along in the
+    trace metadata, so one file carries both the merged timeline and
+    the call-path attribution.
+    """
+    metadata: Dict = {"time_unit": tracer.time_unit, "tool": "pr-esp-repro"}
+    if profile is not None:
+        metadata["profile"] = profile
     return {
         "displayTimeUnit": "ms",
-        "metadata": {"time_unit": tracer.time_unit, "tool": "pr-esp-repro"},
+        "metadata": metadata,
         "traceEvents": chrome_trace_events(tracer),
     }
 
 
-def chrome_trace_json(tracer: AnyTracer) -> str:
+def chrome_trace_json(tracer: AnyTracer, profile: Union[Dict, None] = None) -> str:
     """Deterministic JSON text of the Chrome trace document."""
-    return json.dumps(chrome_trace_dict(tracer), sort_keys=True, indent=1)
+    return json.dumps(chrome_trace_dict(tracer, profile), sort_keys=True, indent=1)
 
 
-def write_chrome_trace(path: str, tracer: AnyTracer) -> None:
+def write_chrome_trace(
+    path: str, tracer: AnyTracer, profile: Union[Dict, None] = None
+) -> None:
     """Write the Chrome trace-event file to ``path``."""
     with open(path, "w") as handle:
-        handle.write(chrome_trace_json(tracer))
+        handle.write(chrome_trace_json(tracer, profile))
         handle.write("\n")
 
 
@@ -136,12 +164,47 @@ def span_records(tracer: AnyTracer) -> List[Dict]:
             "duration": span.duration,
             "parent_id": span.parent_id,
         }
+        if span.instant:
+            record["instant"] = True
         if span.attrs:
             record["attrs"] = {
                 k: _jsonable(v) for k, v in sorted(span.attrs.items())
             }
         records.append(record)
     return records
+
+
+def merge_span_records(
+    tracer: AnyTracer, records: List[Dict], worker: Union[str, None] = None
+) -> None:
+    """Re-record exported span records onto ``tracer`` (closed spans).
+
+    The cross-process half of trace propagation: a pool worker exports
+    its spans with :func:`span_records`, the parent replays them here.
+    Parent/child links are remapped onto the parent tracer's span ids;
+    ``worker`` (the worker process name) is stamped into each replayed
+    span's attrs so merged traces stay attributable. No-op on a
+    disabled tracer.
+    """
+    if not getattr(tracer, "enabled", False):
+        return
+    id_map: Dict[int, object] = {}
+    for record in sorted(records, key=lambda r: r["span_id"]):
+        attrs = dict(record.get("attrs", {}))
+        if worker is not None:
+            attrs["worker"] = worker
+        span = tracer.record(
+            record["name"],
+            record["start"],
+            record["end"],
+            category=record.get("category", ""),
+            track=record.get("track", "main/main"),
+            parent=id_map.get(record.get("parent_id")),
+            **attrs,
+        )
+        if span is not None:
+            span.instant = bool(record.get("instant", False))
+            id_map[record["span_id"]] = span
 
 
 def spans_jsonl(tracer: AnyTracer) -> str:

@@ -16,7 +16,17 @@ one instant and returns a :class:`HealthReport` with an
 * **queue depth** — threads queued on one tile's lock crossing the
   threshold: ``degraded``;
 * **flow degradation** — the CAD flow shipped a degraded build
-  (``flow.degraded`` on the bus): ``degraded``.
+  (``flow.degraded`` on the bus): ``degraded``;
+* **events dropped** — the bus ring overflowed (drop-oldest) while the
+  monitor was attached, so the dashboard's recent-event history is
+  incomplete: ``degraded``.
+
+The monitor also keeps a catch-all subscription that checks the
+bus-global ``seq`` numbers for continuity; any discontinuity is
+counted in ``seq_gaps`` and surfaced in the report's bus section
+(subscribers are notified at emit time, *before* drop-oldest takes
+effect, so a gap means events were emitted while the monitor was not
+listening — or a bus bug).
 
 When the monitored bus also carries CAD flow traffic (a build sharing
 the deployment's event bus), the monitor folds the fault-tolerance
@@ -153,6 +163,8 @@ class HealthReport:
     fallbacks: int = 0
     kernel_hangs: int = 0
     failovers: int = 0
+    #: Bus transport state: capacity, buffered, emitted, dropped, seq_gaps.
+    bus: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -207,6 +219,7 @@ class HealthReport:
                 "kernel_hangs": self.kernel_hangs,
                 "failovers": self.failovers,
             },
+            "bus": dict(self.bus),
         }
 
     def summary_lines(self) -> List[str]:
@@ -225,6 +238,16 @@ class HealthReport:
             f"verdict       : {self.verdict.value.upper()}",
             f"window        : last {self.window_s:g}s at t={self.now:.6f}s "
             f"({self.events_seen} events, {self.events_dropped} dropped)",
+        ]
+        if self.bus:
+            lines.append(
+                f"{'bus':14s}: {self.bus.get('emitted', 0)} emitted, "
+                f"{self.bus.get('buffered', 0)} buffered "
+                f"(capacity {self.bus.get('capacity', 0)}), "
+                f"{self.bus.get('dropped', 0)} dropped, "
+                f"{self.bus.get('seq_gaps', 0)} seq gaps"
+            )
+        lines += [
             dist("reconfig", self.reconfig_s, "s"),
             dist("lock wait", self.lock_wait_s, "s"),
             f"{'outcomes':14s}: {self.completions} completed, "
@@ -334,9 +357,22 @@ class HealthMonitor:
         self._failovers = 0
         self._last_time = 0.0
         self.events_seen = 0
+        #: Ring drops already on the bus when the monitor attached —
+        #: only drops *while watching* degrade the verdict.
+        self._dropped_at_attach = bus.dropped
+        #: Bus-seq discontinuities the catch-all subscription observed.
+        self.seq_gaps = 0
+        self._next_seq: Optional[int] = None
         bus.subscribe(self._on_event, kinds=self.KINDS)
+        bus.subscribe(self._on_any)
 
     # ------------------------------------------------------------------
+    def _on_any(self, event: Event) -> None:
+        """Catch-all continuity check over the bus-global ``seq``."""
+        if self._next_seq is not None and event.seq != self._next_seq:
+            self.seq_gaps += event.seq - self._next_seq
+        self._next_seq = event.seq + 1
+
     def _on_event(self, event: Event) -> None:
         self.events_seen += 1
         # CAD flow events carry modelled CAD minutes, not runtime
@@ -516,6 +552,21 @@ class HealthMonitor:
                 )
             )
 
+        dropped_watching = self.bus.dropped - self._dropped_at_attach
+        if dropped_watching > 0:
+            verdict = _worst(verdict, Verdict.DEGRADED)
+            findings.append(
+                HealthFinding(
+                    rule="events-dropped",
+                    severity=Verdict.DEGRADED,
+                    message=(
+                        f"{dropped_watching} event(s) dropped from the bus "
+                        f"ring (capacity {self.bus.capacity}) while "
+                        "monitoring — the recent-event history is incomplete"
+                    ),
+                )
+            )
+
         return HealthReport(
             verdict=verdict,
             findings=findings,
@@ -537,4 +588,11 @@ class HealthMonitor:
             fallbacks=self._fallbacks,
             kernel_hangs=self._kernel_hangs,
             failovers=self._failovers,
+            bus={
+                "capacity": self.bus.capacity,
+                "buffered": len(self.bus),
+                "emitted": self._next_seq if self._next_seq is not None else 0,
+                "dropped": self.bus.dropped,
+                "seq_gaps": self.seq_gaps,
+            },
         )

@@ -1,11 +1,12 @@
-"""One bundle for the three observability hooks.
+"""One bundle for the observability hooks.
 
-Every instrumented layer of the reproduction takes the same trio —
-a span tracer, a metrics registry, an event bus — and threading them
-through as three separate keyword arguments scaled badly as the
-platform API grew. :class:`Instrumentation` carries the trio as one
-value with null-object defaults, so the fully-disabled configuration
-(``OFF``) costs nothing and needs no conditionals at call sites.
+Every instrumented layer of the reproduction takes the same hooks —
+a span tracer, a metrics registry, an event bus, a call-path profiler
+— and threading them through as separate keyword arguments scaled
+badly as the platform API grew. :class:`Instrumentation` carries them
+as one value with null-object defaults, so the fully-disabled
+configuration (``OFF``) costs nothing and needs no conditionals at
+call sites.
 """
 
 from __future__ import annotations
@@ -14,12 +15,13 @@ from dataclasses import dataclass, replace
 
 from repro.obs.events import NULL_EVENTS
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
 class Instrumentation:
-    """The tracer/metrics/events trio instrumented code consumes.
+    """The tracer/metrics/events/profiler bundle instrumented code consumes.
 
     Each field defaults to its null object, so partially-enabled
     bundles (say, events only) are built by naming just that field.
@@ -28,14 +30,16 @@ class Instrumentation:
     tracer: object = NULL_TRACER
     metrics: object = NULL_METRICS
     events: object = NULL_EVENTS
+    profiler: object = NULL_PROFILER
 
     @property
     def enabled(self) -> bool:
-        """True when any of the three hooks is a live implementation."""
+        """True when any of the hooks is a live implementation."""
         return bool(
             getattr(self.tracer, "enabled", False)
             or getattr(self.metrics, "enabled", False)
             or getattr(self.events, "enabled", False)
+            or getattr(self.profiler, "enabled", False)
         )
 
     def with_events(self, events) -> "Instrumentation":
@@ -43,5 +47,5 @@ class Instrumentation:
         return replace(self, events=events)
 
 
-#: The shared fully-disabled bundle (all three null objects).
+#: The shared fully-disabled bundle (all null objects).
 OFF = Instrumentation()

@@ -1,0 +1,296 @@
+"""Profile baselines and hot-path regression gating.
+
+The perfbase layer pins *end metrics* (modelled minutes, counts); this
+module pins the *shape of the time* — where the host self-time of a
+profiled workload goes. A committed baseline under
+``benchmarks/baselines/profiles/`` records the expected host self-time
+**share** of each significant call path; ``repro profile-diff``
+compares a freshly produced ``PROFILE_<experiment>.json`` against it
+and fails when:
+
+* a baselined path's share drifts beyond its absolute band (a hot path
+  got relatively hotter or colder),
+* a path that is not in the baseline now carries at least the hotspot
+  threshold of total self time (a **new hotspot** appeared), or
+* the profile for a committed baseline was never produced.
+
+Shares — fractions of the root's inclusive host time — are compared
+instead of absolute times because machine speed is not a property of
+the code under test; a uniformly faster box leaves every share intact,
+while an accidental O(n²) in the NoC router loop shifts the
+distribution and trips the gate. Call counts and simulated seconds are
+exactly reproducible and are pinned by the determinism tests instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import PrEspError
+from repro.obs.profiler import PATH_SEP, find_profiles, load_profile
+
+
+class ProfDiffError(PrEspError):
+    """Malformed profile baselines or bad comparison input."""
+
+
+#: Default absolute band on a path's host self-time share.
+DEFAULT_BAND = 0.15
+
+#: Default share above which an unbaselined path counts as a new hotspot.
+DEFAULT_HOTSPOT_THRESHOLD = 0.10
+
+#: Default minimum share for a path to be recorded when seeding.
+DEFAULT_MIN_SHARE = 0.02
+
+
+def self_time_shares(document: Dict) -> Dict[str, float]:
+    """path -> host self-time share, flattened from a profile document.
+
+    Paths are ``;``-joined frame names starting below the root; the
+    share denominator is the root's inclusive host time (all shares sum
+    to 1 on a non-empty profile).
+    """
+    tree = document.get("tree")
+    if tree is None:
+        raise ProfDiffError("profile document has no tree")
+    total = float(tree.get("host_s", 0.0))
+    shares: Dict[str, float] = {}
+
+    def walk(node: Dict, prefix: Tuple[str, ...]) -> None:
+        path = prefix + (str(node["name"]),)
+        self_host = float(node.get("self_host_s", 0.0))
+        if self_host > 0.0 and total > 0.0:
+            key = PATH_SEP.join(path)
+            shares[key] = shares.get(key, 0.0) + self_host / total
+        for child in node.get("children", ()):
+            walk(child, path)
+
+    for child in tree.get("children", ()):
+        walk(child, ())
+    return shares
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProfileBaseline:
+    """The committed hot-path expectation for one profiled experiment."""
+
+    experiment: str
+    paths: Dict[str, float]
+    band: float = DEFAULT_BAND
+    hotspot_threshold: float = DEFAULT_HOTSPOT_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.band < 0:
+            raise ProfDiffError(f"band must be non-negative: {self.band}")
+        if not 0 < self.hotspot_threshold <= 1:
+            raise ProfDiffError(
+                f"hotspot threshold must be in (0, 1]: {self.hotspot_threshold}"
+            )
+
+
+def profile_baseline_path(directory: Union[str, Path], experiment: str) -> Path:
+    """``<directory>/<experiment>.json``."""
+    return Path(directory) / f"{experiment}.json"
+
+
+def write_profile_baseline(
+    directory: Union[str, Path], baseline: ProfileBaseline
+) -> Path:
+    """Persist one profile baseline; returns its path."""
+    path = profile_baseline_path(directory, baseline.experiment)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": baseline.experiment,
+        "band": baseline.band,
+        "hotspot_threshold": baseline.hotspot_threshold,
+        "paths": {name: baseline.paths[name] for name in sorted(baseline.paths)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_profile_baseline(path: Union[str, Path]) -> ProfileBaseline:
+    """Parse one profile baseline file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+        return ProfileBaseline(
+            experiment=str(payload["experiment"]),
+            paths={str(k): float(v) for k, v in payload["paths"].items()},
+            band=float(payload.get("band", DEFAULT_BAND)),
+            hotspot_threshold=float(
+                payload.get("hotspot_threshold", DEFAULT_HOTSPOT_THRESHOLD)
+            ),
+        )
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise ProfDiffError(f"unreadable profile baseline {path}: {error}") from None
+
+
+def baseline_from_profile(
+    document: Dict,
+    band: float = DEFAULT_BAND,
+    hotspot_threshold: float = DEFAULT_HOTSPOT_THRESHOLD,
+    min_share: float = DEFAULT_MIN_SHARE,
+) -> ProfileBaseline:
+    """Seed a baseline from one measured profile document.
+
+    Only paths carrying at least ``min_share`` of self time are pinned
+    — the long tail of sub-percent paths is noise, and anything that
+    *grows* past ``hotspot_threshold`` is caught by the new-hotspot
+    rule even without an entry.
+    """
+    shares = self_time_shares(document)
+    return ProfileBaseline(
+        experiment=str(document.get("experiment", "")),
+        paths={path: share for path, share in shares.items() if share >= min_share},
+        band=band,
+        hotspot_threshold=hotspot_threshold,
+    )
+
+
+def find_profile_baselines(directory: Union[str, Path]) -> Dict[str, Path]:
+    """experiment -> baseline path for every committed profile baseline."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return {}
+    return {path.stem: path for path in sorted(directory.glob("*.json"))}
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShareDelta:
+    """One call path's baseline-vs-current judgement."""
+
+    path: str
+    baseline: Optional[float]  # None for a new hotspot
+    current: float
+    band: float
+    status: str  # "ok" | "regression" | "new-hotspot"
+
+    @property
+    def delta(self) -> Optional[float]:
+        """Signed absolute share change (None for a new hotspot)."""
+        if self.baseline is None:
+            return None
+        return self.current - self.baseline
+
+
+@dataclass
+class ProfileComparisonResult:
+    """Outcome of diffing one experiment's profile against its baseline."""
+
+    experiment: str
+    deltas: List[ShareDelta]
+    missing_profile: bool = False
+
+    @property
+    def failures(self) -> List[ShareDelta]:
+        return [d for d in self.deltas if d.status != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        """True when the profile exists and every path is in band."""
+        return not self.missing_profile and not self.failures
+
+    def summary_lines(self) -> List[str]:
+        """Per-path judgement lines (``repro profile-diff`` output)."""
+        if self.missing_profile:
+            return [
+                f"{self.experiment}: MISSING — profile baseline committed but "
+                f"no PROFILE_{self.experiment}.json was produced"
+            ]
+        lines = [
+            f"{self.experiment}: "
+            + ("ok" if self.ok else f"{len(self.failures)} hot-path failure(s)")
+        ]
+        for delta in self.deltas:
+            if delta.baseline is None:
+                lines.append(
+                    f"  {delta.path:60s} NEW-HOTSPOT share {delta.current:.1%}"
+                )
+                continue
+            lines.append(
+                f"  {delta.path:60s} {delta.status.upper():12s} "
+                f"baseline {delta.baseline:.1%} current {delta.current:.1%} "
+                f"({delta.delta:+.1%}, band ±{delta.band:.0%})"
+            )
+        return lines
+
+
+def compare_profile(document: Dict, baseline: ProfileBaseline) -> ProfileComparisonResult:
+    """Judge every baselined path plus any new hotspot of one profile.
+
+    A baselined path whose current share moved more than ``band``
+    (absolutely) fails — including a path that vanished entirely, whose
+    current share is 0. A current path absent from the baseline fails
+    as a new hotspot once it carries at least ``hotspot_threshold`` of
+    total self time; smaller unbaselined paths are ignored.
+    """
+    experiment = str(document.get("experiment", ""))
+    if experiment != baseline.experiment:
+        raise ProfDiffError(
+            f"profile {experiment!r} does not match baseline "
+            f"{baseline.experiment!r}"
+        )
+    current = self_time_shares(document)
+    deltas: List[ShareDelta] = []
+    for path, expected in sorted(baseline.paths.items()):
+        share = current.get(path, 0.0)
+        status = "ok" if abs(share - expected) <= baseline.band else "regression"
+        deltas.append(
+            ShareDelta(
+                path=path,
+                baseline=expected,
+                current=share,
+                band=baseline.band,
+                status=status,
+            )
+        )
+    for path, share in sorted(current.items()):
+        if path in baseline.paths or share < baseline.hotspot_threshold:
+            continue
+        deltas.append(
+            ShareDelta(
+                path=path,
+                baseline=None,
+                current=share,
+                band=baseline.band,
+                status="new-hotspot",
+            )
+        )
+    return ProfileComparisonResult(experiment=experiment, deltas=deltas)
+
+
+def compare_profile_directories(
+    results_dir: Union[str, Path], baselines_dir: Union[str, Path]
+) -> List[ProfileComparisonResult]:
+    """Diff every committed profile baseline against produced profiles.
+
+    A baseline without a matching ``PROFILE_*.json`` yields a
+    ``missing_profile`` result; profiles without baselines are not
+    judged — seed them with :func:`baseline_from_profile` (or
+    ``repro profile-diff --update``) when intentional.
+    """
+    profiles = find_profiles(results_dir)
+    results: List[ProfileComparisonResult] = []
+    for experiment, path in sorted(find_profile_baselines(baselines_dir).items()):
+        baseline = load_profile_baseline(path)
+        profile_file = profiles.get(experiment)
+        if profile_file is None:
+            results.append(
+                ProfileComparisonResult(
+                    experiment=experiment, deltas=[], missing_profile=True
+                )
+            )
+            continue
+        results.append(compare_profile(load_profile(profile_file), baseline))
+    return results

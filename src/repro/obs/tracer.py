@@ -47,6 +47,9 @@ class Span:
     end: Optional[float] = None
     parent_id: Optional[int] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Zero-duration point-in-time marker (Chrome "instant" event) —
+    #: e.g. a cancelled DES event withdrawn from the kernel heap.
+    instant: bool = False
 
     @property
     def duration(self) -> float:
@@ -171,6 +174,28 @@ class Tracer:
         """Context manager: ``with tracer.span("exec", track="kernel/rt0"):``."""
         return self._SpanContext(self, name, category, track, attrs)
 
+    def instant(
+        self,
+        name: str,
+        category: str = "",
+        track: str = DEFAULT_TRACK,
+        time: Optional[float] = None,
+        **attrs,
+    ) -> Span:
+        """Record a zero-duration instant marker (now, or at ``time``).
+
+        Instants nest under the track's current open span but never
+        open one themselves — they mark a point, not an interval, and
+        export as Chrome ``"I"`` events instead of ``"X"`` spans.
+        """
+        when = self.now() if time is None else time
+        stack = self._stacks.get(track)
+        parent_id = stack[-1].span_id if stack else None
+        span = self._new_span(name, category, track, when, parent_id, attrs)
+        span.end = when
+        span.instant = True
+        return span
+
     # ------------------------------------------------------------------
     # post-hoc spans (explicit interval)
     # ------------------------------------------------------------------
@@ -274,6 +299,9 @@ class NullTracer:
 
     def span(self, name, category="", track=DEFAULT_TRACK, **attrs) -> _NullSpanContext:
         return _NULL_CONTEXT
+
+    def instant(self, name, category="", track=DEFAULT_TRACK, time=None, **attrs) -> None:
+        return None
 
     def record(self, name, start, end, category="", track=DEFAULT_TRACK, parent=None, **attrs) -> None:
         return None

@@ -41,6 +41,7 @@ from repro.obs import events as ev
 from repro.obs.events import NULL_EVENTS
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.driver import DriverRegistry
 from repro.runtime.faults import DEFAULT_RECOVERY, RecoveryPolicy, RuntimeFaultModel
@@ -135,6 +136,7 @@ class ReconfigurationManager:
         tracer=NULL_TRACER,
         metrics=NULL_METRICS,
         events=NULL_EVENTS,
+        profiler=NULL_PROFILER,
         recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.sim = sim
@@ -144,6 +146,12 @@ class ReconfigurationManager:
         self.tracer = tracer
         self.metrics = metrics
         self.events = events
+        #: Call-path profiler. The manager's protocol runs inside DES
+        #: callbacks (whose host time lands under the kernel dispatch
+        #: frames), so it contributes *semantic* root-anchored leaves —
+        #: the ``runtime.*`` view of where simulated time went — rather
+        #: than opening frames across generator yields.
+        self.profiler = profiler
         self.recovery = recovery if recovery is not None else DEFAULT_RECOVERY
         self.tiles: Dict[str, TileState] = {}
         self.invocations: List[InvocationRecord] = []
@@ -246,6 +254,11 @@ class ReconfigurationManager:
             self.metrics.histogram(
                 "runtime.lock_wait_s", "queueing delay before tile acquisition"
             ).observe(acquired - requested, tile=tile_name)
+            self.profiler.record_leaf(
+                ("runtime", "lock_wait"),
+                sim_s=acquired - requested,
+                anchor="root",
+            )
             try:
                 self._check_quarantine(state)
                 reconfig_time = 0.0
@@ -487,6 +500,11 @@ class ReconfigurationManager:
                         reason=reason,
                     )
                     self.tracer.end(decouple_span, failed=True)
+                    self.profiler.record_leaf(
+                        ("runtime", "recovery", "abandon"),
+                        sim_s=self.sim.now - start,
+                        anchor="root",
+                    )
                     logger.warning(
                         "%s: reconfiguration to %s abandoned after %d attempts",
                         state.name,
@@ -509,6 +527,9 @@ class ReconfigurationManager:
                 )
                 backoff = self.recovery.backoff_before(
                     attempts + 1, self.faults.seed, state.name, mode_name
+                )
+                self.profiler.record_leaf(
+                    ("runtime", "recovery", "retry"), sim_s=backoff, anchor="root"
                 )
                 if backoff > 0.0:
                     yield self.sim.timeout(backoff)
@@ -533,6 +554,9 @@ class ReconfigurationManager:
             duration_s=self.sim.now - start,
         )
         self.tracer.end(decouple_span)
+        self.profiler.record_leaf(
+            ("runtime", "reconfigure"), sim_s=self.sim.now - start, anchor="root"
+        )
         return self.sim.now - start
 
     def _execute_locked(
@@ -561,6 +585,9 @@ class ReconfigurationManager:
             if not hung:
                 yield self.sim.timeout(duration)
                 self.tracer.end(exec_span)
+                self.profiler.record_leaf(
+                    ("runtime", "exec"), sim_s=duration, anchor="root"
+                )
                 return hang_attempts
             # No completion interrupt: wait out the watchdog deadline.
             yield self.sim.timeout(duration * self.recovery.exec_deadline_factor)
@@ -573,6 +600,11 @@ class ReconfigurationManager:
                 "runtime.kernel_hangs", "hung invocations caught by the watchdog"
             ).inc(tile=state.name)
             self.tracer.end(exec_span, failed=True)
+            self.profiler.record_leaf(
+                ("runtime", "recovery", "kernel_hang"),
+                sim_s=duration * self.recovery.exec_deadline_factor,
+                anchor="root",
+            )
             self.events.emit(
                 ev.KERNEL_HUNG,
                 time=self.sim.now,
@@ -697,6 +729,11 @@ class ReconfigurationManager:
             duration_s=self.sim.now - start,
         )
         self.tracer.end(span)
+        self.profiler.record_leaf(
+            ("runtime", "recovery", "fallback"),
+            sim_s=self.sim.now - start,
+            anchor="root",
+        )
         logger.warning(
             "%s: fell back to last-known-good %s after %s failed",
             state.name,
@@ -734,6 +771,9 @@ class ReconfigurationManager:
         self.metrics.counter(
             "runtime.quarantines", "tiles quarantined after persistent failures"
         ).inc(tile=state.name)
+        self.profiler.record_leaf(
+            ("runtime", "recovery", "quarantine"), anchor="root"
+        )
         self.events.emit(
             ev.TILE_QUARANTINED,
             time=self.sim.now,

@@ -25,6 +25,7 @@ from repro.noc.mesh import Mesh
 from repro.noc.packet import FLIT_BYTES, HEADER_FLITS
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.faults import (
     NO_RUNTIME_FAULTS,
@@ -92,6 +93,7 @@ class PrcDevice:
         fetch_bytes_per_cycle: float = FETCH_BYTES_PER_CYCLE,
         tracer=NULL_TRACER,
         metrics=NULL_METRICS,
+        profiler=NULL_PROFILER,
         faults: RuntimeFaultModel = NO_RUNTIME_FAULTS,
     ) -> None:
         if clock_hz <= 0:
@@ -106,6 +108,7 @@ class PrcDevice:
         self.fetch_bytes_per_cycle = fetch_bytes_per_cycle
         self.tracer = tracer
         self.metrics = metrics
+        self.profiler = profiler
         #: The fault model every transfer attempt draws from. Shared
         #: with the manager (which reads it back for invoke-side draws)
         #: so injected and stochastic faults use one set of counters.
@@ -127,13 +130,31 @@ class PrcDevice:
         """
         if size_bytes <= 0:
             raise ReconfigurationError(f"bitstream size must be positive: {size_bytes}")
+        if not self.profiler.enabled:
+            return self._transfer_seconds(size_bytes)
+        # The NoC-bounded fetch window is the model's flit-loop cost:
+        # the frame carries both the host cost of evaluating the model
+        # and the modelled NoC seconds it produces. The full transfer
+        # duration is charged by the Timeout dispatch that simulates it.
+        self.profiler.begin("noc.transfer")
+        try:
+            seconds, noc_seconds = self._transfer_seconds(size_bytes, split=True)
+            self.profiler.add_sim(noc_seconds)
+        finally:
+            self.profiler.end()
+        return seconds
+
+    def _transfer_seconds(self, size_bytes: int, split: bool = False):
         fetch_seconds = size_bytes / self.fetch_bytes_per_cycle / self.clock_hz
         icap_seconds = size_bytes / ICAP_BYTES_PER_CYCLE / self.clock_hz
         noc_seconds = self.mesh.transfer_time_s(
             self.mem_position, self.aux_position, size_bytes
         )
         setup_seconds = PRC_OVERHEAD_CYCLES / self.clock_hz
-        return setup_seconds + max(fetch_seconds, noc_seconds, icap_seconds)
+        total = setup_seconds + max(fetch_seconds, noc_seconds, icap_seconds)
+        if split:
+            return total, noc_seconds
+        return total
 
     def inject_failure(self, tile_name: str, mode_name: str, count: int = 1) -> None:
         """Deprecated shim: arm ``count`` CRC failures for (tile, mode).

@@ -95,8 +95,23 @@ class Event:
     def _process(self) -> None:
         self.processed = True
         callbacks, self.callbacks = self.callbacks, []
+        profiler = self.sim._profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(self)
+            return
+        # Per-callback-site attribution: the frame name is the
+        # callback's qualified name (``Process._resume``,
+        # ``AllOf.__init__.<locals>.<lambda>``, ...), which is stable
+        # run to run and names the layer the time belongs to.
         for callback in callbacks:
-            callback(self)
+            profiler.begin(
+                getattr(callback, "__qualname__", None) or type(callback).__name__
+            )
+            try:
+                callback(self)
+            finally:
+                profiler.end()
 
 
 class Timeout(Event):
@@ -163,6 +178,24 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
+        # Optional observability hooks; None keeps the dispatch loop on
+        # its uninstrumented fast path (a single attribute test).
+        self._profiler = None
+        self._tracer = None
+
+    def attach_observability(self, profiler=None, tracer=None) -> None:
+        """Bind profiling/tracing hooks to the dispatch loop.
+
+        Only live hooks are kept — null objects (``enabled`` False)
+        collapse to None so the hot path stays a plain loop when
+        observability is off. The profiler gets a ``dispatch:<Type>``
+        frame per processed event (charged the clock advance as
+        simulated time) and a frame per callback site; the tracer gets
+        a zero-duration instant for every cancelled event withdrawn
+        from the heap.
+        """
+        self._profiler = profiler if getattr(profiler, "enabled", False) else None
+        self._tracer = tracer if getattr(tracer, "enabled", False) else None
 
     # ------------------------------------------------------------------
     # event construction helpers
@@ -196,17 +229,49 @@ class Simulator:
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
         self._seq += 1
 
+    def _discard_cancelled(self, event: Event) -> None:
+        """Account a withdrawn event popped off the heap.
+
+        Cancelled events run no callbacks and never advance the clock;
+        observability still sees them — as a ``cancelled:<Type>`` leaf
+        in the profile and a zero-duration instant in the trace —
+        instead of a dangling open span.
+        """
+        if self._profiler is not None:
+            self._profiler.record_leaf(f"cancelled:{type(event).__name__}")
+        if self._tracer is not None:
+            self._tracer.instant(
+                f"cancelled:{type(event).__name__}",
+                category="kernel.cancelled",
+                track="sim/kernel",
+            )
+
     def step(self) -> None:
         """Process the single next event."""
         if not self._heap:
             raise SimulationError("no scheduled events")
         when, _seq, event = heapq.heappop(self._heap)
         if event.cancelled:
-            return  # withdrawn: no callbacks, no clock advance
+            # Withdrawn: no callbacks, no clock advance.
+            self._discard_cancelled(event)
+            return
         if when < self.now:
             raise SimulationError("time went backwards (kernel bug)")
+        if self._profiler is None:
+            self.now = when
+            event._process()
+            return
+        # Dispatch frame per event type; the clock advance this event
+        # causes is its simulated-time attribution, so the dispatch
+        # nodes' sim_s sums to the final simulation time.
+        advance = when - self.now
         self.now = when
-        event._process()
+        self._profiler.begin(f"dispatch:{type(event).__name__}")
+        try:
+            self._profiler.add_sim(advance)
+            event._process()
+        finally:
+            self._profiler.end()
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or simulated time reaches ``until``.
@@ -217,7 +282,7 @@ class Simulator:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
         while self._heap:
             if self._heap[0][2].cancelled:
-                heapq.heappop(self._heap)
+                self._discard_cancelled(heapq.heappop(self._heap)[2])
                 continue
             when = self._heap[0][0]
             if until is not None and when > until:

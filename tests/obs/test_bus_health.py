@@ -1,0 +1,126 @@
+"""Bus transport health: drop-oldest accounting and seq continuity.
+
+The ring buffer bounds storage, not delivery — but a dropped event is
+gone from the post-hoc history, so the monitor must say so: a
+DEGRADED ``events-dropped`` finding for mid-window drops, plus a
+``bus`` section (capacity/buffered/emitted/dropped/seq_gaps) in every
+report and in ``repro monitor --json``.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs import events as ev
+from repro.obs.events import Event, EventBus
+from repro.obs.health import HealthMonitor, Verdict
+
+
+def overflow(bus, count):
+    for index in range(count):
+        bus.emit("test.tick", time=float(index), source="t")
+
+
+class TestDropAccounting:
+    def test_mid_window_drops_degrade_the_verdict(self):
+        bus = EventBus(capacity=4)
+        monitor = HealthMonitor(bus)
+        overflow(bus, 10)
+        report = monitor.report(now=10.0)
+        assert report.verdict is Verdict.DEGRADED
+        finding = next(f for f in report.findings if f.rule == "events-dropped")
+        assert "6 event(s) dropped" in finding.message
+        assert report.bus["dropped"] == 6
+
+    def test_drops_before_attach_do_not_degrade(self):
+        bus = EventBus(capacity=4)
+        overflow(bus, 10)  # 6 drops nobody was listening for
+        monitor = HealthMonitor(bus)
+        bus.emit("test.tick", time=11.0)  # one more drop, one more event
+        report = monitor.report(now=12.0)
+        rules = {f.rule for f in report.findings}
+        # Only the one post-attach drop counts.
+        finding = next(f for f in report.findings if f.rule == "events-dropped")
+        assert "1 event(s) dropped" in finding.message
+        assert rules == {"events-dropped"}
+        # The cumulative bus counter still tells the whole story.
+        assert report.bus["dropped"] == 7
+
+    def test_healthy_bus_reports_clean_transport(self):
+        bus = EventBus(capacity=64)
+        monitor = HealthMonitor(bus)
+        overflow(bus, 5)
+        report = monitor.report(now=5.0)
+        assert report.verdict is Verdict.OK
+        assert report.bus == {
+            "capacity": 64,
+            "buffered": 5,
+            "emitted": 5,
+            "dropped": 0,
+            "seq_gaps": 0,
+        }
+
+
+class TestSeqContinuity:
+    def test_contiguous_seqs_count_no_gaps(self):
+        bus = EventBus()
+        monitor = HealthMonitor(bus)
+        overflow(bus, 20)
+        assert monitor.seq_gaps == 0
+
+    def test_a_seq_discontinuity_is_counted(self):
+        bus = EventBus()
+        monitor = HealthMonitor(bus)
+        # Simulate a delivery hole (events emitted while the monitor
+        # was not subscribed — or a bus bug): seq jumps 1 -> 5.
+        monitor._on_any(Event(seq=0, kind="test.tick", time=0.0))
+        monitor._on_any(Event(seq=1, kind="test.tick", time=1.0))
+        monitor._on_any(Event(seq=5, kind="test.tick", time=2.0))
+        assert monitor.seq_gaps == 3
+        report = monitor.report(now=3.0)
+        assert report.bus["seq_gaps"] == 3
+
+
+class TestReportSurface:
+    def test_bus_section_round_trips_to_dict(self):
+        bus = EventBus(capacity=4)
+        monitor = HealthMonitor(bus)
+        overflow(bus, 6)
+        payload = monitor.report(now=6.0).to_dict()
+        assert payload["bus"] == {
+            "capacity": 4,
+            "buffered": 4,
+            "emitted": 6,
+            "dropped": 2,
+            "seq_gaps": 0,
+        }
+
+    def test_bus_line_in_the_text_dashboard(self):
+        bus = EventBus(capacity=4)
+        monitor = HealthMonitor(bus)
+        overflow(bus, 6)
+        text = "\n".join(monitor.report(now=6.0).summary_lines())
+        assert "6 emitted, 4 buffered (capacity 4), 2 dropped, 0 seq gaps" in text
+
+    def test_monitor_json_cli_surfaces_bus_state(self, capsys):
+        code = main(["monitor", "soc_y", "--frames", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        bus = payload["bus"]
+        assert bus["emitted"] > 0
+        assert bus["dropped"] == 0
+        assert bus["seq_gaps"] == 0
+        assert bus["capacity"] >= bus["buffered"] > 0
+
+    def test_real_runtime_kinds_still_feed_the_windows(self):
+        # The catch-all continuity subscriber must not disturb the
+        # rule-kind subscription: both see the same emission.
+        bus = EventBus()
+        monitor = HealthMonitor(bus)
+        bus.emit(ev.RECONFIG_STARTED, time=0.0, source="rt1")
+        bus.emit(
+            ev.RECONFIG_COMPLETED, time=0.4, source="rt1", duration_s=0.4
+        )
+        report = monitor.report(now=1.0)
+        assert report.completions == 1
+        assert monitor.events_seen == 2
+        assert report.bus["emitted"] == 2

@@ -1,0 +1,163 @@
+"""Profile baseline seeding and hot-path share regression gating."""
+
+import pytest
+
+from repro.obs.profdiff import (
+    DEFAULT_BAND,
+    DEFAULT_HOTSPOT_THRESHOLD,
+    ProfDiffError,
+    ProfileBaseline,
+    baseline_from_profile,
+    compare_profile,
+    compare_profile_directories,
+    find_profile_baselines,
+    load_profile_baseline,
+    self_time_shares,
+    write_profile_baseline,
+)
+from repro.obs.profiler import Profiler, profile_document, write_profile
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_profile(experiment="exp", weights=None):
+    """A document whose self-time shares are exactly ``weights``."""
+    weights = weights if weights is not None else {"a": 0.6, "a;b": 0.3, "c": 0.1}
+    clock = FakeClock()
+    profiler = Profiler(host_clock=clock)
+    for path, weight in weights.items():
+        names = path.split(";")
+        for name in names:
+            profiler.begin(name)
+        clock.advance(weight)
+        for _ in names:
+            profiler.end()
+    return profile_document(profiler, experiment)
+
+
+class TestShares:
+    def test_shares_match_constructed_weights(self):
+        shares = self_time_shares(make_profile())
+        assert shares["a"] == pytest.approx(0.6)
+        assert shares["a;b"] == pytest.approx(0.3)
+        assert shares["c"] == pytest.approx(0.1)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_profile_has_no_shares(self):
+        assert self_time_shares(profile_document(Profiler(), "e")) == {}
+
+    def test_treeless_document_raises(self):
+        with pytest.raises(ProfDiffError):
+            self_time_shares({"experiment": "e"})
+
+
+class TestBaselines:
+    def test_seeding_filters_below_min_share(self):
+        baseline = baseline_from_profile(make_profile(), min_share=0.2)
+        assert set(baseline.paths) == {"a", "a;b"}
+        assert baseline.band == DEFAULT_BAND
+        assert baseline.hotspot_threshold == DEFAULT_HOTSPOT_THRESHOLD
+
+    def test_round_trip(self, tmp_path):
+        baseline = baseline_from_profile(
+            make_profile(), band=0.05, hotspot_threshold=0.2
+        )
+        path = write_profile_baseline(tmp_path, baseline)
+        assert path.name == "exp.json"
+        loaded = load_profile_baseline(path)
+        assert loaded.experiment == "exp"
+        assert loaded.band == 0.05
+        assert loaded.hotspot_threshold == 0.2
+        assert loaded.paths.keys() == baseline.paths.keys()
+        assert find_profile_baselines(tmp_path) == {"exp": path}
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ProfDiffError):
+            ProfileBaseline(experiment="e", paths={}, band=-0.1)
+        with pytest.raises(ProfDiffError):
+            ProfileBaseline(experiment="e", paths={}, hotspot_threshold=0.0)
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(ProfDiffError):
+            load_profile_baseline(bad)
+
+
+class TestCompare:
+    def baseline(self, **kwargs):
+        return baseline_from_profile(make_profile(), **kwargs)
+
+    def test_identical_profile_is_in_band(self):
+        result = compare_profile(make_profile(), self.baseline())
+        assert result.ok
+        assert result.failures == []
+        assert "ok" in result.summary_lines()[0]
+
+    def test_drift_beyond_band_is_a_regression(self):
+        shifted = make_profile(weights={"a": 0.3, "a;b": 0.6, "c": 0.1})
+        result = compare_profile(shifted, self.baseline(band=0.1))
+        statuses = {d.path: d.status for d in result.deltas}
+        assert statuses["a"] == "regression"
+        assert statuses["a;b"] == "regression"
+        assert statuses["c"] == "ok"
+        assert not result.ok
+        assert result.deltas[0].delta == pytest.approx(-0.3)
+
+    def test_vanished_path_is_a_regression(self):
+        shrunk = make_profile(weights={"a": 0.9, "c": 0.1})
+        result = compare_profile(shrunk, self.baseline(band=0.1))
+        vanished = next(d for d in result.deltas if d.path == "a;b")
+        assert vanished.status == "regression"
+        assert vanished.current == 0.0
+
+    def test_new_hotspot_fails(self):
+        grown = make_profile(
+            weights={"a": 0.5, "a;b": 0.25, "c": 0.05, "noc.transfer": 0.2}
+        )
+        result = compare_profile(grown, self.baseline(band=0.2))
+        hotspot = next(d for d in result.deltas if d.status == "new-hotspot")
+        assert hotspot.path == "noc.transfer"
+        assert hotspot.baseline is None and hotspot.delta is None
+        assert "NEW-HOTSPOT" in "\n".join(result.summary_lines())
+
+    def test_small_unbaselined_paths_are_ignored(self):
+        grown = make_profile(
+            weights={"a": 0.58, "a;b": 0.3, "c": 0.07, "tail": 0.05}
+        )
+        assert compare_profile(grown, self.baseline()).ok
+
+    def test_experiment_mismatch_raises(self):
+        with pytest.raises(ProfDiffError):
+            compare_profile(make_profile(experiment="other"), self.baseline())
+
+
+class TestDirectories:
+    def test_missing_profile_fails(self, tmp_path):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        write_profile_baseline(baselines, baseline_from_profile(make_profile()))
+        outcomes = compare_profile_directories(results, baselines)
+        assert len(outcomes) == 1
+        assert outcomes[0].missing_profile and not outcomes[0].ok
+        assert "MISSING" in outcomes[0].summary_lines()[0]
+
+    def test_produced_profiles_are_judged(self, tmp_path):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        write_profile_baseline(baselines, baseline_from_profile(make_profile()))
+        write_profile(results, "exp", make_profile())
+        outcomes = compare_profile_directories(results, baselines)
+        assert [o.ok for o in outcomes] == [True]
+
+    def test_unbaselined_profiles_are_not_judged(self, tmp_path):
+        results = tmp_path / "results"
+        write_profile(results, "exp", make_profile())
+        assert compare_profile_directories(results, tmp_path / "none") == []

@@ -139,7 +139,7 @@ class TestReconciliation:
         _, tracer, _ = traced_deploy(built_socy)
         doc = json.loads(chrome_trace_json(tracer))
         events = doc["traceEvents"]
-        assert all(e["ph"] in ("M", "X") for e in events)
+        assert all(e["ph"] in ("M", "X", "I") for e in events)
         complete = [e for e in events if e["ph"] == "X"]
         assert complete
         assert all(e["dur"] >= 0 and "pid" in e and "tid" in e for e in complete)

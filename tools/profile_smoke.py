@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI smoke test for the deterministic profiling layer.
+
+All through the CLI entry point:
+
+1. ``repro profile fig4_smoke`` produces a profile whose self-time
+   sum reconciles with the root inclusive time within 1%, with the
+   DES dispatch loop among the top hot paths;
+2. profiling overhead stays under 10% wall time (min-of-3 timings of
+   the same deployment with and without the profiler);
+3. ``repro profile-diff`` passes against the committed baseline and
+   the canonical tree is identical across two runs;
+4. the exporters agree: the collapsed stacks cover exactly the
+   nonzero-self-time paths of the JSON document.
+
+Run:  PYTHONPATH=src python tools/profile_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import api
+from repro.cli import main
+from repro.core.designs import wami_soc_y
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.profdiff import self_time_shares
+from repro.obs.profiler import (
+    Profiler,
+    canonical_tree,
+    load_profile,
+    self_host_total,
+)
+
+BASELINES_DIR = "benchmarks/baselines/profiles"
+
+
+def run_cli(argv: list) -> tuple:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def timed_workload(profiled: bool) -> float:
+    """Min-of-3 wall time of the fig4_smoke workload (build + deploy)."""
+    best = float("inf")
+    for _ in range(3):
+        instrumentation = (
+            Instrumentation(profiler=Profiler()) if profiled else None
+        )
+        platform = api.platform(instrumentation=instrumentation)
+        start = time.perf_counter()
+        api.deploy(wami_soc_y(), frames=2, platform=platform)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main_smoke() -> None:
+    out_dir = Path(tempfile.mkdtemp(prefix="profile_smoke_"))
+
+    # 1. Reconciliation + hot-path attribution through the CLI.
+    code, _ = run_cli(["profile", "fig4_smoke", "--out", str(out_dir)])
+    check(code == 0, "repro profile fig4_smoke exits 0")
+    document = load_profile(out_dir / "PROFILE_fig4_smoke.json")
+    total = document["total_host_s"]
+    drift = abs(self_host_total(document) - total) / total
+    check(drift <= 0.01, f"self-time sum reconciles with root ({drift:.4%})")
+    shares = self_time_shares(document)
+    top = [p for p, _ in sorted(shares.items(), key=lambda kv: -kv[1])[:10]]
+    check(
+        any("dispatch:" in path for path in top),
+        "DES dispatch is among the top 10 hot paths",
+    )
+    check(
+        any("noc.transfer" in path for path in shares),
+        "NoC transfer window is attributed",
+    )
+
+    # 2. Overhead: the profiled workload within 10% of the bare one.
+    bare = timed_workload(profiled=False)
+    profiled = timed_workload(profiled=True)
+    overhead = (profiled - bare) / bare
+    check(
+        overhead < 0.10,
+        f"profiling overhead {overhead:+.1%} (bare {bare * 1000:.1f} ms, "
+        f"profiled {profiled * 1000:.1f} ms) under 10%",
+    )
+
+    # 3. Gate against the committed baseline + determinism. Only the
+    # smoke workload is compared — the full fig4_wami_runtime profile
+    # is produced (and gated) by the bench job, not here.
+    smoke_baselines = Path(tempfile.mkdtemp(prefix="profile_smoke_base_"))
+    committed = Path(BASELINES_DIR) / "fig4_smoke.json"
+    check(committed.is_file(), f"committed baseline {committed} exists")
+    (smoke_baselines / "fig4_smoke.json").write_text(committed.read_text())
+    code, out = run_cli(
+        [
+            "profile-diff",
+            "--results-dir",
+            str(out_dir),
+            "--baselines-dir",
+            str(smoke_baselines),
+        ]
+    )
+    print(out.rstrip())
+    check(code == 0, "profile-diff passes against the committed baseline")
+    rerun_dir = Path(tempfile.mkdtemp(prefix="profile_smoke_rerun_"))
+    code, _ = run_cli(["profile", "fig4_smoke", "--out", str(rerun_dir)])
+    check(code == 0, "second profile run exits 0")
+    rerun = load_profile(rerun_dir / "PROFILE_fig4_smoke.json")
+    check(
+        canonical_tree(document) == canonical_tree(rerun),
+        "two runs produce identical canonical trees",
+    )
+
+    # 4. Exporter agreement: collapsed lines == nonzero self-time paths.
+    collapsed = (out_dir / "fig4_smoke.collapsed").read_text().splitlines()
+    collapsed_paths = {line.rsplit(" ", 1)[0] for line in collapsed}
+    # Sub-microsecond self times round to zero in the collapsed
+    # export, so only paths with a visible share must appear.
+    json_paths = {path for path, share in shares.items() if share >= 0.01}
+    check(
+        collapsed_paths >= json_paths,
+        "collapsed stacks cover every hot JSON path",
+    )
+
+    print("profile smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main_smoke()
