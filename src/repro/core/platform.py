@@ -23,6 +23,7 @@ from repro.flow.batch import BatchBuilder, BuildOutcome, BuildRequest, cached_bu
 from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.flow.monolithic import MonolithicFlow, MonolithicResult
 from repro.flow.options import BuildOptions
+from repro.noc.analytic import NocModel
 from repro.noc.mesh import Mesh
 from repro.obs.bridge import bridge_timeline, publish_runtime_stats
 from repro.obs.events import EventBus, NULL_EVENTS
@@ -144,6 +145,7 @@ class PrEspPlatform:
         compress_bitstreams: bool = True,
         power_model: PowerModel = DEFAULT_POWER_MODEL,
         prc_fetch_bytes_per_cycle: Optional[float] = None,
+        noc_model: Optional[NocModel] = None,
         instrumentation: Optional[Instrumentation] = None,
         options: Optional[BuildOptions] = None,
         runtime_options: Optional[RuntimeFaultOptions] = None,
@@ -185,6 +187,10 @@ class PrEspPlatform:
         self.model = model
         self.power_model = power_model
         self.prc_fetch_bytes_per_cycle = prc_fetch_bytes_per_cycle
+        #: NoC timing backend for deployments (None = PrcDevice default,
+        #: the analytic model; ``NocModel.CYCLE`` replays fetch bursts
+        #: through the flit-level simulator as a cross-check).
+        self.noc_model = noc_model
         self.flow = DprFlow(
             model=model,
             max_instances=max_instances,
@@ -197,6 +203,10 @@ class PrEspPlatform:
         )
         self.cache = self.options.cache
         self.batch = self._make_batch(self.options.jobs)
+        #: Batches for per-call ``jobs=`` overrides, keyed by job count,
+        #: so each override reuses one warm worker pool instead of
+        #: forking a throwaway pool per call.
+        self._override_batches: Dict[int, BatchBuilder] = {}
 
     def _make_batch(self, jobs: int) -> BatchBuilder:
         """A build service sharing the platform's flow/cache/obs bundle."""
@@ -272,8 +282,27 @@ class PrEspPlatform:
         """
         batch = self.batch
         if jobs is not None and jobs != batch.jobs:
-            batch = self._make_batch(jobs)
+            batch = self._override_batches.get(jobs)
+            if batch is None:
+                batch = self._override_batches[jobs] = self._make_batch(jobs)
         return batch.build_many(requests)
+
+    def close(self) -> None:
+        """Release platform-owned resources (the warm build pools).
+
+        Idempotent; the platform stays usable — the next parallel batch
+        simply starts a fresh pool. Also runs on context-manager exit.
+        """
+        self.batch.close()
+        for batch in self._override_batches.values():
+            batch.close()
+        self._override_batches.clear()
+
+    def __enter__(self) -> "PrEspPlatform":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def compare_with_monolithic(
         self, config: SocConfig
@@ -448,6 +477,8 @@ class PrEspPlatform:
         prc_kwargs = {}
         if self.prc_fetch_bytes_per_cycle is not None:
             prc_kwargs["fetch_bytes_per_cycle"] = self.prc_fetch_bytes_per_cycle
+        if self.noc_model is not None:
+            prc_kwargs["noc_model"] = self.noc_model
         prc = PrcDevice(
             sim,
             mesh,

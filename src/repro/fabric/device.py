@@ -18,8 +18,10 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import FabricError
-from repro.fabric.resources import ResourceVector
+from repro.fabric.resources import ResourceKind, ResourceVector
 
 
 class ColumnKind(enum.Enum):
@@ -104,7 +106,23 @@ class Device:
         self.region_rows = region_rows
         self.region_cols = region_cols
         self._segment_resources = dict(segment_resources)
-        self._capacity = self._compute_capacity()
+        # Per-resource column prefix sums: resource_prefix()[x][k] is
+        # the per-region sum of ResourceKind k over columns [0, x).
+        # Rectangle queries, capacity and the floorplanner's window
+        # search all reduce to O(1) row differences on this matrix.
+        kinds = list(ResourceKind)
+        rows = {
+            kind: np.array(
+                [self._segment_resources.get(kind, ResourceVector.zero()).get(k) for k in kinds],
+                dtype=np.int64,
+            )
+            for kind in ColumnKind
+        }
+        per_column = np.array([rows[c.kind] for c in self.columns], dtype=np.int64)
+        self._prefix = np.vstack(
+            [np.zeros((1, len(kinds)), dtype=np.int64), np.cumsum(per_column, axis=0)]
+        )
+        self._capacity = self._rect_vector(0, self.num_columns - 1, region_rows)
 
     # ------------------------------------------------------------------
     # geometry
@@ -156,6 +174,15 @@ class Device:
         """Resources of full-height column ``x``."""
         return self.segment_resources(self.column_kind(x)) * self.region_rows
 
+    def resource_prefix(self) -> np.ndarray:
+        """The (num_columns + 1, len(ResourceKind)) prefix-sum matrix.
+
+        Row ``x`` holds the per-region column sums over ``[0, x)`` in
+        :class:`ResourceKind` declaration order. Treat as read-only —
+        the floorplanner binary-searches directly on these columns.
+        """
+        return self._prefix
+
     def rect_resources(self, col_lo: int, col_hi: int, row_lo: int, row_hi: int) -> ResourceVector:
         """Resources inside the inclusive column/region-row rectangle."""
         self._check_column(col_lo)
@@ -164,21 +191,16 @@ class Device:
         self._check_region_row(row_hi)
         if col_lo > col_hi or row_lo > row_hi:
             raise FabricError("rectangle bounds are inverted")
-        height = row_hi - row_lo + 1
-        acc = ResourceVector.zero()
-        for x in range(col_lo, col_hi + 1):
-            acc = acc + self.segment_resources(self.column_kind(x)) * height
-        return acc
+        return self._rect_vector(col_lo, col_hi, row_hi - row_lo + 1)
+
+    def _rect_vector(self, col_lo: int, col_hi: int, height: int) -> ResourceVector:
+        window = (self._prefix[col_hi + 1] - self._prefix[col_lo]) * height
+        lut, ff, bram, dsp = (int(v) for v in window)
+        return ResourceVector(lut=lut, ff=ff, bram=bram, dsp=dsp)
 
     def capacity(self) -> ResourceVector:
         """Total device resources."""
         return self._capacity
-
-    def _compute_capacity(self) -> ResourceVector:
-        acc = ResourceVector.zero()
-        for column in self.columns:
-            acc = acc + self.segment_resources(column.kind) * self.region_rows
-        return acc
 
     # ------------------------------------------------------------------
     # misc

@@ -20,6 +20,7 @@ xcvu37p    VCU128      1,303,680  2,016   9,024
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List
 
 from repro.errors import FabricError
@@ -130,12 +131,22 @@ PART_CATALOG = {
 }
 
 
+@lru_cache(maxsize=None)
+def _cached_device(board: str) -> Device:
+    return PART_CATALOG[board]()
+
+
 def make_device(board: str) -> Device:
-    """Instantiate the device model for ``board`` (case-insensitive)."""
-    try:
-        factory = PART_CATALOG[board.lower()]
-    except KeyError:
+    """The device model for ``board`` (case-insensitive).
+
+    Devices are immutable, so one shared instance per board serves
+    every flow in the process — rebuilding the column layout and its
+    resource prefix sums per build was a measurable slice of the
+    floorplanning stage.
+    """
+    key = board.lower()
+    if key not in PART_CATALOG:
         raise FabricError(
             f"unknown board {board!r}; supported: {sorted(PART_CATALOG)}"
-        ) from None
-    return factory()
+        )
+    return _cached_device(key)

@@ -7,15 +7,25 @@ column avoidance, non-overlap — with a deterministic best-fit heuristic
 in place of the MILP (the flow only needs *a* legal floorplan; pblock
 geometry does not feed the runtime model).
 
-The candidate search uses per-resource column prefix sums and a
-two-pointer sweep per clock-region band, so planning is linear in the
-number of fabric columns per band.
+The candidate search is fully vectorized over the column axis: the
+fabric's per-resource column prefix sums turn "does window [lo, hi]
+cover the demand" into an O(1) subtraction, and for a fixed clock-region
+band the *minimal* satisfying ``col_hi`` for every anchor column is one
+``np.searchsorted`` per resource kind (prefix sums are non-decreasing,
+so the minimal window is a binary search, not a scan). Occupancy is a
+boolean column x region-row grid, so blocking a band is a single
+``any(axis=1)`` reduction instead of a per-cell tuple-set probe.
+
+:class:`ReferenceFloraFloorplanner` keeps the original scalar
+per-window search as the executable specification; the equivalence
+tests pin the vectorized planner to it bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +33,10 @@ from repro.errors import FloorplanError
 from repro.fabric.device import Device
 from repro.fabric.pblock import Pblock
 from repro.fabric.resources import ResourceKind, ResourceVector
+
+#: Either occupancy representation ``_place_one`` accepts: the planner's
+#: boolean (column, region_row) grid or a legacy set of (col, row) cells.
+Occupancy = Union[np.ndarray, Set[Tuple[int, int]]]
 
 
 @dataclass(frozen=True)
@@ -51,12 +65,16 @@ class Floorplan:
         """All pblocks in assignment order."""
         return [a.pblock for a in self.assignments]
 
+    @cached_property
+    def _by_name(self) -> Dict[str, RegionAssignment]:
+        return {assignment.rp_name: assignment for assignment in self.assignments}
+
     def assignment_for(self, rp_name: str) -> RegionAssignment:
-        """Assignment lookup by RP name."""
-        for assignment in self.assignments:
-            if assignment.rp_name == rp_name:
-                return assignment
-        raise FloorplanError(f"no assignment for RP {rp_name!r}")
+        """Assignment lookup by RP name (cached name->assignment map)."""
+        assignment = self._by_name.get(rp_name)
+        if assignment is None:
+            raise FloorplanError(f"no assignment for RP {rp_name!r}")
+        return assignment
 
 
 def _unblocked_runs(blocked: np.ndarray) -> List[Tuple[int, int]]:
@@ -91,20 +109,20 @@ class FloraFloorplanner:
         self.target_utilization = target_utilization
         self.max_height = max_height_regions or device.region_rows
         self._forbidden: Set[int] = set(device.forbidden_columns())
-        # Per-resource prefix sums over column segments: prefix[k][x] is
-        # the sum of resource k over columns [0, x).
+        self._forbidden_mask = np.zeros(device.num_columns, dtype=bool)
+        for x in self._forbidden:
+            self._forbidden_mask[x] = True
+        # Per-resource prefix sums over column segments: prefix[x][k] is
+        # the sum of resource k over columns [0, x) — owned and cached
+        # by the device, shared across every planner instance.
         kinds = list(ResourceKind)
-        per_column = np.array(
-            [
-                [device.segment_resources(device.column_kind(x)).get(kind) for kind in kinds]
-                for x in range(device.num_columns)
-            ],
-            dtype=np.int64,
-        )
-        self._prefix = np.vstack(
-            [np.zeros((1, len(kinds)), dtype=np.int64), np.cumsum(per_column, axis=0)]
-        )
+        self._prefix = device.resource_prefix()
+        # Contiguous per-kind views: searchsorted needs 1-D sorted input.
+        self._prefix_by_kind = [
+            np.ascontiguousarray(self._prefix[:, k]) for k in range(len(kinds))
+        ]
         self._kinds = kinds
+        self._column_indices = np.arange(device.num_columns, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def plan(self, demands: Sequence[Tuple[str, ResourceVector]]) -> Floorplan:
@@ -119,27 +137,42 @@ class FloraFloorplanner:
         if len(set(names)) != len(names):
             raise FloorplanError("RP names must be unique")
 
-        occupied: Set[Tuple[int, int]] = set()  # (col, region_row) cells
+        occupied = self._empty_occupancy()
         placed: Dict[str, RegionAssignment] = {}
         order = sorted(demands, key=lambda item: (-item[1].lut, item[0]))
         for rp_name, demand in order:
             assignment = self._place_with_relaxation(rp_name, demand, occupied)
             placed[rp_name] = assignment
-            pb = assignment.pblock
-            for col in range(pb.col_lo, pb.col_hi + 1):
-                for row in range(pb.row_lo, pb.row_hi + 1):
-                    occupied.add((col, row))
+            self._mark_occupied(occupied, assignment.pblock)
         return Floorplan(
             device_name=self.device.name,
             assignments=tuple(placed[name] for name in names),
         )
 
     # ------------------------------------------------------------------
+    # occupancy representation (the reference planner overrides these)
+    # ------------------------------------------------------------------
+    def _empty_occupancy(self) -> Occupancy:
+        return np.zeros((self.device.num_columns, self.device.region_rows), dtype=bool)
+
+    def _mark_occupied(self, occupied: Occupancy, pb: Pblock) -> None:
+        occupied[pb.col_lo : pb.col_hi + 1, pb.row_lo : pb.row_hi + 1] = True
+
+    def _occupancy_grid(self, occupied: Occupancy) -> np.ndarray:
+        """Normalize either occupancy representation to the boolean grid."""
+        if isinstance(occupied, np.ndarray):
+            return occupied
+        grid = np.zeros((self.device.num_columns, self.device.region_rows), dtype=bool)
+        for col, row in occupied:
+            grid[col, row] = True
+        return grid
+
+    # ------------------------------------------------------------------
     def _place_with_relaxation(
         self,
         rp_name: str,
         demand: ResourceVector,
-        occupied: Set[Tuple[int, int]],
+        occupied: Occupancy,
     ) -> RegionAssignment:
         """Place one RP, relaxing the routability headroom if needed.
 
@@ -187,14 +220,118 @@ class FloraFloorplanner:
         self,
         rp_name: str,
         demand: ResourceVector,
-        occupied: Set[Tuple[int, int]],
+        occupied: Occupancy,
         utilization: Optional[float] = None,
     ) -> RegionAssignment:
         """Smallest legal rectangle covering the inflated demand.
 
         Ties on area prefer the leftmost, bottom-most anchor so regions
-        pack densely instead of fragmenting the fabric.
+        pack densely instead of fragmenting the fabric; area ties
+        between band heights resolve to the shorter band (the scan goes
+        height-ascending and only strictly better keys replace).
         """
+        inflated = self._inflated(demand, utilization)
+        need = np.array([inflated.get(kind) for kind in self._kinds], dtype=np.int64)
+        device = self.device
+        grid = self._occupancy_grid(occupied)
+        num_columns = device.num_columns
+        columns = self._column_indices
+        best: Optional[Pblock] = None
+        best_key: Optional[Tuple[int, int, int]] = None
+
+        for height in range(1, self.max_height + 1):
+            # Any candidate of this height has area >= height (width is
+            # at least one column), so once a best key exists no taller
+            # band can beat or tie it — identical results, less work.
+            if best_key is not None and height > best_key[0]:
+                break
+            # A window of this height satisfies resource k iff its
+            # column sum reaches ceil(need_k / height) — both sides of
+            # "window * height >= need" are integers.
+            thresholds = -(-need // height)
+            for row_lo in range(0, device.region_rows - height + 1):
+                blocked = self._forbidden_mask | grid[:, row_lo : row_lo + height].any(
+                    axis=1
+                )
+                anchors = np.nonzero(~blocked)[0]
+                if anchors.size == 0:
+                    continue
+                # Minimal satisfying col_hi per anchor: one binary
+                # search per resource kind over the prefix sums.
+                hi = anchors.copy()
+                feasible = np.ones(anchors.size, dtype=bool)
+                for k, threshold in enumerate(thresholds):
+                    if threshold <= 0:
+                        continue
+                    prefix_k = self._prefix_by_kind[k]
+                    hi_plus1 = np.searchsorted(
+                        prefix_k, prefix_k[anchors] + threshold, side="left"
+                    )
+                    feasible &= hi_plus1 <= num_columns
+                    np.maximum(hi, hi_plus1 - 1, out=hi)
+                # The window may not cross a blocked column: col_hi must
+                # stay below the next blocked index at/after the anchor.
+                # A fully unblocked band needs no run bookkeeping.
+                if anchors.size < num_columns:
+                    next_blocked = np.minimum.accumulate(
+                        np.where(blocked, columns, num_columns)[::-1]
+                    )[::-1]
+                    feasible &= hi < next_blocked[anchors]
+                if not feasible.any():
+                    continue
+                anchor_ok = anchors[feasible]
+                hi_ok = hi[feasible]
+                area = (hi_ok - anchor_ok + 1) * height
+                pick = np.lexsort((anchor_ok, area))[0]
+                key = (int(area[pick]), int(anchor_ok[pick]), row_lo)
+                if best_key is None or key < best_key:
+                    best = Pblock(
+                        name=f"pblock_{rp_name}",
+                        col_lo=int(anchor_ok[pick]),
+                        col_hi=int(hi_ok[pick]),
+                        row_lo=row_lo,
+                        row_hi=row_lo + height - 1,
+                    )
+                    best_key = key
+
+        if best is None:
+            raise FloorplanError(
+                f"cannot place RP {rp_name!r}: demand {demand} (inflated "
+                f"{inflated}) does not fit the remaining fabric of {device.name}"
+            )
+        return RegionAssignment(
+            rp_name=rp_name,
+            pblock=best,
+            demand=demand,
+            provided=best.resources(self.device),
+        )
+
+
+class ReferenceFloraFloorplanner(FloraFloorplanner):
+    """The original scalar per-window search, kept as the spec.
+
+    Enumerates every candidate window with a two-pointer sweep and an
+    O(1) prefix-sum check per step. Orders of magnitude slower than the
+    vectorized planner but trivially auditable; the equivalence tests
+    assert both produce identical :class:`Floorplan`s (relaxation
+    ladder included) on seeded random demand sets.
+    """
+
+    def _empty_occupancy(self) -> Occupancy:
+        return set()
+
+    def _mark_occupied(self, occupied: Occupancy, pb: Pblock) -> None:
+        for col in range(pb.col_lo, pb.col_hi + 1):
+            for row in range(pb.row_lo, pb.row_hi + 1):
+                occupied.add((col, row))
+
+    def _place_one(
+        self,
+        rp_name: str,
+        demand: ResourceVector,
+        occupied: Occupancy,
+        utilization: Optional[float] = None,
+    ) -> RegionAssignment:
         inflated = self._inflated(demand, utilization)
         need = np.array([inflated.get(kind) for kind in self._kinds], dtype=np.int64)
         device = self.device

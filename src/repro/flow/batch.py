@@ -12,7 +12,14 @@ error capture: one failed build never sinks the batch.
 
 On POSIX the pool uses the ``fork`` start method explicitly — workers
 inherit the warm interpreter instead of re-importing numpy/scipy, so
-the pool pays for itself even on sub-second builds.
+the pool pays for itself even on sub-second builds. The start method
+is resolved once at import; the pool itself is created lazily on the
+first parallel batch and then kept **warm** for the life of the
+builder: repeated ``build_many`` calls (sweeps, characterization
+grids) reuse the same worker processes instead of paying fork + heap
+re-warm per batch. ``close()`` (or the context-manager exit) shuts the
+pool down deterministically; a ``weakref.finalize`` safety net reaps
+abandoned builders.
 
 Observability crosses the pool boundary: when the batch's profiler or
 tracer is live, each work item carries a picklable
@@ -28,7 +35,8 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -153,6 +161,16 @@ def _pool_context():
     return None
 
 
+#: Start-method context resolved once at import — the answer never
+#: changes within a process, so per-batch re-resolution is pure waste.
+_POOL_CONTEXT = _pool_context()
+
+
+def _reap_pool(pool: ProcessPoolExecutor) -> None:
+    """Finalizer for abandoned builders: drop workers without blocking."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def cached_build(
     flow: DprFlow,
     cache: Optional[FlowCache],
@@ -227,6 +245,45 @@ class BatchBuilder:
         self._build_seconds = metrics.histogram(
             "flow_batch_build_seconds", "wall seconds per executed build"
         )
+        # Warm worker pool: created lazily on the first parallel batch,
+        # reused by every later one until close().
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer = None
+
+    # ------------------------------------------------------------------
+    # warm pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created on first parallel use."""
+        if self._pool is None:
+            logger.info("starting warm build pool (%d workers)", self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_POOL_CONTEXT
+            )
+            self._pool_finalizer = weakref.finalize(self, _reap_pool, self._pool)
+        return self._pool
+
+    @property
+    def pool_active(self) -> bool:
+        """True while the warm worker pool is up."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Shut the warm pool down (idempotent; builder stays usable —
+        the next parallel batch simply starts a fresh pool)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchBuilder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def build_many(self, requests: Sequence[BuildRequest]) -> List[BuildOutcome]:
@@ -346,32 +403,45 @@ class BatchBuilder:
                 )
                 for index in pending
             }
-        workers = min(self.jobs, len(pending))
         logger.info(
-            "dispatching %d builds over %d worker processes", len(pending), workers
+            "dispatching %d builds over %d warm worker processes",
+            len(pending),
+            min(self.jobs, len(pending)),
         )
         executed: Dict[
             int,
             Tuple[Optional[FlowResult], Optional[BuildError], float, Optional[Dict]],
         ] = {}
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
-        ) as pool:
-            futures = {
-                index: pool.submit(
+        pool = self._ensure_pool()
+        broken = False
+        futures = {}
+        for index in pending:
+            try:
+                futures[index] = pool.submit(
                     _pool_execute,
                     (self.flow, requests[index], self._capsule(requests[index])),
                 )
-                for index in pending
-            }
-            for index, future in futures.items():
-                try:
-                    executed[index] = future.result()
-                except Exception as error:  # pool/pickling infrastructure failure
-                    executed[index] = (
-                        None,
-                        BuildError(kind=type(error).__name__, message=str(error)),
-                        0.0,
-                        None,
-                    )
+            except Exception as error:  # pool already broken/shut down
+                broken = broken or isinstance(error, (BrokenExecutor, RuntimeError))
+                executed[index] = (
+                    None,
+                    BuildError(kind=type(error).__name__, message=str(error)),
+                    0.0,
+                    None,
+                )
+        for index, future in futures.items():
+            try:
+                executed[index] = future.result()
+            except Exception as error:  # pool/pickling infrastructure failure
+                broken = broken or isinstance(error, BrokenExecutor)
+                executed[index] = (
+                    None,
+                    BuildError(kind=type(error).__name__, message=str(error)),
+                    0.0,
+                    None,
+                )
+        if broken:
+            # A dead pool never recovers; drop it so the next batch
+            # starts fresh instead of failing forever.
+            self.close()
         return executed

@@ -7,6 +7,12 @@ bursts and partial-bitstream fetches; this package provides XY routing,
 an analytic latency model and a contention-aware transfer simulator.
 """
 
+from repro.noc.analytic import (
+    ANALYTIC_TOLERANCE,
+    AnalyticNocModel,
+    NocModel,
+    cycle_transfer_latency_cycles,
+)
 from repro.noc.packet import Packet, FLIT_BYTES
 from repro.noc.router import Port, Router, xy_route
 from repro.noc.mesh import Mesh
@@ -19,6 +25,10 @@ from repro.noc.traffic import (
 )
 
 __all__ = [
+    "ANALYTIC_TOLERANCE",
+    "AnalyticNocModel",
+    "NocModel",
+    "cycle_transfer_latency_cycles",
     "Packet",
     "FLIT_BYTES",
     "Port",

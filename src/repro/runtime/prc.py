@@ -21,6 +21,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import ReconfigurationError, StuckTransferError
+from repro.noc.analytic import (
+    AnalyticNocModel,
+    NocModel,
+    cycle_transfer_latency_cycles,
+)
 from repro.noc.mesh import Mesh
 from repro.noc.packet import FLIT_BYTES, HEADER_FLITS
 from repro.obs.logconfig import get_logger
@@ -95,6 +100,7 @@ class PrcDevice:
         metrics=NULL_METRICS,
         profiler=NULL_PROFILER,
         faults: RuntimeFaultModel = NO_RUNTIME_FAULTS,
+        noc_model: NocModel = NocModel.ANALYTIC,
     ) -> None:
         if clock_hz <= 0:
             raise ReconfigurationError("PRC clock must be positive")
@@ -113,6 +119,15 @@ class PrcDevice:
         #: with the manager (which reads it back for invoke-side draws)
         #: so injected and stochastic faults use one set of counters.
         self.faults = faults
+        #: Which NoC timing backend prices the fetch window: the
+        #: closed-form analytic model (default) or a per-transfer
+        #: flit-level replay (``NocModel.CYCLE``). At zero load the two
+        #: agree exactly; CYCLE exists as the cross-check.
+        self.noc_model = noc_model
+        self._analytic_noc = AnalyticNocModel(mesh)
+        # Deployments stream the same few bitstream sizes hundreds of
+        # times; the transfer window depends only on the size.
+        self._transfer_cache: Dict[int, Tuple[float, float]] = {}
         self._lock = Lock(sim)
         self.records: List[ReconfigurationRecord] = []
         #: In-flight abort events, keyed (tile, mode) — the watchdog's
@@ -145,16 +160,28 @@ class PrcDevice:
         return seconds
 
     def _transfer_seconds(self, size_bytes: int, split: bool = False):
-        fetch_seconds = size_bytes / self.fetch_bytes_per_cycle / self.clock_hz
-        icap_seconds = size_bytes / ICAP_BYTES_PER_CYCLE / self.clock_hz
-        noc_seconds = self.mesh.transfer_time_s(
+        cached = self._transfer_cache.get(size_bytes)
+        if cached is None:
+            fetch_seconds = size_bytes / self.fetch_bytes_per_cycle / self.clock_hz
+            icap_seconds = size_bytes / ICAP_BYTES_PER_CYCLE / self.clock_hz
+            noc_seconds = self._noc_seconds(size_bytes)
+            setup_seconds = PRC_OVERHEAD_CYCLES / self.clock_hz
+            total = setup_seconds + max(fetch_seconds, noc_seconds, icap_seconds)
+            cached = self._transfer_cache[size_bytes] = (total, noc_seconds)
+        if split:
+            return cached
+        return cached[0]
+
+    def _noc_seconds(self, size_bytes: int) -> float:
+        """Fetch-window NoC crossing time under the selected backend."""
+        if self.noc_model is NocModel.CYCLE:
+            cycles = cycle_transfer_latency_cycles(
+                self.mesh, self.mem_position, self.aux_position, size_bytes
+            )
+            return cycles / self.mesh.clock_hz
+        return self._analytic_noc.transfer_time_s(
             self.mem_position, self.aux_position, size_bytes
         )
-        setup_seconds = PRC_OVERHEAD_CYCLES / self.clock_hz
-        total = setup_seconds + max(fetch_seconds, noc_seconds, icap_seconds)
-        if split:
-            return total, noc_seconds
-        return total
 
     def inject_failure(self, tile_name: str, mode_name: str, count: int = 1) -> None:
         """Deprecated shim: arm ``count`` CRC failures for (tile, mode).

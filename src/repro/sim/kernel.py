@@ -14,7 +14,21 @@ class Event:
     Lifecycle: *pending* → ``succeed()``/``fail()`` → *triggered* (queued
     on the heap) → *processed* (callbacks ran). Waiting on an already
     processed event resumes the waiter immediately at the current time.
+
+    Events are the unit object of every simulated operation, so the
+    whole hierarchy is ``__slots__``-flattened: no per-instance dict,
+    fixed-offset attribute loads on the dispatch hot path.
     """
+
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_exception",
+        "triggered",
+        "processed",
+        "cancelled",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -117,6 +131,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -129,6 +145,8 @@ class Timeout(Event):
 
 class AllOf(Event):
     """Fires when every child event has been processed successfully."""
+
+    __slots__ = ("_pending", "_results")
 
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:
         super().__init__(sim)
@@ -154,6 +172,8 @@ class AllOf(Event):
 
 class AnyOf(Event):
     """Fires when the first child event is processed."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:
         super().__init__(sim)
@@ -182,6 +202,9 @@ class Simulator:
         # its uninstrumented fast path (a single attribute test).
         self._profiler = None
         self._tracer = None
+        # dispatch:<Type> frame names, interned per event type so the
+        # instrumented loop does not rebuild the string per event.
+        self._dispatch_names: dict = {}
 
     def attach_observability(self, profiler=None, tracer=None) -> None:
         """Bind profiling/tracing hooks to the dispatch loop.
@@ -266,7 +289,11 @@ class Simulator:
         # nodes' sim_s sums to the final simulation time.
         advance = when - self.now
         self.now = when
-        self._profiler.begin(f"dispatch:{type(event).__name__}")
+        event_type = type(event)
+        name = self._dispatch_names.get(event_type)
+        if name is None:
+            name = self._dispatch_names[event_type] = f"dispatch:{event_type.__name__}"
+        self._profiler.begin(name)
         try:
             self._profiler.add_sim(advance)
             event._process()
@@ -280,6 +307,8 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
+        if self._profiler is None and self._tracer is None:
+            return self._run_fast(until)
         while self._heap:
             if self._heap[0][2].cancelled:
                 self._discard_cancelled(heapq.heappop(self._heap)[2])
@@ -291,6 +320,38 @@ class Simulator:
             self.step()
         if until is not None:
             self.now = max(self.now, until)
+        return self.now
+
+    def _run_fast(self, until: Optional[float]) -> float:
+        """The monomorphic uninstrumented dispatch loop.
+
+        With no profiler and no tracer attached there is exactly one
+        shape of work per event: peek, skip if withdrawn, advance the
+        clock, run the callbacks. Hoisting the heap and heappop into
+        locals and bypassing :meth:`step`'s per-call re-dispatch keeps
+        this loop free of attribute lookups and branch soup — it is the
+        innermost loop of every deployment.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                # Lazy deletion: withdrawn entries pop without running
+                # callbacks or advancing the clock.
+                pop(heap)
+                continue
+            when = entry[0]
+            if until is not None and when > until:
+                self.now = until
+                return until
+            if when < self.now:
+                raise SimulationError("time went backwards (kernel bug)")
+            pop(heap)
+            self.now = when
+            entry[2]._process()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     @property

@@ -19,6 +19,8 @@ from repro.sim.kernel import Event, Simulator
 class Process(Event):
     """A running coroutine inside a :class:`Simulator`."""
 
+    __slots__ = ("_generator",)
+
     def __init__(self, sim: Simulator, generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(

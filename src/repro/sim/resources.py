@@ -61,7 +61,9 @@ class Store:
         self.capacity = capacity
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[Event] = deque()  # events carrying a pending item
+        # (event, pending item) pairs; Event is __slots__-flattened, so
+        # the pending item rides alongside instead of on the event.
+        self._putters: Deque[tuple] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -75,8 +77,7 @@ class Store:
         """Enqueue ``item``; blocks (pending event) when at capacity."""
         event = self.sim.event()
         if self.capacity is not None and len(self._items) >= self.capacity:
-            event._pending_item = item  # type: ignore[attr-defined]
-            self._putters.append(event)
+            self._putters.append((event, item))
             return event
         self._deliver(item)
         event.succeed(item)
@@ -104,7 +105,6 @@ class Store:
         if self._putters and (
             self.capacity is None or len(self._items) < self.capacity
         ):
-            putter = self._putters.popleft()
-            item = putter._pending_item  # type: ignore[attr-defined]
+            putter, item = self._putters.popleft()
             self._deliver(item)
             putter.succeed(item)

@@ -162,6 +162,16 @@ class Characterizer:
         self.cache = cache
         self.batch = BatchBuilder(flow=self.flow, cache=cache, jobs=jobs)
 
+    def close(self) -> None:
+        """Shut down the sweep's warm worker pool (idempotent)."""
+        self.batch.close()
+
+    def __enter__(self) -> "Characterizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def taus_for(self, config: SocConfig, max_tau: Optional[int] = None) -> List[int]:
         """Feasible parallelism levels: 1..N (optionally capped)."""
         n = len(config.reconfigurable_tiles)

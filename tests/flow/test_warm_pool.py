@@ -1,0 +1,88 @@
+"""Lifecycle of the persistent warm worker pool.
+
+The pool must be lazy (serial builders never fork), persistent
+(repeat batches reuse the same executor), and closeable (explicitly,
+via context manager, and transitively from the platform that owns the
+batch). Output equivalence between pooled and serial execution is
+covered by the batch tests; these pin the pool's lifetime.
+"""
+
+import pytest
+
+from repro.core.designs import wami_deployment_socs
+from repro.core.platform import BuildOptions, PrEspPlatform
+from repro.core.strategy import ImplementationStrategy
+from repro.flow.batch import BatchBuilder, BuildRequest
+from repro.vivado.characterization import Characterizer
+
+
+@pytest.fixture(scope="module")
+def requests():
+    config = wami_deployment_socs()["soc_y"]
+    return [
+        BuildRequest(config=config, strategy_override=strategy)
+        for strategy in (
+            ImplementationStrategy.SERIAL,
+            ImplementationStrategy.FULLY_PARALLEL,
+        )
+    ]
+
+
+class TestBatchPoolLifecycle:
+    def test_serial_builder_never_starts_a_pool(self, requests):
+        batch = BatchBuilder(jobs=1)
+        assert all(o.ok for o in batch.build_many(requests))
+        assert not batch.pool_active
+
+    def test_pool_is_lazy_then_persists_across_batches(self, requests):
+        with BatchBuilder(jobs=2) as batch:
+            assert not batch.pool_active
+            assert all(o.ok for o in batch.build_many(requests))
+            assert batch.pool_active
+            first_pool = batch._pool
+            assert all(o.ok for o in batch.build_many(requests))
+            assert batch._pool is first_pool
+        assert not batch.pool_active
+
+    def test_close_is_idempotent_and_pool_restarts(self, requests):
+        batch = BatchBuilder(jobs=2)
+        batch.build_many(requests)
+        batch.close()
+        batch.close()
+        assert not batch.pool_active
+        # The builder stays usable: the next batch starts a fresh pool.
+        assert all(o.ok for o in batch.build_many(requests))
+        assert batch.pool_active
+        batch.close()
+
+    def test_single_pending_request_stays_in_process(self, requests):
+        batch = BatchBuilder(jobs=2)
+        assert batch.build_many(requests[:1])[0].ok
+        assert not batch.pool_active
+
+
+class TestPlatformOwnership:
+    def test_platform_close_shuts_down_all_pools(self, requests):
+        with PrEspPlatform(options=BuildOptions(jobs=2)) as platform:
+            platform.build_many(requests)
+            assert platform.batch.pool_active
+            platform.build_many(requests, jobs=3)
+            override = platform._override_batches[3]
+            assert override.pool_active
+        assert not platform.batch.pool_active
+        assert not platform._override_batches
+
+    def test_jobs_override_reuses_one_batch(self, requests):
+        platform = PrEspPlatform(options=BuildOptions(jobs=1))
+        platform.build_many(requests, jobs=2)
+        override = platform._override_batches[2]
+        platform.build_many(requests, jobs=2)
+        assert platform._override_batches[2] is override
+        platform.close()
+
+    def test_characterizer_close(self):
+        characterizer = Characterizer(jobs=2)
+        with characterizer:
+            config = wami_deployment_socs()["soc_y"]
+            characterizer.sweep([config], max_tau=2)
+        assert not characterizer.batch.pool_active

@@ -13,7 +13,7 @@ import time
 import pytest
 
 from repro.cli import main
-from repro.noc.mesh import Mesh
+from repro.runtime.prc import PrcDevice
 from repro.obs.profiler import load_profile, self_host_total
 from repro.obs.profdiff import self_time_shares
 
@@ -169,15 +169,17 @@ class TestProfileDiffCommand:
         self, seeded, capsys, monkeypatch
     ):
         results, baselines = seeded
-        # Synthetic hotspot: every NoC transfer-time evaluation burns
-        # host time, shifting self-time shares toward the NoC paths.
-        original = Mesh.transfer_time_s
+        # Synthetic hotspot: every NoC transfer-window evaluation burns
+        # host time inside the profiled ``noc.transfer`` frame, shifting
+        # self-time shares toward the NoC paths. Patched below the
+        # per-size transfer cache so every reconfiguration pays it.
+        original = PrcDevice._transfer_seconds
 
-        def slow(self, src, dst, num_bytes):
+        def slow(self, size_bytes, split=False):
             time.sleep(0.003)
-            return original(self, src, dst, num_bytes)
+            return original(self, size_bytes, split=split)
 
-        monkeypatch.setattr(Mesh, "transfer_time_s", slow)
+        monkeypatch.setattr(PrcDevice, "_transfer_seconds", slow)
         assert main(["profile", "fig4_smoke", "--out", str(results)]) == 0
         capsys.readouterr()
         assert self.diff(results, baselines) == 1
