@@ -36,9 +36,11 @@ from repro.flow.batch import BuildOutcome, BuildRequest
 from repro.flow.dpr_flow import FlowResult
 from repro.flow.monolithic import MonolithicResult
 from repro.flow.options import BuildOptions
+from repro.obs.context import RequestIdFactory, TelemetryContext
 from repro.obs.events import EventBus
 from repro.obs.health import HealthReport
 from repro.obs.instrumentation import Instrumentation
+from repro.obs.tsdb import TelemetryStore
 from repro.runtime.faults import RuntimeFaultOptions
 from repro.soc.config import SocConfig
 
@@ -51,7 +53,10 @@ __all__ = [
     "platform",
     "BuildOptions",
     "Instrumentation",
+    "RequestIdFactory",
     "RuntimeFaultOptions",
+    "TelemetryContext",
+    "TelemetryStore",
 ]
 
 
@@ -95,6 +100,7 @@ def build(
     options: Optional[BuildOptions] = None,
     instrumentation: Optional[Instrumentation] = None,
     platform: Optional[PrEspPlatform] = None,
+    context: Optional[TelemetryContext] = None,
 ) -> BuildResult:
     """Run the PR-ESP DPR flow on ``config``.
 
@@ -103,12 +109,15 @@ def build(
     ``options.resume``). A build that lost reconfigurable partitions to
     permanent CAD faults returns normally with ``result.flow.degraded``
     set — inspect ``result.flow.failures`` rather than catching.
+    ``context`` attributes the run's telemetry to an existing request
+    ID (platforms built with ``request_ids=`` mint one otherwise).
     """
     return _platform_for(platform, options, instrumentation).build(
         config,
         strategy_override=strategy,
         with_baseline=with_baseline,
         resume=resume,
+        context=context,
     )
 
 
@@ -117,9 +126,12 @@ def build_many(
     options: Optional[BuildOptions] = None,
     instrumentation: Optional[Instrumentation] = None,
     platform: Optional[PrEspPlatform] = None,
+    context: Optional[TelemetryContext] = None,
 ) -> List[BuildOutcome]:
     """Fan a batch of build requests out over the build service."""
-    return _platform_for(platform, options, instrumentation).build_many(requests)
+    return _platform_for(platform, options, instrumentation).build_many(
+        requests, context=context
+    )
 
 
 def compare(
@@ -127,10 +139,11 @@ def compare(
     options: Optional[BuildOptions] = None,
     instrumentation: Optional[Instrumentation] = None,
     platform: Optional[PrEspPlatform] = None,
+    context: Optional[TelemetryContext] = None,
 ) -> Tuple[FlowResult, MonolithicResult]:
     """PR-ESP vs the monolithic baseline for one SoC (Table V row)."""
     return _platform_for(platform, options, instrumentation).compare_with_monolithic(
-        config
+        config, context=context
     )
 
 
@@ -144,6 +157,7 @@ def deploy(
     instrumentation: Optional[Instrumentation] = None,
     platform: Optional[PrEspPlatform] = None,
     runtime_options: Optional[RuntimeFaultOptions] = None,
+    context: Optional[TelemetryContext] = None,
     **kwargs,
 ) -> WamiRunReport:
     """Program a built SoC and run WAMI for ``frames`` frames.
@@ -164,6 +178,7 @@ def deploy(
         power_gating=power_gating,
         pipelined=pipelined,
         runtime_options=runtime_options,
+        context=context,
         **kwargs,
     )
 
@@ -174,6 +189,7 @@ def monitor(
     options: Optional[BuildOptions] = None,
     platform: Optional[PrEspPlatform] = None,
     runtime_options: Optional[RuntimeFaultOptions] = None,
+    context: Optional[TelemetryContext] = None,
     **kwargs,
 ) -> Tuple[WamiRunReport, HealthReport, EventBus]:
     """Deploy WAMI with the event bus and health monitor wired in.
@@ -185,5 +201,9 @@ def monitor(
     :meth:`PrEspPlatform.monitor_wami`.
     """
     return _platform_for(platform, options, None).monitor_wami(
-        config, frames=frames, runtime_options=runtime_options, **kwargs
+        config,
+        frames=frames,
+        runtime_options=runtime_options,
+        context=context,
+        **kwargs,
     )

@@ -9,6 +9,8 @@ evaluation entry points:
 * ``compare CONFIG``       PR-ESP vs the monolithic baseline (Table V row)
 * ``deploy CONFIG``        run WAMI on a built SoC (Fig. 4 methodology)
 * ``monitor CONFIG``       deploy with the health monitor attached
+* ``dashboard CONFIG``     deploy with full request telemetry: SLO/error
+                           budgets plus Prometheus/OTLP exposition
 * ``bench-diff``           compare BENCH_*.json summaries against baselines
 * ``profile TARGET``       call-path profile of a Fig. 4 workload, or the
                            Fig. 3-style profile of one WAMI accelerator
@@ -22,6 +24,7 @@ soc_x/y/z) or a path to an ``.esp_config`` file.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -42,7 +45,15 @@ from repro.flow.cache import FlowCache
 from repro.flow.options import BuildOptions
 from repro.obs.instrumentation import Instrumentation
 from repro.flow.report import comparison_report, flow_report
-from repro.obs.export import metrics_lines, write_chrome_trace
+from repro.obs.context import RequestIdFactory
+from repro.obs.events import EventBus
+from repro.obs.export import (
+    metrics_lines,
+    write_chrome_trace,
+    write_otlp_jsonl,
+    write_prometheus_text,
+)
+from repro.obs.health import Verdict, _worst
 from repro.obs.logconfig import (
     LEVELS,
     configure_logging,
@@ -78,7 +89,9 @@ from repro.obs.profiler import (
     self_host_total,
     write_profile,
 )
+from repro.obs.slo import SloTracker
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tsdb import TelemetryStore
 from repro.runtime.faults import (
     PERSISTENT,
     RuntimeFaultKind,
@@ -469,6 +482,7 @@ def parse_injections(specs) -> list:
 
 def cmd_monitor(args) -> int:
     config = resolve_config(args.config)
+    registry = MetricsRegistry()
     report, health, bus = api.monitor(
         config,
         frames=args.frames,
@@ -479,9 +493,21 @@ def cmd_monitor(args) -> int:
         queue_depth_degraded=args.queue_depth_degraded,
         inject_failures=parse_injections(args.inject_failure),
         runtime_options=runtime_faults_from_args(args),
+        metrics=registry,
     )
+    # One end-of-run snapshot is enough for the SLO verdict, but burn
+    # over a single sample is all-or-nothing, so a breached budget
+    # folds into the exit code as DEGRADED at most — the dashboard's
+    # sampled stream is where a CRITICAL burn carries evidence.
+    store = TelemetryStore()
+    store.record(registry, time=report.timeline.makespan_s)
+    slo = SloTracker(store).evaluate()
+    slo_fold = Verdict.DEGRADED if slo.verdict is Verdict.CRITICAL else slo.verdict
+    verdict = _worst(health.verdict, slo_fold)
     if args.json:
         payload = health.to_dict()
+        payload["slo"] = slo.to_dict()
+        payload["verdict"] = verdict.value
         payload["deploy"] = {
             "config": config.name,
             "frames": report.frames,
@@ -499,12 +525,15 @@ def cmd_monitor(args) -> int:
             for event in bus.last(args.events)
         ]
         print(json.dumps(payload, indent=2))
-        return health.verdict.exit_code
+        return verdict.exit_code
     print(f"{config.name}: {report.frames} frames, "
           f"{report.reconfigurations} reconfigurations")
     print(f"  frame latency : {report.seconds_per_frame * 1000:.1f} ms")
     print()
     for line in health.summary_lines():
+        print(line)
+    print()
+    for line in slo.summary_lines():
         print(line)
     if args.events:
         shown = bus.last(args.events)
@@ -513,7 +542,120 @@ def cmd_monitor(args) -> int:
               f"{bus.dropped} dropped):")
         for event in shown:
             print(f"  {event}")
-    return health.verdict.exit_code
+    return verdict.exit_code
+
+
+def _dashboard_frames(store: TelemetryStore, window_s) -> list:
+    """Deterministic replay of the run: one SLO evaluation per sample.
+
+    Re-records the store's samples one at a time into a scratch store
+    and evaluates the SLOs after each, yielding the dashboard's
+    ``--follow`` timeline — the same frames a live refresh would have
+    shown, without any wall clock involved.
+    """
+    replay = TelemetryStore(
+        capacity=store.capacity, series_capacity=store.series_capacity
+    )
+    tracker = SloTracker(replay)
+    frames = []
+    for sample in store.samples():
+        replay.record(dict(sample.values), time=sample.time)
+        report = tracker.evaluate(window_s=window_s)
+        frames.append(
+            {
+                "time": sample.time,
+                "verdict": report.verdict.value,
+                "burn": {
+                    status.spec.name: status.burn for status in report.statuses
+                },
+            }
+        )
+    return frames
+
+
+def cmd_dashboard(args) -> int:
+    config = resolve_config(args.config)
+    registry = MetricsRegistry()
+    bus = EventBus()
+    factory = RequestIdFactory(seed=args.seed, tenant=args.tenant)
+    store = TelemetryStore()
+    plat = api.platform(
+        request_ids=factory,
+        instrumentation=Instrumentation(metrics=registry, events=bus),
+    )
+    built = plat.build(config)
+    # Attach the sampler only now: the flow's events ride the modelled
+    # CAD-minute clock while the deployment's ride DES seconds, and
+    # sampling just the runtime stream keeps the store's timeline
+    # monotonic from t=0 (the flow counters are already in the
+    # registry, so every sample still carries them).
+    store.attach(bus, registry, interval=args.interval)
+    report, health, bus = api.monitor(
+        config,
+        frames=args.frames,
+        flow_result=built.flow,
+        inject_failures=parse_injections(args.inject_failure),
+        runtime_options=runtime_faults_from_args(args),
+        metrics=registry,
+        bus=bus,
+        platform=plat,
+    )
+    # One final snapshot: the end-of-run runtime gauges are published
+    # after the last bus event, so the sampler never sees them.
+    end_time = report.timeline.makespan_s
+    latest = store.latest()
+    if latest is not None and latest.time > end_time:
+        end_time = latest.time
+    store.record(registry, time=end_time)
+    slo = SloTracker(store).evaluate(window_s=args.window)
+    verdict = _worst(health.verdict, slo.verdict)
+    if args.prom:
+        write_prometheus_text(args.prom, registry)
+    if args.otlp:
+        write_otlp_jsonl(args.otlp, registry, time_s=end_time)
+    if args.json:
+        payload = {
+            "soc": config.name,
+            "frames": report.frames,
+            "verdict": verdict.value,
+            "requests": {"minted": factory.minted, "tenant": factory.tenant},
+            "health": health.to_dict(),
+            "slo": slo.to_dict(),
+            "store": store.to_dict(),
+        }
+        if args.follow:
+            payload["replay"] = _dashboard_frames(store, args.window)
+        print(json.dumps(payload, indent=2))
+        return verdict.exit_code
+    print(f"{config.name}: {report.frames} frames, "
+          f"{report.reconfigurations} reconfigurations")
+    print(f"  requests      : {factory.minted} minted (tenant {factory.tenant})")
+    print(f"  samples       : {store.recorded} recorded, {store.dropped} dropped")
+    if args.follow:
+        print()
+        print("replay:")
+        last = None
+        for frame in _dashboard_frames(store, args.window):
+            stamp = frame["verdict"].upper()
+            burns = " ".join(
+                f"{name}={burn:.0%}" for name, burn in frame["burn"].items()
+            )
+            marker = "  <-- verdict change" if last is not None and stamp != last else ""
+            print(f"  t={frame['time']:10.4f}s  {stamp:8s} {burns}{marker}")
+            last = stamp
+    print()
+    for line in health.summary_lines():
+        print(line)
+    print()
+    for line in slo.summary_lines():
+        print(line)
+    print()
+    print(f"overall       : {verdict.value.upper()}")
+    if args.prom:
+        print(f"prometheus exposition written to {args.prom}")
+    if args.otlp:
+        print(f"otlp metrics written to {args.otlp}")
+    return verdict.exit_code
 
 
 def cmd_bench_diff(args) -> int:
@@ -566,8 +708,20 @@ def _cmd_profile_workload(args) -> int:
     profiler = Profiler()
     platform = api.platform(instrumentation=Instrumentation(profiler=profiler))
     socs = wami_deployment_socs()
-    for name in soc_names:
-        api.deploy(socs[name], frames=frames, platform=platform)
+    # The workloads finish in tens of milliseconds, so a gen-2
+    # collection landing inside the window dwarfs the paths it
+    # interrupts (the pause is charged to whichever frame happened to
+    # allocate). Start the window from a collected heap with the
+    # collector paused so the attribution gate compares real shares.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for name in soc_names:
+            api.deploy(socs[name], frames=frames, platform=platform)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     document = profile_document(profiler, args.target)
     json_path, collapsed_path = write_profile(args.out, args.target, document)
     if args.json:
@@ -928,6 +1082,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_fault_options(monitor)
     monitor.set_defaults(func=cmd_monitor)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="deploy with request telemetry, SLO budgets and exporters",
+        description=(
+            "Build and deploy under a request-scoped telemetry context, "
+            "sample the metrics registry along the run's event stream, "
+            "evaluate the SLO error budgets and print the dashboard. "
+            "Exit code folds the health and SLO verdicts: 0 ok, 1 "
+            "degraded, 2 critical."
+        ),
+    )
+    dashboard.add_argument("config", help="design name or esp_config path")
+    dashboard.add_argument("--frames", type=int, default=4)
+    dashboard.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="request-ID factory seed (fixed seed = identical IDs)",
+    )
+    dashboard.add_argument(
+        "--tenant",
+        default="default",
+        metavar="NAME",
+        help="tenant label stamped on the run's telemetry",
+    )
+    dashboard.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="minimum simulated seconds between registry samples",
+    )
+    dashboard.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="S",
+        help="SLO evaluation window in simulated seconds (default: all)",
+    )
+    dashboard.add_argument(
+        "--follow",
+        action="store_true",
+        help="replay the recorded samples as a live-refresh timeline",
+    )
+    dashboard.add_argument(
+        "--inject-failure",
+        action="append",
+        metavar="TILE:MODE[:COUNT]",
+        help="arm COUNT transfer failures for (tile, mode); repeatable",
+    )
+    dashboard.add_argument(
+        "--prom",
+        metavar="PATH",
+        help="write the Prometheus text exposition page to PATH",
+    )
+    dashboard.add_argument(
+        "--otlp",
+        metavar="PATH",
+        help="write OTLP-shaped JSONL metrics to PATH",
+    )
+    dashboard.add_argument(
+        "--json", action="store_true", help="emit the dashboard as JSON"
+    )
+    _add_runtime_fault_options(dashboard)
+    dashboard.set_defaults(func=cmd_dashboard)
 
     bench_diff = sub.add_parser(
         "bench-diff",

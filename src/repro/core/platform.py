@@ -11,9 +11,10 @@ returning performance and energy (the Fig. 4 experiment).
 
 from __future__ import annotations
 
+import contextlib
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.strategy import ImplementationStrategy
 from repro.energy.measure import EnergyReport, measure_energy
@@ -26,12 +27,14 @@ from repro.flow.options import BuildOptions
 from repro.noc.analytic import NocModel
 from repro.noc.mesh import Mesh
 from repro.obs.bridge import bridge_timeline, publish_runtime_stats
+from repro.obs.context import RequestIdFactory, TelemetryContext, activate
 from repro.obs.events import EventBus, NULL_EVENTS
 from repro.obs.health import HealthMonitor, HealthReport
 from repro.obs.instrumentation import OFF, Instrumentation
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
+from repro.obs.tsdb import TelemetryStore
 from repro.runtime.api import DprUserApi
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
 from repro.runtime.executor import AppExecutor, ExecutionTimeline
@@ -149,6 +152,8 @@ class PrEspPlatform:
         instrumentation: Optional[Instrumentation] = None,
         options: Optional[BuildOptions] = None,
         runtime_options: Optional[RuntimeFaultOptions] = None,
+        request_ids: Optional[RequestIdFactory] = None,
+        telemetry: Optional[TelemetryStore] = None,
         cache=_UNSET,
         jobs=_UNSET,
     ) -> None:
@@ -158,6 +163,16 @@ class PrEspPlatform:
         checkpoint directory); ``runtime_options`` bundles the
         deploy-side runtime fault model and watchdog/recovery policy
         (the DES mirror of the CAD fault options).
+
+        ``request_ids`` turns on request-scoped telemetry: every verb
+        mints (or accepts via ``context=``) a
+        :class:`~repro.obs.context.TelemetryContext` and activates it,
+        so the live instrumentation stamps each span, event, metric
+        sample and profile leaf with the request ID. ``telemetry``
+        attaches a :class:`~repro.obs.tsdb.TelemetryStore` that
+        snapshots the metrics registry after every verb — the series
+        the SLO tracker and the ``repro dashboard`` verb read. Both
+        default off, preserving context-free label keys.
 
         ``cache=`` and ``jobs=`` remain as deprecated shims — they
         fold into a :class:`BuildOptions` and warn.
@@ -184,6 +199,8 @@ class PrEspPlatform:
         self.instrumentation = (
             instrumentation if instrumentation is not None else OFF
         )
+        self.request_ids = request_ids
+        self.telemetry = telemetry
         self.model = model
         self.power_model = power_model
         self.prc_fetch_bytes_per_cycle = prc_fetch_bytes_per_cycle
@@ -208,6 +225,29 @@ class PrEspPlatform:
         #: forking a throwaway pool per call.
         self._override_batches: Dict[int, BatchBuilder] = {}
 
+    @contextlib.contextmanager
+    def _request(
+        self, verb: str, context: Optional[TelemetryContext]
+    ) -> Iterator[Optional[TelemetryContext]]:
+        """Activate the verb's telemetry context around its body.
+
+        An explicit ``context=`` wins; otherwise one is minted from the
+        platform's :class:`RequestIdFactory` when configured, and with
+        neither the verb runs unattributed (the seed behaviour — label
+        keys stay context-free). On exit the platform's
+        :class:`TelemetryStore`, when configured, records one registry
+        snapshot — failed verbs included, so SLO burn sees their
+        failure counters.
+        """
+        if context is None and self.request_ids is not None:
+            context = self.request_ids.mint(verb)
+        try:
+            with activate(context):
+                yield context
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.record(self.instrumentation.metrics)
+
     def _make_batch(self, jobs: int) -> BatchBuilder:
         """A build service sharing the platform's flow/cache/obs bundle."""
         return BatchBuilder(
@@ -230,6 +270,7 @@ class PrEspPlatform:
         with_baseline: bool = False,
         tracer=_UNSET,
         resume: Optional[bool] = None,
+        context: Optional[TelemetryContext] = None,
     ) -> BuildResult:
         """Compile ``config`` with the PR-ESP flow (plus baseline if asked).
 
@@ -243,7 +284,10 @@ class PrEspPlatform:
         ``resume`` (defaulting to the options' flag) restores the
         matching prefix of a previously killed build.
 
-        ``tracer=`` remains as a deprecated per-call shim.
+        ``tracer=`` remains as a deprecated per-call shim. ``context=``
+        attributes the build to an existing request; without one the
+        platform's ID factory (when configured) mints a fresh
+        ``build-...`` context.
         """
         if tracer is _UNSET:
             tracer = self.instrumentation.tracer
@@ -254,38 +298,45 @@ class PrEspPlatform:
                 DeprecationWarning,
                 stacklevel=2,
             )
-        flow_result, cached = cached_build(
-            self.flow,
-            self.cache,
-            config,
-            strategy_override=strategy_override,
-            tracer=tracer,
-            events=self.instrumentation.events,
-            profiler=self.instrumentation.profiler,
-            checkpoint_dir=self.options.checkpoint_dir,
-            resume=self.options.resume if resume is None else resume,
-        )
-        baseline = self.baseline_flow.build(config) if with_baseline else None
+        with self._request("build", context):
+            flow_result, cached = cached_build(
+                self.flow,
+                self.cache,
+                config,
+                strategy_override=strategy_override,
+                tracer=tracer,
+                events=self.instrumentation.events,
+                profiler=self.instrumentation.profiler,
+                registry=self.instrumentation.metrics,
+                checkpoint_dir=self.options.checkpoint_dir,
+                resume=self.options.resume if resume is None else resume,
+            )
+            baseline = self.baseline_flow.build(config) if with_baseline else None
         return BuildResult(flow=flow_result, baseline=baseline, cached=cached)
 
     def build_many(
         self,
         requests: Sequence[BuildRequest],
         jobs: Optional[int] = None,
+        context: Optional[TelemetryContext] = None,
     ) -> List[BuildOutcome]:
         """Fan a batch of build requests out over the build service.
 
         ``jobs`` overrides the worker count the platform was
         constructed with (1 = serial in-process). Outcomes keep the
         request order; a failing request carries its own ``BuildError``
-        instead of aborting the batch.
+        instead of aborting the batch. The whole batch runs under one
+        telemetry context (``context=`` or a minted ``batch-...`` one);
+        pool workers re-activate it from their shipped capsule, so
+        worker-side telemetry joins the batch's request ID.
         """
         batch = self.batch
         if jobs is not None and jobs != batch.jobs:
             batch = self._override_batches.get(jobs)
             if batch is None:
                 batch = self._override_batches[jobs] = self._make_batch(jobs)
-        return batch.build_many(requests)
+        with self._request("batch", context):
+            return batch.build_many(requests)
 
     def close(self) -> None:
         """Release platform-owned resources (the warm build pools).
@@ -305,10 +356,11 @@ class PrEspPlatform:
         self.close()
 
     def compare_with_monolithic(
-        self, config: SocConfig
+        self, config: SocConfig, context: Optional[TelemetryContext] = None
     ) -> Tuple[FlowResult, MonolithicResult]:
         """The Table V experiment for one SoC."""
-        result = self.build(config, with_baseline=True)
+        with self._request("compare", context) as ctx:
+            result = self.build(config, with_baseline=True, context=ctx)
         assert result.baseline is not None
         return result.flow, result.baseline
 
@@ -358,6 +410,7 @@ class PrEspPlatform:
         prc_setup: Optional[Callable[[PrcDevice], None]] = None,
         instrumentation: Optional[Instrumentation] = None,
         runtime_options: Optional[RuntimeFaultOptions] = None,
+        context: Optional[TelemetryContext] = None,
     ) -> WamiRunReport:
         """Program a built SoC and run WAMI for ``frames`` frames.
 
@@ -420,21 +473,22 @@ class PrEspPlatform:
             instrumentation if instrumentation is not None else self.instrumentation
         )
         profiler = inst.profiler
-        if not profiler.enabled:
-            return self._deploy_wami(
-                config, flow_result, frames, app, power_gating, pipelined,
-                prc_setup, inst, runtime_options,
-            )
-        # One deployment = one profile subtree: the DES dispatch, NoC
-        # and runtime-recovery attributions all nest under it.
-        profiler.begin(f"deploy.{config.name}")
-        try:
-            return self._deploy_wami(
-                config, flow_result, frames, app, power_gating, pipelined,
-                prc_setup, inst, runtime_options,
-            )
-        finally:
-            profiler.end()
+        with self._request("deploy", context):
+            if not profiler.enabled:
+                return self._deploy_wami(
+                    config, flow_result, frames, app, power_gating, pipelined,
+                    prc_setup, inst, runtime_options,
+                )
+            # One deployment = one profile subtree: the DES dispatch, NoC
+            # and runtime-recovery attributions all nest under it.
+            profiler.begin(f"deploy.{config.name}")
+            try:
+                return self._deploy_wami(
+                    config, flow_result, frames, app, power_gating, pipelined,
+                    prc_setup, inst, runtime_options,
+                )
+            finally:
+                profiler.end()
 
     def _deploy_wami(
         self,
@@ -451,7 +505,9 @@ class PrEspPlatform:
         tracer, metrics, events = inst.tracer, inst.metrics, inst.events
         profiler = inst.profiler
         if flow_result is None:
-            flow_result = self.flow.build(config, profiler=profiler)
+            flow_result = self.flow.build(
+                config, events=events, profiler=profiler, registry=metrics
+            )
         if flow_result.config.name != config.name:
             raise ConfigurationError(
                 "flow result belongs to a different SoC "
@@ -568,6 +624,7 @@ class PrEspPlatform:
         tracer=NULL_TRACER,
         profiler=NULL_PROFILER,
         runtime_options: Optional[RuntimeFaultOptions] = None,
+        context: Optional[TelemetryContext] = None,
     ) -> Tuple[WamiRunReport, HealthReport, EventBus]:
         """Deploy WAMI with a health monitor attached (``repro monitor``).
 
@@ -608,13 +665,15 @@ class PrEspPlatform:
                     count=int(count),
                 )
             ropts = RuntimeFaultOptions(faults=model, recovery=ropts.recovery)
-        report = self.deploy_wami(
-            config,
-            flow_result=flow_result,
-            frames=frames,
-            instrumentation=Instrumentation(
-                tracer=tracer, metrics=metrics, events=bus, profiler=profiler
-            ),
-            runtime_options=ropts,
-        )
+        with self._request("monitor", context) as ctx:
+            report = self.deploy_wami(
+                config,
+                flow_result=flow_result,
+                frames=frames,
+                instrumentation=Instrumentation(
+                    tracer=tracer, metrics=metrics, events=bus, profiler=profiler
+                ),
+                runtime_options=ropts,
+                context=ctx,
+            )
         return report, monitor.report(), bus

@@ -45,6 +45,7 @@ from repro.errors import FlowError
 from repro.flow.cache import FlowCache, flow_cache_key
 from repro.flow.dpr_flow import DprFlow, FlowResult
 from repro.obs import events as ev
+from repro.obs.context import bind, current_context, unbind
 from repro.obs.events import NULL_EVENTS
 from repro.obs.export import merge_span_records, span_records
 from repro.obs.logconfig import get_logger
@@ -118,6 +119,10 @@ def _execute(
     profile tree, the recorded span dicts and the worker process name
     the parent tags the merge with — or None when observability is off.
     Flow frames balance on failure too, so the payload always exports.
+
+    The capsule's request context (if any) is re-activated around the
+    build, so worker-side spans, profile leaves and log records carry
+    the originating request's ID even across the process boundary.
     """
     profiler = capsule.activate() if capsule is not None else NULL_PROFILER
     tracer = (
@@ -125,6 +130,7 @@ def _execute(
         if capsule is not None and capsule.trace
         else NULL_TRACER
     )
+    token = bind(capsule.context) if capsule is not None else None
     start = time.perf_counter()
     try:
         result = flow.build(
@@ -138,6 +144,8 @@ def _execute(
     except Exception as exc:  # noqa: BLE001 - the capture is the point
         result = None
         error = BuildError(kind=type(exc).__name__, message=str(exc))
+    finally:
+        unbind(token)
     elapsed = time.perf_counter() - start
     obs: Optional[Dict] = None
     if profiler.enabled or tracer.enabled:
@@ -180,6 +188,7 @@ def cached_build(
     tracer=NULL_TRACER,
     events=NULL_EVENTS,
     profiler=NULL_PROFILER,
+    registry=NULL_METRICS,
     checkpoint_dir=None,
     resume: bool = False,
 ) -> Tuple[FlowResult, bool]:
@@ -197,7 +206,7 @@ def cached_build(
     if cache is None:
         return flow.build(
             config, strategy_override=strategy_override, semi_tau=semi_tau,
-            tracer=tracer, events=events, profiler=profiler,
+            tracer=tracer, events=events, profiler=profiler, registry=registry,
             checkpoint_dir=checkpoint_dir, resume=resume,
         ), False
     key = flow_cache_key(flow, config, strategy_override, semi_tau)
@@ -212,7 +221,8 @@ def cached_build(
     events.emit(ev.CACHE_MISS, source=config.name, key=key)
     result = flow.build(
         config, strategy_override=strategy_override, semi_tau=semi_tau, tracer=tracer,
-        events=events, profiler=profiler, checkpoint_dir=checkpoint_dir, resume=resume,
+        events=events, profiler=profiler, registry=registry,
+        checkpoint_dir=checkpoint_dir, resume=resume,
     )
     cache.put(key, result)
     return result, False
@@ -378,12 +388,21 @@ class BatchBuilder:
 
     # ------------------------------------------------------------------
     def _capsule(self, request: BuildRequest) -> Optional[ProfileCapsule]:
-        """The observability context one work item carries, or None."""
+        """The observability context one work item carries, or None.
+
+        The batch's active request context rides along too, so worker
+        processes re-activate the same ``request_id`` the parent verb
+        minted — a context alone (no profiler/tracer) still yields a
+        capsule, because worker-side log attribution needs it.
+        """
         profile = self.profiler.enabled
         trace = self.tracer.enabled
-        if not (profile or trace):
+        context = current_context()
+        if not (profile or trace) and context is None:
             return None
-        return ProfileCapsule(path=(request.label,), profile=profile, trace=trace)
+        return ProfileCapsule(
+            path=(request.label,), profile=profile, trace=trace, context=context
+        )
 
     def _merge_observability(self, label: str, obs: Dict) -> None:
         """Graft one worker payload back under the request's label."""

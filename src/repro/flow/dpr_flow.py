@@ -44,6 +44,7 @@ from repro.fabric.device import Device
 from repro.obs import events as ev
 from repro.obs.events import NULL_EVENTS
 from repro.obs.logconfig import get_logger
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.floorplan.constraints import validate_floorplan
@@ -254,6 +255,7 @@ class DprFlow:
         tracer=NULL_TRACER,
         events=NULL_EVENTS,
         profiler=NULL_PROFILER,
+        registry=NULL_METRICS,
         checkpoint_dir: Union[None, str, Path, FlowCheckpointer] = None,
         resume: bool = False,
     ) -> FlowResult:
@@ -276,17 +278,22 @@ class DprFlow:
         restores whatever matching prefix the directory holds instead
         of re-running it. Without ``resume`` the directory is cleared
         first, so a fresh build never trusts stale state.
+
+        ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        receives per-stage CAD job accounting: ``flow.jobs_total``,
+        ``flow.job_retries_total`` and ``flow.job_failures_total`` —
+        the counters the ``cad-retry-rate`` SLO reads.
         """
         if not profiler.enabled:
             return self._build(
                 config, strategy_override, semi_tau, tracer, events,
-                NULL_PROFILER, checkpoint_dir, resume,
+                NULL_PROFILER, registry, checkpoint_dir, resume,
             )
         profiler.begin(f"build.{config.name}")
         try:
             return self._build(
                 config, strategy_override, semi_tau, tracer, events,
-                profiler, checkpoint_dir, resume,
+                profiler, registry, checkpoint_dir, resume,
             )
         finally:
             profiler.end()
@@ -299,6 +306,7 @@ class DprFlow:
         tracer,
         events,
         profiler,
+        registry,
         checkpoint_dir: Union[None, str, Path, FlowCheckpointer],
         resume: bool,
     ) -> FlowResult:
@@ -392,7 +400,28 @@ class DprFlow:
             schedule: ScheduleResult,
             executions: Dict[str, JobExecution],
         ) -> None:
-            """Emit retry/failure events placed on the schedule's clock."""
+            """Emit retry/failure events placed on the schedule's clock.
+
+            Also folds the stage's job outcomes into the registry's
+            CAD accounting counters — every scheduled job counts, not
+            just the retried/failed ones the event loop below reports.
+            """
+            jobs_total = registry.counter(
+                "flow.jobs_total", "CAD jobs scheduled, by stage"
+            )
+            retries_total = registry.counter(
+                "flow.job_retries_total", "retried CAD job attempts, by stage"
+            )
+            failures_total = registry.counter(
+                "flow.job_failures_total",
+                "CAD jobs that exhausted their retry budget, by stage",
+            )
+            for name, execution in sorted(executions.items()):
+                jobs_total.inc(stage=stage_name)
+                if execution.retries:
+                    retries_total.inc(execution.retries, stage=stage_name)
+                if not execution.succeeded:
+                    failures_total.inc(stage=stage_name)
             by_name = {placed.job.name: placed for placed in schedule.jobs}
             for name, execution in sorted(executions.items()):
                 if execution.succeeded and not execution.retries:

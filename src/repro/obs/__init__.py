@@ -13,9 +13,28 @@ as JSON documents and collapsed flamegraph stacks, with profdiff
 gating hot-path share drift against committed baselines.
 ``NULL_TRACER``/``NULL_METRICS``/``NULL_PROFILER`` are the
 zero-overhead disabled paths instrumented code defaults to.
+
+Request-scoped telemetry joins all of it: a
+:class:`TelemetryContext` (deterministic seeded IDs, contextvars
+propagation) stamps every span, event, metric sample, profile leaf
+and log record; a :class:`TelemetryStore` keeps a bounded ring of
+registry snapshots with windowed rate/delta queries; an
+:class:`SloTracker` evaluates declarative SLO specs (error-budget
+burn) with :class:`Verdict` exit-code semantics; and the Prometheus
+text / OTLP JSONL exporters expose the registry to standard scrapers.
 """
 
 from repro.obs.bridge import bridge_timeline, publish_runtime_stats
+from repro.obs.context import (
+    DEFAULT_TENANT,
+    RequestIdFactory,
+    TelemetryContext,
+    activate,
+    bind,
+    current_context,
+    current_request_id,
+    unbind,
+)
 from repro.obs.events import (
     Event,
     EventBus,
@@ -31,9 +50,16 @@ from repro.obs.export import (
     merge_span_records,
     metrics_dict,
     metrics_lines,
+    otlp_metrics_dict,
+    otlp_metrics_lines,
+    parse_prometheus_text,
+    prometheus_samples,
+    prometheus_text,
     span_records,
     spans_jsonl,
     write_chrome_trace,
+    write_otlp_jsonl,
+    write_prometheus_text,
     write_spans_jsonl,
 )
 from repro.obs.health import (
@@ -46,6 +72,7 @@ from repro.obs.health import (
 )
 from repro.obs.logconfig import (
     LEVELS,
+    RequestIdFilter,
     configure_logging,
     get_logger,
     level_from_verbosity,
@@ -104,12 +131,25 @@ from repro.obs.profiler import (
     self_host_total,
     write_profile,
 )
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SloError,
+    SloReport,
+    SloSpec,
+    SloStatus,
+    SloTracker,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
     TracingError,
+)
+from repro.obs.tsdb import (
+    Sample,
+    TelemetryStore,
+    TelemetryStoreError,
 )
 
 __all__ = [
@@ -118,6 +158,8 @@ __all__ = [
     "BenchSummary",
     "ComparisonResult",
     "Counter",
+    "DEFAULT_SLOS",
+    "DEFAULT_TENANT",
     "Event",
     "EventBus",
     "EventBusError",
@@ -147,14 +189,27 @@ __all__ = [
     "ProfileNode",
     "Profiler",
     "ProfilerError",
+    "RequestIdFactory",
+    "RequestIdFilter",
+    "Sample",
     "ShareDelta",
+    "SloError",
+    "SloReport",
+    "SloSpec",
+    "SloStatus",
+    "SloTracker",
     "Span",
+    "TelemetryContext",
+    "TelemetryStore",
+    "TelemetryStoreError",
     "Tracer",
     "TracingError",
     "Verdict",
     "WindowStats",
+    "activate",
     "baseline_from_profile",
     "baseline_from_summary",
+    "bind",
     "bridge_timeline",
     "bucket_quantile",
     "canonical_tree",
@@ -167,6 +222,8 @@ __all__ = [
     "compare_profile",
     "compare_profile_directories",
     "configure_logging",
+    "current_context",
+    "current_request_id",
     "find_profile_baselines",
     "find_profiles",
     "format_metric_value",
@@ -179,15 +236,23 @@ __all__ = [
     "merge_span_records",
     "metrics_dict",
     "metrics_lines",
+    "otlp_metrics_dict",
+    "otlp_metrics_lines",
+    "parse_prometheus_text",
     "profile_document",
     "profile_json",
+    "prometheus_samples",
+    "prometheus_text",
     "publish_runtime_stats",
     "self_host_total",
     "self_time_shares",
     "span_records",
     "spans_jsonl",
+    "unbind",
     "write_baseline",
     "write_chrome_trace",
+    "write_otlp_jsonl",
+    "write_prometheus_text",
     "write_profile",
     "write_profile_baseline",
     "write_spans_jsonl",

@@ -18,6 +18,11 @@ back to an injected clock callable.
 
 ``NULL_EVENTS`` is the zero-overhead disabled path instrumented code
 defaults to, mirroring ``NULL_TRACER``/``NULL_METRICS``.
+
+When a :class:`~repro.obs.context.TelemetryContext` is active, every
+emitted event carries its ``request_id`` in ``attrs`` (an explicit
+``request_id`` attr wins), so event streams from concurrent requests
+stay separable. The null bus never consults the context variable.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PrEspError
+from repro.obs.context import current_request_id
 
 
 class EventBusError(PrEspError):
@@ -171,6 +177,9 @@ class EventBus:
         **attrs,
     ) -> Event:
         """Emit one event; returns it after delivering to subscribers."""
+        request_id = current_request_id()
+        if request_id is not None and "request_id" not in attrs:
+            attrs["request_id"] = request_id
         event = Event(
             seq=self._seq,
             kind=kind,

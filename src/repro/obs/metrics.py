@@ -9,6 +9,13 @@ JSON-serializable for ``repro deploy --json`` and CI dashboards.
 Labels follow the Prometheus convention: an instrument is registered
 once by name, and each distinct label combination is a separate
 series. Snapshot keys render as ``name{k=v,...}``.
+
+When a :class:`~repro.obs.context.TelemetryContext` is active, every
+recording implicitly carries its ``request``/``tenant`` labels
+(explicit labels of the same name win), so per-request series appear
+without threading the context through call sites. The null registry
+never consults the context variable — disabled instrumentation stays
+free.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import bisect
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PrEspError
+from repro.obs.context import current_context
 
 
 class MetricsError(PrEspError):
@@ -28,6 +36,16 @@ LabelKey = Tuple[Tuple[str, str], ...]
 
 def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _contextual(labels: Dict[str, str]) -> Dict[str, str]:
+    """Merge the active telemetry context's labels under explicit ones."""
+    context = current_context()
+    if context is None:
+        return labels
+    merged = context.labels()
+    merged.update(labels)
+    return merged
 
 
 def _series_name(name: str, key: LabelKey) -> str:
@@ -51,7 +69,7 @@ class Counter:
         """Add ``value`` (must be non-negative) to the labeled series."""
         if value < 0:
             raise MetricsError(f"counter {self.name}: negative increment {value}")
-        key = _label_key(labels)
+        key = _label_key(_contextual(labels))
         self._values[key] = self._values.get(key, 0.0) + value
 
     def value(self, **labels) -> float:
@@ -68,6 +86,10 @@ class Counter:
             for key, value in self._values.items()
         }
 
+    def items(self) -> List[Tuple[LabelKey, float]]:
+        """``(label_key, value)`` pairs, label-ordered (exporter view)."""
+        return sorted(self._values.items())
+
 
 class Gauge:
     """A point-in-time value per label combination."""
@@ -81,7 +103,7 @@ class Gauge:
 
     def set(self, value: float, **labels) -> None:
         """Overwrite the labeled series with ``value``."""
-        self._values[_label_key(labels)] = float(value)
+        self._values[_label_key(_contextual(labels))] = float(value)
 
     def value(self, **labels) -> float:
         """Current value of one labeled series (0 if never set)."""
@@ -92,6 +114,10 @@ class Gauge:
             _series_name(self.name, key): value
             for key, value in self._values.items()
         }
+
+    def items(self) -> List[Tuple[LabelKey, float]]:
+        """``(label_key, value)`` pairs, label-ordered (exporter view)."""
+        return sorted(self._values.items())
 
 
 #: Default histogram buckets: wide enough for both milliseconds of
@@ -180,7 +206,7 @@ class Histogram:
 
     def observe(self, value: float, **labels) -> None:
         """Record one sample into the labeled distribution."""
-        key = _label_key(labels)
+        key = _label_key(_contextual(labels))
         series = self._series.get(key)
         if series is None:
             series = self._series[key] = _HistogramSeries(len(self.buckets))
@@ -253,6 +279,10 @@ class Histogram:
                 out[f"{base}.bucket.le={bound:g}"] = float(cumulative)
             out[f"{base}.bucket.le=inf"] = float(series.count)
         return out
+
+    def items(self) -> List[Tuple[LabelKey, "_HistogramSeries"]]:
+        """``(label_key, series)`` pairs, label-ordered (exporter view)."""
+        return sorted(self._series.items(), key=lambda item: item[0])
 
 
 class MetricsRegistry:
@@ -344,6 +374,9 @@ class _NullInstrument:
 
     def series(self) -> Dict[str, float]:
         return {}
+
+    def items(self) -> list:
+        return []
 
 
 _NULL_INSTRUMENT = _NullInstrument()

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PrEspError
+from repro.obs.context import TelemetryContext, current_request_id
 
 
 class ProfilerError(PrEspError):
@@ -63,7 +64,7 @@ class ProfileNode:
     merging worker subtrees a plain recursive addition.
     """
 
-    __slots__ = ("name", "calls", "host_s", "sim_s", "children", "workers")
+    __slots__ = ("name", "calls", "host_s", "sim_s", "children", "workers", "requests")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -72,6 +73,11 @@ class ProfileNode:
         self.sim_s = 0.0
         self.children: Dict[str, "ProfileNode"] = {}
         self.workers: set = set()
+        # Request IDs that touched this path — a non-canonical
+        # annotation like `workers`: joinable in the JSON export,
+        # stripped by canonical_tree (the same seeded workload run
+        # under different request IDs keeps an identical tree).
+        self.requests: set = set()
 
     def child(self, name: str) -> "ProfileNode":
         """The named child, created on first use."""
@@ -94,6 +100,9 @@ class ProfileCapsule:
     path: Tuple[str, ...] = ()
     profile: bool = False
     trace: bool = False
+    #: The request context the worker re-activates around its build, so
+    #: worker-side spans/metrics/log records stay attributable.
+    context: Optional[TelemetryContext] = None
 
     def activate(self) -> "Profiler":
         """A fresh worker-side profiler (or the null one when off)."""
@@ -118,6 +127,9 @@ class Profiler:
     def begin(self, name: str) -> ProfileNode:
         """Open a frame; it nests under the innermost open frame."""
         node = self._stack[-1][0].child(name)
+        request_id = current_request_id()
+        if request_id is not None:
+            node.requests.add(request_id)
         self._stack.append([node, self._host(), 0.0])
         return node
 
@@ -185,6 +197,9 @@ class Profiler:
             node = node.child(name)
         node.calls += calls
         node.sim_s += sim_s
+        request_id = current_request_id()
+        if request_id is not None:
+            node.requests.add(request_id)
         return node
 
     # ------------------------------------------------------------------
@@ -245,6 +260,8 @@ def _node_payload(node: ProfileNode) -> Dict:
     }
     if node.workers:
         out["workers"] = sorted(node.workers)
+    if node.requests:
+        out["requests"] = sorted(node.requests)
     if node.children:
         out["children"] = [
             _node_payload(node.children[name]) for name in sorted(node.children)
@@ -257,6 +274,7 @@ def _merge_payload(node: ProfileNode, payload: Dict) -> None:
     node.host_s += float(payload.get("host_s", 0.0))
     node.sim_s += float(payload.get("sim_s", 0.0))
     node.workers.update(payload.get("workers", ()))
+    node.requests.update(payload.get("requests", ()))
     for child in payload.get("children", ()):
         _merge_payload(node.child(str(child["name"])), child)
 
@@ -331,6 +349,8 @@ def _document_node(payload: Dict) -> Dict:
     }
     if payload.get("workers"):
         out["workers"] = list(payload["workers"])
+    if payload.get("requests"):
+        out["requests"] = list(payload["requests"])
     if children:
         out["children"] = children
     return out

@@ -17,6 +17,12 @@ independently and the exported trace is always well-formed per track.
 ``NULL_TRACER`` is the disabled path: every call is a no-op that
 allocates nothing, so instrumented code can call it unconditionally
 with zero overhead when tracing is off.
+
+When a :class:`~repro.obs.context.TelemetryContext` is active, every
+created span is stamped with its ``request_id`` (explicit attrs win) —
+the single creation point :meth:`Tracer._new_span` does it, so live,
+instant, post-hoc, and replayed spans all stay joinable. The null
+tracer never consults the context variable.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import PrEspError
+from repro.obs.context import current_request_id
 
 
 class TracingError(PrEspError):
@@ -106,6 +113,9 @@ class Tracer:
         parent_id: Optional[int],
         attrs: Dict[str, Any],
     ) -> Span:
+        request_id = current_request_id()
+        if request_id is not None and "request_id" not in attrs:
+            attrs = {**attrs, "request_id": request_id}
         span = Span(
             span_id=self._next_id,
             name=name,

@@ -1,0 +1,248 @@
+"""A clock-injected, bounded time-series store over metrics snapshots.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` answers "what are the
+counters *now*"; the :class:`TelemetryStore` answers "how did they get
+there": it keeps a fixed-capacity ring of periodic registry snapshots
+plus a bounded per-series history, and derives windowed deltas and
+rates from them. This is the substrate the SLO tracker and the
+``repro dashboard`` verb read, and the surface a future multi-tenant
+service daemon will account per-tenant quotas against.
+
+Like every obs layer the store never reads a wall clock. Sample times
+come from an injected clock (the dashboard attaches the store to an
+:class:`~repro.obs.events.EventBus` and stamps samples from the
+events' own simulated-seconds timestamps); without a clock the store
+falls back to a deterministic sample counter, so two identical seeded
+runs produce byte-identical stores.
+
+Retention is two-level, both bounded:
+
+* the **snapshot ring** keeps the last ``capacity`` full snapshots
+  (drop-oldest, drops counted) — the dashboard's replay source;
+* the **per-series history** keeps the last ``series_capacity`` points
+  of every label-set series independently, so a chatty series (one
+  request's counter) cannot evict a quiet one's history.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import PrEspError
+
+
+class TelemetryStoreError(PrEspError):
+    """Misuse of the telemetry store API (bad capacity or window)."""
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One recorded registry snapshot at one instant."""
+
+    time: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self.values.get(key, default)
+
+
+def _snapshot_of(source) -> Dict[str, float]:
+    """A plain snapshot dict from a registry or a ready-made dict."""
+    if isinstance(source, dict):
+        return dict(source)
+    snapshot = getattr(source, "snapshot", None)
+    if callable(snapshot):
+        return snapshot()
+    raise TelemetryStoreError(
+        f"cannot snapshot {type(source).__name__}: pass a registry or a dict"
+    )
+
+
+class TelemetryStore:
+    """Bounded ring of metrics snapshots with windowed queries."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        series_capacity: int = 1024,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise TelemetryStoreError(f"snapshot capacity must be positive: {capacity}")
+        if series_capacity <= 0:
+            raise TelemetryStoreError(
+                f"series capacity must be positive: {series_capacity}"
+            )
+        self.capacity = capacity
+        self.series_capacity = series_capacity
+        self._clock = clock
+        self._ring: Deque[Sample] = deque(maxlen=capacity)
+        self._series: Dict[str, Deque[Tuple[float, float]]] = {}
+        #: Snapshots evicted from the ring (per-series history may
+        #: still hold their points — the two tiers age independently).
+        self.dropped = 0
+        #: Total snapshots ever recorded.
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def use_clock(self, clock: Callable[[], float]) -> None:
+        """Rebind the fallback time source."""
+        self._clock = clock
+
+    def _next_time(self) -> float:
+        if self._clock is not None:
+            return float(self._clock())
+        # Deterministic fallback: the sample index is the timestamp.
+        return float(self.recorded)
+
+    def record(self, source, time: Optional[float] = None) -> Sample:
+        """Snapshot ``source`` (registry or dict) at ``time`` (or now)."""
+        when = self._next_time() if time is None else float(time)
+        last = self._ring[-1].time if self._ring else None
+        if last is not None and when < last:
+            raise TelemetryStoreError(
+                f"sample time {when} precedes the latest sample {last}"
+            )
+        sample = Sample(time=when, values=_snapshot_of(source))
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(sample)
+        self.recorded += 1
+        for key, value in sample.values.items():
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = deque(maxlen=self.series_capacity)
+            series.append((when, float(value)))
+        return sample
+
+    def attach(self, bus, registry, interval: float = 0.0) -> Callable:
+        """Record periodic snapshots driven by a bus's event stream.
+
+        Subscribes a catch-all listener: whenever an event's timestamp
+        has advanced at least ``interval`` past the last recorded
+        sample (or on the first event), the registry is snapshotted at
+        the *event's* time — the store rides the emitters' own clock,
+        so a seeded run records an identical sample sequence every
+        time. Returns the subscriber (pass to ``bus.unsubscribe``).
+        """
+        if interval < 0:
+            raise TelemetryStoreError(f"interval must be >= 0: {interval}")
+        state = {"last": None}
+
+        def sampler(event) -> None:
+            last = state["last"]
+            if last is not None and event.time < last + interval:
+                return
+            # Never step backwards: flow events ride a different clock
+            # (modelled CAD minutes) than runtime events (DES seconds).
+            if self._ring and event.time < self._ring[-1].time:
+                return
+            state["last"] = event.time
+            self.record(registry, time=event.time)
+
+        bus.subscribe(sampler)
+        return sampler
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def latest(self) -> Optional[Sample]:
+        """The most recent sample (None when empty)."""
+        return self._ring[-1] if self._ring else None
+
+    def samples(self, window_s: Optional[float] = None) -> List[Sample]:
+        """Buffered samples oldest-first (optionally the last window)."""
+        if window_s is None:
+            return list(self._ring)
+        if window_s < 0:
+            raise TelemetryStoreError(f"window must be >= 0: {window_s}")
+        if not self._ring:
+            return []
+        horizon = self._ring[-1].time - window_s
+        return [s for s in self._ring if s.time >= horizon]
+
+    def window(self, start: float, end: float) -> List[Sample]:
+        """Samples with ``start <= time <= end``, oldest-first."""
+        if end < start:
+            raise TelemetryStoreError(f"window end {end} precedes start {start}")
+        return [s for s in self._ring if start <= s.time <= end]
+
+    def keys(self, pattern: Optional[str] = None) -> List[str]:
+        """Known series keys, sorted (optionally fnmatch-filtered)."""
+        names = sorted(self._series)
+        if pattern is None:
+            return names
+        return [name for name in names if fnmatch.fnmatchcase(name, pattern)]
+
+    def series(
+        self, key: str, window_s: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """``(time, value)`` points of one series, oldest-first."""
+        points = list(self._series.get(key, ()))
+        if window_s is None or not points:
+            return points
+        horizon = points[-1][0] - window_s
+        return [(t, v) for t, v in points if t >= horizon]
+
+    def delta(self, key: str, window_s: Optional[float] = None) -> float:
+        """last - first value of a series over the window (0 if < 2 points)."""
+        points = self.series(key, window_s)
+        if len(points) < 2:
+            return 0.0
+        return points[-1][1] - points[0][1]
+
+    def rate(self, key: str, window_s: Optional[float] = None) -> float:
+        """Windowed delta per unit time (0 for a degenerate window)."""
+        points = self.series(key, window_s)
+        if len(points) < 2:
+            return 0.0
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return 0.0
+        return (points[-1][1] - points[0][1]) / elapsed
+
+    def aggregate(
+        self, pattern: str, sample: Optional[Sample] = None, how: str = "sum"
+    ) -> Optional[float]:
+        """Fold one sample's values matching ``pattern`` (fnmatch).
+
+        ``how`` is ``"sum"`` or ``"max"``. Defaults to the latest
+        sample; returns None when the sample has no matching key — the
+        caller distinguishes "no data yet" from a true zero.
+        """
+        if how not in ("sum", "max"):
+            raise TelemetryStoreError(f"unknown aggregation {how!r}")
+        if sample is None:
+            sample = self.latest()
+        if sample is None:
+            return None
+        matched = [
+            value
+            for key, value in sample.values.items()
+            if fnmatch.fnmatchcase(key, pattern)
+        ]
+        if not matched:
+            return None
+        return sum(matched) if how == "sum" else max(matched)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable view (dashboard ``--json``)."""
+        return {
+            "capacity": self.capacity,
+            "series_capacity": self.series_capacity,
+            "recorded": self.recorded,
+            "buffered": len(self._ring),
+            "dropped": self.dropped,
+            "series": len(self._series),
+            "span": (
+                [self._ring[0].time, self._ring[-1].time] if self._ring else None
+            ),
+        }

@@ -361,6 +361,9 @@ class ReconfigurationManager:
         self.metrics.counter(
             "runtime.reconfigurations", "completed tile reconfigurations"
         ).inc(tile=state.name)
+        self.metrics.histogram(
+            "runtime.reconfig_seconds", "end-to-end reconfiguration latency"
+        ).observe(self.sim.now - start, tile=state.name)
         self.events.emit(
             ev.RECONFIG_COMPLETED,
             time=self.sim.now,
@@ -543,6 +546,9 @@ class ReconfigurationManager:
         self.metrics.counter(
             "runtime.reconfigurations", "completed tile reconfigurations"
         ).inc(tile=state.name)
+        self.metrics.histogram(
+            "runtime.reconfig_seconds", "end-to-end reconfiguration latency"
+        ).observe(self.sim.now - start, tile=state.name)
         self.events.emit(
             ev.DRIVER_SWAPPED, time=self.sim.now, source=state.name, driver=mode_name
         )
@@ -714,6 +720,9 @@ class ReconfigurationManager:
         self.metrics.counter(
             "runtime.reconfigurations", "completed tile reconfigurations"
         ).inc(tile=state.name)
+        self.metrics.histogram(
+            "runtime.reconfig_seconds", "end-to-end reconfiguration latency"
+        ).observe(self.sim.now - start, tile=state.name)
         self.metrics.counter(
             "runtime.fallbacks", "fallbacks to a last-known-good bitstream"
         ).inc(tile=state.name)

@@ -1,0 +1,161 @@
+"""Tests for the request-scoped telemetry context."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    DEFAULT_TENANT,
+    RequestIdFactory,
+    TelemetryContext,
+    activate,
+    bind,
+    current_context,
+    current_request_id,
+    unbind,
+)
+
+
+class TestTelemetryContext:
+    def test_labels_carry_request_and_tenant(self):
+        ctx = TelemetryContext(request_id="r-1", tenant="acme")
+        assert ctx.labels() == {"request": "r-1", "tenant": "acme"}
+
+    def test_default_tenant(self):
+        assert TelemetryContext(request_id="r").tenant == DEFAULT_TENANT
+
+    def test_child_joins_by_prefix(self):
+        parent = TelemetryContext(request_id="batch-1", tenant="t")
+        child = parent.child("item0")
+        assert child.request_id == "batch-1/item0"
+        assert child.tenant == "t"
+        assert child.request_id.startswith(parent.request_id)
+
+    def test_with_attrs_merges_without_mutating(self):
+        ctx = TelemetryContext(request_id="r", attrs={"verb": "build"})
+        extended = ctx.with_attrs(index=3)
+        assert extended.attrs == {"verb": "build", "index": "3"}
+        assert ctx.attrs == {"verb": "build"}
+
+    def test_str_is_tenant_and_id(self):
+        assert str(TelemetryContext(request_id="r-1", tenant="t")) == "t:r-1"
+
+    def test_immutable(self):
+        ctx = TelemetryContext(request_id="r")
+        with pytest.raises(AttributeError):
+            ctx.request_id = "other"
+
+    def test_picklable_for_capsule_transport(self):
+        ctx = TelemetryContext(request_id="r-1", tenant="t", attrs={"verb": "b"})
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+
+class TestRequestIdFactory:
+    def test_same_seed_mints_identical_sequences(self):
+        a = RequestIdFactory(seed=7)
+        b = RequestIdFactory(seed=7)
+        assert [a.mint("build").request_id for _ in range(3)] == [
+            b.mint("build").request_id for _ in range(3)
+        ]
+
+    def test_different_seeds_mint_different_prefixes(self):
+        a = RequestIdFactory(seed=1).mint()
+        b = RequestIdFactory(seed=2).mint()
+        assert a.request_id != b.request_id
+
+    def test_tenant_changes_prefix_and_context(self):
+        ctx = RequestIdFactory(seed=0, tenant="acme").mint("deploy")
+        assert ctx.tenant == "acme"
+        other = RequestIdFactory(seed=0, tenant="other").mint("deploy")
+        assert ctx.request_id != other.request_id
+
+    def test_verb_prefix_and_counter(self):
+        factory = RequestIdFactory(seed=0)
+        first = factory.mint("deploy")
+        second = factory.mint("build")
+        assert first.request_id.startswith("deploy-")
+        assert first.request_id.endswith("-0001")
+        assert second.request_id.startswith("build-")
+        assert second.request_id.endswith("-0002")
+        assert factory.minted == 2
+
+    def test_verb_recorded_as_attr(self):
+        assert RequestIdFactory().mint("compare").attrs["verb"] == "compare"
+
+    def test_concurrent_minting_stays_unique(self):
+        factory = RequestIdFactory(seed=0)
+        minted = []
+        lock = threading.Lock()
+
+        def mint_some():
+            local = [factory.mint("t") for _ in range(50)]
+            with lock:
+                minted.extend(local)
+
+        threads = [threading.Thread(target=mint_some) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [c.request_id for c in minted]
+        assert len(set(ids)) == 200
+        assert factory.minted == 200
+
+
+class TestPropagation:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+        assert current_request_id() is None
+
+    def test_activate_and_restore(self):
+        ctx = TelemetryContext(request_id="r-1")
+        with activate(ctx) as active:
+            assert active is ctx
+            assert current_context() is ctx
+            assert current_request_id() == "r-1"
+        assert current_context() is None
+
+    def test_activate_none_is_noop(self):
+        with activate(None) as active:
+            assert active is None
+            assert current_context() is None
+
+    def test_nested_activation_unwinds(self):
+        outer = TelemetryContext(request_id="outer")
+        inner = TelemetryContext(request_id="inner")
+        with activate(outer):
+            with activate(inner):
+                assert current_request_id() == "inner"
+            assert current_request_id() == "outer"
+
+    def test_activate_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with activate(TelemetryContext(request_id="r")):
+                raise RuntimeError("boom")
+        assert current_context() is None
+
+    def test_bind_unbind_pair(self):
+        ctx = TelemetryContext(request_id="r-1")
+        token = bind(ctx)
+        assert current_context() is ctx
+        unbind(token)
+        assert current_context() is None
+
+    def test_bind_none_returns_none_token(self):
+        assert bind(None) is None
+        unbind(None)  # no-op
+        assert current_context() is None
+
+    def test_threads_do_not_share_context(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = current_request_id()
+
+        with activate(TelemetryContext(request_id="main-r")):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+            assert current_request_id() == "main-r"
+        assert seen["other"] is None

@@ -1,0 +1,164 @@
+"""Tests for request-attributed logging and the no-bare-print policy."""
+
+import io
+import logging
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.context import TelemetryContext, activate
+from repro.obs.logconfig import (
+    LOG_FORMAT,
+    NO_REQUEST,
+    RequestIdFilter,
+    configure_logging,
+    get_logger,
+    level_from_verbosity,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_record(message="hello"):
+    return logging.LogRecord(
+        name="repro.test",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=(),
+        exc_info=None,
+    )
+
+
+@pytest.fixture
+def clean_root():
+    """Detach any handlers the suite left on the repro root."""
+    root = logging.getLogger("repro")
+    saved = list(root.handlers)
+    for handler in saved:
+        root.removeHandler(handler)
+    yield root
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in saved:
+        root.addHandler(handler)
+
+
+class TestRequestIdFilter:
+    def test_stamps_placeholder_without_context(self):
+        record = make_record()
+        assert RequestIdFilter().filter(record) is True
+        assert record.request_id == NO_REQUEST
+
+    def test_stamps_active_request(self):
+        record = make_record()
+        with activate(TelemetryContext(request_id="build-1")):
+            RequestIdFilter().filter(record)
+        assert record.request_id == "build-1"
+
+    def test_existing_attribute_respected(self):
+        record = make_record()
+        record.request_id = "explicit"
+        with activate(TelemetryContext(request_id="build-1")):
+            RequestIdFilter().filter(record)
+        assert record.request_id == "explicit"
+
+    def test_format_renders_the_field(self):
+        record = make_record("ready")
+        RequestIdFilter().filter(record)
+        line = logging.Formatter(LOG_FORMAT).format(record)
+        assert line == "I repro.test [-]: ready"
+
+
+class TestConfiguration:
+    def test_get_logger_prefixes_into_the_tree(self):
+        assert get_logger("flow").name == "repro.flow"
+        assert get_logger("repro.flow").name == "repro.flow"
+        assert get_logger("repro").name == "repro"
+
+    def test_verbosity_mapping(self):
+        assert level_from_verbosity(0) == "warning"
+        assert level_from_verbosity(1) == "info"
+        assert level_from_verbosity(5) == "debug"
+
+    def test_bad_level_rejected(self, clean_root):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+
+    def test_idempotent_reconfiguration(self, clean_root):
+        configure_logging("info", stream=io.StringIO())
+        configure_logging("debug", stream=io.StringIO())
+        handlers = [
+            h
+            for h in clean_root.handlers
+            if getattr(h, "_repro_handler", False)
+        ]
+        assert len(handlers) == 1
+        assert handlers[0].level == logging.DEBUG
+
+    def test_log_lines_carry_the_request_id(self, clean_root):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream, force=True)
+        logger = get_logger("flow")
+        with activate(TelemetryContext(request_id="deploy-0042")):
+            logger.info("stage done")
+        logger.info("outside")
+        lines = stream.getvalue().splitlines()
+        assert lines == [
+            "I repro.flow [deploy-0042]: stage done",
+            "I repro.flow [-]: outside",
+        ]
+
+
+class TestNoBarePrintPolicy:
+    # Mirror of the CI lint gate: library modules must log or return
+    # data; stdout belongs to the CLI and the report renderers only.
+    EXEMPT = re.compile(r"src/repro/cli\.py|report\.py|pprint")
+
+    def test_library_code_has_no_bare_prints(self):
+        pattern = re.compile(r"(^|[^\w.])print\(")
+        hits = []
+        for path in (REPO_ROOT / "src").rglob("*.py"):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            if self.EXEMPT.search(rel):
+                continue
+            for number, line in enumerate(path.read_text().splitlines(), 1):
+                if pattern.search(line):
+                    hits.append(f"{rel}:{number}: {line.strip()}")
+        assert not hits, "bare print() outside cli/report:\n" + "\n".join(hits)
+
+    def test_exempt_files_exist(self):
+        # The exemption list must not silently rot.
+        assert (REPO_ROOT / "src" / "repro" / "cli.py").exists()
+        assert list((REPO_ROOT / "src").rglob("report.py"))
+
+    def test_ci_gate_matches_this_policy(self):
+        workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "src/repro/cli.py" in workflow
+        assert "report.py" in workflow
+        assert "pprint" in workflow
+
+
+def test_subprocess_smoke_keeps_stdlib_quiet():
+    # Importing the package must not configure handlers as a side
+    # effect — libraries stay silent until configure_logging runs.
+    code = (
+        "import logging, repro.api; "
+        "root = logging.getLogger('repro'); "
+        "print(len(root.handlers))"
+    )
+    env = dict(os.environ, PYTHONPATH="src")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=str(REPO_ROOT),
+        env=env,
+    )
+    assert out.stdout.strip() == "0"
