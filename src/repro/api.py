@@ -1,4 +1,4 @@
-"""The top-level PR-ESP API: one import, five verbs.
+"""The top-level PR-ESP API: one import, in-process and service verbs.
 
 The platform's capabilities behind plain functions::
 
@@ -10,20 +10,29 @@ The platform's capabilities behind plain functions::
     flow, mono = presp.compare(config)           # Table V row
     report, health, bus = presp.monitor(config)  # deploy + health monitor
 
-Every verb accepts ``options=`` (a :class:`~repro.flow.options.
-BuildOptions` — cache, parallel jobs, fault/retry policy, checkpoint
-directory) and ``instrumentation=`` (an :class:`~repro.obs.
+Every in-process verb accepts ``options=`` (a :class:`~repro.flow.
+options.BuildOptions` — cache, parallel jobs, fault/retry policy,
+checkpoint directory) and ``instrumentation=`` (an :class:`~repro.obs.
 instrumentation.Instrumentation` — tracer, metrics, event bus), or a
 pre-built ``platform=`` when several calls should share state (flow
-cache, batch workers). This is the layer ``repro.cli``, the examples
-and the benchmarks are written against; reach for
-:class:`~repro.core.platform.PrEspPlatform` directly only when you need
-its full surface.
+cache, batch workers).
+
+Against a running ``repro serve`` daemon the same surface exists as
+*service* verbs — jobs instead of blocking calls::
+
+    job = presp.submit("soc_2", tenant="acme", port=8321)
+    presp.status(job["job_id"], port=8321)
+    record = presp.fetch(job["job_id"], port=8321)   # waits, then result
+    presp.cancel(job["job_id"], port=8321)
+
+This is the layer ``repro.cli``, the examples and the benchmarks are
+written against; reach for :class:`~repro.core.platform.PrEspPlatform`
+directly only when you need its full surface.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.platform import (
     BuildResult,
@@ -47,10 +56,14 @@ from repro.soc.config import SocConfig
 __all__ = [
     "build",
     "build_many",
+    "cancel",
     "compare",
     "deploy",
+    "fetch",
     "monitor",
     "platform",
+    "status",
+    "submit",
     "BuildOptions",
     "Instrumentation",
     "RequestIdFactory",
@@ -207,3 +220,84 @@ def monitor(
         context=context,
         **kwargs,
     )
+
+
+# ----------------------------------------------------------------------
+# service verbs — the same surface against a running daemon
+# ----------------------------------------------------------------------
+def _client(host: str, port: int, timeout: float):
+    # Imported lazily so `import repro.api` stays cheap for callers that
+    # never talk to a daemon.
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(host=host, port=port, timeout=timeout)
+
+
+def submit(
+    config: str,
+    kind: str = "build",
+    tenant: str = "default",
+    priority: int = 0,
+    strategy: Optional[str] = None,
+    frames: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    timeout: float = 30.0,
+) -> Dict:
+    """Submit a job to a running ``repro serve`` daemon.
+
+    ``config`` is a paper design name (``soc_2``...) or an ESP
+    ``esp_config`` path readable by the daemon. Returns the accepted
+    job record (its ``job_id`` feeds :func:`status`/:func:`fetch`).
+    Over-quota submits raise :class:`~repro.service.client.
+    ServiceError` with ``status == 429`` — they are never queued.
+    """
+    return _client(host, port, timeout).submit(
+        config,
+        kind=kind,
+        tenant=tenant,
+        priority=priority,
+        strategy=strategy,
+        frames=frames,
+    )
+
+
+def status(
+    job_id: str,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    timeout: float = 30.0,
+) -> Dict:
+    """The current job record for ``job_id`` (non-blocking)."""
+    return _client(host, port, timeout).status(job_id)
+
+
+def cancel(
+    job_id: str,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    timeout: float = 30.0,
+) -> Dict:
+    """Cancel ``job_id``: queued jobs die immediately, running jobs get
+    the cooperative flag. Idempotent on terminal jobs."""
+    return _client(host, port, timeout).cancel(job_id)
+
+
+def fetch(
+    job_id: str,
+    wait: bool = True,
+    timeout: float = 120.0,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+) -> Dict:
+    """The result payload for ``job_id``.
+
+    With ``wait=True`` (the default) polls until the job reaches a
+    terminal state, then returns the result envelope; ``wait=False``
+    asks exactly once and raises ``ServiceError`` (409, ``not_ready``)
+    when the job is still in flight.
+    """
+    client = _client(host, port, max(timeout, 30.0))
+    if wait:
+        client.wait(job_id, timeout=timeout)
+    return client.result(job_id)

@@ -16,9 +16,15 @@ evaluation entry points:
                            Fig. 3-style profile of one WAMI accelerator
 * ``profile-diff``         compare PROFILE_*.json hot paths against baselines
 * ``model``                show the calibrated CAD-runtime curves
+* ``serve``                run the multi-tenant build/deploy service daemon
+* ``jobs``                 submit/list/status/cancel/result against a daemon
 
 ``CONFIG`` is either a paper design name (soc_1..soc_4, soc_a..soc_d,
 soc_x/y/z) or a path to an ``.esp_config`` file.
+
+Every ``--json`` payload is wrapped in the same versioned envelope the
+service API speaks: ``schema_version`` + ``kind`` at the top level,
+the command's payload splatted alongside.
 """
 
 from __future__ import annotations
@@ -26,16 +32,15 @@ from __future__ import annotations
 import argparse
 import gc
 import json
-import os
 import sys
 from pathlib import Path
 from typing import Optional
 
 from repro import api
 from repro.core.designs import (
-    characterization_socs,
+    paper_designs,
+    resolve_config,
     wami_deployment_socs,
-    wami_parallelism_socs,
 )
 from repro.core.metrics import compute_metrics
 from repro.core.strategy import ImplementationStrategy, choose_strategy
@@ -90,6 +95,7 @@ from repro.obs.profiler import (
     write_profile,
 )
 from repro.obs.slo import SloTracker
+from repro.service.schema import envelope
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.obs.tsdb import TelemetryStore
 from repro.runtime.faults import (
@@ -98,34 +104,10 @@ from repro.runtime.faults import (
     RuntimeFaultModel,
     RuntimeFaultOptions,
 )
-from repro.soc.config import SocConfig
-from repro.soc.esp_parser import load_esp_config
 from repro.soc.validation import check_design
 from repro.vivado.faults import NO_FAULTS, CadFaultModel
 from repro.vivado.runtime_model import CALIBRATED_MODEL, JobKind
 from repro.wami.graph import WamiStage
-
-
-def paper_designs() -> dict:
-    """All named designs of the evaluation."""
-    return {
-        **characterization_socs(),
-        **wami_parallelism_socs(),
-        **wami_deployment_socs(),
-    }
-
-
-def resolve_config(spec: str) -> SocConfig:
-    """A design name or an esp_config path."""
-    designs = paper_designs()
-    if spec in designs:
-        return designs[spec]
-    if os.path.exists(spec):
-        return load_esp_config(spec)
-    raise PrEspError(
-        f"{spec!r} is neither a known design ({', '.join(sorted(designs))}) "
-        "nor an existing esp_config file"
-    )
 
 
 # ----------------------------------------------------------------------
@@ -306,7 +288,11 @@ def cmd_build(args) -> int:
     if args.profile:
         write_profile_to(args.profile, profiler, f"build_{config.name}")
     if getattr(args, "json", False):
-        print(json.dumps(result.flow.to_summary_dict(), indent=2))
+        print(
+            json.dumps(
+                envelope("build", result.flow.to_summary_dict()), indent=2
+            )
+        )
         return 0
     print(flow_report(result.flow))
     if result.cached:
@@ -370,7 +356,7 @@ def cmd_sweep(args) -> int:
                     "message": outcome.error.message,
                 }
             rows.append(row)
-        print(json.dumps(rows, indent=2))
+        print(json.dumps(envelope("sweep", {"outcomes": rows}), indent=2))
     else:
         print(
             f"{'request':28s} {'status':>8s} {'strategy':>15s} "
@@ -437,7 +423,12 @@ def cmd_deploy(args) -> int:
     if args.profile:
         write_profile_to(args.profile, profiler, f"deploy_{config.name}")
     if args.json:
-        print(json.dumps(report.to_summary_dict(registry.snapshot()), indent=2))
+        print(
+            json.dumps(
+                envelope("deploy", report.to_summary_dict(registry.snapshot())),
+                indent=2,
+            )
+        )
         return 0
     print(f"{config.name}: {report.frames} frames")
     print(f"  frame latency : {report.seconds_per_frame * 1000:.1f} ms")
@@ -524,7 +515,7 @@ def cmd_monitor(args) -> int:
             }
             for event in bus.last(args.events)
         ]
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(envelope("monitor", payload), indent=2))
         return verdict.exit_code
     print(f"{config.name}: {report.frames} frames, "
           f"{report.reconfigurations} reconfigurations")
@@ -625,7 +616,7 @@ def cmd_dashboard(args) -> int:
         }
         if args.follow:
             payload["replay"] = _dashboard_frames(store, args.window)
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(envelope("dashboard", payload), indent=2))
         return verdict.exit_code
     print(f"{config.name}: {report.frames} frames, "
           f"{report.reconfigurations} reconfigurations")
@@ -683,10 +674,35 @@ def cmd_bench_diff(args) -> int:
         )
         return 1
     results = compare_directories(args.results_dir, args.baselines_dir)
+    failed = [r for r in results if not r.ok]
+    if getattr(args, "json", False):
+        payload = {
+            "ok": not failed,
+            "experiments": [
+                {
+                    "experiment": result.experiment,
+                    "ok": result.ok,
+                    "missing_summary": result.missing_summary,
+                    "deltas": [
+                        {
+                            "name": delta.name,
+                            "baseline": delta.baseline,
+                            "current": delta.current,
+                            "tolerance": delta.tolerance,
+                            "direction": delta.direction,
+                            "status": delta.status,
+                        }
+                        for delta in result.deltas
+                    ],
+                }
+                for result in results
+            ],
+        }
+        print(json.dumps(envelope("bench_diff", payload), indent=2))
+        return 1 if failed else 0
     for result in results:
         for line in result.summary_lines():
             print(line)
-    failed = [r for r in results if not r.ok]
     print(
         f"\n{len(results) - len(failed)}/{len(results)} experiments in band"
         + (f", {len(failed)} FAILED" if failed else "")
@@ -725,7 +741,7 @@ def _cmd_profile_workload(args) -> int:
     document = profile_document(profiler, args.target)
     json_path, collapsed_path = write_profile(args.out, args.target, document)
     if args.json:
-        print(profile_json(document))
+        print(json.dumps(envelope("profile", document), indent=2))
         return 0
     total = document["total_host_s"]
     self_total = self_host_total(document)
@@ -821,6 +837,145 @@ def cmd_check(args) -> int:
     for finding in findings:
         print(f"[{finding.severity.value:7s}] {finding.rule}: {finding.message}")
     return 0
+
+
+def parse_quotas(specs) -> dict:
+    """``TENANT=QUEUED[:ACTIVE]`` flags -> {tenant: TenantQuota}."""
+    from repro.service.queue import TenantQuota
+
+    quotas = {}
+    for spec in specs or []:
+        tenant, sep, limits = spec.partition("=")
+        parts = limits.split(":") if limits else []
+        if not sep or not tenant or len(parts) not in (1, 2):
+            raise PrEspError(
+                f"bad --quota {spec!r}; expected TENANT=QUEUED[:ACTIVE]"
+            )
+        try:
+            max_queued = int(parts[0]) if parts[0] else None
+            max_active = (
+                int(parts[1]) if len(parts) == 2 and parts[1] else None
+            )
+        except ValueError:
+            raise PrEspError(
+                f"bad --quota limits in {spec!r}; expected integers"
+            ) from None
+        quotas[tenant] = TenantQuota(max_queued=max_queued, max_active=max_active)
+    return quotas
+
+
+def cmd_serve(args) -> int:
+    from repro.service.daemon import BuildService, ServiceConfig
+    from repro.service.queue import TenantQuota
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        jobs=args.jobs,
+        seed=args.seed,
+        queue_capacity=args.queue_capacity,
+        quotas=parse_quotas(args.quota),
+        default_quota=TenantQuota(
+            max_queued=args.max_queued, max_active=args.max_active
+        ),
+    )
+    service = BuildService(config)
+    service.start()
+    # The parent (smoke scripts, curl loops) keys off this line.
+    print(f"service listening on {service.url} (state in {args.state_dir})")
+    sys.stdout.flush()
+    try:
+        service.serve_forever()
+    finally:
+        print("service stopped")
+    return 0
+
+
+def _jobs_client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+
+
+def _print_job_line(record: dict) -> None:
+    print(
+        f"{record['job_id']:20s} {record['state']:>9s} "
+        f"{record['spec']['tenant']:>10s} p{record['spec']['priority']:<3d} "
+        f"{record['spec']['kind']:>6s} {record['spec']['config']}"
+    )
+
+
+def cmd_jobs_submit(args) -> int:
+    document = _jobs_client(args).submit(
+        args.config,
+        kind=args.kind,
+        tenant=args.tenant,
+        priority=args.priority,
+        strategy=args.strategy,
+        frames=args.frames,
+    )
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    print(f"submitted {document['job_id']} ({document['state']})")
+    return 0
+
+
+def cmd_jobs_list(args) -> int:
+    document = _jobs_client(args).jobs(tenant=args.tenant, state=args.state)
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    queue = document["queue"]
+    print(
+        f"{len(document['jobs'])} job(s), queue depth {queue['queued']}, "
+        f"{queue['admitted']} admitted / {queue['rejected']} rejected"
+    )
+    for record in document["jobs"]:
+        _print_job_line(record)
+    return 0
+
+
+def cmd_jobs_status(args) -> int:
+    document = _jobs_client(args).status(args.job_id)
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    _print_job_line(document)
+    return 0
+
+
+def cmd_jobs_cancel(args) -> int:
+    document = _jobs_client(args).cancel(args.job_id)
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    if document["state"] == "cancelled":
+        print(f"{document['job_id']} cancelled")
+    elif document["cancel_requested"]:
+        print(f"{document['job_id']} is running; cancellation requested")
+    else:
+        print(f"{document['job_id']} already {document['state']}")
+    return 0
+
+
+def cmd_jobs_result(args) -> int:
+    client = _jobs_client(args)
+    if args.wait:
+        client.wait(args.job_id, timeout=args.wait_timeout)
+    document = client.result(args.job_id)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"{document['job_id']}: {document['state']}"
+              + (" (cached)" if document["cached"] else ""))
+        if document["result"] is not None:
+            print(json.dumps(document["result"], indent=2))
+        if document["error"] is not None:
+            print(f"error: {document['error']}")
+    return 0 if document["state"] == "succeeded" else 1
 
 
 def cmd_model(_args) -> int:
@@ -1182,6 +1337,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="R",
         help="relative tolerance written into seeded baselines",
     )
+    bench_diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the per-experiment judgements as JSON",
+    )
     bench_diff.set_defaults(func=cmd_bench_diff)
 
     profile = sub.add_parser(
@@ -1286,6 +1446,161 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("model", help="show the calibrated runtime model").set_defaults(
         func=cmd_model
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant build/deploy service daemon",
+        description=(
+            "Run the long-lived service daemon: a priority job queue with "
+            "per-tenant admission control feeding the warm build pool, a "
+            "versioned HTTP/JSON API, and crash-safe job state under "
+            "--state-dir (SIGKILL the daemon, restart it on the same "
+            "directory, and in-flight jobs resume from their checkpoints)."
+        ),
+    )
+    serve.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="PATH",
+        help="durable state: job records, checkpoints, the cache's disk tier",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (0 binds an ephemeral one)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="supervisor threads draining the job queue",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="warm build pool worker processes",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="job-ID factory seed (fixed seed = identical job IDs)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="global bound on queued jobs (default: unbounded)",
+    )
+    serve.add_argument(
+        "--quota",
+        action="append",
+        metavar="TENANT=QUEUED[:ACTIVE]",
+        help="per-tenant admission limits; repeatable",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-tenant queued-job limit",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-tenant queued+running limit",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="talk to a running service daemon",
+        description=(
+            "Submit, list, inspect, cancel and fetch jobs on a running "
+            "`repro serve` daemon. Every --json payload is the service "
+            "API's versioned envelope, verbatim."
+        ),
+    )
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=8321)
+    jobs.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="per-request HTTP timeout",
+    )
+    jobs.add_argument(
+        "--json", action="store_true", help="emit the API envelope as JSON"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    jobs_submit = jobs_sub.add_parser("submit", help="submit one job")
+    jobs_submit.add_argument("config", help="design name or esp_config path")
+    jobs_submit.add_argument(
+        "--kind", choices=["build", "deploy"], default="build"
+    )
+    jobs_submit.add_argument("--tenant", default="default")
+    jobs_submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="higher runs first among queued jobs",
+    )
+    jobs_submit.add_argument(
+        "--strategy",
+        choices=[s.value for s in ImplementationStrategy],
+        help="force a P&R strategy for build jobs",
+    )
+    jobs_submit.add_argument(
+        "--frames", type=int, default=1, help="WAMI frames for deploy jobs"
+    )
+    jobs_submit.set_defaults(func=cmd_jobs_submit)
+
+    jobs_list = jobs_sub.add_parser("list", help="list jobs and queue state")
+    jobs_list.add_argument("--tenant", help="only this tenant's jobs")
+    jobs_list.add_argument(
+        "--state",
+        choices=["queued", "running", "succeeded", "failed", "cancelled"],
+        help="only jobs in this state",
+    )
+    jobs_list.set_defaults(func=cmd_jobs_list)
+
+    jobs_status = jobs_sub.add_parser("status", help="one job's record")
+    jobs_status.add_argument("job_id")
+    jobs_status.set_defaults(func=cmd_jobs_status)
+
+    jobs_cancel = jobs_sub.add_parser("cancel", help="cancel a job")
+    jobs_cancel.add_argument("job_id")
+    jobs_cancel.set_defaults(func=cmd_jobs_cancel)
+
+    jobs_result = jobs_sub.add_parser(
+        "result", help="a terminal job's result payload"
+    )
+    jobs_result.add_argument("job_id")
+    jobs_result.add_argument(
+        "--wait",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="poll until the job is terminal (--no-wait asks once)",
+    )
+    jobs_result.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="give up waiting after S seconds",
+    )
+    jobs_result.set_defaults(func=cmd_jobs_result)
     return parser
 
 

@@ -177,3 +177,35 @@ def wami_soc_z() -> SocConfig:
 def wami_deployment_socs() -> Dict[str, SocConfig]:
     """Name -> config for SoC_X/Y/Z."""
     return {cfg.name: cfg for cfg in (wami_soc_x(), wami_soc_y(), wami_soc_z())}
+
+
+def paper_designs() -> Dict[str, SocConfig]:
+    """All named designs of the evaluation."""
+    return {
+        **characterization_socs(),
+        **wami_parallelism_socs(),
+        **wami_deployment_socs(),
+    }
+
+
+def resolve_config(spec: str) -> SocConfig:
+    """A design name or an ``esp_config`` path.
+
+    The shared resolver behind both the CLI's positional ``config``
+    argument and the service daemon's job specs, so a job submitted
+    over HTTP accepts exactly what ``repro build`` accepts.
+    """
+    import os
+
+    from repro.errors import PrEspError
+    from repro.soc.esp_parser import load_esp_config
+
+    designs = paper_designs()
+    if spec in designs:
+        return designs[spec]
+    if os.path.exists(spec):
+        return load_esp_config(spec)
+    raise PrEspError(
+        f"{spec!r} is neither a known design ({', '.join(sorted(designs))}) "
+        "nor an existing esp_config file"
+    )

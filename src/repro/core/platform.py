@@ -12,7 +12,6 @@ returning performance and energy (the Fig. 4 experiment).
 from __future__ import annotations
 
 import contextlib
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -28,7 +27,7 @@ from repro.noc.analytic import NocModel
 from repro.noc.mesh import Mesh
 from repro.obs.bridge import bridge_timeline, publish_runtime_stats
 from repro.obs.context import RequestIdFactory, TelemetryContext, activate
-from repro.obs.events import EventBus, NULL_EVENTS
+from repro.obs.events import EventBus
 from repro.obs.health import HealthMonitor, HealthReport
 from repro.obs.instrumentation import OFF, Instrumentation
 from repro.obs.metrics import NULL_METRICS
@@ -58,10 +57,6 @@ from repro.wami.graph import WamiStage
 
 #: SoC clock of the paper's deployment (VC707 at 78 MHz).
 DEPLOYMENT_CLOCK_HZ = 78e6
-
-#: Sentinel distinguishing "not passed" from explicit None on
-#: deprecated keyword arguments.
-_UNSET = object()
 
 
 @dataclass
@@ -154,8 +149,6 @@ class PrEspPlatform:
         runtime_options: Optional[RuntimeFaultOptions] = None,
         request_ids: Optional[RequestIdFactory] = None,
         telemetry: Optional[TelemetryStore] = None,
-        cache=_UNSET,
-        jobs=_UNSET,
     ) -> None:
         """``instrumentation`` bundles tracer/metrics/events once for
         every platform operation; ``options`` bundles the build-side
@@ -173,25 +166,7 @@ class PrEspPlatform:
         snapshots the metrics registry after every verb — the series
         the SLO tracker and the ``repro dashboard`` verb read. Both
         default off, preserving context-free label keys.
-
-        ``cache=`` and ``jobs=`` remain as deprecated shims — they
-        fold into a :class:`BuildOptions` and warn.
         """
-        if cache is not _UNSET or jobs is not _UNSET:
-            if options is not None:
-                raise ConfigurationError(
-                    "pass cache/jobs inside BuildOptions, not alongside options="
-                )
-            warnings.warn(
-                "PrEspPlatform(cache=..., jobs=...) is deprecated; pass "
-                "options=BuildOptions(cache=..., jobs=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            options = BuildOptions(
-                cache=None if cache is _UNSET else cache,
-                jobs=1 if jobs is _UNSET else jobs,
-            )
         self.options = options if options is not None else BuildOptions()
         self.runtime_options = (
             runtime_options if runtime_options is not None else RuntimeFaultOptions()
@@ -268,7 +243,6 @@ class PrEspPlatform:
         config: SocConfig,
         strategy_override: Optional[ImplementationStrategy] = None,
         with_baseline: bool = False,
-        tracer=_UNSET,
         resume: Optional[bool] = None,
         context: Optional[TelemetryContext] = None,
     ) -> BuildResult:
@@ -284,20 +258,11 @@ class PrEspPlatform:
         ``resume`` (defaulting to the options' flag) restores the
         matching prefix of a previously killed build.
 
-        ``tracer=`` remains as a deprecated per-call shim. ``context=``
-        attributes the build to an existing request; without one the
-        platform's ID factory (when configured) mints a fresh
-        ``build-...`` context.
+        ``context=`` attributes the build to an existing request;
+        without one the platform's ID factory (when configured) mints a
+        fresh ``build-...`` context.
         """
-        if tracer is _UNSET:
-            tracer = self.instrumentation.tracer
-        else:
-            warnings.warn(
-                "build(tracer=...) is deprecated; construct the platform "
-                "with instrumentation=Instrumentation(tracer=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+        tracer = self.instrumentation.tracer
         with self._request("build", context):
             flow_result, cached = cached_build(
                 self.flow,
@@ -404,9 +369,6 @@ class PrEspPlatform:
         app: Optional[WamiApplication] = None,
         power_gating: bool = False,
         pipelined: bool = False,
-        tracer=_UNSET,
-        metrics=_UNSET,
-        events=_UNSET,
         prc_setup: Optional[Callable[[PrcDevice], None]] = None,
         instrumentation: Optional[Instrumentation] = None,
         runtime_options: Optional[RuntimeFaultOptions] = None,
@@ -436,39 +398,18 @@ class PrEspPlatform:
         the clock advances they cause, per-callback-site frames, NoC
         transfer windows, and the runtime recovery ladder as
         root-anchored ``runtime.*`` leaves). ``prc_setup`` is called
-        with the constructed
-        PRC before the run starts — the fault-injection hook
-        (``PrcDevice.inject_failure``).
+        with the constructed PRC before the run starts — the hook for
+        installing a targeted :class:`~repro.runtime.faults.
+        RuntimeFaultModel` on ``prc.faults``.
 
         ``runtime_options`` (falling back to the platform's bundle)
         carries the runtime fault model and watchdog/recovery policy.
         The model is a *specification*: the deployment draws from a
         fresh per-run copy (:meth:`RuntimeFaultModel.fresh`), so
         repeated same-seed deploys replay the identical fault timeline.
-
-        ``tracer=``/``metrics=``/``events=`` remain as deprecated
-        per-call shims folding into an :class:`Instrumentation`.
         """
         if frames <= 0:
             raise ConfigurationError("frames must be positive")
-        if tracer is not _UNSET or metrics is not _UNSET or events is not _UNSET:
-            if instrumentation is not None:
-                raise ConfigurationError(
-                    "pass tracer/metrics/events inside instrumentation=, "
-                    "not alongside it"
-                )
-            warnings.warn(
-                "deploy_wami(tracer=/metrics=/events=) is deprecated; pass "
-                "instrumentation=Instrumentation(...) or construct the "
-                "platform with one",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            instrumentation = Instrumentation(
-                tracer=NULL_TRACER if tracer is _UNSET else tracer,
-                metrics=NULL_METRICS if metrics is _UNSET else metrics,
-                events=NULL_EVENTS if events is _UNSET else events,
-            )
         inst = (
             instrumentation if instrumentation is not None else self.instrumentation
         )

@@ -34,6 +34,7 @@ trace instead of per-fork blind spots.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 import weakref
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -111,6 +112,8 @@ def _execute(
     flow: DprFlow,
     request: BuildRequest,
     capsule: Optional[ProfileCapsule] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Tuple[Optional[FlowResult], Optional[BuildError], float, Optional[Dict]]:
     """Run one build, capturing any failure.
 
@@ -123,6 +126,10 @@ def _execute(
     The capsule's request context (if any) is re-activated around the
     build, so worker-side spans, profile leaves and log records carry
     the originating request's ID even across the process boundary.
+    ``checkpoint_dir``/``resume`` pass through to :meth:`DprFlow.build`
+    — the service daemon's crash-safety path (checkpoints are written
+    in the worker process, so a daemon SIGKILL loses at most the stage
+    in flight).
     """
     profiler = capsule.activate() if capsule is not None else NULL_PROFILER
     tracer = (
@@ -139,6 +146,8 @@ def _execute(
             semi_tau=request.semi_tau,
             tracer=tracer,
             profiler=profiler,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         error = None
     except Exception as exc:  # noqa: BLE001 - the capture is the point
@@ -256,22 +265,26 @@ class BatchBuilder:
             "flow_batch_build_seconds", "wall seconds per executed build"
         )
         # Warm worker pool: created lazily on the first parallel batch,
-        # reused by every later one until close().
+        # reused by every later one until close(). The lock makes the
+        # lazy creation safe under the service supervisor's concurrent
+        # worker threads.
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_finalizer = None
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # warm pool lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """The persistent worker pool, created on first parallel use."""
-        if self._pool is None:
-            logger.info("starting warm build pool (%d workers)", self.jobs)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=_POOL_CONTEXT
-            )
-            self._pool_finalizer = weakref.finalize(self, _reap_pool, self._pool)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                logger.info("starting warm build pool (%d workers)", self.jobs)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=_POOL_CONTEXT
+                )
+                self._pool_finalizer = weakref.finalize(self, _reap_pool, self._pool)
+            return self._pool
 
     @property
     def pool_active(self) -> bool:
@@ -281,12 +294,13 @@ class BatchBuilder:
     def close(self) -> None:
         """Shut the warm pool down (idempotent; builder stays usable —
         the next parallel batch simply starts a fresh pool)."""
-        pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        if self._pool_finalizer is not None:
-            self._pool_finalizer.detach()
-            self._pool_finalizer = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            if pool is None:
+                return
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
         pool.shutdown(wait=True)
 
     def __enter__(self) -> "BatchBuilder":
@@ -385,6 +399,88 @@ class BatchBuilder:
         done = [outcome for outcome in outcomes if outcome is not None]
         assert len(done) == len(requests)
         return done
+
+    # ------------------------------------------------------------------
+    def build_one(
+        self,
+        request: BuildRequest,
+        checkpoint_dir=None,
+        resume: bool = False,
+    ) -> BuildOutcome:
+        """One request through cache + warm pool; thread-safe.
+
+        The service daemon's execution path: supervisor worker threads
+        each push their job through here concurrently, sharing the one
+        warm ``ProcessPoolExecutor`` (``pool.submit`` is thread-safe)
+        and the one :class:`FlowCache`. ``checkpoint_dir`` makes the
+        build stage-checkpointed; with ``resume`` a previously killed
+        build restores its completed-stage prefix — same content
+        digest, byte-identical result.
+
+        With ``jobs=1`` the build runs in the calling thread (no pool),
+        and a broken pool degrades to in-thread execution instead of
+        failing the job — the daemon must outlive its workers.
+        """
+        if self.cache is not None:
+            key = flow_cache_key(
+                self.flow,
+                request.config,
+                request.strategy_override,
+                request.semi_tau,
+            )
+            start = time.perf_counter()
+            result = self.cache.get(key)
+            if result is not None:
+                self._requests_counter.inc(status="cache_hit")
+                self.events.emit(ev.CACHE_HIT, source=request.label, key=key)
+                return BuildOutcome(
+                    request=request,
+                    result=result,
+                    error=None,
+                    cached=True,
+                    elapsed_s=time.perf_counter() - start,
+                )
+            self.events.emit(ev.CACHE_MISS, source=request.label, key=key)
+
+        payload = (
+            self.flow,
+            request,
+            self._capsule(request),
+            checkpoint_dir,
+            resume,
+        )
+        executed = None
+        if self.jobs > 1:
+            try:
+                executed = self._ensure_pool().submit(_pool_execute, payload).result()
+            except (BrokenExecutor, RuntimeError) as error:
+                logger.warning(
+                    "warm pool failed for %s (%s); running in-thread",
+                    request.label,
+                    error,
+                )
+                self.close()
+        if executed is None:
+            executed = _execute(*payload)
+
+        result, error, elapsed, obs = executed
+        self._build_seconds.observe(elapsed)
+        if obs is not None:
+            self._merge_observability(request.label, obs)
+        if error is None:
+            self._requests_counter.inc(status="built")
+            if self.cache is not None and result is not None:
+                self.cache.put(key, result)
+        else:
+            self._requests_counter.inc(status="error")
+            logger.warning("build %s failed: %s", request.label, error)
+        return BuildOutcome(
+            request=request,
+            result=result,
+            error=error,
+            cached=False,
+            elapsed_s=elapsed,
+        )
 
     # ------------------------------------------------------------------
     def _capsule(self, request: BuildRequest) -> Optional[ProfileCapsule]:

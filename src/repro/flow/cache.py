@@ -32,9 +32,11 @@ into memory. Hit/miss/eviction counters land in an
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
@@ -184,6 +186,13 @@ class FlowCache:
             disk_dir = None
         self.disk_dir: Optional[Path] = Path(disk_dir) if disk_dir else None
         self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        # The service daemon's worker threads share one cache; the lock
+        # keeps the LRU bookkeeping (move_to_end/popitem) and the stat
+        # mirrors coherent under concurrent get/put. Disk-tier tmp
+        # files are named per writer from this counter (itertools.count
+        # is GIL-atomic), so two writers never share a tmp path.
+        self._lock = threading.RLock()
+        self._tmp_ids = itertools.count()
         self._requests = metrics.counter(
             "flow_cache_requests_total", "flow-cache lookups"
         )
@@ -212,15 +221,18 @@ class FlowCache:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def stats(self) -> Dict[str, int]:
         """Lifetime counters plus the current memory-tier size."""
-        return {**self._stat, "entries": len(self._memory)}
+        with self._lock:
+            return {**self._stat, "entries": len(self._memory)}
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory tier (and the disk tier when ``disk``)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if disk and self.disk_dir is not None and self.disk_dir.is_dir():
             for entry in self.disk_dir.glob("*.pkl"):
                 try:
@@ -236,13 +248,16 @@ class FlowCache:
         receive.
         """
         self._requests.inc()
-        self._stat["requests"] += 1
-        payload = self._memory.get(key)
-        if payload is not None:
-            self._memory.move_to_end(key)
-            self._hits.inc(tier="memory")
-            self._stat["hits_memory"] += 1
-            return pickle.loads(payload)
+        with self._lock:
+            self._stat["requests"] += 1
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self._hits.inc(tier="memory")
+                self._stat["hits_memory"] += 1
+                return pickle.loads(payload)
+        # Disk I/O happens outside the lock — only the promotion into
+        # the memory tier re-enters it.
         payload = self._disk_read(key)
         if payload is not None:
             try:
@@ -253,10 +268,12 @@ class FlowCache:
             else:
                 self._memory_store(key, payload)
                 self._hits.inc(tier="disk")
-                self._stat["hits_disk"] += 1
+                with self._lock:
+                    self._stat["hits_disk"] += 1
                 return result
         self._misses.inc()
-        self._stat["misses"] += 1
+        with self._lock:
+            self._stat["misses"] += 1
         return None
 
     def put(self, key: str, result: "FlowResult") -> None:
@@ -269,13 +286,14 @@ class FlowCache:
     # memory tier
     # ------------------------------------------------------------------
     def _memory_store(self, key: str, payload: bytes) -> None:
-        self._memory[key] = payload
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_entries:
-            evicted, _ = self._memory.popitem(last=False)
-            self._evictions.inc()
-            self._stat["evictions"] += 1
-            logger.debug("evicted flow-cache entry %s", evicted[:12])
+        with self._lock:
+            self._memory[key] = payload
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_entries:
+                evicted, _ = self._memory.popitem(last=False)
+                self._evictions.inc()
+                self._stat["evictions"] += 1
+                logger.debug("evicted flow-cache entry %s", evicted[:12])
 
     # ------------------------------------------------------------------
     # disk tier
@@ -286,7 +304,8 @@ class FlowCache:
 
     def _count_disk_error(self) -> None:
         self._disk_errors.inc()
-        self._stat["disk_errors"] += 1
+        with self._lock:
+            self._stat["disk_errors"] += 1
 
     def _disk_read(self, key: str) -> Optional[bytes]:
         if self.disk_dir is None:
@@ -301,15 +320,33 @@ class FlowCache:
             return None
 
     def _disk_write(self, key: str, payload: bytes) -> None:
+        """Publish one entry via a writer-unique tmp + atomic rename.
+
+        Two concurrent writers of the same key (service worker threads,
+        or two daemon processes sharing a disk dir) used to race on one
+        shared ``<key>.tmp`` name: writer B could truncate the file
+        while writer A's ``os.replace`` was in flight, publishing a
+        torn entry. Naming the tmp per writer (pid + per-cache counter)
+        makes each rename claim atomic and complete; both writers
+        serialize the identical pickled payload for a given content
+        digest, so whichever rename lands last is equally correct.
+        """
         if self.disk_dir is None:
             return
+        final = self._disk_path(key)
+        tmp = final.with_name(
+            f".{key}.{os.getpid()}.{next(self._tmp_ids)}.tmp"
+        )
         try:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
-            tmp = self._disk_path(key).with_suffix(".tmp")
             tmp.write_bytes(payload)
-            os.replace(tmp, self._disk_path(key))
+            os.replace(tmp, final)
         except OSError:
             self._count_disk_error()
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def _disk_evict(self, key: str) -> None:
         if self.disk_dir is None:

@@ -172,9 +172,9 @@ class ReconfigurationManager:
     def faults(self) -> RuntimeFaultModel:
         """The runtime fault model, shared with the PRC.
 
-        Read dynamically from the device so the deprecated
-        ``PrcDevice.inject_failure`` shim (which may lazily swap in a
-        private model) and the manager always see the same accounting.
+        Read dynamically from the device so anything that swaps a
+        model onto the PRC (a ``prc_setup`` hook, a test) and the
+        manager always see the same accounting.
         """
         return self.prc.faults
 

@@ -16,7 +16,6 @@ why the flow generates compressed partial bitstreams.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -183,32 +182,21 @@ class PrcDevice:
             self.mem_position, self.aux_position, size_bytes
         )
 
-    def inject_failure(self, tile_name: str, mode_name: str, count: int = 1) -> None:
-        """Deprecated shim: arm ``count`` CRC failures for (tile, mode).
+    def inject_failure(self, *args, **kwargs) -> None:
+        """Removed. Inject faults through the runtime fault model.
 
-        Delegates to the :class:`~repro.runtime.faults.RuntimeFaultModel`
-        targeted injection (lazily instantiating a private model when
-        the device still holds the shared healthy default), so both
-        paths share the model's accounting. Prefer
-        ``RuntimeFaultModel.inject`` and the platform's
-        ``RuntimeFaultOptions``.
+        The deprecation-era shim is gone; the replacement is::
+
+            model = RuntimeFaultModel()
+            model.inject(tile, mode, RuntimeFaultKind.BITSTREAM_CORRUPTION)
+            platform = PrEspPlatform(
+                runtime_options=RuntimeFaultOptions(faults=model)
+            )
         """
-        warnings.warn(
-            "PrcDevice.inject_failure is deprecated; inject via "
+        raise TypeError(
+            "PrcDevice.inject_failure was removed; inject via "
             "RuntimeFaultModel.inject and pass RuntimeFaultOptions to the "
-            "platform instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if count <= 0:
-            raise ReconfigurationError("failure count must be positive")
-        if self.faults is NO_RUNTIME_FAULTS:
-            self.faults = RuntimeFaultModel()
-        self.faults.inject(
-            tile_name,
-            mode_name,
-            RuntimeFaultKind.BITSTREAM_CORRUPTION,
-            count=count,
+            "platform (or a prc_setup hook that sets prc.faults) instead"
         )
 
     def abort_transfer(self, tile_name: str, mode_name: str) -> bool:

@@ -1,0 +1,41 @@
+"""The multi-tenant build/deploy service daemon.
+
+The paper's flow is invoke-per-process: every ``repro.api`` verb
+constructs a platform, warms the flow cache and the worker pool, runs
+once and exits. This package turns the platform into a long-running
+*service*: a priority job queue with per-tenant admission control
+(:mod:`repro.service.queue`), a supervisor feeding the persistent
+:class:`~repro.flow.batch.BatchBuilder` warm pool and one shared
+:class:`~repro.flow.cache.FlowCache` (:mod:`repro.service.supervisor`),
+and an HTTP/JSON API (:mod:`repro.service.httpd`) whose request and
+response bodies are governed by the versioned schemas of
+:mod:`repro.service.schema`. :mod:`repro.service.client` is the thin
+HTTP client the ``repro.api`` verbs and the ``repro jobs`` CLI ride.
+
+Jobs are crash-safe: every build job writes through the flow
+checkpointer, so a SIGKILLed daemon restarted on the same state
+directory requeues its in-flight jobs and resumes them byte-
+identically.
+"""
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.daemon import BuildService, ServiceConfig
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.queue import AdmissionError, JobQueue, TenantQuota
+from repro.service.schema import SCHEMA_VERSION, SchemaError, envelope
+
+__all__ = [
+    "AdmissionError",
+    "BuildService",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceUnavailable",
+    "TenantQuota",
+    "envelope",
+]

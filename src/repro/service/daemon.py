@@ -1,0 +1,122 @@
+"""The daemon: one supervisor + one HTTP server, as a unit.
+
+:class:`BuildService` is what ``repro serve`` runs and what the
+integration tests embed: construct with a :class:`ServiceConfig`,
+``start()`` (recovers persisted jobs, binds the port, spins the worker
+and acceptor threads), ``stop()`` (drains and releases everything).
+``port=0`` binds an ephemeral port — read the real one from
+``service.port`` — so tests and parallel daemons never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.service.httpd import ServiceHTTPServer
+from repro.service.queue import TenantQuota
+from repro.service.supervisor import Supervisor
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a daemon run needs, as one value.
+
+    ``state_dir`` holds the durable world: job records, per-job
+    checkpoint directories and the flow cache's disk tier — point a
+    restarted daemon at the same directory and it resumes where the
+    killed one stopped. ``workers`` is the number of supervisor threads
+    draining the queue; ``jobs`` the warm build pool's process count.
+    ``quotas`` maps tenant names onto admission limits (missing tenants
+    get ``default_quota``).
+    """
+
+    state_dir: Union[str, Path]
+    host: str = "127.0.0.1"
+    port: int = 8321
+    workers: int = 2
+    jobs: int = 2
+    seed: int = 0
+    queue_capacity: Optional[int] = None
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    cache_entries: int = 256
+
+
+class BuildService:
+    """The runnable daemon (also a context manager)."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.supervisor = Supervisor(
+            state_dir=config.state_dir,
+            workers=config.workers,
+            jobs=config.jobs,
+            seed=config.seed,
+            queue_capacity=config.queue_capacity,
+            quotas=config.quotas,
+            default_quota=config.default_quota,
+            cache_entries=config.cache_entries,
+        )
+        self._server: Optional[ServiceHTTPServer] = None
+        self._acceptor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "BuildService":
+        """Recover state, start the workers, bind and serve."""
+        if self._server is not None:
+            return self
+        self.supervisor.start()
+        self._server = ServiceHTTPServer(
+            (self.config.host, self.config.port), self.supervisor
+        )
+        self._acceptor = threading.Thread(
+            target=self._server.serve_forever,
+            name="service-http",
+            daemon=True,
+        )
+        self._acceptor.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting, drain the workers, shut the pool down."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=timeout)
+            self._acceptor = None
+        self.supervisor.stop(timeout=timeout)
+
+    def serve_forever(self) -> None:
+        """Blocking run (the ``repro serve`` path): serve until
+        KeyboardInterrupt/SIGTERM, then drain."""
+        self.start()
+        assert self._acceptor is not None
+        try:
+            while self._acceptor.is_alive():
+                self._acceptor.join(timeout=0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "BuildService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

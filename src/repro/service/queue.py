@@ -1,0 +1,220 @@
+"""Priority job queue with per-tenant quotas and admission control.
+
+Admission is decided *at submit time*: a tenant over any of its quotas
+is rejected with :class:`AdmissionError` (the HTTP layer maps it to
+429) and the job is **never queued** — a full queue must shed load at
+the door, not grow an unbounded backlog the supervisor can't drain.
+
+Scheduling order is strict priority (higher first), FIFO within a
+priority class using the daemon-global admission sequence as the tie
+break. The queue itself holds only ``(priority, seq, job_id)`` keys —
+records live in the supervisor's table — so cancellation is a lazy
+tombstone: cancelled IDs are skipped at pop time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import PrEspError
+from repro.service.jobs import JobRecord
+
+
+class AdmissionError(PrEspError):
+    """The submit was rejected at the door (quota or closed queue).
+
+    ``reason`` is a stable machine-readable token the API surfaces in
+    the 429 body: ``queue_full``, ``tenant_queued``, ``tenant_active``
+    or ``closed``.
+    """
+
+    def __init__(self, message: str, reason: str = "quota") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant (or the ``*`` default).
+
+    ``max_queued`` bounds jobs waiting in the queue; ``max_active``
+    bounds queued + running together — the tenant's total footprint on
+    the daemon. Either may be ``None`` (unlimited).
+    """
+
+    max_queued: Optional[int] = None
+    max_active: Optional[int] = None
+
+
+#: Fallback quota applied to tenants without an explicit entry.
+DEFAULT_QUOTA = TenantQuota(max_queued=None, max_active=None)
+
+
+class JobQueue:
+    """Bounded priority queue, thread-safe, with per-tenant accounting.
+
+    The supervisor's worker threads block on :meth:`pop`; the HTTP
+    handler threads call :meth:`submit`. ``capacity`` bounds the whole
+    queue across tenants (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: TenantQuota = DEFAULT_QUOTA,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise AdmissionError(f"queue capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self._heap: List[Tuple[int, int, str]] = []
+        self._tenant_of: Dict[str, str] = {}
+        self._queued_by_tenant: Dict[str, int] = {}
+        self._running_by_tenant: Dict[str, int] = {}
+        self._tombstones: Set[str] = set()
+        self._queued = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: Admission decisions, for /metrics and the status payload.
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _check_admission(self, tenant: str) -> None:
+        if self._closed:
+            raise AdmissionError("queue is closed", reason="closed")
+        if self.capacity is not None and self._queued >= self.capacity:
+            raise AdmissionError(
+                f"queue is full ({self._queued}/{self.capacity})",
+                reason="queue_full",
+            )
+        quota = self.quota_for(tenant)
+        queued = self._queued_by_tenant.get(tenant, 0)
+        running = self._running_by_tenant.get(tenant, 0)
+        if quota.max_queued is not None and queued >= quota.max_queued:
+            raise AdmissionError(
+                f"tenant {tenant!r} is over its queued-job quota "
+                f"({queued}/{quota.max_queued})",
+                reason="tenant_queued",
+            )
+        if quota.max_active is not None and queued + running >= quota.max_active:
+            raise AdmissionError(
+                f"tenant {tenant!r} is over its active-job quota "
+                f"({queued + running}/{quota.max_active})",
+                reason="tenant_active",
+            )
+
+    def submit(self, record: JobRecord) -> None:
+        """Admit one queued record, or raise :class:`AdmissionError`."""
+        tenant = record.spec.tenant
+        with self._lock:
+            try:
+                self._check_admission(tenant)
+            except AdmissionError:
+                self.rejected += 1
+                raise
+            heapq.heappush(
+                self._heap,
+                (-record.spec.priority, record.submit_seq, record.job_id),
+            )
+            self._tenant_of[record.job_id] = tenant
+            self._queued += 1
+            self._queued_by_tenant[tenant] = self._queued_by_tenant.get(tenant, 0) + 1
+            self.admitted += 1
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        """The next runnable job ID, or ``None`` on timeout/closed-empty.
+
+        Tombstoned (cancelled) entries are discarded here; the caller
+        must call :meth:`mark_done` once the job leaves RUNNING.
+        """
+        with self._not_empty:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    if job_id in self._tombstones:
+                        self._tombstones.discard(job_id)
+                        continue
+                    tenant = self._tenant_of.pop(job_id, None)
+                    if tenant is None:  # stale entry, already cancelled
+                        continue
+                    self._queued -= 1
+                    count = self._queued_by_tenant.get(tenant, 1) - 1
+                    if count:
+                        self._queued_by_tenant[tenant] = count
+                    else:
+                        self._queued_by_tenant.pop(tenant, None)
+                    self._running_by_tenant[tenant] = (
+                        self._running_by_tenant.get(tenant, 0) + 1
+                    )
+                    return job_id
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def mark_done(self, tenant: str) -> None:
+        """Release the running slot a popped job held for ``tenant``."""
+        with self._lock:
+            count = self._running_by_tenant.get(tenant, 0) - 1
+            if count > 0:
+                self._running_by_tenant[tenant] = count
+            else:
+                self._running_by_tenant.pop(tenant, None)
+
+    def cancel(self, record: JobRecord) -> bool:
+        """Tombstone a queued job; True if it will never be popped."""
+        with self._lock:
+            if record.job_id in self._tenant_of:
+                self._tombstones.add(record.job_id)
+                tenant = self._tenant_of.pop(record.job_id)
+                self._queued -= 1
+                count = self._queued_by_tenant.get(tenant, 1) - 1
+                if count:
+                    self._queued_by_tenant[tenant] = count
+                else:
+                    self._queued_by_tenant.pop(tenant, None)
+                return True
+            return False
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked :meth:`pop`."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        with self._lock:
+            return self._queued
+
+    def snapshot(self) -> Dict:
+        """Queue/tenant occupancy for the status and metrics payloads."""
+        with self._lock:
+            tenants = sorted(
+                set(self._queued_by_tenant) | set(self._running_by_tenant)
+            )
+            return {
+                "queued": self._queued,
+                "capacity": self.capacity,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "tenants": {
+                    tenant: {
+                        "queued": self._queued_by_tenant.get(tenant, 0),
+                        "running": self._running_by_tenant.get(tenant, 0),
+                    }
+                    for tenant in tenants
+                },
+            }

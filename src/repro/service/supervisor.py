@@ -1,0 +1,393 @@
+"""The supervisor: worker threads draining the queue into the platform.
+
+One :class:`Supervisor` owns the long-lived platform state the whole
+daemon shares — one :class:`~repro.flow.cache.FlowCache` with a disk
+tier under the state directory, one :class:`~repro.flow.batch.
+BatchBuilder` warm process pool, one metrics registry / event bus /
+telemetry store — plus the durable job table. Worker threads block on
+the priority queue and push each job through
+:meth:`~repro.flow.batch.BatchBuilder.build_one` (build jobs, with a
+per-job checkpoint directory) or :meth:`~repro.core.platform.
+PrEspPlatform.deploy_wami` (deploy jobs, under the PR-5 recovery
+ladder).
+
+Crash safety is a replay, not a transaction log: every state change of
+a job is persisted to its own JSON file *before* it becomes externally
+observable, and :meth:`Supervisor.start` requeues any job found
+``queued`` or ``running`` on disk. A requeued build resumes from its
+checkpoint directory (completed stages restore byte-identically; the
+result summary of a resumed build equals the uninterrupted one), and
+the daemon reports itself ``recovering`` — HTTP 503 — until the
+requeued backlog drains.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.designs import resolve_config
+from repro.core.platform import PrEspPlatform
+from repro.core.strategy import ImplementationStrategy
+from repro.errors import PrEspError
+from repro.flow.batch import BuildRequest
+from repro.flow.cache import FlowCache
+from repro.flow.options import BuildOptions
+from repro.obs.context import activate
+from repro.obs.events import EventBus
+from repro.obs.health import HealthMonitor, Verdict, _worst
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
+from repro.obs.tsdb import TelemetryStore
+from repro.service.jobs import (
+    JobIdMinter,
+    JobRecord,
+    JobSpec,
+    JobState,
+    JobStore,
+)
+from repro.service.queue import JobQueue, TenantQuota
+
+logger = get_logger("service.supervisor")
+
+#: Service event kinds (the job lifecycle on the daemon's bus).
+JOB_SUBMITTED = "service.job_submitted"
+JOB_STARTED = "service.job_started"
+JOB_FINISHED = "service.job_finished"
+JOB_CANCELLED = "service.job_cancelled"
+JOB_REQUEUED = "service.job_requeued"
+
+
+class Supervisor:
+    """Owns the shared platform state and the worker threads."""
+
+    def __init__(
+        self,
+        state_dir,
+        workers: int = 2,
+        jobs: int = 2,
+        seed: int = 0,
+        queue_capacity: Optional[int] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: TenantQuota = TenantQuota(),
+        cache_entries: int = 256,
+    ) -> None:
+        if workers <= 0:
+            raise PrEspError(f"supervisor needs at least one worker, got {workers}")
+        self.state_dir = Path(state_dir)
+        self.workers = workers
+        self.seed = int(seed)
+
+        # One observability plane for every tenant's jobs.
+        self.registry = MetricsRegistry()
+        self.events = EventBus(capacity=4096)
+        self.telemetry = TelemetryStore()
+        self.health = HealthMonitor(self.events)
+        self.slo = SloTracker(self.telemetry)
+
+        # One warm pool + one shared two-tier cache, via the platform.
+        self.cache = FlowCache(
+            max_entries=cache_entries,
+            disk_dir=self.state_dir / "cache",
+            metrics=self.registry,
+        )
+        self.platform = PrEspPlatform(
+            options=BuildOptions(cache=self.cache, jobs=jobs),
+            instrumentation=Instrumentation(
+                metrics=self.registry, events=self.events
+            ),
+        )
+        self.batch = self.platform.batch
+
+        self.store = JobStore(self.state_dir / "jobs")
+        self.queue = JobQueue(
+            capacity=queue_capacity, quotas=quotas, default_quota=default_quota
+        )
+        self.minter = JobIdMinter(seed=self.seed)
+
+        self._table: Dict[str, JobRecord] = {}
+        self._table_lock = threading.Lock()
+        self._submit_seq = 0
+        self._start_seq = 0
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = False
+        #: Jobs requeued by crash recovery that have not finished yet;
+        #: the daemon reports ``recovering`` (503) until this drains.
+        self._recovering: set = set()
+        self._recovering_lock = threading.Lock()
+
+        self._jobs_counter = self.registry.counter(
+            "service_jobs_total", "service jobs by terminal status"
+        )
+        self._submit_counter = self.registry.counter(
+            "service_submits_total", "submit admissions and rejections"
+        )
+        self._queue_gauge = self.registry.gauge(
+            "service_queue_depth", "jobs waiting in the priority queue"
+        )
+        self._job_seconds = self.registry.histogram(
+            "service_job_seconds", "wall seconds per executed job"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Recover persisted jobs, then start the worker threads."""
+        if self._started:
+            return
+        self._started = True
+        recovered = self.store.load_all()
+        self.minter.advance_past(recovered)
+        # Jobs submitted in-process before start() are already queued;
+        # recovery only concerns records a *previous* daemon persisted.
+        with self._table_lock:
+            live = set(self._table)
+        recovered = [record for record in recovered if record.job_id not in live]
+        for record in recovered:
+            self._submit_seq = max(self._submit_seq, record.submit_seq + 1)
+            if record.start_seq is not None:
+                self._start_seq = max(self._start_seq, record.start_seq + 1)
+            with self._table_lock:
+                self._table[record.job_id] = record
+            if record.state is JobState.RUNNING:
+                # The previous daemon died mid-job; the checkpoint
+                # directory holds its completed stages. Requeue and
+                # re-run with resume.
+                record.transition(JobState.QUEUED)
+                self.store.save(record)
+            if record.state is JobState.QUEUED:
+                if record.cancel_requested:
+                    record.transition(JobState.CANCELLED)
+                    self.store.save(record)
+                    continue
+                with self._recovering_lock:
+                    self._recovering.add(record.job_id)
+                self.events.emit(
+                    JOB_REQUEUED, source=record.job_id, tenant=record.spec.tenant
+                )
+                self.queue.submit(record)
+        if recovered:
+            logger.info(
+                "recovered %d job records (%d requeued)",
+                len(recovered),
+                len(self._recovering),
+            )
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop admitting, drain the workers, shut the warm pool down."""
+        self._stopping.set()
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self.platform.close()
+
+    # ------------------------------------------------------------------
+    # the API surface the HTTP layer calls
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Admit one job (or let :class:`AdmissionError` escape)."""
+        # Validate the config eagerly: an unknown design must 400 at
+        # submit, not fail a worker thread minutes later.
+        resolve_config(spec.config)
+        job_id = self.minter.mint(spec.tenant)
+        with self._table_lock:
+            record = JobRecord(job_id=job_id, spec=spec, submit_seq=self._submit_seq)
+            self._submit_seq += 1
+            self._table[job_id] = record
+        try:
+            # Persist before enqueueing: a job a client saw accepted
+            # must survive a crash between submit and first run.
+            self.store.save(record)
+            self.queue.submit(record)
+        except Exception:
+            self._submit_counter.inc(status="rejected")
+            with self._table_lock:
+                self._table.pop(job_id, None)
+            self.store.path_for(job_id).unlink(missing_ok=True)
+            raise
+        self._submit_counter.inc(status="admitted")
+        self._queue_gauge.set(self.queue.depth())
+        self.events.emit(JOB_SUBMITTED, source=job_id, tenant=spec.tenant)
+        return record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._table_lock:
+            return self._table.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[JobRecord]:
+        """Cancel a queued job (terminal); flag a running one.
+
+        Returns the record, or None for an unknown ID. A job already
+        terminal is returned unchanged — cancel is idempotent.
+        """
+        record = self.get(job_id)
+        if record is None:
+            return None
+        with self._table_lock:
+            if record.state is JobState.QUEUED and self.queue.cancel(record):
+                record.cancel_requested = True
+                record.transition(JobState.CANCELLED)
+            elif record.state is JobState.RUNNING:
+                record.cancel_requested = True
+        self.store.save(record)
+        if record.state is JobState.CANCELLED:
+            self._jobs_counter.inc(status="cancelled")
+            self._finish_recovery(job_id)
+            self.events.emit(
+                JOB_CANCELLED, source=job_id, tenant=record.spec.tenant
+            )
+        self._queue_gauge.set(self.queue.depth())
+        return record
+
+    def jobs(
+        self, tenant: Optional[str] = None, state: Optional[JobState] = None
+    ) -> List[JobRecord]:
+        """Records in admission order, optionally filtered."""
+        with self._table_lock:
+            records = sorted(
+                self._table.values(), key=lambda r: (r.submit_seq, r.job_id)
+            )
+        if tenant is not None:
+            records = [r for r in records if r.spec.tenant == tenant]
+        if state is not None:
+            records = [r for r in records if r.state is state]
+        return records
+
+    def recovering(self) -> int:
+        """Requeued-by-recovery jobs still outstanding."""
+        with self._recovering_lock:
+            return len(self._recovering)
+
+    def health_verdict(self) -> Tuple[str, Verdict]:
+        """The live ``/healthz`` verdict.
+
+        The worst of the event-driven health monitor and the SLO
+        tracker, with a ``recovering`` state (reported as critical →
+        503) while crash-recovered jobs are still draining: a client
+        must not read results as current until the replay converges.
+        """
+        if self.recovering() > 0:
+            return "recovering", Verdict.CRITICAL
+        verdict = self.health.report().verdict
+        if len(self.telemetry):
+            verdict = _worst(verdict, self.slo.evaluate().verdict)
+        return verdict.value, verdict
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            job_id = self.queue.pop(timeout=0.2)
+            if job_id is None:
+                if self._stopping.is_set():
+                    return
+                continue
+            record = self.get(job_id)
+            if record is None:  # persisted table and queue disagree
+                logger.warning("popped unknown job %s", job_id)
+                continue
+            try:
+                self._run_job(record)
+            finally:
+                self.queue.mark_done(record.spec.tenant)
+                self._queue_gauge.set(self.queue.depth())
+                self._finish_recovery(job_id)
+
+    def _finish_recovery(self, job_id: str) -> None:
+        with self._recovering_lock:
+            self._recovering.discard(job_id)
+
+    def _run_job(self, record: JobRecord) -> None:
+        with self._table_lock:
+            if record.cancel_requested and record.state is JobState.QUEUED:
+                record.transition(JobState.CANCELLED)
+                done = True
+            else:
+                record.transition(JobState.RUNNING)
+                record.start_seq = self._start_seq
+                self._start_seq += 1
+                record.attempts += 1
+                done = False
+        self.store.save(record)
+        if done:
+            self._jobs_counter.inc(status="cancelled")
+            self.events.emit(
+                JOB_CANCELLED, source=record.job_id, tenant=record.spec.tenant
+            )
+            return
+
+        self.events.emit(
+            JOB_STARTED, source=record.job_id, tenant=record.spec.tenant
+        )
+        started = time.perf_counter()
+        try:
+            with activate(record.context()):
+                if record.spec.kind == "build":
+                    self._run_build(record)
+                else:
+                    self._run_deploy(record)
+        except Exception as error:  # noqa: BLE001 - jobs never sink workers
+            record.error = {"kind": type(error).__name__, "message": str(error)}
+            record.transition(JobState.FAILED)
+        record.elapsed_s = time.perf_counter() - started
+        self._job_seconds.observe(record.elapsed_s, kind=record.spec.kind)
+        self._jobs_counter.inc(status=record.state.value)
+        self.store.save(record)
+        self.telemetry.record(self.registry)
+        self.events.emit(
+            JOB_FINISHED,
+            source=record.job_id,
+            tenant=record.spec.tenant,
+            state=record.state.value,
+        )
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        return self.state_dir / "checkpoints" / job_id
+
+    def _run_build(self, record: JobRecord) -> None:
+        spec = record.spec
+        config = resolve_config(spec.config)
+        strategy = (
+            ImplementationStrategy(spec.strategy) if spec.strategy else None
+        )
+        request = BuildRequest(config=config, strategy_override=strategy)
+        outcome = self.batch.build_one(
+            request,
+            checkpoint_dir=self.checkpoint_dir(record.job_id),
+            resume=True,
+        )
+        if outcome.error is not None:
+            record.error = {
+                "kind": outcome.error.kind,
+                "message": outcome.error.message,
+            }
+            record.transition(JobState.FAILED)
+            return
+        assert outcome.result is not None
+        record.cached = outcome.cached
+        record.resumed_stages = tuple(outcome.result.resumed_stages)
+        record.result = outcome.result.to_summary_dict()
+        record.transition(JobState.SUCCEEDED)
+
+    def _run_deploy(self, record: JobRecord) -> None:
+        spec = record.spec
+        config = resolve_config(spec.config)
+        report = self.platform.deploy_wami(config, frames=spec.frames)
+        record.result = report.to_summary_dict()
+        record.transition(JobState.SUCCEEDED)

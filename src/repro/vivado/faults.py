@@ -11,7 +11,7 @@ Two ingredients:
 * :class:`CadFaultModel` — seeded per-:class:`~repro.vivado.
   runtime_model.JobKind` failure probabilities plus targeted
   :meth:`~CadFaultModel.inject_fault` arming (the compile-time mirror
-  of :meth:`repro.runtime.prc.PrcDevice.inject_failure`). Every draw is
+  of :meth:`repro.runtime.faults.RuntimeFaultModel.inject`). Every draw is
   a pure hash of ``(seed, kind, job, attempt)``, so the failure
   timeline of a build depends only on the seed and the job identities —
   never on execution order, process count, or resume boundaries.
@@ -179,7 +179,7 @@ class CadFaultModel:
     probability (kinds absent from the map never fail stochastically).
     :meth:`inject_fault` arms targeted failures for one job regardless
     of the stochastic rates — mirroring the runtime's
-    ``PrcDevice.inject_failure`` hook, but on the compile side.
+    ``RuntimeFaultModel.inject`` hook, but on the compile side.
 
     The model is stateless with respect to stochastic draws (pure
     hashing), so re-planning the same job after a resume reproduces the

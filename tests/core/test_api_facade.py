@@ -95,43 +95,51 @@ class TestFacade:
         )
 
 
-class TestDeprecatedKwargs:
-    def test_platform_cache_jobs_warn_but_work(self, small_soc):
+class TestRetiredKwargs:
+    """The deprecation-era kwarg shims are gone: clear TypeErrors now.
+
+    BuildOptions / Instrumentation are the only style; these tests pin
+    that the old spellings fail loudly instead of silently doing
+    something else.
+    """
+
+    def test_platform_cache_jobs_kwargs_are_rejected(self):
+        with pytest.raises(TypeError, match="cache"):
+            PrEspPlatform(cache=FlowCache(), jobs=2)
+
+    def test_platform_new_style_still_works(self, small_soc):
         cache = FlowCache()
-        with pytest.warns(DeprecationWarning, match="BuildOptions"):
-            platform = PrEspPlatform(cache=cache, jobs=2)
+        platform = PrEspPlatform(options=BuildOptions(cache=cache, jobs=2))
         assert platform.cache is cache
         assert platform.options.jobs == 2
         assert platform.build(small_soc).flow.config.name == "small"
 
-    def test_platform_rejects_old_and_new_style_together(self):
-        with pytest.raises(ConfigurationError, match="BuildOptions"):
-            PrEspPlatform(cache=FlowCache(), options=BuildOptions())
-
-    def test_build_tracer_warns_but_works(self, small_soc):
+    def test_build_tracer_kwarg_is_rejected(self, small_soc):
         platform = PrEspPlatform()
+        with pytest.raises(TypeError, match="tracer"):
+            platform.build(small_soc, tracer=Tracer(time_unit="min"))
+
+    def test_build_instrumentation_tracer_still_works(self, small_soc):
         tracer = Tracer(time_unit="min")
-        with pytest.warns(DeprecationWarning, match="Instrumentation"):
-            platform.build(small_soc, tracer=tracer)
+        platform = PrEspPlatform(
+            instrumentation=Instrumentation(tracer=tracer)
+        )
+        platform.build(small_soc)
         assert len(tracer.spans) > 0
 
-    def test_deploy_trio_warns_but_works(self, socy):
+    def test_deploy_trio_kwargs_are_rejected(self, socy):
+        platform = PrEspPlatform()
+        with pytest.raises(TypeError, match="events"):
+            platform.deploy_wami(socy, frames=1, events=EventBus())
+
+    def test_deploy_instrumentation_bus_still_works(self, socy):
         platform = PrEspPlatform()
         bus = EventBus()
-        with pytest.warns(DeprecationWarning, match="Instrumentation"):
-            report = platform.deploy_wami(socy, frames=1, events=bus)
+        report = platform.deploy_wami(
+            socy, frames=1, instrumentation=Instrumentation(events=bus)
+        )
         assert report.frames == 1
         assert len(bus) > 0
-
-    def test_deploy_rejects_trio_alongside_instrumentation(self, socy):
-        platform = PrEspPlatform()
-        with pytest.raises(ConfigurationError, match="instrumentation"):
-            platform.deploy_wami(
-                socy,
-                frames=1,
-                events=EventBus(),
-                instrumentation=Instrumentation(),
-            )
 
 
 class TestBuildOptionsValidation:

@@ -168,7 +168,10 @@ class TestSweep:
         import json
 
         assert main(["sweep", "soc_a", "soc_b", "--json"]) == 0
-        rows = json.loads(capsys.readouterr().out)
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == 1
+        assert document["kind"] == "sweep"
+        rows = document["outcomes"]
         assert [row["request"] for row in rows] == ["soc_a/auto", "soc_b/auto"]
         assert all(row["ok"] for row in rows)
         assert all("summary" in row for row in rows)

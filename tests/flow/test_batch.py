@@ -9,6 +9,7 @@ from repro.errors import FlowError
 from repro.flow.batch import BatchBuilder, BuildRequest, cached_build
 from repro.flow.cache import FlowCache
 from repro.flow.dpr_flow import DprFlow
+from repro.flow.options import BuildOptions
 from repro.obs.metrics import MetricsRegistry
 from repro.vivado.characterization import characterization_design
 
@@ -163,7 +164,7 @@ class TestCachedBuildHelper:
 
 class TestPlatformIntegration:
     def test_platform_build_many(self, socs):
-        platform = PrEspPlatform(cache=FlowCache())
+        platform = PrEspPlatform(options=BuildOptions(cache=FlowCache()))
         requests = [BuildRequest(config=socs[name]) for name in ("soc_a", "soc_b")]
         first = platform.build_many(requests)
         second = platform.build_many(requests)
@@ -171,7 +172,7 @@ class TestPlatformIntegration:
         assert [o.cached for o in second] == [True, True]
 
     def test_platform_build_reports_cache_state(self, socs):
-        platform = PrEspPlatform(cache=FlowCache())
+        platform = PrEspPlatform(options=BuildOptions(cache=FlowCache()))
         cold = platform.build(socs["soc_a"])
         warm = platform.build(socs["soc_a"])
         assert (cold.cached, warm.cached) == (False, True)

@@ -12,6 +12,7 @@ Both tests assert result *identity* alongside speed, so a fast-but-
 wrong shortcut cannot pass.
 """
 
+import gc
 import os
 import time
 
@@ -52,13 +53,21 @@ def test_warm_cache_sweep_at_least_10x_faster():
     builder = BatchBuilder(flow=flow, cache=cache)
     requests = sweep_requests()
 
-    start = time.perf_counter()
-    cold = builder.build_many(requests)
-    cold_s = time.perf_counter() - start
+    # GC-quiesced like the profile workloads: late in a full suite run
+    # a gen-2 collection over the accumulated heap can land inside the
+    # ~5 ms warm window and swamp the ratio being measured.
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        cold = builder.build_many(requests)
+        cold_s = time.perf_counter() - start
 
-    start = time.perf_counter()
-    warm = builder.build_many(requests)
-    warm_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = builder.build_many(requests)
+        warm_s = time.perf_counter() - start
+    finally:
+        gc.enable()
 
     assert [outcome.cached for outcome in cold] == [False] * len(requests)
     assert [outcome.cached for outcome in warm] == [True] * len(requests)

@@ -201,6 +201,39 @@ class TestTiers:
         assert len(cache) == 0
         assert not list(tmp_path.glob("*.pkl"))
 
+    def test_concurrent_writers_never_publish_torn_entries(self, flow, soc, tmp_path):
+        """Regression: two writers racing on one key used to share one
+        ``<key>.tmp`` file, so a rename could publish a truncated
+        pickle. Tmp names are per-writer now; hammer the same key from
+        many threads and every published entry must load cleanly."""
+        import threading
+
+        key = flow_cache_key(flow, soc)
+        result = flow.build(soc)
+        caches = [FlowCache(disk_dir=tmp_path) for _ in range(4)]
+        start = threading.Barrier(len(caches))
+
+        def writer(cache):
+            start.wait()
+            for _ in range(20):
+                cache.put(key, result)
+
+        threads = [
+            threading.Thread(target=writer, args=(cache,)) for cache in caches
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # No tmp litter, and the published entry deserializes.
+        assert list(tmp_path.glob("*.tmp")) == []
+        reader = FlowCache(disk_dir=tmp_path)
+        served = reader.get(key)
+        assert served is not None
+        assert served.to_summary_dict() == result.to_summary_dict()
+        assert reader.stats()["disk_errors"] == 0
+
     def test_default_disk_dir_honors_xdg(self, monkeypatch, tmp_path):
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
         assert default_disk_dir() == tmp_path / "repro-flow"

@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.obs.export import chrome_trace_json
+from repro.obs.instrumentation import Instrumentation
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 
@@ -33,8 +34,7 @@ def traced_deploy(built, frames=2):
         config,
         flow_result=flow_result,
         frames=frames,
-        tracer=tracer,
-        metrics=registry,
+        instrumentation=Instrumentation(tracer=tracer, metrics=registry),
     )
     return report, tracer, registry
 

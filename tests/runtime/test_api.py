@@ -6,6 +6,7 @@ from repro.errors import ReconfigurationError
 from repro.noc.mesh import Mesh
 from repro.runtime.api import DprUserApi
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
+from repro.runtime.faults import RuntimeFaultModel
 from repro.runtime.manager import ReconfigurationManager
 from repro.runtime.memory import BitstreamStore
 from repro.runtime.prc import PrcDevice
@@ -109,7 +110,8 @@ class TestRun:
 
     def test_degraded_flag_reflects_failed_transfers(self, api, sim):
         prc = api._manager.prc
-        prc.inject_failure("rt0", "fft", count=1)
+        prc.faults = RuntimeFaultModel()
+        prc.faults.inject("rt0", "fft", count=1)
         handle = api.open_tile("rt0")
         result = api.esp_run(handle, "fft")
         sim.run()

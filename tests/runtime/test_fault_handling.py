@@ -7,8 +7,22 @@ from repro.noc.mesh import Mesh
 from repro.runtime.driver import AcceleratorDriver, DriverRegistry
 from repro.runtime.manager import ReconfigurationManager
 from repro.runtime.memory import BitstreamStore
+from repro.runtime.faults import (
+    NO_RUNTIME_FAULTS,
+    RuntimeFaultKind,
+    RuntimeFaultModel,
+)
 from repro.runtime.prc import PrcDevice
 from repro.vivado.bitstream import Bitstream, BitstreamKind
+
+
+def inject(prc, tile, mode, count=1):
+    """Arm CRC failures the supported way (the old shim is gone)."""
+    if prc.faults is NO_RUNTIME_FAULTS:
+        prc.faults = RuntimeFaultModel()
+    prc.faults.inject(
+        tile, mode, RuntimeFaultKind.BITSTREAM_CORRUPTION, count=count
+    )
 
 
 def make_stack(sim):
@@ -37,7 +51,7 @@ def make_stack(sim):
 class TestPrcInjection:
     def test_injected_failure_fails_transfer(self, sim):
         manager, prc = make_stack(sim)
-        prc.inject_failure("rt0", "fft")
+        inject(prc, "rt0", "fft")
         # Direct PRC use: the transfer process fails.
         proc = prc.reconfigure("rt0", "fft", 250_000)
         sim.run()
@@ -47,11 +61,16 @@ class TestPrcInjection:
     def test_failure_count_must_be_positive(self, sim):
         _, prc = make_stack(sim)
         with pytest.raises(ReconfigurationError):
-            prc.inject_failure("rt0", "fft", count=0)
+            prc.faults.inject("rt0", "fft", count=0)
+
+    def test_removed_shim_raises_type_error(self, sim):
+        _, prc = make_stack(sim)
+        with pytest.raises(TypeError, match="inject_failure was removed"):
+            prc.inject_failure("rt0", "fft")
 
     def test_failures_are_consumed(self, sim):
         manager, prc = make_stack(sim)
-        prc.inject_failure("rt0", "fft", count=1)
+        inject(prc, "rt0", "fft", count=1)
         first = prc.reconfigure("rt0", "fft", 250_000)
         second = prc.reconfigure("rt0", "fft", 250_000)
         sim.run()
@@ -60,7 +79,7 @@ class TestPrcInjection:
 
     def test_icap_lock_released_after_failure(self, sim):
         _, prc = make_stack(sim)
-        prc.inject_failure("rt0", "fft")
+        inject(prc, "rt0", "fft")
         prc.reconfigure("rt0", "fft", 250_000)
         sim.run()
         assert not prc.busy
@@ -69,7 +88,7 @@ class TestPrcInjection:
 class TestManagerRecovery:
     def test_single_failure_is_retried_transparently(self, sim):
         manager, prc = make_stack(sim)
-        prc.inject_failure("rt0", "fft", count=1)
+        inject(prc, "rt0", "fft", count=1)
         proc = manager.invoke("rt0", "fft")
         sim.run()
         record = proc.value  # succeeded despite the failed first attempt
@@ -81,7 +100,7 @@ class TestManagerRecovery:
 
     def test_double_failure_propagates_and_leaves_tile_dark(self, sim):
         manager, prc = make_stack(sim)
-        prc.inject_failure("rt0", "fft", count=2)
+        inject(prc, "rt0", "fft", count=2)
         proc = manager.invoke("rt0", "fft")
         sim.run()
         assert isinstance(proc.exception, ReconfigurationError)
@@ -92,7 +111,7 @@ class TestManagerRecovery:
 
     def test_tile_remains_usable_after_hard_failure(self, sim):
         manager, prc = make_stack(sim)
-        prc.inject_failure("rt0", "fft", count=2)
+        inject(prc, "rt0", "fft", count=2)
         failed = manager.invoke("rt0", "fft")
         recovered = manager.invoke("rt0", "gemm")
         sim.run()
@@ -102,7 +121,7 @@ class TestManagerRecovery:
 
     def test_lock_released_after_hard_failure(self, sim):
         manager, prc = make_stack(sim)
-        prc.inject_failure("rt0", "fft", count=2)
+        inject(prc, "rt0", "fft", count=2)
         manager.invoke("rt0", "fft")
         sim.run()
         assert not manager.tile("rt0").lock.locked

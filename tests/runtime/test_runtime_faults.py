@@ -189,19 +189,23 @@ class TestRecoveryPolicy:
             RecoveryPolicy(quarantine_after=0)
 
 
-class TestDeprecatedShim:
-    def test_inject_failure_warns_and_delegates(self, sim):
-        manager, prc = make_stack(sim)
-        with pytest.warns(DeprecationWarning):
+class TestRemovedShim:
+    def test_inject_failure_raises_type_error(self, sim):
+        _, prc = make_stack(sim)
+        with pytest.raises(TypeError, match="inject_failure was removed"):
             prc.inject_failure("rt0", "fft", count=2)
-        # The lazily created model is shared with the manager.
+
+    def test_model_injection_is_shared_with_the_manager(self, sim):
+        model = RuntimeFaultModel()
+        model.inject("rt0", "fft", CRC, count=2)
+        manager, prc = make_stack(sim, faults=model)
         assert manager.faults is prc.faults
         assert manager.faults.injected_count("rt0", "fft", CRC) == 2
 
     def test_legacy_retry_contract_is_preserved(self, sim):
-        manager, prc = make_stack(sim)
-        with pytest.warns(DeprecationWarning):
-            prc.inject_failure("rt0", "fft", count=1)
+        model = RuntimeFaultModel()
+        model.inject("rt0", "fft", CRC, count=1)
+        manager, _ = make_stack(sim, faults=model)
         proc = manager.invoke("rt0", "fft")
         sim.run()
         assert proc.value.mode_name == "fft"

@@ -3,8 +3,16 @@
 import pytest
 
 from repro.errors import ReconfigurationError
+from repro.runtime.faults import NO_RUNTIME_FAULTS, RuntimeFaultModel
 from repro.runtime.stats import collect_stats
 from tests.runtime.test_manager import manager  # fixture reuse
+
+
+def arm_crc_failure(manager, tile, mode, count=1):
+    """Arm CRC failures via the fault model (the old shim is gone)."""
+    if manager.prc.faults is NO_RUNTIME_FAULTS:
+        manager.prc.faults = RuntimeFaultModel()
+    manager.prc.faults.inject(tile, mode, count=count)
 
 
 class TestCollect:
@@ -81,7 +89,7 @@ class TestCollect:
 
 class TestFailedAttemptAttribution:
     def test_failures_attributed_to_tile(self, manager, sim):
-        manager.prc.inject_failure("rt0", "fft", count=1)
+        arm_crc_failure(manager, "rt0", "fft", count=1)
         manager.invoke("rt0", "fft")
         manager.invoke("rt1", "sort")
         sim.run()
@@ -91,7 +99,7 @@ class TestFailedAttemptAttribution:
         assert stats.tiles["rt1"].failed_attempts == 0
 
     def test_failed_count_shown_in_summary(self, manager, sim):
-        manager.prc.inject_failure("rt0", "fft", count=1)
+        arm_crc_failure(manager, "rt0", "fft", count=1)
         manager.invoke("rt0", "fft")
         sim.run()
         lines = collect_stats(manager).summary_lines()
@@ -107,7 +115,7 @@ class TestFailedAttemptAttribution:
 
 class TestToDict:
     def test_round_trips_totals_and_tiles(self, manager, sim):
-        manager.prc.inject_failure("rt0", "fft", count=1)
+        arm_crc_failure(manager, "rt0", "fft", count=1)
         manager.invoke("rt0", "fft", exec_time_s=0.2)
         sim.run()
         data = collect_stats(manager).to_dict()

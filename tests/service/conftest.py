@@ -1,0 +1,61 @@
+"""Fixtures for the service daemon tests.
+
+``idle_server`` runs the HTTP layer over a supervisor whose workers
+are *not* started — submitted jobs stay queued, which makes admission,
+cancellation and 409/429 behaviour deterministic. ``service`` is the
+full daemon (workers running) on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import BuildService, ServiceConfig
+from repro.service.httpd import ServiceHTTPServer
+from repro.service.queue import TenantQuota
+from repro.service.supervisor import Supervisor
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return tmp_path / "state"
+
+
+@pytest.fixture
+def idle_server(state_dir):
+    """HTTP server over an idle supervisor (no workers draining)."""
+    supervisor = Supervisor(
+        state_dir=state_dir,
+        workers=1,
+        jobs=1,
+        quotas={"capped": TenantQuota(max_queued=2, max_active=2)},
+    )
+    server = ServiceHTTPServer(("127.0.0.1", 0), supervisor)
+    acceptor = threading.Thread(target=server.serve_forever, daemon=True)
+    acceptor.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    acceptor.join(timeout=10)
+    supervisor.stop()
+
+
+@pytest.fixture
+def idle_client(idle_server):
+    return ServiceClient(port=idle_server.server_address[1])
+
+
+@pytest.fixture
+def service(state_dir):
+    """A running daemon: 2 worker threads, in-thread builds (jobs=1)."""
+    config = ServiceConfig(state_dir=state_dir, port=0, workers=2, jobs=1)
+    with BuildService(config) as running:
+        yield running
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(port=service.port)

@@ -1,0 +1,51 @@
+"""Loading and composing the committed wire contracts.
+
+The shape of every service response and CLI ``--json`` payload is
+pinned by the ``*.schema.json`` files next to this module. Tests load
+them through :func:`contract` and assert instances with
+:func:`assert_valid`, so a payload change that breaks a consumer fails
+here before it ships.
+
+The validator only supports local ``$ref``, so the ``job``-kind
+envelope (record + envelope keys) is composed programmatically from
+``record.schema.json`` instead of being duplicated in a second file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.service.schema import SCHEMA_VERSION, validate
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def contract(name: str) -> Dict:
+    """One committed ``tests/service/data/<name>.schema.json``."""
+    return json.loads((DATA_DIR / f"{name}.schema.json").read_text())
+
+
+def envelope_contract(kind: str, payload_schema: Dict) -> Dict:
+    """A bare payload contract wrapped in the versioned envelope."""
+    return {
+        "type": "object",
+        "required": ["schema_version", "kind"] + list(payload_schema["required"]),
+        "additionalProperties": payload_schema.get("additionalProperties", True),
+        "properties": {
+            "schema_version": {"const": SCHEMA_VERSION},
+            "kind": {"const": kind},
+            **payload_schema["properties"],
+        },
+    }
+
+
+def job_contract() -> Dict:
+    """The ``job``-kind envelope (a JobRecord inside the envelope)."""
+    return envelope_contract("job", contract("record"))
+
+
+def assert_valid(instance: object, schema: Dict, label: str = "payload") -> None:
+    errors = validate(instance, schema)
+    assert not errors, f"invalid {label}: " + "; ".join(errors)

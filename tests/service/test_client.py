@@ -1,0 +1,109 @@
+"""The stdlib service client and the ``repro.api`` service verbs."""
+
+import pytest
+
+from repro import api
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+
+
+class TestErrors:
+    def test_unreachable_daemon(self):
+        client = ServiceClient(port=1, timeout=0.5)
+        with pytest.raises(ServiceUnavailable, match="cannot reach"):
+            client.healthz()
+
+    def test_http_error_carries_status_and_reason(self, idle_client):
+        with pytest.raises(ServiceError) as exc:
+            idle_client.status("job-00000000-0099")
+        assert exc.value.status == 404
+        assert exc.value.reason == "not_found"
+
+    def test_quota_rejection_is_a_429(self, idle_client):
+        for _ in range(2):
+            idle_client.submit("soc_2", tenant="capped")
+        with pytest.raises(ServiceError) as exc:
+            idle_client.submit("soc_2", tenant="capped")
+        assert exc.value.status == 429
+        assert exc.value.reason in ("tenant_queued", "tenant_active")
+
+    def test_result_before_terminal_is_409(self, idle_client):
+        record = idle_client.submit("soc_2")
+        with pytest.raises(ServiceError) as exc:
+            idle_client.result(record["job_id"])
+        assert exc.value.status == 409
+        assert exc.value.reason == "not_ready"
+
+    def test_wait_times_out_on_stuck_job(self, idle_client):
+        record = idle_client.submit("soc_2")  # no workers: stays queued
+        with pytest.raises(ServiceUnavailable, match="still 'queued'"):
+            idle_client.wait(record["job_id"], timeout=0.2)
+
+
+class TestVerbs:
+    def test_submit_status_cancel(self, idle_client):
+        record = idle_client.submit("soc_2", tenant="acme", priority=2)
+        assert record["state"] == "queued"
+        assert idle_client.status(record["job_id"])["job_id"] == record["job_id"]
+        cancelled = idle_client.cancel(record["job_id"])
+        assert cancelled["state"] == "cancelled"
+
+    def test_jobs_listing_filters(self, idle_client):
+        idle_client.submit("soc_2", tenant="acme")
+        idle_client.submit("soc_2", tenant="birch")
+        acme = idle_client.jobs(tenant="acme")
+        assert [r["spec"]["tenant"] for r in acme["jobs"]] == ["acme"]
+        queued = idle_client.jobs(state="queued")
+        assert len(queued["jobs"]) == 2
+
+    def test_healthz_decodes_503_bodies(self, idle_server, idle_client):
+        supervisor = idle_server.supervisor
+        with supervisor._recovering_lock:
+            supervisor._recovering.add("job-00000000-0001")
+        try:
+            health = idle_client.healthz()
+        finally:
+            supervisor._finish_recovery("job-00000000-0001")
+        assert health["status"] == "recovering"
+        assert health["exit_code"] == 2
+
+    def test_metrics_page(self, idle_client):
+        idle_client.submit("soc_2")
+        assert "service_submits_total" in idle_client.metrics()
+
+
+class TestEndToEnd:
+    """Against a live daemon (workers running)."""
+
+    def test_submit_wait_result_artifacts(self, client):
+        record = client.submit("soc_2", tenant="acme")
+        done = client.wait(record["job_id"], timeout=60)
+        assert done["state"] == "succeeded"
+        result = client.result(record["job_id"])
+        assert result["result"]["soc"] == "soc_2"
+        artifacts = client.artifacts(record["job_id"])
+        assert artifacts["checkpoint_stages"]
+        assert any(f["name"] == "manifest.json" for f in artifacts["files"])
+
+
+class TestApiFacade:
+    """The ``repro.api`` service verbs ride the same client."""
+
+    def test_submit_status_fetch(self, service):
+        record = api.submit("soc_2", tenant="acme", port=service.port)
+        assert record["job_id"].startswith("job-")
+        result = api.fetch(record["job_id"], port=service.port, timeout=60)
+        assert result["state"] == "succeeded"
+        assert api.status(record["job_id"], port=service.port)["state"] == (
+            "succeeded"
+        )
+
+    def test_cancel_verb(self, idle_server):
+        port = idle_server.server_address[1]
+        record = api.submit("soc_2", port=port)
+        assert api.cancel(record["job_id"], port=port)["state"] == "cancelled"
+
+    def test_fetch_without_wait_raises_when_not_ready(self, idle_server):
+        port = idle_server.server_address[1]
+        record = api.submit("soc_2", port=port)
+        with pytest.raises(ServiceError):
+            api.fetch(record["job_id"], wait=False, port=port)

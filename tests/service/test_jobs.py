@@ -1,0 +1,156 @@
+"""The job model: specs, records, the ID minter and the durable store."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import (
+    JobError,
+    JobIdMinter,
+    JobRecord,
+    JobSpec,
+    JobState,
+    JobStore,
+)
+
+from tests.service.contracts import assert_valid, contract
+
+
+def record(job_id="job-00000000-0001", **kwargs) -> JobRecord:
+    return JobRecord(job_id=job_id, spec=JobSpec(config="soc_2"), **kwargs)
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        spec = JobSpec(config="soc_2")
+        assert spec.kind == "build"
+        assert spec.tenant == "default"
+        assert spec.frames == 1
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(JobError, match="unknown job kind"):
+            JobSpec(config="soc_2", kind="destroy")
+
+    def test_rejects_empty_config_and_tenant(self):
+        with pytest.raises(JobError, match="config"):
+            JobSpec(config="")
+        with pytest.raises(JobError, match="tenant"):
+            JobSpec(config="soc_2", tenant="")
+
+    def test_rejects_nonpositive_frames(self):
+        with pytest.raises(JobError, match="frames"):
+            JobSpec(config="soc_2", frames=0)
+
+    def test_round_trip(self):
+        spec = JobSpec(
+            config="soc_z", kind="deploy", tenant="acme", priority=3, frames=5
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_malformed_dict(self):
+        with pytest.raises(JobError, match="malformed job spec"):
+            JobSpec.from_dict({"tenant": "acme"})
+
+
+class TestJobRecord:
+    def test_legal_lifecycle(self):
+        job = record()
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.SUCCEEDED)
+        assert job.state.terminal
+
+    def test_running_may_requeue(self):
+        job = record()
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.QUEUED)
+        assert job.state is JobState.QUEUED
+
+    def test_illegal_transition(self):
+        job = record()
+        with pytest.raises(JobError, match="illegal transition"):
+            job.transition(JobState.SUCCEEDED)
+
+    def test_terminal_states_are_final(self):
+        job = record()
+        job.transition(JobState.CANCELLED)
+        with pytest.raises(JobError, match="illegal transition"):
+            job.transition(JobState.RUNNING)
+
+    def test_to_dict_matches_committed_contract(self):
+        assert_valid(record().to_dict(), contract("record"), "job record")
+
+    def test_to_dict_omits_null_outcomes(self):
+        payload = record().to_dict()
+        assert "result" not in payload
+        assert "error" not in payload
+
+    def test_round_trip(self):
+        job = record(attempts=2, cached=True, resumed_stages=("parse",))
+        job.transition(JobState.RUNNING)
+        job.result = {"soc": "soc_2"}
+        job.transition(JobState.SUCCEEDED)
+        clone = JobRecord.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+
+    def test_context_carries_tenant_and_kind(self):
+        context = record().context()
+        assert context.request_id == "job-00000000-0001"
+        assert context.tenant == "default"
+        assert context.attrs["job_kind"] == "build"
+
+
+class TestJobIdMinter:
+    def test_deterministic_per_tenant(self):
+        a, b = JobIdMinter(seed=7), JobIdMinter(seed=7)
+        assert a.mint("acme") == b.mint("acme")
+        assert a.mint("acme") == b.mint("acme")
+
+    def test_tenants_get_disjoint_sequences(self):
+        minter = JobIdMinter()
+        assert minter.mint("acme") != minter.mint("birch")
+
+    def test_ids_match_the_store_file_shape(self):
+        job_id = JobIdMinter().mint("acme")
+        assert job_id.startswith("job-")
+        from repro.service.jobs import _JOB_FILE
+
+        assert _JOB_FILE.match(f"{job_id}.json")
+
+    def test_advance_past_skips_used_sequences(self):
+        fresh, used = JobIdMinter(seed=3), JobIdMinter(seed=3)
+        seen = [used.mint("acme") for _ in range(3)]
+        fresh.advance_past(
+            [JobRecord(job_id=seen[-1], spec=JobSpec(config="soc_2", tenant="acme"))]
+        )
+        assert fresh.mint("acme") not in seen
+
+
+class TestJobStore:
+    def test_save_then_load(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = record()
+        store.save(job)
+        assert store.load(job.job_id) == job
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert JobStore(tmp_path).load("job-00000000-0009") is None
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(record())
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_load_all_in_admission_order(self, tmp_path):
+        store = JobStore(tmp_path)
+        for seq, job_id in ((2, "job-00000000-0003"), (0, "job-00000000-0001")):
+            store.save(record(job_id=job_id, submit_seq=seq))
+        loaded = store.load_all()
+        assert [job.submit_seq for job in loaded] == [0, 2]
+
+    def test_load_all_skips_corrupt_and_foreign_files(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(record())
+        (tmp_path / "job-00000000-0002.json").write_text("{not json")
+        (tmp_path / "notes.json").write_text("{}")
+        loaded = store.load_all()
+        assert [job.job_id for job in loaded] == ["job-00000000-0001"]

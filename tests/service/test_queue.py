@@ -1,0 +1,133 @@
+"""Admission control and priority scheduling of the job queue."""
+
+import pytest
+
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.queue import AdmissionError, JobQueue, TenantQuota
+
+from tests.service.contracts import assert_valid, contract
+
+
+def job(seq, tenant="default", priority=0):
+    return JobRecord(
+        job_id=f"job-00000000-{seq + 1:04d}",
+        spec=JobSpec(config="soc_2", tenant=tenant, priority=priority),
+        submit_seq=seq,
+    )
+
+
+class TestAdmission:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(AdmissionError):
+            JobQueue(capacity=0)
+
+    def test_queue_full(self):
+        queue = JobQueue(capacity=1)
+        queue.submit(job(0))
+        with pytest.raises(AdmissionError) as exc:
+            queue.submit(job(1))
+        assert exc.value.reason == "queue_full"
+        assert queue.depth() == 1
+
+    def test_tenant_queued_quota(self):
+        queue = JobQueue(quotas={"acme": TenantQuota(max_queued=1)})
+        queue.submit(job(0, tenant="acme"))
+        with pytest.raises(AdmissionError) as exc:
+            queue.submit(job(1, tenant="acme"))
+        assert exc.value.reason == "tenant_queued"
+        # Other tenants are unaffected.
+        queue.submit(job(2, tenant="birch"))
+
+    def test_tenant_active_quota_counts_running(self):
+        queue = JobQueue(quotas={"acme": TenantQuota(max_active=1)})
+        queue.submit(job(0, tenant="acme"))
+        assert queue.pop(timeout=0) is not None  # now running, not queued
+        with pytest.raises(AdmissionError) as exc:
+            queue.submit(job(1, tenant="acme"))
+        assert exc.value.reason == "tenant_active"
+        queue.mark_done("acme")
+        queue.submit(job(1, tenant="acme"))
+
+    def test_rejected_job_is_never_queued(self):
+        queue = JobQueue(quotas={"acme": TenantQuota(max_queued=0)})
+        with pytest.raises(AdmissionError):
+            queue.submit(job(0, tenant="acme"))
+        assert queue.depth() == 0
+        assert queue.pop(timeout=0) is None
+
+    def test_closed_queue_rejects(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(AdmissionError) as exc:
+            queue.submit(job(0))
+        assert exc.value.reason == "closed"
+
+    def test_admission_counters(self):
+        queue = JobQueue(capacity=1)
+        queue.submit(job(0))
+        with pytest.raises(AdmissionError):
+            queue.submit(job(1))
+        assert queue.admitted == 1
+        assert queue.rejected == 1
+
+
+class TestScheduling:
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue()
+        queue.submit(job(0, priority=0))
+        queue.submit(job(1, priority=5))
+        queue.submit(job(2, priority=5))
+        queue.submit(job(3, priority=1))
+        popped = [queue.pop(timeout=0) for _ in range(4)]
+        # Highest priority first; FIFO (submit_seq) inside a class.
+        assert popped == [
+            "job-00000000-0002",
+            "job-00000000-0003",
+            "job-00000000-0004",
+            "job-00000000-0001",
+        ]
+
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+    def test_pop_after_close_drains_then_none(self):
+        queue = JobQueue()
+        queue.submit(job(0))
+        queue.close()
+        assert queue.pop(timeout=0) == "job-00000000-0001"
+        assert queue.pop(timeout=0) is None
+
+    def test_cancel_tombstones_queued_job(self):
+        queue = JobQueue()
+        first, second = job(0), job(1)
+        queue.submit(first)
+        queue.submit(second)
+        assert queue.cancel(first) is True
+        assert queue.depth() == 1
+        assert queue.pop(timeout=0) == second.job_id
+        assert queue.pop(timeout=0) is None
+
+    def test_cancel_unknown_job_is_false(self):
+        assert JobQueue().cancel(job(0)) is False
+
+    def test_cancel_frees_tenant_quota(self):
+        queue = JobQueue(quotas={"acme": TenantQuota(max_queued=1)})
+        first = job(0, tenant="acme")
+        queue.submit(first)
+        queue.cancel(first)
+        queue.submit(job(1, tenant="acme"))  # slot was released
+
+
+class TestSnapshot:
+    def test_matches_committed_contract(self):
+        queue = JobQueue(capacity=8)
+        queue.submit(job(0, tenant="acme"))
+        queue.submit(job(1, tenant="birch"))
+        assert queue.pop(timeout=0) is not None
+        snapshot = queue.snapshot()
+        assert_valid(snapshot, contract("queue"), "queue snapshot")
+        assert snapshot["queued"] == 1
+        assert snapshot["capacity"] == 8
+        tenants = snapshot["tenants"]
+        assert tenants["acme"] == {"queued": 0, "running": 1}
+        assert tenants["birch"] == {"queued": 1, "running": 0}

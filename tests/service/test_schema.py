@@ -1,0 +1,146 @@
+"""The envelope and the dependency-free schema validator."""
+
+import pytest
+
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    SUBMIT_REQUEST_SCHEMA,
+    SchemaError,
+    check_envelope,
+    ensure_valid,
+    envelope,
+    validate,
+)
+
+from tests.service.contracts import contract
+
+
+class TestEnvelope:
+    def test_wraps_payload_with_version_and_kind(self):
+        document = envelope("job", {"job_id": "job-0-1"})
+        assert document == {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "job",
+            "job_id": "job-0-1",
+        }
+
+    def test_extra_kwargs_merge(self):
+        document = envelope("health", {"status": "ok"}, queue={"queued": 0})
+        assert document["queue"] == {"queued": 0}
+
+    def test_payload_may_not_shadow_envelope_keys(self):
+        with pytest.raises(SchemaError, match="schema_version"):
+            envelope("job", {"schema_version": 2})
+        with pytest.raises(SchemaError, match="kind"):
+            envelope("job", {"kind": "other"})
+
+    def test_check_envelope_roundtrip(self):
+        document = envelope("job", {"x": 1})
+        assert check_envelope(document, kind="job") is document
+
+    def test_check_envelope_rejects_non_objects(self):
+        with pytest.raises(SchemaError, match="JSON object"):
+            check_envelope([1, 2])
+
+    def test_check_envelope_rejects_version_mismatch(self):
+        with pytest.raises(SchemaError, match="schema_version"):
+            check_envelope({"schema_version": 999, "kind": "job"})
+
+    def test_check_envelope_rejects_missing_kind(self):
+        with pytest.raises(SchemaError, match="kind"):
+            check_envelope({"schema_version": SCHEMA_VERSION})
+
+    def test_check_envelope_rejects_wrong_kind(self):
+        with pytest.raises(SchemaError, match="expected a 'job'"):
+            check_envelope(envelope("error", {}), kind="job")
+
+
+class TestValidator:
+    def test_type_checks(self):
+        assert validate("x", {"type": "string"}) == []
+        assert validate(1, {"type": "string"})
+        assert validate(1.5, {"type": "number"}) == []
+        assert validate(1, {"type": "number"}) == []
+
+    def test_bool_is_not_a_number(self):
+        assert validate(True, {"type": "integer"})
+        assert validate(True, {"type": "number"})
+        assert validate(True, {"type": "boolean"}) == []
+
+    def test_type_lists(self):
+        schema = {"type": ["string", "null"]}
+        assert validate(None, schema) == []
+        assert validate("x", schema) == []
+        assert validate(2, schema)
+
+    def test_required_and_additional_properties(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "additionalProperties": False,
+            "properties": {"a": {"type": "integer"}},
+        }
+        assert validate({"a": 1}, schema) == []
+        assert any("missing required" in e for e in validate({}, schema))
+        assert any("unexpected" in e for e in validate({"a": 1, "b": 2}, schema))
+
+    def test_items_enum_const_minimum(self):
+        schema = {
+            "type": "array",
+            "items": {"type": "integer", "minimum": 1},
+        }
+        assert validate([1, 2], schema) == []
+        assert any("minimum" in e for e in validate([0], schema))
+        assert validate("no", {"enum": ["a", "b"]})
+        assert validate("a", {"enum": ["a", "b"]}) == []
+        assert validate(2, {"const": 1})
+
+    def test_any_of(self):
+        schema = {"anyOf": [{"type": "string"}, {"type": "null"}]}
+        assert validate(None, schema) == []
+        assert any("anyOf" in e for e in validate(3, schema))
+
+    def test_local_ref(self):
+        schema = {
+            "$defs": {"id": {"type": "string"}},
+            "type": "object",
+            "properties": {"job": {"$ref": "#/$defs/id"}},
+        }
+        assert validate({"job": "x"}, schema) == []
+        assert validate({"job": 3}, schema)
+
+    def test_unresolvable_ref_is_an_error(self):
+        with pytest.raises(SchemaError, match="unresolvable"):
+            validate(1, {"$ref": "#/$defs/missing"})
+
+    def test_unknown_type_is_an_error(self):
+        with pytest.raises(SchemaError, match="unknown type"):
+            validate(1, {"type": "quaternion"})
+
+    def test_ensure_valid_raises_with_all_violations(self):
+        schema = {
+            "type": "object",
+            "required": ["a", "b"],
+            "properties": {},
+        }
+        with pytest.raises(SchemaError, match="'a'.*'b'"):
+            ensure_valid({}, schema)
+
+
+class TestSubmitContract:
+    """The live submit schema and the committed copy stay in lockstep."""
+
+    def test_committed_contract_matches_live_schema(self):
+        assert contract("submit_request") == SUBMIT_REQUEST_SCHEMA
+
+    def test_good_submit_body_passes(self):
+        body = envelope("submit", {"config": "soc_2", "tenant": "acme"})
+        assert validate(body, SUBMIT_REQUEST_SCHEMA) == []
+
+    def test_unknown_field_fails(self):
+        body = envelope("submit", {"config": "soc_2", "surprise": 1})
+        assert validate(body, SUBMIT_REQUEST_SCHEMA)
+
+    def test_bad_job_kind_fails(self):
+        body = envelope("submit", {"config": "soc_2", "job_kind": "destroy"})
+        assert validate(body, SUBMIT_REQUEST_SCHEMA)

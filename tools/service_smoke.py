@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""CI smoke test for the build/deploy service daemon.
+
+Drives the real ``python -m repro serve`` daemon as a subprocess and
+checks the service's headline guarantees end to end:
+
+1. the daemon boots, answers ``/healthz`` 200 and accepts a submit;
+2. an over-quota tenant is rejected with HTTP 429 and its job is
+   never queued;
+3. a warm resubmit of the same config is served from the flow cache;
+4. SIGKILL the daemon mid-run, restart it on the same state
+   directory: the surviving job record is recovered, finishes, and
+   its result is byte-identical to an uninterrupted control run;
+5. the Prometheus ``/metrics`` page scrapes and re-parses with the
+   repo's own text-format parser.
+
+The final metrics scrape lands in ``--out`` (default
+``service_artifacts/``) so CI can upload it.
+
+Run:  PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.export import parse_prometheus_text  # noqa: E402
+from repro.service.client import (  # noqa: E402
+    ServiceClient,
+    ServiceError,
+)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def start_daemon(state_dir: Path, extra_args=()) -> tuple:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--state-dir", str(state_dir),
+            "--port", "0", "--workers", "2", "--jobs", "1",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    banner = []
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            print("daemon died before listening:", file=sys.stderr)
+            sys.stderr.write("".join(banner))
+            sys.exit(1)
+        banner.append(line)
+        match = re.search(r"service listening on http://[^:]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="service_artifacts",
+        metavar="DIR",
+        help="directory for the scraped /metrics artifact",
+    )
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        state = Path(tmp) / "state"
+
+        # -- 1. boot, health, submit --------------------------------
+        daemon, port = start_daemon(state, ("--quota", "capped=0"))
+        try:
+            client = ServiceClient(port=port, timeout=15)
+            health = client.healthz()
+            check(health["exit_code"] == 0, "fresh daemon reports healthy")
+
+            record = client.wait(client.submit("soc_2", tenant="acme")["job_id"])
+            check(record["state"] == "succeeded", "cold build job succeeds")
+
+            # -- 2. admission control -------------------------------
+            try:
+                client.submit("soc_2", tenant="capped")
+                check(False, "over-quota submit must raise")
+            except ServiceError as error:
+                check(error.status == 429, "over-quota submit answers 429")
+                check(
+                    error.reason == "tenant_queued",
+                    "429 carries a machine-readable reason",
+                )
+            check(
+                client.jobs(tenant="capped")["jobs"] == [],
+                "rejected job was never queued",
+            )
+
+            # -- 3. warm cache --------------------------------------
+            warm = client.wait(client.submit("soc_2", tenant="acme")["job_id"])
+            check(warm["cached"] is True, "resubmit is served from the cache")
+            check(
+                warm["result"] == record["result"],
+                "cached result equals the cold one",
+            )
+
+            # -- 4a. submit, then SIGKILL the daemon ----------------
+            victim_id = client.submit("soc_4", tenant="acme")["job_id"]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if client.status(victim_id)["state"] in ("running", "succeeded"):
+                    break
+                time.sleep(0.005)
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=30)
+            print("ok: daemon SIGKILLed mid-run")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+        # -- 4b. restart on the same state dir ----------------------
+        daemon, port = start_daemon(state)
+        try:
+            client = ServiceClient(port=port, timeout=15)
+            resumed = client.wait(victim_id, timeout=120)
+            check(
+                resumed["state"] == "succeeded",
+                "interrupted job finishes after restart",
+            )
+            health = client.healthz()
+            check(
+                health["exit_code"] == 0,
+                "recovery backlog drained (healthz back to 200)",
+            )
+
+            # Control: same config, fresh state, never interrupted.
+            with tempfile.TemporaryDirectory() as control_tmp:
+                control_daemon, control_port = start_daemon(
+                    Path(control_tmp) / "state"
+                )
+                try:
+                    control_client = ServiceClient(port=control_port, timeout=15)
+                    control = control_client.wait(
+                        control_client.submit("soc_4", tenant="acme")["job_id"]
+                    )
+                finally:
+                    control_daemon.kill()
+                    control_daemon.wait(timeout=30)
+            check(
+                json.dumps(resumed["result"], sort_keys=True)
+                == json.dumps(control["result"], sort_keys=True),
+                "recovered result is byte-identical to the control run",
+            )
+
+            # -- 5. metrics exposition ------------------------------
+            page = client.metrics()
+            parsed = parse_prometheus_text(page)
+            check(
+                any(name.startswith("service_") for name in parsed),
+                "prometheus page re-parses and carries service metrics",
+            )
+            scrape = out / "service_metrics.prom"
+            scrape.write_text(page)
+            print(f"ok: metrics scrape written to {scrape}")
+        finally:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
