@@ -233,6 +233,67 @@ def runtime_faults_from_args(args) -> Optional[RuntimeFaultOptions]:
     return RuntimeFaultOptions(faults=model)
 
 
+def parse_service_rates(specs) -> dict:
+    """``[KIND=]RATE`` flags -> {ServiceFaultKind: rate}."""
+    from repro.service.faults import ServiceFaultKind
+
+    kinds = {k.value: k for k in ServiceFaultKind}
+    rates = {}
+    for spec in specs or []:
+        name, _, value = spec.rpartition("=")
+        try:
+            rate = float(value)
+        except ValueError:
+            raise PrEspError(
+                f"bad --service-fault-rate {spec!r}; expected [KIND=]RATE"
+            ) from None
+        if name and name not in kinds:
+            raise PrEspError(
+                f"bad --service-fault-rate kind in {spec!r}; choose from "
+                + ", ".join(sorted(kinds))
+            )
+        for kind in [kinds[name]] if name else list(ServiceFaultKind):
+            rates[kind] = rate
+    return rates
+
+
+def service_faults_from_args(args):
+    """The service fault model a daemon run asked for (disabled = None)."""
+    from repro.service.faults import (
+        NO_SERVICE_FAULTS,
+        ServiceFaultKind,
+        ServiceFaultModel,
+    )
+
+    kinds = {k.value: k for k in ServiceFaultKind}
+    injections = []
+    for spec in getattr(args, "inject_service_fault", None) or []:
+        parts = spec.split(":")
+        if len(parts) not in (1, 2) or parts[0] not in kinds:
+            raise PrEspError(
+                f"bad --inject-service-fault {spec!r}; expected KIND[:COUNT] "
+                "with KIND one of " + ", ".join(sorted(kinds))
+            )
+        try:
+            count = int(parts[1]) if len(parts) == 2 else 1
+        except ValueError:
+            raise PrEspError(
+                f"bad --inject-service-fault count in {spec!r}; expected an "
+                "integer"
+            ) from None
+        injections.append((kinds[parts[0]], count))
+    rates = parse_service_rates(getattr(args, "service_fault_rate", None))
+    if not injections and not rates:
+        return NO_SERVICE_FAULTS
+    model = ServiceFaultModel(
+        seed=getattr(args, "service_fault_seed", 0) or 0,
+        rates=rates or None,
+    )
+    for kind, count in injections:
+        model.inject(kind, count=count)
+    return model
+
+
 def write_profile_to(path: str, profiler, experiment: str) -> str:
     """Write a profile document to an explicit ``path`` (+ .collapsed).
 
@@ -864,7 +925,26 @@ def parse_quotas(specs) -> dict:
     return quotas
 
 
+def parse_tenant_deadlines(specs) -> dict:
+    """``TENANT=SECONDS`` flags -> {tenant: deadline_s}."""
+    deadlines = {}
+    for spec in specs or []:
+        tenant, sep, value = spec.partition("=")
+        if not sep or not tenant:
+            raise PrEspError(
+                f"bad --tenant-deadline {spec!r}; expected TENANT=SECONDS"
+            )
+        try:
+            deadlines[tenant] = float(value)
+        except ValueError:
+            raise PrEspError(
+                f"bad --tenant-deadline seconds in {spec!r}; expected a number"
+            ) from None
+    return deadlines
+
+
 def cmd_serve(args) -> int:
+    from repro.service.breaker import BreakerPolicy
     from repro.service.daemon import BuildService, ServiceConfig
     from repro.service.queue import TenantQuota
 
@@ -880,6 +960,18 @@ def cmd_serve(args) -> int:
         default_quota=TenantQuota(
             max_queued=args.max_queued, max_active=args.max_active
         ),
+        faults=service_faults_from_args(args),
+        default_deadline_s=args.deadline,
+        tenant_deadlines=parse_tenant_deadlines(args.tenant_deadline),
+        default_max_attempts=args.max_attempts,
+        breaker=BreakerPolicy(
+            window=args.breaker_window,
+            min_samples=args.breaker_min_samples,
+            threshold=args.breaker_threshold,
+            cooldown_s=args.breaker_cooldown,
+            probes=args.breaker_probes,
+        ),
+        drain_s=args.drain_timeout,
     )
     service = BuildService(config)
     service.start()
@@ -915,6 +1007,8 @@ def cmd_jobs_submit(args) -> int:
         priority=args.priority,
         strategy=args.strategy,
         frames=args.frames,
+        deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
     )
     if args.json:
         print(json.dumps(document, indent=2))
@@ -958,6 +1052,15 @@ def cmd_jobs_cancel(args) -> int:
         print(f"{document['job_id']} is running; cancellation requested")
     else:
         print(f"{document['job_id']} already {document['state']}")
+    return 0
+
+
+def cmd_jobs_requeue(args) -> int:
+    document = _jobs_client(args).requeue(args.job_id)
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    print(f"{document['job_id']} requeued ({document['state']})")
     return 0
 
 
@@ -1519,6 +1622,90 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="default per-tenant queued+running limit",
     )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default per-attempt watchdog deadline (default: none)",
+    )
+    serve.add_argument(
+        "--tenant-deadline",
+        action="append",
+        metavar="TENANT=S",
+        help="per-tenant attempt deadline; repeatable",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempt budget before a job dead-letters",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="SIGTERM drain deadline before in-flight jobs are requeued",
+    )
+    serve.add_argument(
+        "--service-fault-rate",
+        action="append",
+        metavar="[KIND=]RATE",
+        help=(
+            "seeded service-tier fault rate (crash, slow, io, torn); "
+            "bare RATE applies to every kind; repeatable"
+        ),
+    )
+    serve.add_argument(
+        "--service-fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the deterministic service fault model",
+    )
+    serve.add_argument(
+        "--inject-service-fault",
+        action="append",
+        metavar="KIND[:COUNT]",
+        help="deterministically fire COUNT faults of KIND; repeatable",
+    )
+    serve.add_argument(
+        "--breaker-window",
+        type=int,
+        default=20,
+        metavar="N",
+        help="outcome window the admission breaker computes over",
+    )
+    serve.add_argument(
+        "--breaker-min-samples",
+        type=int,
+        default=5,
+        metavar="N",
+        help="outcomes required before the breaker may open",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="failure fraction that opens the admission breaker",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="shed period before the breaker probes again",
+    )
+    serve.add_argument(
+        "--breaker-probes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="canary jobs a half-open breaker admits",
+    )
     serve.set_defaults(func=cmd_serve)
 
     jobs = sub.add_parser(
@@ -1564,13 +1751,27 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_submit.add_argument(
         "--frames", type=int, default=1, help="WAMI frames for deploy jobs"
     )
+    jobs_submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-attempt watchdog deadline for this job",
+    )
+    jobs_submit.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempt budget before this job dead-letters",
+    )
     jobs_submit.set_defaults(func=cmd_jobs_submit)
 
     jobs_list = jobs_sub.add_parser("list", help="list jobs and queue state")
     jobs_list.add_argument("--tenant", help="only this tenant's jobs")
     jobs_list.add_argument(
         "--state",
-        choices=["queued", "running", "succeeded", "failed", "cancelled"],
+        choices=["queued", "running", "succeeded", "failed", "cancelled", "dead"],
         help="only jobs in this state",
     )
     jobs_list.set_defaults(func=cmd_jobs_list)
@@ -1582,6 +1783,12 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_cancel = jobs_sub.add_parser("cancel", help="cancel a job")
     jobs_cancel.add_argument("job_id")
     jobs_cancel.set_defaults(func=cmd_jobs_cancel)
+
+    jobs_requeue = jobs_sub.add_parser(
+        "requeue", help="revive a dead-lettered job"
+    )
+    jobs_requeue.add_argument("job_id")
+    jobs_requeue.set_defaults(func=cmd_jobs_requeue)
 
     jobs_result = jobs_sub.add_parser(
         "result", help="a terminal job's result payload"

@@ -92,6 +92,19 @@ CACHE_MISS = "flow.cache_miss"
 #: NoC: a packet stalled on busy links beyond the watermark
 #: (attrs: ``stall_cycles``, ``watermark_cycles``).
 NOC_CONGESTION = "noc.congestion"
+#: Service: a job exhausted its attempt budget and was dead-lettered
+#: (attrs: ``tenant``, ``attempts``, ``reason``).
+SERVICE_JOB_DEAD = "service.job_dead"
+#: Service: a job was requeued — crash recovery, watchdog timeout, or
+#: a manual dead-letter revive (attrs: ``tenant``, ``manual``).
+SERVICE_JOB_REQUEUED = "service.job_requeued"
+#: Service: the watchdog abandoned an attempt past its deadline
+#: (attrs: ``tenant``, ``attempt``, ``deadline_s``).
+SERVICE_JOB_TIMED_OUT = "service.job_timed_out"
+#: Service: the admission breaker opened (attrs: ``reason``).
+SERVICE_BREAKER_OPENED = "service.breaker_opened"
+#: Service: the admission breaker re-closed after successful probes.
+SERVICE_BREAKER_CLOSED = "service.breaker_closed"
 
 
 @dataclass(frozen=True)

@@ -163,6 +163,10 @@ class HealthReport:
     fallbacks: int = 0
     kernel_hangs: int = 0
     failovers: int = 0
+    #: Service-tier resilience state (the daemon's bus only).
+    breaker_open: bool = False
+    breaker_opens: int = 0
+    dead_jobs: List[str] = field(default_factory=list)
     #: Bus transport state: capacity, buffered, emitted, dropped, seq_gaps.
     bus: Dict[str, int] = field(default_factory=dict)
 
@@ -218,6 +222,11 @@ class HealthReport:
                 "fallbacks": self.fallbacks,
                 "kernel_hangs": self.kernel_hangs,
                 "failovers": self.failovers,
+            },
+            "service": {
+                "breaker_open": self.breaker_open,
+                "breaker_opens": self.breaker_opens,
+                "dead_jobs": list(self.dead_jobs),
             },
             "bus": dict(self.bus),
         }
@@ -313,6 +322,10 @@ class HealthMonitor:
         ev.CAD_JOB_RETRIED,
         ev.CAD_JOB_FAILED,
         ev.FLOW_DEGRADED,
+        ev.SERVICE_JOB_DEAD,
+        ev.SERVICE_JOB_REQUEUED,
+        ev.SERVICE_BREAKER_OPENED,
+        ev.SERVICE_BREAKER_CLOSED,
     )
 
     def __init__(
@@ -355,6 +368,9 @@ class HealthMonitor:
         self._fallbacks = 0
         self._kernel_hangs = 0
         self._failovers = 0
+        self._breaker_open = False
+        self._breaker_opens = 0
+        self._dead_jobs: List[str] = []
         self._last_time = 0.0
         self.events_seen = 0
         #: Ring drops already on the bus when the monitor attached —
@@ -388,6 +404,24 @@ class HealthMonitor:
             return
         if event.kind == ev.FLOW_DEGRADED:
             self._dark_tiles = tuple(event.attrs.get("rps", ()))
+            return
+        # Service-tier events ride the daemon's bus with no meaningful
+        # simulated clock; fold them as cumulative state, unwindowed.
+        if event.kind == ev.SERVICE_JOB_DEAD:
+            if event.source not in self._dead_jobs:
+                self._dead_jobs.append(event.source)
+            return
+        if event.kind == ev.SERVICE_JOB_REQUEUED:
+            # A manual revive takes the job out of the dead letter.
+            if event.attrs.get("manual") and event.source in self._dead_jobs:
+                self._dead_jobs.remove(event.source)
+            return
+        if event.kind == ev.SERVICE_BREAKER_OPENED:
+            self._breaker_open = True
+            self._breaker_opens += 1
+            return
+        if event.kind == ev.SERVICE_BREAKER_CLOSED:
+            self._breaker_open = False
             return
         self._last_time = max(self._last_time, event.time)
         if event.kind == ev.RECONFIG_STARTED:
@@ -552,6 +586,33 @@ class HealthMonitor:
                 )
             )
 
+        if self._breaker_open:
+            verdict = _worst(verdict, Verdict.CRITICAL)
+            findings.append(
+                HealthFinding(
+                    rule="breaker-open",
+                    severity=Verdict.CRITICAL,
+                    message=(
+                        "the admission breaker is open: submits are being "
+                        "shed until recovery probes succeed"
+                    ),
+                )
+            )
+        if self._dead_jobs:
+            verdict = _worst(verdict, Verdict.DEGRADED)
+            findings.append(
+                HealthFinding(
+                    rule="dead-letter",
+                    severity=Verdict.DEGRADED,
+                    message=(
+                        "jobs "
+                        + ", ".join(self._dead_jobs)
+                        + " exhausted their attempt budgets and await a "
+                        "manual requeue"
+                    ),
+                )
+            )
+
         dropped_watching = self.bus.dropped - self._dropped_at_attach
         if dropped_watching > 0:
             verdict = _worst(verdict, Verdict.DEGRADED)
@@ -588,6 +649,9 @@ class HealthMonitor:
             fallbacks=self._fallbacks,
             kernel_hangs=self._kernel_hangs,
             failovers=self._failovers,
+            breaker_open=self._breaker_open,
+            breaker_opens=self._breaker_opens,
+            dead_jobs=list(self._dead_jobs),
             bus={
                 "capacity": self.bus.capacity,
                 "buffered": len(self.bus),

@@ -16,25 +16,48 @@ Jobs are crash-safe: every build job writes through the flow
 checkpointer, so a SIGKILLed daemon restarted on the same state
 directory requeues its in-flight jobs and resumes them byte-
 identically.
+
+The service is also *self-healing*: a seeded fault model
+(:mod:`repro.service.faults`) injects worker crashes, hangs, store IO
+errors and torn writes; a deadline watchdog requeues timed-out
+attempts with seeded backoff; jobs that exhaust their attempt budget
+dead-letter into a terminal ``dead`` state awaiting a manual requeue;
+and a circuit breaker (:mod:`repro.service.breaker`) sheds admissions
+while the backend's failure rate burns past its threshold.
 """
 
-from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
 from repro.service.daemon import BuildService, ServiceConfig
+from repro.service.faults import (
+    NO_SERVICE_FAULTS,
+    ServiceFaultError,
+    ServiceFaultKind,
+    ServiceFaultModel,
+)
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.queue import AdmissionError, JobQueue, TenantQuota
 from repro.service.schema import SCHEMA_VERSION, SchemaError, envelope
 
 __all__ = [
     "AdmissionError",
+    "BreakerPolicy",
+    "BreakerState",
     "BuildService",
+    "CircuitBreaker",
     "JobQueue",
     "JobRecord",
     "JobSpec",
     "JobState",
+    "NO_SERVICE_FAULTS",
     "SCHEMA_VERSION",
     "SchemaError",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceError",
+    "ServiceFaultError",
+    "ServiceFaultKind",
+    "ServiceFaultModel",
     "ServiceUnavailable",
     "TenantQuota",
     "envelope",

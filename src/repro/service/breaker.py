@@ -1,0 +1,203 @@
+"""A health-driven circuit breaker in front of job admission.
+
+Static quotas (:mod:`repro.service.queue`) bound how much work each
+tenant may park on the daemon; they say nothing about whether the
+backend is *succeeding*. The breaker closes that gap: it watches the
+outcome of every executed job and, when the recent failure rate burns
+past the threshold, flips OPEN — submits are rejected at the door with
+``429 breaker_open`` before they can pile onto a burning backend.
+
+Classic three-state machine:
+
+* **CLOSED** — normal admission; outcomes fill a sliding window.
+* **OPEN** — every submit rejected. After ``cooldown_s`` the next
+  :meth:`CircuitBreaker.allow` moves to HALF_OPEN.
+* **HALF_OPEN** — up to ``probes`` jobs are admitted as canaries. If
+  all of them succeed the breaker re-closes (window cleared); one
+  failure re-opens it and restarts the cooldown.
+
+The clock is injected (defaults to ``time.monotonic``) so tests drive
+state transitions without sleeping; callbacks let the supervisor put
+``service.breaker_opened`` / ``service.breaker_closed`` on the event
+bus for the health monitor to fold into findings.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import PrEspError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to open, how long to shed, how to probe.
+
+    ``window`` caps the outcome history the failure rate is computed
+    over; ``min_samples`` keeps one unlucky first job from tripping an
+    idle daemon; ``threshold`` is the failure fraction that opens;
+    ``cooldown_s`` is the shed period before probing; ``probes`` is
+    the number of canary jobs a HALF_OPEN breaker admits (all must
+    succeed to re-close).
+    """
+
+    window: int = 20
+    min_samples: int = 5
+    threshold: float = 0.5
+    cooldown_s: float = 30.0
+    probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise PrEspError(f"breaker window must be >= 1, got {self.window}")
+        if not 1 <= self.min_samples <= self.window:
+            raise PrEspError(
+                f"min_samples must be in [1, window], got {self.min_samples}"
+            )
+        if not 0.0 < self.threshold <= 1.0:
+            raise PrEspError(
+                f"breaker threshold must be in (0, 1], got {self.threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise PrEspError(f"cooldown must be >= 0, got {self.cooldown_s}")
+        if self.probes < 1:
+            raise PrEspError(f"breaker needs >= 1 probe, got {self.probes}")
+
+
+class CircuitBreaker:
+    """Thread-safe failure-rate breaker with half-open probing."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy = BreakerPolicy(),
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Optional[Callable[[str], None]] = None,
+        on_close: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._on_open = on_open
+        self._on_close = on_close
+        self._state = BreakerState.CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=policy.window)
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        self._probe_successes = 0
+        self._lock = threading.Lock()
+        #: Cumulative open transitions, for /metrics and snapshots.
+        self.opened_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            return self._state
+
+    def _failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def _open(self, reason: str) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probes_issued = 0
+        self._probe_successes = 0
+        self.opened_total += 1
+        if self._on_open is not None:
+            self._on_open(reason)
+
+    def _close(self) -> None:
+        self._state = BreakerState.CLOSED
+        self._outcomes.clear()
+        self._probes_issued = 0
+        self._probe_successes = 0
+        if self._on_close is not None:
+            self._on_close()
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May one submit pass admission right now?
+
+        OPEN past its cooldown transitions to HALF_OPEN here; a
+        HALF_OPEN breaker admits at most ``probes`` jobs until their
+        outcomes decide the state.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if self._clock() - self._opened_at < self.policy.cooldown_s:
+                    return False
+                self._state = BreakerState.HALF_OPEN
+                self._probes_issued = 0
+                self._probe_successes = 0
+            if self._probes_issued < self.policy.probes:
+                self._probes_issued += 1
+                return True
+            return False
+
+    def release_probe(self) -> None:
+        """Hand back a half-open probe whose outcome will never arrive.
+
+        A submit can pass :meth:`allow` and still die before execution
+        (quota rejection, persistence failure, cancel while queued).
+        Without this, each such loss wedges one probe slot forever and
+        a ``probes=1`` breaker could never close again.
+        """
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN and self._probes_issued > 0:
+                self._probes_issued -= 1
+
+    def trip(self, reason: str = "manual") -> None:
+        """Force the breaker open (operator action, SLO-burn hook)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                self._open(reason)
+
+    def record(self, success: bool) -> None:
+        """Fold one executed job's outcome into the state machine."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                if not success:
+                    self._open("probe job failed")
+                    return
+                self._probe_successes += 1
+                if self._probe_successes >= self.policy.probes:
+                    self._close()
+                return
+            if self._state is BreakerState.OPEN:
+                # A straggler from before the trip; nothing to decide.
+                return
+            self._outcomes.append(success)
+            if (
+                len(self._outcomes) >= self.policy.min_samples
+                and self._failure_rate() >= self.policy.threshold
+            ):
+                self._open(
+                    f"failure rate {self._failure_rate():.0%} over the last "
+                    f"{len(self._outcomes)} jobs (threshold "
+                    f"{self.policy.threshold:.0%})"
+                )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """State for /healthz and the queue listing."""
+        with self._lock:
+            return {
+                "state": self._state.value,
+                "failure_rate": round(self._failure_rate(), 6),
+                "window": len(self._outcomes),
+                "opened_total": self.opened_total,
+            }

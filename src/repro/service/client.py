@@ -11,18 +11,29 @@ No third-party HTTP stack, matching the daemon's stdlib server.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, TypeVar
 from urllib.parse import urlencode
 
 from repro.errors import PrEspError
 from repro.service.schema import check_envelope
 
-#: Job states the poll loop treats as finished.
-_TERMINAL = ("succeeded", "failed", "cancelled")
+#: Job states the poll loop treats as finished. ``dead`` is terminal
+#: too: a dead-lettered job will never progress without an explicit
+#: operator requeue, so waiting on it would only time out.
+_TERMINAL = ("succeeded", "failed", "cancelled", "dead")
+
+_T = TypeVar("_T")
+
+
+def _retry_jitter(seed: int, attempt: int) -> float:
+    """Deterministic jitter fraction in [0, 0.25) for one retry."""
+    digest = hashlib.sha256(f"{seed}|client-retry|{attempt}".encode()).digest()
+    return 0.25 * (int.from_bytes(digest[:8], "big") / 2**64)
 
 
 class ServiceUnavailable(PrEspError):
@@ -46,9 +57,38 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8321,
         timeout: float = 30.0,
+        retries: int = 3,
+        retry_backoff_s: float = 0.05,
+        seed: int = 0,
     ) -> None:
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        #: Transient-failure budget for the idempotent verbs (wait's
+        #: polls, healthz): a daemon mid-restart refuses connections
+        #: for a moment, which should read as "poll again", not crash
+        #: the caller. Non-idempotent verbs (submit, cancel, requeue)
+        #: never retry — a resend could double-apply.
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.seed = int(seed)
+
+    def _with_retries(self, call: Callable[[], _T]) -> _T:
+        """Run an idempotent call, retrying transient unreachability.
+
+        Seeded exponential backoff between attempts — deterministic
+        like every other delay the platform draws, so two runs with
+        the same seed retry at the same cadence.
+        """
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except ServiceUnavailable:
+                if attempt >= self.retries:
+                    raise
+                delay = self.retry_backoff_s * (2**attempt)
+                time.sleep(delay * (1.0 + _retry_jitter(self.seed, attempt)))
+                attempt += 1
 
     # ------------------------------------------------------------------
     # transport
@@ -101,6 +141,8 @@ class ServiceClient:
         priority: int = 0,
         strategy: Optional[str] = None,
         frames: int = 1,
+        deadline_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
     ) -> Dict:
         """Submit one job; returns the accepted job record payload."""
         payload = {
@@ -112,6 +154,8 @@ class ServiceClient:
             "priority": priority,
             "strategy": strategy,
             "frames": frames,
+            "deadline_s": deadline_s,
+            "max_attempts": max_attempts,
         }
         return self._request("POST", "/v1/jobs", payload=payload, kind="job")
 
@@ -132,6 +176,10 @@ class ServiceClient:
     def cancel(self, job_id: str) -> Dict:
         return self._request("POST", f"/v1/jobs/{job_id}/cancel", kind="job")
 
+    def requeue(self, job_id: str) -> Dict:
+        """Revive one dead-lettered job (409 ``not_dead`` otherwise)."""
+        return self._request("POST", f"/v1/jobs/{job_id}/requeue", kind="job")
+
     def result(self, job_id: str) -> Dict:
         return self._request("GET", f"/v1/jobs/{job_id}/result", kind="result")
 
@@ -142,8 +190,13 @@ class ServiceClient:
         """The health envelope; a 503 verdict is returned, not raised.
 
         A critical daemon answers 503 *with* a full health body, so
-        the 503 is decoded like the 200 instead of raised.
+        the 503 is decoded like the 200 instead of raised. Transient
+        unreachability (a daemon mid-restart) is retried with seeded
+        backoff before :class:`ServiceUnavailable` escapes.
         """
+        return self._with_retries(self._healthz_once)
+
+    def _healthz_once(self) -> Dict:
         request = urllib.request.Request(
             self.base_url + "/healthz", headers={"Accept": "application/json"}
         )
@@ -184,11 +237,13 @@ class ServiceClient:
 
         Raises :class:`ServiceUnavailable` on timeout — from the
         caller's seat an unresponsive job and an unreachable daemon
-        call for the same remedy.
+        call for the same remedy. Each poll retries transient
+        connection failures with seeded backoff, so a daemon restart
+        mid-wait doesn't abort the wait.
         """
         deadline = time.monotonic() + timeout
         while True:
-            record = self.status(job_id)
+            record = self._with_retries(lambda: self.status(job_id))
             if record.get("state") in _TERMINAL:
                 return record
             if time.monotonic() >= deadline:

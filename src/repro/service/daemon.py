@@ -6,18 +6,31 @@ integration tests embed: construct with a :class:`ServiceConfig`,
 and acceptor threads), ``stop()`` (drains and releases everything).
 ``port=0`` binds an ephemeral port — read the real one from
 ``service.port`` — so tests and parallel daemons never collide.
+
+Shutdown comes in two shapes. A SIGKILL (or power loss) is the crash
+path PR 9 built for: write-through records + checkpoints replay on the
+next start. ``serve_forever`` adds the *graceful* path for SIGTERM:
+stop admitting, give in-flight jobs the drain deadline to finish, then
+checkpoint-and-requeue whatever is still running — so an orchestrator's
+routine restart never burns an attempt budget or loses a client's job.
 """
 
 from __future__ import annotations
 
+import signal
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.obs.logconfig import get_logger
+from repro.service.breaker import BreakerPolicy
+from repro.service.faults import NO_SERVICE_FAULTS, ServiceFaultModel
 from repro.service.httpd import ServiceHTTPServer
 from repro.service.queue import TenantQuota
 from repro.service.supervisor import Supervisor
+
+logger = get_logger("service.daemon")
 
 
 @dataclass
@@ -31,6 +44,14 @@ class ServiceConfig:
     draining the queue; ``jobs`` the warm build pool's process count.
     ``quotas`` maps tenant names onto admission limits (missing tenants
     get ``default_quota``).
+
+    The resilience knobs: ``faults`` injects seeded service-tier
+    faults (worker crashes, hangs, store IO errors, torn writes);
+    ``default_deadline_s``/``tenant_deadlines`` bound each attempt
+    (``None`` = no watchdog); ``default_max_attempts`` is the retry
+    budget before a job dead-letters; ``breaker`` shapes the admission
+    circuit breaker; ``drain_s`` is how long a SIGTERM waits for
+    in-flight jobs before checkpoint-and-requeueing them.
     """
 
     state_dir: Union[str, Path]
@@ -43,6 +64,12 @@ class ServiceConfig:
     quotas: Dict[str, TenantQuota] = field(default_factory=dict)
     default_quota: TenantQuota = field(default_factory=TenantQuota)
     cache_entries: int = 256
+    faults: ServiceFaultModel = NO_SERVICE_FAULTS
+    default_deadline_s: Optional[float] = None
+    tenant_deadlines: Dict[str, float] = field(default_factory=dict)
+    default_max_attempts: int = 3
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    drain_s: float = 10.0
 
 
 class BuildService:
@@ -59,9 +86,15 @@ class BuildService:
             quotas=config.quotas,
             default_quota=config.default_quota,
             cache_entries=config.cache_entries,
+            faults=config.faults,
+            default_deadline_s=config.default_deadline_s,
+            tenant_deadlines=config.tenant_deadlines,
+            default_max_attempts=config.default_max_attempts,
+            breaker_policy=config.breaker,
         )
         self._server: Optional[ServiceHTTPServer] = None
         self._acceptor: Optional[threading.Thread] = None
+        self._terminated = threading.Event()
 
     # ------------------------------------------------------------------
     @property
@@ -91,8 +124,14 @@ class BuildService:
         self._acceptor.start()
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Stop accepting, drain the workers, shut the pool down."""
+    def stop(self, timeout: float = 10.0, drain: bool = False) -> None:
+        """Stop accepting, drain the workers, shut the pool down.
+
+        With ``drain`` the HTTP door closes first (no new admissions),
+        in-flight jobs get ``timeout`` seconds to finish, and any still
+        running are flipped back to ``queued`` with their checkpoints —
+        the next ``start()`` resumes them byte-identically.
+        """
         server, self._server = self._server, None
         if server is not None:
             server.shutdown()
@@ -100,20 +139,34 @@ class BuildService:
         if self._acceptor is not None:
             self._acceptor.join(timeout=timeout)
             self._acceptor = None
-        self.supervisor.stop(timeout=timeout)
+        self.supervisor.stop(timeout=timeout, drain=drain)
 
     def serve_forever(self) -> None:
         """Blocking run (the ``repro serve`` path): serve until
-        KeyboardInterrupt/SIGTERM, then drain."""
+        KeyboardInterrupt or SIGTERM, then drain gracefully."""
         self.start()
         assert self._acceptor is not None
+
+        def on_sigterm(signum, frame) -> None:
+            logger.info("SIGTERM: draining (deadline %.1fs)", self.config.drain_s)
+            self._terminated.set()
+
+        previous = None
         try:
-            while self._acceptor.is_alive():
+            previous = signal.signal(signal.SIGTERM, on_sigterm)
+        except ValueError:
+            # Not the main thread (embedded run): SIGTERM handling is
+            # the embedder's job; stop() still drains on request.
+            previous = None
+        try:
+            while self._acceptor.is_alive() and not self._terminated.is_set():
                 self._acceptor.join(timeout=0.5)
         except KeyboardInterrupt:
             pass
         finally:
-            self.stop()
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
+            self.stop(timeout=self.config.drain_s, drain=True)
 
     def __enter__(self) -> "BuildService":
         return self.start()

@@ -7,6 +7,7 @@ envelope::
     GET  /v1/jobs               list     (?tenant=&state= filters)
     GET  /v1/jobs/<id>          status   (404 unknown)
     POST /v1/jobs/<id>/cancel   cancel   (idempotent)
+    POST /v1/jobs/<id>/requeue  revive a dead-lettered job (409 unless dead)
     GET  /v1/jobs/<id>/result   result   (409 until terminal)
     GET  /v1/jobs/<id>/artifacts        checkpoint manifest + result
     GET  /healthz               live verdict (200 ok/degraded, 503 else)
@@ -150,6 +151,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return self._post_submit()
             if len(parts) == 4 and parts[:2] == ("v1", "jobs") and parts[3] == "cancel":
                 return self._post_cancel(parts[2])
+            if len(parts) == 4 and parts[:2] == ("v1", "jobs") and parts[3] == "requeue":
+                return self._post_requeue(parts[2])
             self._send_error(404, f"no route for POST {url.path}", reason="not_found")
         except Exception as error:  # noqa: BLE001
             logger.exception("POST %s failed", self.path)
@@ -176,6 +179,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 priority=int(document.get("priority", 0)),
                 strategy=document.get("strategy"),
                 frames=int(document.get("frames", 1)),
+                deadline_s=(
+                    float(document["deadline_s"])
+                    if document.get("deadline_s") is not None
+                    else None
+                ),
+                max_attempts=(
+                    int(document["max_attempts"])
+                    if document.get("max_attempts") is not None
+                    else None
+                ),
             )
             record = self.server.supervisor.submit(spec)
         except AdmissionError as error:
@@ -219,6 +232,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def _post_cancel(self, job_id: str) -> None:
         record = self.server.supervisor.cancel(job_id)
+        if record is None:
+            self._send_error(404, f"unknown job {job_id!r}", reason="not_found")
+            return
+        self._send_json(200, envelope("job", record.to_dict()))
+
+    def _post_requeue(self, job_id: str) -> None:
+        try:
+            record = self.server.supervisor.requeue(job_id)
+        except JobError as error:
+            # Requeue revives a dead job exactly once: a second POST
+            # (or one against a live job) is a state conflict, not a
+            # bad request.
+            self._send_error(409, str(error), reason="not_dead")
+            return
+        except AdmissionError as error:
+            self._send_error(429, str(error), reason=error.reason)
+            return
         if record is None:
             self._send_error(404, f"unknown job {job_id!r}", reason="not_found")
             return
@@ -295,7 +325,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         )
 
     def _get_healthz(self) -> None:
-        status, verdict = self.server.supervisor.health_verdict()
+        supervisor = self.server.supervisor
+        status, verdict = supervisor.health_verdict()
         http_status = 200 if verdict.exit_code < 2 else 503
         self._send_json(
             http_status,
@@ -305,8 +336,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "status": status,
                     "verdict": verdict.value,
                     "exit_code": verdict.exit_code,
-                    "recovering": self.server.supervisor.recovering(),
-                    "queue": self.server.supervisor.queue.snapshot(),
+                    "recovering": supervisor.recovering(),
+                    "queue": supervisor.queue.snapshot(),
+                    "breaker": supervisor.breaker.snapshot(),
+                    "dead": len(supervisor.jobs(state=JobState.DEAD)),
                 },
             ),
         )

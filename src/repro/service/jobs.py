@@ -25,6 +25,7 @@ import json
 import os
 import re
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -32,6 +33,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import PrEspError
 from repro.obs.context import RequestIdFactory, TelemetryContext
 from repro.obs.logconfig import get_logger
+from repro.service.faults import (
+    NO_SERVICE_FAULTS,
+    ServiceFaultKind,
+    ServiceFaultModel,
+)
 
 logger = get_logger("service.jobs")
 
@@ -52,7 +58,12 @@ class JobState(enum.Enum):
     ``QUEUED -> RUNNING -> SUCCEEDED | FAILED``, with ``CANCELLED``
     reachable only from ``QUEUED`` (a running build is not preempted;
     cancellation of running work is recorded as *requested* and
-    reported, never forged into a terminal state).
+    reported, never forged into a terminal state). ``DEAD`` is the
+    dead-letter state: a job whose attempts (crash reruns, watchdog
+    timeouts) exhausted its budget. It is terminal for clients — but
+    unlike the other terminal states it has one deliberate exit, the
+    operator's ``POST /v1/jobs/<id>/requeue``, which revives it back
+    to ``QUEUED`` with a fresh attempt budget.
     """
 
     QUEUED = "queued"
@@ -60,19 +71,34 @@ class JobState(enum.Enum):
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    DEAD = "dead"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.SUCCEEDED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.DEAD,
+        )
 
 
 #: Legal state transitions (anything else is a supervisor bug).
+#: ``RUNNING -> QUEUED`` is crash/timeout requeue; ``QUEUED -> DEAD``
+#: is recovery refusing a poison job; ``DEAD -> QUEUED`` is the manual
+#: dead-letter revive.
 _TRANSITIONS = {
-    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED},
-    JobState.RUNNING: {JobState.SUCCEEDED, JobState.FAILED, JobState.QUEUED},
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED, JobState.DEAD},
+    JobState.RUNNING: {
+        JobState.SUCCEEDED,
+        JobState.FAILED,
+        JobState.QUEUED,
+        JobState.DEAD,
+    },
     JobState.SUCCEEDED: set(),
     JobState.FAILED: set(),
     JobState.CANCELLED: set(),
+    JobState.DEAD: {JobState.QUEUED},
 }
 
 
@@ -83,6 +109,10 @@ class JobSpec:
     ``config`` is a paper design name or an ``.esp_config`` path the
     daemon can read; ``priority`` orders the queue (higher first,
     FIFO within a priority); ``frames`` only applies to deploy jobs.
+    ``deadline_s`` bounds one execution attempt (``None`` falls back
+    to the daemon's per-tenant, then global default); ``max_attempts``
+    bounds executions including crash reruns before the job is
+    dead-lettered (``None`` = the daemon default).
     """
 
     config: str
@@ -91,6 +121,8 @@ class JobSpec:
     priority: int = 0
     strategy: Optional[str] = None
     frames: int = 1
+    deadline_s: Optional[float] = None
+    max_attempts: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -103,6 +135,12 @@ class JobSpec:
             raise JobError("job spec needs a tenant")
         if self.frames <= 0:
             raise JobError(f"frames must be positive, got {self.frames}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise JobError(f"deadline must be positive, got {self.deadline_s}")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise JobError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
 
     def to_dict(self) -> Dict:
         return {
@@ -112,11 +150,15 @@ class JobSpec:
             "priority": self.priority,
             "strategy": self.strategy,
             "frames": self.frames,
+            "deadline_s": self.deadline_s,
+            "max_attempts": self.max_attempts,
         }
 
     @classmethod
     def from_dict(cls, raw: Dict) -> "JobSpec":
         try:
+            deadline = raw.get("deadline_s")
+            max_attempts = raw.get("max_attempts")
             return cls(
                 config=raw["config"],
                 kind=raw.get("kind", "build"),
@@ -124,6 +166,8 @@ class JobSpec:
                 priority=int(raw.get("priority", 0)),
                 strategy=raw.get("strategy"),
                 frames=int(raw.get("frames", 1)),
+                deadline_s=None if deadline is None else float(deadline),
+                max_attempts=None if max_attempts is None else int(max_attempts),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise JobError(f"malformed job spec: {error}") from error
@@ -150,6 +194,8 @@ class JobRecord:
     submit_seq: int = 0
     start_seq: Optional[int] = None
     attempts: int = 0
+    timeouts: int = 0
+    requeues: int = 0
     cancel_requested: bool = False
     cached: bool = False
     resumed_stages: Tuple[str, ...] = ()
@@ -181,6 +227,8 @@ class JobRecord:
             "submit_seq": self.submit_seq,
             "start_seq": self.start_seq,
             "attempts": self.attempts,
+            "timeouts": self.timeouts,
+            "requeues": self.requeues,
             "cancel_requested": self.cancel_requested,
             "cached": self.cached,
             "resumed_stages": list(self.resumed_stages),
@@ -202,6 +250,8 @@ class JobRecord:
                 submit_seq=int(raw.get("submit_seq", 0)),
                 start_seq=raw.get("start_seq"),
                 attempts=int(raw.get("attempts", 0)),
+                timeouts=int(raw.get("timeouts", 0)),
+                requeues=int(raw.get("requeues", 0)),
                 cancel_requested=bool(raw.get("cancel_requested", False)),
                 cached=bool(raw.get("cached", False)),
                 resumed_stages=tuple(raw.get("resumed_stages", ())),
@@ -268,10 +318,20 @@ class JobStore:
     threads can persist different jobs without coordination. A file
     that fails to parse on load is skipped with a warning — one corrupt
     record must not brick the daemon.
+
+    ``faults`` wires the seeded :class:`~repro.service.faults.
+    ServiceFaultModel` into the write path: a ``STORE_IO`` draw raises
+    a plain transient :class:`OSError`; a ``TORN_WRITE`` draw leaves a
+    truncated ``*.tmp`` file behind (never renamed — the published
+    record cannot be the torn artifact) and then raises. Callers
+    retry via :meth:`save_retrying`.
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(
+        self, directory, faults: ServiceFaultModel = NO_SERVICE_FAULTS
+    ) -> None:
         self.directory = Path(directory)
+        self.faults = faults
         self._lock = threading.Lock()
         self._tmp_count = 0
 
@@ -285,8 +345,43 @@ class JobStore:
         with self._lock:
             self._tmp_count += 1
             tmp = path.with_name(f".{path.name}.{os.getpid()}.{self._tmp_count}.tmp")
+        fault = self.faults.store_fault(record.job_id)
+        if fault is ServiceFaultKind.STORE_IO:
+            raise OSError(f"injected IO error saving {record.job_id}")
+        if fault is ServiceFaultKind.TORN_WRITE:
+            # The write dies mid-flight: half the payload reaches the
+            # tmp file, the rename never happens.
+            tmp.write_text(payload[: max(1, len(payload) // 2)])
+            raise OSError(f"injected torn write saving {record.job_id}")
         tmp.write_text(payload + "\n")
         os.replace(tmp, path)
+
+    def save_retrying(
+        self, record: JobRecord, attempts: int = 4, backoff_s: float = 0.01
+    ) -> bool:
+        """Persist with bounded retries of transient IO errors.
+
+        Returns True when the record reached disk. After the retry
+        budget the failure is *logged*, not raised — the in-memory
+        table still holds the truth and a later transition will try
+        again; losing durability for one transition must not take a
+        worker thread (or the daemon) down with it.
+        """
+        for attempt in range(1, attempts + 1):
+            try:
+                self.save(record)
+                return True
+            except OSError as error:
+                if attempt == attempts:
+                    logger.error(
+                        "giving up persisting %s after %d attempts: %s",
+                        record.job_id,
+                        attempts,
+                        error,
+                    )
+                    return False
+                time.sleep(backoff_s * 2 ** (attempt - 1))
+        return False
 
     def load(self, job_id: str) -> Optional[JobRecord]:
         try:

@@ -67,8 +67,11 @@ class JobQueue:
         quotas: Optional[Dict[str, TenantQuota]] = None,
         default_quota: TenantQuota = DEFAULT_QUOTA,
     ) -> None:
+        # A non-positive capacity is an operator configuration error,
+        # not an admission decision — AdmissionError's reason tokens
+        # are reserved for true 429 paths.
         if capacity is not None and capacity <= 0:
-            raise AdmissionError(f"queue capacity must be positive: {capacity}")
+            raise ValueError(f"queue capacity must be positive: {capacity}")
         self.capacity = capacity
         self.quotas = dict(quotas or {})
         self.default_quota = default_quota
@@ -130,6 +133,28 @@ class JobQueue:
             self._queued += 1
             self._queued_by_tenant[tenant] = self._queued_by_tenant.get(tenant, 0) + 1
             self.admitted += 1
+            self._not_empty.notify()
+
+    def requeue(self, record: JobRecord) -> None:
+        """Re-enter a previously admitted record, skipping quotas.
+
+        The watchdog's crash/timeout requeue and the dead-letter
+        revive both put back work that already passed admission once;
+        bouncing it off a momentarily full quota would drop a job the
+        client was promised. Only a closed queue refuses.
+        """
+        tenant = record.spec.tenant
+        with self._lock:
+            if self._closed:
+                self.rejected += 1
+                raise AdmissionError("queue is closed", reason="closed")
+            heapq.heappush(
+                self._heap,
+                (-record.spec.priority, record.submit_seq, record.job_id),
+            )
+            self._tenant_of[record.job_id] = tenant
+            self._queued += 1
+            self._queued_by_tenant[tenant] = self._queued_by_tenant.get(tenant, 0) + 1
             self._not_empty.notify()
 
     # ------------------------------------------------------------------

@@ -205,5 +205,7 @@ SUBMIT_REQUEST_SCHEMA: Dict = {
         "priority": {"type": "integer"},
         "strategy": {"type": ["string", "null"]},
         "frames": {"type": "integer", "minimum": 1},
+        "deadline_s": {"type": ["number", "null"], "minimum": 0},
+        "max_attempts": {"type": ["integer", "null"], "minimum": 1},
     },
 }

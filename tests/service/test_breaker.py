@@ -1,0 +1,204 @@
+"""The admission circuit breaker's three-state machine, on a fake clock."""
+
+import pytest
+
+from repro.errors import PrEspError
+from repro.service.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(clock, **policy):
+    policy.setdefault("window", 8)
+    policy.setdefault("min_samples", 4)
+    policy.setdefault("threshold", 0.5)
+    policy.setdefault("cooldown_s", 10.0)
+    return CircuitBreaker(policy=BreakerPolicy(**policy), clock=clock)
+
+
+def storm(breaker, failures):
+    for _ in range(failures):
+        breaker.record(False)
+
+
+class TestPolicy:
+    def test_defaults_are_valid(self):
+        policy = BreakerPolicy()
+        assert policy.window == 20
+        assert policy.min_samples == 5
+        assert policy.threshold == 0.5
+        assert policy.probes == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_samples": 0},
+            {"window": 4, "min_samples": 5},
+            {"threshold": 0.0},
+            {"threshold": 1.5},
+            {"cooldown_s": -1.0},
+            {"probes": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(PrEspError):
+            BreakerPolicy(**kwargs)
+
+
+class TestStateMachine:
+    def test_closed_admits_and_tracks_outcomes(self):
+        breaker = make(FakeClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow() is True
+        breaker.record(True)
+        breaker.record(False)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "closed"
+        assert snapshot["failure_rate"] == 0.5
+        assert snapshot["window"] == 2
+
+    def test_min_samples_gate_blocks_early_trip(self):
+        breaker = make(FakeClock(), min_samples=4)
+        storm(breaker, 3)  # 100% failure but below min_samples
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record(False)  # fourth sample crosses the gate
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_total == 1
+
+    def test_open_sheds_until_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock, cooldown_s=10.0)
+        storm(breaker, 4)
+        assert breaker.allow() is False
+        clock.advance(9.9)
+        assert breaker.allow() is False
+        clock.advance(0.2)  # past cooldown: half-open, one probe
+        assert breaker.allow() is True
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_caps_probes(self):
+        clock = FakeClock()
+        breaker = make(clock, probes=2)
+        storm(breaker, 4)
+        clock.advance(11.0)
+        assert breaker.allow() is True
+        assert breaker.allow() is True
+        assert breaker.allow() is False  # both probe slots out
+
+    def test_probe_success_closes_and_clears_window(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        storm(breaker, 4)
+        clock.advance(11.0)
+        assert breaker.allow() is True
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+        # The poisoned window was cleared: one new failure is judged
+        # against a fresh history, not the pre-trip storm.
+        breaker.record(False)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.snapshot()["window"] == 1
+
+    def test_all_probes_must_succeed(self):
+        clock = FakeClock()
+        breaker = make(clock, probes=2)
+        storm(breaker, 4)
+        clock.advance(11.0)
+        assert breaker.allow() and breaker.allow()
+        breaker.record(True)
+        assert breaker.state is BreakerState.HALF_OPEN  # one of two back
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock, cooldown_s=10.0)
+        storm(breaker, 4)
+        clock.advance(11.0)
+        assert breaker.allow() is True
+        breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_total == 2
+        assert breaker.allow() is False  # cooldown restarted at re-open
+        clock.advance(11.0)
+        assert breaker.allow() is True
+
+    def test_release_probe_frees_a_wedged_slot(self):
+        clock = FakeClock()
+        breaker = make(clock, probes=1)
+        storm(breaker, 4)
+        clock.advance(11.0)
+        assert breaker.allow() is True  # probe issued...
+        assert breaker.allow() is False
+        breaker.release_probe()  # ...but the job died before running
+        assert breaker.allow() is True  # slot is usable again
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_release_probe_is_a_noop_when_closed(self):
+        breaker = make(FakeClock())
+        breaker.release_probe()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow() is True
+
+    def test_trip_forces_open(self):
+        breaker = make(FakeClock())
+        breaker.trip("operator")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow() is False
+        breaker.trip("again")  # idempotent while already open
+        assert breaker.opened_total == 1
+
+    def test_straggler_outcome_while_open_is_ignored(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        storm(breaker, 4)
+        breaker.record(True)  # finished after the trip
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow() is False
+
+    def test_window_slides(self):
+        breaker = make(FakeClock(), window=4, min_samples=4, threshold=0.75)
+        storm(breaker, 2)
+        for _ in range(4):
+            breaker.record(True)
+        # The two failures slid out of the window: rate is 0.
+        assert breaker.snapshot()["failure_rate"] == 0.0
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_reason_reported_to_callback(self):
+        reasons = []
+        breaker = CircuitBreaker(
+            policy=BreakerPolicy(window=8, min_samples=4, threshold=0.5),
+            clock=FakeClock(),
+            on_open=reasons.append,
+        )
+        storm(breaker, 4)
+        assert len(reasons) == 1
+        assert "failure rate" in reasons[0]
+
+    def test_close_callback_fires_on_probe_success(self):
+        clock = FakeClock()
+        closes = []
+        breaker = CircuitBreaker(
+            policy=BreakerPolicy(
+                window=8, min_samples=4, threshold=0.5, cooldown_s=10.0
+            ),
+            clock=clock,
+            on_close=lambda: closes.append(True),
+        )
+        storm(breaker, 4)
+        clock.advance(11.0)
+        assert breaker.allow() is True
+        breaker.record(True)
+        assert closes == [True]

@@ -1,0 +1,373 @@
+"""Seeded chaos scenarios: the self-healing ladder, in process.
+
+Every scenario drives a real :class:`Supervisor` (real workers, real
+builds, real persistence) with a seeded
+:class:`~repro.service.faults.ServiceFaultModel` — injected worker
+crashes, wedged workers and store faults — and asserts the resilience
+invariants: bounded attempts end in the dead letter, recovery never
+revives poison, the admission breaker opens under a failure storm and
+re-closes after its probe, a drain hands running work back to the
+queue, and the whole fault timeline is a pure function of the seed.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.service.breaker import BreakerPolicy, BreakerState
+from repro.service.faults import ServiceFaultKind, ServiceFaultModel
+from repro.service.jobs import JobError, JobRecord, JobSpec, JobState, JobStore
+from repro.service.queue import AdmissionError
+from repro.service.supervisor import Supervisor
+
+from tests.service.contracts import assert_valid, contract
+
+
+def wait_terminal(supervisor, records, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    for record in records:
+        while not record.state.terminal:
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"{record.job_id} stuck in {record.state.value}"
+                )
+            time.sleep(0.005)
+
+
+def wait_until(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(0.005)
+
+
+def make_supervisor(state_dir, faults=None, **kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("requeue_backoff_s", 0.005)
+    kwargs.setdefault("requeue_backoff_cap_s", 0.05)
+    if faults is not None:
+        kwargs["faults"] = faults
+    return Supervisor(state_dir=state_dir, **kwargs)
+
+
+class TestDeadLetter:
+    def test_crashes_exhaust_attempts_then_dead_letter(self, tmp_path):
+        faults = ServiceFaultModel(seed=0)
+        faults.inject(ServiceFaultKind.WORKER_CRASH, count=3)
+        supervisor = make_supervisor(
+            tmp_path / "state", faults, default_max_attempts=3
+        )
+        try:
+            record = supervisor.submit(JobSpec(config="soc_2"))
+            supervisor.start()
+            wait_terminal(supervisor, [record])
+            assert record.state is JobState.DEAD
+            assert record.attempts == 3
+            assert record.requeues == 2  # attempts 1 and 2 were requeued
+            assert record.error["kind"] == "DeadLetter"
+            assert faults.fired["crash"] == 3
+            assert supervisor.jobs(state=JobState.DEAD) == [record]
+            assert_valid(record.to_dict(), contract("record"), "dead record")
+        finally:
+            supervisor.stop(timeout=5.0)
+
+        # The dead letter is durable and recovery refuses to touch it:
+        # a restarted daemon must not cycle poison back into the queue.
+        revived = make_supervisor(tmp_path / "state")
+        try:
+            revived.start()
+            after = revived.get(record.job_id)
+            assert after.state is JobState.DEAD
+            assert revived.recovering() == 0
+            assert revived.queue.depth() == 0
+
+            # The operator's requeue revives it exactly once...
+            fresh = revived.requeue(record.job_id)
+            assert fresh.state is JobState.QUEUED
+            assert fresh.attempts == 0
+            assert fresh.error is None
+            # ...and a second revive of the no-longer-dead job conflicts.
+            with pytest.raises(JobError, match="only dead jobs"):
+                revived.requeue(record.job_id)
+            wait_terminal(revived, [fresh])
+            assert fresh.state is JobState.SUCCEEDED
+        finally:
+            revived.stop(timeout=5.0)
+
+    def test_requeue_unknown_job_is_none(self, tmp_path):
+        supervisor = make_supervisor(tmp_path / "state")
+        try:
+            assert supervisor.requeue("job-00000000-9999") is None
+        finally:
+            supervisor.stop(timeout=5.0)
+
+    def test_recovery_dead_letters_poison_running_record(self, tmp_path):
+        # A previous daemon died while running this job for the third
+        # time; its whole budget is burned, so recovery dead-letters it
+        # rather than requeueing it into a fourth crash loop.
+        state_dir = tmp_path / "state"
+        poison = JobRecord(
+            job_id="job-00000000-0001",
+            spec=JobSpec(config="soc_2"),
+            state=JobState.RUNNING,
+            submit_seq=0,
+            start_seq=0,
+            attempts=3,
+        )
+        JobStore(state_dir / "jobs").save(poison)
+        supervisor = make_supervisor(state_dir, default_max_attempts=3)
+        try:
+            supervisor.start()
+            record = supervisor.get(poison.job_id)
+            assert record.state is JobState.DEAD
+            assert record.error["kind"] == "DeadLetter"
+            assert supervisor.recovering() == 0
+            assert supervisor.queue.depth() == 0
+            # Durably dead, not just in memory.
+            on_disk = JobStore(state_dir / "jobs").load(poison.job_id)
+            assert on_disk.state is JobState.DEAD
+        finally:
+            supervisor.stop(timeout=5.0)
+
+
+class TestWatchdog:
+    def test_deadline_abandons_wedged_worker_then_resumes(self, tmp_path):
+        faults = ServiceFaultModel(seed=0)
+        faults.inject(ServiceFaultKind.SLOW_WORKER)  # wedge attempt 1
+        supervisor = make_supervisor(tmp_path / "state", faults)
+        try:
+            record = supervisor.submit(
+                JobSpec(config="soc_2", deadline_s=0.2)
+            )
+            supervisor.start()
+            wait_terminal(supervisor, [record])
+            assert record.state is JobState.SUCCEEDED
+            assert record.timeouts == 1
+            assert record.requeues == 1
+            assert record.attempts == 2
+        finally:
+            supervisor.stop(timeout=5.0)
+
+    def test_tenant_then_default_deadline_fallback(self, tmp_path):
+        supervisor = make_supervisor(
+            tmp_path / "state",
+            default_deadline_s=7.0,
+            tenant_deadlines={"acme": 3.0},
+        )
+        try:
+            assert supervisor.deadline_for(JobSpec(config="soc_2")) == 7.0
+            assert (
+                supervisor.deadline_for(JobSpec(config="soc_2", tenant="acme"))
+                == 3.0
+            )
+            assert (
+                supervisor.deadline_for(
+                    JobSpec(config="soc_2", tenant="acme", deadline_s=1.0)
+                )
+                == 1.0
+            )
+        finally:
+            supervisor.stop(timeout=5.0)
+
+    def test_deadline_exhaustion_dead_letters(self, tmp_path):
+        faults = ServiceFaultModel(seed=0)
+        faults.inject(ServiceFaultKind.SLOW_WORKER, count=2)
+        supervisor = make_supervisor(tmp_path / "state", faults)
+        try:
+            record = supervisor.submit(
+                JobSpec(config="soc_2", deadline_s=0.1, max_attempts=2)
+            )
+            supervisor.start()
+            wait_terminal(supervisor, [record])
+            assert record.state is JobState.DEAD
+            assert record.timeouts == 2
+        finally:
+            supervisor.stop(timeout=5.0)
+
+
+class TestBreaker:
+    def test_failure_storm_opens_then_probe_recloses(self, tmp_path):
+        faults = ServiceFaultModel(seed=0)
+        faults.inject(ServiceFaultKind.WORKER_CRASH, count=2)
+        supervisor = make_supervisor(
+            tmp_path / "state",
+            faults,
+            breaker_policy=BreakerPolicy(
+                window=4, min_samples=2, threshold=0.5, cooldown_s=1.0
+            ),
+        )
+        try:
+            # Two one-shot jobs, both eaten by injected crashes: two
+            # dead letters, 100% failure over min_samples — trip.
+            doomed = [
+                supervisor.submit(JobSpec(config="soc_1", max_attempts=1)),
+                supervisor.submit(JobSpec(config="soc_2", max_attempts=1)),
+            ]
+            supervisor.start()
+            wait_terminal(supervisor, doomed)
+            assert [r.state for r in doomed] == [JobState.DEAD] * 2
+            wait_until(
+                lambda: supervisor.breaker.state is BreakerState.OPEN,
+                timeout=5.0,
+                message="breaker to open",
+            )
+
+            # While open, submits are shed at the door with the typed
+            # reason and never reach the table or the queue.
+            before = len(supervisor.jobs())
+            with pytest.raises(AdmissionError) as shed:
+                supervisor.submit(JobSpec(config="soc_2"))
+            assert shed.value.reason == "breaker_open"
+            assert len(supervisor.jobs()) == before
+            assert supervisor.queue.depth() == 0
+            # The open breaker is a critical health finding (503).
+            report = supervisor.health.report()
+            assert report.breaker_open is True
+            assert report.verdict.value == "critical"
+
+            # After the cooldown one probe is admitted; its success
+            # re-closes the breaker and admission recovers.
+            time.sleep(1.1)
+            probe = supervisor.submit(JobSpec(config="soc_2"))
+            wait_terminal(supervisor, [probe])
+            assert probe.state is JobState.SUCCEEDED
+            wait_until(
+                lambda: supervisor.breaker.state is BreakerState.CLOSED,
+                timeout=5.0,
+                message="breaker to close",
+            )
+            follow_up = supervisor.submit(JobSpec(config="soc_1"))
+            wait_terminal(supervisor, [follow_up])
+            assert follow_up.state is JobState.SUCCEEDED
+            report = supervisor.health.report()
+            assert report.breaker_open is False
+            assert report.breaker_opens == 1
+            # The two dead letters keep health degraded — visible, but
+            # not a 503 — until an operator deals with them.
+            assert report.verdict.value == "degraded"
+            assert sorted(report.dead_jobs) == sorted(
+                r.job_id for r in doomed
+            )
+        finally:
+            supervisor.stop(timeout=5.0)
+
+
+class TestDrain:
+    def test_drain_requeues_in_flight_job_and_restart_resumes(self, tmp_path):
+        faults = ServiceFaultModel(seed=0)
+        faults.inject(ServiceFaultKind.SLOW_WORKER)  # wedge the attempt
+        spec = JobSpec(config="soc_2")
+        first = make_supervisor(tmp_path / "state", faults)
+        record = first.submit(spec)
+        first.start()
+        wait_until(
+            lambda: record.state is JobState.RUNNING,
+            message="job to start running",
+        )
+        # Drain with a deadline the wedged worker cannot meet: the
+        # running job must be flipped back to QUEUED, checkpoint
+        # intact, and persisted for the next daemon.
+        survivors = first.stop(timeout=0.3, drain=True)
+        assert survivors == 1
+        assert record.state is JobState.QUEUED
+        assert record.requeues == 1
+        on_disk = JobStore(tmp_path / "state" / "jobs").load(record.job_id)
+        assert on_disk.state is JobState.QUEUED
+
+        second = make_supervisor(tmp_path / "state")
+        try:
+            second.start()
+            resumed = second.get(record.job_id)
+            wait_terminal(second, [resumed])
+            assert resumed.state is JobState.SUCCEEDED
+            wait_until(
+                lambda: second.recovering() == 0,
+                message="recovery backlog to drain",
+            )
+            assert second.health_verdict()[0] != "recovering"
+        finally:
+            second.stop(timeout=5.0)
+
+        # Byte-identity: the drained-and-resumed result equals an
+        # uninterrupted control run of the same spec and seed.
+        control = make_supervisor(tmp_path / "control")
+        try:
+            control_record = control.submit(spec)
+            control.start()
+            wait_terminal(control, [control_record])
+            assert control_record.state is JobState.SUCCEEDED
+        finally:
+            control.stop(timeout=5.0)
+        assert json.dumps(resumed.result, sort_keys=True) == json.dumps(
+            control_record.result, sort_keys=True
+        )
+
+    def test_drain_leaves_queued_jobs_for_next_start(self, tmp_path):
+        # More jobs than the single worker can start: the queued
+        # remainder must survive the drain untouched.
+        supervisor = make_supervisor(tmp_path / "state")
+        specs = [JobSpec(config="soc_1"), JobSpec(config="soc_2")]
+        records = [supervisor.submit(spec) for spec in specs]
+        supervisor.stop(timeout=1.0, drain=True)  # never started workers
+        store = JobStore(tmp_path / "state" / "jobs")
+        for record in records:
+            assert store.load(record.job_id).state is JobState.QUEUED
+
+        second = make_supervisor(tmp_path / "state")
+        try:
+            second.start()
+            resumed = [second.get(r.job_id) for r in records]
+            wait_terminal(second, resumed)
+            assert all(r.state is JobState.SUCCEEDED for r in resumed)
+        finally:
+            second.stop(timeout=5.0)
+
+
+class TestSeededDeterminism:
+    SPECS = [
+        ("soc_1", "acme"),
+        ("soc_2", "acme"),
+        ("soc_1", "birch"),
+        ("soc_2", "birch"),
+        ("soc_2", "acme"),
+    ]
+
+    @staticmethod
+    def _stable(record):
+        payload = record.to_dict()
+        # Wall-clock and worker-interleaving artifacts are explicitly
+        # outside the determinism contract; everything else must be a
+        # pure function of the seed.
+        payload.pop("elapsed_s", None)
+        payload.pop("start_seq", None)
+        return payload
+
+    def _run_once(self, state_dir):
+        faults = ServiceFaultModel(
+            seed=11, rates={ServiceFaultKind.WORKER_CRASH: 0.35}
+        )
+        supervisor = make_supervisor(
+            state_dir, faults, default_max_attempts=2
+        )
+        try:
+            records = [
+                supervisor.submit(JobSpec(config=config, tenant=tenant))
+                for config, tenant in self.SPECS
+            ]
+            supervisor.start()
+            wait_terminal(supervisor, records)
+            table = [self._stable(record) for record in records]
+            return json.dumps(table, sort_keys=True), dict(faults.fired)
+        finally:
+            supervisor.stop(timeout=5.0)
+
+    def test_same_seed_same_fault_timeline_and_job_table(self, tmp_path):
+        first_table, first_fired = self._run_once(tmp_path / "one")
+        second_table, second_fired = self._run_once(tmp_path / "two")
+        assert first_table == second_table
+        assert first_fired == second_fired
+        # The scenario is only meaningful if the storm actually fired.
+        assert first_fired.get("crash", 0) >= 1

@@ -153,40 +153,42 @@ class TestWarmCache:
         assert cold["elapsed_s"] >= 10 * warm["elapsed_s"]
 
 
-class TestKillRestart:
-    def start_daemon(self, state_dir):
-        env = dict(os.environ)
-        src = str(REPO_ROOT / "src")
-        env["PYTHONPATH"] = src + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-        )
-        proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--state-dir", str(state_dir),
-                "--port", "0", "--workers", "1", "--jobs", "1",
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-            cwd=REPO_ROOT,
-            env=env,
-        )
-        banner = []
-        while True:
-            line = proc.stdout.readline()
-            if not line:
-                raise AssertionError(
-                    "daemon died before listening:\n" + "".join(banner)
-                )
-            banner.append(line)
-            match = re.search(r"service listening on http://[^:]+:(\d+)", line)
-            if match:
-                return proc, int(match.group(1))
+def start_daemon(state_dir, *extra_args):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--state-dir", str(state_dir),
+            "--port", "0", "--workers", "1", "--jobs", "1",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    banner = []
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                "daemon died before listening:\n" + "".join(banner)
+            )
+        banner.append(line)
+        match = re.search(r"service listening on http://[^:]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
 
+
+class TestKillRestart:
     def test_sigkill_restart_resumes_byte_identically(self, tmp_path):
         state = tmp_path / "state"
-        first, port = self.start_daemon(state)
+        first, port = start_daemon(state)
         try:
             client = ServiceClient(port=port, timeout=10)
             submitted = client.submit("soc_4", tenant="acme")
@@ -205,7 +207,7 @@ class TestKillRestart:
                 first.kill()
                 first.wait(timeout=30)
 
-        second, port = self.start_daemon(state)
+        second, port = start_daemon(state)
         try:
             client = ServiceClient(port=port, timeout=10)
             record = client.wait(job_id, timeout=120)
@@ -219,6 +221,75 @@ class TestKillRestart:
             second.wait(timeout=30)
 
         # Control: the same job on a fresh daemon, never interrupted.
+        control_sup = Supervisor(
+            state_dir=tmp_path / "control", workers=1, jobs=1
+        )
+        try:
+            control_sup.start()
+            control = control_sup.submit(JobSpec(config="soc_4", tenant="acme"))
+            deadline = time.monotonic() + 120
+            while not control.state.terminal:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        finally:
+            control_sup.stop()
+        assert json.dumps(result["result"], sort_keys=True) == json.dumps(
+            control.result, sort_keys=True
+        )
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_within_deadline_and_resumes(self, tmp_path):
+        state = tmp_path / "state"
+        # Wedge the first attempt so the job is provably in flight and
+        # cannot finish inside the drain window: the drain MUST hand it
+        # back to the queue rather than wait it out.
+        first, port = start_daemon(
+            state,
+            "--drain-timeout", "1.0",
+            "--inject-service-fault", "slow",
+        )
+        try:
+            client = ServiceClient(port=port, timeout=10)
+            submitted = client.submit("soc_4", tenant="acme")
+            job_id = submitted["job_id"]
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if client.status(job_id)["state"] == "running":
+                    break
+                time.sleep(0.005)
+            else:
+                raise AssertionError("job never reached a worker")
+
+            asked = time.monotonic()
+            first.send_signal(signal.SIGTERM)
+            # Graceful exit, bounded by the drain deadline (plus the
+            # accept-loop tick and interpreter teardown slack).
+            assert first.wait(timeout=30) == 0
+            assert time.monotonic() - asked < 15.0
+        finally:
+            if first.poll() is None:
+                first.kill()
+                first.wait(timeout=30)
+
+        # The drained job was requeued with its checkpoint, not lost
+        # and not burned: a healthy restart resumes and finishes it.
+        second, port = start_daemon(state)
+        try:
+            client = ServiceClient(port=port, timeout=10)
+            record = client.wait(job_id, timeout=120)
+            assert record["state"] == "succeeded"
+            assert record["requeues"] >= 1
+            result = client.result(job_id)
+            assert client.healthz()["exit_code"] < 2
+        finally:
+            second.send_signal(signal.SIGTERM)
+            try:
+                second.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                second.kill()
+                second.wait(timeout=30)
+
         control_sup = Supervisor(
             state_dir=tmp_path / "control", workers=1, jobs=1
         )

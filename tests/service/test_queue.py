@@ -1,5 +1,7 @@
 """Admission control and priority scheduling of the job queue."""
 
+import threading
+
 import pytest
 
 from repro.service.jobs import JobRecord, JobSpec
@@ -18,8 +20,12 @@ def job(seq, tenant="default", priority=0):
 
 class TestAdmission:
     def test_capacity_must_be_positive(self):
-        with pytest.raises(AdmissionError):
+        # A bad capacity is an operator configuration error, not an
+        # admission decision: plain ValueError, no 429 reason token.
+        with pytest.raises(ValueError):
             JobQueue(capacity=0)
+        with pytest.raises(ValueError):
+            JobQueue(capacity=-3)
 
     def test_queue_full(self):
         queue = JobQueue(capacity=1)
@@ -116,6 +122,57 @@ class TestScheduling:
         queue.submit(first)
         queue.cancel(first)
         queue.submit(job(1, tenant="acme"))  # slot was released
+
+    def test_cancel_vs_pop_race_is_exactly_once(self):
+        # Workers pop while a client cancels the same jobs: every job
+        # must go to exactly one side — popped once, or cancelled with
+        # cancel() returning True — and the accounting must balance.
+        jobs = [job(n) for n in range(200)]
+        queue = JobQueue()
+        for record in jobs:
+            queue.submit(record)
+
+        popped, cancelled, closed = [], [], threading.Event()
+
+        def popper(sink):
+            while True:
+                job_id = queue.pop(timeout=0.02)
+                if job_id is None:
+                    if closed.is_set():
+                        return
+                    continue
+                sink.append(job_id)
+                queue.mark_done("default")
+
+        def canceller():
+            for record in jobs[::2]:
+                if queue.cancel(record):
+                    cancelled.append(record.job_id)
+
+        sinks = [[], []]
+        threads = [
+            threading.Thread(target=popper, args=(sinks[0],)),
+            threading.Thread(target=popper, args=(sinks[1],)),
+            threading.Thread(target=canceller),
+        ]
+        for thread in threads:
+            thread.start()
+        threads[2].join()  # all cancels decided
+        # Let the poppers drain the remainder, then release them.
+        deadline_depth = queue.depth()
+        while deadline_depth:
+            deadline_depth = queue.depth()
+        queue.close()
+        closed.set()
+        for thread in threads[:2]:
+            thread.join()
+        popped = sinks[0] + sinks[1]
+
+        assert set(popped).isdisjoint(cancelled)
+        assert len(popped) == len(set(popped))  # nothing popped twice
+        assert sorted(popped + cancelled) == sorted(r.job_id for r in jobs)
+        assert queue.depth() == 0
+        assert queue.snapshot()["tenants"] == {}
 
 
 class TestSnapshot:
